@@ -1,0 +1,807 @@
+//! Arbitrary-precision signed integers.
+//!
+//! Constraint-database algorithms (Fourier–Motzkin elimination, virtual
+//! substitution, Sturm sequences) multiply and cross-multiply coefficients
+//! aggressively; fixed-width integers overflow silently on realistic inputs.
+//! [`BigInt`] stores a sign and a little-endian magnitude in `u32` limbs.
+//! The `u32` limb width keeps schoolbook division (Knuth algorithm D) exact
+//! with plain `u64` intermediates.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
+use std::str::FromStr;
+
+/// Sign of a [`BigInt`]: `-1`, `0`, or `+1`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Sign {
+    /// Strictly negative.
+    Minus,
+    /// Zero.
+    Zero,
+    /// Strictly positive.
+    Plus,
+}
+
+impl Sign {
+    /// Flip the sign; zero stays zero.
+    #[must_use]
+    pub fn negate(self) -> Sign {
+        match self {
+            Sign::Minus => Sign::Plus,
+            Sign::Zero => Sign::Zero,
+            Sign::Plus => Sign::Minus,
+        }
+    }
+
+    /// The sign of the product of two signed quantities.
+    #[allow(clippy::should_implement_trait)]
+    #[must_use]
+    pub fn mul(self, other: Sign) -> Sign {
+        match (self, other) {
+            (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,
+            (Sign::Plus, Sign::Plus) | (Sign::Minus, Sign::Minus) => Sign::Plus,
+            _ => Sign::Minus,
+        }
+    }
+
+    /// `+1`, `0`, or `-1` as an `i32`.
+    #[must_use]
+    pub fn as_i32(self) -> i32 {
+        match self {
+            Sign::Minus => -1,
+            Sign::Zero => 0,
+            Sign::Plus => 1,
+        }
+    }
+}
+
+/// An arbitrary-precision signed integer.
+///
+/// Invariants: `mag` has no trailing zero limbs, and `sign == Sign::Zero`
+/// iff `mag.is_empty()`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    /// Little-endian base-2³² magnitude.
+    mag: Vec<u32>,
+}
+
+const BASE_BITS: u32 = 32;
+
+impl BigInt {
+    /// The constant zero.
+    #[must_use]
+    pub fn zero() -> BigInt {
+        BigInt { sign: Sign::Zero, mag: Vec::new() }
+    }
+
+    /// The constant one.
+    #[must_use]
+    pub fn one() -> BigInt {
+        BigInt::from(1i64)
+    }
+
+    /// True iff the value is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// True iff the value is one.
+    #[must_use]
+    pub fn is_one(&self) -> bool {
+        self.sign == Sign::Plus && self.mag == [1]
+    }
+
+    /// True iff the value is strictly negative.
+    #[must_use]
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Minus
+    }
+
+    /// True iff the value is strictly positive.
+    #[must_use]
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Plus
+    }
+
+    /// The sign of the value.
+    #[must_use]
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// Absolute value.
+    #[must_use]
+    pub fn abs(&self) -> BigInt {
+        BigInt {
+            sign: if self.sign == Sign::Zero { Sign::Zero } else { Sign::Plus },
+            mag: self.mag.clone(),
+        }
+    }
+
+    fn from_mag(sign: Sign, mut mag: Vec<u32>) -> BigInt {
+        while mag.last() == Some(&0) {
+            mag.pop();
+        }
+        if mag.is_empty() {
+            BigInt::zero()
+        } else {
+            debug_assert_ne!(sign, Sign::Zero);
+            BigInt { sign, mag }
+        }
+    }
+
+    /// Number of bits in the magnitude (0 for zero).
+    #[must_use]
+    pub fn bits(&self) -> u64 {
+        match self.mag.last() {
+            None => 0,
+            Some(&top) => {
+                (self.mag.len() as u64 - 1) * u64::from(BASE_BITS)
+                    + u64::from(32 - top.leading_zeros())
+            }
+        }
+    }
+
+    /// Convert to `i64` if it fits.
+    #[must_use]
+    pub fn to_i64(&self) -> Option<i64> {
+        let v = self.to_i128()?;
+        i64::try_from(v).ok()
+    }
+
+    /// Convert to `i128` if it fits.
+    #[must_use]
+    pub fn to_i128(&self) -> Option<i128> {
+        if self.mag.len() > 4 {
+            return None;
+        }
+        let mut acc: u128 = 0;
+        for (i, &limb) in self.mag.iter().enumerate() {
+            acc |= u128::from(limb) << (32 * i as u32);
+        }
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Plus => i128::try_from(acc).ok(),
+            Sign::Minus => {
+                if acc == (1u128 << 127) {
+                    Some(i128::MIN)
+                } else {
+                    i128::try_from(acc).ok().map(|v| -v)
+                }
+            }
+        }
+    }
+
+    /// Approximate the value as an `f64` (may lose precision or overflow
+    /// to infinity for huge values).
+    #[must_use]
+    pub fn to_f64(&self) -> f64 {
+        let mut acc = 0.0f64;
+        for &limb in self.mag.iter().rev() {
+            acc = acc * 4_294_967_296.0 + f64::from(limb);
+        }
+        match self.sign {
+            Sign::Minus => -acc,
+            _ => acc,
+        }
+    }
+
+    fn cmp_mag(a: &[u32], b: &[u32]) -> Ordering {
+        if a.len() != b.len() {
+            return a.len().cmp(&b.len());
+        }
+        for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+            match x.cmp(y) {
+                Ordering::Equal => {}
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    fn add_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry: u64 = 0;
+        for (i, &limb) in long.iter().enumerate() {
+            let s = u64::from(limb) + u64::from(*short.get(i).unwrap_or(&0)) + carry;
+            out.push(s as u32);
+            carry = s >> BASE_BITS;
+        }
+        if carry != 0 {
+            out.push(carry as u32);
+        }
+        out
+    }
+
+    /// Requires `a >= b` in magnitude.
+    fn sub_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        debug_assert!(BigInt::cmp_mag(a, b) != Ordering::Less);
+        let mut out = Vec::with_capacity(a.len());
+        let mut borrow: i64 = 0;
+        for (i, &limb) in a.iter().enumerate() {
+            let mut d = i64::from(limb) - i64::from(*b.get(i).unwrap_or(&0)) - borrow;
+            if d < 0 {
+                d += 1i64 << BASE_BITS;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            out.push(d as u32);
+        }
+        debug_assert_eq!(borrow, 0);
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    fn mul_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        if a.is_empty() || b.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![0u32; a.len() + b.len()];
+        for (i, &ai) in a.iter().enumerate() {
+            let mut carry: u64 = 0;
+            for (j, &bj) in b.iter().enumerate() {
+                let t = u64::from(ai) * u64::from(bj) + u64::from(out[i + j]) + carry;
+                out[i + j] = t as u32;
+                carry = t >> BASE_BITS;
+            }
+            let mut k = i + b.len();
+            while carry != 0 {
+                let t = u64::from(out[k]) + carry;
+                out[k] = t as u32;
+                carry = t >> BASE_BITS;
+                k += 1;
+            }
+        }
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    /// Divide magnitude by a single limb; returns (quotient, remainder).
+    fn divrem_mag_limb(a: &[u32], d: u32) -> (Vec<u32>, u32) {
+        debug_assert!(d != 0);
+        let mut q = vec![0u32; a.len()];
+        let mut rem: u64 = 0;
+        for i in (0..a.len()).rev() {
+            let cur = (rem << BASE_BITS) | u64::from(a[i]);
+            q[i] = (cur / u64::from(d)) as u32;
+            rem = cur % u64::from(d);
+        }
+        while q.last() == Some(&0) {
+            q.pop();
+        }
+        (q, rem as u32)
+    }
+
+    /// Knuth algorithm D on u32 limbs. Requires `b.len() >= 2` and `a >= b`.
+    fn divrem_mag(a: &[u32], b: &[u32]) -> (Vec<u32>, Vec<u32>) {
+        // Normalize so the top limb of the divisor has its high bit set.
+        let shift = b.last().unwrap().leading_zeros();
+        let mut v = shl_limbs(b, shift);
+        let mut u = shl_limbs(a, shift);
+        u.push(0); // room for the overflow limb
+        let n = v.len();
+        let m = u.len() - n - 1;
+        let mut q = vec![0u32; m + 1];
+        let vtop = u64::from(v[n - 1]);
+        let vsecond = u64::from(v[n - 2]);
+        for j in (0..=m).rev() {
+            let num = (u64::from(u[j + n]) << BASE_BITS) | u64::from(u[j + n - 1]);
+            let mut qhat = num / vtop;
+            let mut rhat = num % vtop;
+            while qhat >= (1u64 << BASE_BITS)
+                || qhat * vsecond > ((rhat << BASE_BITS) | u64::from(u[j + n - 2]))
+            {
+                qhat -= 1;
+                rhat += vtop;
+                if rhat >= (1u64 << BASE_BITS) {
+                    break;
+                }
+            }
+            // Multiply-and-subtract u[j..j+n+1] -= qhat * v.
+            let mut borrow: i64 = 0;
+            let mut carry: u64 = 0;
+            for i in 0..n {
+                let p = qhat * u64::from(v[i]) + carry;
+                carry = p >> BASE_BITS;
+                let mut d = i64::from(u[j + i]) - i64::from(p as u32) - borrow;
+                if d < 0 {
+                    d += 1i64 << BASE_BITS;
+                    borrow = 1;
+                } else {
+                    borrow = 0;
+                }
+                u[j + i] = d as u32;
+            }
+            let mut d = i64::from(u[j + n]) - i64::from(carry as u32) - borrow;
+            let negative = d < 0;
+            if d < 0 {
+                d += 1i64 << BASE_BITS;
+            }
+            u[j + n] = d as u32;
+            q[j] = qhat as u32;
+            if negative {
+                // qhat was one too large; add v back.
+                q[j] -= 1;
+                let mut carry: u64 = 0;
+                for i in 0..n {
+                    let s = u64::from(u[j + i]) + u64::from(v[i]) + carry;
+                    u[j + i] = s as u32;
+                    carry = s >> BASE_BITS;
+                }
+                u[j + n] = u[j + n].wrapping_add(carry as u32);
+            }
+        }
+        while q.last() == Some(&0) {
+            q.pop();
+        }
+        u.truncate(n);
+        let rem = shr_limbs(&u, shift);
+        v.clear();
+        (q, rem)
+    }
+
+    /// Quotient and remainder with truncation toward zero: the remainder has
+    /// the sign of the dividend (Euclid-style `a == q*b + r`, `|r| < |b|`).
+    ///
+    /// # Panics
+    /// Panics on division by zero.
+    #[must_use]
+    pub fn divrem(&self, other: &BigInt) -> (BigInt, BigInt) {
+        assert!(!other.is_zero(), "BigInt division by zero");
+        if self.is_zero() || BigInt::cmp_mag(&self.mag, &other.mag) == Ordering::Less {
+            return (BigInt::zero(), self.clone());
+        }
+        let (qm, rm) = if other.mag.len() == 1 {
+            let (q, r) = BigInt::divrem_mag_limb(&self.mag, other.mag[0]);
+            (q, if r == 0 { Vec::new() } else { vec![r] })
+        } else {
+            BigInt::divrem_mag(&self.mag, &other.mag)
+        };
+        let qsign = self.sign.mul(other.sign);
+        (BigInt::from_mag(qsign, qm), BigInt::from_mag(self.sign, rm))
+    }
+
+    /// Greatest common divisor (always non-negative).
+    #[must_use]
+    pub fn gcd(&self, other: &BigInt) -> BigInt {
+        let mut a = self.abs();
+        let mut b = other.abs();
+        while !b.is_zero() {
+            let r = a.divrem(&b).1;
+            a = b;
+            b = r.abs();
+        }
+        a
+    }
+
+    /// `self` raised to `exp`.
+    #[must_use]
+    pub fn pow(&self, mut exp: u32) -> BigInt {
+        let mut base = self.clone();
+        let mut acc = BigInt::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = &base * &base;
+            }
+        }
+        acc
+    }
+}
+
+fn shl_limbs(a: &[u32], shift: u32) -> Vec<u32> {
+    debug_assert!(shift < 32);
+    if shift == 0 {
+        return a.to_vec();
+    }
+    let mut out = Vec::with_capacity(a.len() + 1);
+    let mut carry: u32 = 0;
+    for &limb in a {
+        out.push((limb << shift) | carry);
+        carry = limb >> (32 - shift);
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    out
+}
+
+fn shr_limbs(a: &[u32], shift: u32) -> Vec<u32> {
+    debug_assert!(shift < 32);
+    if shift == 0 {
+        let mut v = a.to_vec();
+        while v.last() == Some(&0) {
+            v.pop();
+        }
+        return v;
+    }
+    let mut out = vec![0u32; a.len()];
+    let mut carry: u32 = 0;
+    for i in (0..a.len()).rev() {
+        out[i] = (a[i] >> shift) | carry;
+        carry = a[i] << (32 - shift);
+    }
+    while out.last() == Some(&0) {
+        out.pop();
+    }
+    out
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> BigInt {
+        BigInt::from(i128::from(v))
+    }
+}
+
+impl From<i32> for BigInt {
+    fn from(v: i32) -> BigInt {
+        BigInt::from(i128::from(v))
+    }
+}
+
+impl From<u64> for BigInt {
+    fn from(v: u64) -> BigInt {
+        BigInt::from(i128::from(v))
+    }
+}
+
+impl From<i128> for BigInt {
+    fn from(v: i128) -> BigInt {
+        if v == 0 {
+            return BigInt::zero();
+        }
+        let sign = if v < 0 { Sign::Minus } else { Sign::Plus };
+        let mut mag = v.unsigned_abs();
+        let mut limbs = Vec::new();
+        while mag != 0 {
+            limbs.push(mag as u32);
+            mag >>= 32;
+        }
+        BigInt { sign, mag: limbs }
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &BigInt) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &BigInt) -> Ordering {
+        match self.sign.cmp(&other.sign) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+        match self.sign {
+            Sign::Zero => Ordering::Equal,
+            Sign::Plus => BigInt::cmp_mag(&self.mag, &other.mag),
+            Sign::Minus => BigInt::cmp_mag(&other.mag, &self.mag),
+        }
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        BigInt { sign: self.sign.negate(), mag: self.mag.clone() }
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(mut self) -> BigInt {
+        self.sign = self.sign.negate();
+        self
+    }
+}
+
+impl Add for &BigInt {
+    type Output = BigInt;
+    fn add(self, other: &BigInt) -> BigInt {
+        match (self.sign, other.sign) {
+            (Sign::Zero, _) => other.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => BigInt::from_mag(a, BigInt::add_mag(&self.mag, &other.mag)),
+            _ => match BigInt::cmp_mag(&self.mag, &other.mag) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => {
+                    BigInt::from_mag(self.sign, BigInt::sub_mag(&self.mag, &other.mag))
+                }
+                Ordering::Less => {
+                    BigInt::from_mag(other.sign, BigInt::sub_mag(&other.mag, &self.mag))
+                }
+            },
+        }
+    }
+}
+
+impl Sub for &BigInt {
+    type Output = BigInt;
+    fn sub(self, other: &BigInt) -> BigInt {
+        self + &(-other)
+    }
+}
+
+impl Mul for &BigInt {
+    type Output = BigInt;
+    fn mul(self, other: &BigInt) -> BigInt {
+        let sign = self.sign.mul(other.sign);
+        if sign == Sign::Zero {
+            return BigInt::zero();
+        }
+        BigInt::from_mag(sign, BigInt::mul_mag(&self.mag, &other.mag))
+    }
+}
+
+impl Div for &BigInt {
+    type Output = BigInt;
+    fn div(self, other: &BigInt) -> BigInt {
+        self.divrem(other).0
+    }
+}
+
+impl Rem for &BigInt {
+    type Output = BigInt;
+    fn rem(self, other: &BigInt) -> BigInt {
+        self.divrem(other).1
+    }
+}
+
+macro_rules! forward_owned_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait for BigInt {
+            type Output = BigInt;
+            fn $method(self, other: BigInt) -> BigInt {
+                (&self).$method(&other)
+            }
+        }
+        impl $trait<&BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, other: &BigInt) -> BigInt {
+                (&self).$method(other)
+            }
+        }
+        impl $trait<BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, other: BigInt) -> BigInt {
+                self.$method(&other)
+            }
+        }
+    };
+}
+
+forward_owned_binop!(Add, add);
+forward_owned_binop!(Sub, sub);
+forward_owned_binop!(Mul, mul);
+forward_owned_binop!(Div, div);
+forward_owned_binop!(Rem, rem);
+
+impl AddAssign<&BigInt> for BigInt {
+    fn add_assign(&mut self, other: &BigInt) {
+        *self = &*self + other;
+    }
+}
+
+impl SubAssign<&BigInt> for BigInt {
+    fn sub_assign(&mut self, other: &BigInt) {
+        *self = &*self - other;
+    }
+}
+
+impl MulAssign<&BigInt> for BigInt {
+    fn mul_assign(&mut self, other: &BigInt) {
+        *self = &*self * other;
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        if self.sign == Sign::Minus {
+            write!(f, "-")?;
+        }
+        // Peel off 9 decimal digits at a time.
+        let mut chunks = Vec::new();
+        let mut cur = self.mag.clone();
+        while !cur.is_empty() {
+            let (q, r) = BigInt::divrem_mag_limb(&cur, 1_000_000_000);
+            chunks.push(r);
+            cur = q;
+        }
+        write!(f, "{}", chunks.pop().unwrap())?;
+        for chunk in chunks.into_iter().rev() {
+            write!(f, "{chunk:09}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({self})")
+    }
+}
+
+/// Error returned when parsing a [`BigInt`] from a malformed string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigIntError;
+
+impl fmt::Display for ParseBigIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid integer literal")
+    }
+}
+
+impl std::error::Error for ParseBigIntError {}
+
+impl FromStr for BigInt {
+    type Err = ParseBigIntError;
+    fn from_str(s: &str) -> Result<BigInt, ParseBigIntError> {
+        let (neg, digits) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s.strip_prefix('+').unwrap_or(s)),
+        };
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(ParseBigIntError);
+        }
+        let ten_pow9 = BigInt::from(1_000_000_000i64);
+        let mut acc = BigInt::zero();
+        for chunk in digits.as_bytes().chunks(9) {
+            let part: u64 = std::str::from_utf8(chunk).unwrap().parse().unwrap();
+            let scale = BigInt::from(10i64).pow(chunk.len() as u32);
+            acc = &acc * &scale + BigInt::from(part);
+        }
+        let _ = ten_pow9;
+        if neg {
+            acc = -acc;
+        }
+        Ok(acc)
+    }
+}
+
+impl Default for BigInt {
+    fn default() -> BigInt {
+        BigInt::zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bi(v: i128) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn zero_identity() {
+        assert!(BigInt::zero().is_zero());
+        assert_eq!(&bi(5) + &BigInt::zero(), bi(5));
+        assert_eq!(&BigInt::zero() * &bi(5), BigInt::zero());
+    }
+
+    #[test]
+    fn small_arithmetic_matches_i128() {
+        let cases = [-100i128, -7, -1, 0, 1, 3, 42, 99, 1 << 40, -(1 << 40)];
+        for &a in &cases {
+            for &b in &cases {
+                assert_eq!(bi(a) + bi(b), bi(a + b), "{a}+{b}");
+                assert_eq!(bi(a) - bi(b), bi(a - b), "{a}-{b}");
+                assert_eq!(bi(a) * bi(b), bi(a * b), "{a}*{b}");
+                if b != 0 {
+                    assert_eq!(bi(a) / bi(b), bi(a / b), "{a}/{b}");
+                    assert_eq!(bi(a) % bi(b), bi(a % b), "{a}%{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn large_multiplication() {
+        // (2^100 + 1)^2 = 2^200 + 2^101 + 1
+        let two100 = BigInt::from(2i64).pow(100);
+        let x = &two100 + &BigInt::one();
+        let sq = &x * &x;
+        let expected =
+            &(&BigInt::from(2i64).pow(200) + &BigInt::from(2i64).pow(101)) + &BigInt::one();
+        assert_eq!(sq, expected);
+    }
+
+    #[test]
+    fn long_division_roundtrip() {
+        let a = BigInt::from_str("123456789012345678901234567890123456789").unwrap();
+        let b = BigInt::from_str("98765432109876543210").unwrap();
+        let (q, r) = a.divrem(&b);
+        assert_eq!(&(&q * &b) + &r, a);
+        assert!(r.abs() < b.abs());
+    }
+
+    #[test]
+    fn division_signs() {
+        assert_eq!(bi(-7).divrem(&bi(2)), (bi(-3), bi(-1)));
+        assert_eq!(bi(7).divrem(&bi(-2)), (bi(-3), bi(1)));
+        assert_eq!(bi(-7).divrem(&bi(-2)), (bi(3), bi(-1)));
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(bi(12).gcd(&bi(18)), bi(6));
+        assert_eq!(bi(-12).gcd(&bi(18)), bi(6));
+        assert_eq!(bi(0).gcd(&bi(5)), bi(5));
+        assert_eq!(bi(17).gcd(&bi(13)), bi(1));
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        for s in ["0", "-1", "123456789012345678901234567890", "-987654321987654321"] {
+            let v: BigInt = s.parse().unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<BigInt>().is_err());
+        assert!("12a".parse::<BigInt>().is_err());
+        assert!("-".parse::<BigInt>().is_err());
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(bi(-5) < bi(-4));
+        assert!(bi(-1) < bi(0));
+        assert!(bi(0) < bi(1));
+        let big = BigInt::from(2i64).pow(200);
+        assert!(bi(i128::MAX) < big);
+        assert!(-&big < bi(i128::MIN));
+    }
+
+    #[test]
+    fn to_i128_bounds() {
+        assert_eq!(bi(i128::MAX).to_i128(), Some(i128::MAX));
+        assert_eq!(bi(i128::MIN).to_i128(), Some(i128::MIN));
+        let too_big = &bi(i128::MAX) + &BigInt::one();
+        assert_eq!(too_big.to_i128(), None);
+    }
+
+    #[test]
+    fn pow_edge_cases() {
+        assert_eq!(bi(3).pow(0), bi(1));
+        assert_eq!(bi(3).pow(1), bi(3));
+        assert_eq!(bi(2).pow(10), bi(1024));
+        assert_eq!(bi(-2).pow(3), bi(-8));
+        assert_eq!(bi(0).pow(5), bi(0));
+    }
+
+    #[test]
+    fn bits_counts() {
+        assert_eq!(BigInt::zero().bits(), 0);
+        assert_eq!(bi(1).bits(), 1);
+        assert_eq!(bi(255).bits(), 8);
+        assert_eq!(bi(256).bits(), 9);
+        assert_eq!(BigInt::from(2i64).pow(100).bits(), 101);
+    }
+
+    #[test]
+    fn to_f64_approximation() {
+        assert_eq!(bi(0).to_f64(), 0.0);
+        assert_eq!(bi(-42).to_f64(), -42.0);
+        let big = BigInt::from(2i64).pow(64);
+        assert_eq!(big.to_f64(), 18_446_744_073_709_551_616.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # cql-arith — exact arithmetic substrate for constraint databases
+//!
+//! The constraint query language framework of Kanellakis, Kuper and Revesz
+//! (*Constraint Query Languages*, PODS 1990) interprets constraints over the
+//! reals (§2), a dense order such as ℚ (§3), a countably infinite set (§4),
+//! and free boolean algebras (§5). The first three all need exact rational
+//! arithmetic and polynomial manipulation; Rust has no canonical symbolic
+//! math library, so this crate provides the substrate from scratch:
+//!
+//! * [`BigInt`] — arbitrary-precision integers (Knuth algorithm D division),
+//! * [`Rat`] — normalized rationals, the workspace's number type,
+//! * [`Poly`] / [`Monomial`] — sparse multivariate polynomials over ℚ,
+//! * [`UPoly`] — dense univariate polynomials with Sturm sequences and
+//!   real-root isolation,
+//! * [`Matrix`] / [`LinearSystem`] — exact Gaussian elimination and the
+//!   affine-subspace containment test behind Theorem 2.6 of the paper.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bigint;
+pub mod linalg;
+pub mod poly;
+pub mod rat;
+pub mod univariate;
+
+pub use bigint::{BigInt, Sign};
+pub use linalg::{LinearSystem, Matrix};
+pub use poly::{Monomial, Poly};
+pub use rat::Rat;
+pub use univariate::UPoly;

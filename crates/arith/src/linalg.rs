@@ -1,0 +1,358 @@
+//! Exact linear algebra over ℚ.
+//!
+//! The tableau-containment results of §2.2 of the paper (Theorem 2.6) reduce
+//! to *affine subspace containment*: the solution set of one linear equation
+//! system is contained in another's iff the first is inconsistent or every
+//! equation of the second lies in the affine row space of the first. This
+//! module provides the reduced-row-echelon machinery for those tests.
+
+use crate::rat::Rat;
+use std::fmt;
+
+/// A dense matrix over ℚ with row-major storage.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Rat>,
+}
+
+impl Matrix {
+    /// An all-zero matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix { rows, cols, data: vec![Rat::zero(); rows * cols] }
+    }
+
+    /// Build from a row-major vector of rows.
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths.
+    #[must_use]
+    pub fn from_rows(rows: Vec<Vec<Rat>>) -> Matrix {
+        let ncols = rows.first().map_or(0, Vec::len);
+        assert!(rows.iter().all(|r| r.len() == ncols), "ragged matrix rows");
+        let nrows = rows.len();
+        Matrix { rows: nrows, cols: ncols, data: rows.into_iter().flatten().collect() }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> &Rat {
+        &self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    pub fn set(&mut self, r: usize, c: usize, v: Rat) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// A row as a slice.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[Rat] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// In-place reduction to reduced row echelon form; returns the rank and
+    /// the pivot column of each pivot row.
+    pub fn rref(&mut self) -> (usize, Vec<usize>) {
+        let mut pivot_cols = Vec::new();
+        let mut lead = 0usize;
+        for r in 0..self.rows {
+            if lead >= self.cols {
+                break;
+            }
+            // Find a pivot at or below row r in column `lead`.
+            let mut pivot_row = None;
+            while lead < self.cols {
+                pivot_row = (r..self.rows).find(|&i| !self.get(i, lead).is_zero());
+                if pivot_row.is_some() {
+                    break;
+                }
+                lead += 1;
+            }
+            let Some(p) = pivot_row else { break };
+            self.swap_rows(r, p);
+            let inv = self.get(r, lead).recip();
+            for c in lead..self.cols {
+                let v = self.get(r, c) * &inv;
+                self.set(r, c, v);
+            }
+            for i in 0..self.rows {
+                if i == r || self.get(i, lead).is_zero() {
+                    continue;
+                }
+                let factor = self.get(i, lead).clone();
+                for c in lead..self.cols {
+                    let v = self.get(i, c) - &(&factor * self.get(r, c));
+                    self.set(i, c, v);
+                }
+            }
+            pivot_cols.push(lead);
+            lead += 1;
+        }
+        (pivot_cols.len(), pivot_cols)
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            self.data.swap(a * self.cols + c, b * self.cols + c);
+        }
+    }
+
+    /// Rank of the matrix (non-destructive).
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.clone().rref().0
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  ")?;
+            for c in 0..self.cols {
+                write!(f, "{} ", self.get(r, c))?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A system of linear equations `A·x = b` over variables `0..nvars`,
+/// represented as augmented rows `[a₁, .., a_n, b]`.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct LinearSystem {
+    nvars: usize,
+    /// Augmented rows, each of length `nvars + 1`.
+    rows: Vec<Vec<Rat>>,
+}
+
+impl LinearSystem {
+    /// Create an empty (trivially satisfiable) system over `nvars` variables.
+    #[must_use]
+    pub fn new(nvars: usize) -> LinearSystem {
+        LinearSystem { nvars, rows: Vec::new() }
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    /// Number of equations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff no equations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Add equation `Σ coeffs[i]·xᵢ = rhs`.
+    ///
+    /// # Panics
+    /// Panics if `coeffs.len() != nvars`.
+    pub fn push(&mut self, coeffs: Vec<Rat>, rhs: Rat) {
+        assert_eq!(coeffs.len(), self.nvars);
+        let mut row = coeffs;
+        row.push(rhs);
+        self.rows.push(row);
+    }
+
+    /// The augmented rows.
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<Rat>] {
+        &self.rows
+    }
+
+    fn augmented(&self) -> Matrix {
+        Matrix::from_rows(self.rows.clone())
+    }
+
+    /// Is the system consistent (has at least one solution)?
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        if self.rows.is_empty() {
+            return true;
+        }
+        let mut m = self.augmented();
+        let (_, pivots) = m.rref();
+        // Inconsistent iff some pivot lands in the RHS column.
+        !pivots.contains(&self.nvars)
+    }
+
+    /// One solution of the system, if consistent: free variables are set to 0.
+    #[must_use]
+    pub fn solve(&self) -> Option<Vec<Rat>> {
+        let mut m = self.augmented();
+        if self.rows.is_empty() {
+            return Some(vec![Rat::zero(); self.nvars]);
+        }
+        let (_, pivots) = m.rref();
+        if pivots.contains(&self.nvars) {
+            return None;
+        }
+        let mut x = vec![Rat::zero(); self.nvars];
+        for (r, &pc) in pivots.iter().enumerate() {
+            x[pc] = m.get(r, self.nvars).clone();
+        }
+        Some(x)
+    }
+
+    /// Does every solution of `self` satisfy equation `Σ coeffs·x = rhs`?
+    ///
+    /// True iff `self` is inconsistent, or the equation is an affine
+    /// combination of the equations of `self` (checked by a rank test on
+    /// the augmented matrices).
+    #[must_use]
+    pub fn implies_equation(&self, coeffs: &[Rat], rhs: &Rat) -> bool {
+        assert_eq!(coeffs.len(), self.nvars);
+        if !self.is_consistent() {
+            return true;
+        }
+        let base_rank = if self.rows.is_empty() { 0 } else { self.augmented().rank() };
+        let mut extended = self.clone();
+        extended.push(coeffs.to_vec(), rhs.clone());
+        extended.augmented().rank() == base_rank
+    }
+
+    /// Does every solution of `self` satisfy every equation of `other`
+    /// (i.e. is the affine space of `self` contained in that of `other`)?
+    #[must_use]
+    pub fn implies_system(&self, other: &LinearSystem) -> bool {
+        assert_eq!(self.nvars, other.nvars);
+        other.rows.iter().all(|row| self.implies_equation(&row[..self.nvars], &row[self.nvars]))
+    }
+
+    /// Evaluate the system at a point.
+    #[must_use]
+    pub fn satisfied_by(&self, point: &[Rat]) -> bool {
+        assert_eq!(point.len(), self.nvars);
+        self.rows.iter().all(|row| {
+            let lhs: Rat = row[..self.nvars]
+                .iter()
+                .zip(point)
+                .fold(Rat::zero(), |acc, (c, x)| &acc + &(c * x));
+            lhs == row[self.nvars]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(v: i64) -> Rat {
+        Rat::from(v)
+    }
+
+    #[test]
+    fn rref_identity() {
+        let mut m = Matrix::from_rows(vec![vec![r(2), r(0)], vec![r(0), r(3)]]);
+        let (rank, pivots) = m.rref();
+        assert_eq!(rank, 2);
+        assert_eq!(pivots, vec![0, 1]);
+        assert_eq!(*m.get(0, 0), r(1));
+        assert_eq!(*m.get(1, 1), r(1));
+    }
+
+    #[test]
+    fn rank_of_dependent_rows() {
+        let m = Matrix::from_rows(vec![
+            vec![r(1), r(2), r(3)],
+            vec![r(2), r(4), r(6)],
+            vec![r(1), r(0), r(1)],
+        ]);
+        assert_eq!(m.rank(), 2);
+    }
+
+    #[test]
+    fn solve_unique() {
+        // x + y = 3, x - y = 1 -> x = 2, y = 1
+        let mut s = LinearSystem::new(2);
+        s.push(vec![r(1), r(1)], r(3));
+        s.push(vec![r(1), r(-1)], r(1));
+        assert!(s.is_consistent());
+        let x = s.solve().unwrap();
+        assert_eq!(x, vec![r(2), r(1)]);
+        assert!(s.satisfied_by(&x));
+    }
+
+    #[test]
+    fn solve_underdetermined() {
+        // x + y = 2: free variable y = 0 -> x = 2
+        let mut s = LinearSystem::new(2);
+        s.push(vec![r(1), r(1)], r(2));
+        let x = s.solve().unwrap();
+        assert!(s.satisfied_by(&x));
+    }
+
+    #[test]
+    fn inconsistent_system() {
+        let mut s = LinearSystem::new(1);
+        s.push(vec![r(1)], r(1));
+        s.push(vec![r(1)], r(2));
+        assert!(!s.is_consistent());
+        assert!(s.solve().is_none());
+        // ex falso quodlibet
+        assert!(s.implies_equation(&[r(0)], &r(5)));
+    }
+
+    #[test]
+    fn implication_of_combination() {
+        // From x + y = 3 and x - y = 1, derive 2x = 4.
+        let mut s = LinearSystem::new(2);
+        s.push(vec![r(1), r(1)], r(3));
+        s.push(vec![r(1), r(-1)], r(1));
+        assert!(s.implies_equation(&[r(2), r(0)], &r(4)));
+        assert!(!s.implies_equation(&[r(1), r(0)], &r(5)));
+    }
+
+    #[test]
+    fn affine_containment() {
+        // {x = 1, y = 2} is contained in {x + y = 3}.
+        let mut small = LinearSystem::new(2);
+        small.push(vec![r(1), r(0)], r(1));
+        small.push(vec![r(0), r(1)], r(2));
+        let mut big = LinearSystem::new(2);
+        big.push(vec![r(1), r(1)], r(3));
+        assert!(small.implies_system(&big));
+        assert!(!big.implies_system(&small));
+        // The empty system is implied by everything.
+        let empty = LinearSystem::new(2);
+        assert!(small.implies_system(&empty));
+        assert!(big.implies_system(&empty));
+    }
+
+    #[test]
+    fn fractional_pivoting() {
+        // (1/2)x + (1/3)y = 1, (1/4)x - y = 0
+        let mut s = LinearSystem::new(2);
+        s.push(vec![Rat::frac(1, 2), Rat::frac(1, 3)], r(1));
+        s.push(vec![Rat::frac(1, 4), r(-1)], r(0));
+        let x = s.solve().unwrap();
+        assert!(s.satisfied_by(&x));
+    }
+}

@@ -1,0 +1,633 @@
+//! Sparse multivariate polynomials over ℚ.
+//!
+//! The polynomial constraint theory of §2 of the paper manipulates real
+//! polynomial inequalities `p(x₁..x_k) θ 0`. [`Poly`] is the term
+//! representation: a map from monomials to rational coefficients.
+//! Variables are identified by `usize` indices, matching the positional
+//! variables used across the workspace.
+
+use crate::rat::Rat;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A monomial: sorted list of `(variable, exponent)` pairs with exponents ≥ 1.
+///
+/// The empty monomial is the constant monomial `1`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Monomial(Vec<(usize, u32)>);
+
+impl Monomial {
+    /// The constant monomial (degree 0).
+    #[must_use]
+    pub fn unit() -> Monomial {
+        Monomial(Vec::new())
+    }
+
+    /// The monomial `x_v`.
+    #[must_use]
+    pub fn var(v: usize) -> Monomial {
+        Monomial(vec![(v, 1)])
+    }
+
+    /// Build from pairs; merges duplicates and drops zero exponents.
+    #[must_use]
+    pub fn from_pairs(pairs: &[(usize, u32)]) -> Monomial {
+        let mut map: BTreeMap<usize, u32> = BTreeMap::new();
+        for &(v, e) in pairs {
+            if e > 0 {
+                *map.entry(v).or_insert(0) += e;
+            }
+        }
+        Monomial(map.into_iter().collect())
+    }
+
+    /// The `(variable, exponent)` pairs, sorted by variable.
+    #[must_use]
+    pub fn pairs(&self) -> &[(usize, u32)] {
+        &self.0
+    }
+
+    /// Total degree.
+    #[must_use]
+    pub fn total_degree(&self) -> u32 {
+        self.0.iter().map(|&(_, e)| e).sum()
+    }
+
+    /// Degree of variable `v` in this monomial.
+    #[must_use]
+    pub fn degree_in(&self, v: usize) -> u32 {
+        self.0.iter().find(|&&(w, _)| w == v).map_or(0, |&(_, e)| e)
+    }
+
+    /// Product of two monomials.
+    #[must_use]
+    pub fn mul(&self, other: &Monomial) -> Monomial {
+        let mut out = Vec::with_capacity(self.0.len() + other.0.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.0.len() && j < other.0.len() {
+            match self.0[i].0.cmp(&other.0[j].0) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.0[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.0[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push((self.0[i].0, self.0[i].1 + other.0[j].1));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.0[i..]);
+        out.extend_from_slice(&other.0[j..]);
+        Monomial(out)
+    }
+
+    /// Remove variable `v` entirely (used when viewing a polynomial as
+    /// univariate in `v`).
+    #[must_use]
+    pub fn without(&self, v: usize) -> Monomial {
+        Monomial(self.0.iter().copied().filter(|&(w, _)| w != v).collect())
+    }
+
+    /// True iff the monomial is the constant `1`.
+    #[must_use]
+    pub fn is_unit(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// A sparse multivariate polynomial over ℚ.
+///
+/// Invariant: no zero coefficients are stored, so structural equality is
+/// semantic equality.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Poly {
+    terms: BTreeMap<Monomial, Rat>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    #[must_use]
+    pub fn zero() -> Poly {
+        Poly { terms: BTreeMap::new() }
+    }
+
+    /// The constant polynomial `1`.
+    #[must_use]
+    pub fn one() -> Poly {
+        Poly::constant(Rat::one())
+    }
+
+    /// A constant polynomial.
+    #[must_use]
+    pub fn constant(c: Rat) -> Poly {
+        let mut terms = BTreeMap::new();
+        if !c.is_zero() {
+            terms.insert(Monomial::unit(), c);
+        }
+        Poly { terms }
+    }
+
+    /// The polynomial `x_v`.
+    #[must_use]
+    pub fn var(v: usize) -> Poly {
+        let mut terms = BTreeMap::new();
+        terms.insert(Monomial::var(v), Rat::one());
+        Poly { terms }
+    }
+
+    /// Build from explicit terms; merges duplicates, drops zeros.
+    #[must_use]
+    pub fn from_terms(terms: impl IntoIterator<Item = (Monomial, Rat)>) -> Poly {
+        let mut out = Poly::zero();
+        for (m, c) in terms {
+            out.add_term(m, c);
+        }
+        out
+    }
+
+    fn add_term(&mut self, m: Monomial, c: Rat) {
+        if c.is_zero() {
+            return;
+        }
+        match self.terms.entry(m) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(c);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                let sum = e.get() + &c;
+                if sum.is_zero() {
+                    e.remove();
+                } else {
+                    *e.get_mut() = sum;
+                }
+            }
+        }
+    }
+
+    /// Iterate over `(monomial, coefficient)` terms in monomial order.
+    pub fn terms(&self) -> impl Iterator<Item = (&Monomial, &Rat)> {
+        self.terms.iter()
+    }
+
+    /// Number of terms.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True iff there are no terms (same as [`Poly::is_zero`]).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// True iff the polynomial is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// True iff empty or a single constant term.
+    #[must_use]
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+            || (self.terms.len() == 1 && self.terms.keys().next().unwrap().is_unit())
+    }
+
+    /// The constant value, if the polynomial is constant.
+    #[must_use]
+    pub fn constant_value(&self) -> Option<Rat> {
+        if self.terms.is_empty() {
+            Some(Rat::zero())
+        } else if self.is_constant() {
+            self.terms.values().next().cloned()
+        } else {
+            None
+        }
+    }
+
+    /// The lexicographically largest monomial and its coefficient.
+    #[must_use]
+    pub fn leading_term(&self) -> Option<(&Monomial, &Rat)> {
+        self.terms.iter().next_back()
+    }
+
+    /// The coefficient of the given monomial (zero if absent).
+    #[must_use]
+    pub fn coeff(&self, m: &Monomial) -> Rat {
+        self.terms.get(m).cloned().unwrap_or_else(Rat::zero)
+    }
+
+    /// Total degree (`0` for constants, including zero).
+    #[must_use]
+    pub fn total_degree(&self) -> u32 {
+        self.terms.keys().map(Monomial::total_degree).max().unwrap_or(0)
+    }
+
+    /// Degree of the polynomial in variable `v`.
+    #[must_use]
+    pub fn degree_in(&self, v: usize) -> u32 {
+        self.terms.keys().map(|m| m.degree_in(v)).max().unwrap_or(0)
+    }
+
+    /// Sorted list of variables appearing with nonzero coefficient.
+    #[must_use]
+    pub fn vars(&self) -> Vec<usize> {
+        let mut vs: Vec<usize> =
+            self.terms.keys().flat_map(|m| m.pairs().iter().map(|&(v, _)| v)).collect();
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    }
+
+    /// True iff total degree ≤ 1.
+    #[must_use]
+    pub fn is_linear(&self) -> bool {
+        self.total_degree() <= 1
+    }
+
+    /// Multiply by a scalar.
+    #[must_use]
+    pub fn scale(&self, c: &Rat) -> Poly {
+        if c.is_zero() {
+            return Poly::zero();
+        }
+        Poly { terms: self.terms.iter().map(|(m, k)| (m.clone(), k * c)).collect() }
+    }
+
+    /// Raise to a non-negative integer power.
+    #[must_use]
+    pub fn pow(&self, exp: u32) -> Poly {
+        let mut acc = Poly::one();
+        for _ in 0..exp {
+            acc = &acc * self;
+        }
+        acc
+    }
+
+    /// Evaluate at a point; `point[v]` is the value of variable `v`.
+    ///
+    /// # Panics
+    /// Panics if a variable index is out of range of `point`.
+    #[must_use]
+    pub fn eval(&self, point: &[Rat]) -> Rat {
+        let mut acc = Rat::zero();
+        for (m, c) in &self.terms {
+            let mut t = c.clone();
+            for &(v, e) in m.pairs() {
+                t = &t * &point[v].powi(e as i32);
+            }
+            acc += &t;
+        }
+        acc
+    }
+
+    /// Evaluate the pinned variables in one pass: `assign[v] = Some(c)`
+    /// replaces `x_v` by the constant `c`; other variables stay symbolic.
+    /// Equivalent to chained [`Poly::substitute`] with constants, but a
+    /// single rebuild.
+    #[must_use]
+    pub fn partial_eval(&self, assign: &[Option<Rat>]) -> Poly {
+        let mut out = Poly::zero();
+        for (m, c) in &self.terms {
+            let mut coeff = c.clone();
+            let mut rest: Vec<(usize, u32)> = Vec::new();
+            for &(v, e) in m.pairs() {
+                match assign.get(v).and_then(Option::as_ref) {
+                    Some(val) => coeff = &coeff * &val.powi(e as i32),
+                    None => rest.push((v, e)),
+                }
+            }
+            out.add_term(Monomial::from_pairs(&rest), coeff);
+        }
+        out
+    }
+
+    /// Substitute polynomial `s` for variable `v`.
+    #[must_use]
+    pub fn substitute(&self, v: usize, s: &Poly) -> Poly {
+        let mut acc = Poly::zero();
+        for (m, c) in &self.terms {
+            let e = m.degree_in(v);
+            let rest = Poly::from_terms([(m.without(v), c.clone())]);
+            acc = &acc + &(&rest * &s.pow(e));
+        }
+        acc
+    }
+
+    /// Rename variables via `map(v) -> new index`.
+    #[must_use]
+    pub fn rename(&self, map: &dyn Fn(usize) -> usize) -> Poly {
+        Poly::from_terms(self.terms.iter().map(|(m, c)| {
+            (
+                Monomial::from_pairs(
+                    &m.pairs().iter().map(|&(v, e)| (map(v), e)).collect::<Vec<_>>(),
+                ),
+                c.clone(),
+            )
+        }))
+    }
+
+    /// View as univariate in `v`: returns coefficients `c₀..c_d` (polynomials
+    /// in the remaining variables) with `self = Σ cᵢ · vⁱ`.
+    #[must_use]
+    pub fn coeffs_in(&self, v: usize) -> Vec<Poly> {
+        let d = self.degree_in(v) as usize;
+        let mut out = vec![Poly::zero(); d + 1];
+        for (m, c) in &self.terms {
+            let e = m.degree_in(v) as usize;
+            out[e].add_term(m.without(v), c.clone());
+        }
+        out
+    }
+
+    /// Partial derivative with respect to `v`.
+    #[must_use]
+    pub fn derivative(&self, v: usize) -> Poly {
+        let mut out = Poly::zero();
+        for (m, c) in &self.terms {
+            let e = m.degree_in(v);
+            if e == 0 {
+                continue;
+            }
+            let mut pairs: Vec<(usize, u32)> = m
+                .pairs()
+                .iter()
+                .copied()
+                .map(|(w, d)| if w == v { (w, d - 1) } else { (w, d) })
+                .collect();
+            pairs.retain(|&(_, d)| d > 0);
+            out.add_term(Monomial::from_pairs(&pairs), c * &Rat::from(i64::from(e)));
+        }
+        out
+    }
+
+    /// Scale by a positive rational so all coefficients become coprime
+    /// integers. Sign-preserving, so `p θ 0` is equivalent to
+    /// `p.normalize_positive() θ 0` — used for canonical constraint forms.
+    #[must_use]
+    pub fn normalize_positive(&self) -> Poly {
+        if self.terms.is_empty() {
+            return Poly::zero();
+        }
+        use crate::bigint::BigInt;
+        let mut den_lcm = BigInt::one();
+        for c in self.terms.values() {
+            let g = den_lcm.gcd(c.den());
+            den_lcm = &(&den_lcm / &g) * c.den();
+        }
+        let mut num_gcd = BigInt::zero();
+        for c in self.terms.values() {
+            let scaled = &(c.num() * &den_lcm) / c.den();
+            num_gcd = num_gcd.gcd(&scaled);
+        }
+        let factor = Rat::new(den_lcm, num_gcd);
+        self.scale(&factor.abs())
+    }
+}
+
+impl Add for &Poly {
+    type Output = Poly;
+    fn add(self, other: &Poly) -> Poly {
+        let mut out = self.clone();
+        for (m, c) in &other.terms {
+            out.add_term(m.clone(), c.clone());
+        }
+        out
+    }
+}
+
+impl Sub for &Poly {
+    type Output = Poly;
+    fn sub(self, other: &Poly) -> Poly {
+        let mut out = self.clone();
+        for (m, c) in &other.terms {
+            out.add_term(m.clone(), -c);
+        }
+        out
+    }
+}
+
+impl Mul for &Poly {
+    type Output = Poly;
+    fn mul(self, other: &Poly) -> Poly {
+        let mut out = Poly::zero();
+        for (m1, c1) in &self.terms {
+            for (m2, c2) in &other.terms {
+                out.add_term(m1.mul(m2), c1 * c2);
+            }
+        }
+        out
+    }
+}
+
+impl Neg for &Poly {
+    type Output = Poly;
+    fn neg(self) -> Poly {
+        Poly { terms: self.terms.iter().map(|(m, c)| (m.clone(), -c)).collect() }
+    }
+}
+
+macro_rules! forward_poly_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait for Poly {
+            type Output = Poly;
+            fn $method(self, other: Poly) -> Poly {
+                (&self).$method(&other)
+            }
+        }
+        impl $trait<&Poly> for Poly {
+            type Output = Poly;
+            fn $method(self, other: &Poly) -> Poly {
+                (&self).$method(other)
+            }
+        }
+        impl $trait<Poly> for &Poly {
+            type Output = Poly;
+            fn $method(self, other: Poly) -> Poly {
+                self.$method(&other)
+            }
+        }
+    };
+}
+
+forward_poly_binop!(Add, add);
+forward_poly_binop!(Sub, sub);
+forward_poly_binop!(Mul, mul);
+
+impl Neg for Poly {
+    type Output = Poly;
+    fn neg(self) -> Poly {
+        -&self
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        // Highest-degree terms first reads more naturally.
+        for (m, c) in self.terms.iter().rev() {
+            if first {
+                if c.is_negative() {
+                    write!(f, "-")?;
+                }
+                first = false;
+            } else if c.is_negative() {
+                write!(f, " - ")?;
+            } else {
+                write!(f, " + ")?;
+            }
+            let ac = c.abs();
+            if m.is_unit() {
+                write!(f, "{ac}")?;
+            } else {
+                if !ac.is_one() {
+                    write!(f, "{ac}*")?;
+                }
+                let mut firstv = true;
+                for &(v, e) in m.pairs() {
+                    if !firstv {
+                        write!(f, "*")?;
+                    }
+                    firstv = false;
+                    if e == 1 {
+                        write!(f, "x{v}")?;
+                    } else {
+                        write!(f, "x{v}^{e}")?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Poly({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Poly {
+        Poly::var(0)
+    }
+    fn y() -> Poly {
+        Poly::var(1)
+    }
+    fn c(v: i64) -> Poly {
+        Poly::constant(Rat::from(v))
+    }
+
+    #[test]
+    fn construction_and_equality() {
+        let p = &x() + &y();
+        let q = &y() + &x();
+        assert_eq!(p, q);
+        assert_eq!(&p - &q, Poly::zero());
+    }
+
+    #[test]
+    fn multiplication() {
+        // (x + y)^2 = x^2 + 2xy + y^2
+        let p = (&x() + &y()).pow(2);
+        let expected = &(&x().pow(2) + &(&(&x() * &y()) * &c(2))) + &y().pow(2);
+        assert_eq!(p, expected);
+    }
+
+    #[test]
+    fn eval_points() {
+        // p = x^2 - 2y + 3
+        let p = &(&x().pow(2) - &(&c(2) * &y())) + &c(3);
+        let v = p.eval(&[Rat::from(2), Rat::from(5)]);
+        assert_eq!(v, Rat::from(4 - 10 + 3));
+    }
+
+    #[test]
+    fn degrees() {
+        let p = &(&x().pow(3) * &y()) + &y().pow(2);
+        assert_eq!(p.total_degree(), 4);
+        assert_eq!(p.degree_in(0), 3);
+        assert_eq!(p.degree_in(1), 2);
+        assert_eq!(p.vars(), vec![0, 1]);
+        assert!(!p.is_linear());
+        assert!((&x() + &c(1)).is_linear());
+    }
+
+    #[test]
+    fn substitution() {
+        // p = x^2 + y, substitute x := y + 1 -> y^2 + 2y + 1 + y = y^2 + 3y + 1
+        let p = &x().pow(2) + &y();
+        let s = &y() + &c(1);
+        let q = p.substitute(0, &s);
+        let expected = &(&y().pow(2) + &(&c(3) * &y())) + &c(1);
+        assert_eq!(q, expected);
+    }
+
+    #[test]
+    fn coeffs_in_variable() {
+        // p = 3x^2*y + x - y + 5 viewed in x: [5 - y, 1, 3y]
+        let p = &(&(&(&c(3) * &x().pow(2)) * &y()) + &x()) + &(&c(5) - &y());
+        let cs = p.coeffs_in(0);
+        assert_eq!(cs.len(), 3);
+        assert_eq!(cs[0], &c(5) - &y());
+        assert_eq!(cs[1], c(1));
+        assert_eq!(cs[2], &c(3) * &y());
+    }
+
+    #[test]
+    fn derivative() {
+        // d/dx (x^3 + 2xy) = 3x^2 + 2y
+        let p = &x().pow(3) + &(&(&c(2) * &x()) * &y());
+        let d = p.derivative(0);
+        assert_eq!(d, &(&c(3) * &x().pow(2)) + &(&c(2) * &y()));
+        assert_eq!(p.derivative(7), Poly::zero());
+    }
+
+    #[test]
+    fn normalize_positive_makes_coprime_integers() {
+        // (2/3)x - (4/5) normalizes to 10x - 12 / gcd 2 -> 5x - 6
+        let p = &x().scale(&Rat::frac(2, 3)) - &Poly::constant(Rat::frac(4, 5));
+        let n = p.normalize_positive();
+        let expected = &x().scale(&Rat::from(5)) - &c(6);
+        assert_eq!(n, expected);
+        // Sign is preserved.
+        let neg = (-&p).normalize_positive();
+        assert_eq!(neg, -&expected);
+    }
+
+    #[test]
+    fn rename_variables() {
+        let p = &x() + &y().pow(2);
+        let q = p.rename(&|v| v + 10);
+        assert_eq!(q, &Poly::var(10) + &Poly::var(11).pow(2));
+    }
+
+    #[test]
+    fn display() {
+        let p = &(&x().pow(2) - &(&c(2) * &y())) + &c(3);
+        let s = p.to_string();
+        assert!(s.contains("x0^2"), "{s}");
+        assert!(s.contains("2*x1"), "{s}");
+    }
+
+    #[test]
+    fn constant_detection() {
+        assert!(Poly::zero().is_constant());
+        assert_eq!(Poly::zero().constant_value(), Some(Rat::zero()));
+        assert_eq!(c(7).constant_value(), Some(Rat::from(7)));
+        assert_eq!(x().constant_value(), None);
+    }
+}

@@ -1,0 +1,445 @@
+//! Exact rational numbers over [`BigInt`].
+//!
+//! Dense-linear-order constants, polynomial coefficients and all geometric
+//! predicates in this workspace compute over ℚ. Every [`Rat`] is kept in
+//! lowest terms with a strictly positive denominator, so structural equality
+//! (`==`, hashing) coincides with numeric equality.
+
+use crate::bigint::{BigInt, Sign};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An exact rational number: `num / den` with `den > 0` and `gcd(num, den) = 1`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: BigInt,
+    den: BigInt,
+}
+
+impl Rat {
+    /// The constant zero.
+    #[must_use]
+    pub fn zero() -> Rat {
+        Rat { num: BigInt::zero(), den: BigInt::one() }
+    }
+
+    /// The constant one.
+    #[must_use]
+    pub fn one() -> Rat {
+        Rat { num: BigInt::one(), den: BigInt::one() }
+    }
+
+    /// Construct `num / den` in lowest terms.
+    ///
+    /// # Panics
+    /// Panics if `den` is zero.
+    #[must_use]
+    pub fn new(num: BigInt, den: BigInt) -> Rat {
+        assert!(!den.is_zero(), "Rat with zero denominator");
+        let mut num = num;
+        let mut den = den;
+        if den.is_negative() {
+            num = -num;
+            den = -den;
+        }
+        if num.is_zero() {
+            return Rat::zero();
+        }
+        let g = num.gcd(&den);
+        if !g.is_one() {
+            num = &num / &g;
+            den = &den / &g;
+        }
+        Rat { num, den }
+    }
+
+    /// Construct from an integer pair.
+    #[must_use]
+    pub fn frac(num: i64, den: i64) -> Rat {
+        Rat::new(BigInt::from(num), BigInt::from(den))
+    }
+
+    /// The numerator (sign-carrying).
+    #[must_use]
+    pub fn num(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// The denominator (always positive).
+    #[must_use]
+    pub fn den(&self) -> &BigInt {
+        &self.den
+    }
+
+    /// True iff the value is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// True iff the value is one.
+    #[must_use]
+    pub fn is_one(&self) -> bool {
+        self.num.is_one() && self.den.is_one()
+    }
+
+    /// True iff the value is an integer.
+    #[must_use]
+    pub fn is_integer(&self) -> bool {
+        self.den.is_one()
+    }
+
+    /// True iff strictly negative.
+    #[must_use]
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// True iff strictly positive.
+    #[must_use]
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// Sign of the value.
+    #[must_use]
+    pub fn sign(&self) -> Sign {
+        self.num.sign()
+    }
+
+    /// Absolute value.
+    #[must_use]
+    pub fn abs(&self) -> Rat {
+        Rat { num: self.num.abs(), den: self.den.clone() }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics if the value is zero.
+    #[must_use]
+    pub fn recip(&self) -> Rat {
+        assert!(!self.is_zero(), "Rat::recip of zero");
+        Rat::new(self.den.clone(), self.num.clone())
+    }
+
+    /// Integer floor.
+    #[must_use]
+    pub fn floor(&self) -> BigInt {
+        let (q, r) = self.num.divrem(&self.den);
+        if r.is_negative() {
+            q - BigInt::one()
+        } else {
+            q
+        }
+    }
+
+    /// Integer ceiling.
+    #[must_use]
+    pub fn ceil(&self) -> BigInt {
+        let (q, r) = self.num.divrem(&self.den);
+        if r.is_positive() {
+            q + BigInt::one()
+        } else {
+            q
+        }
+    }
+
+    /// Midpoint of two rationals — used for picking sample points in the
+    /// dense order (density guarantees midpoints exist in the domain).
+    #[must_use]
+    pub fn midpoint(a: &Rat, b: &Rat) -> Rat {
+        (a + b) / Rat::from(2)
+    }
+
+    /// `self` raised to an integer power (negative powers invert).
+    ///
+    /// # Panics
+    /// Panics when raising zero to a negative power.
+    #[must_use]
+    pub fn powi(&self, exp: i32) -> Rat {
+        if exp < 0 {
+            return self.recip().powi(-exp);
+        }
+        Rat::new(self.num.pow(exp as u32), self.den.pow(exp as u32))
+    }
+
+    /// Approximate as `f64` (lossy).
+    #[must_use]
+    pub fn to_f64(&self) -> f64 {
+        self.num.to_f64() / self.den.to_f64()
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(v: i64) -> Rat {
+        Rat { num: BigInt::from(v), den: BigInt::one() }
+    }
+}
+
+impl From<i32> for Rat {
+    fn from(v: i32) -> Rat {
+        Rat::from(i64::from(v))
+    }
+}
+
+impl From<BigInt> for Rat {
+    fn from(v: BigInt) -> Rat {
+        Rat { num: v, den: BigInt::one() }
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Rat) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Rat) -> Ordering {
+        // a/b vs c/d  <=>  a*d vs c*b (b, d > 0).
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+impl Neg for &Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat { num: -&self.num, den: self.den.clone() }
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat { num: -self.num, den: self.den }
+    }
+}
+
+impl Add for &Rat {
+    type Output = Rat;
+    fn add(self, other: &Rat) -> Rat {
+        Rat::new(&(&self.num * &other.den) + &(&other.num * &self.den), &self.den * &other.den)
+    }
+}
+
+impl Sub for &Rat {
+    type Output = Rat;
+    fn sub(self, other: &Rat) -> Rat {
+        Rat::new(&(&self.num * &other.den) - &(&other.num * &self.den), &self.den * &other.den)
+    }
+}
+
+impl Mul for &Rat {
+    type Output = Rat;
+    fn mul(self, other: &Rat) -> Rat {
+        Rat::new(&self.num * &other.num, &self.den * &other.den)
+    }
+}
+
+impl Div for &Rat {
+    type Output = Rat;
+    fn div(self, other: &Rat) -> Rat {
+        assert!(!other.is_zero(), "Rat division by zero");
+        Rat::new(&self.num * &other.den, &self.den * &other.num)
+    }
+}
+
+macro_rules! forward_rat_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait for Rat {
+            type Output = Rat;
+            fn $method(self, other: Rat) -> Rat {
+                (&self).$method(&other)
+            }
+        }
+        impl $trait<&Rat> for Rat {
+            type Output = Rat;
+            fn $method(self, other: &Rat) -> Rat {
+                (&self).$method(other)
+            }
+        }
+        impl $trait<Rat> for &Rat {
+            type Output = Rat;
+            fn $method(self, other: Rat) -> Rat {
+                self.$method(&other)
+            }
+        }
+    };
+}
+
+forward_rat_binop!(Add, add);
+forward_rat_binop!(Sub, sub);
+forward_rat_binop!(Mul, mul);
+forward_rat_binop!(Div, div);
+
+impl AddAssign<&Rat> for Rat {
+    fn add_assign(&mut self, other: &Rat) {
+        *self = &*self + other;
+    }
+}
+
+impl SubAssign<&Rat> for Rat {
+    fn sub_assign(&mut self, other: &Rat) {
+        *self = &*self - other;
+    }
+}
+
+impl MulAssign<&Rat> for Rat {
+    fn mul_assign(&mut self, other: &Rat) {
+        *self = &*self * other;
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rat({self})")
+    }
+}
+
+/// Error returned when parsing a [`Rat`] from a malformed string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRatError;
+
+impl fmt::Display for ParseRatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational literal (expected `a`, `a/b`, or decimal)")
+    }
+}
+
+impl std::error::Error for ParseRatError {}
+
+impl FromStr for Rat {
+    type Err = ParseRatError;
+
+    /// Accepts `a`, `a/b`, and decimal notation `a.b`.
+    fn from_str(s: &str) -> Result<Rat, ParseRatError> {
+        if let Some((n, d)) = s.split_once('/') {
+            let num: BigInt = n.trim().parse().map_err(|_| ParseRatError)?;
+            let den: BigInt = d.trim().parse().map_err(|_| ParseRatError)?;
+            if den.is_zero() {
+                return Err(ParseRatError);
+            }
+            return Ok(Rat::new(num, den));
+        }
+        if let Some((int_part, frac_part)) = s.split_once('.') {
+            if frac_part.is_empty() || !frac_part.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(ParseRatError);
+            }
+            let negative = int_part.trim_start().starts_with('-');
+            let int: BigInt = if int_part.is_empty() || int_part == "-" {
+                BigInt::zero()
+            } else {
+                int_part.parse().map_err(|_| ParseRatError)?
+            };
+            let frac: BigInt = frac_part.parse().map_err(|_| ParseRatError)?;
+            let scale = BigInt::from(10i64).pow(frac_part.len() as u32);
+            let mag = &(&int.abs() * &scale) + &frac;
+            let num = if negative { -mag } else { mag };
+            return Ok(Rat::new(num, scale));
+        }
+        let num: BigInt = s.parse().map_err(|_| ParseRatError)?;
+        Ok(Rat::from(num))
+    }
+}
+
+impl Default for Rat {
+    fn default() -> Rat {
+        Rat::zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rat {
+        Rat::frac(n, d)
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, -4), r(1, 2));
+        assert_eq!(r(2, -4), r(-1, 2));
+        assert_eq!(r(0, 7), Rat::zero());
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(r(1, 2) + r(1, 3), r(5, 6));
+        assert_eq!(r(1, 2) - r(1, 3), r(1, 6));
+        assert_eq!(r(2, 3) * r(3, 4), r(1, 2));
+        assert_eq!(r(1, 2) / r(1, 4), Rat::from(2));
+        assert_eq!(-r(1, 2), r(-1, 2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(7, 7) == Rat::one());
+        assert!(r(-5, 1) < Rat::zero());
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(r(7, 2).floor(), BigInt::from(3i64));
+        assert_eq!(r(7, 2).ceil(), BigInt::from(4i64));
+        assert_eq!(r(-7, 2).floor(), BigInt::from(-4i64));
+        assert_eq!(r(-7, 2).ceil(), BigInt::from(-3i64));
+        assert_eq!(r(6, 2).floor(), BigInt::from(3i64));
+        assert_eq!(r(6, 2).ceil(), BigInt::from(3i64));
+    }
+
+    #[test]
+    fn midpoint_is_strictly_between() {
+        let a = r(1, 3);
+        let b = r(1, 2);
+        let m = Rat::midpoint(&a, &b);
+        assert!(a < m && m < b);
+    }
+
+    #[test]
+    fn parse_forms() {
+        assert_eq!("3".parse::<Rat>().unwrap(), Rat::from(3));
+        assert_eq!("3/6".parse::<Rat>().unwrap(), r(1, 2));
+        assert_eq!("2.5".parse::<Rat>().unwrap(), r(5, 2));
+        assert_eq!("-0.25".parse::<Rat>().unwrap(), r(-1, 4));
+        assert!("1/0".parse::<Rat>().is_err());
+        assert!("x".parse::<Rat>().is_err());
+    }
+
+    #[test]
+    fn powi() {
+        assert_eq!(r(2, 3).powi(2), r(4, 9));
+        assert_eq!(r(2, 3).powi(-1), r(3, 2));
+        assert_eq!(r(2, 3).powi(0), Rat::one());
+    }
+
+    #[test]
+    fn recip_and_display() {
+        assert_eq!(r(3, 4).recip(), r(4, 3));
+        assert_eq!(r(3, 4).to_string(), "3/4");
+        assert_eq!(Rat::from(5).to_string(), "5");
+        assert_eq!(r(-1, 2).to_string(), "-1/2");
+    }
+
+    #[test]
+    fn to_f64() {
+        assert!((r(1, 4).to_f64() - 0.25).abs() < 1e-12);
+        assert!((r(-22, 7).to_f64() + 3.142857).abs() < 1e-5);
+    }
+}

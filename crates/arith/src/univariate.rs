@@ -1,0 +1,451 @@
+//! Dense univariate polynomials over ℚ with Sturm-sequence root machinery.
+//!
+//! Used by the polynomial constraint theory (§2 of the paper) to decide
+//! satisfiability of univariate systems exactly and to isolate real roots —
+//! the elementary building blocks a full cell decomposition would rest on.
+
+use crate::rat::Rat;
+use std::fmt;
+
+/// A dense univariate polynomial: `coeffs[i]` is the coefficient of `xⁱ`.
+///
+/// Invariant: no trailing zero coefficients (the zero polynomial is empty).
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct UPoly {
+    coeffs: Vec<Rat>,
+}
+
+impl UPoly {
+    /// The zero polynomial.
+    #[must_use]
+    pub fn zero() -> UPoly {
+        UPoly { coeffs: Vec::new() }
+    }
+
+    /// Build from low-to-high coefficients, trimming trailing zeros.
+    #[must_use]
+    pub fn new(mut coeffs: Vec<Rat>) -> UPoly {
+        while coeffs.last().is_some_and(Rat::is_zero) {
+            coeffs.pop();
+        }
+        UPoly { coeffs }
+    }
+
+    /// Build from integer coefficients (low-to-high).
+    #[must_use]
+    pub fn from_ints(coeffs: &[i64]) -> UPoly {
+        UPoly::new(coeffs.iter().map(|&c| Rat::from(c)).collect())
+    }
+
+    /// Coefficients, low-to-high.
+    #[must_use]
+    pub fn coeffs(&self) -> &[Rat] {
+        &self.coeffs
+    }
+
+    /// True iff zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Degree; `None` for the zero polynomial.
+    #[must_use]
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// Leading coefficient.
+    ///
+    /// # Panics
+    /// Panics on the zero polynomial.
+    #[must_use]
+    pub fn leading(&self) -> &Rat {
+        self.coeffs.last().expect("leading coefficient of zero polynomial")
+    }
+
+    /// Evaluate at `x` by Horner's rule.
+    #[must_use]
+    pub fn eval(&self, x: &Rat) -> Rat {
+        let mut acc = Rat::zero();
+        for c in self.coeffs.iter().rev() {
+            acc = &(&acc * x) + c;
+        }
+        acc
+    }
+
+    /// Formal derivative.
+    #[must_use]
+    pub fn derivative(&self) -> UPoly {
+        if self.coeffs.len() <= 1 {
+            return UPoly::zero();
+        }
+        UPoly::new(
+            self.coeffs[1..]
+                .iter()
+                .enumerate()
+                .map(|(i, c)| c * &Rat::from((i + 1) as i64))
+                .collect(),
+        )
+    }
+
+    /// Polynomial sum.
+    #[must_use]
+    pub fn add(&self, other: &UPoly) -> UPoly {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let a = self.coeffs.get(i).cloned().unwrap_or_else(Rat::zero);
+            let b = other.coeffs.get(i).cloned().unwrap_or_else(Rat::zero);
+            out.push(&a + &b);
+        }
+        UPoly::new(out)
+    }
+
+    /// Polynomial product.
+    #[must_use]
+    pub fn mul(&self, other: &UPoly) -> UPoly {
+        if self.is_zero() || other.is_zero() {
+            return UPoly::zero();
+        }
+        let mut out = vec![Rat::zero(); self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, a) in self.coeffs.iter().enumerate() {
+            for (j, b) in other.coeffs.iter().enumerate() {
+                out[i + j] = &out[i + j] + &(a * b);
+            }
+        }
+        UPoly::new(out)
+    }
+
+    /// Negation.
+    #[must_use]
+    pub fn neg(&self) -> UPoly {
+        UPoly { coeffs: self.coeffs.iter().map(|c| -c).collect() }
+    }
+
+    /// Euclidean division: returns `(quotient, remainder)`.
+    ///
+    /// # Panics
+    /// Panics if `divisor` is zero.
+    #[must_use]
+    pub fn divrem(&self, divisor: &UPoly) -> (UPoly, UPoly) {
+        assert!(!divisor.is_zero(), "UPoly division by zero");
+        let dd = divisor.degree().unwrap();
+        let lead_inv = divisor.leading().recip();
+        let mut rem = self.coeffs.clone();
+        if rem.len() <= dd {
+            return (UPoly::zero(), self.clone());
+        }
+        let mut quot = vec![Rat::zero(); rem.len() - dd];
+        for i in (dd..rem.len()).rev() {
+            if rem[i].is_zero() {
+                continue;
+            }
+            let q = &rem[i] * &lead_inv;
+            quot[i - dd] = q.clone();
+            for (j, dc) in divisor.coeffs.iter().enumerate() {
+                rem[i - dd + j] = &rem[i - dd + j] - &(&q * dc);
+            }
+        }
+        rem.truncate(dd);
+        (UPoly::new(quot), UPoly::new(rem))
+    }
+
+    /// Monic greatest common divisor.
+    #[must_use]
+    pub fn gcd(&self, other: &UPoly) -> UPoly {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = a.divrem(&b).1;
+            a = b;
+            b = r;
+        }
+        if a.is_zero() {
+            a
+        } else {
+            let inv = a.leading().recip();
+            UPoly::new(a.coeffs.iter().map(|c| c * &inv).collect())
+        }
+    }
+
+    /// The square-free part `p / gcd(p, p')`.
+    #[must_use]
+    pub fn square_free(&self) -> UPoly {
+        if self.is_zero() {
+            return UPoly::zero();
+        }
+        let g = self.gcd(&self.derivative());
+        if g.degree() == Some(0) {
+            self.clone()
+        } else {
+            self.divrem(&g).0
+        }
+    }
+
+    /// The Sturm sequence `p, p', -rem(p, p'), ...`.
+    #[must_use]
+    pub fn sturm_sequence(&self) -> Vec<UPoly> {
+        let mut seq = Vec::new();
+        if self.is_zero() {
+            return seq;
+        }
+        seq.push(self.clone());
+        let d = self.derivative();
+        if d.is_zero() {
+            return seq;
+        }
+        seq.push(d);
+        loop {
+            let n = seq.len();
+            let r = seq[n - 2].divrem(&seq[n - 1]).1;
+            if r.is_zero() {
+                break;
+            }
+            seq.push(r.neg());
+        }
+        seq
+    }
+
+    /// Number of sign variations of the Sturm sequence at `x`.
+    fn sign_variations_at(seq: &[UPoly], x: &Rat) -> usize {
+        let signs: Vec<i32> =
+            seq.iter().map(|p| p.eval(x).sign().as_i32()).filter(|&s| s != 0).collect();
+        signs.windows(2).filter(|w| w[0] != w[1]).count()
+    }
+
+    /// Number of sign variations as x → ±∞ (determined by leading terms).
+    fn sign_variations_at_infinity(seq: &[UPoly], positive: bool) -> usize {
+        let signs: Vec<i32> = seq
+            .iter()
+            .filter(|p| !p.is_zero())
+            .map(|p| {
+                let lead = p.leading().sign().as_i32();
+                if positive || p.degree().unwrap() % 2 == 0 {
+                    lead
+                } else {
+                    -lead
+                }
+            })
+            .collect();
+        signs.windows(2).filter(|w| w[0] != w[1]).count()
+    }
+
+    /// Count distinct real roots in the half-open interval `(lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics on the zero polynomial (infinitely many roots).
+    #[must_use]
+    pub fn count_roots_in(&self, lo: &Rat, hi: &Rat) -> usize {
+        assert!(!self.is_zero(), "root count of zero polynomial");
+        if lo >= hi {
+            return 0;
+        }
+        let sf = self.square_free();
+        let seq = sf.sturm_sequence();
+        UPoly::sign_variations_at(&seq, lo).saturating_sub(UPoly::sign_variations_at(&seq, hi))
+    }
+
+    /// Count all distinct real roots.
+    #[must_use]
+    pub fn count_real_roots(&self) -> usize {
+        assert!(!self.is_zero(), "root count of zero polynomial");
+        let sf = self.square_free();
+        if sf.degree() == Some(0) {
+            return 0;
+        }
+        let seq = sf.sturm_sequence();
+        UPoly::sign_variations_at_infinity(&seq, false)
+            .saturating_sub(UPoly::sign_variations_at_infinity(&seq, true))
+    }
+
+    /// A bound `B` such that all real roots lie in `(-B, B)` (Cauchy bound).
+    #[must_use]
+    pub fn root_bound(&self) -> Rat {
+        assert!(!self.is_zero());
+        let lead = self.leading().abs();
+        let mut max = Rat::zero();
+        for c in &self.coeffs[..self.coeffs.len() - 1] {
+            let r = &c.abs() / &lead;
+            if r > max {
+                max = r;
+            }
+        }
+        &max + &Rat::from(1)
+    }
+
+    /// Isolate the distinct real roots: returns disjoint intervals
+    /// `(lo, hi]` each containing exactly one root, in increasing order.
+    #[must_use]
+    pub fn isolate_roots(&self) -> Vec<(Rat, Rat)> {
+        assert!(!self.is_zero(), "root isolation of zero polynomial");
+        let sf = self.square_free();
+        if sf.degree() == Some(0) {
+            return Vec::new();
+        }
+        let seq = sf.sturm_sequence();
+        let bound = sf.root_bound();
+        let mut out = Vec::new();
+        let mut stack = vec![(-&bound, bound.clone())];
+        while let Some((lo, hi)) = stack.pop() {
+            let n = UPoly::sign_variations_at(&seq, &lo)
+                .saturating_sub(UPoly::sign_variations_at(&seq, &hi));
+            match n {
+                0 => {}
+                1 => out.push((lo, hi)),
+                _ => {
+                    let mid = Rat::midpoint(&lo, &hi);
+                    stack.push((lo, mid.clone()));
+                    stack.push((mid, hi));
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Sign of the polynomial just to the right of all its roots (at +∞).
+    #[must_use]
+    pub fn sign_at_plus_infinity(&self) -> i32 {
+        if self.is_zero() {
+            0
+        } else {
+            self.leading().sign().as_i32()
+        }
+    }
+}
+
+impl fmt::Display for UPoly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (i, c) in self.coeffs.iter().enumerate().rev() {
+            if c.is_zero() {
+                continue;
+            }
+            if !first {
+                write!(f, " {} ", if c.is_negative() { "-" } else { "+" })?;
+            } else if c.is_negative() {
+                write!(f, "-")?;
+            }
+            first = false;
+            let a = c.abs();
+            match i {
+                0 => write!(f, "{a}")?,
+                1 if a.is_one() => write!(f, "x")?,
+                1 => write!(f, "{a}*x")?,
+                _ if a.is_one() => write!(f, "x^{i}")?,
+                _ => write!(f, "{a}*x^{i}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for UPoly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UPoly({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_horner() {
+        // p = x^2 - 3x + 2 = (x-1)(x-2)
+        let p = UPoly::from_ints(&[2, -3, 1]);
+        assert_eq!(p.eval(&Rat::from(1)), Rat::zero());
+        assert_eq!(p.eval(&Rat::from(2)), Rat::zero());
+        assert_eq!(p.eval(&Rat::from(0)), Rat::from(2));
+        assert_eq!(p.eval(&Rat::from(3)), Rat::from(2));
+    }
+
+    #[test]
+    fn divrem_roundtrip() {
+        let a = UPoly::from_ints(&[1, 0, -2, 0, 1]); // x^4 - 2x^2 + 1
+        let b = UPoly::from_ints(&[-1, 1]); // x - 1
+        let (q, r) = a.divrem(&b);
+        assert_eq!(q.mul(&b).add(&r), a);
+        assert!(r.is_zero()); // 1 is a root
+    }
+
+    #[test]
+    fn gcd_of_common_factor() {
+        // (x-1)(x-2) and (x-1)(x-3) share (x-1)
+        let a = UPoly::from_ints(&[2, -3, 1]);
+        let b = UPoly::from_ints(&[3, -4, 1]);
+        let g = a.gcd(&b);
+        assert_eq!(g, UPoly::from_ints(&[-1, 1]));
+    }
+
+    #[test]
+    fn square_free_part() {
+        // (x-1)^2 (x+2) = x^3 - 3x + 2  -> square-free part (x-1)(x+2)
+        let p = UPoly::from_ints(&[2, -3, 0, 1]);
+        let sf = p.square_free();
+        assert_eq!(sf.degree(), Some(2));
+        assert_eq!(sf.eval(&Rat::from(1)), Rat::zero());
+        assert_eq!(sf.eval(&Rat::from(-2)), Rat::zero());
+    }
+
+    #[test]
+    fn count_roots() {
+        // (x-1)(x-2)(x+3): 3 real roots
+        let p = UPoly::from_ints(&[6, -7, 0, 1]);
+        assert_eq!(p.count_real_roots(), 3);
+        assert_eq!(p.count_roots_in(&Rat::from(0), &Rat::from(3)), 2);
+        assert_eq!(p.count_roots_in(&Rat::from(-4), &Rat::from(0)), 1);
+        // x^2 + 1: no real roots
+        let q = UPoly::from_ints(&[1, 0, 1]);
+        assert_eq!(q.count_real_roots(), 0);
+    }
+
+    #[test]
+    fn count_roots_with_multiplicity_collapse() {
+        // (x-1)^2: one distinct real root
+        let p = UPoly::from_ints(&[1, -2, 1]);
+        assert_eq!(p.count_real_roots(), 1);
+    }
+
+    #[test]
+    fn isolate_roots_separates() {
+        // roots at -3, 1, 2
+        let p = UPoly::from_ints(&[6, -7, 0, 1]);
+        let iv = p.isolate_roots();
+        assert_eq!(iv.len(), 3);
+        for (lo, hi) in &iv {
+            assert_eq!(p.count_roots_in(lo, hi), 1);
+        }
+        // Intervals are disjoint and ordered.
+        for w in iv.windows(2) {
+            assert!(w[0].1 <= w[1].0);
+        }
+    }
+
+    #[test]
+    fn root_bound_contains_roots() {
+        let p = UPoly::from_ints(&[6, -7, 0, 1]);
+        let b = p.root_bound();
+        assert!(b > Rat::from(3));
+        assert_eq!(p.count_roots_in(&-&b, &b), 3);
+    }
+
+    #[test]
+    fn derivative_rules() {
+        // d/dx (x^3 + 2x) = 3x^2 + 2
+        let p = UPoly::from_ints(&[0, 2, 0, 1]);
+        assert_eq!(p.derivative(), UPoly::from_ints(&[2, 0, 3]));
+        assert!(UPoly::from_ints(&[5]).derivative().is_zero());
+    }
+
+    #[test]
+    fn display() {
+        let p = UPoly::from_ints(&[2, -3, 1]);
+        assert_eq!(p.to_string(), "x^2 - 3*x + 2");
+        assert_eq!(UPoly::zero().to_string(), "0");
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based tests for the exact-arithmetic substrate.
+
+use cql_arith::{BigInt, LinearSystem, Poly, Rat, UPoly};
+use proptest::prelude::*;
+
+fn bigint() -> impl Strategy<Value = (BigInt, i128)> {
+    any::<i128>().prop_map(|v| {
+        let v = v / 2; // keep products in range for the reference checks
+        (BigInt::from(v), v)
+    })
+}
+
+fn rat() -> impl Strategy<Value = Rat> {
+    (-1000i64..1000, 1i64..60).prop_map(|(n, d)| Rat::frac(n, d))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    /// BigInt ring operations agree with i128 where both are defined.
+    #[test]
+    fn bigint_matches_i128((a, ra) in bigint(), (b, rb) in bigint()) {
+        prop_assert_eq!((&a + &b).to_i128(), ra.checked_add(rb));
+        prop_assert_eq!((&a - &b).to_i128(), ra.checked_sub(rb));
+        if let Some(p) = ra.checked_mul(rb) {
+            prop_assert_eq!((&a * &b).to_i128(), Some(p));
+        }
+        if rb != 0 {
+            let (q, r) = a.divrem(&b);
+            prop_assert_eq!(q.to_i128(), Some(ra / rb));
+            prop_assert_eq!(r.to_i128(), Some(ra % rb));
+        }
+        prop_assert_eq!(a.cmp(&b), ra.cmp(&rb));
+    }
+
+    /// Division invariant on large operands: a = q·b + r with |r| < |b|.
+    #[test]
+    fn bigint_division_invariant(
+        a in prop::collection::vec(any::<u32>(), 1..8),
+        b in prop::collection::vec(any::<u32>(), 1..5),
+        neg_a in any::<bool>(),
+        neg_b in any::<bool>(),
+    ) {
+        let from_limbs = |limbs: &[u32], neg: bool| {
+            let mut acc = BigInt::zero();
+            for &l in limbs.iter().rev() {
+                acc = &(&acc * &BigInt::from(1i64 << 32)) + &BigInt::from(u64::from(l));
+            }
+            if neg { -acc } else { acc }
+        };
+        let a = from_limbs(&a, neg_a);
+        let b = from_limbs(&b, neg_b);
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.divrem(&b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+        prop_assert!(r.abs() < b.abs());
+    }
+
+    /// BigInt string round-trip.
+    #[test]
+    fn bigint_display_parse_roundtrip((a, _) in bigint()) {
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<BigInt>().unwrap(), a);
+    }
+
+    /// Rat field axioms on random values.
+    #[test]
+    fn rat_field_axioms(a in rat(), b in rat(), c in rat()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        prop_assert_eq!(&a - &a, Rat::zero());
+        if !a.is_zero() {
+            prop_assert_eq!(&a * &a.recip(), Rat::one());
+        }
+        // Floor/ceil bracket the value.
+        let fl = Rat::from(a.floor());
+        let ce = Rat::from(a.ceil());
+        prop_assert!(fl <= a && a <= ce);
+    }
+
+    /// Multivariate polynomial evaluation is a ring homomorphism.
+    #[test]
+    fn poly_eval_homomorphism(
+        coeffs in prop::collection::vec((-5i64..5, 0usize..3, 0u32..3), 1..5),
+        x in rat(),
+        y in rat(),
+        z in rat(),
+    ) {
+        let p = Poly::from_terms(coeffs.iter().map(|&(c, v, e)| {
+            (cql_arith::Monomial::from_pairs(&[(v, e)]), Rat::from(c))
+        }));
+        let q = &p + &Poly::one();
+        let point = [x, y, z];
+        prop_assert_eq!((&p + &q).eval(&point), &p.eval(&point) + &q.eval(&point));
+        prop_assert_eq!((&p * &q).eval(&point), &p.eval(&point) * &q.eval(&point));
+        prop_assert_eq!((-&p).eval(&point), -&p.eval(&point));
+    }
+
+    /// Polynomial substitution evaluates correctly.
+    #[test]
+    fn poly_substitution_semantics(a in rat(), b in rat(), x in rat()) {
+        // p(v) = v² + a·v + b; substitute v := v + 1.
+        let v = Poly::var(0);
+        let p = &(&(&v * &v) + &v.scale(&a)) + &Poly::constant(b);
+        let shifted = p.substitute(0, &(&v + &Poly::one()));
+        let lhs = shifted.eval(std::slice::from_ref(&x));
+        let rhs = p.eval(&[&x + &Rat::one()]);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Univariate division invariant and gcd divisibility.
+    #[test]
+    fn upoly_divrem_and_gcd(
+        a in prop::collection::vec(-6i64..6, 1..6),
+        b in prop::collection::vec(-6i64..6, 1..4),
+    ) {
+        let pa = UPoly::from_ints(&a);
+        let pb = UPoly::from_ints(&b);
+        prop_assume!(!pb.is_zero());
+        let (q, r) = pa.divrem(&pb);
+        prop_assert_eq!(q.mul(&pb).add(&r), pa.clone());
+        if !r.is_zero() {
+            prop_assert!(r.degree() < pb.degree());
+        }
+        if !pa.is_zero() {
+            let g = pa.gcd(&pb);
+            prop_assert!(pa.divrem(&g).1.is_zero());
+            prop_assert!(pb.divrem(&g).1.is_zero());
+        }
+    }
+
+    /// Root isolation finds exactly the planted rational roots.
+    #[test]
+    fn upoly_root_isolation_finds_planted_roots(
+        roots in prop::collection::btree_set(-8i64..8, 1..4),
+    ) {
+        let mut p = UPoly::from_ints(&[1]);
+        for &r in &roots {
+            p = p.mul(&UPoly::from_ints(&[-r, 1]));
+        }
+        prop_assert_eq!(p.count_real_roots(), roots.len());
+        let isolated = p.isolate_roots();
+        prop_assert_eq!(isolated.len(), roots.len());
+        let sorted: Vec<i64> = roots.into_iter().collect();
+        for ((lo, hi), r) in isolated.iter().zip(&sorted) {
+            let rv = Rat::from(*r);
+            prop_assert!(lo < &rv && &rv <= hi, "root {r} not in ({lo}, {hi}]");
+        }
+    }
+
+    /// Linear systems: solve() solutions satisfy; implication is sound.
+    #[test]
+    fn linear_system_solutions(
+        rows in prop::collection::vec((-4i64..4, -4i64..4, -4i64..4), 1..4),
+    ) {
+        let mut sys = LinearSystem::new(2);
+        for &(a, b, c) in &rows {
+            sys.push(vec![Rat::from(a), Rat::from(b)], Rat::from(c));
+        }
+        if let Some(x) = sys.solve() {
+            prop_assert!(sys.satisfied_by(&x));
+            // Any implied equation is satisfied by the solution.
+            let combo: Vec<Rat> = (0..2)
+                .map(|i| rows.iter().map(|r| Rat::from([r.0, r.1][i])).fold(Rat::zero(), |acc, v| &acc + &v))
+                .collect();
+            let rhs = rows.iter().map(|r| Rat::from(r.2)).fold(Rat::zero(), |acc, v| &acc + &v);
+            prop_assert!(sys.implies_equation(&combo, &rhs));
+        } else {
+            prop_assert!(!sys.is_consistent());
+        }
+    }
+}

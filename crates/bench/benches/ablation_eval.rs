@@ -1,0 +1,25 @@
+//! A1 — ablation: symbolic QE vs the paper's cell-based EVAL_φ for the
+//! same relational calculus query over dense order.
+
+use cql_bench::*;
+use cql_core::{calculus, cells};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/eval_strategy");
+    g.sample_size(10);
+    for n in [4i64, 8, 12] {
+        let db = chain_edb_dense(n);
+        let q = compose_query_dense();
+        g.bench_with_input(BenchmarkId::new("symbolic_qe", n), &n, |b, _| {
+            b.iter(|| calculus::evaluate(&q, &db).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("cell_eval", n), &n, |b, _| {
+            b.iter(|| cells::evaluate(&q, &db).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E10 — §5 boolean Datalog: adder derivation and parity, scaling in the
+//! generator count (the Theorem 5.6 canonical-form bound is doubly
+//! exponential — expect steep growth).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn boolean(c: &mut Criterion) {
+    let mut g = c.benchmark_group("boolean");
+    g.sample_size(10);
+    g.bench_function("derive_adder", |b| {
+        b.iter(|| cql_bool::programs::derive_adder().unwrap());
+    });
+    for bits in [1usize, 2, 3] {
+        g.bench_with_input(BenchmarkId::new("ripple_adder", bits), &bits, |b, &bits| {
+            b.iter(|| cql_bool::programs::ripple_adder(bits).unwrap());
+        });
+    }
+    for n in [2usize, 3, 4] {
+        g.bench_with_input(BenchmarkId::new("parity_program", n), &n, |b, &n| {
+            b.iter(|| cql_bool::programs::parity_program(n).unwrap());
+        });
+    }
+    g.finish();
+}
+
+/// A2 — representation ablation: canonical truth tables vs ROBDDs on the
+/// n-bit parity function (table is 2^n bits; the BDD stays linear).
+fn representation(c: &mut Criterion) {
+    use cql_bool::{Bdd, BoolFunc, Input};
+    let mut g = c.benchmark_group("boolean/representation");
+    g.sample_size(10);
+    for n in [8usize, 12, 16] {
+        g.bench_with_input(BenchmarkId::new("table_parity", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut f = BoolFunc::zero();
+                for v in 0..n {
+                    f = f.xor(&BoolFunc::var(v));
+                }
+                f
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("bdd_parity", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut f = Bdd::zero();
+                for v in 0..n {
+                    f = f.xor(&Bdd::input(Input::Var(v)));
+                }
+                f
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, boolean, representation);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E4 — Theorem 2.6: homomorphism containment cost vs query size
+//! (exponential in the query, constant in the data — that is NP vs data
+//! complexity).
+
+use cql_bench::rat;
+use cql_tableau::tableau::{Entry, TableauBuilder};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn containment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("containment/linear_homomorphism");
+    g.sample_size(10);
+    let names: Vec<&'static str> = vec!["a", "b", "c", "d", "e", "f", "g"];
+    for rows in [2usize, 3, 4, 5] {
+        let mut b1 = TableauBuilder::new(vec![Entry::Var(names[0])]);
+        for i in 0..rows {
+            b1 = b1.row("R", vec![Entry::Var(names[i]), Entry::Var(names[i + 1])]);
+        }
+        let q1 = b1.equation(vec![(names[0], rat(1)), (names[rows], rat(-1))], rat(0)).build();
+        let mut b2 = TableauBuilder::new(vec![Entry::Var("u")]);
+        for _ in 0..rows {
+            b2 = b2.row("R", vec![Entry::Var("u"), Entry::Blank]);
+        }
+        let q2 = b2.build();
+        g.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| cql_tableau::contained_linear(&q1, &q2));
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("containment/order_lemma_2_5");
+    g.sample_size(10);
+    let (q1, q2) = cql_tableau::order_tableau::theorem_2_8_queries();
+    g.bench_function("theorem_2_8", |b| {
+        b.iter(|| cql_tableau::contained_order(&q1, &q2));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, containment);
+criterion_main!(benches);

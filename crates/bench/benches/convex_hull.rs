@@ -1,0 +1,21 @@
+//! E6 — Example 2.1: Floyd's O(N⁴) CQL hull vs monotone chain.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn hull(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hull");
+    g.sample_size(10);
+    for n in [5usize, 6, 7] {
+        let points = cql_geo::workload::random_points(n, 40, 7);
+        g.bench_with_input(BenchmarkId::new("cql_floyd", n), &n, |b, _| {
+            b.iter(|| cql_geo::hull::cql_hull(&points));
+        });
+        g.bench_with_input(BenchmarkId::new("monotone_chain", n), &n, |b, _| {
+            b.iter(|| cql_geo::hull::monotone_chain_hull(&points));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, hull);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E8 — §3 Datalog engines over dense order: naive / semi-naive /
+//! cell-based / parallel.
+
+use cql_bench::*;
+use cql_core::datalog::{self, FixpointOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("datalog_dense/engines");
+    g.sample_size(10);
+    for n in [6i64, 10, 14] {
+        let db = chain_edb_dense(n);
+        let program = tc_program_dense();
+        let opts = FixpointOptions::default();
+        g.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| datalog::naive(&program, &db, &opts).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("seminaive", n), &n, |b, _| {
+            b.iter(|| datalog::seminaive(&program, &db, &opts).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("cell", n), &n, |b, _| {
+            b.iter(|| datalog::cell_naive(&program, &db, &opts).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("cell_par4", n), &n, |b, _| {
+            b.iter(|| datalog::cell_parallel(&program, &db, &opts, 4).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, engines);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E9 — §4 equality constraints: calculus and Datalog scaling.
+
+use cql_bench::*;
+use cql_core::calculus;
+use cql_core::datalog::{self, FixpointOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn equality(c: &mut Criterion) {
+    let mut g = c.benchmark_group("equality");
+    g.sample_size(10);
+    for n in [16i64, 32, 64] {
+        let db = chain_edb_equality(n);
+        let q = compose_query_equality();
+        g.bench_with_input(BenchmarkId::new("calculus", n), &n, |b, _| {
+            b.iter(|| calculus::evaluate(&q, &db).unwrap());
+        });
+        if n <= 32 {
+            let program = tc_program_equality();
+            g.bench_with_input(BenchmarkId::new("datalog", n), &n, |b, _| {
+                b.iter(|| datalog::seminaive(&program, &db, &FixpointOptions::default()).unwrap());
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, equality);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! F2 — Figure 2 / Example 1.1: rectangle intersection, CQL vs baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn rectangles(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2/rectangles");
+    g.sample_size(10);
+    for n in [16usize, 32, 64] {
+        let rects = cql_geo::workload::random_rects(n, 6 * n as i64, 10, 2026);
+        g.bench_with_input(BenchmarkId::new("cql", n), &n, |b, _| {
+            b.iter(|| cql_geo::rectangles::cql_intersections(&rects));
+        });
+        g.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| cql_geo::rectangles::naive_intersections(&rects));
+        });
+        g.bench_with_input(BenchmarkId::new("sweep", n), &n, |b, _| {
+            b.iter(|| cql_geo::rectangles::sweep_intersections(&rects));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, rectangles);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! F3 — Figure 3 / Example 2.4: the balanced checkbook tableau.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn checkbook(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3/checkbook");
+    g.sample_size(10);
+    let q = cql_tableau::checkbook::balanced_checkbook();
+    for n in [100usize, 400, 1600] {
+        let db = cql_tableau::checkbook::checkbook_database(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| q.evaluate(&db));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, checkbook);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E12 — §1.1(3): generalized 1-d index backends vs the naive scan, plus
+//! the raw B+-tree point-search cost model.
+
+use cql_bench::{interval_relation, rat};
+use cql_index::{BPlusTree, Backend, GeneralizedIndex};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn generalized(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index/generalized_search");
+    g.sample_size(10);
+    for n in [256i64, 1024, 4096] {
+        let rel = interval_relation(n);
+        let qlo = rat(3 * n / 2);
+        let qhi = rat(3 * n / 2 + 60);
+        for backend in [Backend::NaiveScan, Backend::IntervalTree, Backend::PrioritySearchTree] {
+            let mut idx = GeneralizedIndex::build(&rel, 0, backend).unwrap();
+            let _ = idx.search(&qlo, &qhi); // pre-build
+            g.bench_with_input(BenchmarkId::new(format!("{backend:?}"), n), &n, |b, _| {
+                b.iter(|| idx.search(&qlo, &qhi));
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bptree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index/bptree_range");
+    g.sample_size(10);
+    for n in [1_000i64, 10_000] {
+        let mut tree = BPlusTree::new(16);
+        for i in 0..n {
+            tree.insert(rat(i), i as u64);
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| tree.range(&rat(n / 2), &rat(n / 2 + 50)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, generalized, bptree);
+criterion_main!(benches);

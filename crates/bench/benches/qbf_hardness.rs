@@ -1,0 +1,22 @@
+//! E11 — Lemma 5.9: AE-QBF via free-algebra solvability; growth in the
+//! universal-variable count (the generators of B_m).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn qbf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("qbf");
+    g.sample_size(10);
+    for m in [4usize, 8, 12] {
+        let q = cql_bool::qbf::random_instance(3, m, 6, 7);
+        g.bench_with_input(BenchmarkId::new("free_algebra", m), &m, |b, _| {
+            b.iter(|| q.via_free_algebra());
+        });
+        g.bench_with_input(BenchmarkId::new("brute_force", m), &m, |b, _| {
+            b.iter(|| q.brute_force());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, qbf);
+criterion_main!(benches);

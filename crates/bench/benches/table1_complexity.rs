@@ -1,0 +1,92 @@
+//! T1 — the §1.3 data-complexity table: a fixed query over growing
+//! databases, one Criterion group per (language, theory) cell.
+
+use cql_bench::*;
+use cql_core::calculus;
+use cql_core::datalog::{self, FixpointOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn rc_dense(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1/rc_dense");
+    g.sample_size(10);
+    for n in [16i64, 32, 64] {
+        let db = chain_edb_dense(n);
+        let q = compose_query_dense();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| calculus::evaluate(&q, &db).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn rc_equality(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1/rc_equality");
+    g.sample_size(10);
+    for n in [16i64, 32, 64] {
+        let db = chain_edb_equality(n);
+        let q = compose_query_equality();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| calculus::evaluate(&q, &db).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn rc_poly(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1/rc_poly_rectangles");
+    g.sample_size(10);
+    for n in [8usize, 16, 32] {
+        let rects = cql_geo::workload::random_rects(n, 8 * n as i64, 8, 1);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| cql_geo::rectangles::cql_intersections(&rects));
+        });
+    }
+    g.finish();
+}
+
+fn datalog_dense_cell(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1/datalog_dense");
+    g.sample_size(10);
+    for n in [8i64, 16, 32] {
+        let db = chain_edb_dense(n);
+        let program = tc_program_dense();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| datalog::seminaive(&program, &db, &FixpointOptions::default()).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn datalog_equality_cell(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1/datalog_equality");
+    g.sample_size(10);
+    for n in [8i64, 16, 32] {
+        let db = chain_edb_equality(n);
+        let program = tc_program_equality();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| datalog::seminaive(&program, &db, &FixpointOptions::default()).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn datalog_poly_not_closed(c: &mut Criterion) {
+    // The "not closed" cell: time-to-detection for a fixed budget.
+    let mut g = c.benchmark_group("table1/datalog_poly_divergence");
+    g.sample_size(10);
+    g.bench_function("detect_8_rounds", |b| {
+        b.iter(|| cql_poly::nonclosure::demonstrate(8));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    rc_dense,
+    rc_equality,
+    rc_poly,
+    datalog_dense_cell,
+    datalog_equality_cell,
+    datalog_poly_not_closed
+);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! E7 — Example 2.2: Voronoi-dual adjacency sentences vs exact baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn voronoi(c: &mut Criterion) {
+    let mut g = c.benchmark_group("voronoi");
+    g.sample_size(10);
+    for n in [5usize, 7, 9] {
+        let points = cql_geo::workload::random_points(n, 24, 13);
+        g.bench_with_input(BenchmarkId::new("cql", n), &n, |b, _| {
+            b.iter(|| cql_geo::voronoi::cql_voronoi_dual(&points));
+        });
+        g.bench_with_input(BenchmarkId::new("baseline", n), &n, |b, _| {
+            b.iter(|| cql_geo::voronoi::baseline_voronoi_dual(&points));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, voronoi);
+criterion_main!(benches);

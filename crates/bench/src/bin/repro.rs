@@ -1,0 +1,447 @@
+//! `repro` — regenerate the paper's tables and figures as text reports.
+//!
+//! ```sh
+//! cargo run --release -p cql-bench --bin repro -- all
+//! cargo run --release -p cql-bench --bin repro -- table1 fig2 index ...
+//! ```
+//!
+//! Each section corresponds to an experiment of DESIGN.md §4 and feeds
+//! EXPERIMENTS.md. Wall-clock numbers vary by machine; the *shapes*
+//! (scaling exponents, who wins, divergence vs convergence) are the
+//! reproduction targets.
+
+use cql_bench::{
+    chain_edb_dense, chain_edb_equality, compose_query_dense, compose_query_equality,
+    interval_relation, loglog_slope, rat, tc_program_dense, tc_program_equality, timed,
+};
+use cql_core::datalog::{self, FixpointOptions};
+use cql_core::{calculus, cells, CalculusQuery, Formula};
+use cql_dense::Dense;
+use cql_index::{Backend, GeneralizedIndex};
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+fn ms(d: Duration) -> String {
+    format!("{:>6.2}ms", d.as_secs_f64() * 1e3)
+}
+
+fn header(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+/// T1 — the §1.3 data-complexity table, measured.
+fn table1() {
+    header("T1  §1.3 data-complexity table (measured scaling exponents)");
+    println!("fixed query, database size N doubling; reported: time per N and");
+    println!("the log-log slope (LOGSPACE/PTIME cells ⇒ small polynomial degree).\n");
+
+    let sizes = [16i64, 32, 64, 128];
+
+    // Relational calculus + dense order.
+    let mut series = Vec::new();
+    print!("RC + dense order      ");
+    for &n in &sizes {
+        let db = chain_edb_dense(n);
+        let q = compose_query_dense();
+        let (_, d) = timed(|| calculus::evaluate(&q, &db).unwrap());
+        series.push((n as f64, d.as_secs_f64().max(1e-9)));
+        print!("{} ", ms(d));
+    }
+    println!("  slope {:.2}", loglog_slope(&series));
+
+    // Relational calculus + equality.
+    let mut series = Vec::new();
+    print!("RC + equality         ");
+    for &n in &sizes {
+        let db = chain_edb_equality(n);
+        let q = compose_query_equality();
+        let (_, d) = timed(|| calculus::evaluate(&q, &db).unwrap());
+        series.push((n as f64, d.as_secs_f64().max(1e-9)));
+        print!("{} ", ms(d));
+    }
+    println!("  slope {:.2}", loglog_slope(&series));
+
+    // Relational calculus + polynomials (rectangle join per Example 1.1).
+    let mut series = Vec::new();
+    print!("RC + polynomial       ");
+    for &n in &[8usize, 16, 32, 64] {
+        let rects = cql_geo::workload::random_rects(n, 8 * n as i64, 8, 1);
+        let (_, d) = timed(|| cql_geo::rectangles::cql_intersections(&rects));
+        series.push((n as f64, d.as_secs_f64().max(1e-9)));
+        print!("{} ", ms(d));
+    }
+    println!("  slope {:.2}", loglog_slope(&series));
+
+    // Datalog¬ + dense order (transitive closure; PTIME).
+    let mut series = Vec::new();
+    print!("Datalog + dense order ");
+    for &n in &[8i64, 16, 32, 64] {
+        let db = chain_edb_dense(n);
+        let (_, d) =
+            timed(|| datalog::seminaive(&tc_program_dense(), &db, &FixpointOptions::default()));
+        series.push((n as f64, d.as_secs_f64().max(1e-9)));
+        print!("{} ", ms(d));
+    }
+    println!("  slope {:.2}", loglog_slope(&series));
+
+    // Datalog¬ + equality.
+    let mut series = Vec::new();
+    print!("Datalog + equality    ");
+    for &n in &[8i64, 16, 32, 64] {
+        let db = chain_edb_equality(n);
+        let (_, d) =
+            timed(|| datalog::seminaive(&tc_program_equality(), &db, &FixpointOptions::default()));
+        series.push((n as f64, d.as_secs_f64().max(1e-9)));
+        print!("{} ", ms(d));
+    }
+    println!("  slope {:.2}", loglog_slope(&series));
+
+    // Datalog + polynomial: NOT closed (Example 1.12).
+    let report = cql_poly::nonclosure::demonstrate(10);
+    println!(
+        "Datalog + polynomial  NOT CLOSED — diverges; budget tripped after {} rounds\n  ({})",
+        report.iterations, report.reason
+    );
+}
+
+/// F2 — Figure 2 / Example 1.1 rectangle intersection.
+fn fig2() {
+    header("F2  Figure 2 / Example 1.1: rectangle intersection");
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>12} {:>7}",
+        "N", "pairs", "CQL", "naive", "sweep", "agree"
+    );
+    for &n in &[16usize, 32, 64, 128] {
+        let rects = cql_geo::workload::random_rects(n, 6 * n as i64, 10, 2026);
+        let (a, t_cql) = timed(|| cql_geo::rectangles::cql_intersections(&rects));
+        let (b, t_naive) = timed(|| cql_geo::rectangles::naive_intersections(&rects));
+        let (c, t_sweep) = timed(|| cql_geo::rectangles::sweep_intersections(&rects));
+        println!(
+            "{:>6} {:>10} {:>12} {:>12} {:>12} {:>7}",
+            n,
+            a.len(),
+            ms(t_cql),
+            ms(t_naive),
+            ms(t_sweep),
+            a == b && b == c
+        );
+    }
+}
+
+/// F3 — Figure 3 / Example 2.4 checkbook.
+fn fig3() {
+    header("F3  Figure 3 / Example 2.4: balanced checkbook");
+    let q = cql_tableau::checkbook::balanced_checkbook();
+    println!("{q}");
+    println!("{:>8} {:>10} {:>12}", "users", "balanced", "eval");
+    for &n in &[100usize, 400, 1600] {
+        let db = cql_tableau::checkbook::checkbook_database(n);
+        let (out, d) = timed(|| q.evaluate(&db));
+        println!("{n:>8} {:>10} {:>12}", out.len(), ms(d));
+    }
+}
+
+/// E4/E5 — containment decisions.
+fn containment() {
+    header("E4  Theorem 2.6: NP containment with linear equations");
+    use cql_tableau::tableau::{Entry, TableauBuilder};
+    println!("{:>6} {:>10} {:>12} {:>9}", "rows", "mappings", "decide", "result");
+    for &rows in &[2usize, 3, 4, 5, 6] {
+        // q1: a length-`rows` R-path with a telescoping sum equation.
+        let names: Vec<&'static str> = vec!["a", "b", "c", "d", "e", "f", "g"];
+        let mut b1 = TableauBuilder::new(vec![Entry::Var(names[0])]);
+        for i in 0..rows {
+            b1 = b1.row("R", vec![Entry::Var(names[i]), Entry::Var(names[i + 1])]);
+        }
+        let q1 = b1.equation(vec![(names[0], rat(1)), (names[rows], rat(-1))], rat(0)).build();
+        let mut b2 = TableauBuilder::new(vec![Entry::Var("u")]);
+        for _ in 0..rows {
+            b2 = b2.row("R", vec![Entry::Var("u"), Entry::Blank]);
+        }
+        let q2 = b2.build();
+        let mappings = cql_tableau::containment::symbol_mappings(&q1, &q2).len();
+        let (result, d) = timed(|| cql_tableau::contained_linear(&q1, &q2));
+        println!("{rows:>6} {mappings:>10} {:>12} {result:>9}", ms(d));
+    }
+
+    header("E5  Theorem 2.8: the homomorphism property fails (semiinterval)");
+    let (q1, q2) = cql_tableau::order_tableau::theorem_2_8_queries();
+    let contained = cql_tableau::contained_order(&q1, &q2);
+    let hom = cql_tableau::has_homomorphism(&q1, &q2);
+    println!("q1 ⊆ q2 (Lemma 2.5 exact check): {contained}");
+    println!("single homomorphism exists:      {hom}");
+    println!("(the paper's point: {contained} vs {hom})");
+}
+
+/// E6 — convex hull.
+fn hull() {
+    header("E6  Example 2.1: convex hull — Floyd CQL (O(N⁴)) vs monotone chain");
+    println!("{:>6} {:>6} {:>12} {:>12} {:>7}", "N", "hull", "CQL", "chain", "agree");
+    let mut series = Vec::new();
+    for &n in &[5usize, 6, 7, 8] {
+        let points = cql_geo::workload::random_points(n, 40, 7);
+        let (a, t_cql) = timed(|| cql_geo::hull::cql_hull(&points));
+        let (b, t_chain) = timed(|| cql_geo::hull::monotone_chain_hull(&points));
+        let sa: BTreeSet<_> = a.iter().collect();
+        let sb: BTreeSet<_> = b.iter().collect();
+        series.push((n as f64, t_cql.as_secs_f64().max(1e-9)));
+        println!("{:>6} {:>6} {:>12} {:>12} {:>7}", n, a.len(), ms(t_cql), ms(t_chain), sa == sb);
+    }
+    println!("CQL slope {:.2} (Floyd's method is ~N⁴)", loglog_slope(&series));
+}
+
+/// E7 — Voronoi dual.
+fn voronoi() {
+    header("E7  Example 2.2: Voronoi dual — CQL sentences vs exact baseline");
+    println!("{:>6} {:>8} {:>12} {:>12} {:>7}", "N", "edges", "CQL", "baseline", "agree");
+    for &n in &[5usize, 7, 9, 11] {
+        let points = cql_geo::workload::random_points(n, 24, 13);
+        let (a, t_cql) = timed(|| cql_geo::voronoi::cql_voronoi_dual(&points));
+        let (b, t_base) = timed(|| cql_geo::voronoi::baseline_voronoi_dual(&points));
+        println!("{:>6} {:>8} {:>12} {:>12} {:>7}", n, a.len(), ms(t_cql), ms(t_base), a == b);
+    }
+}
+
+/// E8 — Datalog engines over dense order.
+fn datalog_dense() {
+    header("E8  §3 Datalog + dense order: engines and derivation trees");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12} {:>6} {:>7}",
+        "N", "naive", "semi-naive", "cell", "cell-par4", "depth", "fringe"
+    );
+    for &n in &[6i64, 10, 14, 18] {
+        let db = chain_edb_dense(n);
+        let program = tc_program_dense();
+        let opts = FixpointOptions::default();
+        let (_, t_naive) = timed(|| datalog::naive(&program, &db, &opts).unwrap());
+        let (_, t_semi) = timed(|| datalog::seminaive(&program, &db, &opts).unwrap());
+        let (cell, t_cell) = timed(|| datalog::cell_naive(&program, &db, &opts).unwrap());
+        let (_, t_par) = timed(|| datalog::cell_parallel(&program, &db, &opts, 4).unwrap());
+        println!(
+            "{:>6} {:>12} {:>12} {:>12} {:>12} {:>6} {:>7}",
+            n,
+            ms(t_naive),
+            ms(t_semi),
+            ms(t_cell),
+            ms(t_par),
+            cell.stats.max_depth,
+            cell.stats.max_fringe
+        );
+    }
+}
+
+/// E9 — equality theory scaling.
+fn equality() {
+    header("E9  §4 equality constraints: calculus and Datalog scaling");
+    println!("{:>6} {:>12} {:>12}", "N", "RC", "Datalog");
+    for &n in &[16i64, 32, 64, 128] {
+        let db = chain_edb_equality(n);
+        let q = compose_query_equality();
+        let (_, t_rc) = timed(|| calculus::evaluate(&q, &db).unwrap());
+        let (_, t_dl) = if n <= 64 {
+            timed(|| {
+                datalog::seminaive(&tc_program_equality(), &db, &FixpointOptions::default())
+                    .map(|_| ())
+                    .unwrap();
+            })
+        } else {
+            ((), Duration::ZERO)
+        };
+        println!("{n:>6} {:>12} {:>12}", ms(t_rc), ms(t_dl));
+    }
+}
+
+/// E10 — boolean Datalog.
+fn boolean() {
+    header("E10  §5 boolean Datalog: adder chain and parity scaling");
+    println!("ripple adder (chained 1-bit adders via Boole's lemma):");
+    println!("{:>6} {:>12}", "bits", "derive");
+    for &bits in &[1usize, 2, 3, 4] {
+        let (rel, d) = timed(|| cql_bool::programs::ripple_adder(bits).unwrap());
+        let _ = rel;
+        println!("{bits:>6} {:>12}", ms(d));
+    }
+    println!("\nrecursive parity program (generator count m = n + ⌈log n⌉ —");
+    println!("canonical forms grow exponentially in m, Theorem 5.6's bound):");
+    println!("{:>6} {:>12}", "n", "derive");
+    for &n in &[2usize, 3, 4, 5] {
+        let (_, d) = timed(|| cql_bool::programs::parity_program(n).unwrap());
+        println!("{n:>6} {:>12}", ms(d));
+    }
+}
+
+/// E11 — QBF hardness.
+fn qbf() {
+    header("E11  Lemma 5.9 / Theorem 5.11: Π₂ᵖ hardness machinery");
+    let mut checked = 0;
+    let mut agreed = 0;
+    for seed in 0..40 {
+        let q = cql_bool::qbf::random_instance(3, 3, 4, seed);
+        checked += 1;
+        if q.brute_force() == q.via_free_algebra() {
+            agreed += 1;
+        }
+    }
+    println!("brute force vs free-algebra solvability: {agreed}/{checked} agree");
+    println!("\nsolver time vs universal-variable count m (exponential shape):");
+    println!("{:>4} {:>12}", "m", "decide");
+    for &m in &[4usize, 8, 12, 16] {
+        let q = cql_bool::qbf::random_instance(3, m, 6, 7);
+        let (_, d) = timed(|| q.via_free_algebra());
+        println!("{m:>4} {:>12}", ms(d));
+    }
+}
+
+/// E12 — generalized indexing.
+fn index() {
+    header("E12  §1.1(3): generalized 1-d indexing — node accesses");
+    println!(
+        "{:>8} {:>8} | {:>12} {:>12} {:>12}  (accesses per search)",
+        "N", "K", "naive scan", "interval tree", "PST"
+    );
+    for &n in &[256i64, 1024, 4096] {
+        let rel = interval_relation(n);
+        let qlo = rat(3 * n / 2);
+        let qhi = rat(3 * n / 2 + 60);
+        let mut row = Vec::new();
+        let mut k = 0;
+        for backend in [Backend::NaiveScan, Backend::IntervalTree, Backend::PrioritySearchTree] {
+            let mut idx = GeneralizedIndex::build(&rel, 0, backend).unwrap();
+            let out = idx.search(&qlo, &qhi); // force build
+            k = out.len();
+            idx.reset_accesses();
+            let _ = idx.search(&qlo, &qhi);
+            row.push(idx.accesses());
+        }
+        println!("{:>8} {:>8} | {:>12} {:>12} {:>12}", n, k, row[0], row[1], row[2]);
+    }
+    println!("\nB+-tree point-index cost model (log_B N height):");
+    println!("{:>8} {:>6} {:>8} {:>18}", "N", "B", "height", "accesses/query");
+    for &(n, b) in &[(1000i64, 8usize), (10_000, 8), (10_000, 32), (100_000, 32)] {
+        let mut tree = cql_index::BPlusTree::new(b);
+        for i in 0..n {
+            tree.insert(rat(i), i as u64);
+        }
+        tree.reset_accesses();
+        for q in 0..50 {
+            let _ = tree.get(&rat(q * (n / 50)));
+        }
+        println!("{n:>8} {b:>6} {:>8} {:>18.1}", tree.height(), tree.accesses() as f64 / 50.0);
+    }
+}
+
+/// Ablation — cell EVAL vs symbolic QE for the calculus.
+fn ablation() {
+    header("A1  ablation: symbolic QE vs cell-based EVAL_φ (dense order)");
+    println!("{:>6} {:>14} {:>14}", "N", "symbolic", "cells");
+    for &n in &[4i64, 8, 12, 16] {
+        let db = chain_edb_dense(n);
+        let q: CalculusQuery<Dense> = compose_query_dense();
+        let (_, t_sym) = timed(|| calculus::evaluate(&q, &db).unwrap());
+        let (_, t_cell) = timed(|| cells::evaluate(&q, &db).unwrap());
+        println!("{n:>6} {:>14} {:>14}", ms(t_sym), ms(t_cell));
+    }
+    println!("(cell enumeration pays |cells(m)| up front; symbolic QE scales with");
+    println!(" the DNF it touches — the crossover motivates keeping both, §3.1 vs §3.2)");
+
+    header("A2  ablation: naive vs semi-naive round counts");
+    println!("{:>6} {:>8} {:>10}", "N", "naive", "semi-naive");
+    for &n in &[6i64, 10, 14] {
+        let db = chain_edb_dense(n);
+        let program = tc_program_dense();
+        let opts = FixpointOptions::default();
+        let a = datalog::naive(&program, &db, &opts).unwrap();
+        let b = datalog::seminaive(&program, &db, &opts).unwrap();
+        println!("{n:>6} {:>8} {:>10}", a.iterations, b.iterations);
+    }
+}
+
+/// A3 — representation ablation: truth tables vs ROBDDs.
+fn representation() {
+    header("A3  ablation: truth-table vs BDD canonical forms (n-bit parity)");
+    use cql_bool::{Bdd, BoolFunc, Input};
+    println!("{:>4} {:>14} {:>14} {:>12}", "n", "table build", "bdd build", "bdd nodes");
+    for &n in &[8usize, 12, 16, 20] {
+        let (t_func, d_table) = timed(|| {
+            let mut f = BoolFunc::zero();
+            for v in 0..n {
+                f = f.xor(&BoolFunc::var(v));
+            }
+            f
+        });
+        let (bdd, d_bdd) = timed(|| {
+            let mut f = Bdd::zero();
+            for v in 0..n {
+                f = f.xor(&Bdd::input(Input::Var(v)));
+            }
+            f
+        });
+        let _ = t_func;
+        println!("{n:>4} {:>14} {:>14} {:>12}", ms(d_table), ms(d_bdd), bdd.node_count());
+    }
+    println!("(the table is 2^n bits; the parity BDD is 2n−1 nodes — the classic");
+    println!(" separation; both are canonical, cf. DESIGN.md on the choice)");
+}
+
+fn fig1() {
+    header("F1  Figure 1: the CQL pipeline (closed form, bottom-up)");
+    let db = chain_edb_dense(4);
+    let q = compose_query_dense();
+    let out = calculus::evaluate(&q, &db).unwrap();
+    println!("input E (4 generalized tuples) → φ(x,y) = ∃z E(x,z) ∧ E(z,y) →");
+    for t in out.tuples() {
+        println!("  {t}");
+    }
+    println!("output is a generalized relation: closed form ✓");
+    let sentence = Formula::atom("E", vec![0, 1]).exists_all(&[0, 1]);
+    println!("decide(∃x,y E(x,y)) = {}", cells::decide(&sentence, &db).unwrap());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty() || args.iter().any(|a| a == "all");
+    let want = |name: &str| all || args.iter().any(|a| a == name);
+
+    if want("fig1") {
+        fig1();
+    }
+    if want("table1") {
+        table1();
+    }
+    if want("fig2") {
+        fig2();
+    }
+    if want("fig3") {
+        fig3();
+    }
+    if want("containment") {
+        containment();
+    }
+    if want("hull") {
+        hull();
+    }
+    if want("voronoi") {
+        voronoi();
+    }
+    if want("datalog") {
+        datalog_dense();
+    }
+    if want("equality") {
+        equality();
+    }
+    if want("boolean") {
+        boolean();
+    }
+    if want("qbf") {
+        qbf();
+    }
+    if want("index") {
+        index();
+    }
+    if want("ablation") {
+        ablation();
+        representation();
+    }
+}

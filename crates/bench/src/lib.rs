@@ -1,0 +1,156 @@
+//! Shared workload builders and measurement helpers for the benchmark
+//! suite and the `repro` harness (see EXPERIMENTS.md for the experiment
+//! index).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use cql_arith::Rat;
+use cql_core::datalog::{Atom, Literal, Program, Rule};
+use cql_core::{CalculusQuery, Database, Formula, GenRelation};
+use cql_dense::{Dense, DenseConstraint};
+use cql_equality::{EqConstraint, Equality};
+use std::time::{Duration, Instant};
+
+/// Time a closure, returning its result and the wall-clock duration.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Least-squares slope of `log y` against `log x` — the measured
+/// polynomial degree of a scaling series.
+#[must_use]
+pub fn loglog_slope(points: &[(f64, f64)]) -> f64 {
+    let n = points.len() as f64;
+    let logs: Vec<(f64, f64)> = points.iter().map(|&(x, y)| (x.ln(), y.ln())).collect();
+    let sx: f64 = logs.iter().map(|p| p.0).sum();
+    let sy: f64 = logs.iter().map(|p| p.1).sum();
+    let sxx: f64 = logs.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = logs.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+/// The transitive-closure program over theory-agnostic atoms,
+/// instantiated for the dense theory.
+#[must_use]
+pub fn tc_program_dense() -> Program<Dense> {
+    Program::new(vec![
+        Rule::new(Atom::new("T", vec![0, 1]), vec![Literal::Pos(Atom::new("E", vec![0, 1]))]),
+        Rule::new(
+            Atom::new("T", vec![0, 1]),
+            vec![
+                Literal::Pos(Atom::new("T", vec![0, 2])),
+                Literal::Pos(Atom::new("E", vec![2, 1])),
+            ],
+        ),
+    ])
+}
+
+/// Same program for the equality theory.
+#[must_use]
+pub fn tc_program_equality() -> Program<Equality> {
+    Program::new(vec![
+        Rule::new(Atom::new("T", vec![0, 1]), vec![Literal::Pos(Atom::new("E", vec![0, 1]))]),
+        Rule::new(
+            Atom::new("T", vec![0, 1]),
+            vec![
+                Literal::Pos(Atom::new("T", vec![0, 2])),
+                Literal::Pos(Atom::new("E", vec![2, 1])),
+            ],
+        ),
+    ])
+}
+
+/// A chain `E(i, i+1)` of pinned dense-order tuples.
+#[must_use]
+pub fn chain_edb_dense(n: i64) -> Database<Dense> {
+    let mut db = Database::new();
+    db.insert(
+        "E",
+        GenRelation::from_conjunctions(
+            2,
+            (0..n).map(|i| {
+                vec![DenseConstraint::eq_const(0, i), DenseConstraint::eq_const(1, i + 1)]
+            }),
+        ),
+    );
+    db
+}
+
+/// A chain over the equality theory.
+#[must_use]
+pub fn chain_edb_equality(n: i64) -> Database<Equality> {
+    let mut db = Database::new();
+    db.insert(
+        "E",
+        GenRelation::from_conjunctions(
+            2,
+            (0..n).map(|i| vec![EqConstraint::eq_const(0, i), EqConstraint::eq_const(1, i + 1)]),
+        ),
+    );
+    db
+}
+
+/// The fixed composition query `∃z (E(x,z) ∧ E(z,y))` used for the
+/// relational-calculus cells of Table 1.
+#[must_use]
+pub fn compose_query_dense() -> CalculusQuery<Dense> {
+    CalculusQuery::new(
+        Formula::atom("E", vec![0, 2]).and(Formula::atom("E", vec![2, 1])).exists(2),
+        vec![0, 1],
+    )
+    .expect("well-formed")
+}
+
+/// The same composition query over the equality theory.
+#[must_use]
+pub fn compose_query_equality() -> CalculusQuery<Equality> {
+    CalculusQuery::new(
+        Formula::atom("E", vec![0, 2]).and(Formula::atom("E", vec![2, 1])).exists(2),
+        vec![0, 1],
+    )
+    .expect("well-formed")
+}
+
+/// An interval relation `S(x) = ⋃ᵢ [3i, 3i+2]` of `n` generalized tuples.
+#[must_use]
+pub fn interval_relation(n: i64) -> GenRelation<Dense> {
+    GenRelation::from_conjunctions(
+        1,
+        (0..n).map(|i| {
+            vec![DenseConstraint::ge_const(0, 3 * i), DenseConstraint::le_const(0, 3 * i + 2)]
+        }),
+    )
+}
+
+/// Convenience: rational from integer.
+#[must_use]
+pub fn rat(v: i64) -> Rat {
+    Rat::from(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slope_of_quadratic_series() {
+        let pts: Vec<(f64, f64)> = (1..=6)
+            .map(|i| {
+                let x = f64::from(i) * 10.0;
+                (x, 3.0 * x * x)
+            })
+            .collect();
+        let s = loglog_slope(&pts);
+        assert!((s - 2.0).abs() < 1e-9, "slope {s}");
+    }
+
+    #[test]
+    fn workloads_build() {
+        assert_eq!(chain_edb_dense(5).get("E").unwrap().len(), 5);
+        assert_eq!(chain_edb_equality(5).get("E").unwrap().len(), 5);
+        assert_eq!(interval_relation(4).len(), 4);
+    }
+}

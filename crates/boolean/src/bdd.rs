@@ -1,0 +1,396 @@
+//! Reduced ordered binary decision diagrams — an alternative canonical
+//! form for the §5 boolean theory, provided for the representation
+//! ablation benchmarked in `cql-bench` (`boolean/bdd_vs_table`).
+//!
+//! [`BoolFunc`](crate::func::BoolFunc) (a truth table over the essential
+//! support) is the theory's canonical form of record: simple, obviously
+//! correct, but always `2^support` bits. A ROBDD is the classical
+//! compressed alternative: canonical per variable order, linear-size for
+//! many structured functions (e.g. the adder's carry chain), and
+//! worst-case exponential like the table. [`Bdd`] here is a standalone
+//! owned DAG with a deterministic canonical serialization, so structural
+//! equality is semantic equality — the same property the theory needs.
+
+use crate::func::Input;
+use std::collections::HashMap;
+
+/// Node index within a [`Bdd`]; `0`/`1` are the terminal FALSE/TRUE.
+type Ref = u32;
+
+const FALSE: Ref = 0;
+const TRUE: Ref = 1;
+
+/// Interned decision node: `(input level, low child, high child)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct Node {
+    input: Input,
+    lo: Ref,
+    hi: Ref,
+}
+
+/// A reduced ordered BDD over [`Input`]s (ordered by `Input`'s total
+/// order: variables before generators, each by index).
+///
+/// Canonical: two `Bdd`s are `==` iff they denote the same function.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Bdd {
+    /// Nodes in deterministic bottom-up order; indices ≥ 2 (0/1 are the
+    /// terminals and have no entry).
+    nodes: Vec<Node>,
+    root: Ref,
+}
+
+/// Scratch builder with hash-consing and an apply cache.
+struct Builder {
+    nodes: Vec<Node>,
+    dedup: HashMap<Node, Ref>,
+}
+
+impl Builder {
+    fn new() -> Builder {
+        Builder { nodes: Vec::new(), dedup: HashMap::new() }
+    }
+
+    fn node(&mut self, input: Input, lo: Ref, hi: Ref) -> Ref {
+        if lo == hi {
+            return lo;
+        }
+        let n = Node { input, lo, hi };
+        if let Some(&r) = self.dedup.get(&n) {
+            return r;
+        }
+        let r = (self.nodes.len() + 2) as Ref;
+        self.nodes.push(n);
+        self.dedup.insert(n, r);
+        r
+    }
+
+    fn get(&self, r: Ref) -> Node {
+        self.nodes[(r - 2) as usize]
+    }
+
+    fn import(&mut self, bdd: &Bdd, map: &mut Vec<Ref>) -> Ref {
+        // bdd.nodes are bottom-up, so children are already mapped.
+        map.clear();
+        map.extend([FALSE, TRUE]);
+        for n in &bdd.nodes {
+            let lo = map[n.lo as usize];
+            let hi = map[n.hi as usize];
+            let r = self.node(n.input, lo, hi);
+            map.push(r);
+        }
+        map[bdd.root as usize]
+    }
+
+    fn apply(
+        &mut self,
+        a: Ref,
+        b: Ref,
+        op: fn(bool, bool) -> bool,
+        cache: &mut HashMap<(Ref, Ref), Ref>,
+    ) -> Ref {
+        if a < 2 && b < 2 {
+            return Ref::from(op(a == TRUE, b == TRUE));
+        }
+        if let Some(&r) = cache.get(&(a, b)) {
+            return r;
+        }
+        // Top input: smaller `Input` first.
+        let (ia, ib) = ((a >= 2).then(|| self.get(a).input), (b >= 2).then(|| self.get(b).input));
+        let top = match (ia, ib) {
+            (Some(x), Some(y)) => x.min(y),
+            (Some(x), None) => x,
+            (None, Some(y)) => y,
+            (None, None) => unreachable!(),
+        };
+        let (a0, a1) = if ia == Some(top) {
+            let n = self.get(a);
+            (n.lo, n.hi)
+        } else {
+            (a, a)
+        };
+        let (b0, b1) = if ib == Some(top) {
+            let n = self.get(b);
+            (n.lo, n.hi)
+        } else {
+            (b, b)
+        };
+        let lo = self.apply(a0, b0, op, cache);
+        let hi = self.apply(a1, b1, op, cache);
+        let r = self.node(top, lo, hi);
+        cache.insert((a, b), r);
+        r
+    }
+
+    fn negate(&mut self, a: Ref, cache: &mut HashMap<Ref, Ref>) -> Ref {
+        if a < 2 {
+            return a ^ 1;
+        }
+        if let Some(&r) = cache.get(&a) {
+            return r;
+        }
+        let n = self.get(a);
+        let lo = self.negate(n.lo, cache);
+        let hi = self.negate(n.hi, cache);
+        let r = self.node(n.input, lo, hi);
+        cache.insert(a, r);
+        r
+    }
+
+    fn restrict(
+        &mut self,
+        a: Ref,
+        input: Input,
+        value: bool,
+        cache: &mut HashMap<Ref, Ref>,
+    ) -> Ref {
+        if a < 2 {
+            return a;
+        }
+        if let Some(&r) = cache.get(&a) {
+            return r;
+        }
+        let n = self.get(a);
+        let r = if n.input == input {
+            if value {
+                n.hi
+            } else {
+                n.lo
+            }
+        } else if n.input > input {
+            // input is absent below this point (ordering).
+            a
+        } else {
+            let lo = self.restrict(n.lo, input, value, cache);
+            let hi = self.restrict(n.hi, input, value, cache);
+            self.node(n.input, lo, hi)
+        };
+        cache.insert(a, r);
+        r
+    }
+
+    /// Extract the reachable sub-DAG under `root` in canonical order.
+    fn extract(&self, root: Ref) -> Bdd {
+        if root < 2 {
+            return Bdd { nodes: Vec::new(), root };
+        }
+        // Deterministic DFS post-order numbering.
+        let mut order: Vec<Ref> = Vec::new();
+        let mut seen: HashMap<Ref, ()> = HashMap::new();
+        fn dfs(b: &Builder, r: Ref, seen: &mut HashMap<Ref, ()>, order: &mut Vec<Ref>) {
+            if r < 2 || seen.contains_key(&r) {
+                return;
+            }
+            seen.insert(r, ());
+            let n = b.get(r);
+            dfs(b, n.lo, seen, order);
+            dfs(b, n.hi, seen, order);
+            order.push(r);
+        }
+        dfs(self, root, &mut seen, &mut order);
+        let mut remap: HashMap<Ref, Ref> = HashMap::new();
+        remap.insert(FALSE, FALSE);
+        remap.insert(TRUE, TRUE);
+        let mut nodes = Vec::with_capacity(order.len());
+        for (i, &r) in order.iter().enumerate() {
+            let n = self.get(r);
+            nodes.push(Node { input: n.input, lo: remap[&n.lo], hi: remap[&n.hi] });
+            remap.insert(r, (i + 2) as Ref);
+        }
+        Bdd { nodes, root: remap[&root] }
+    }
+}
+
+impl Bdd {
+    /// The constant FALSE.
+    #[must_use]
+    pub fn zero() -> Bdd {
+        Bdd { nodes: Vec::new(), root: FALSE }
+    }
+
+    /// The constant TRUE.
+    #[must_use]
+    pub fn one() -> Bdd {
+        Bdd { nodes: Vec::new(), root: TRUE }
+    }
+
+    /// The projection onto an input.
+    #[must_use]
+    pub fn input(i: Input) -> Bdd {
+        Bdd { nodes: vec![Node { input: i, lo: FALSE, hi: TRUE }], root: 2 }
+    }
+
+    /// Is this the constant FALSE?
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.root == FALSE
+    }
+
+    /// Is this the constant TRUE?
+    #[must_use]
+    pub fn is_one(&self) -> bool {
+        self.root == TRUE
+    }
+
+    /// Number of decision nodes (the size measure of the ablation).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn binop(&self, other: &Bdd, op: fn(bool, bool) -> bool) -> Bdd {
+        let mut b = Builder::new();
+        let mut map = Vec::new();
+        let ra = b.import(self, &mut map);
+        let rb = b.import(other, &mut map);
+        let mut cache = HashMap::new();
+        let r = b.apply(ra, rb, op, &mut cache);
+        b.extract(r)
+    }
+
+    /// Conjunction.
+    #[must_use]
+    pub fn and(&self, other: &Bdd) -> Bdd {
+        self.binop(other, |a, b| a && b)
+    }
+
+    /// Disjunction.
+    #[must_use]
+    pub fn or(&self, other: &Bdd) -> Bdd {
+        self.binop(other, |a, b| a || b)
+    }
+
+    /// Exclusive or.
+    #[must_use]
+    pub fn xor(&self, other: &Bdd) -> Bdd {
+        self.binop(other, |a, b| a != b)
+    }
+
+    /// Complement.
+    #[must_use]
+    pub fn not(&self) -> Bdd {
+        let mut b = Builder::new();
+        let mut map = Vec::new();
+        let r = b.import(self, &mut map);
+        let mut cache = HashMap::new();
+        let nr = b.negate(r, &mut cache);
+        b.extract(nr)
+    }
+
+    /// Cofactor with `input` fixed.
+    #[must_use]
+    pub fn cofactor(&self, input: Input, value: bool) -> Bdd {
+        let mut b = Builder::new();
+        let mut map = Vec::new();
+        let r = b.import(self, &mut map);
+        let mut cache = HashMap::new();
+        let rr = b.restrict(r, input, value, &mut cache);
+        b.extract(rr)
+    }
+
+    /// Universal quantification over an input.
+    #[must_use]
+    pub fn forall(&self, input: Input) -> Bdd {
+        self.cofactor(input, false).and(&self.cofactor(input, true))
+    }
+
+    /// Evaluate at a 0/1 assignment.
+    #[must_use]
+    pub fn eval(&self, lookup: &dyn Fn(Input) -> bool) -> bool {
+        let mut r = self.root;
+        while r >= 2 {
+            let n = self.nodes[(r - 2) as usize];
+            r = if lookup(n.input) { n.hi } else { n.lo };
+        }
+        r == TRUE
+    }
+
+    /// Convert from a canonical truth-table function.
+    #[must_use]
+    pub fn from_func(f: &crate::func::BoolFunc) -> Bdd {
+        // Shannon expansion over the support, sharing via apply.
+        fn build(f: &crate::func::BoolFunc) -> Bdd {
+            if f.is_zero() {
+                return Bdd::zero();
+            }
+            if f.is_one() {
+                return Bdd::one();
+            }
+            let top = f.support()[0];
+            let lo = build(&f.cofactor(top, false));
+            let hi = build(&f.cofactor(top, true));
+            let v = Bdd::input(top);
+            v.not().and(&lo).or(&v.and(&hi))
+        }
+        build(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::BoolFunc;
+
+    fn x(v: usize) -> Bdd {
+        Bdd::input(Input::Var(v))
+    }
+
+    #[test]
+    fn constants_and_identities() {
+        assert!(Bdd::zero().is_zero());
+        assert!(Bdd::one().is_one());
+        let a = x(0);
+        assert!(a.and(&a.not()).is_zero());
+        assert!(a.or(&a.not()).is_one());
+        assert_eq!(a.xor(&a), Bdd::zero());
+    }
+
+    #[test]
+    fn canonicity_of_equivalent_expressions() {
+        let (a, b, c) = (x(0), x(1), x(2));
+        // De Morgan, distribution, absorption — all collapse to equal DAGs.
+        assert_eq!(a.and(&b).not(), a.not().or(&b.not()));
+        assert_eq!(a.and(&b.or(&c)), a.and(&b).or(&a.and(&c)));
+        assert_eq!(a.or(&a.and(&b)), a);
+    }
+
+    #[test]
+    fn agrees_with_truth_tables() {
+        // Random-ish structured function: parity ∧ (g0 ∨ x0).
+        let f_func = {
+            let p = BoolFunc::var(0).xor(&BoolFunc::var(1)).xor(&BoolFunc::var(2));
+            p.and(&BoolFunc::gen(0).or(&BoolFunc::var(0)))
+        };
+        let f_bdd = Bdd::from_func(&f_func);
+        for bits in 0..16u32 {
+            let lookup = |i: Input| match i {
+                Input::Var(v) => bits >> v & 1 == 1,
+                Input::Gen(0) => bits >> 3 & 1 == 1,
+                Input::Gen(_) => false,
+            };
+            assert_eq!(f_bdd.eval(&lookup), f_func.eval(&lookup), "bits {bits:04b}");
+        }
+    }
+
+    #[test]
+    fn quantification_matches_func() {
+        let f = BoolFunc::var(0).and(&BoolFunc::var(1)).or(&BoolFunc::gen(0));
+        let b = Bdd::from_func(&f);
+        assert_eq!(b.forall(Input::Var(0)), Bdd::from_func(&f.forall(Input::Var(0))));
+        assert_eq!(
+            b.cofactor(Input::Var(1), true),
+            Bdd::from_func(&f.cofactor(Input::Var(1), true))
+        );
+    }
+
+    #[test]
+    fn parity_is_linear_size_in_bdd_but_exponential_table() {
+        // n-bit parity: BDD has 2n−1 decision nodes; table has 2^n bits.
+        let n = 12;
+        let mut f = Bdd::zero();
+        for v in 0..n {
+            f = f.xor(&x(v));
+        }
+        assert_eq!(f.node_count(), 2 * n - 1);
+    }
+}

@@ -1,0 +1,514 @@
+//! Canonical boolean functions over variables and generators — the
+//! computational core of the §5 boolean-equality theory.
+//!
+//! An element of the free boolean algebra `B_m` is a boolean function of
+//! the `m` generators; a *term* `t(x̄, c̄)` with `n` variables denotes a
+//! function `B_mⁿ → B_m`, and two terms denote the same function iff they
+//! are equal as boolean functions of the `n + m` combined inputs (the
+//! free algebra embeds its 0/1 points). [`BoolFunc`] is therefore a
+//! *canonical form*: a truth table over the function's **essential**
+//! support — structural equality is semantic equality, which is what the
+//! disjunctive-normal-form counting argument of Theorem 5.6 needs for
+//! termination.
+
+use std::fmt;
+
+/// An input of a boolean function: a constraint variable or a generator
+/// (constant symbol) of the free algebra.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Input {
+    /// Constraint variable `x_i` (ranges over the algebra).
+    Var(usize),
+    /// Generator `c_j` of the free algebra `B_m`.
+    Gen(usize),
+}
+
+impl fmt::Display for Input {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Input::Var(v) => write!(f, "x{v}"),
+            Input::Gen(g) => write!(f, "c{g}"),
+        }
+    }
+}
+
+/// Hard cap on support size: tables are `2^support` bits and the §5
+/// theory is intentionally exponential (its data complexity is Π₂ᵖ-hard),
+/// but runaway growth should fail loudly rather than exhaust memory.
+pub const MAX_SUPPORT: usize = 26;
+
+/// A boolean function in canonical truth-table form over its essential
+/// support (sorted inputs; `bits` bit `i` is the value at the assignment
+/// whose `k`-th support input equals bit `k` of `i`).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct BoolFunc {
+    support: Vec<Input>,
+    bits: Vec<u64>,
+}
+
+fn table_words(n: usize) -> usize {
+    if n >= 6 {
+        1 << (n - 6)
+    } else {
+        1
+    }
+}
+
+fn table_mask(n: usize) -> u64 {
+    if n >= 6 {
+        u64::MAX
+    } else {
+        (1u64 << (1 << n)) - 1
+    }
+}
+
+impl BoolFunc {
+    /// The constant `0`.
+    #[must_use]
+    pub fn zero() -> BoolFunc {
+        BoolFunc { support: Vec::new(), bits: vec![0] }
+    }
+
+    /// The constant `1`.
+    #[must_use]
+    pub fn one() -> BoolFunc {
+        BoolFunc { support: Vec::new(), bits: vec![1] }
+    }
+
+    /// The projection onto one input.
+    #[must_use]
+    pub fn input(i: Input) -> BoolFunc {
+        BoolFunc { support: vec![i], bits: vec![0b10] }
+    }
+
+    /// Variable projection `x_v`.
+    #[must_use]
+    pub fn var(v: usize) -> BoolFunc {
+        BoolFunc::input(Input::Var(v))
+    }
+
+    /// Generator projection `c_g`.
+    #[must_use]
+    pub fn gen(g: usize) -> BoolFunc {
+        BoolFunc::input(Input::Gen(g))
+    }
+
+    /// The essential support (sorted).
+    #[must_use]
+    pub fn support(&self) -> &[Input] {
+        &self.support
+    }
+
+    /// Is this the constant `0`?
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.support.is_empty() && self.bits[0] & 1 == 0
+    }
+
+    /// Is this the constant `1`?
+    #[must_use]
+    pub fn is_one(&self) -> bool {
+        self.support.is_empty() && self.bits[0] & 1 == 1
+    }
+
+    /// Read table bit `idx`.
+    fn bit(&self, idx: usize) -> bool {
+        self.bits[idx >> 6] >> (idx & 63) & 1 == 1
+    }
+
+    /// Expand the table to a superset support (sorted).
+    fn expand(&self, new_support: &[Input]) -> Vec<u64> {
+        debug_assert!(new_support.len() <= MAX_SUPPORT, "boolean support exceeds cap");
+        let n = new_support.len();
+        // Position of each old support input inside the new one.
+        let positions: Vec<usize> =
+            self.support.iter().map(|i| new_support.binary_search(i).expect("superset")).collect();
+        let mut out = vec![0u64; table_words(n)];
+        let size = 1usize << n;
+        for idx in 0..size {
+            let mut old_idx = 0usize;
+            for (k, &pos) in positions.iter().enumerate() {
+                if idx >> pos & 1 == 1 {
+                    old_idx |= 1 << k;
+                }
+            }
+            if self.bit(old_idx) {
+                out[idx >> 6] |= 1 << (idx & 63);
+            }
+        }
+        out
+    }
+
+    /// Remove inessential inputs from the support.
+    fn reduce(mut support: Vec<Input>, mut bits: Vec<u64>) -> BoolFunc {
+        let mut k = 0;
+        while k < support.len() {
+            let n = support.len();
+            let size = 1usize << n;
+            let mut essential = false;
+            for idx in 0..size {
+                if idx >> k & 1 == 1 {
+                    continue;
+                }
+                let hi = idx | (1 << k);
+                let b0 = bits[idx >> 6] >> (idx & 63) & 1;
+                let b1 = bits[hi >> 6] >> (hi & 63) & 1;
+                if b0 != b1 {
+                    essential = true;
+                    break;
+                }
+            }
+            if essential {
+                k += 1;
+                continue;
+            }
+            // Drop input k: keep the low-cofactor bits.
+            let mut nbits = vec![0u64; table_words(n - 1)];
+            let mut out_idx = 0usize;
+            for idx in 0..size {
+                if idx >> k & 1 == 1 {
+                    continue;
+                }
+                if bits[idx >> 6] >> (idx & 63) & 1 == 1 {
+                    nbits[out_idx >> 6] |= 1 << (out_idx & 63);
+                }
+                out_idx += 1;
+            }
+            support.remove(k);
+            bits = nbits;
+        }
+        // Normalize the (possibly partial) top word.
+        let mask = table_mask(support.len());
+        if let Some(last) = bits.last_mut() {
+            *last &= mask;
+        }
+        BoolFunc { support, bits }
+    }
+
+    fn binop(&self, other: &BoolFunc, f: impl Fn(u64, u64) -> u64) -> BoolFunc {
+        let mut support: Vec<Input> =
+            self.support.iter().chain(other.support.iter()).copied().collect();
+        support.sort_unstable();
+        support.dedup();
+        assert!(
+            support.len() <= MAX_SUPPORT,
+            "boolean function support exceeds {MAX_SUPPORT} inputs"
+        );
+        let a = self.expand(&support);
+        let b = other.expand(&support);
+        let mut bits: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| f(x, y)).collect();
+        let mask = table_mask(support.len());
+        if let Some(last) = bits.last_mut() {
+            *last &= mask;
+        }
+        BoolFunc::reduce(support, bits)
+    }
+
+    /// Conjunction.
+    #[must_use]
+    pub fn and(&self, other: &BoolFunc) -> BoolFunc {
+        self.binop(other, |a, b| a & b)
+    }
+
+    /// Disjunction.
+    #[must_use]
+    pub fn or(&self, other: &BoolFunc) -> BoolFunc {
+        self.binop(other, |a, b| a | b)
+    }
+
+    /// Exclusive or.
+    #[must_use]
+    pub fn xor(&self, other: &BoolFunc) -> BoolFunc {
+        self.binop(other, |a, b| a ^ b)
+    }
+
+    /// Complement.
+    #[must_use]
+    pub fn not(&self) -> BoolFunc {
+        let mut bits: Vec<u64> = self.bits.iter().map(|&w| !w).collect();
+        let mask = table_mask(self.support.len());
+        if let Some(last) = bits.last_mut() {
+            *last &= mask;
+        }
+        BoolFunc::reduce(self.support.clone(), bits)
+    }
+
+    /// The cofactor with `input` fixed to `value` (identity if the input
+    /// is not in the support).
+    #[must_use]
+    pub fn cofactor(&self, input: Input, value: bool) -> BoolFunc {
+        let Ok(k) = self.support.binary_search(&input) else {
+            return self.clone();
+        };
+        let n = self.support.len();
+        let size = 1usize << n;
+        let mut support = self.support.clone();
+        support.remove(k);
+        let mut bits = vec![0u64; table_words(n - 1)];
+        let mut out_idx = 0usize;
+        for idx in 0..size {
+            if (idx >> k & 1 == 1) != value {
+                continue;
+            }
+            if self.bit(idx) {
+                bits[out_idx >> 6] |= 1 << (out_idx & 63);
+            }
+            out_idx += 1;
+        }
+        BoolFunc::reduce(support, bits)
+    }
+
+    /// Substitute function `g` for `input` (Shannon composition):
+    /// `f[input ↦ g] = (g ∧ f|₁) ∨ (¬g ∧ f|₀)`.
+    #[must_use]
+    pub fn compose(&self, input: Input, g: &BoolFunc) -> BoolFunc {
+        if self.support.binary_search(&input).is_err() {
+            return self.clone();
+        }
+        let f1 = self.cofactor(input, true);
+        let f0 = self.cofactor(input, false);
+        g.and(&f1).or(&g.not().and(&f0))
+    }
+
+    /// Universal quantification over an input: `f|₀ ∧ f|₁`.
+    #[must_use]
+    pub fn forall(&self, input: Input) -> BoolFunc {
+        self.cofactor(input, false).and(&self.cofactor(input, true))
+    }
+
+    /// Existential quantification over an input: `f|₀ ∨ f|₁`.
+    #[must_use]
+    pub fn exists(&self, input: Input) -> BoolFunc {
+        self.cofactor(input, false).or(&self.cofactor(input, true))
+    }
+
+    /// Evaluate at a full 0/1 assignment (`lookup` must cover the support).
+    #[must_use]
+    pub fn eval(&self, lookup: &dyn Fn(Input) -> bool) -> bool {
+        let mut idx = 0usize;
+        for (k, &i) in self.support.iter().enumerate() {
+            if lookup(i) {
+                idx |= 1 << k;
+            }
+        }
+        self.bit(idx)
+    }
+
+    /// Rename variable inputs (generators are fixed).
+    #[must_use]
+    pub fn rename_vars(&self, map: &dyn Fn(usize) -> usize) -> BoolFunc {
+        let renamed: Vec<Input> = self
+            .support
+            .iter()
+            .map(|&i| match i {
+                Input::Var(v) => Input::Var(map(v)),
+                g => g,
+            })
+            .collect();
+        // The rename may permute the support order; rebuild by composition.
+        let mut sorted = renamed.clone();
+        sorted.sort_unstable();
+        let dedup_len = {
+            let mut s = sorted.clone();
+            s.dedup();
+            s.len()
+        };
+        assert_eq!(dedup_len, renamed.len(), "variable rename collapsed inputs");
+        let n = renamed.len();
+        let size = 1usize << n;
+        let positions: Vec<usize> =
+            renamed.iter().map(|i| sorted.binary_search(i).expect("present")).collect();
+        let mut bits = vec![0u64; table_words(n)];
+        for new_idx in 0..size {
+            let mut old_idx = 0usize;
+            for (k, &pos) in positions.iter().enumerate() {
+                if new_idx >> pos & 1 == 1 {
+                    old_idx |= 1 << k;
+                }
+            }
+            if self.bit(old_idx) {
+                bits[new_idx >> 6] |= 1 << (new_idx & 63);
+            }
+        }
+        BoolFunc::reduce(sorted, bits)
+    }
+
+    /// Variable inputs of the support.
+    #[must_use]
+    pub fn var_inputs(&self) -> Vec<usize> {
+        self.support
+            .iter()
+            .filter_map(|i| match i {
+                Input::Var(v) => Some(*v),
+                Input::Gen(_) => None,
+            })
+            .collect()
+    }
+
+    /// Generator inputs of the support.
+    #[must_use]
+    pub fn gen_inputs(&self) -> Vec<usize> {
+        self.support
+            .iter()
+            .filter_map(|i| match i {
+                Input::Gen(g) => Some(*g),
+                Input::Var(_) => None,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for BoolFunc {
+    /// Sum-of-products rendering (minterms of the truth table).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        if self.is_one() {
+            return write!(f, "1");
+        }
+        let n = self.support.len();
+        let mut first = true;
+        for idx in 0..(1usize << n) {
+            if !self.bit(idx) {
+                continue;
+            }
+            if !first {
+                write!(f, " ∨ ")?;
+            }
+            first = false;
+            for (k, i) in self.support.iter().enumerate() {
+                if k > 0 {
+                    write!(f, "∧")?;
+                }
+                if idx >> k & 1 == 1 {
+                    write!(f, "{i}")?;
+                } else {
+                    write!(f, "{i}'")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x(v: usize) -> BoolFunc {
+        BoolFunc::var(v)
+    }
+
+    #[test]
+    fn constants_and_projections() {
+        assert!(BoolFunc::zero().is_zero());
+        assert!(BoolFunc::one().is_one());
+        assert!(!x(0).is_zero());
+        assert_eq!(x(0).support(), &[Input::Var(0)]);
+    }
+
+    #[test]
+    fn boolean_identities() {
+        let (a, b, c) = (x(0), x(1), x(2));
+        // Commutativity, associativity, distributivity, De Morgan.
+        assert_eq!(a.and(&b), b.and(&a));
+        assert_eq!(a.or(&b.or(&c)), a.or(&b).or(&c));
+        assert_eq!(a.and(&b.or(&c)), a.and(&b).or(&a.and(&c)));
+        assert_eq!(a.and(&b).not(), a.not().or(&b.not()));
+        // Complement laws.
+        assert!(a.and(&a.not()).is_zero());
+        assert!(a.or(&a.not()).is_one());
+        // Xor definition: (a ∧ b') ∨ (a' ∧ b).
+        assert_eq!(a.xor(&b), a.and(&b.not()).or(&a.not().and(&b)));
+        // Idempotence collapses support.
+        assert_eq!(a.and(&a), a);
+        assert!(a.xor(&a).is_zero());
+    }
+
+    #[test]
+    fn support_is_essential() {
+        // (x0 ∧ x1) ∨ (x0 ∧ ¬x1) = x0: support must shrink to {x0}.
+        let f = x(0).and(&x(1)).or(&x(0).and(&x(1).not()));
+        assert_eq!(f, x(0));
+    }
+
+    #[test]
+    fn cofactors_and_quantifiers() {
+        let f = x(0).and(&x(1)).or(&x(2));
+        assert_eq!(f.cofactor(Input::Var(0), true), x(1).or(&x(2)));
+        assert_eq!(f.cofactor(Input::Var(0), false), x(2));
+        assert_eq!(f.exists(Input::Var(2)), BoolFunc::one());
+        assert_eq!(f.forall(Input::Var(2)), x(0).and(&x(1)));
+    }
+
+    #[test]
+    fn composition() {
+        // f = x0 ⊕ x1; f[x0 ↦ x1] = 0; f[x0 ↦ ¬x1] = 1.
+        let f = x(0).xor(&x(1));
+        assert!(f.compose(Input::Var(0), &x(1)).is_zero());
+        assert!(f.compose(Input::Var(0), &x(1).not()).is_one());
+        // Compose with a constant = cofactor.
+        assert_eq!(f.compose(Input::Var(0), &BoolFunc::one()), f.cofactor(Input::Var(0), true));
+    }
+
+    #[test]
+    fn generators_and_vars_are_distinct_inputs() {
+        let f = x(0).xor(&BoolFunc::gen(0));
+        assert_eq!(f.var_inputs(), vec![0]);
+        assert_eq!(f.gen_inputs(), vec![0]);
+        assert!(!f.is_zero());
+        // Substituting the generator for the variable kills it.
+        assert!(f.compose(Input::Var(0), &BoolFunc::gen(0)).is_zero());
+    }
+
+    #[test]
+    fn eval_matches_tables() {
+        let f = x(0).and(&x(1).not()).or(&BoolFunc::gen(0));
+        let cases = [
+            (true, false, false, true),
+            (true, true, false, false),
+            (false, false, true, true),
+            (false, false, false, false),
+        ];
+        for (v0, v1, g0, expected) in cases {
+            let got = f.eval(&|i| match i {
+                Input::Var(0) => v0,
+                Input::Var(1) => v1,
+                Input::Gen(0) => g0,
+                _ => false,
+            });
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn rename_vars_permutes() {
+        let f = x(0).and(&x(1).not());
+        let g = f.rename_vars(&|v| 1 - v);
+        assert_eq!(g, x(1).and(&x(0).not()));
+    }
+
+    #[test]
+    fn wide_support() {
+        // 8-input parity: exercises multi-word tables.
+        let mut f = BoolFunc::zero();
+        for v in 0..8 {
+            f = f.xor(&x(v));
+        }
+        assert_eq!(f.support().len(), 8);
+        let ones = |n: usize| f.eval(&|i| matches!(i, Input::Var(v) if v < n));
+        assert!(!ones(0));
+        assert!(ones(1));
+        assert!(!ones(2));
+        assert!(ones(7));
+    }
+
+    #[test]
+    fn display_sum_of_products() {
+        assert_eq!(BoolFunc::zero().to_string(), "0");
+        assert_eq!(BoolFunc::one().to_string(), "1");
+        let f = x(0).and(&x(1));
+        assert_eq!(f.to_string(), "x0∧x1");
+    }
+}

@@ -1,0 +1,29 @@
+//! # cql-bool — boolean equality constraints (§5 of the paper)
+//!
+//! Datalog with boolean equality constraints over free boolean algebras
+//! `B_m`: terms ([`BoolTerm`]), canonical boolean functions
+//! ([`BoolFunc`]) serving as the disjunctive-normal-form canonical forms
+//! of Theorem 5.6, Boole's-lemma quantifier elimination, and parametric
+//! evaluation (Remark G). Includes the paper's example programs —
+//! the adder circuit (Ex 5.4/5.5) and parity (Ex 5.7/5.8) — and the
+//! Π₂ᵖ-hardness machinery of §5.3 ([`qbf`]).
+//!
+//! The theory is intentionally more expensive than the others: its data
+//! complexity over `B_m` is Π₂ᵖ-hard (Lemma 5.9, Theorem 5.11), which the
+//! benchmark suite demonstrates by scaling the generator count.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bdd;
+pub mod func;
+pub mod programs;
+pub mod qbf;
+pub mod term;
+pub mod theory_impl;
+
+pub use bdd::Bdd;
+pub use func::{BoolFunc, Input};
+pub use qbf::AeQbf;
+pub use term::BoolTerm;
+pub use theory_impl::{BoolAlg, BoolAlgFree, BoolConstraint, BoolElem};

@@ -1,0 +1,330 @@
+//! The paper's §5 example programs: the adder circuit (Examples 5.4/5.5)
+//! and the parity computation (Examples 5.7/5.8), as Datalog programs
+//! with boolean equality constraints evaluated bottom-up.
+
+use crate::func::BoolFunc;
+use crate::term::BoolTerm;
+use crate::theory_impl::{BoolAlg, BoolAlgFree, BoolConstraint};
+use cql_core::datalog::{Atom, FixpointOptions, Literal, Program, Rule};
+use cql_core::error::Result;
+use cql_core::relation::{Database, GenRelation};
+
+/// The half-adder fact of Example 5.4:
+/// `Halfadder(x, y, z, w) :- x ⊕ y = z, x ∧ y = w`
+/// stored as a single generalized tuple (one combined constraint).
+#[must_use]
+pub fn halfadder_relation() -> GenRelation<BoolAlg> {
+    let x = BoolTerm::var(0);
+    let y = BoolTerm::var(1);
+    let z = BoolTerm::var(2);
+    let w = BoolTerm::var(3);
+    GenRelation::from_conjunctions(
+        4,
+        vec![vec![
+            BoolConstraint::eq(&x.clone().xor(y.clone()), &z),
+            BoolConstraint::eq(&x.and(y), &w),
+        ]],
+    )
+}
+
+/// The adder program of Example 5.4:
+/// `Adder(x,y,c,s,d) :- Halfadder(x,y,s1,c1), Halfadder(s1,c,s,c2), d = c1 ∨ c2`.
+///
+/// Rule variables: 0=x, 1=y, 2=c, 3=s, 4=d, 5=s1, 6=c1, 7=c2.
+#[must_use]
+pub fn adder_program() -> Program<BoolAlg> {
+    let d = BoolTerm::var(4);
+    let c1 = BoolTerm::var(6);
+    let c2 = BoolTerm::var(7);
+    Program::new(vec![Rule::new(
+        Atom::new("Adder", vec![0, 1, 2, 3, 4]),
+        vec![
+            Literal::Pos(Atom::new("Halfadder", vec![0, 1, 5, 6])),
+            Literal::Pos(Atom::new("Halfadder", vec![5, 2, 3, 7])),
+            Literal::Constraint(BoolConstraint::eq(&c1.or(c2), &d)),
+        ],
+    )])
+}
+
+/// Evaluate the adder program bottom-up and return the derived `Adder`
+/// relation — the paper's closed form is
+/// `(x ⊕ y ⊕ c ⊕ s) ∨ ((x∧y) ⊕ (x∧c) ⊕ (y∧c) ⊕ d) = 0`.
+///
+/// # Errors
+/// Propagates fixpoint errors (none expected: the program is nonrecursive).
+pub fn derive_adder() -> Result<GenRelation<BoolAlg>> {
+    let mut edb: Database<BoolAlg> = Database::new();
+    edb.insert("Halfadder", halfadder_relation());
+    let result = cql_core::datalog::naive(&adder_program(), &edb, &FixpointOptions::default())?;
+    Ok(result.idb.get("Adder").expect("Adder derived").clone())
+}
+
+/// The closed-form adder constraint the paper derives in Example 5.4.
+#[must_use]
+pub fn adder_paper_form() -> BoolConstraint {
+    let x = || BoolTerm::var(0);
+    let y = || BoolTerm::var(1);
+    let c = || BoolTerm::var(2);
+    let s = || BoolTerm::var(3);
+    let d = || BoolTerm::var(4);
+    let sum_part = x().xor(y()).xor(c()).xor(s());
+    let carry_part = x().and(y()).xor(x().and(c())).xor(y().and(c())).xor(d());
+    BoolConstraint::eq_zero(&sum_part.or(carry_part))
+}
+
+/// A ripple-carry n-bit adder derived by chaining the 1-bit adder through
+/// Datalog evaluation: returns the single generalized tuple relating
+/// inputs `x₀..x_{n−1}`, `y₀..y_{n−1}`, carry-in, sum bits and carry-out.
+///
+/// Variables: `x_i` at `i`, `y_i` at `n+i`, carry-in at `2n`,
+/// `s_i` at `2n+1+i`, carry-out at `3n+1`.
+///
+/// # Errors
+/// Propagates fixpoint errors.
+///
+/// # Panics
+/// Panics if evaluation derives no tuple (cannot happen for `n ≥ 1`).
+pub fn ripple_adder(n: usize) -> Result<GenRelation<BoolAlg>> {
+    let adder = derive_adder()?;
+    // Chain by conjoining n renamed copies of the adder tuple and
+    // eliminating the intermediate carries — this is exactly what a
+    // Datalog rule with n Adder body atoms does when fired once.
+    let arity = 3 * n + 2;
+    let carry_var = |i: usize| if i == 0 { 2 * n } else { arity + i - 1 }; // intermediates after the end
+    let total_vars = arity + n - 1;
+    let tuple = adder.tuples().first().expect("adder tuple").clone();
+    let mut conj: Vec<BoolConstraint> = Vec::new();
+    for i in 0..n {
+        let map = move |v: usize| match v {
+            0 => i,             // x_i
+            1 => n + i,         // y_i
+            2 => carry_var(i),  // carry in
+            3 => 2 * n + 1 + i, // s_i
+            4 => {
+                if i + 1 == n {
+                    3 * n + 1 // final carry out
+                } else {
+                    carry_var(i + 1)
+                }
+            }
+            _ => unreachable!(),
+        };
+        conj.extend(tuple.rename(&map));
+    }
+    // Eliminate the intermediate carry variables.
+    let mut dnf = vec![conj];
+    for v in arity..total_vars {
+        let mut next = Vec::new();
+        for c in &dnf {
+            next.extend(<BoolAlg as cql_core::Theory>::eliminate(c, v)?);
+        }
+        dnf = next;
+    }
+    Ok(GenRelation::from_conjunctions(arity, dnf))
+}
+
+/// Example 5.7: the parity of `n` parametric bits as a single fact
+/// `Paritybit(x) :- x = Y₁ ⊕ … ⊕ Y_n` over generators `Y_i`.
+#[must_use]
+pub fn parity_fact(n: usize) -> GenRelation<BoolAlg> {
+    let mut t = BoolTerm::Zero;
+    for g in 0..n {
+        t = t.xor(BoolTerm::gen(g));
+    }
+    GenRelation::from_conjunctions(1, vec![vec![BoolConstraint::eq(&BoolTerm::var(0), &t)]])
+}
+
+/// Example 5.8: the recursive parity program — `Parity(i, x)` holds when
+/// `x` is the parity of the first `i` parametric input bits. The paper
+/// uses a combined boolean + order framework for the index sort; here the
+/// chain relations `Next`/`Last`/`Input` index positions by distinct
+/// algebra elements (minterm codes), which the equality-on-index joins
+/// respect — see DESIGN.md §3 on this substitution.
+///
+/// Returns the derived `Paritybit` relation for `n` input bits.
+///
+/// Evaluated under the **free interpretation** ([`BoolAlgFree`]): the
+/// index joins compare generator-coded positions as data, so parametric
+/// retention of collapsed-code conjunctions must be pruned for the
+/// fixpoint to close (the paper avoids this by using the two-sorted
+/// framework — see `cql::combined` for that version run verbatim).
+///
+/// # Errors
+/// Propagates fixpoint errors.
+pub fn parity_program(n: usize) -> Result<GenRelation<BoolAlgFree>> {
+    assert!(n >= 1);
+    // Index codes: position i ↦ the minterm function of ⌈log n⌉ fresh
+    // generators (offset above the n input generators).
+    let code_gens = usize::max(1, (usize::BITS - (n - 1).leading_zeros()) as usize);
+    let code = |i: usize| -> BoolFunc {
+        let mut f = BoolFunc::one();
+        for b in 0..code_gens {
+            let g = BoolFunc::gen(n + b);
+            f = f.and(&if i >> b & 1 == 1 { g } else { g.not() });
+        }
+        f
+    };
+    let elem_eq = |v: usize, e: &BoolFunc| BoolConstraint::from_func(BoolFunc::var(v).xor(e));
+
+    let mut edb: Database<BoolAlgFree> = Database::new();
+    let next = GenRelation::from_conjunctions(
+        2,
+        (0..n.saturating_sub(1)).map(|i| vec![elem_eq(0, &code(i)), elem_eq(1, &code(i + 1))]),
+    );
+    edb.insert("Next", next);
+    edb.insert("Last", GenRelation::from_conjunctions(1, vec![vec![elem_eq(0, &code(n - 1))]]));
+    let input = GenRelation::from_conjunctions(
+        2,
+        (0..n).map(|i| {
+            vec![elem_eq(0, &code(i)), BoolConstraint::eq(&BoolTerm::var(1), &BoolTerm::gen(i))]
+        }),
+    );
+    edb.insert("Input", input);
+
+    // Paritybit(x) :- Parity(k, x), Last(k)
+    // Parity(i, x) :- Parity(j, y), Next(j, i), Input(i, z), x = y ⊕ z
+    // Parity(i, x) :- Input(i, z), First-style base: i = code(0), x = z
+    let program: Program<BoolAlgFree> = Program::new(vec![
+        Rule::new(
+            Atom::new("Paritybit", vec![0]),
+            vec![
+                Literal::Pos(Atom::new("Parity", vec![1, 0])),
+                Literal::Pos(Atom::new("Last", vec![1])),
+            ],
+        ),
+        Rule::new(
+            Atom::new("Parity", vec![0, 1]),
+            vec![
+                Literal::Pos(Atom::new("Parity", vec![2, 3])),
+                Literal::Pos(Atom::new("Next", vec![2, 0])),
+                Literal::Pos(Atom::new("Input", vec![0, 4])),
+                Literal::Constraint(BoolConstraint::eq(
+                    &BoolTerm::var(1),
+                    &BoolTerm::var(3).xor(BoolTerm::var(4)),
+                )),
+            ],
+        ),
+        Rule::new(
+            Atom::new("Parity", vec![0, 1]),
+            vec![
+                Literal::Pos(Atom::new("Input", vec![0, 1])),
+                Literal::Constraint(elem_eq(0, &code(0))),
+            ],
+        ),
+    ]);
+    let opts = FixpointOptions { max_iterations: n + 4, ..FixpointOptions::default() };
+    let result = cql_core::datalog::naive(&program, &edb, &opts)?;
+    Ok(result.idb.get("Paritybit").expect("derived").clone())
+}
+
+/// The expected parity function `Y₀ ⊕ … ⊕ Y_{n−1}`.
+#[must_use]
+pub fn parity_func(n: usize) -> BoolFunc {
+    let mut f = BoolFunc::zero();
+    for g in 0..n {
+        f = f.xor(&BoolFunc::gen(g));
+    }
+    f
+}
+
+/// Check whether a relation of arity 1 accepts a given algebra element
+/// (works for either interpretation tag — the constraint type is shared).
+#[must_use]
+pub fn accepts<T>(rel: &GenRelation<T>, value: &BoolFunc) -> bool
+where
+    T: cql_core::Theory<Constraint = BoolConstraint, Value = BoolFunc>,
+{
+    rel.satisfied_by(std::slice::from_ref(value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_5_4_adder_matches_paper_closed_form() {
+        let derived = derive_adder().unwrap();
+        assert_eq!(derived.len(), 1, "{derived:?}");
+        let expected = adder_paper_form();
+        let got = &derived.tuples()[0].constraints();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0], expected, "derived {} vs paper {}", got[0], expected);
+    }
+
+    #[test]
+    fn example_5_5_parametric_substitution() {
+        // Substitute X, Y, C generators for x, y, c: s and d follow the
+        // paper's solution s = X⊕Y⊕C, d = (X∧Y)⊕(X∧C)⊕(Y∧C).
+        let adder = derive_adder().unwrap();
+        let x = BoolFunc::gen(0);
+        let y = BoolFunc::gen(1);
+        let c = BoolFunc::gen(2);
+        let s = x.xor(&y).xor(&c);
+        let d = x.and(&y).xor(&x.and(&c)).xor(&y.and(&c));
+        let point = vec![x.clone(), y.clone(), c.clone(), s.clone(), d.clone()];
+        assert!(adder.satisfied_by(&point));
+        // A wrong sum bit is rejected.
+        let bad = vec![x.clone(), y, c, s.not(), d];
+        assert!(!adder.satisfied_by(&bad));
+    }
+
+    #[test]
+    fn ripple_adder_two_bits_adds() {
+        let rel = ripple_adder(2).unwrap();
+        // 1 + 1 = 10: x = 01 (x0=1, x1=0), y = 01, cin = 0 → s = 10
+        // (s0 = 0, s1 = 1), cout = 0.
+        let one = BoolFunc::one();
+        let zero = BoolFunc::zero();
+        let point = vec![
+            one.clone(),  // x0
+            zero.clone(), // x1
+            one.clone(),  // y0
+            zero.clone(), // y1
+            zero.clone(), // carry-in
+            zero.clone(), // s0
+            one.clone(),  // s1
+            zero.clone(), // carry-out
+        ];
+        assert!(rel.satisfied_by(&point));
+        // 11 + 01 + 0 = 100: x=3, y=1 → s=00, cout=1.
+        let point2 = vec![
+            one.clone(),
+            one.clone(),
+            one.clone(),
+            zero.clone(),
+            zero.clone(),
+            zero.clone(),
+            zero.clone(),
+            one.clone(),
+        ];
+        assert!(rel.satisfied_by(&point2));
+        let wrong = vec![
+            one.clone(),
+            one.clone(),
+            one.clone(),
+            zero.clone(),
+            zero.clone(),
+            one,
+            zero.clone(),
+            zero,
+        ];
+        assert!(!rel.satisfied_by(&wrong));
+    }
+
+    #[test]
+    fn example_5_7_parity_fact() {
+        let rel = parity_fact(3);
+        assert!(accepts(&rel, &parity_func(3)));
+        assert!(!accepts(&rel, &parity_func(2)));
+        assert!(!accepts(&rel, &BoolFunc::zero()));
+    }
+
+    #[test]
+    fn example_5_8_recursive_parity() {
+        for n in 1..=4 {
+            let rel = parity_program(n).unwrap();
+            assert!(accepts(&rel, &parity_func(n)), "parity of {n} bits not derived");
+            assert!(!accepts(&rel, &parity_func(n).not()));
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! The Π₂ᵖ-hardness machinery of §5.3: AE-quantified boolean formulas,
+//! Lemma 5.9's reduction to solvability over the free algebra `B_m`, and
+//! the parametric-solution construction behind Theorem 5.11.
+//!
+//! The prototypical Π₂ᵖ-complete problem (§1.2): given `∀x̄ ∃ȳ ψ(x̄, ȳ)`,
+//! is the formula true? Lemma 5.9 shows (with the roles of the quantifier
+//! blocks fixed as in the paper's statement):
+//! `∀ȳ ∃x̄ (ψ(x̄, ȳ) = 0)` is true in `B₀` **iff** the boolean equality
+//! constraint `ψ(x̄, c̄) = 0` has a solution in `B_m` — the universal
+//! block becomes the generators.
+
+use crate::func::{BoolFunc, Input};
+use crate::term::BoolTerm;
+use crate::theory_impl::{BoolAlg, BoolConstraint};
+use cql_core::theory::Theory;
+
+/// An AE-QBF instance `∀y₀..y_{m−1} ∃x₀..x_{n−1} (matrix = 0)`, where the
+/// matrix term uses `BoolTerm::Var` for the existential block and
+/// `BoolTerm::Gen` for the universal block.
+#[derive(Clone, Debug)]
+pub struct AeQbf {
+    /// Number of existential variables (`Var` indices `0..n`).
+    pub exist_vars: usize,
+    /// Number of universal variables (`Gen` indices `0..m`).
+    pub universal_vars: usize,
+    /// The matrix `ψ(x̄, ȳ)`, required to equal 0.
+    pub matrix: BoolTerm,
+}
+
+impl AeQbf {
+    /// Decide by brute force over all 0/1 assignments.
+    #[must_use]
+    pub fn brute_force(&self) -> bool {
+        let f = self.matrix.to_func();
+        for y_bits in 0..(1u64 << self.universal_vars) {
+            let mut found = false;
+            for x_bits in 0..(1u64 << self.exist_vars) {
+                let value = f.eval(&|i| match i {
+                    Input::Var(v) => x_bits >> v & 1 == 1,
+                    Input::Gen(g) => y_bits >> g & 1 == 1,
+                });
+                if !value {
+                    found = true;
+                    break;
+                }
+            }
+            if !found {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Decide via Lemma 5.9: solvability of `ψ(x̄, c̄) = 0` over the free
+    /// algebra `B_m`.
+    #[must_use]
+    pub fn via_free_algebra(&self) -> bool {
+        crate::theory_impl::solvable_free(&self.matrix.to_func())
+    }
+
+    /// When true, extract a *parametric solution* (Theorem 5.11's notion):
+    /// terms over the generators solving the constraint for every
+    /// universal assignment. Returns one `BoolFunc` per existential
+    /// variable.
+    #[must_use]
+    pub fn parametric_solution(&self) -> Option<Vec<BoolFunc>> {
+        let witness = BoolAlg::sample(&[BoolConstraint::eq_zero(&self.matrix)], self.exist_vars)?;
+        // Verify: substituting the witness yields the identically-zero
+        // function of the generators.
+        let mut f = self.matrix.to_func();
+        for (v, val) in witness.iter().enumerate() {
+            f = f.compose(Input::Var(v), val);
+        }
+        f.is_zero().then_some(witness)
+    }
+}
+
+/// Deterministic pseudo-random AE-QBF instances for cross-validation and
+/// hardness benchmarking (a small linear-congruential stream keeps the
+/// crate dependency-free).
+#[must_use]
+pub fn random_instance(
+    exist_vars: usize,
+    universal_vars: usize,
+    clauses: usize,
+    seed: u64,
+) -> AeQbf {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move |bound: usize| -> usize {
+        state =
+            state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+        ((state >> 33) as usize) % bound.max(1)
+    };
+    // Build ψ as a disjunction of conjunction-clauses; requiring ψ = 0
+    // means every clause must be falsified.
+    let mut matrix = BoolTerm::Zero;
+    for _ in 0..clauses {
+        let mut clause = BoolTerm::One;
+        for _ in 0..3 {
+            let total = exist_vars + universal_vars;
+            let pick = next(total);
+            let lit = if pick < exist_vars {
+                BoolTerm::var(pick)
+            } else {
+                BoolTerm::gen(pick - exist_vars)
+            };
+            let lit = if next(2) == 0 { lit } else { lit.not() };
+            clause = clause.and(lit);
+        }
+        matrix = matrix.or(clause);
+    }
+    AeQbf { exist_vars, universal_vars, matrix }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma_5_9_on_handcrafted_instances() {
+        // ∀y ∃x (x ⊕ y = 0): true — choose x = y.
+        let yes = AeQbf {
+            exist_vars: 1,
+            universal_vars: 1,
+            matrix: BoolTerm::var(0).xor(BoolTerm::gen(0)),
+        };
+        assert!(yes.brute_force());
+        assert!(yes.via_free_algebra());
+        let sol = yes.parametric_solution().unwrap();
+        assert_eq!(sol[0], BoolFunc::gen(0));
+
+        // ∀y ∃x (y = 0): false — x cannot help.
+        let no = AeQbf { exist_vars: 1, universal_vars: 1, matrix: BoolTerm::gen(0) };
+        assert!(!no.brute_force());
+        assert!(!no.via_free_algebra());
+        assert!(no.parametric_solution().is_none());
+    }
+
+    #[test]
+    fn lemma_5_9_agreement_on_random_instances() {
+        for seed in 0..60 {
+            let q = random_instance(2, 2, 3, seed);
+            assert_eq!(
+                q.brute_force(),
+                q.via_free_algebra(),
+                "disagreement on seed {seed}: {}",
+                q.matrix
+            );
+            if q.via_free_algebra() {
+                assert!(q.parametric_solution().is_some(), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn parametric_solutions_work_for_every_assignment() {
+        // Theorem 5.11's parenthetical: truth of the QBF ⟺ existence of a
+        // parametric solution; verify the solution pointwise.
+        let q =
+            AeQbf {
+                exist_vars: 2,
+                universal_vars: 2,
+                // ∃x̄ with x0 ⊕ (y0 ∧ y1) = 0 ∧ x1 ⊕ y0 ⊕ y1 = 0 as a single
+                // term via ∨.
+                matrix: BoolTerm::var(0)
+                    .xor(BoolTerm::gen(0).and(BoolTerm::gen(1)))
+                    .or(BoolTerm::var(1).xor(BoolTerm::gen(0)).xor(BoolTerm::gen(1))),
+            };
+        let sol = q.parametric_solution().unwrap();
+        let f = q.matrix.to_func();
+        for y_bits in 0..4u64 {
+            let value = f.eval(&|i| match i {
+                Input::Var(v) => sol[v].eval(&|j| match j {
+                    Input::Gen(g) => y_bits >> g & 1 == 1,
+                    Input::Var(_) => unreachable!("solution is parametric"),
+                }),
+                Input::Gen(g) => y_bits >> g & 1 == 1,
+            });
+            assert!(!value, "assignment {y_bits:b}");
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Boolean terms `T(F, V ∪ C)` (§5.1 of the paper): syntax trees over
+//! `{∧, ∨, ', 0, 1}`, variables, and constant symbols (generators).
+
+use crate::func::BoolFunc;
+use std::fmt;
+
+/// A boolean term.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum BoolTerm {
+    /// The constant 0.
+    Zero,
+    /// The constant 1.
+    One,
+    /// Variable `x_i` (ranges over the algebra).
+    Var(usize),
+    /// Constant symbol `c_j` (a generator under the free interpretation).
+    Gen(usize),
+    /// Complement.
+    Not(Box<BoolTerm>),
+    /// Conjunction.
+    And(Box<BoolTerm>, Box<BoolTerm>),
+    /// Disjunction.
+    Or(Box<BoolTerm>, Box<BoolTerm>),
+    /// Exclusive or — definable as `(a ∧ b') ∨ (a' ∧ b)`, provided as a
+    /// first-class node because §5's examples use ⊕ heavily.
+    Xor(Box<BoolTerm>, Box<BoolTerm>),
+}
+
+impl BoolTerm {
+    /// Variable builder.
+    #[must_use]
+    pub fn var(v: usize) -> BoolTerm {
+        BoolTerm::Var(v)
+    }
+
+    /// Generator builder.
+    #[must_use]
+    pub fn gen(g: usize) -> BoolTerm {
+        BoolTerm::Gen(g)
+    }
+
+    /// `self ∧ other`.
+    #[must_use]
+    pub fn and(self, other: BoolTerm) -> BoolTerm {
+        BoolTerm::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self ∨ other`.
+    #[must_use]
+    pub fn or(self, other: BoolTerm) -> BoolTerm {
+        BoolTerm::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `self ⊕ other`.
+    #[must_use]
+    pub fn xor(self, other: BoolTerm) -> BoolTerm {
+        BoolTerm::Xor(Box::new(self), Box::new(other))
+    }
+
+    /// `self'`.
+    #[allow(clippy::should_implement_trait)]
+    #[must_use]
+    pub fn not(self) -> BoolTerm {
+        BoolTerm::Not(Box::new(self))
+    }
+
+    /// Canonical form: the boolean function the term denotes (over its
+    /// variable and generator inputs).
+    #[must_use]
+    pub fn to_func(&self) -> BoolFunc {
+        match self {
+            BoolTerm::Zero => BoolFunc::zero(),
+            BoolTerm::One => BoolFunc::one(),
+            BoolTerm::Var(v) => BoolFunc::var(*v),
+            BoolTerm::Gen(g) => BoolFunc::gen(*g),
+            BoolTerm::Not(t) => t.to_func().not(),
+            BoolTerm::And(a, b) => a.to_func().and(&b.to_func()),
+            BoolTerm::Or(a, b) => a.to_func().or(&b.to_func()),
+            BoolTerm::Xor(a, b) => a.to_func().xor(&b.to_func()),
+        }
+    }
+}
+
+impl fmt::Display for BoolTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoolTerm::Zero => write!(f, "0"),
+            BoolTerm::One => write!(f, "1"),
+            BoolTerm::Var(v) => write!(f, "x{v}"),
+            BoolTerm::Gen(g) => write!(f, "c{g}"),
+            BoolTerm::Not(t) => write!(f, "({t})'"),
+            BoolTerm::And(a, b) => write!(f, "({a} ∧ {b})"),
+            BoolTerm::Or(a, b) => write!(f, "({a} ∨ {b})"),
+            BoolTerm::Xor(a, b) => write!(f, "({a} ⊕ {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma_5_1_shannon_expansion() {
+        // t(z) = (t(1) ∧ z) ∨ (t(0) ∧ z') — check semantically for a
+        // representative term.
+        let t =
+            BoolTerm::var(0).and(BoolTerm::gen(0)).or(BoolTerm::var(0).not().and(BoolTerm::gen(1)));
+        let f = t.to_func();
+        let t1 = BoolTerm::One.and(BoolTerm::gen(0)).or(BoolTerm::One.not().and(BoolTerm::gen(1)));
+        let t0 =
+            BoolTerm::Zero.and(BoolTerm::gen(0)).or(BoolTerm::Zero.not().and(BoolTerm::gen(1)));
+        let expanded = t1.and(BoolTerm::var(0)).or(t0.and(BoolTerm::var(0).not())).to_func();
+        assert_eq!(f, expanded);
+    }
+
+    #[test]
+    fn nine_axioms_hold_in_canonical_form() {
+        let x = || BoolTerm::var(0);
+        let y = || BoolTerm::var(1);
+        let z = || BoolTerm::var(2);
+        let pairs = vec![
+            (x().or(y()), y().or(x())),
+            (x().and(y()), y().and(x())),
+            (x().or(y().and(z())), x().or(y()).and(x().or(z()))),
+            (x().and(y().or(z())), x().and(y()).or(x().and(z()))),
+            (x().or(x().not()), BoolTerm::One),
+            (x().and(x().not()), BoolTerm::Zero),
+            (x().or(BoolTerm::Zero), x()),
+            (x().and(BoolTerm::One), x()),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(a.to_func(), b.to_func(), "{a} vs {b}");
+        }
+        assert_ne!(BoolTerm::Zero.to_func(), BoolTerm::One.to_func());
+    }
+
+    #[test]
+    fn xor_is_sugar() {
+        let a = BoolTerm::var(0).xor(BoolTerm::var(1));
+        let b = BoolTerm::var(0)
+            .and(BoolTerm::var(1).not())
+            .or(BoolTerm::var(0).not().and(BoolTerm::var(1)));
+        assert_eq!(a.to_func(), b.to_func());
+    }
+
+    #[test]
+    fn display_roundtrips_visually() {
+        let t = BoolTerm::var(0).xor(BoolTerm::gen(1)).not();
+        assert_eq!(t.to_string(), "((x0 ⊕ c1))'");
+    }
+}

@@ -1,0 +1,368 @@
+//! Boolean equality constraints and their [`Theory`] implementation.
+
+use crate::func::{BoolFunc, Input};
+use crate::term::BoolTerm;
+use cql_core::error::Result;
+use cql_core::theory::{Theory, Var};
+use std::fmt;
+
+/// A boolean equality constraint `t(x̄, c̄) = 0`, stored as the canonical
+/// function of the term (Definition 5.2). Every conjunction collapses to
+/// a single constraint (`a = 0 ∧ b = 0 ⟺ a ∨ b = 0`, §5.2).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct BoolConstraint {
+    /// The canonical function of `t`.
+    pub func: BoolFunc,
+}
+
+impl BoolConstraint {
+    /// `t = 0`.
+    #[must_use]
+    pub fn eq_zero(term: &BoolTerm) -> BoolConstraint {
+        BoolConstraint { func: term.to_func() }
+    }
+
+    /// `a = b` (as `a ⊕ b = 0`).
+    #[must_use]
+    pub fn eq(a: &BoolTerm, b: &BoolTerm) -> BoolConstraint {
+        BoolConstraint { func: a.to_func().xor(&b.to_func()) }
+    }
+
+    /// From a canonical function directly.
+    #[must_use]
+    pub fn from_func(func: BoolFunc) -> BoolConstraint {
+        BoolConstraint { func }
+    }
+}
+
+impl fmt::Display for BoolConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = 0", self.func)
+    }
+}
+
+/// The boolean-equality-constraint theory of §5 of the paper, under the
+/// *parametric* interpretation (Remark G): constant symbols denote the
+/// generators of the free boolean algebra `B_m`, so the same evaluation
+/// serves every concrete `(B, σ)`.
+///
+/// This theory supports **Datalog** (Theorem 5.6). It is *not* closed
+/// under constraint negation (`t ≠ 0` is not an equality constraint over
+/// `B_m`, `m > 0`), so relational-calculus negation and Datalog¬ are
+/// unavailable: [`Theory::negate`] panics with a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoolAlg {}
+
+/// An element of the free boolean algebra: a function of generators only.
+pub type BoolElem = BoolFunc;
+
+/// The ∀-projection of a function over all of its variable inputs.
+#[must_use]
+pub fn forall_vars(f: &BoolFunc) -> BoolFunc {
+    let mut out = f.clone();
+    for v in out.var_inputs() {
+        out = out.forall(Input::Var(v));
+    }
+    out
+}
+
+/// Is `t = 0` solvable over the *free* algebra `B_m` (generators fixed as
+/// free)? This is the Lemma 5.3 / Lemma 5.9 notion of solvability.
+#[must_use]
+pub fn solvable_free(f: &BoolFunc) -> bool {
+    forall_vars(f).is_zero()
+}
+
+impl Theory for BoolAlg {
+    type Constraint = BoolConstraint;
+    type Value = BoolElem;
+
+    fn name() -> &'static str {
+        "boolean equality constraints over a free boolean algebra"
+    }
+
+    fn canonicalize(conj: &[BoolConstraint]) -> Option<Vec<BoolConstraint>> {
+        // a = 0 ∧ b = 0 ⟺ (a ∨ b) = 0.
+        let mut f = BoolFunc::zero();
+        for c in conj {
+            f = f.or(&c.func);
+        }
+        // Evaluation is *parametric* (Remark G): residual conditions on
+        // the generators are kept, not decided against a fixed (B, σ).
+        // A conjunction is dropped only when it is unsolvable under EVERY
+        // interpretation — i.e. its ∀-variable projection is the constant
+        // 1 function of the generators.
+        let all = forall_vars(&f);
+        if all.is_one() {
+            return None;
+        }
+        if f.is_zero() {
+            Some(Vec::new())
+        } else {
+            Some(vec![BoolConstraint { func: f }])
+        }
+    }
+
+    fn eliminate(conj: &[BoolConstraint], var: Var) -> Result<Vec<Vec<BoolConstraint>>> {
+        // Boole's Lemma (5.3): ∃x (t = 0) ⟺ t[0/x] ∧ t[1/x] = 0.
+        let Some(canon) = Self::canonicalize(conj) else {
+            return Ok(Vec::new());
+        };
+        let combined = canon.first().map_or_else(BoolFunc::zero, |c| c.func.clone());
+        let eliminated = combined.forall(Input::Var(var));
+        if forall_vars(&eliminated).is_one() {
+            return Ok(Vec::new());
+        }
+        Ok(vec![if eliminated.is_zero() {
+            Vec::new()
+        } else {
+            vec![BoolConstraint { func: eliminated }]
+        }])
+    }
+
+    /// Boolean equality constraints are **not closed under negation** for
+    /// `m > 0` (there is no term `s` with `s = 0 ⟺ x ≠ 0` over `B_m`).
+    /// The paper's §5 language is pure Datalog; any evaluator path that
+    /// needs complements is a usage error.
+    ///
+    /// # Panics
+    /// Always.
+    fn negate(_c: &BoolConstraint) -> Vec<BoolConstraint> {
+        panic!(
+            "boolean equality constraints are not closed under negation over B_m (m > 0); \
+             use pure Datalog with this theory (§5 of the paper)"
+        );
+    }
+
+    fn var_eq(a: Var, b: Var) -> BoolConstraint {
+        BoolConstraint { func: BoolFunc::var(a).xor(&BoolFunc::var(b)) }
+    }
+
+    fn var_const_eq(v: Var, value: &BoolElem) -> BoolConstraint {
+        BoolConstraint { func: BoolFunc::var(v).xor(value) }
+    }
+
+    fn eval(c: &BoolConstraint, point: &[BoolElem]) -> bool {
+        let mut f = c.func.clone();
+        for v in f.var_inputs() {
+            f = f.compose(Input::Var(v), &point[v]);
+        }
+        f.is_zero()
+    }
+
+    fn rename(c: &BoolConstraint, map: &dyn Fn(Var) -> Var) -> BoolConstraint {
+        BoolConstraint { func: c.func.rename_vars(map) }
+    }
+
+    fn vars(c: &BoolConstraint) -> Vec<Var> {
+        c.func.var_inputs()
+    }
+
+    fn constants(c: &BoolConstraint) -> Vec<BoolElem> {
+        c.func.gen_inputs().into_iter().map(BoolFunc::gen).collect()
+    }
+
+    fn entails(a: &[BoolConstraint], b: &[BoolConstraint]) -> bool {
+        // a ⊨ b ⟺ f_b ≤ f_a as functions (exact: the free algebra embeds
+        // its 0/1 points).
+        let fa = a.iter().fold(BoolFunc::zero(), |acc, c| acc.or(&c.func));
+        let fb = b.iter().fold(BoolFunc::zero(), |acc, c| acc.or(&c.func));
+        fb.and(&fa.not()).is_zero()
+    }
+
+    fn sample(conj: &[BoolConstraint], arity: usize) -> Option<Vec<BoolElem>> {
+        let canon = Self::canonicalize(conj)?;
+        let f = canon.first().map_or_else(BoolFunc::zero, |c| c.func.clone());
+        // Sampling asks for a witness over the *free* algebra B_m, which
+        // exists exactly when the ∀-variable projection is the zero
+        // function (Lemma 5.3).
+        if !forall_vars(&f).is_zero() {
+            return None;
+        }
+        // Successive variable elimination (boolean unification): with
+        // g = f[x:=0] ∧ f[x:=1] solvable, x := f[x:=0] is a particular
+        // solution of f = 0 modulo the remaining variables; eliminate
+        // variables right-to-left, then substitute back left-to-right.
+        let vars: Vec<usize> = f.var_inputs();
+        let mut stack: Vec<(usize, BoolFunc)> = Vec::new();
+        let mut g = f;
+        for &v in vars.iter().rev() {
+            stack.push((v, g.clone()));
+            g = g.forall(Input::Var(v));
+        }
+        debug_assert!(g.is_zero(), "free solvability was checked above");
+        let mut point = vec![BoolFunc::zero(); arity];
+        let mut assigned: Vec<(usize, BoolFunc)> = Vec::new();
+        while let Some((v, mut h)) = stack.pop() {
+            for (w, val) in &assigned {
+                h = h.compose(Input::Var(*w), val);
+            }
+            let value = h.cofactor(Input::Var(v), false);
+            if v < arity {
+                point[v] = value.clone();
+            }
+            assigned.push((v, value));
+        }
+        Some(point)
+    }
+}
+
+/// The same boolean theory under the **free interpretation**: a
+/// conjunction is pruned as soon as it is unsolvable over the free
+/// algebra `B_m` itself (Lemma 5.3's criterion), rather than kept
+/// parametrically (Remark G). Use this tag when generator terms act as
+/// *data* — e.g. joins on generator-coded keys — where parametric
+/// retention floods fixpoints with conjunctions satisfiable only under
+/// degenerate interpretations (a σ collapsing distinct codes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoolAlgFree {}
+
+impl Theory for BoolAlgFree {
+    type Constraint = BoolConstraint;
+    type Value = BoolElem;
+
+    fn name() -> &'static str {
+        "boolean equality constraints (free interpretation)"
+    }
+
+    fn canonicalize(conj: &[BoolConstraint]) -> Option<Vec<BoolConstraint>> {
+        let canon = BoolAlg::canonicalize(conj)?;
+        let f = canon.first().map_or_else(BoolFunc::zero, |c| c.func.clone());
+        solvable_free(&f).then_some(canon)
+    }
+
+    fn eliminate(conj: &[BoolConstraint], var: Var) -> Result<Vec<Vec<BoolConstraint>>> {
+        if Self::canonicalize(conj).is_none() {
+            return Ok(Vec::new());
+        }
+        BoolAlg::eliminate(conj, var)
+    }
+
+    fn negate(c: &BoolConstraint) -> Vec<BoolConstraint> {
+        BoolAlg::negate(c)
+    }
+
+    fn var_eq(a: Var, b: Var) -> BoolConstraint {
+        BoolAlg::var_eq(a, b)
+    }
+
+    fn var_const_eq(v: Var, value: &BoolElem) -> BoolConstraint {
+        BoolAlg::var_const_eq(v, value)
+    }
+
+    fn eval(c: &BoolConstraint, point: &[BoolElem]) -> bool {
+        BoolAlg::eval(c, point)
+    }
+
+    fn rename(c: &BoolConstraint, map: &dyn Fn(Var) -> Var) -> BoolConstraint {
+        BoolAlg::rename(c, map)
+    }
+
+    fn vars(c: &BoolConstraint) -> Vec<Var> {
+        BoolAlg::vars(c)
+    }
+
+    fn constants(c: &BoolConstraint) -> Vec<BoolElem> {
+        BoolAlg::constants(c)
+    }
+
+    fn entails(a: &[BoolConstraint], b: &[BoolConstraint]) -> bool {
+        BoolAlg::entails(a, b)
+    }
+
+    fn sample(conj: &[BoolConstraint], arity: usize) -> Option<Vec<BoolElem>> {
+        BoolAlg::sample(conj, arity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x(v: usize) -> BoolTerm {
+        BoolTerm::var(v)
+    }
+    fn g(i: usize) -> BoolTerm {
+        BoolTerm::gen(i)
+    }
+
+    #[test]
+    fn conjunction_collapses_to_one_constraint() {
+        let a = BoolConstraint::eq_zero(&x(0).and(g(0)));
+        let b = BoolConstraint::eq_zero(&x(1).and(g(0).not()));
+        let canon = BoolAlg::canonicalize(&[a.clone(), b.clone()]).unwrap();
+        assert_eq!(canon.len(), 1);
+        let combined = BoolConstraint::eq_zero(&x(0).and(g(0)).or(x(1).and(g(0).not())));
+        assert_eq!(canon[0], combined);
+    }
+
+    #[test]
+    fn satisfiability_over_free_algebra() {
+        // x ⊕ c0 = 0: solvable (x := c0).
+        assert!(BoolAlg::canonicalize(&[BoolConstraint::eq(&x(0), &g(0))]).is_some());
+        // c0 = 0 alone: kept *parametrically* (Remark G) — it holds in
+        // interpretations where σ(c0) = 0 — but it is not solvable over
+        // the free algebra.
+        let gen_zero = BoolConstraint::eq_zero(&g(0));
+        assert!(BoolAlg::canonicalize(std::slice::from_ref(&gen_zero)).is_some());
+        assert!(!solvable_free(&gen_zero.func));
+        // 1 = 0: unsolvable under every interpretation.
+        assert!(BoolAlg::canonicalize(&[BoolConstraint::eq_zero(&BoolTerm::One)]).is_none());
+        // x ∧ x' = 0: trivially true (canonical form empty).
+        let triv = BoolAlg::canonicalize(&[BoolConstraint::eq_zero(&x(0).and(x(0).not()))]);
+        assert_eq!(triv, Some(Vec::new()));
+    }
+
+    #[test]
+    fn booles_lemma_elimination() {
+        // ∃x ((x ⊕ c0) = 0) ⟺ c0 ∧ c0' = 0 ⟺ true.
+        let c = BoolConstraint::eq(&x(0), &g(0));
+        let dnf = BoolAlg::eliminate(std::slice::from_ref(&c), 0).unwrap();
+        assert_eq!(dnf, vec![Vec::new()]);
+        // ∃x ((x ∨ c0) = 0) ⟺ c0 = 0: constraint on the generator remains.
+        let c2 = BoolConstraint::eq_zero(&x(0).or(g(0)));
+        let dnf2 = BoolAlg::eliminate(std::slice::from_ref(&c2), 0).unwrap();
+        assert_eq!(dnf2.len(), 1);
+        assert_eq!(dnf2[0], vec![BoolConstraint::eq_zero(&g(0))]);
+    }
+
+    #[test]
+    fn eval_at_algebra_elements() {
+        // x ⊕ (c0 ∧ c1) = 0 at x := c0 ∧ c1: holds.
+        let c = BoolConstraint::eq(&x(0), &g(0).and(g(1)));
+        let val = BoolFunc::gen(0).and(&BoolFunc::gen(1));
+        assert!(BoolAlg::eval(&c, &[val]));
+        assert!(!BoolAlg::eval(&c, &[BoolFunc::gen(0)]));
+    }
+
+    #[test]
+    fn sample_produces_solutions() {
+        let cases = vec![
+            vec![BoolConstraint::eq(&x(0), &g(0))],
+            vec![BoolConstraint::eq(&x(0).xor(x(1)), &g(0))],
+            vec![BoolConstraint::eq_zero(&x(0).and(g(0)))],
+            vec![BoolConstraint::eq(&x(0), &g(0).or(g(1))), BoolConstraint::eq(&x(1), &x(0).not())],
+        ];
+        for conj in cases {
+            let point = BoolAlg::sample(&conj, 2).expect("satisfiable");
+            for c in &conj {
+                assert!(BoolAlg::eval(c, &point), "{c} fails at {point:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn entailment_is_exact() {
+        // (x ∨ c0) = 0 entails x = 0.
+        let strong = vec![BoolConstraint::eq_zero(&x(0).or(g(0)))];
+        let weak = vec![BoolConstraint::eq_zero(&x(0))];
+        assert!(BoolAlg::entails(&strong, &weak));
+        assert!(!BoolAlg::entails(&weak, &strong));
+    }
+
+    #[test]
+    #[should_panic(expected = "not closed under negation")]
+    fn negation_panics_with_diagnosis() {
+        let _ = BoolAlg::negate(&BoolConstraint::eq_zero(&x(0)));
+    }
+}

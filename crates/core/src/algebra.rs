@@ -1,0 +1,125 @@
+//! The *generalized relational algebra* (§2.1 of the paper): "all the
+//! operations are simple variants of the familiar database ones except
+//! for projection. Projection corresponds to quantifier elimination and
+//! is the nontrivial operation."
+//!
+//! These operators work directly on generalized relations, independent of
+//! the formula AST — useful for procedural pipelines and as the algebraic
+//! target a calculus optimizer would translate into.
+
+use crate::error::{CqlError, Result};
+use crate::relation::{GenRelation, GenTuple};
+use crate::theory::Theory;
+
+/// σ — restrict a relation by additional constraints (columns are the
+/// constraint variables).
+#[must_use]
+pub fn select<T: Theory>(rel: &GenRelation<T>, constraints: &[T::Constraint]) -> GenRelation<T> {
+    let mut out = GenRelation::empty(rel.arity());
+    for t in rel.tuples() {
+        if let Some(t2) = t.conjoin(constraints) {
+            out.insert(t2);
+        }
+    }
+    out
+}
+
+/// π — project onto `columns` (in the given order): quantifier-eliminate
+/// every other column, then renumber. Duplicate columns are allowed.
+///
+/// # Errors
+/// Theory `Unsupported` errors from quantifier elimination, or
+/// `Malformed` on out-of-range columns.
+pub fn project<T: Theory>(rel: &GenRelation<T>, columns: &[usize]) -> Result<GenRelation<T>> {
+    for &c in columns {
+        if c >= rel.arity() {
+            return Err(CqlError::Malformed(format!(
+                "projection column {c} out of range for arity {}",
+                rel.arity()
+            )));
+        }
+    }
+    // Eliminate the dropped columns.
+    let mut current = rel.clone();
+    for v in 0..rel.arity() {
+        if !columns.contains(&v) {
+            current = current.eliminate(v)?;
+        }
+    }
+    // Renumber kept columns; duplicates get equality constraints.
+    let mut out = GenRelation::empty(columns.len());
+    for t in current.tuples() {
+        // position of original column v in the output (first occurrence).
+        let first_pos = |v: usize| columns.iter().position(|&c| c == v).expect("kept");
+        let mut constraints = t.rename(&first_pos);
+        for (i, &c) in columns.iter().enumerate() {
+            if first_pos(c) != i {
+                constraints.push(T::var_eq(first_pos(c), i));
+            }
+        }
+        if let Some(t2) = GenTuple::new(constraints) {
+            out.insert(t2);
+        }
+    }
+    Ok(out)
+}
+
+/// × — cartesian product: the right relation's columns are shifted past
+/// the left's.
+#[must_use]
+pub fn product<T: Theory>(a: &GenRelation<T>, b: &GenRelation<T>) -> GenRelation<T> {
+    let shift = a.arity();
+    let mut out = GenRelation::empty(a.arity() + b.arity());
+    for ta in a.tuples() {
+        for tb in b.tuples() {
+            let mut constraints = ta.constraints().to_vec();
+            constraints.extend(tb.rename(&|v| v + shift));
+            if let Some(t) = GenTuple::new(constraints) {
+                out.insert(t);
+            }
+        }
+    }
+    out
+}
+
+/// ⋈ — equi-join on column pairs `(left, right)`; the output keeps all
+/// columns of both sides (right shifted), with join equalities conjoined.
+#[must_use]
+pub fn join<T: Theory>(
+    a: &GenRelation<T>,
+    b: &GenRelation<T>,
+    on: &[(usize, usize)],
+) -> GenRelation<T> {
+    let shift = a.arity();
+    let eqs: Vec<T::Constraint> = on.iter().map(|&(l, r)| T::var_eq(l, r + shift)).collect();
+    select(&product(a, b), &eqs)
+}
+
+/// ∪ — union (delegates to the representation union).
+#[must_use]
+pub fn union<T: Theory>(a: &GenRelation<T>, b: &GenRelation<T>) -> GenRelation<T> {
+    a.union(b)
+}
+
+/// ∖ — difference `a ∖ b = a ∩ ¬b` (uses the DNF complement; see
+/// [`GenRelation::complement`] for cost caveats).
+#[must_use]
+pub fn difference<T: Theory>(a: &GenRelation<T>, b: &GenRelation<T>) -> GenRelation<T> {
+    a.intersect(&b.complement())
+}
+
+/// ρ — permute columns by `perm` (`perm[i]` = source column of output
+/// column `i`; must be a permutation).
+///
+/// # Panics
+/// Panics if `perm` is not a permutation of `0..arity`.
+#[must_use]
+pub fn rename_columns<T: Theory>(rel: &GenRelation<T>, perm: &[usize]) -> GenRelation<T> {
+    assert_eq!(perm.len(), rel.arity(), "permutation length mismatch");
+    let mut inverse = vec![usize::MAX; perm.len()];
+    for (i, &src) in perm.iter().enumerate() {
+        assert!(inverse[src] == usize::MAX, "not a permutation");
+        inverse[src] = i;
+    }
+    rel.rename_into(rel.arity(), &|v| inverse[v])
+}

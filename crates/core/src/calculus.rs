@@ -1,0 +1,125 @@
+//! Symbolic bottom-up evaluation of relational calculus queries.
+//!
+//! Evaluation proceeds by structural induction on the formula (the
+//! "generalized relational algebra" view of §2.1 of the paper): each
+//! subformula evaluates to a generalized relation (a DNF of constraints)
+//! over the query's variable space; `∃` applies quantifier elimination to
+//! every disjunct, `∧`/`∨` are intersection/union, and `¬` is the DNF
+//! complement. The output is projected onto the query's free variables —
+//! a closed-form generalized relation.
+
+use crate::error::{CqlError, Result};
+use crate::formula::{CalculusQuery, Formula};
+use crate::relation::{Database, GenRelation, GenTuple};
+use crate::theory::Theory;
+
+/// Evaluate a relational calculus query into a generalized relation of
+/// arity `query.free.len()` (column `i` is free variable `query.free[i]`).
+///
+/// # Errors
+/// Validation errors, or `CqlError::Unsupported` when the theory cannot
+/// eliminate a quantifier that the formula requires.
+pub fn evaluate<T: Theory>(query: &CalculusQuery<T>, db: &Database<T>) -> Result<GenRelation<T>> {
+    query.formula.validate(db)?;
+    let scope = query
+        .formula
+        .all_vars()
+        .last()
+        .map_or(query.free.len(), |&v| v + 1)
+        .max(query.free.iter().map(|&v| v + 1).max().unwrap_or(0));
+    let rel = eval_rec(&query.formula, db, scope)?;
+    project_to_free(&rel, &query.free)
+}
+
+/// Decide a sentence (a query with no free variables).
+///
+/// Boolean connectives at closed levels are decided directly, which keeps
+/// outer negations (the common `¬∃…` shape of the convex-hull query,
+/// Ex 2.1) away from the expensive DNF complement.
+///
+/// # Errors
+/// Same as [`evaluate`].
+pub fn decide<T: Theory>(formula: &Formula<T>, db: &Database<T>) -> Result<bool> {
+    if let Some(v) = formula.free_vars().first() {
+        return Err(CqlError::Malformed(format!(
+            "decide() requires a sentence, but variable {v} is free"
+        )));
+    }
+    formula.validate(db)?;
+    decide_rec(formula, db)
+}
+
+fn decide_rec<T: Theory>(formula: &Formula<T>, db: &Database<T>) -> Result<bool> {
+    match formula {
+        Formula::And(a, b) => Ok(decide_rec(a, db)? && decide_rec(b, db)?),
+        Formula::Or(a, b) => Ok(decide_rec(a, db)? || decide_rec(b, db)?),
+        Formula::Not(a) => Ok(!decide_rec(a, db)?),
+        Formula::Atom { relation, .. } => {
+            // Arity was validated; a closed atom has arity 0.
+            Ok(!db.require(relation)?.is_empty())
+        }
+        Formula::Constraint(c) => Ok(T::is_satisfiable(std::slice::from_ref(c))),
+        Formula::Exists(..) | Formula::Forall(..) => {
+            let scope = formula.all_vars().last().map_or(0, |&v| v + 1);
+            let rel = eval_rec(formula, db, scope)?;
+            Ok(!rel.is_empty())
+        }
+    }
+}
+
+fn eval_rec<T: Theory>(
+    formula: &Formula<T>,
+    db: &Database<T>,
+    scope: usize,
+) -> Result<GenRelation<T>> {
+    match formula {
+        Formula::Atom { relation, vars } => {
+            let rel = db.require(relation)?;
+            Ok(rel.rename_into(scope, &|j| vars[j]))
+        }
+        Formula::Constraint(c) => {
+            let mut out = GenRelation::empty(scope);
+            if let Some(t) = GenTuple::new(vec![c.clone()]) {
+                out.insert(t);
+            }
+            Ok(out)
+        }
+        Formula::And(a, b) => Ok(eval_rec(a, db, scope)?.intersect(&eval_rec(b, db, scope)?)),
+        Formula::Or(a, b) => Ok(eval_rec(a, db, scope)?.union(&eval_rec(b, db, scope)?)),
+        Formula::Not(a) => Ok(eval_rec(a, db, scope)?.complement()),
+        Formula::Exists(v, a) => eval_rec(a, db, scope)?.eliminate(*v),
+        Formula::Forall(v, a) => {
+            // ∀v.ψ ≡ ¬∃v.¬ψ
+            let inner = eval_rec(a, db, scope)?.complement();
+            Ok(inner.eliminate(*v)?.complement())
+        }
+    }
+}
+
+/// Rename the free variables of a fully-evaluated relation to output
+/// columns `0..m`, verifying no other variable survived elimination.
+fn project_to_free<T: Theory>(rel: &GenRelation<T>, free: &[usize]) -> Result<GenRelation<T>> {
+    let mut position =
+        vec![usize::MAX; rel.arity().max(free.iter().map(|&v| v + 1).max().unwrap_or(0))];
+    for (i, &v) in free.iter().enumerate() {
+        position[v] = i;
+    }
+    for t in rel.tuples() {
+        for c in t.constraints() {
+            for v in T::vars(c) {
+                if position.get(v).copied().unwrap_or(usize::MAX) == usize::MAX {
+                    return Err(CqlError::Malformed(format!(
+                        "internal: variable {v} survived quantifier elimination"
+                    )));
+                }
+            }
+        }
+    }
+    let mut out = GenRelation::empty(free.len());
+    for t in rel.tuples() {
+        if let Some(t2) = GenTuple::new(t.rename(&|v| position[v])) {
+            out.insert(t2);
+        }
+    }
+    Ok(out)
+}

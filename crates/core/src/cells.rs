@@ -1,0 +1,177 @@
+//! The paper's `EVAL_φ` algorithm (§3.1, adapted generically).
+//!
+//! For theories with a finite cell decomposition ([`CellTheory`] — dense
+//! linear order's r-configurations, equality's e-configurations), a
+//! relational calculus query is evaluated by enumerating all cells over
+//! the free variables and testing, per cell, whether `F(ξ) → φ` is valid.
+//! By Lemmas 3.9/3.10 (and their §4 analogues) validity over a cell can be
+//! checked *at a single sample point* of the cell; quantifiers walk the
+//! one-variable extensions of the current cell (procedure `Boolean-EVAL`).
+//!
+//! This evaluator handles arbitrary negation for free — the satisfying
+//! cells are simply the complement set — which is what gives relational
+//! calculus with dense order / equality constraints its LOGSPACE data
+//! complexity in the paper.
+
+use crate::error::{CqlError, Result};
+use crate::formula::{CalculusQuery, Formula};
+use crate::relation::{dedup_values, Database, GenRelation, GenTuple};
+use crate::theory::{CellTheory, Theory, Var};
+
+/// Evaluate a calculus query with the cell-based `EVAL_φ` algorithm.
+///
+/// Output column `i` is free variable `query.free[i]`, as with
+/// [`crate::calculus::evaluate`]; the two evaluators agree on all queries
+/// both support (property-tested in the theory crates).
+///
+/// # Errors
+/// Validation errors from the formula.
+pub fn evaluate<T: CellTheory>(
+    query: &CalculusQuery<T>,
+    db: &Database<T>,
+) -> Result<GenRelation<T>> {
+    query.formula.validate(db)?;
+    // Renumber variables into "slots": free variables become 0..m by the
+    // query's output order, and each quantifier at nesting depth d binds
+    // slot m+d — so the slot bound by a quantifier always equals the size
+    // of the cell being extended.
+    let m = query.free.len();
+    let slotted = slot_formula(&query.formula, &query.free, m)?;
+    let mut constants = db.constants();
+    constants.extend(query.formula.constants());
+    dedup_values(&mut constants);
+
+    let mut out = GenRelation::empty(m);
+    for cell in T::cells(&constants, m) {
+        let sample = T::cell_sample(&cell, &constants);
+        if boolean_eval(&slotted, &cell, &sample, db, &constants) {
+            if let Some(t) = GenTuple::new(T::cell_formula(&cell)) {
+                out.insert(t);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Decide a sentence with the cell-based algorithm.
+///
+/// # Errors
+/// `CqlError::Malformed` if the formula has free variables.
+pub fn decide<T: CellTheory>(formula: &Formula<T>, db: &Database<T>) -> Result<bool> {
+    if !formula.free_vars().is_empty() {
+        return Err(CqlError::Malformed("cells::decide requires a sentence".into()));
+    }
+    formula.validate(db)?;
+    let slotted = slot_formula(formula, &[], 0)?;
+    let mut constants = db.constants();
+    constants.extend(formula.constants());
+    dedup_values(&mut constants);
+    let cell = T::empty_cell();
+    let sample = T::cell_sample(&cell, &constants);
+    Ok(boolean_eval(&slotted, &cell, &sample, db, &constants))
+}
+
+/// Rewrite a formula so variable indices are evaluation slots.
+fn slot_formula<T: Theory>(
+    formula: &Formula<T>,
+    free: &[Var],
+    depth_base: usize,
+) -> Result<Formula<T>> {
+    let max_var = formula.all_vars().last().map_or(0, |&v| v + 1);
+    let mut env: Vec<Option<usize>> =
+        vec![None; max_var.max(free.iter().map(|&v| v + 1).max().unwrap_or(0))];
+    for (i, &v) in free.iter().enumerate() {
+        env[v] = Some(i);
+    }
+    slot_rec(formula, &mut env, depth_base)
+}
+
+fn slot_rec<T: Theory>(
+    formula: &Formula<T>,
+    env: &mut Vec<Option<usize>>,
+    depth: usize,
+) -> Result<Formula<T>> {
+    let lookup = |env: &[Option<usize>], v: Var| -> Result<usize> {
+        env.get(v).copied().flatten().ok_or_else(|| {
+            CqlError::Malformed(format!("variable {v} used outside its quantifier scope"))
+        })
+    };
+    Ok(match formula {
+        Formula::Atom { relation, vars } => {
+            let mut slotted = Vec::with_capacity(vars.len());
+            for &v in vars {
+                slotted.push(lookup(env, v)?);
+            }
+            Formula::Atom { relation: relation.clone(), vars: slotted }
+        }
+        Formula::Constraint(c) => {
+            for v in T::vars(c) {
+                lookup(env, v)?;
+            }
+            Formula::Constraint(T::rename(c, &|v| env[v].expect("checked above")))
+        }
+        Formula::And(a, b) => {
+            Formula::And(Box::new(slot_rec(a, env, depth)?), Box::new(slot_rec(b, env, depth)?))
+        }
+        Formula::Or(a, b) => {
+            Formula::Or(Box::new(slot_rec(a, env, depth)?), Box::new(slot_rec(b, env, depth)?))
+        }
+        Formula::Not(a) => Formula::Not(Box::new(slot_rec(a, env, depth)?)),
+        Formula::Exists(v, a) => {
+            if env.len() <= *v {
+                env.resize(v + 1, None);
+            }
+            env[*v] = Some(depth);
+            let inner = slot_rec(a, env, depth + 1)?;
+            env[*v] = None;
+            Formula::Exists(depth, Box::new(inner))
+        }
+        Formula::Forall(v, a) => {
+            if env.len() <= *v {
+                env.resize(v + 1, None);
+            }
+            env[*v] = Some(depth);
+            let inner = slot_rec(a, env, depth + 1)?;
+            env[*v] = None;
+            Formula::Forall(depth, Box::new(inner))
+        }
+    })
+}
+
+/// The recursive `Boolean-EVAL_φ` procedure: is `F(ξ) → ψ` valid?
+///
+/// By the indistinguishability lemmas this equals "does the sample point
+/// of ξ satisfy ψ", with quantifiers ranging over cell extensions.
+fn boolean_eval<T: CellTheory>(
+    formula: &Formula<T>,
+    cell: &T::Cell,
+    sample: &[T::Value],
+    db: &Database<T>,
+    constants: &[T::Value],
+) -> bool {
+    match formula {
+        Formula::Constraint(c) => T::eval(c, sample),
+        Formula::Atom { relation, vars } => {
+            let rel = db.get(relation).expect("validated");
+            let point: Vec<T::Value> = vars.iter().map(|&s| sample[s].clone()).collect();
+            rel.satisfied_by(&point)
+        }
+        Formula::And(a, b) => {
+            boolean_eval(a, cell, sample, db, constants)
+                && boolean_eval(b, cell, sample, db, constants)
+        }
+        Formula::Or(a, b) => {
+            boolean_eval(a, cell, sample, db, constants)
+                || boolean_eval(b, cell, sample, db, constants)
+        }
+        Formula::Not(a) => !boolean_eval(a, cell, sample, db, constants),
+        Formula::Exists(_, a) => T::extensions(cell, constants).iter().any(|ext| {
+            let s = T::cell_sample(ext, constants);
+            boolean_eval(a, ext, &s, db, constants)
+        }),
+        Formula::Forall(_, a) => T::extensions(cell, constants).iter().all(|ext| {
+            let s = T::cell_sample(ext, constants);
+            boolean_eval(a, ext, &s, db, constants)
+        }),
+    }
+}

@@ -1,0 +1,306 @@
+//! Datalog + constraints: rules and programs (Definition 1.10).
+
+use crate::error::{CqlError, Result};
+use crate::relation::Database;
+use crate::theory::{Theory, Var};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A relational atom `R(x₁..x_k)` with rule-local variables.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Atom {
+    /// Predicate symbol.
+    pub relation: String,
+    /// Argument variables.
+    pub vars: Vec<Var>,
+}
+
+impl Atom {
+    /// Builder.
+    #[must_use]
+    pub fn new(relation: impl Into<String>, vars: impl Into<Vec<Var>>) -> Atom {
+        Atom { relation: relation.into(), vars: vars.into() }
+    }
+}
+
+/// A body literal: positive atom, negated atom (Datalog¬ only), or a
+/// constraint of the theory.
+#[derive(Debug)]
+pub enum Literal<T: Theory> {
+    /// `R(x̄)`.
+    Pos(Atom),
+    /// `¬R(x̄)` — only meaningful under inflationary semantics (§1.2).
+    Neg(Atom),
+    /// A constraint from the theory.
+    Constraint(T::Constraint),
+}
+
+impl<T: Theory> Clone for Literal<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Literal::Pos(a) => Literal::Pos(a.clone()),
+            Literal::Neg(a) => Literal::Neg(a.clone()),
+            Literal::Constraint(c) => Literal::Constraint(c.clone()),
+        }
+    }
+}
+
+impl<T: Theory> PartialEq for Literal<T> {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Literal::Pos(a), Literal::Pos(b)) | (Literal::Neg(a), Literal::Neg(b)) => a == b,
+            (Literal::Constraint(a), Literal::Constraint(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl<T: Theory> Eq for Literal<T> {}
+
+/// A rule `head :- body`.
+///
+/// Variables are rule-local indices `0..n`. Repeated variables in body
+/// atoms mean column equality; the head must use distinct variables
+/// (equalities belong in the body, matching the paper's normal form).
+#[derive(Debug)]
+pub struct Rule<T: Theory> {
+    /// Head atom (an IDB predicate).
+    pub head: Atom,
+    /// Body literals.
+    pub body: Vec<Literal<T>>,
+}
+
+impl<T: Theory> Rule<T> {
+    /// Builder.
+    #[must_use]
+    pub fn new(head: Atom, body: Vec<Literal<T>>) -> Rule<T> {
+        Rule { head, body }
+    }
+
+    /// Number of rule-local variables (max index + 1).
+    #[must_use]
+    pub fn var_count(&self) -> usize {
+        let mut max = None;
+        for &v in &self.head.vars {
+            max = max.max(Some(v));
+        }
+        for lit in &self.body {
+            match lit {
+                Literal::Pos(a) | Literal::Neg(a) => {
+                    for &v in &a.vars {
+                        max = max.max(Some(v));
+                    }
+                }
+                Literal::Constraint(c) => {
+                    for v in T::vars(c) {
+                        max = max.max(Some(v));
+                    }
+                }
+            }
+        }
+        max.map_or(0, |v| v + 1)
+    }
+
+    /// Constants mentioned by the rule's constraints.
+    #[must_use]
+    pub fn constants(&self) -> Vec<T::Value> {
+        self.body
+            .iter()
+            .filter_map(|lit| match lit {
+                Literal::Constraint(c) => Some(T::constants(c)),
+                _ => None,
+            })
+            .flatten()
+            .collect()
+    }
+}
+
+impl<T: Theory> Clone for Rule<T> {
+    fn clone(&self) -> Self {
+        Rule { head: self.head.clone(), body: self.body.clone() }
+    }
+}
+
+impl<T: Theory> PartialEq for Rule<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.head == other.head && self.body == other.body
+    }
+}
+
+impl<T: Theory> Eq for Rule<T> {}
+
+/// A Datalog (or Datalog¬) query program: a finite set of rules.
+#[derive(Debug)]
+pub struct Program<T: Theory> {
+    /// The rules, in declaration order.
+    pub rules: Vec<Rule<T>>,
+}
+
+impl<T: Theory> Clone for Program<T> {
+    fn clone(&self) -> Self {
+        Program { rules: self.rules.clone() }
+    }
+}
+
+impl<T: Theory> Default for Program<T> {
+    fn default() -> Self {
+        Program { rules: Vec::new() }
+    }
+}
+
+impl<T: Theory> Program<T> {
+    /// Builder.
+    #[must_use]
+    pub fn new(rules: Vec<Rule<T>>) -> Program<T> {
+        Program { rules }
+    }
+
+    /// Intentional predicates: those appearing in rule heads.
+    #[must_use]
+    pub fn idb_predicates(&self) -> BTreeSet<String> {
+        self.rules.iter().map(|r| r.head.relation.clone()).collect()
+    }
+
+    /// Extensional predicates: body predicates that are never heads.
+    #[must_use]
+    pub fn edb_predicates(&self) -> BTreeSet<String> {
+        let idb = self.idb_predicates();
+        let mut out = BTreeSet::new();
+        for rule in &self.rules {
+            for lit in &rule.body {
+                if let Literal::Pos(a) | Literal::Neg(a) = lit {
+                    if !idb.contains(&a.relation) {
+                        out.insert(a.relation.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Arity of each predicate, inferred from all occurrences.
+    ///
+    /// # Errors
+    /// `CqlError::Malformed` on inconsistent arities.
+    pub fn arities(&self) -> Result<BTreeMap<String, usize>> {
+        let mut out: BTreeMap<String, usize> = BTreeMap::new();
+        let mut note = |name: &str, arity: usize| -> Result<()> {
+            match out.get(name) {
+                Some(&a) if a != arity => Err(CqlError::Malformed(format!(
+                    "predicate `{name}` used with arities {a} and {arity}"
+                ))),
+                Some(_) => Ok(()),
+                None => {
+                    out.insert(name.to_string(), arity);
+                    Ok(())
+                }
+            }
+        };
+        for rule in &self.rules {
+            note(&rule.head.relation, rule.head.vars.len())?;
+            for lit in &rule.body {
+                if let Literal::Pos(a) | Literal::Neg(a) = lit {
+                    note(&a.relation, a.vars.len())?;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// True iff the program has negated literals (requires inflationary
+    /// semantics).
+    #[must_use]
+    pub fn has_negation(&self) -> bool {
+        self.rules.iter().any(|r| r.body.iter().any(|l| matches!(l, Literal::Neg(_))))
+    }
+
+    /// Validate against an EDB database: every EDB predicate exists with
+    /// the right arity; head variables are distinct; negated atoms only
+    /// where allowed by the caller.
+    ///
+    /// # Errors
+    /// `CqlError` variants describing the problem.
+    pub fn validate(&self, edb: &Database<T>, allow_negation: bool) -> Result<()> {
+        let arities = self.arities()?;
+        let idb = self.idb_predicates();
+        for (name, &arity) in &arities {
+            if !idb.contains(name) {
+                let rel = edb.require(name)?;
+                if rel.arity() != arity {
+                    return Err(CqlError::ArityMismatch {
+                        relation: name.clone(),
+                        expected: rel.arity(),
+                        found: arity,
+                    });
+                }
+            }
+        }
+        for rule in &self.rules {
+            let mut seen = BTreeSet::new();
+            for &v in &rule.head.vars {
+                if !seen.insert(v) {
+                    return Err(CqlError::Malformed(format!(
+                        "repeated variable {v} in head of rule for `{}` (use a body equality)",
+                        rule.head.relation
+                    )));
+                }
+            }
+            if idb.contains(&rule.head.relation) && edb.get(&rule.head.relation).is_some() {
+                return Err(CqlError::Malformed(format!(
+                    "predicate `{}` is both an EDB relation and a rule head",
+                    rule.head.relation
+                )));
+            }
+            if !allow_negation {
+                for lit in &rule.body {
+                    if let Literal::Neg(a) = lit {
+                        return Err(CqlError::Malformed(format!(
+                            "negated atom `{}` requires inflationary Datalog¬ evaluation",
+                            a.relation
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// All constants mentioned by rule constraints.
+    #[must_use]
+    pub fn constants(&self) -> Vec<T::Value> {
+        let mut out: Vec<T::Value> = self.rules.iter().flat_map(Rule::constants).collect();
+        crate::relation::dedup_values(&mut out);
+        out
+    }
+}
+
+impl<T: Theory> fmt::Display for Rule<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fmt_atom = |f: &mut fmt::Formatter<'_>, a: &Atom| -> fmt::Result {
+            write!(f, "{}(", a.relation)?;
+            for (i, v) in a.vars.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "x{v}")?;
+            }
+            write!(f, ")")
+        };
+        fmt_atom(f, &self.head)?;
+        write!(f, " :- ")?;
+        for (i, lit) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match lit {
+                Literal::Pos(a) => fmt_atom(f, a)?,
+                Literal::Neg(a) => {
+                    write!(f, "¬")?;
+                    fmt_atom(f, a)?;
+                }
+                Literal::Constraint(c) => write!(f, "{c}")?,
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,20 @@
+//! Datalog + constraints: AST and bottom-up evaluation engines.
+//!
+//! * [`ast`] — rules and programs (Definition 1.10);
+//! * [`symbolic`] — naive / semi-naive / inflationary fixpoints by joining
+//!   generalized tuples and eliminating quantifiers;
+//! * [`herbrand`] — the §3.2 generalized-Herbrand-atom (cell-based)
+//!   evaluation for theories with finite cell decompositions, including
+//!   the §3.3 parallel evaluation and derivation-tree statistics.
+
+pub mod analysis;
+pub mod ast;
+pub mod herbrand;
+pub mod symbolic;
+
+pub use analysis::{is_piecewise_linear, predicate_sccs, stratified, stratify};
+pub use ast::{Atom, Literal, Program, Rule};
+pub use herbrand::{
+    cell_inflationary, cell_naive, cell_parallel, CellFixpointResult, DerivationStats,
+};
+pub use symbolic::{inflationary, naive, seminaive, FixpointOptions, FixpointResult};

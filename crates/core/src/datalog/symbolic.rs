@@ -1,0 +1,344 @@
+//! Symbolic fixpoint evaluation of Datalog + constraints.
+//!
+//! Rule firing is a join of generalized tuples: the body atoms' DNFs are
+//! conjoined in the rule's variable space, constraints are added, and the
+//! non-head variables are removed by quantifier elimination — a direct
+//! implementation of the semantics of Definition 1.10 and Example 1.11.
+//! Termination relies on the theory's canonical conjunctions over the
+//! program's constants being finite (dense order: order networks;
+//! equality: partition shapes; boolean: the `2^2^(m+v)` bound of Thm 5.6).
+//!
+//! Three engines are provided:
+//! * [`naive`] — recompute every rule against the full instance per round;
+//! * [`seminaive`] — delta-driven firing for positive programs;
+//! * [`inflationary`] — Datalog¬ with inflationary negation (§1.2), where
+//!   `¬R` is the DNF complement of the current stage of `R`.
+//!
+//! All engines take an iteration/size budget and report
+//! [`CqlError::NotClosed`] when exceeded — which is the *expected* outcome
+//! for Datalog with polynomial constraints (Example 1.12).
+
+use crate::datalog::ast::{Atom, Literal, Program, Rule};
+use crate::error::{CqlError, Result};
+use crate::relation::{Database, GenRelation, GenTuple};
+use crate::theory::{Theory, Var};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Budget and knobs for fixpoint evaluation.
+#[derive(Clone, Copy, Debug)]
+pub struct FixpointOptions {
+    /// Maximum number of fixpoint rounds before reporting non-closure.
+    pub max_iterations: usize,
+    /// Maximum total IDB tuples before reporting non-closure.
+    pub max_tuples: usize,
+}
+
+impl Default for FixpointOptions {
+    fn default() -> FixpointOptions {
+        FixpointOptions { max_iterations: 1_000, max_tuples: 200_000 }
+    }
+}
+
+/// Result of a fixpoint computation.
+#[derive(Clone, Debug)]
+pub struct FixpointResult<T: Theory> {
+    /// The IDB relations at the fixpoint.
+    pub idb: Database<T>,
+    /// Number of rounds executed.
+    pub iterations: usize,
+}
+
+fn init_idb<T: Theory>(program: &Program<T>) -> Result<Database<T>> {
+    let arities = program.arities()?;
+    let mut idb = Database::new();
+    for name in program.idb_predicates() {
+        idb.insert(name.clone(), GenRelation::empty(arities[&name]));
+    }
+    Ok(idb)
+}
+
+fn instance_relation<'a, T: Theory>(
+    name: &str,
+    edb: &'a Database<T>,
+    idb: &'a Database<T>,
+) -> Result<&'a GenRelation<T>> {
+    idb.get(name).map_or_else(|| edb.require(name), Ok)
+}
+
+/// Fire one rule against an instance; returns head tuples over `0..k`.
+///
+/// `delta_at`: in semi-naive mode, the index of the body literal that must
+/// read from `delta` instead of the full instance.
+fn fire_rule<T: Theory>(
+    rule: &Rule<T>,
+    edb: &Database<T>,
+    idb: &Database<T>,
+    delta_at: Option<(usize, &Database<T>)>,
+    complements: &mut BTreeMap<String, GenRelation<T>>,
+) -> Result<Vec<GenTuple<T>>> {
+    // Partial conjunctions over the rule's local variables.
+    let mut acc: Vec<GenTuple<T>> = vec![GenTuple::top()];
+    for (li, lit) in rule.body.iter().enumerate() {
+        match lit {
+            Literal::Constraint(c) => {
+                acc = acc.into_iter().filter_map(|t| t.conjoin(std::slice::from_ref(c))).collect();
+            }
+            Literal::Pos(a) => {
+                let rel = match delta_at {
+                    Some((idx, delta)) if idx == li => delta.require(&a.relation)?,
+                    _ => instance_relation(&a.relation, edb, idb)?,
+                };
+                acc = conjoin_atom(acc, rel, a);
+            }
+            Literal::Neg(a) => {
+                let compl = complements.entry(a.relation.clone()).or_insert_with(|| {
+                    instance_relation(&a.relation, edb, idb).expect("validated").complement()
+                });
+                acc = conjoin_atom(acc, compl, a);
+            }
+        }
+        if acc.is_empty() {
+            return Ok(Vec::new());
+        }
+    }
+
+    // Quantify away the non-head variables.
+    let head_vars: BTreeSet<Var> = rule.head.vars.iter().copied().collect();
+    let n = rule.var_count();
+    let mut conjs: Vec<Vec<T::Constraint>> =
+        acc.into_iter().map(|t| t.constraints().to_vec()).collect();
+    for v in 0..n {
+        if head_vars.contains(&v) {
+            continue;
+        }
+        let mut next = Vec::new();
+        for conj in conjs {
+            if conj.iter().any(|c| T::vars(c).contains(&v)) {
+                next.extend(T::eliminate(&conj, v)?);
+            } else {
+                next.push(conj);
+            }
+        }
+        conjs = next;
+    }
+
+    // Rename head variables to output columns.
+    let mut position = vec![usize::MAX; n.max(1)];
+    for (i, &v) in rule.head.vars.iter().enumerate() {
+        position[v] = i;
+    }
+    let mut out = Vec::new();
+    for conj in conjs {
+        for c in &conj {
+            for v in T::vars(c) {
+                debug_assert_ne!(position[v], usize::MAX, "variable survived elimination");
+            }
+        }
+        let renamed: Vec<T::Constraint> =
+            conj.iter().map(|c| T::rename(c, &|v| position[v])).collect();
+        if let Some(t) = GenTuple::new(renamed) {
+            out.push(t);
+        }
+    }
+    Ok(out)
+}
+
+fn conjoin_atom<T: Theory>(
+    acc: Vec<GenTuple<T>>,
+    rel: &GenRelation<T>,
+    atom: &Atom,
+) -> Vec<GenTuple<T>> {
+    let mut next: Vec<GenTuple<T>> = Vec::new();
+    for partial in &acc {
+        for u in rel.tuples() {
+            let renamed = u.rename(&|j| atom.vars[j]);
+            if let Some(t) = partial.conjoin(&renamed) {
+                if !next.contains(&t) {
+                    next.push(t);
+                }
+            }
+        }
+    }
+    next
+}
+
+fn check_budget<T: Theory>(
+    idb: &Database<T>,
+    iterations: usize,
+    opts: &FixpointOptions,
+) -> Result<()> {
+    if iterations >= opts.max_iterations {
+        return Err(CqlError::NotClosed {
+            reason: "iteration budget exhausted (the query may have no closed form \
+                     in this theory, cf. Example 1.12)"
+                .into(),
+            iterations,
+        });
+    }
+    if idb.size() > opts.max_tuples {
+        return Err(CqlError::NotClosed {
+            reason: format!("IDB grew past {} tuples without converging", opts.max_tuples),
+            iterations,
+        });
+    }
+    Ok(())
+}
+
+/// Naive bottom-up evaluation of a positive Datalog + constraints program.
+///
+/// # Errors
+/// Validation errors, theory `Unsupported` errors, or `NotClosed` when the
+/// budget is exhausted.
+pub fn naive<T: Theory>(
+    program: &Program<T>,
+    edb: &Database<T>,
+    opts: &FixpointOptions,
+) -> Result<FixpointResult<T>> {
+    program.validate(edb, false)?;
+    fixpoint_loop(program, edb, opts, false)
+}
+
+/// Inflationary Datalog¬ evaluation: negated IDB/EDB atoms are evaluated
+/// against the *current stage* and derived facts are only ever added.
+///
+/// # Errors
+/// As [`naive`].
+pub fn inflationary<T: Theory>(
+    program: &Program<T>,
+    edb: &Database<T>,
+    opts: &FixpointOptions,
+) -> Result<FixpointResult<T>> {
+    program.validate(edb, true)?;
+    fixpoint_loop(program, edb, opts, true)
+}
+
+fn fixpoint_loop<T: Theory>(
+    program: &Program<T>,
+    edb: &Database<T>,
+    opts: &FixpointOptions,
+    _negation: bool,
+) -> Result<FixpointResult<T>> {
+    let idb = init_idb(program)?;
+    fixpoint_with_seed(program, edb, idb, opts)
+}
+
+/// Run one stratum of a stratified program: the seed database holds the
+/// completed lower strata (read-only for negation, which is sound because
+/// stratification guarantees negated predicates never grow here).
+pub(crate) fn fixpoint_stratum<T: Theory>(
+    program: &Program<T>,
+    edb: &Database<T>,
+    seed: &Database<T>,
+    opts: &FixpointOptions,
+) -> Result<FixpointResult<T>> {
+    let mut idb = seed.clone();
+    for name in program.idb_predicates() {
+        if idb.get(&name).is_none() {
+            let arities = program.arities()?;
+            idb.insert(name.clone(), GenRelation::empty(arities[&name]));
+        }
+    }
+    fixpoint_with_seed(program, edb, idb, opts)
+}
+
+fn fixpoint_with_seed<T: Theory>(
+    program: &Program<T>,
+    edb: &Database<T>,
+    mut idb: Database<T>,
+    opts: &FixpointOptions,
+) -> Result<FixpointResult<T>> {
+    let mut iterations = 0;
+    loop {
+        check_budget(&idb, iterations, opts)?;
+        let mut changed = false;
+        // Inflationary semantics: all rules read the stage fixed at the
+        // start of the round; derived tuples land in `staged`.
+        let mut staged: Vec<(String, GenTuple<T>)> = Vec::new();
+        let mut complements = BTreeMap::new();
+        for rule in &program.rules {
+            for t in fire_rule(rule, edb, &idb, None, &mut complements)? {
+                staged.push((rule.head.relation.clone(), t));
+            }
+        }
+        for (name, t) in staged {
+            let rel = idb.get(&name).expect("initialized").clone();
+            let mut rel = rel;
+            if rel.insert(t) {
+                changed = true;
+            }
+            idb.insert(name, rel);
+        }
+        iterations += 1;
+        if !changed {
+            return Ok(FixpointResult { idb, iterations });
+        }
+    }
+}
+
+/// Semi-naive evaluation of a positive program: after the first round,
+/// a rule only re-fires with one IDB body atom bound to the tuples that
+/// were new in the previous round.
+///
+/// # Errors
+/// As [`naive`].
+pub fn seminaive<T: Theory>(
+    program: &Program<T>,
+    edb: &Database<T>,
+    opts: &FixpointOptions,
+) -> Result<FixpointResult<T>> {
+    program.validate(edb, false)?;
+    let idb_preds = program.idb_predicates();
+    let arities = program.arities()?;
+    let mut idb = init_idb(program)?;
+    let mut iterations = 0;
+
+    // Round 0: full firing (IDB relations are empty, so only rules whose
+    // IDB body atoms are absent produce anything).
+    let mut delta = init_idb(program)?;
+    let mut complements = BTreeMap::new();
+    for rule in &program.rules {
+        for t in fire_rule(rule, edb, &idb, None, &mut complements)? {
+            let mut rel = idb.get(&rule.head.relation).expect("init").clone();
+            if rel.insert(t.clone()) {
+                let mut d = delta.get(&rule.head.relation).expect("init").clone();
+                d.insert(t);
+                delta.insert(rule.head.relation.clone(), d);
+            }
+            idb.insert(rule.head.relation.clone(), rel);
+        }
+    }
+    iterations += 1;
+
+    while delta.size() > 0 {
+        check_budget(&idb, iterations, opts)?;
+        let mut next_delta: Database<T> = Database::new();
+        for name in &idb_preds {
+            next_delta.insert(name.clone(), GenRelation::empty(arities[name]));
+        }
+        let mut complements = BTreeMap::new();
+        for rule in &program.rules {
+            // One firing per IDB body-atom position bound to the delta.
+            for (li, lit) in rule.body.iter().enumerate() {
+                let Literal::Pos(a) = lit else { continue };
+                if !idb_preds.contains(&a.relation) {
+                    continue;
+                }
+                if delta.get(&a.relation).is_none_or(GenRelation::is_empty) {
+                    continue;
+                }
+                for t in fire_rule(rule, edb, &idb, Some((li, &delta)), &mut complements)? {
+                    let mut rel = idb.get(&rule.head.relation).expect("init").clone();
+                    if rel.insert(t.clone()) {
+                        let mut d = next_delta.get(&rule.head.relation).expect("init").clone();
+                        d.insert(t);
+                        next_delta.insert(rule.head.relation.clone(), d);
+                    }
+                    idb.insert(rule.head.relation.clone(), rel);
+                }
+            }
+        }
+        delta = next_delta;
+        iterations += 1;
+    }
+    Ok(FixpointResult { idb, iterations })
+}

@@ -1,0 +1,57 @@
+//! Error type shared by the CQL evaluators.
+
+use std::fmt;
+
+/// Errors raised by query construction and evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CqlError {
+    /// A relation named in a query is missing from the input database.
+    UnknownRelation(String),
+    /// A database atom's variable list does not match the relation arity.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Arity recorded in the database.
+        expected: usize,
+        /// Arity used in the query.
+        found: usize,
+    },
+    /// The theory cannot eliminate a quantifier from this conjunction
+    /// (e.g. degree ≥ 3 polynomial occurrences — see DESIGN.md §3).
+    Unsupported(String),
+    /// Fixpoint evaluation exceeded its iteration or size budget without
+    /// converging. For Datalog with polynomial constraints this is the
+    /// expected detection of the paper's non-closure phenomenon (Ex 1.12).
+    NotClosed {
+        /// Human-readable description of the divergence.
+        reason: String,
+        /// Iterations completed before giving up.
+        iterations: usize,
+    },
+    /// A query program is malformed (unbound head variable, shadowed
+    /// quantifier, repeated head variable, ...).
+    Malformed(String),
+}
+
+impl fmt::Display for CqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CqlError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            CqlError::ArityMismatch { relation, expected, found } => write!(
+                f,
+                "arity mismatch on `{relation}`: database has arity {expected}, query uses {found}"
+            ),
+            CqlError::Unsupported(msg) => write!(f, "unsupported by this constraint theory: {msg}"),
+            CqlError::NotClosed { reason, iterations } => write!(
+                f,
+                "evaluation did not reach a closed form after {iterations} iterations: {reason}"
+            ),
+            CqlError::Malformed(msg) => write!(f, "malformed query program: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CqlError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, CqlError>;

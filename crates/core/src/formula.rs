@@ -1,0 +1,354 @@
+//! Relational calculus + constraints: the query AST of Definition 1.6.
+//!
+//! A [`Formula`] is a first-order formula whose atoms are database atoms
+//! `R(x₁..x_k)` or constraints of the theory. Variables are global indices
+//! within one query; a [`CalculusQuery`] fixes the order of the free
+//! variables, which becomes the column order of the output relation.
+
+use crate::error::{CqlError, Result};
+use crate::relation::Database;
+use crate::theory::{Theory, Var};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A relational calculus formula with constraints from theory `T`.
+#[derive(Clone, PartialEq, Eq)]
+pub enum Formula<T: Theory> {
+    /// Database atom `R(vars)`. Repeated variables are allowed and mean
+    /// equality of the corresponding columns.
+    Atom {
+        /// Relation name.
+        relation: String,
+        /// Argument variables, one per column.
+        vars: Vec<Var>,
+    },
+    /// An atomic constraint of the theory.
+    Constraint(T::Constraint),
+    /// Conjunction.
+    And(Box<Formula<T>>, Box<Formula<T>>),
+    /// Disjunction.
+    Or(Box<Formula<T>>, Box<Formula<T>>),
+    /// Negation.
+    Not(Box<Formula<T>>),
+    /// Existential quantification of one variable.
+    Exists(Var, Box<Formula<T>>),
+    /// Universal quantification (evaluated as ¬∃¬).
+    Forall(Var, Box<Formula<T>>),
+}
+
+impl<T: Theory> Formula<T> {
+    /// Database atom builder.
+    #[must_use]
+    pub fn atom(relation: impl Into<String>, vars: impl Into<Vec<Var>>) -> Formula<T> {
+        Formula::Atom { relation: relation.into(), vars: vars.into() }
+    }
+
+    /// Constraint atom builder.
+    #[must_use]
+    pub fn constraint(c: T::Constraint) -> Formula<T> {
+        Formula::Constraint(c)
+    }
+
+    /// Conjunction builder.
+    #[must_use]
+    pub fn and(self, other: Formula<T>) -> Formula<T> {
+        Formula::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction builder.
+    #[must_use]
+    pub fn or(self, other: Formula<T>) -> Formula<T> {
+        Formula::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation builder.
+    #[allow(clippy::should_implement_trait)]
+    #[must_use]
+    pub fn not(self) -> Formula<T> {
+        Formula::Not(Box::new(self))
+    }
+
+    /// `∃ v. self`.
+    #[must_use]
+    pub fn exists(self, v: Var) -> Formula<T> {
+        Formula::Exists(v, Box::new(self))
+    }
+
+    /// `∃ v₁ … ∃ v_n. self` (innermost listed last).
+    #[must_use]
+    pub fn exists_all(self, vars: &[Var]) -> Formula<T> {
+        vars.iter().rev().fold(self, |acc, &v| acc.exists(v))
+    }
+
+    /// `∀ v. self`.
+    #[must_use]
+    pub fn forall(self, v: Var) -> Formula<T> {
+        Formula::Forall(v, Box::new(self))
+    }
+
+    /// Conjunction of many formulas.
+    ///
+    /// # Panics
+    /// Panics on an empty list (there is no generic "true" formula).
+    #[must_use]
+    pub fn conj(parts: Vec<Formula<T>>) -> Formula<T> {
+        let mut it = parts.into_iter();
+        let first = it.next().expect("Formula::conj of empty list");
+        it.fold(first, Formula::and)
+    }
+
+    /// Disjunction of many formulas.
+    ///
+    /// # Panics
+    /// Panics on an empty list.
+    #[must_use]
+    pub fn disj(parts: Vec<Formula<T>>) -> Formula<T> {
+        let mut it = parts.into_iter();
+        let first = it.next().expect("Formula::disj of empty list");
+        it.fold(first, Formula::or)
+    }
+
+    /// Free variables, in increasing order.
+    #[must_use]
+    pub fn free_vars(&self) -> Vec<Var> {
+        let mut free = BTreeSet::new();
+        self.collect_free(&mut BTreeSet::new(), &mut free);
+        free.into_iter().collect()
+    }
+
+    fn collect_free(&self, bound: &mut BTreeSet<Var>, free: &mut BTreeSet<Var>) {
+        match self {
+            Formula::Atom { vars, .. } => {
+                for &v in vars {
+                    if !bound.contains(&v) {
+                        free.insert(v);
+                    }
+                }
+            }
+            Formula::Constraint(c) => {
+                for v in T::vars(c) {
+                    if !bound.contains(&v) {
+                        free.insert(v);
+                    }
+                }
+            }
+            Formula::And(a, b) | Formula::Or(a, b) => {
+                a.collect_free(bound, free);
+                b.collect_free(bound, free);
+            }
+            Formula::Not(a) => a.collect_free(bound, free),
+            Formula::Exists(v, a) | Formula::Forall(v, a) => {
+                let fresh = bound.insert(*v);
+                a.collect_free(bound, free);
+                if fresh {
+                    bound.remove(v);
+                }
+            }
+        }
+    }
+
+    /// All variables (free and bound).
+    #[must_use]
+    pub fn all_vars(&self) -> Vec<Var> {
+        let mut out = BTreeSet::new();
+        self.collect_all(&mut out);
+        out.into_iter().collect()
+    }
+
+    fn collect_all(&self, out: &mut BTreeSet<Var>) {
+        match self {
+            Formula::Atom { vars, .. } => out.extend(vars.iter().copied()),
+            Formula::Constraint(c) => out.extend(T::vars(c)),
+            Formula::And(a, b) | Formula::Or(a, b) => {
+                a.collect_all(out);
+                b.collect_all(out);
+            }
+            Formula::Not(a) => a.collect_all(out),
+            Formula::Exists(v, a) | Formula::Forall(v, a) => {
+                out.insert(*v);
+                a.collect_all(out);
+            }
+        }
+    }
+
+    /// All constants mentioned by constraint atoms.
+    #[must_use]
+    pub fn constants(&self) -> Vec<T::Value> {
+        let mut out = Vec::new();
+        self.collect_constants(&mut out);
+        crate::relation::dedup_values(&mut out);
+        out
+    }
+
+    fn collect_constants(&self, out: &mut Vec<T::Value>) {
+        match self {
+            Formula::Atom { .. } => {}
+            Formula::Constraint(c) => out.extend(T::constants(c)),
+            Formula::And(a, b) | Formula::Or(a, b) => {
+                a.collect_constants(out);
+                b.collect_constants(out);
+            }
+            Formula::Not(a) => a.collect_constants(out),
+            Formula::Exists(_, a) | Formula::Forall(_, a) => a.collect_constants(out),
+        }
+    }
+
+    /// Relation names referenced by database atoms.
+    #[must_use]
+    pub fn relations(&self) -> Vec<String> {
+        let mut out = BTreeSet::new();
+        self.collect_relations(&mut out);
+        out.into_iter().collect()
+    }
+
+    fn collect_relations(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Formula::Atom { relation, .. } => {
+                out.insert(relation.clone());
+            }
+            Formula::Constraint(_) => {}
+            Formula::And(a, b) | Formula::Or(a, b) => {
+                a.collect_relations(out);
+                b.collect_relations(out);
+            }
+            Formula::Not(a) => a.collect_relations(out),
+            Formula::Exists(_, a) | Formula::Forall(_, a) => a.collect_relations(out),
+        }
+    }
+
+    /// Validate the formula against a database: known relations, matching
+    /// arities, and no variable bound twice along a path or bound after
+    /// occurring free (no shadowing — quantified variables must be fresh).
+    ///
+    /// # Errors
+    /// `CqlError::UnknownRelation`, `ArityMismatch`, or `Malformed`.
+    pub fn validate(&self, db: &Database<T>) -> Result<()> {
+        self.validate_rec(db, &mut BTreeSet::new())?;
+        // No quantifier may capture a variable that also occurs free.
+        let free: BTreeSet<Var> = self.free_vars().into_iter().collect();
+        let mut bound = BTreeSet::new();
+        self.collect_bound(&mut bound);
+        if let Some(v) = bound.intersection(&free).next() {
+            return Err(CqlError::Malformed(format!(
+                "variable {v} occurs both free and quantified; use distinct indices"
+            )));
+        }
+        Ok(())
+    }
+
+    fn collect_bound(&self, out: &mut BTreeSet<Var>) {
+        match self {
+            Formula::Atom { .. } | Formula::Constraint(_) => {}
+            Formula::And(a, b) | Formula::Or(a, b) => {
+                a.collect_bound(out);
+                b.collect_bound(out);
+            }
+            Formula::Not(a) => a.collect_bound(out),
+            Formula::Exists(v, a) | Formula::Forall(v, a) => {
+                out.insert(*v);
+                a.collect_bound(out);
+            }
+        }
+    }
+
+    fn validate_rec(&self, db: &Database<T>, bound: &mut BTreeSet<Var>) -> Result<()> {
+        match self {
+            Formula::Atom { relation, vars } => {
+                let rel = db.require(relation)?;
+                if rel.arity() != vars.len() {
+                    return Err(CqlError::ArityMismatch {
+                        relation: relation.clone(),
+                        expected: rel.arity(),
+                        found: vars.len(),
+                    });
+                }
+                Ok(())
+            }
+            Formula::Constraint(_) => Ok(()),
+            Formula::And(a, b) | Formula::Or(a, b) => {
+                a.validate_rec(db, bound)?;
+                b.validate_rec(db, bound)
+            }
+            Formula::Not(a) => a.validate_rec(db, bound),
+            Formula::Exists(v, a) | Formula::Forall(v, a) => {
+                if !bound.insert(*v) {
+                    return Err(CqlError::Malformed(format!(
+                        "variable {v} is quantified twice along one path"
+                    )));
+                }
+                a.validate_rec(db, bound)?;
+                bound.remove(v);
+                Ok(())
+            }
+        }
+    }
+}
+
+impl<T: Theory> fmt::Debug for Formula<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::Atom { relation, vars } => {
+                write!(f, "{relation}(")?;
+                for (i, v) in vars.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "x{v}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Constraint(c) => write!(f, "[{c}]"),
+            Formula::And(a, b) => write!(f, "({a:?} ∧ {b:?})"),
+            Formula::Or(a, b) => write!(f, "({a:?} ∨ {b:?})"),
+            Formula::Not(a) => write!(f, "¬{a:?}"),
+            Formula::Exists(v, a) => write!(f, "∃x{v}.{a:?}"),
+            Formula::Forall(v, a) => write!(f, "∀x{v}.{a:?}"),
+        }
+    }
+}
+
+/// A relational calculus query: a formula plus the output order of its
+/// free variables (the query `φ(x₁, …, x_m)` of Definition 1.8).
+#[derive(Clone, Debug)]
+pub struct CalculusQuery<T: Theory> {
+    /// The query formula.
+    pub formula: Formula<T>,
+    /// Free variables in output-column order.
+    pub free: Vec<Var>,
+}
+
+impl<T: Theory> CalculusQuery<T> {
+    /// Build a query, checking that `free` is exactly the formula's free
+    /// variable set (in any order) with no duplicates.
+    ///
+    /// # Errors
+    /// `CqlError::Malformed` if `free` doesn't match.
+    pub fn new(formula: Formula<T>, free: Vec<Var>) -> Result<CalculusQuery<T>> {
+        let actual = formula.free_vars();
+        let mut sorted = free.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != free.len() {
+            return Err(CqlError::Malformed("duplicate free variable in output list".into()));
+        }
+        if sorted != actual {
+            return Err(CqlError::Malformed(format!(
+                "output variables {free:?} do not match the formula's free variables {actual:?}"
+            )));
+        }
+        Ok(CalculusQuery { formula, free })
+    }
+
+    /// A sentence (no free variables).
+    #[must_use]
+    pub fn sentence(formula: Formula<T>) -> CalculusQuery<T> {
+        debug_assert!(formula.free_vars().is_empty());
+        CalculusQuery { formula, free: Vec::new() }
+    }
+
+    /// Output arity.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.free.len()
+    }
+}

@@ -1,0 +1,41 @@
+//! # cql-core — the Constraint Query Language framework
+//!
+//! A faithful, generic implementation of the framework of Kanellakis,
+//! Kuper and Revesz, *Constraint Query Languages* (PODS 1990): generalized
+//! tuples are conjunctions of constraints, generalized relations are
+//! finite sets of generalized tuples (quantifier-free DNF formulas), and
+//! queries — relational calculus, Datalog, inflationary Datalog¬ — are
+//! evaluated **bottom-up**, in **closed form** (via quantifier
+//! elimination), with **low data complexity**.
+//!
+//! The crate is generic over the constraint theory through the
+//! [`Theory`] trait; the paper's four theories live in sibling crates
+//! (`cql-dense`, `cql-equality`, `cql-poly`, `cql-bool`). Theories with a
+//! finite cell decomposition additionally implement [`CellTheory`], which
+//! unlocks the paper's `EVAL_φ` algorithm ([`cells`]) and the generalized
+//! Herbrand machinery of §3.2 ([`datalog::herbrand`]).
+//!
+//! ```text
+//! database input     query program        database output
+//!   (constraints) ──► φ(db, constraints) ──► 1. closed form
+//!                                            2. evaluated bottom-up
+//!                                            3. low data complexity
+//! ```
+//! *(Figure 1 of the paper.)*
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod algebra;
+pub mod calculus;
+pub mod cells;
+pub mod datalog;
+pub mod error;
+pub mod formula;
+pub mod relation;
+pub mod theory;
+
+pub use error::{CqlError, Result};
+pub use formula::{CalculusQuery, Formula};
+pub use relation::{Database, GenRelation, GenTuple};
+pub use theory::{CellTheory, Theory, Var};

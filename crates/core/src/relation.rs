@@ -1,0 +1,455 @@
+//! Generalized tuples, relations and databases (Definitions 1.3 / 1.4).
+
+use crate::error::{CqlError, Result};
+use crate::theory::{Theory, Var};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A generalized k-tuple: a satisfiable conjunction of constraints over
+/// variables `0..arity`, kept in the theory's canonical form.
+///
+/// A generalized tuple *finitely represents a possibly infinite set of
+/// points* of `D^arity` — the central idea of the paper ("What's in a
+/// tuple? Constraints.").
+pub struct GenTuple<T: Theory> {
+    constraints: Vec<T::Constraint>,
+}
+
+impl<T: Theory> Clone for GenTuple<T> {
+    fn clone(&self) -> Self {
+        GenTuple { constraints: self.constraints.clone() }
+    }
+}
+
+impl<T: Theory> PartialEq for GenTuple<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.constraints == other.constraints
+    }
+}
+
+impl<T: Theory> Eq for GenTuple<T> {}
+
+impl<T: Theory> std::hash::Hash for GenTuple<T> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.constraints.hash(state);
+    }
+}
+
+impl<T: Theory> GenTuple<T> {
+    /// Canonicalize a conjunction into a tuple; `None` if unsatisfiable.
+    #[must_use]
+    pub fn new(constraints: Vec<T::Constraint>) -> Option<GenTuple<T>> {
+        T::canonicalize(&constraints).map(|constraints| GenTuple { constraints })
+    }
+
+    /// The tuple with no constraints (all of `D^arity`).
+    #[must_use]
+    pub fn top() -> GenTuple<T> {
+        GenTuple { constraints: Vec::new() }
+    }
+
+    /// The canonical constraint conjunction.
+    #[must_use]
+    pub fn constraints(&self) -> &[T::Constraint] {
+        &self.constraints
+    }
+
+    /// Does the point satisfy every constraint of the tuple?
+    #[must_use]
+    pub fn satisfied_by(&self, point: &[T::Value]) -> bool {
+        self.constraints.iter().all(|c| T::eval(c, point))
+    }
+
+    /// Conjoin with more constraints; `None` if the result is unsatisfiable.
+    #[must_use]
+    pub fn conjoin(&self, extra: &[T::Constraint]) -> Option<GenTuple<T>> {
+        let mut all = self.constraints.clone();
+        all.extend_from_slice(extra);
+        GenTuple::new(all)
+    }
+
+    /// Rename variables.
+    #[must_use]
+    pub fn rename(&self, map: &dyn Fn(Var) -> Var) -> Vec<T::Constraint> {
+        self.constraints.iter().map(|c| T::rename(c, map)).collect()
+    }
+
+    /// Largest variable index mentioned plus one (0 when unconstrained).
+    #[must_use]
+    pub fn max_var_bound(&self) -> usize {
+        self.constraints.iter().flat_map(|c| T::vars(c)).max().map_or(0, |v| v + 1)
+    }
+
+    /// All constants mentioned by the tuple's constraints.
+    #[must_use]
+    pub fn constants(&self) -> Vec<T::Value> {
+        self.constraints.iter().flat_map(|c| T::constants(c)).collect()
+    }
+}
+
+impl<T: Theory> fmt::Display for GenTuple<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.constraints.is_empty() {
+            return write!(f, "⊤");
+        }
+        let mut first = true;
+        for c in &self.constraints {
+            if !first {
+                write!(f, " ∧ ")?;
+            }
+            first = false;
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<T: Theory> fmt::Debug for GenTuple<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GenTuple({self})")
+    }
+}
+
+/// A generalized relation of some arity: a finite set of generalized
+/// tuples, i.e. a quantifier-free DNF formula over `arity` variables.
+pub struct GenRelation<T: Theory> {
+    arity: usize,
+    tuples: Vec<GenTuple<T>>,
+    /// Hashes of canonical tuples, for O(1) duplicate detection.
+    seen: std::collections::HashSet<u64>,
+}
+
+/// Above this representation size, [`GenRelation::insert`] stops running
+/// the quadratic entailment-subsumption compression and deduplicates by
+/// canonical form only — large intermediate DNFs (e.g. the O(N³) join of
+/// the convex-hull query) stay correct, just less compressed.
+const SUBSUMPTION_LIMIT: usize = 48;
+
+fn tuple_hash<T: Theory>(t: &GenTuple<T>) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    t.hash(&mut h);
+    h.finish()
+}
+
+impl<T: Theory> Clone for GenRelation<T> {
+    fn clone(&self) -> Self {
+        GenRelation { arity: self.arity, tuples: self.tuples.clone(), seen: self.seen.clone() }
+    }
+}
+
+impl<T: Theory> PartialEq for GenRelation<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.arity == other.arity && self.tuples == other.tuples
+    }
+}
+
+impl<T: Theory> Eq for GenRelation<T> {}
+
+impl<T: Theory> GenRelation<T> {
+    /// The empty relation (represents ∅, the formula `false`).
+    #[must_use]
+    pub fn empty(arity: usize) -> GenRelation<T> {
+        GenRelation { arity, tuples: Vec::new(), seen: std::collections::HashSet::new() }
+    }
+
+    /// The full relation (represents `D^arity`, the formula `true`).
+    #[must_use]
+    pub fn full(arity: usize) -> GenRelation<T> {
+        let mut rel = GenRelation::empty(arity);
+        rel.insert(GenTuple::top());
+        rel
+    }
+
+    /// Build from raw conjunctions; unsatisfiable ones are dropped,
+    /// duplicates and subsumed tuples are removed.
+    #[must_use]
+    pub fn from_conjunctions(
+        arity: usize,
+        conjunctions: impl IntoIterator<Item = Vec<T::Constraint>>,
+    ) -> GenRelation<T> {
+        let mut rel = GenRelation::empty(arity);
+        for conj in conjunctions {
+            if let Some(t) = GenTuple::new(conj) {
+                rel.insert(t);
+            }
+        }
+        rel
+    }
+
+    /// The relation's arity.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The tuples (canonical conjunctions).
+    #[must_use]
+    pub fn tuples(&self) -> &[GenTuple<T>] {
+        &self.tuples
+    }
+
+    /// Number of generalized tuples in the representation.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True iff the representation has no tuples (represents ∅).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Insert a tuple. Small representations keep a subsumption-free
+    /// invariant (a tuple covered by an existing one is dropped, and
+    /// tuples it covers are removed); past [`SUBSUMPTION_LIMIT`] tuples
+    /// only exact canonical duplicates are dropped, keeping insertion
+    /// near O(1) on large intermediate DNFs.
+    pub fn insert(&mut self, tuple: GenTuple<T>) -> bool {
+        debug_assert!(tuple.max_var_bound() <= self.arity);
+        let h = tuple_hash(&tuple);
+        if self.seen.contains(&h) && self.tuples.contains(&tuple) {
+            return false;
+        }
+        if self.tuples.len() <= SUBSUMPTION_LIMIT {
+            if self.tuples.iter().any(|t| T::entails(tuple.constraints(), t.constraints())) {
+                return false;
+            }
+            let seen = &mut self.seen;
+            self.tuples.retain(|t| {
+                let keep = !T::entails(t.constraints(), tuple.constraints());
+                if !keep {
+                    seen.remove(&tuple_hash(t));
+                }
+                keep
+            });
+        }
+        self.seen.insert(h);
+        self.tuples.push(tuple);
+        true
+    }
+
+    /// Does the point belong to the represented unrestricted relation?
+    #[must_use]
+    pub fn satisfied_by(&self, point: &[T::Value]) -> bool {
+        self.tuples.iter().any(|t| t.satisfied_by(point))
+    }
+
+    /// Set-union of two representations (same arity).
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    #[must_use]
+    pub fn union(&self, other: &GenRelation<T>) -> GenRelation<T> {
+        assert_eq!(self.arity, other.arity, "union arity mismatch");
+        let mut out = self.clone();
+        for t in &other.tuples {
+            out.insert(t.clone());
+        }
+        out
+    }
+
+    /// Intersection: pairwise conjunction of tuples.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    #[must_use]
+    pub fn intersect(&self, other: &GenRelation<T>) -> GenRelation<T> {
+        assert_eq!(self.arity, other.arity, "intersect arity mismatch");
+        let mut out = GenRelation::empty(self.arity);
+        for a in &self.tuples {
+            for b in &other.tuples {
+                if let Some(t) = a.conjoin(b.constraints()) {
+                    out.insert(t);
+                }
+            }
+        }
+        out
+    }
+
+    /// Complement of the represented point set, as a generalized relation
+    /// over the same `arity` variables.
+    ///
+    /// Computed by De Morgan expansion `¬(∨ᵢ ∧ⱼ cᵢⱼ) = ∧ᵢ ∨ⱼ ¬cᵢⱼ` with
+    /// satisfiability pruning after each distribution step. Worst-case
+    /// exponential in the number of tuples; the cell-based evaluators of
+    /// the dense-order and equality theories avoid this path entirely.
+    #[must_use]
+    pub fn complement(&self) -> GenRelation<T> {
+        let mut acc: Vec<GenTuple<T>> = vec![GenTuple::top()];
+        for tuple in &self.tuples {
+            let mut next: Vec<GenTuple<T>> = Vec::new();
+            for partial in &acc {
+                for c in tuple.constraints() {
+                    for neg in T::negate(c) {
+                        if let Some(t) = partial.conjoin(std::slice::from_ref(&neg)) {
+                            if !next
+                                .iter()
+                                .any(|u| u == &t || T::entails(t.constraints(), u.constraints()))
+                            {
+                                next.retain(|u| !T::entails(u.constraints(), t.constraints()));
+                                next.push(t);
+                            }
+                        }
+                    }
+                }
+            }
+            acc = next;
+            if acc.is_empty() {
+                break;
+            }
+        }
+        let mut out = GenRelation::empty(self.arity);
+        for t in acc {
+            out.insert(t);
+        }
+        out
+    }
+
+    /// Existentially project away variable `var` (quantifier elimination on
+    /// every tuple). The result still uses the same variable numbering; the
+    /// eliminated variable simply no longer occurs.
+    ///
+    /// # Errors
+    /// Propagates `CqlError::Unsupported` from the theory.
+    pub fn eliminate(&self, var: Var) -> Result<GenRelation<T>> {
+        let mut out = GenRelation::empty(self.arity);
+        for t in &self.tuples {
+            for conj in T::eliminate(t.constraints(), var)? {
+                if let Some(t2) = GenTuple::new(conj) {
+                    out.insert(t2);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// All constants mentioned across all tuples.
+    #[must_use]
+    pub fn constants(&self) -> Vec<T::Value> {
+        self.tuples.iter().flat_map(GenTuple::constants).collect()
+    }
+
+    /// Rebuild with a new arity and variable renaming (used to splice a
+    /// relation's DNF into a query's variable space).
+    #[must_use]
+    pub fn rename_into(&self, new_arity: usize, map: &dyn Fn(Var) -> Var) -> GenRelation<T> {
+        let mut out = GenRelation::empty(new_arity);
+        for t in &self.tuples {
+            if let Some(t2) = GenTuple::new(t.rename(map)) {
+                out.insert(t2);
+            }
+        }
+        out
+    }
+}
+
+impl<T: Theory> fmt::Debug for GenRelation<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "GenRelation(arity={}) {{", self.arity)?;
+        for t in &self.tuples {
+            writeln!(f, "  {t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A generalized database: named generalized relations.
+pub struct Database<T: Theory> {
+    relations: BTreeMap<String, GenRelation<T>>,
+}
+
+impl<T: Theory> Clone for Database<T> {
+    fn clone(&self) -> Self {
+        Database { relations: self.relations.clone() }
+    }
+}
+
+impl<T: Theory> Default for Database<T> {
+    fn default() -> Self {
+        Database::new()
+    }
+}
+
+impl<T: Theory> Database<T> {
+    /// An empty database.
+    #[must_use]
+    pub fn new() -> Database<T> {
+        Database { relations: BTreeMap::new() }
+    }
+
+    /// Add (or replace) a relation.
+    pub fn insert(&mut self, name: impl Into<String>, relation: GenRelation<T>) {
+        self.relations.insert(name.into(), relation);
+    }
+
+    /// Look up a relation.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&GenRelation<T>> {
+        self.relations.get(name)
+    }
+
+    /// Look up a relation, as a [`Result`].
+    ///
+    /// # Errors
+    /// `CqlError::UnknownRelation` if absent.
+    pub fn require(&self, name: &str) -> Result<&GenRelation<T>> {
+        self.relations.get(name).ok_or_else(|| CqlError::UnknownRelation(name.to_string()))
+    }
+
+    /// Iterate over `(name, relation)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &GenRelation<T>)> {
+        self.relations.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Relation names.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(String::as_str)
+    }
+
+    /// Number of relations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True iff no relations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// All constants mentioned anywhere in the database — the database's
+    /// contribution to the active domain `D_φ` of §3.1.
+    #[must_use]
+    pub fn constants(&self) -> Vec<T::Value> {
+        let mut out: Vec<T::Value> =
+            self.relations.values().flat_map(GenRelation::constants).collect();
+        dedup_values(&mut out);
+        out
+    }
+
+    /// Total number of generalized tuples across relations (the database
+    /// "size" N of the data-complexity analysis).
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.relations.values().map(GenRelation::len).sum()
+    }
+}
+
+/// Sort-free dedup for values that are only `Eq + Hash`.
+pub(crate) fn dedup_values<V: Clone + Eq + std::hash::Hash>(values: &mut Vec<V>) {
+    let mut seen = std::collections::HashSet::new();
+    values.retain(|v| seen.insert(v.clone()));
+}
+
+impl<T: Theory> fmt::Debug for Database<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Database {{")?;
+        for (name, rel) in &self.relations {
+            writeln!(f, "{name}: {rel:?}")?;
+        }
+        write!(f, "}}")
+    }
+}

@@ -1,0 +1,370 @@
+//! The two-sorted combined framework of §5.2's closing remark:
+//! "boolean equality constraints can be added on top of the Datalog
+//! framework with dense linear order ... we can strictly sort the
+//! arguments of each database predicate, e.g., each argument can range
+//! either over the rationals or over a finite boolean domain. All of our
+//! results still hold in this combined framework."
+//!
+//! [`TwoSorted`] is a product theory: every variable is used at one sort
+//! (order or boolean), constraints mention variables of a single sort,
+//! and all theory operations dispatch to the underlying side. With it,
+//! Example 5.8's recursive parity program runs exactly as the paper
+//! writes it — rational chain relations `Next`/`Last` indexing boolean
+//! `Input` bits.
+
+use cql_arith::Rat;
+use cql_bool::{BoolAlg, BoolConstraint, BoolFunc};
+use cql_core::error::Result;
+use cql_core::theory::{Theory, Var};
+use cql_dense::{Dense, DenseConstraint};
+use std::fmt;
+
+/// A value of the combined domain: a rational or a boolean-algebra
+/// element.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum SortedValue {
+    /// The dense-order sort (ℚ).
+    Num(Rat),
+    /// The boolean sort (an element of the free algebra).
+    Bool(BoolFunc),
+}
+
+impl fmt::Display for SortedValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SortedValue::Num(r) => write!(f, "{r}"),
+            SortedValue::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// A constraint of the combined theory — exactly one sort per atom.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum SortedConstraint {
+    /// A dense-order constraint over numeric variables.
+    Num(DenseConstraint),
+    /// A boolean equality constraint over boolean variables.
+    Bool(BoolConstraint),
+}
+
+impl fmt::Display for SortedConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SortedConstraint::Num(c) => write!(f, "{c}"),
+            SortedConstraint::Bool(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// The combined (dense order × boolean) theory tag.
+///
+/// Sort discipline: a variable may appear in constraints of one sort
+/// only; points supply a [`SortedValue`] of the matching sort per
+/// variable. Violations surface as evaluation panics with a sort
+/// diagnostic — programs are expected to be sort-checked by construction
+/// (the paper's "strictly sorted arguments").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TwoSorted {}
+
+fn split(conj: &[SortedConstraint]) -> (Vec<DenseConstraint>, Vec<BoolConstraint>) {
+    let mut nums = Vec::new();
+    let mut bools = Vec::new();
+    for c in conj {
+        match c {
+            SortedConstraint::Num(c) => nums.push(c.clone()),
+            SortedConstraint::Bool(c) => bools.push(c.clone()),
+        }
+    }
+    (nums, bools)
+}
+
+impl Theory for TwoSorted {
+    type Constraint = SortedConstraint;
+    type Value = SortedValue;
+
+    fn name() -> &'static str {
+        "dense linear order × boolean algebra (two-sorted, §5.2)"
+    }
+
+    fn canonicalize(conj: &[SortedConstraint]) -> Option<Vec<SortedConstraint>> {
+        let (nums, bools) = split(conj);
+        let mut out: Vec<SortedConstraint> =
+            Dense::canonicalize(&nums)?.into_iter().map(SortedConstraint::Num).collect();
+        out.extend(BoolAlg::canonicalize(&bools)?.into_iter().map(SortedConstraint::Bool));
+        Some(out)
+    }
+
+    fn eliminate(conj: &[SortedConstraint], var: Var) -> Result<Vec<Vec<SortedConstraint>>> {
+        let (nums, bools) = split(conj);
+        let num_uses = nums.iter().any(|c| c.vars().contains(&var));
+        if num_uses {
+            let dnf = Dense::eliminate(&nums, var)?;
+            return Ok(dnf
+                .into_iter()
+                .map(|nconj| {
+                    let mut all: Vec<SortedConstraint> =
+                        nconj.into_iter().map(SortedConstraint::Num).collect();
+                    all.extend(bools.iter().cloned().map(SortedConstraint::Bool));
+                    all
+                })
+                .collect());
+        }
+        let dnf = BoolAlg::eliminate(&bools, var)?;
+        Ok(dnf
+            .into_iter()
+            .map(|bconj| {
+                let mut all: Vec<SortedConstraint> =
+                    nums.iter().cloned().map(SortedConstraint::Num).collect();
+                all.extend(bconj.into_iter().map(SortedConstraint::Bool));
+                all
+            })
+            .collect())
+    }
+
+    /// Negation is available on the order sort only (the boolean sort is
+    /// not closed under negation, see [`BoolAlg`]).
+    fn negate(c: &SortedConstraint) -> Vec<SortedConstraint> {
+        match c {
+            SortedConstraint::Num(c) => {
+                Dense::negate(c).into_iter().map(SortedConstraint::Num).collect()
+            }
+            SortedConstraint::Bool(c) => {
+                BoolAlg::negate(c).into_iter().map(SortedConstraint::Bool).collect()
+            }
+        }
+    }
+
+    /// Variable equality defaults to the numeric sort; boolean equality
+    /// between variables is written explicitly via
+    /// [`SortedConstraint::Bool`].
+    fn var_eq(a: Var, b: Var) -> SortedConstraint {
+        SortedConstraint::Num(DenseConstraint::eq(a, b))
+    }
+
+    fn var_const_eq(v: Var, value: &SortedValue) -> SortedConstraint {
+        match value {
+            SortedValue::Num(r) => SortedConstraint::Num(DenseConstraint::eq_const(v, r.clone())),
+            SortedValue::Bool(b) => {
+                SortedConstraint::Bool(BoolConstraint::from_func(BoolFunc::var(v).xor(b)))
+            }
+        }
+    }
+
+    fn eval(c: &SortedConstraint, point: &[SortedValue]) -> bool {
+        match c {
+            SortedConstraint::Num(c) => {
+                let nums: Vec<Rat> = point
+                    .iter()
+                    .map(|v| match v {
+                        SortedValue::Num(r) => r.clone(),
+                        SortedValue::Bool(_) => Rat::zero(), // unused slot
+                    })
+                    .collect();
+                // Sort check: the constraint's variables must be numeric.
+                for v in c.vars() {
+                    assert!(
+                        matches!(point.get(v), Some(SortedValue::Num(_))),
+                        "sort error: x{v} used as a number but bound to a boolean"
+                    );
+                }
+                c.eval(&nums)
+            }
+            SortedConstraint::Bool(c) => {
+                let bools: Vec<BoolFunc> = point
+                    .iter()
+                    .map(|v| match v {
+                        SortedValue::Bool(b) => b.clone(),
+                        SortedValue::Num(_) => BoolFunc::zero(), // unused slot
+                    })
+                    .collect();
+                for v in BoolAlg::vars(c) {
+                    assert!(
+                        matches!(point.get(v), Some(SortedValue::Bool(_))),
+                        "sort error: x{v} used as a boolean but bound to a number"
+                    );
+                }
+                BoolAlg::eval(c, &bools)
+            }
+        }
+    }
+
+    fn rename(c: &SortedConstraint, map: &dyn Fn(Var) -> Var) -> SortedConstraint {
+        match c {
+            SortedConstraint::Num(c) => SortedConstraint::Num(c.rename(map)),
+            SortedConstraint::Bool(c) => SortedConstraint::Bool(BoolAlg::rename(c, map)),
+        }
+    }
+
+    fn vars(c: &SortedConstraint) -> Vec<Var> {
+        match c {
+            SortedConstraint::Num(c) => c.vars(),
+            SortedConstraint::Bool(c) => BoolAlg::vars(c),
+        }
+    }
+
+    fn constants(c: &SortedConstraint) -> Vec<SortedValue> {
+        match c {
+            SortedConstraint::Num(c) => c.constants().into_iter().map(SortedValue::Num).collect(),
+            SortedConstraint::Bool(c) => {
+                BoolAlg::constants(c).into_iter().map(SortedValue::Bool).collect()
+            }
+        }
+    }
+
+    fn entails(a: &[SortedConstraint], b: &[SortedConstraint]) -> bool {
+        let (an, ab) = split(a);
+        let (bn, bb) = split(b);
+        Dense::entails(&an, &bn) && BoolAlg::entails(&ab, &bb)
+    }
+
+    fn sample(conj: &[SortedConstraint], arity: usize) -> Option<Vec<SortedValue>> {
+        // Sample each side, then merge by which sort constrains each slot
+        // (unconstrained slots default to the numeric sort).
+        let (nums, bools) = split(conj);
+        let num_point = Dense::sample(&nums, arity)?;
+        let bool_point = BoolAlg::sample(&bools, arity)?;
+        let bool_vars: std::collections::BTreeSet<Var> =
+            bools.iter().flat_map(BoolAlg::vars).collect();
+        Some(
+            (0..arity)
+                .map(|v| {
+                    if bool_vars.contains(&v) {
+                        SortedValue::Bool(bool_point[v].clone())
+                    } else {
+                        SortedValue::Num(num_point[v].clone())
+                    }
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Example 5.8 exactly as written: the recursive parity program over the
+/// two-sorted framework — rational positions `1..=n` in `Next`/`Last`,
+/// boolean parametric inputs `Input(i, Y_i)`.
+///
+/// Returns the derived `Paritybit` relation (arity 1, boolean sort).
+///
+/// # Errors
+/// Propagates fixpoint errors.
+pub fn example_5_8_parity(n: usize) -> Result<cql_core::GenRelation<TwoSorted>> {
+    use cql_bool::BoolTerm;
+    use cql_core::datalog::{self, Atom, FixpointOptions, Literal, Program, Rule};
+    use cql_core::{Database, GenRelation};
+
+    assert!(n >= 1);
+    let num_eq = |v: Var, k: i64| SortedConstraint::Num(DenseConstraint::eq_const(v, k));
+
+    let bool_eq =
+        |v: Var, t: &BoolTerm| SortedConstraint::Bool(BoolConstraint::eq(&BoolTerm::Var(v), t));
+
+    let mut edb: Database<TwoSorted> = Database::new();
+    edb.insert(
+        "Next",
+        GenRelation::from_conjunctions(
+            2,
+            (1..n as i64).map(|i| vec![num_eq(0, i), num_eq(1, i + 1)]),
+        ),
+    );
+    edb.insert("Last", GenRelation::from_conjunctions(1, vec![vec![num_eq(0, n as i64)]]));
+    edb.insert(
+        "Input",
+        GenRelation::from_conjunctions(
+            2,
+            (1..=n).map(|i| vec![num_eq(0, i as i64), bool_eq(1, &BoolTerm::Gen(i - 1))]),
+        ),
+    );
+
+    // Paritybit(x) :- Parity(k, x), Last(k)
+    // Parity(i, x) :- Parity(j, y), Next(j, i), Input(i, z), x = y ⊕ z
+    // Parity(1, z) :- Input(i, z), i = 1
+    let program: Program<TwoSorted> = Program::new(vec![
+        Rule::new(
+            Atom::new("Paritybit", vec![0]),
+            vec![
+                Literal::Pos(Atom::new("Parity", vec![1, 0])),
+                Literal::Pos(Atom::new("Last", vec![1])),
+            ],
+        ),
+        Rule::new(
+            Atom::new("Parity", vec![0, 1]),
+            vec![
+                Literal::Pos(Atom::new("Parity", vec![2, 3])),
+                Literal::Pos(Atom::new("Next", vec![2, 0])),
+                Literal::Pos(Atom::new("Input", vec![0, 4])),
+                Literal::Constraint(SortedConstraint::Bool(BoolConstraint::eq(
+                    &BoolTerm::Var(1),
+                    &BoolTerm::Var(3).xor(BoolTerm::Var(4)),
+                ))),
+            ],
+        ),
+        Rule::new(
+            Atom::new("Parity", vec![0, 1]),
+            vec![Literal::Pos(Atom::new("Input", vec![0, 1])), Literal::Constraint(num_eq(0, 1))],
+        ),
+    ]);
+    let opts = FixpointOptions { max_iterations: n + 4, ..FixpointOptions::default() };
+    let result = datalog::naive(&program, &edb, &opts)?;
+    Ok(result.idb.get("Paritybit").expect("derived").clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalize_splits_sorts() {
+        let conj = vec![
+            SortedConstraint::Num(DenseConstraint::lt(0, 1)),
+            SortedConstraint::Bool(BoolConstraint::eq(
+                &cql_bool::BoolTerm::Var(2),
+                &cql_bool::BoolTerm::Gen(0),
+            )),
+        ];
+        let canon = TwoSorted::canonicalize(&conj).unwrap();
+        assert_eq!(canon.len(), 2);
+        // Contradiction on the numeric side kills the whole conjunction.
+        let mut bad = conj.clone();
+        bad.push(SortedConstraint::Num(DenseConstraint::lt(1, 0)));
+        assert!(TwoSorted::canonicalize(&bad).is_none());
+    }
+
+    #[test]
+    fn eval_respects_sorts() {
+        let c = SortedConstraint::Num(DenseConstraint::lt_const(0, 5));
+        assert!(TwoSorted::eval(&c, &[SortedValue::Num(Rat::from(3))]));
+        assert!(!TwoSorted::eval(&c, &[SortedValue::Num(Rat::from(7))]));
+    }
+
+    #[test]
+    fn example_5_8_runs_as_written() {
+        for n in 1..=4 {
+            let parity = example_5_8_parity(n).unwrap();
+            let expected = cql_bool::programs::parity_func(n);
+            assert!(
+                parity.satisfied_by(&[SortedValue::Bool(expected.clone())]),
+                "parity of {n} parametric bits"
+            );
+            assert!(!parity.satisfied_by(&[SortedValue::Bool(expected.not())]));
+        }
+    }
+
+    #[test]
+    fn mixed_elimination_dispatches() {
+        // ∃x1 (x0 < x1 ∧ x1 < x2) with an unrelated boolean conjunct.
+        let conj = vec![
+            SortedConstraint::Num(DenseConstraint::lt(0, 1)),
+            SortedConstraint::Num(DenseConstraint::lt(1, 2)),
+            SortedConstraint::Bool(BoolConstraint::eq(
+                &cql_bool::BoolTerm::Var(3),
+                &cql_bool::BoolTerm::Gen(0),
+            )),
+        ];
+        let dnf = TwoSorted::eliminate(&conj, 1).unwrap();
+        assert_eq!(dnf.len(), 1);
+        assert!(dnf[0].contains(&SortedConstraint::Num(DenseConstraint::lt(0, 2))));
+        // ∃x3 of the boolean conjunct: Boole's lemma drops it.
+        let dnf2 = TwoSorted::eliminate(&dnf[0], 3).unwrap();
+        assert!(dnf2[0].iter().all(|c| matches!(c, SortedConstraint::Num(_))));
+    }
+}

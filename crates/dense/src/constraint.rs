@@ -1,0 +1,282 @@
+//! Dense linear order inequality constraints (Definition 1.2, class 2).
+//!
+//! Atomic constraints are `x θ y` and `x θ c` where `θ ∈ {<, ≤, =, ≠}`
+//! (with `>`, `≥` available as swapped forms), variables range over a
+//! countably infinite dense order — we use ℚ — and constants are rationals.
+
+use cql_arith::Rat;
+use std::fmt;
+
+/// One side of a dense-order constraint: a variable or a constant.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Term {
+    /// Variable `x_i`.
+    Var(usize),
+    /// A rational constant.
+    Const(Rat),
+}
+
+impl Term {
+    /// The variable index if this is a variable.
+    #[must_use]
+    pub fn as_var(&self) -> Option<usize> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant if this is a constant.
+    #[must_use]
+    pub fn as_const(&self) -> Option<&Rat> {
+        match self {
+            Term::Var(_) => None,
+            Term::Const(c) => Some(c),
+        }
+    }
+
+    /// Value of the term under a point assignment.
+    #[must_use]
+    pub fn value(&self, point: &[Rat]) -> Rat {
+        match self {
+            Term::Var(v) => point[*v].clone(),
+            Term::Const(c) => c.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "x{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// Comparison operator of a dense-order constraint.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum DenseOp {
+    /// Strictly less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Equality.
+    Eq,
+    /// Disequality.
+    Ne,
+}
+
+impl DenseOp {
+    /// Evaluate the operator on two rationals.
+    #[must_use]
+    pub fn eval(self, a: &Rat, b: &Rat) -> bool {
+        match self {
+            DenseOp::Lt => a < b,
+            DenseOp::Le => a <= b,
+            DenseOp::Eq => a == b,
+            DenseOp::Ne => a != b,
+        }
+    }
+}
+
+/// An atomic dense-order constraint `lhs op rhs`.
+///
+/// The class is closed under negation: `¬(a < b) ≡ b ≤ a`,
+/// `¬(a ≤ b) ≡ b < a`, `¬(a = b) ≡ a ≠ b`, `¬(a ≠ b) ≡ a = b` — each a
+/// single atomic constraint again (used by [`crate::Dense`]'s
+/// `Theory::negate`).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DenseConstraint {
+    /// Left term.
+    pub lhs: Term,
+    /// Operator.
+    pub op: DenseOp,
+    /// Right term.
+    pub rhs: Term,
+}
+
+impl DenseConstraint {
+    /// `lhs op rhs` builder.
+    #[must_use]
+    pub fn new(lhs: Term, op: DenseOp, rhs: Term) -> DenseConstraint {
+        DenseConstraint { lhs, op, rhs }
+    }
+
+    /// `x_a < x_b`.
+    #[must_use]
+    pub fn lt(a: usize, b: usize) -> DenseConstraint {
+        DenseConstraint::new(Term::Var(a), DenseOp::Lt, Term::Var(b))
+    }
+
+    /// `x_a ≤ x_b`.
+    #[must_use]
+    pub fn le(a: usize, b: usize) -> DenseConstraint {
+        DenseConstraint::new(Term::Var(a), DenseOp::Le, Term::Var(b))
+    }
+
+    /// `x_a = x_b`.
+    #[must_use]
+    pub fn eq(a: usize, b: usize) -> DenseConstraint {
+        DenseConstraint::new(Term::Var(a), DenseOp::Eq, Term::Var(b))
+    }
+
+    /// `x_a ≠ x_b`.
+    #[must_use]
+    pub fn ne(a: usize, b: usize) -> DenseConstraint {
+        DenseConstraint::new(Term::Var(a), DenseOp::Ne, Term::Var(b))
+    }
+
+    /// `x_v < c`.
+    #[must_use]
+    pub fn lt_const(v: usize, c: impl Into<Rat>) -> DenseConstraint {
+        DenseConstraint::new(Term::Var(v), DenseOp::Lt, Term::Const(c.into()))
+    }
+
+    /// `x_v ≤ c`.
+    #[must_use]
+    pub fn le_const(v: usize, c: impl Into<Rat>) -> DenseConstraint {
+        DenseConstraint::new(Term::Var(v), DenseOp::Le, Term::Const(c.into()))
+    }
+
+    /// `x_v = c`.
+    #[must_use]
+    pub fn eq_const(v: usize, c: impl Into<Rat>) -> DenseConstraint {
+        DenseConstraint::new(Term::Var(v), DenseOp::Eq, Term::Const(c.into()))
+    }
+
+    /// `x_v ≠ c`.
+    #[must_use]
+    pub fn ne_const(v: usize, c: impl Into<Rat>) -> DenseConstraint {
+        DenseConstraint::new(Term::Var(v), DenseOp::Ne, Term::Const(c.into()))
+    }
+
+    /// `c < x_v`.
+    #[must_use]
+    pub fn gt_const(v: usize, c: impl Into<Rat>) -> DenseConstraint {
+        DenseConstraint::new(Term::Const(c.into()), DenseOp::Lt, Term::Var(v))
+    }
+
+    /// `c ≤ x_v`.
+    #[must_use]
+    pub fn ge_const(v: usize, c: impl Into<Rat>) -> DenseConstraint {
+        DenseConstraint::new(Term::Const(c.into()), DenseOp::Le, Term::Var(v))
+    }
+
+    /// The negated constraint (single atom; the class is closed).
+    #[must_use]
+    pub fn negated(&self) -> DenseConstraint {
+        match self.op {
+            DenseOp::Lt => DenseConstraint::new(self.rhs.clone(), DenseOp::Le, self.lhs.clone()),
+            DenseOp::Le => DenseConstraint::new(self.rhs.clone(), DenseOp::Lt, self.lhs.clone()),
+            DenseOp::Eq => DenseConstraint::new(self.lhs.clone(), DenseOp::Ne, self.rhs.clone()),
+            DenseOp::Ne => DenseConstraint::new(self.lhs.clone(), DenseOp::Eq, self.rhs.clone()),
+        }
+    }
+
+    /// Evaluate at a point.
+    #[must_use]
+    pub fn eval(&self, point: &[Rat]) -> bool {
+        self.op.eval(&self.lhs.value(point), &self.rhs.value(point))
+    }
+
+    /// Rename variables.
+    #[must_use]
+    pub fn rename(&self, map: &dyn Fn(usize) -> usize) -> DenseConstraint {
+        let rn = |t: &Term| match t {
+            Term::Var(v) => Term::Var(map(*v)),
+            Term::Const(c) => Term::Const(c.clone()),
+        };
+        DenseConstraint::new(rn(&self.lhs), self.op, rn(&self.rhs))
+    }
+
+    /// Variables mentioned (sorted, deduplicated).
+    #[must_use]
+    pub fn vars(&self) -> Vec<usize> {
+        let mut out: Vec<usize> =
+            [&self.lhs, &self.rhs].iter().filter_map(|t| t.as_var()).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Constants mentioned.
+    #[must_use]
+    pub fn constants(&self) -> Vec<Rat> {
+        [&self.lhs, &self.rhs].iter().filter_map(|t| t.as_const().cloned()).collect()
+    }
+}
+
+impl fmt::Display for DenseConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self.op {
+            DenseOp::Lt => "<",
+            DenseOp::Le => "≤",
+            DenseOp::Eq => "=",
+            DenseOp::Ne => "≠",
+        };
+        write!(f, "{} {op} {}", self.lhs, self.rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(vals: &[i64]) -> Vec<Rat> {
+        vals.iter().map(|&v| Rat::from(v)).collect()
+    }
+
+    #[test]
+    fn eval_ops() {
+        assert!(DenseConstraint::lt(0, 1).eval(&pt(&[1, 2])));
+        assert!(!DenseConstraint::lt(0, 1).eval(&pt(&[2, 2])));
+        assert!(DenseConstraint::le(0, 1).eval(&pt(&[2, 2])));
+        assert!(DenseConstraint::eq(0, 1).eval(&pt(&[2, 2])));
+        assert!(DenseConstraint::ne(0, 1).eval(&pt(&[1, 2])));
+        assert!(DenseConstraint::lt_const(0, 5).eval(&pt(&[4])));
+        assert!(DenseConstraint::gt_const(0, 5).eval(&pt(&[6])));
+    }
+
+    #[test]
+    fn negation_is_complement() {
+        let cases = [
+            DenseConstraint::lt(0, 1),
+            DenseConstraint::le(0, 1),
+            DenseConstraint::eq(0, 1),
+            DenseConstraint::ne(0, 1),
+            DenseConstraint::lt_const(0, 3),
+            DenseConstraint::eq_const(1, 7),
+        ];
+        let points = [pt(&[1, 2]), pt(&[2, 1]), pt(&[2, 2]), pt(&[3, 7]), pt(&[7, 7])];
+        for c in &cases {
+            let n = c.negated();
+            for p in &points {
+                assert_ne!(c.eval(p), n.eval(p), "{c} vs {n} at {p:?}");
+            }
+            // Double negation is identity on semantics.
+            let nn = n.negated();
+            for p in &points {
+                assert_eq!(c.eval(p), nn.eval(p));
+            }
+        }
+    }
+
+    #[test]
+    fn rename_and_vars() {
+        let c = DenseConstraint::lt(0, 2);
+        assert_eq!(c.vars(), vec![0, 2]);
+        let r = c.rename(&|v| v + 10);
+        assert_eq!(r, DenseConstraint::lt(10, 12));
+        let k = DenseConstraint::lt_const(1, 5);
+        assert_eq!(k.vars(), vec![1]);
+        assert_eq!(k.constants(), vec![Rat::from(5)]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(DenseConstraint::lt(0, 1).to_string(), "x0 < x1");
+        assert_eq!(DenseConstraint::le_const(2, 5).to_string(), "x2 ≤ 5");
+        assert_eq!(DenseConstraint::gt_const(0, 3).to_string(), "3 < x0");
+    }
+}

@@ -1,0 +1,32 @@
+//! # cql-dense — dense linear order constraints (§3 of the paper)
+//!
+//! The theory of dense linear order with constants: constraints `x θ y`
+//! and `x θ c` with `θ ∈ {<, ≤, =, ≠}` over ℚ. Implements:
+//!
+//! * canonical order-constraint networks ([`network::ClosedNetwork`]) —
+//!   satisfiability, canonicalization, entailment, sampling, and exact
+//!   quantifier elimination (Fourier–Motzkin for dense orders, with a
+//!   `≠` case split);
+//! * r-configurations ([`rconfig::RConfig`], Definition 3.1) — the cells
+//!   driving the paper's `EVAL_φ` algorithm and the §3.2 generalized
+//!   Herbrand machinery;
+//! * the [`Dense`] tag type implementing `cql_core::Theory` and
+//!   `cql_core::CellTheory`.
+//!
+//! Per the paper: relational calculus + dense order evaluates bottom-up in
+//! closed form with LOGSPACE data complexity, and inflationary Datalog¬ +
+//! dense order with PTIME data complexity (Theorem 3.14), expressing
+//! exactly PTIME (Theorem 3.15).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod constraint;
+pub mod network;
+pub mod rconfig;
+pub mod theory_impl;
+
+pub use constraint::{DenseConstraint, DenseOp, Term};
+pub use network::ClosedNetwork;
+pub use rconfig::RConfig;
+pub use theory_impl::{dsl, Dense};

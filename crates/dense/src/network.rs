@@ -1,0 +1,787 @@
+//! Order-constraint networks: canonicalization, satisfiability, quantifier
+//! elimination and sampling for conjunctions of dense-order constraints.
+//!
+//! A conjunction over `{<, ≤, =, ≠}` atoms is compiled to a graph on
+//! variable and constant nodes whose `≤`-edges carry a strictness flag.
+//! Transitive closure (Floyd–Warshall, keeping the strongest strictness),
+//! equality-class collapsing, and `≠`-strengthening (`a ≤ b ∧ a ≠ b ⇒
+//! a < b`) give:
+//!
+//! * **satisfiability** — exactly (a strict self-loop or a `≠` within an
+//!   equality class is the only way to be inconsistent over a dense
+//!   order);
+//! * **canonical forms** — the emitted atom set is deterministic and
+//!   equivalence-preserving. It is *almost* semantically unique: rare
+//!   `≠`-through-chains implications (e.g. `x≤y ∧ x≤z ∧ y≤w ∧ z≤w ∧ y≠z ⊨
+//!   x<w`) are not strengthened, so two equivalent conjunctions can in
+//!   principle canonicalize differently. This is sound; it only weakens
+//!   tuple deduplication, never results (see DESIGN.md).
+//! * **exact quantifier elimination** — `≠` atoms on the eliminated
+//!   variable are case-split into strict orders first, making the
+//!   pairwise bound combination of dense-order Fourier–Motzkin exact;
+//! * **sample points** — a witness in ℚⁿ by topological greedy choice,
+//!   using density to dodge `≠` exclusions.
+
+use crate::constraint::{DenseConstraint, DenseOp, Term};
+use cql_arith::Rat;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Strength of an `≤`-edge: `Some(true)` = strict, `Some(false)` = weak,
+/// `None` = unrelated.
+type Edge = Option<bool>;
+
+/// One side of a variable's constant bounds: `(value, strict)`, `None` =
+/// unbounded on that side.
+pub type VarBound = Option<(Rat, bool)>;
+
+fn stronger(a: Edge, b: Edge) -> Edge {
+    match (a, b) {
+        (Some(true), _) | (_, Some(true)) => Some(true),
+        (Some(false), _) | (_, Some(false)) => Some(false),
+        (None, None) => None,
+    }
+}
+
+/// A closed (canonicalized) order network, or a proof of unsatisfiability.
+#[derive(Debug)]
+pub struct ClosedNetwork {
+    /// Node terms: variables then constants, in first-seen order.
+    nodes: Vec<Term>,
+    /// Class id of each node.
+    class_of: Vec<usize>,
+    /// Members of each class (node indices).
+    members: Vec<Vec<usize>>,
+    /// Pinned constant of each class, if any.
+    pinned: Vec<Option<Rat>>,
+    /// Class-level `≤` relation, transitively closed.
+    le: Vec<Vec<Edge>>,
+    /// Class-level `≠` pairs (canonical `(min,max)`), not implied by `le`.
+    ne: BTreeSet<(usize, usize)>,
+}
+
+impl ClosedNetwork {
+    /// Build and close a network from a conjunction.
+    /// Returns `None` if the conjunction is unsatisfiable.
+    #[must_use]
+    pub fn build(constraints: &[DenseConstraint]) -> Option<ClosedNetwork> {
+        // --- Collect nodes.
+        let mut index: BTreeMap<Term, usize> = BTreeMap::new();
+        let mut nodes: Vec<Term> = Vec::new();
+        let intern = |t: &Term, nodes: &mut Vec<Term>, index: &mut BTreeMap<Term, usize>| {
+            *index.entry(t.clone()).or_insert_with(|| {
+                nodes.push(t.clone());
+                nodes.len() - 1
+            })
+        };
+        let mut edges: Vec<(usize, usize, bool)> = Vec::new();
+        let mut nes: Vec<(usize, usize)> = Vec::new();
+        for c in constraints {
+            let a = intern(&c.lhs, &mut nodes, &mut index);
+            let b = intern(&c.rhs, &mut nodes, &mut index);
+            match c.op {
+                DenseOp::Lt => edges.push((a, b, true)),
+                DenseOp::Le => edges.push((a, b, false)),
+                DenseOp::Eq => {
+                    edges.push((a, b, false));
+                    edges.push((b, a, false));
+                }
+                DenseOp::Ne => {
+                    if a == b {
+                        return None;
+                    }
+                    nes.push((a.min(b), a.max(b)));
+                }
+            }
+        }
+        // Constant nodes are mutually ordered by their values.
+        let const_nodes: Vec<(usize, Rat)> = nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.as_const().map(|c| (i, c.clone())))
+            .collect();
+        for (i, ci) in &const_nodes {
+            for (j, cj) in &const_nodes {
+                if ci < cj {
+                    edges.push((*i, *j, true));
+                }
+            }
+        }
+
+        // --- Node-level closure.
+        let n = nodes.len();
+        let mut le: Vec<Vec<Edge>> = vec![vec![None; n]; n];
+        for (i, row) in le.iter_mut().enumerate() {
+            row[i] = Some(false);
+        }
+        for (a, b, strict) in edges {
+            le[a][b] = stronger(le[a][b], Some(strict));
+        }
+        floyd_warshall(&mut le);
+        for (i, row) in le.iter().enumerate() {
+            if row[i] == Some(true) {
+                return None;
+            }
+        }
+
+        // --- Equality classes (mutual weak edges).
+        let mut class_of = vec![usize::MAX; n];
+        let mut members: Vec<Vec<usize>> = Vec::new();
+        for i in 0..n {
+            if class_of[i] != usize::MAX {
+                continue;
+            }
+            let id = members.len();
+            let mut group = Vec::new();
+            for j in 0..n {
+                if le[i][j] == Some(false) && le[j][i] == Some(false) {
+                    class_of[j] = id;
+                    group.push(j);
+                }
+            }
+            members.push(group);
+        }
+        let k = members.len();
+        let mut pinned: Vec<Option<Rat>> = vec![None; k];
+        for (id, group) in members.iter().enumerate() {
+            for &node in group {
+                if let Some(c) = nodes[node].as_const() {
+                    // Two distinct constants can never share a class (their
+                    // mutual strict edge closes to a strict self-loop).
+                    pinned[id] = Some(c.clone());
+                }
+            }
+        }
+
+        // --- Class-level relation and ≠ set.
+        let mut cle: Vec<Vec<Edge>> = vec![vec![None; k]; k];
+        for (ci, row) in cle.iter_mut().enumerate() {
+            row[ci] = Some(false);
+        }
+        for i in 0..n {
+            for j in 0..n {
+                let (a, b) = (class_of[i], class_of[j]);
+                if a != b {
+                    cle[a][b] = stronger(cle[a][b], le[i][j]);
+                }
+            }
+        }
+        let mut cne: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for (i, j) in nes {
+            let (a, b) = (class_of[i], class_of[j]);
+            if a == b {
+                return None;
+            }
+            cne.insert((a.min(b), a.max(b)));
+        }
+
+        // --- ≠-strengthening to < , then re-close, to fixpoint.
+        loop {
+            let mut changed = false;
+            for &(a, b) in &cne {
+                if cle[a][b] == Some(false) {
+                    cle[a][b] = Some(true);
+                    changed = true;
+                }
+                if cle[b][a] == Some(false) {
+                    cle[b][a] = Some(true);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+            floyd_warshall(&mut cle);
+            for (a, row) in cle.iter().enumerate() {
+                if row[a] == Some(true) {
+                    return None;
+                }
+            }
+        }
+        // Drop ≠ pairs implied by a strict relation.
+        cne.retain(|&(a, b)| cle[a][b] != Some(true) && cle[b][a] != Some(true));
+
+        Some(ClosedNetwork { nodes, class_of, members, pinned, le: cle, ne: cne })
+    }
+
+    /// Variables of a class, sorted.
+    fn class_vars(&self, class: usize) -> Vec<usize> {
+        let mut vs: Vec<usize> =
+            self.members[class].iter().filter_map(|&node| self.nodes[node].as_var()).collect();
+        vs.sort_unstable();
+        vs
+    }
+
+    /// Representative term of a class: its pinned constant if any,
+    /// otherwise its smallest variable.
+    fn rep(&self, class: usize) -> Term {
+        if let Some(c) = &self.pinned[class] {
+            Term::Const(c.clone())
+        } else {
+            Term::Var(self.class_vars(class)[0])
+        }
+    }
+
+    /// Tightest constant lower bound `(value, strict)` of a class.
+    fn lower_bound(&self, class: usize) -> Option<(Rat, bool)> {
+        let mut best: Option<(Rat, bool)> = None;
+        for (other, p) in self.pinned.iter().enumerate() {
+            let Some(c) = p else { continue };
+            if other == class {
+                continue;
+            }
+            if let Some(strict) = self.le[other][class] {
+                match &best {
+                    Some((bc, _)) if bc >= c => {}
+                    _ => best = Some((c.clone(), strict)),
+                }
+            }
+        }
+        best
+    }
+
+    /// Tightest constant upper bound `(value, strict)` of a class.
+    fn upper_bound(&self, class: usize) -> Option<(Rat, bool)> {
+        let mut best: Option<(Rat, bool)> = None;
+        for (other, p) in self.pinned.iter().enumerate() {
+            let Some(c) = p else { continue };
+            if other == class {
+                continue;
+            }
+            if let Some(strict) = self.le[class][other] {
+                match &best {
+                    Some((bc, _)) if bc <= c => {}
+                    _ => best = Some((c.clone(), strict)),
+                }
+            }
+        }
+        best
+    }
+
+    /// Classes that contain at least one variable (in order of smallest
+    /// variable).
+    fn var_classes(&self) -> Vec<usize> {
+        let mut out: Vec<(usize, usize)> = (0..self.members.len())
+            .filter_map(|c| {
+                let vs = self.class_vars(c);
+                vs.first().map(|&v| (v, c))
+            })
+            .collect();
+        out.sort_unstable();
+        out.into_iter().map(|(_, c)| c).collect()
+    }
+
+    /// Emit the canonical constraint conjunction, skipping any variable in
+    /// `skip`.
+    #[must_use]
+    pub fn canonical_constraints(&self, skip: Option<usize>) -> Vec<DenseConstraint> {
+        let keep = |v: usize| skip != Some(v);
+        let mut out: Vec<DenseConstraint> = Vec::new();
+        let var_classes: Vec<usize> = self.var_classes();
+
+        // Per-class atoms: equalities / pins / constant bounds / const ≠.
+        for &class in &var_classes {
+            let vars: Vec<usize> =
+                self.class_vars(class).into_iter().filter(|&v| keep(v)).collect();
+            let Some(&rep) = vars.first() else { continue };
+            if let Some(c) = &self.pinned[class] {
+                for &v in &vars {
+                    out.push(DenseConstraint::new(
+                        Term::Var(v),
+                        DenseOp::Eq,
+                        Term::Const(c.clone()),
+                    ));
+                }
+                continue;
+            }
+            for &v in &vars[1..] {
+                out.push(DenseConstraint::new(Term::Var(rep), DenseOp::Eq, Term::Var(v)));
+            }
+            if let Some((c, strict)) = self.lower_bound(class) {
+                let op = if strict { DenseOp::Lt } else { DenseOp::Le };
+                out.push(DenseConstraint::new(Term::Const(c), op, Term::Var(rep)));
+            }
+            if let Some((c, strict)) = self.upper_bound(class) {
+                let op = if strict { DenseOp::Lt } else { DenseOp::Le };
+                out.push(DenseConstraint::new(Term::Var(rep), op, Term::Const(c)));
+            }
+            // ≠ against constants.
+            for &(a, b) in &self.ne {
+                let (other, me) = if a == class {
+                    (b, a)
+                } else if b == class {
+                    (a, b)
+                } else {
+                    continue;
+                };
+                let _ = me;
+                if let Some(c) = &self.pinned[other] {
+                    out.push(DenseConstraint::new(
+                        Term::Var(rep),
+                        DenseOp::Ne,
+                        Term::Const(c.clone()),
+                    ));
+                }
+            }
+        }
+
+        // Pairwise relations between unpinned variable classes.
+        for (i, &a) in var_classes.iter().enumerate() {
+            if self.pinned[a].is_some() {
+                continue;
+            }
+            let ra = self.class_vars(a).into_iter().find(|&v| keep(v));
+            let Some(ra) = ra else { continue };
+            for &b in var_classes.iter().skip(i + 1) {
+                if self.pinned[b].is_some() {
+                    continue;
+                }
+                let rb = self.class_vars(b).into_iter().find(|&v| keep(v));
+                let Some(rb) = rb else { continue };
+                match (self.le[a][b], self.le[b][a]) {
+                    (Some(s), _) => {
+                        let op = if s { DenseOp::Lt } else { DenseOp::Le };
+                        out.push(DenseConstraint::new(Term::Var(ra), op, Term::Var(rb)));
+                    }
+                    (_, Some(s)) => {
+                        let op = if s { DenseOp::Lt } else { DenseOp::Le };
+                        out.push(DenseConstraint::new(Term::Var(rb), op, Term::Var(ra)));
+                    }
+                    (None, None) => {
+                        if self.ne.contains(&(a.min(b), a.max(b))) {
+                            out.push(DenseConstraint::new(
+                                Term::Var(ra),
+                                DenseOp::Ne,
+                                Term::Var(rb),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The class of a variable, if present in the network.
+    fn class_of_var(&self, v: usize) -> Option<usize> {
+        self.nodes.iter().position(|t| t.as_var() == Some(v)).map(|node| self.class_of[node])
+    }
+
+    /// `≠` partners of variable `v`'s class, as representative terms of
+    /// the partner classes (with `v` excluded from representative choice).
+    fn ne_partners_of(&self, v: usize) -> Vec<Term> {
+        let Some(class) = self.class_of_var(v) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for &(a, b) in &self.ne {
+            let other = if a == class {
+                b
+            } else if b == class {
+                a
+            } else {
+                continue;
+            };
+            out.push(self.rep(other));
+        }
+        out
+    }
+
+    /// Is the atom implied by this (satisfiable, closed) network?
+    ///
+    /// Sound; complete up to the documented `≠`-chain gap.
+    #[must_use]
+    pub fn implies(&self, c: &DenseConstraint) -> bool {
+        let class_of_term = |t: &Term| -> Option<usize> {
+            match t {
+                Term::Var(v) => self.class_of_var(*v),
+                Term::Const(k) => {
+                    // A constant absent from the network relates to classes
+                    // only through pinned values and bounds.
+                    self.nodes
+                        .iter()
+                        .position(|n| n.as_const() == Some(k))
+                        .map(|node| self.class_of[node])
+                }
+            }
+        };
+        let (ca, cb) = (class_of_term(&c.lhs), class_of_term(&c.rhs));
+        match (ca, cb) {
+            (Some(a), Some(b)) => match c.op {
+                DenseOp::Eq => a == b,
+                DenseOp::Lt => a != b && self.le[a][b] == Some(true),
+                DenseOp::Le => a == b || self.le[a][b].is_some(),
+                DenseOp::Ne => {
+                    a != b
+                        && (self.ne.contains(&(a.min(b), a.max(b)))
+                            || self.le[a][b] == Some(true)
+                            || self.le[b][a] == Some(true)
+                            || (self.pinned[a].is_some()
+                                && self.pinned[b].is_some()
+                                && self.pinned[a] != self.pinned[b]))
+                }
+            },
+            // A term unknown to the network: only derivable through
+            // constant arithmetic with a known side.
+            (Some(a), None) => {
+                let Some(k) = c.rhs.as_const() else { return false };
+                self.implied_vs_const(a, k, c.op, true)
+            }
+            (None, Some(b)) => {
+                let Some(k) = c.lhs.as_const() else { return false };
+                self.implied_vs_const(b, k, c.op, false)
+            }
+            (None, None) => match (c.lhs.as_const(), c.rhs.as_const()) {
+                (Some(x), Some(y)) => c.op.eval_consts(x, y),
+                _ => false,
+            },
+        }
+    }
+
+    /// Is `class op k` (when `class_on_left`) or `k op class` implied,
+    /// for a constant `k` that has no node in the network?
+    fn implied_vs_const(&self, class: usize, k: &Rat, op: DenseOp, class_on_left: bool) -> bool {
+        if let Some(c) = &self.pinned[class] {
+            return if class_on_left { op.eval(c, k) } else { op.eval(k, c) };
+        }
+        let lower = self.lower_bound(class);
+        let upper = self.upper_bound(class);
+        // x ∈ (lower, upper) with strictness flags; what is implied vs k?
+        let above_k = lower.as_ref().is_some_and(|(c, strict)| c > k || (c == k && *strict));
+        let above_or_eq_k = above_k || lower.as_ref().is_some_and(|(c, _)| c >= k);
+        let below_k = upper.as_ref().is_some_and(|(c, strict)| c < k || (c == k && *strict));
+        let below_or_eq_k = below_k || upper.as_ref().is_some_and(|(c, _)| c <= k);
+        let (lt, le, ne) = if class_on_left {
+            (below_k, below_or_eq_k, below_k || above_k)
+        } else {
+            (above_k, above_or_eq_k, below_k || above_k)
+        };
+        match op {
+            DenseOp::Lt => lt,
+            DenseOp::Le => le,
+            DenseOp::Ne => ne,
+            DenseOp::Eq => false, // an unpinned class is never a single point
+        }
+    }
+
+    /// A satisfying assignment for variables `0..arity` (variables absent
+    /// from the network are unconstrained and get fresh values).
+    #[must_use]
+    pub fn sample(&self, arity: usize) -> Vec<Rat> {
+        let var_classes = self.var_classes();
+        // Topological order of unpinned variable classes w.r.t. `le`.
+        let unpinned: Vec<usize> =
+            var_classes.iter().copied().filter(|&c| self.pinned[c].is_none()).collect();
+        let mut order: Vec<usize> = Vec::new();
+        let mut placed: BTreeSet<usize> = BTreeSet::new();
+        while order.len() < unpinned.len() {
+            let next = unpinned
+                .iter()
+                .copied()
+                .find(|&c| {
+                    !placed.contains(&c)
+                        && unpinned
+                            .iter()
+                            .all(|&p| p == c || placed.contains(&p) || self.le[p][c].is_none())
+                })
+                .expect("closed network relation is acyclic");
+            order.push(next);
+            placed.insert(next);
+        }
+
+        let mut value: BTreeMap<usize, Rat> = BTreeMap::new(); // class -> value
+        for (class, p) in self.pinned.iter().enumerate() {
+            if let Some(c) = p {
+                value.insert(class, c.clone());
+            }
+        }
+        for &class in &order {
+            // Effective open lower bound: constant bound and assigned
+            // predecessor values (choosing strictly above is always sound).
+            let mut lo: Option<Rat> = self.lower_bound(class).map(|(c, _)| c);
+            for &p in &unpinned {
+                if p != class && self.le[p][class].is_some() {
+                    if let Some(v) = value.get(&p) {
+                        if lo.as_ref().is_none_or(|l| v > l) {
+                            lo = Some(v.clone());
+                        }
+                    }
+                }
+            }
+            let hi: Option<Rat> = self.upper_bound(class).map(|(c, _)| c);
+            // Values to dodge: ≠ partners already assigned.
+            let mut avoid: Vec<Rat> = Vec::new();
+            for &(a, b) in &self.ne {
+                let other = if a == class {
+                    b
+                } else if b == class {
+                    a
+                } else {
+                    continue;
+                };
+                if let Some(v) = value.get(&other) {
+                    avoid.push(v.clone());
+                }
+            }
+            value.insert(class, pick_open(lo, hi, &avoid));
+        }
+
+        let mut fresh = Rat::from(1_000_000);
+        (0..arity)
+            .map(|v| match self.class_of_var(v) {
+                Some(class) => value[&class].clone(),
+                None => {
+                    fresh = &fresh + &Rat::one();
+                    fresh.clone()
+                }
+            })
+            .collect()
+    }
+
+    /// The tightest constant bounds on variable `v`:
+    /// `(lower (value, strict), upper (value, strict))`, `None` = unbounded.
+    /// A pinned variable returns equal non-strict bounds. This is the
+    /// "projection of a generalized tuple on x" of §1.1(3).
+    #[must_use]
+    pub fn var_interval(&self, v: usize) -> (VarBound, VarBound) {
+        let Some(class) = self.class_of_var(v) else {
+            return (None, None);
+        };
+        if let Some(c) = &self.pinned[class] {
+            return (Some((c.clone(), false)), Some((c.clone(), false)));
+        }
+        (self.lower_bound(class), self.upper_bound(class))
+    }
+
+    /// Eliminate variable `v`, returning a DNF (see module docs: `≠` atoms
+    /// on a to-be-dropped singleton class force a case split).
+    #[must_use]
+    pub fn eliminate(&self, v: usize) -> Vec<Vec<DenseConstraint>> {
+        let Some(class) = self.class_of_var(v) else {
+            // v is unconstrained: drop nothing.
+            return vec![self.canonical_constraints(None)];
+        };
+        let sole_member = self.class_vars(class) == [v] && self.pinned[class].is_none();
+        if !sole_member {
+            // v is equal to another surviving term; dropping it is exact.
+            return vec![self.canonical_constraints(Some(v))];
+        }
+        let partners = self.ne_partners_of(v);
+        if partners.is_empty() {
+            // Density: ∃v over an order network without ≠ on v reduces to
+            // the closed relations among the remaining terms.
+            return vec![self.canonical_constraints(Some(v))];
+        }
+        // Case-split each v ≠ t into v < t ∨ t < v, then recurse (each
+        // branch has one fewer ≠ on v).
+        let base = self.canonical_constraints(None);
+        let t = &partners[0];
+        let mut out = Vec::new();
+        for c in [
+            DenseConstraint::new(Term::Var(v), DenseOp::Lt, t.clone()),
+            DenseConstraint::new(t.clone(), DenseOp::Lt, Term::Var(v)),
+        ] {
+            let mut branch = base.clone();
+            branch.push(c);
+            if let Some(net) = ClosedNetwork::build(&branch) {
+                out.extend(net.eliminate(v));
+            }
+        }
+        // Deduplicate identical branches.
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+impl DenseOp {
+    /// Evaluate the operator on two constants.
+    #[must_use]
+    pub fn eval_consts(self, a: &Rat, b: &Rat) -> bool {
+        self.eval(a, b)
+    }
+}
+
+fn floyd_warshall(le: &mut [Vec<Edge>]) {
+    let n = le.len();
+    for k in 0..n {
+        for i in 0..n {
+            if le[i][k].is_none() {
+                continue;
+            }
+            for j in 0..n {
+                if let (Some(s1), Some(s2)) = (le[i][k], le[k][j]) {
+                    le[i][j] = stronger(le[i][j], Some(s1 || s2));
+                }
+            }
+        }
+    }
+}
+
+/// Pick a rational strictly inside the open interval `(lo, hi)` (either
+/// side may be unbounded) avoiding the finitely many `avoid` values —
+/// always possible in a dense order.
+fn pick_open(lo: Option<Rat>, hi: Option<Rat>, avoid: &[Rat]) -> Rat {
+    let mut candidate = match (&lo, &hi) {
+        (None, None) => Rat::zero(),
+        (Some(l), None) => l + &Rat::one(),
+        (None, Some(h)) => h - &Rat::one(),
+        (Some(l), Some(h)) => {
+            debug_assert!(l < h, "empty open interval in sample");
+            Rat::midpoint(l, h)
+        }
+    };
+    while avoid.contains(&candidate) {
+        candidate = match &hi {
+            Some(h) => Rat::midpoint(&candidate, h),
+            None => &candidate + &Rat::one(),
+        };
+    }
+    candidate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::DenseConstraint as C;
+
+    fn canon(cs: &[C]) -> Option<Vec<C>> {
+        ClosedNetwork::build(cs).map(|n| n.canonical_constraints(None))
+    }
+
+    #[test]
+    fn satisfiable_basics() {
+        assert!(canon(&[C::lt(0, 1)]).is_some());
+        assert!(canon(&[C::lt(0, 1), C::lt(1, 0)]).is_none());
+        assert!(canon(&[C::le(0, 1), C::le(1, 0)]).is_some()); // x = y
+        assert!(canon(&[C::le(0, 1), C::le(1, 0), C::ne(0, 1)]).is_none());
+        assert!(canon(&[C::lt(0, 1), C::lt(1, 2), C::le(2, 0)]).is_none());
+        assert!(canon(&[C::eq(0, 0)]).is_some());
+        assert!(canon(&[C::ne(0, 0)]).is_none());
+    }
+
+    #[test]
+    fn constant_interactions() {
+        // x < 3 ∧ 5 < x is unsat.
+        assert!(canon(&[C::lt_const(0, 3), C::gt_const(0, 5)]).is_none());
+        // 3 ≤ x ∧ x ≤ 3 pins x = 3.
+        let c = canon(&[C::ge_const(0, 3), C::le_const(0, 3)]).unwrap();
+        assert_eq!(c, vec![C::eq_const(0, 3)]);
+        // Pinned + ≠ same constant: unsat.
+        assert!(canon(&[C::ge_const(0, 3), C::le_const(0, 3), C::ne_const(0, 3)]).is_none());
+        // Transitivity through a constant: x < 3 ∧ 3 < y ⊨ x < y.
+        let net = ClosedNetwork::build(&[C::lt_const(0, 3), C::gt_const(1, 3)]).unwrap();
+        assert!(net.implies(&C::lt(0, 1)));
+    }
+
+    #[test]
+    fn ne_strengthening() {
+        // x ≤ y ∧ x ≠ y canonicalizes like x < y.
+        let a = canon(&[C::le(0, 1), C::ne(0, 1)]).unwrap();
+        let b = canon(&[C::lt(0, 1)]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn canonical_drops_redundant_bounds() {
+        // x < 3 ∧ x < 5 ≡ x < 3.
+        let a = canon(&[C::lt_const(0, 3), C::lt_const(0, 5)]).unwrap();
+        let b = canon(&[C::lt_const(0, 3)]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn canonical_is_deterministic_under_reordering() {
+        let c1 = vec![C::lt(0, 1), C::lt_const(1, 4), C::ne(0, 2)];
+        let mut c2 = c1.clone();
+        c2.reverse();
+        assert_eq!(canon(&c1), canon(&c2));
+    }
+
+    #[test]
+    fn sample_satisfies() {
+        let cases: Vec<Vec<C>> = vec![
+            vec![C::lt(0, 1), C::lt(1, 2)],
+            vec![C::lt_const(0, 3), C::gt_const(0, 2), C::ne_const(0, Rat::frac(5, 2))],
+            vec![C::eq(0, 1), C::lt_const(1, 0)],
+            vec![C::le(0, 1), C::ne(0, 2), C::ne(1, 2), C::lt_const(2, 1)],
+            vec![C::ge_const(0, 7), C::le_const(0, 7), C::lt(0, 1)],
+        ];
+        for cs in cases {
+            let net = ClosedNetwork::build(&cs).expect("satisfiable");
+            let point = net.sample(3);
+            for c in &cs {
+                assert!(c.eval(&point), "{c} fails at {point:?} for {cs:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn eliminate_chain() {
+        // ∃x1 (x0 < x1 ∧ x1 < x2) ≡ x0 < x2.
+        let net = ClosedNetwork::build(&[C::lt(0, 1), C::lt(1, 2)]).unwrap();
+        let dnf = net.eliminate(1);
+        assert_eq!(dnf, vec![vec![C::lt(0, 2)]]);
+    }
+
+    #[test]
+    fn eliminate_weak_chain_allows_equality() {
+        // ∃x1 (x0 ≤ x1 ∧ x1 ≤ x2) ≡ x0 ≤ x2.
+        let net = ClosedNetwork::build(&[C::le(0, 1), C::le(1, 2)]).unwrap();
+        assert_eq!(net.eliminate(1), vec![vec![C::le(0, 2)]]);
+    }
+
+    #[test]
+    fn eliminate_ne_case_split() {
+        // ∃x1 (x0 ≤ x1 ∧ x1 ≤ x2 ∧ x1 ≠ x3): the subtle case — if
+        // x0 = x2 the witness is forced to x0, so x3 ≠ x0 is required.
+        let net = ClosedNetwork::build(&[C::le(0, 1), C::le(1, 2), C::ne(1, 3)]).unwrap();
+        let dnf = net.eliminate(1);
+        // Point x0=x2=x3=5 must NOT satisfy the eliminated formula.
+        let bad = vec![Rat::from(5), Rat::from(0), Rat::from(5), Rat::from(5)];
+        assert!(!dnf.iter().any(|conj| conj.iter().all(|c| c.eval(&bad))), "{dnf:?}");
+        // Point x0=1, x2=5, x3=anything must satisfy it (witness exists).
+        let good = vec![Rat::from(1), Rat::from(0), Rat::from(5), Rat::from(3)];
+        assert!(dnf.iter().any(|conj| conj.iter().all(|c| c.eval(&good))));
+        // Point x0=x2=5, x3=7: witness x1=5 works.
+        let good2 = vec![Rat::from(5), Rat::from(0), Rat::from(5), Rat::from(7)];
+        assert!(dnf.iter().any(|conj| conj.iter().all(|c| c.eval(&good2))));
+    }
+
+    #[test]
+    fn eliminate_pinned_variable() {
+        // ∃x0 (x0 = 3 ∧ x0 < x1) ≡ 3 < x1.
+        let net = ClosedNetwork::build(&[C::eq_const(0, 3), C::lt(0, 1)]).unwrap();
+        assert_eq!(net.eliminate(0), vec![vec![C::gt_const(1, 3)]]);
+    }
+
+    #[test]
+    fn eliminate_equal_variable_keeps_constraints() {
+        // ∃x1 (x0 = x1 ∧ x1 < 5) ≡ x0 < 5.
+        let net = ClosedNetwork::build(&[C::eq(0, 1), C::lt_const(1, 5)]).unwrap();
+        assert_eq!(net.eliminate(1), vec![vec![C::lt_const(0, 5)]]);
+    }
+
+    #[test]
+    fn implies_atoms() {
+        let net = ClosedNetwork::build(&[C::lt(0, 1), C::lt(1, 2)]).unwrap();
+        assert!(net.implies(&C::lt(0, 2)));
+        assert!(net.implies(&C::le(0, 2)));
+        assert!(net.implies(&C::ne(0, 2)));
+        assert!(!net.implies(&C::lt(2, 0)));
+        assert!(!net.implies(&C::eq(0, 2)));
+        // Against fresh constants via bounds.
+        let net2 = ClosedNetwork::build(&[C::lt_const(0, 3)]).unwrap();
+        assert!(net2.implies(&C::lt_const(0, 4)));
+        assert!(net2.implies(&C::ne_const(0, 5)));
+        assert!(!net2.implies(&C::lt_const(0, 2)));
+    }
+
+    #[test]
+    fn unconstrained_variable_elimination() {
+        let net = ClosedNetwork::build(&[C::lt(0, 1)]).unwrap();
+        // x5 does not occur: elimination is the identity.
+        assert_eq!(net.eliminate(5), vec![vec![C::lt(0, 1)]]);
+    }
+}

@@ -1,0 +1,410 @@
+//! r-configurations (Definition 3.1): the cells of the dense-order theory.
+//!
+//! An r-configuration of size n over the constant set `D_φ` records, for a
+//! point (x₁..x_n) ∈ ℚⁿ:
+//!
+//! * the *relative order* of the coordinates — here a `rank` per variable,
+//!   with equal ranks meaning equal coordinates, and
+//! * per rank, the *tightest constant bounds*: either a pin `x = c`, or the
+//!   open interval between two adjacent constants of `D_φ ∪ {±∞}`.
+//!
+//! Two points are indistinguishable by dense-order formulas over `D_φ` iff
+//! they lie in the same r-configuration (Lemmas 3.8/3.9 of the paper), so
+//! r-configurations are exactly the cells the `EVAL_φ` algorithm iterates
+//! over. [`RConfig::extensions`] enumerates the size-(n+1) extensions
+//! (Definition 3.5); [`RConfig::of_point`] is the uniqueness construction
+//! of Lemma 3.8; [`RConfig::sample`] realizes Lemma 3.7.
+
+use crate::constraint::{DenseConstraint, DenseOp, Term};
+use cql_arith::Rat;
+
+/// Lower/upper bound of a rank: `None` means −∞ (lower) or +∞ (upper).
+type Bound = Option<Rat>;
+
+/// An r-configuration. Ranks are 1-based and contiguous; rank `r`'s bounds
+/// live at index `r − 1` of `lo`/`hi`. A rank with `lo == hi == Some(c)`
+/// is pinned to the constant `c`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct RConfig {
+    /// Rank of each variable (equal ranks ⇔ equal coordinates).
+    pub rank: Vec<usize>,
+    /// Tightest lower constant bound per rank.
+    pub lo: Vec<Bound>,
+    /// Tightest upper constant bound per rank.
+    pub hi: Vec<Bound>,
+}
+
+/// `-∞/+∞`-aware strict comparison of a lower bound against an upper bound.
+fn lt_bound(lo: &Bound, hi: &Bound) -> bool {
+    match (lo, hi) {
+        (None, _) | (_, None) => true,
+        (Some(a), Some(b)) => a < b,
+    }
+}
+
+impl RConfig {
+    /// The unique configuration of size 0.
+    #[must_use]
+    pub fn empty() -> RConfig {
+        RConfig { rank: Vec::new(), lo: Vec::new(), hi: Vec::new() }
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.rank.len()
+    }
+
+    /// Number of distinct ranks.
+    #[must_use]
+    pub fn rank_count(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Is rank `r` (1-based) pinned to a constant?
+    #[must_use]
+    pub fn pinned(&self, r: usize) -> Option<&Rat> {
+        match (&self.lo[r - 1], &self.hi[r - 1]) {
+            (Some(a), Some(b)) if a == b => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The candidate `(lo, hi)` bound pairs over a sorted constant set:
+    /// one pin per constant, plus every gap between adjacent constants
+    /// (including the two unbounded ends).
+    fn bound_pairs(constants: &[Rat]) -> Vec<(Bound, Bound)> {
+        let mut out = Vec::with_capacity(2 * constants.len() + 1);
+        out.push((None, constants.first().cloned()));
+        for w in constants.windows(2) {
+            out.push((Some(w[0].clone()), Some(w[1].clone())));
+        }
+        if let Some(last) = constants.last() {
+            out.push((Some(last.clone()), None));
+        }
+        for c in constants {
+            out.push((Some(c.clone()), Some(c.clone())));
+        }
+        out
+    }
+
+    /// All extensions of this configuration by one more variable, over the
+    /// given constants (sorted and deduplicated by the caller or not — we
+    /// sort defensively).
+    #[must_use]
+    pub fn extensions(&self, constants: &[Rat]) -> Vec<RConfig> {
+        let mut consts = constants.to_vec();
+        consts.sort();
+        consts.dedup();
+        let k = self.rank_count();
+        let mut out = Vec::new();
+
+        // Case 1 (Lemma 3.8, existence case 1): equal to an existing rank.
+        for r in 1..=k {
+            let mut ext = self.clone();
+            ext.rank.push(r);
+            out.push(ext);
+        }
+
+        // Case 2: a fresh rank at insertion position p (the new coordinate
+        // is strictly between ranks p−1 and p, or at either end).
+        for p in 1..=k + 1 {
+            for (lo, hi) in RConfig::bound_pairs(&consts) {
+                // Definition 3.1 condition 3 (adapted): for ranks s < p we
+                // need lo[s] < hi_new, for ranks s ≥ p we need lo_new < hi[s].
+                let ok = (0..k).all(|s0| {
+                    let s = s0 + 1;
+                    if s < p {
+                        lt_bound(&self.lo[s0], &hi)
+                    } else {
+                        lt_bound(&lo, &self.hi[s0])
+                    }
+                });
+                if !ok {
+                    continue;
+                }
+                let mut rank: Vec<usize> =
+                    self.rank.iter().map(|&r| if r >= p { r + 1 } else { r }).collect();
+                rank.push(p);
+                let mut lo_v = self.lo.clone();
+                let mut hi_v = self.hi.clone();
+                lo_v.insert(p - 1, lo.clone());
+                hi_v.insert(p - 1, hi.clone());
+                out.push(RConfig { rank, lo: lo_v, hi: hi_v });
+            }
+        }
+        out
+    }
+
+    /// The unique configuration containing `point` (Lemma 3.8).
+    #[must_use]
+    pub fn of_point(point: &[Rat], constants: &[Rat]) -> RConfig {
+        let mut consts = constants.to_vec();
+        consts.sort();
+        consts.dedup();
+        let mut distinct: Vec<Rat> = point.to_vec();
+        distinct.sort();
+        distinct.dedup();
+        let rank: Vec<usize> =
+            point.iter().map(|v| distinct.binary_search(v).expect("present") + 1).collect();
+        let mut lo = Vec::with_capacity(distinct.len());
+        let mut hi = Vec::with_capacity(distinct.len());
+        for v in &distinct {
+            if consts.binary_search(v).is_ok() {
+                lo.push(Some(v.clone()));
+                hi.push(Some(v.clone()));
+            } else {
+                lo.push(consts.iter().rev().find(|c| *c < v).cloned());
+                hi.push(consts.iter().find(|c| *c > v).cloned());
+            }
+        }
+        RConfig { rank, lo, hi }
+    }
+
+    /// The conjunction `F(ξ)` of Definition 3.3.
+    #[must_use]
+    pub fn formula(&self) -> Vec<DenseConstraint> {
+        let mut out = Vec::new();
+        let n = self.size();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (ri, rj) = (self.rank[i], self.rank[j]);
+                let c = match ri.cmp(&rj) {
+                    std::cmp::Ordering::Less => DenseConstraint::lt(i, j),
+                    std::cmp::Ordering::Equal => DenseConstraint::eq(i, j),
+                    std::cmp::Ordering::Greater => DenseConstraint::lt(j, i),
+                };
+                out.push(c);
+            }
+        }
+        for (i, &r) in self.rank.iter().enumerate() {
+            if let Some(c) = self.pinned(r) {
+                out.push(DenseConstraint::eq_const(i, c.clone()));
+                continue;
+            }
+            if let Some(l) = &self.lo[r - 1] {
+                out.push(DenseConstraint::new(Term::Const(l.clone()), DenseOp::Lt, Term::Var(i)));
+            }
+            if let Some(u) = &self.hi[r - 1] {
+                out.push(DenseConstraint::new(Term::Var(i), DenseOp::Lt, Term::Const(u.clone())));
+            }
+        }
+        out
+    }
+
+    /// A point of the configuration (Lemma 3.7): greedily choose values in
+    /// rank order, capping each choice below the next pinned rank so later
+    /// ranks always keep room (density guarantees a choice exists).
+    #[must_use]
+    pub fn sample(&self) -> Vec<Rat> {
+        let k = self.rank_count();
+        // Effective upper cap per rank: its own `hi`, and every pinned
+        // constant of a later rank.
+        let mut cap: Vec<Bound> = self.hi.clone();
+        let mut running: Bound = None;
+        for r in (1..=k).rev() {
+            cap[r - 1] = match (&cap[r - 1], &running) {
+                (None, c) => c.clone(),
+                (c, None) => c.clone(),
+                (Some(a), Some(b)) => Some(a.min(b).clone()),
+            };
+            if let Some(c) = self.pinned(r) {
+                running = match &running {
+                    None => Some(c.clone()),
+                    Some(b) => Some(c.min(b).clone()),
+                };
+            }
+        }
+        let mut values: Vec<Rat> = Vec::with_capacity(k);
+        let mut prev: Bound = None;
+        for r in 1..=k {
+            let v = if let Some(c) = self.pinned(r) {
+                c.clone()
+            } else {
+                let lo_eff = match (&self.lo[r - 1], &prev) {
+                    (None, p) => p.clone(),
+                    (l, None) => l.clone(),
+                    (Some(l), Some(p)) => Some(l.max(p).clone()),
+                };
+                pick_between(&lo_eff, &cap[r - 1])
+            };
+            prev = Some(v.clone());
+            values.push(v);
+        }
+        self.rank.iter().map(|&r| values[r - 1].clone()).collect()
+    }
+
+    /// Project onto the variables `keep` (repetitions allowed): the result
+    /// is a configuration of size `keep.len()` whose variable `i` is the
+    /// old variable `keep[i]`. Used for the generalized Herbrand atoms of
+    /// §3.2 ("r-configurations are closed under projection").
+    #[must_use]
+    pub fn project(&self, keep: &[usize]) -> RConfig {
+        let mut kept_ranks: Vec<usize> = keep.iter().map(|&v| self.rank[v]).collect();
+        let mut distinct = kept_ranks.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        for r in &mut kept_ranks {
+            *r = distinct.binary_search(r).expect("present") + 1;
+        }
+        RConfig {
+            rank: kept_ranks,
+            lo: distinct.iter().map(|&r| self.lo[r - 1].clone()).collect(),
+            hi: distinct.iter().map(|&r| self.hi[r - 1].clone()).collect(),
+        }
+    }
+
+    /// Restrict to the first `n` variables.
+    #[must_use]
+    pub fn truncate(&self, n: usize) -> RConfig {
+        let keep: Vec<usize> = (0..n).collect();
+        self.project(&keep)
+    }
+}
+
+/// A rational strictly inside the open interval `(lo, hi)`.
+fn pick_between(lo: &Bound, hi: &Bound) -> Rat {
+    match (lo, hi) {
+        (None, None) => Rat::zero(),
+        (Some(l), None) => l + &Rat::one(),
+        (None, Some(h)) => h - &Rat::one(),
+        (Some(l), Some(h)) => {
+            debug_assert!(l < h, "empty interval in RConfig::sample");
+            Rat::midpoint(l, h)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn consts(vals: &[i64]) -> Vec<Rat> {
+        vals.iter().map(|&v| Rat::from(v)).collect()
+    }
+
+    fn pt(vals: &[&str]) -> Vec<Rat> {
+        vals.iter().map(|v| v.parse().unwrap()).collect()
+    }
+
+    #[test]
+    fn example_3_2_from_the_paper() {
+        // Constants {0,1,2,3}, point (0.5, 3.5, 1.5, 1.5, 2):
+        // ranks f = (1,4,2,2,3), bounds per paper.
+        let c = consts(&[0, 1, 2, 3]);
+        let p = pt(&["0.5", "3.5", "1.5", "1.5", "2"]);
+        let cfg = RConfig::of_point(&p, &c);
+        assert_eq!(cfg.rank, vec![1, 4, 2, 2, 3]);
+        // Rank 1: (0,1); rank 2: (1,2); rank 3: pinned 2; rank 4: (3, +∞).
+        assert_eq!(
+            cfg.lo,
+            vec![Some(Rat::from(0)), Some(Rat::from(1)), Some(Rat::from(2)), Some(Rat::from(3)),]
+        );
+        assert_eq!(cfg.hi, vec![Some(Rat::from(1)), Some(Rat::from(2)), Some(Rat::from(2)), None,]);
+    }
+
+    #[test]
+    fn point_satisfies_own_formula() {
+        let c = consts(&[0, 2, 5]);
+        for p in [
+            pt(&["1", "1", "3"]),
+            pt(&["-4", "7", "0"]),
+            pt(&["2", "2", "2"]),
+            pt(&["1/2", "9/2", "5"]),
+        ] {
+            let cfg = RConfig::of_point(&p, &c);
+            for atom in cfg.formula() {
+                assert!(atom.eval(&p), "{atom} fails at {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sample_lies_in_cell() {
+        let c = consts(&[0, 2, 5]);
+        let mut count = 0;
+        let mut cur = vec![RConfig::empty()];
+        for _ in 0..3 {
+            cur = cur.iter().flat_map(|cfg| cfg.extensions(&c)).collect();
+        }
+        for cfg in &cur {
+            let s = cfg.sample();
+            assert_eq!(RConfig::of_point(&s, &c), *cfg, "sample {s:?}");
+            count += 1;
+        }
+        assert!(count > 100, "expected many size-3 cells, got {count}");
+    }
+
+    #[test]
+    fn cells_partition_points() {
+        // Every point lies in exactly one enumerated cell (Lemma 3.8).
+        let c = consts(&[1, 3]);
+        let mut cells = vec![RConfig::empty()];
+        for _ in 0..2 {
+            cells = cells.iter().flat_map(|cfg| cfg.extensions(&c)).collect();
+        }
+        // No duplicate cells.
+        let mut dedup = cells.clone();
+        dedup.sort_by_key(|c| format!("{c:?}"));
+        dedup.dedup();
+        assert_eq!(dedup.len(), cells.len());
+        for p in [pt(&["0", "0"]), pt(&["1", "2"]), pt(&["3", "1"]), pt(&["5", "5"])] {
+            let home = RConfig::of_point(&p, &c);
+            let matching: Vec<_> = cells.iter().filter(|&cfg| *cfg == home).collect();
+            assert_eq!(matching.len(), 1, "point {p:?}");
+            // And the sample of the home cell satisfies the same atoms.
+            let s = home.sample();
+            assert_eq!(RConfig::of_point(&s, &c), home);
+        }
+    }
+
+    #[test]
+    fn extension_counts_size_one() {
+        // Over m constants there are 2m+1 cells of size 1:
+        // m pins + (m+1) gaps.
+        for m in 0..4 {
+            let c: Vec<Rat> = (0..m).map(|i| Rat::from(i64::from(i) * 2)).collect();
+            let cells = RConfig::empty().extensions(&c);
+            assert_eq!(cells.len(), 2 * (m as usize) + 1);
+        }
+    }
+
+    #[test]
+    fn projection_is_consistent_with_points() {
+        let c = consts(&[0, 4]);
+        let p = pt(&["1", "4", "-2", "1"]);
+        let cfg = RConfig::of_point(&p, &c);
+        let keep = [3usize, 1, 1];
+        let projected = cfg.project(&keep);
+        let projected_point: Vec<Rat> = keep.iter().map(|&i| p[i].clone()).collect();
+        assert_eq!(RConfig::of_point(&projected_point, &c), projected);
+    }
+
+    #[test]
+    fn truncate_drops_trailing_vars() {
+        let c = consts(&[0]);
+        let p = pt(&["1", "-1", "0"]);
+        let cfg = RConfig::of_point(&p, &c);
+        assert_eq!(cfg.truncate(2), RConfig::of_point(&pt(&["1", "-1"]), &c));
+    }
+
+    #[test]
+    fn pinned_rank_sampling_respects_later_pins() {
+        // ranks: 1 unpinned (-∞,5) then 2 pinned {5}? Invalid (lo<hi[s]
+        // gives -∞<5 ok) — construct via points: (3, 5) with constant 5.
+        let c = consts(&[5]);
+        let cfg = RConfig::of_point(&pt(&["3", "5"]), &c);
+        let s = cfg.sample();
+        assert!(s[0] < s[1]);
+        assert_eq!(s[1], Rat::from(5));
+        // And the trickier shape: (2, 3) with constant 3 — rank 1 must
+        // stay below the pin even though its own interval is (-∞, 3).
+        let cfg2 = RConfig::of_point(&pt(&["2", "3"]), &c);
+        let _ = cfg2;
+        let c3 = consts(&[3]);
+        let cfg3 = RConfig::of_point(&pt(&["2", "3"]), &c3);
+        let s3 = cfg3.sample();
+        assert!(s3[0] < Rat::from(3));
+        assert_eq!(s3[1], Rat::from(3));
+    }
+}

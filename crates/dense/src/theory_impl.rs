@@ -1,0 +1,179 @@
+//! [`Theory`] and [`CellTheory`] implementations for dense linear order.
+
+use crate::constraint::DenseConstraint;
+use crate::network::ClosedNetwork;
+use crate::rconfig::RConfig;
+use cql_arith::Rat;
+use cql_core::error::Result;
+use cql_core::theory::{CellTheory, Theory, Var};
+
+/// The dense-linear-order constraint theory of §3 of the paper.
+///
+/// Domain: ℚ (any countably infinite dense order works); constraints:
+/// `x θ y`, `x θ c` with `θ ∈ {<, ≤, =, ≠}` (and swapped forms).
+///
+/// This type is a stateless tag: plug it into `cql-core`'s evaluators as
+/// `Formula<Dense>`, `Program<Dense>`, etc.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dense {}
+
+impl Theory for Dense {
+    type Constraint = DenseConstraint;
+    type Value = Rat;
+
+    fn name() -> &'static str {
+        "dense linear order with constants"
+    }
+
+    fn canonicalize(conj: &[DenseConstraint]) -> Option<Vec<DenseConstraint>> {
+        ClosedNetwork::build(conj).map(|n| n.canonical_constraints(None))
+    }
+
+    fn eliminate(conj: &[DenseConstraint], var: Var) -> Result<Vec<Vec<DenseConstraint>>> {
+        Ok(match ClosedNetwork::build(conj) {
+            None => Vec::new(),
+            Some(n) => n.eliminate(var),
+        })
+    }
+
+    fn negate(c: &DenseConstraint) -> Vec<DenseConstraint> {
+        vec![c.negated()]
+    }
+
+    fn var_eq(a: Var, b: Var) -> DenseConstraint {
+        DenseConstraint::eq(a, b)
+    }
+
+    fn var_const_eq(v: Var, value: &Rat) -> DenseConstraint {
+        DenseConstraint::eq_const(v, value.clone())
+    }
+
+    fn eval(c: &DenseConstraint, point: &[Rat]) -> bool {
+        c.eval(point)
+    }
+
+    fn rename(c: &DenseConstraint, map: &dyn Fn(Var) -> Var) -> DenseConstraint {
+        c.rename(map)
+    }
+
+    fn vars(c: &DenseConstraint) -> Vec<Var> {
+        c.vars()
+    }
+
+    fn constants(c: &DenseConstraint) -> Vec<Rat> {
+        c.constants()
+    }
+
+    fn entails(a: &[DenseConstraint], b: &[DenseConstraint]) -> bool {
+        match ClosedNetwork::build(a) {
+            None => true,
+            Some(n) => b.iter().all(|c| n.implies(c)),
+        }
+    }
+
+    fn sample(conj: &[DenseConstraint], arity: usize) -> Option<Vec<Rat>> {
+        ClosedNetwork::build(conj).map(|n| n.sample(arity))
+    }
+}
+
+impl CellTheory for Dense {
+    type Cell = RConfig;
+
+    fn empty_cell() -> RConfig {
+        RConfig::empty()
+    }
+
+    fn extensions(cell: &RConfig, constants: &[Rat]) -> Vec<RConfig> {
+        cell.extensions(constants)
+    }
+
+    fn cell_formula(cell: &RConfig) -> Vec<DenseConstraint> {
+        cell.formula()
+    }
+
+    fn cell_sample(cell: &RConfig, _constants: &[Rat]) -> Vec<Rat> {
+        cell.sample()
+    }
+
+    fn cell_of(point: &[Rat], constants: &[Rat]) -> RConfig {
+        RConfig::of_point(point, constants)
+    }
+
+    fn cell_truncate(cell: &RConfig, n: usize) -> RConfig {
+        cell.truncate(n)
+    }
+
+    fn cell_project(cell: &RConfig, keep: &[Var]) -> RConfig {
+        cell.project(keep)
+    }
+}
+
+/// Convenience builders mirroring the paper's concrete syntax.
+pub mod dsl {
+    use super::*;
+    use cql_core::formula::Formula;
+
+    /// `x_a < x_b` as a formula.
+    #[must_use]
+    pub fn lt(a: Var, b: Var) -> Formula<Dense> {
+        Formula::constraint(DenseConstraint::lt(a, b))
+    }
+
+    /// `x_a ≤ x_b` as a formula.
+    #[must_use]
+    pub fn le(a: Var, b: Var) -> Formula<Dense> {
+        Formula::constraint(DenseConstraint::le(a, b))
+    }
+
+    /// `x_a = x_b` as a formula.
+    #[must_use]
+    pub fn eq(a: Var, b: Var) -> Formula<Dense> {
+        Formula::constraint(DenseConstraint::eq(a, b))
+    }
+
+    /// `x_a ≠ x_b` as a formula.
+    #[must_use]
+    pub fn ne(a: Var, b: Var) -> Formula<Dense> {
+        Formula::constraint(DenseConstraint::ne(a, b))
+    }
+
+    /// `x_v < c` as a formula.
+    #[must_use]
+    pub fn lt_c(v: Var, c: impl Into<Rat>) -> Formula<Dense> {
+        Formula::constraint(DenseConstraint::lt_const(v, c))
+    }
+
+    /// `x_v ≤ c` as a formula.
+    #[must_use]
+    pub fn le_c(v: Var, c: impl Into<Rat>) -> Formula<Dense> {
+        Formula::constraint(DenseConstraint::le_const(v, c))
+    }
+
+    /// `x_v = c` as a formula.
+    #[must_use]
+    pub fn eq_c(v: Var, c: impl Into<Rat>) -> Formula<Dense> {
+        Formula::constraint(DenseConstraint::eq_const(v, c))
+    }
+
+    /// `c < x_v` as a formula.
+    #[must_use]
+    pub fn gt_c(v: Var, c: impl Into<Rat>) -> Formula<Dense> {
+        Formula::constraint(DenseConstraint::gt_const(v, c))
+    }
+
+    /// `c ≤ x_v` as a formula.
+    #[must_use]
+    pub fn ge_c(v: Var, c: impl Into<Rat>) -> Formula<Dense> {
+        Formula::constraint(DenseConstraint::ge_const(v, c))
+    }
+
+    /// The closed interval constraint pair `a ≤ x_v ∧ x_v ≤ b` as tuple
+    /// constraints (the generalized-key shape of §1.1(3)).
+    #[must_use]
+    pub fn between(v: Var, a: impl Into<Rat>, b: impl Into<Rat>) -> Vec<DenseConstraint> {
+        vec![DenseConstraint::ge_const(v, a), DenseConstraint::le_const(v, b)]
+    }
+}
+
+/// Use `Term`/`DenseOp` from the crate root as well.
+pub use crate::constraint::{DenseConstraint as Constraint, DenseOp as Op, Term as DenseTerm};

@@ -1,0 +1,115 @@
+//! The generalized relational algebra (§2.1) over the dense theory, and
+//! its agreement with the calculus evaluator.
+
+use cql_arith::Rat;
+use cql_core::{algebra, calculus, CalculusQuery, Database, Formula, GenRelation};
+use cql_dense::{Dense, DenseConstraint as C};
+
+fn r(v: i64) -> Rat {
+    Rat::from(v)
+}
+
+fn sample_rel() -> GenRelation<Dense> {
+    GenRelation::from_conjunctions(
+        2,
+        vec![
+            vec![C::eq_const(0, 1), C::ge_const(1, 0), C::le_const(1, 4)],
+            vec![C::eq_const(0, 2), C::ge_const(1, 3), C::le_const(1, 7)],
+        ],
+    )
+}
+
+#[test]
+fn select_restricts() {
+    let rel = sample_rel();
+    let out = algebra::select(&rel, &[C::ge_const(1, 5)]);
+    assert!(!out.satisfied_by(&[r(1), r(4)]));
+    assert!(out.satisfied_by(&[r(2), r(6)]));
+}
+
+#[test]
+fn project_is_quantifier_elimination() {
+    let rel = sample_rel();
+    // π₁: the x-values with some y — {1, 2}.
+    let out = algebra::project(&rel, &[0]).unwrap();
+    assert_eq!(out.arity(), 1);
+    assert!(out.satisfied_by(&[r(1)]));
+    assert!(out.satisfied_by(&[r(2)]));
+    assert!(!out.satisfied_by(&[r(3)]));
+    // π₂: the y-values — [0,4] ∪ [3,7] = [0,7].
+    let ys = algebra::project(&rel, &[1]).unwrap();
+    assert!(ys.satisfied_by(&[r(0)]));
+    assert!(ys.satisfied_by(&[r(7)]));
+    assert!(!ys.satisfied_by(&[r(8)]));
+    // Duplicate column: π₍₁,₁₎ forces equality between outputs.
+    let dup = algebra::project(&rel, &[1, 1]).unwrap();
+    assert!(dup.satisfied_by(&[r(3), r(3)]));
+    assert!(!dup.satisfied_by(&[r(3), r(4)]));
+}
+
+#[test]
+fn join_matches_calculus() {
+    let mut db: Database<Dense> = Database::new();
+    db.insert(
+        "E",
+        GenRelation::from_conjunctions(
+            2,
+            (0..4i64).map(|i| vec![C::eq_const(0, i), C::eq_const(1, i + 1)]),
+        ),
+    );
+    let e = db.get("E").unwrap().clone();
+    // Algebra: π₍₀,₃₎(E ⋈₍₁₌₀₎ E).
+    let joined = algebra::join(&e, &e, &[(1, 0)]);
+    let composed = algebra::project(&joined, &[0, 3]).unwrap();
+    // Calculus: ∃z E(x,z) ∧ E(z,y).
+    let q = CalculusQuery::new(
+        Formula::atom("E", vec![0, 2]).and(Formula::atom("E", vec![2, 1])).exists(2),
+        vec![0, 1],
+    )
+    .unwrap();
+    let from_calculus = calculus::evaluate(&q, &db).unwrap();
+    for a in 0..6i64 {
+        for b in 0..6i64 {
+            assert_eq!(
+                composed.satisfied_by(&[r(a), r(b)]),
+                from_calculus.satisfied_by(&[r(a), r(b)]),
+                "({a},{b})"
+            );
+        }
+    }
+}
+
+#[test]
+fn difference_and_union() {
+    let a: GenRelation<Dense> =
+        GenRelation::from_conjunctions(1, vec![vec![C::ge_const(0, 0), C::le_const(0, 10)]]);
+    let b: GenRelation<Dense> =
+        GenRelation::from_conjunctions(1, vec![vec![C::ge_const(0, 4), C::le_const(0, 6)]]);
+    let diff = algebra::difference(&a, &b);
+    assert!(diff.satisfied_by(&[r(2)]));
+    assert!(!diff.satisfied_by(&[r(5)]));
+    assert!(diff.satisfied_by(&[r(8)]));
+    assert!(!diff.satisfied_by(&[r(11)]));
+    let back = algebra::union(&diff, &b);
+    for x in 0..=10 {
+        assert!(back.satisfied_by(&[r(x)]), "{x}");
+    }
+}
+
+#[test]
+fn rename_permutes_columns() {
+    let rel = sample_rel();
+    let swapped = algebra::rename_columns(&rel, &[1, 0]);
+    assert!(swapped.satisfied_by(&[r(3), r(1)]));
+    assert!(!swapped.satisfied_by(&[r(1), r(3)]));
+}
+
+#[test]
+fn product_shifts_columns() {
+    let a: GenRelation<Dense> = GenRelation::from_conjunctions(1, vec![vec![C::eq_const(0, 1)]]);
+    let b: GenRelation<Dense> = GenRelation::from_conjunctions(1, vec![vec![C::eq_const(0, 9)]]);
+    let p = algebra::product(&a, &b);
+    assert_eq!(p.arity(), 2);
+    assert!(p.satisfied_by(&[r(1), r(9)]));
+    assert!(!p.satisfied_by(&[r(9), r(1)]));
+}

@@ -1,0 +1,181 @@
+//! API-surface tests for `cql-core` exercised through the dense theory:
+//! validation diagnostics, display formats, database plumbing.
+
+use cql_arith::Rat;
+use cql_core::datalog::{self, Atom, FixpointOptions, Literal, Program, Rule};
+use cql_core::{calculus, CalculusQuery, CqlError, Database, Formula, GenRelation, GenTuple};
+use cql_dense::{Dense, DenseConstraint as C};
+
+#[test]
+fn unknown_relation_is_reported() {
+    let db: Database<Dense> = Database::new();
+    let q = CalculusQuery::new(Formula::atom("Nope", vec![0]), vec![0]).unwrap();
+    match calculus::evaluate(&q, &db) {
+        Err(CqlError::UnknownRelation(name)) => assert_eq!(name, "Nope"),
+        other => panic!("expected UnknownRelation, got {other:?}"),
+    }
+}
+
+#[test]
+fn arity_mismatch_is_reported() {
+    let mut db: Database<Dense> = Database::new();
+    db.insert("R", GenRelation::empty(2));
+    let q = CalculusQuery::new(Formula::atom("R", vec![0, 1, 2]), vec![0, 1, 2]).unwrap();
+    match calculus::evaluate(&q, &db) {
+        Err(CqlError::ArityMismatch { relation, expected, found }) => {
+            assert_eq!(relation, "R");
+            assert_eq!((expected, found), (2, 3));
+        }
+        other => panic!("expected ArityMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn shadowed_quantifier_is_rejected() {
+    let mut db: Database<Dense> = Database::new();
+    db.insert("R", GenRelation::empty(1));
+    // ∃x0 ∃x0 R(x0): the same index bound twice along one path.
+    let f = Formula::<Dense>::atom("R", vec![0]).exists(0).exists(0);
+    assert!(matches!(f.validate(&db), Err(CqlError::Malformed(_))));
+    // A variable both free and quantified is also rejected.
+    let g = Formula::<Dense>::atom("R", vec![0]).and(Formula::atom("R", vec![0]).exists(0));
+    assert!(matches!(g.validate(&db), Err(CqlError::Malformed(_))));
+}
+
+#[test]
+fn query_free_variable_mismatch_is_rejected() {
+    let f = Formula::<Dense>::constraint(C::lt(0, 1));
+    assert!(CalculusQuery::new(f.clone(), vec![0]).is_err());
+    assert!(CalculusQuery::new(f.clone(), vec![0, 0]).is_err());
+    assert!(CalculusQuery::new(f, vec![1, 0]).is_ok()); // order is free
+}
+
+#[test]
+fn decide_rejects_open_formulas() {
+    let db: Database<Dense> = Database::new();
+    let open = Formula::<Dense>::constraint(C::lt(0, 1));
+    assert!(matches!(calculus::decide(&open, &db), Err(CqlError::Malformed(_))));
+}
+
+#[test]
+fn repeated_head_variable_is_rejected() {
+    let program: Program<Dense> = Program::new(vec![Rule::new(
+        Atom::new("T", vec![0, 0]),
+        vec![Literal::Pos(Atom::new("E", vec![0, 1]))],
+    )]);
+    let mut edb: Database<Dense> = Database::new();
+    edb.insert("E", GenRelation::empty(2));
+    assert!(matches!(
+        datalog::naive(&program, &edb, &FixpointOptions::default()),
+        Err(CqlError::Malformed(_))
+    ));
+}
+
+#[test]
+fn negation_requires_inflationary_engine() {
+    let program: Program<Dense> = Program::new(vec![Rule::new(
+        Atom::new("T", vec![0]),
+        vec![Literal::Neg(Atom::new("E", vec![0]))],
+    )]);
+    let mut edb: Database<Dense> = Database::new();
+    edb.insert("E", GenRelation::empty(1));
+    assert!(datalog::naive(&program, &edb, &FixpointOptions::default()).is_err());
+    assert!(datalog::inflationary(&program, &edb, &FixpointOptions::default()).is_ok());
+}
+
+#[test]
+fn inconsistent_predicate_arity_is_rejected() {
+    let program: Program<Dense> = Program::new(vec![
+        Rule::new(Atom::new("T", vec![0]), vec![Literal::Pos(Atom::new("E", vec![0, 1]))]),
+        Rule::new(Atom::new("T", vec![0, 1]), vec![Literal::Pos(Atom::new("E", vec![0, 1]))]),
+    ]);
+    assert!(program.arities().is_err());
+}
+
+#[test]
+fn display_formats_read_like_the_paper() {
+    let t: GenTuple<Dense> = GenTuple::new(vec![C::lt(0, 1), C::le_const(1, 5)]).unwrap();
+    let s = t.to_string();
+    assert!(s.contains('∧'), "{s}");
+    assert!(s.contains('<'), "{s}");
+    let top: GenTuple<Dense> = GenTuple::top();
+    assert_eq!(top.to_string(), "⊤");
+
+    let rule: Rule<Dense> = Rule::new(
+        Atom::new("T", vec![0, 1]),
+        vec![
+            Literal::Pos(Atom::new("E", vec![0, 2])),
+            Literal::Neg(Atom::new("T", vec![2, 1])),
+            Literal::Constraint(C::lt(0, 1)),
+        ],
+    );
+    let s = rule.to_string();
+    assert!(s.contains("T(x0,x1) :- E(x0,x2), ¬T(x2,x1), x0 < x1"), "{s}");
+}
+
+#[test]
+fn database_accessors() {
+    let mut db: Database<Dense> = Database::new();
+    assert!(db.is_empty());
+    db.insert("A", GenRelation::full(1));
+    db.insert("B", GenRelation::from_conjunctions(1, vec![vec![C::eq_const(0, 3)]]));
+    assert_eq!(db.len(), 2);
+    assert_eq!(db.size(), 2); // total generalized tuples
+    assert_eq!(db.names().collect::<Vec<_>>(), vec!["A", "B"]);
+    assert_eq!(db.constants(), vec![Rat::from(3)]);
+    assert!(db.require("A").is_ok());
+    assert!(db.require("C").is_err());
+}
+
+#[test]
+fn relation_full_and_empty_semantics() {
+    let full: GenRelation<Dense> = GenRelation::full(1);
+    let empty: GenRelation<Dense> = GenRelation::empty(1);
+    for v in [-10i64, 0, 99] {
+        assert!(full.satisfied_by(&[Rat::from(v)]));
+        assert!(!empty.satisfied_by(&[Rat::from(v)]));
+    }
+    // Complement flips them.
+    assert!(full.complement().is_empty());
+    assert!(!empty.complement().is_empty());
+}
+
+#[test]
+fn insert_subsumption_compresses_small_relations() {
+    let mut rel: GenRelation<Dense> = GenRelation::empty(1);
+    assert!(rel.insert(GenTuple::new(vec![C::lt_const(0, 5)]).unwrap()));
+    // Subsumed by the first tuple: dropped.
+    assert!(!rel.insert(GenTuple::new(vec![C::lt_const(0, 3)]).unwrap()));
+    assert_eq!(rel.len(), 1);
+    // A wider tuple replaces the narrower one.
+    assert!(rel.insert(GenTuple::new(vec![C::lt_const(0, 9)]).unwrap()));
+    assert_eq!(rel.len(), 1);
+    assert!(rel.satisfied_by(&[Rat::from(7)]));
+    // Exact duplicates are rejected.
+    assert!(!rel.insert(GenTuple::new(vec![C::lt_const(0, 9)]).unwrap()));
+}
+
+#[test]
+fn fixpoint_budget_is_enforced() {
+    // A converging program with an absurdly small budget reports NotClosed.
+    let program: Program<Dense> = Program::new(vec![
+        Rule::new(Atom::new("T", vec![0, 1]), vec![Literal::Pos(Atom::new("E", vec![0, 1]))]),
+        Rule::new(
+            Atom::new("T", vec![0, 1]),
+            vec![
+                Literal::Pos(Atom::new("T", vec![0, 2])),
+                Literal::Pos(Atom::new("E", vec![2, 1])),
+            ],
+        ),
+    ]);
+    let mut edb: Database<Dense> = Database::new();
+    edb.insert(
+        "E",
+        GenRelation::from_conjunctions(
+            2,
+            (0..8).map(|i| vec![C::eq_const(0, i), C::eq_const(1, i + 1)]),
+        ),
+    );
+    let opts = FixpointOptions { max_iterations: 2, max_tuples: 100_000 };
+    assert!(matches!(datalog::naive(&program, &edb, &opts), Err(CqlError::NotClosed { .. })));
+}

@@ -1,0 +1,78 @@
+//! Extra property tests for the dense-order network: elimination DNFs are
+//! mutually consistent with sampling, and double complement round-trips
+//! through the symbolic pipeline.
+
+use cql_arith::Rat;
+use cql_core::theory::Theory;
+use cql_core::{GenRelation, GenTuple};
+use cql_dense::{Dense, DenseConstraint, DenseOp, Term};
+use proptest::prelude::*;
+
+fn term(nvars: usize) -> impl Strategy<Value = Term> {
+    prop_oneof![(0..nvars).prop_map(Term::Var), (-2i64..=2).prop_map(|c| Term::Const(Rat::from(c))),]
+}
+
+fn constraint(nvars: usize) -> impl Strategy<Value = DenseConstraint> {
+    (
+        term(nvars),
+        prop_oneof![Just(DenseOp::Lt), Just(DenseOp::Le), Just(DenseOp::Eq), Just(DenseOp::Ne)],
+        term(nvars),
+    )
+        .prop_map(|(l, o, r)| DenseConstraint::new(l, o, r))
+}
+
+fn point(nvars: usize) -> impl Strategy<Value = Vec<Rat>> {
+    prop::collection::vec((-5i64..=5, 1i64..=2).prop_map(|(n, d)| Rat::frac(n, d)), nvars)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(250))]
+
+    /// Chained elimination of every variable decides satisfiability: the
+    /// final DNF is nonempty iff the network sampler finds a witness.
+    #[test]
+    fn full_elimination_decides_satisfiability(
+        conj in prop::collection::vec(constraint(3), 1..6),
+    ) {
+        let mut dnf = vec![conj.clone()];
+        for v in 0..3 {
+            let mut next = Vec::new();
+            for c in &dnf {
+                next.extend(Dense::eliminate(c, v).unwrap());
+            }
+            dnf = next;
+        }
+        // After eliminating all variables every surviving conjunction
+        // contains only constant-vs-constant atoms, all true.
+        let nonempty = !dnf.is_empty();
+        let sampled = Dense::sample(&conj, 3).is_some();
+        prop_assert_eq!(nonempty, sampled, "conj {:?} -> {:?}", conj, dnf);
+    }
+
+    /// Double complement is the identity on sampled points through the
+    /// symbolic complement machinery.
+    #[test]
+    fn dense_double_complement(
+        tuples in prop::collection::vec(prop::collection::vec(constraint(2), 1..3), 1..3),
+        p in point(2),
+    ) {
+        let rel: GenRelation<Dense> = GenRelation::from_conjunctions(2, tuples);
+        let back = rel.complement().complement();
+        prop_assert_eq!(rel.satisfied_by(&p), back.satisfied_by(&p), "{:?}", p);
+    }
+
+    /// Conjoin is intersection on points.
+    #[test]
+    fn conjoin_is_intersection(
+        a in prop::collection::vec(constraint(2), 1..4),
+        b in prop::collection::vec(constraint(2), 1..4),
+        p in point(2),
+    ) {
+        let holds_a = a.iter().all(|c| c.eval(&p));
+        let holds_b = b.iter().all(|c| c.eval(&p));
+        match GenTuple::<Dense>::new(a.clone()).and_then(|t| t.conjoin(&b)) {
+            Some(t) => prop_assert_eq!(t.satisfied_by(&p), holds_a && holds_b),
+            None => prop_assert!(!(holds_a && holds_b), "unsat but {:?} satisfies", p),
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Property-based tests for the dense-order theory: the paper's lemmas as
+//! executable invariants.
+
+use cql_arith::Rat;
+use cql_core::theory::{CellTheory, Theory};
+use cql_dense::{Dense, DenseConstraint, DenseOp, RConfig, Term};
+use proptest::prelude::*;
+
+/// Strategy: a random term over `nvars` variables and small constants.
+fn term(nvars: usize) -> impl Strategy<Value = Term> {
+    prop_oneof![(0..nvars).prop_map(Term::Var), (-3i64..=3).prop_map(|c| Term::Const(Rat::from(c))),]
+}
+
+fn op() -> impl Strategy<Value = DenseOp> {
+    prop_oneof![Just(DenseOp::Lt), Just(DenseOp::Le), Just(DenseOp::Eq), Just(DenseOp::Ne),]
+}
+
+fn constraint(nvars: usize) -> impl Strategy<Value = DenseConstraint> {
+    (term(nvars), op(), term(nvars)).prop_map(|(l, o, r)| DenseConstraint::new(l, o, r))
+}
+
+fn conjunction(nvars: usize, max_len: usize) -> impl Strategy<Value = Vec<DenseConstraint>> {
+    prop::collection::vec(constraint(nvars), 0..max_len)
+}
+
+/// Strategy: a random point with small rational coordinates.
+fn point(nvars: usize) -> impl Strategy<Value = Vec<Rat>> {
+    prop::collection::vec((-8i64..=8, 1i64..=2).prop_map(|(n, d)| Rat::frac(n, d)), nvars)
+}
+
+const NVARS: usize = 4;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Canonicalization preserves semantics: a point satisfies the raw
+    /// conjunction iff it satisfies the canonical form (when satisfiable).
+    #[test]
+    fn canonicalization_preserves_semantics(
+        conj in conjunction(NVARS, 6),
+        p in point(NVARS),
+    ) {
+        let holds_raw = conj.iter().all(|c| c.eval(&p));
+        match Dense::canonicalize(&conj) {
+            None => prop_assert!(!holds_raw, "unsat canonical but point satisfies {conj:?}"),
+            Some(canon) => {
+                let holds_canon = canon.iter().all(|c| c.eval(&p));
+                prop_assert_eq!(holds_raw, holds_canon,
+                    "raw {:?} vs canon {:?} at {:?}", conj, canon, p);
+            }
+        }
+    }
+
+    /// Satisfiable canonical conjunctions admit a sample that satisfies them.
+    #[test]
+    fn sample_satisfies_conjunction(conj in conjunction(NVARS, 6)) {
+        if let Some(sample) = Dense::sample(&conj, NVARS) {
+            for c in &conj {
+                prop_assert!(c.eval(&sample), "{c} fails at sample {sample:?}");
+            }
+        }
+    }
+
+    /// Quantifier elimination is sound and complete (the closure condition
+    /// of Definition 1.8): p satisfies ∃v.C iff p extends to a point of C.
+    #[test]
+    fn elimination_soundness_and_completeness(
+        conj in conjunction(NVARS, 5),
+        p in point(NVARS),
+        v in 0..NVARS,
+    ) {
+        let dnf = Dense::eliminate(&conj, v).unwrap();
+        let eliminated_holds = dnf.iter().any(|c| c.iter().all(|a| a.eval(&p)));
+
+        // Completeness: if some witness value for x_v satisfies C, the
+        // eliminated formula must hold at p. Try candidate witnesses around
+        // all constants and point coordinates.
+        let mut witnesses: Vec<Rat> = Vec::new();
+        let mut anchors: Vec<Rat> = p.clone();
+        for c in &conj {
+            anchors.extend(c.constants());
+        }
+        anchors.sort();
+        anchors.dedup();
+        for (i, a) in anchors.iter().enumerate() {
+            witnesses.push(a.clone());
+            witnesses.push(a - &Rat::one());
+            witnesses.push(a + &Rat::one());
+            if i + 1 < anchors.len() {
+                witnesses.push(Rat::midpoint(a, &anchors[i + 1]));
+            }
+        }
+        witnesses.push(Rat::zero());
+        let witnessed = witnesses.iter().any(|w| {
+            let mut q = p.clone();
+            q[v] = w.clone();
+            conj.iter().all(|c| c.eval(&q))
+        });
+        if witnessed {
+            prop_assert!(eliminated_holds, "witness exists but ∃-elim rejects {p:?}: {conj:?} -> {dnf:?}");
+        }
+        // Soundness: if the eliminated formula holds, an exact witness must
+        // exist — check via a satisfiability call with x_v re-pinned to the
+        // other coordinates' values.
+        if eliminated_holds {
+            let mut pinned: Vec<DenseConstraint> = conj.clone();
+            for (i, val) in p.iter().enumerate() {
+                if i != v {
+                    pinned.push(DenseConstraint::eq_const(i, val.clone()));
+                }
+            }
+            prop_assert!(Dense::canonicalize(&pinned).is_some(),
+                "∃-elim accepts {p:?} but no witness: {conj:?}");
+        }
+    }
+
+    /// Lemma 3.8: every point lies in exactly one r-configuration, and the
+    /// configuration's formula holds at the point.
+    #[test]
+    fn cell_of_point_is_consistent(
+        p in point(3),
+        consts in prop::collection::btree_set(-3i64..=3, 0..4),
+    ) {
+        let consts: Vec<Rat> = consts.into_iter().map(Rat::from).collect();
+        let cell = Dense::cell_of(&p, &consts);
+        for atom in Dense::cell_formula(&cell) {
+            prop_assert!(atom.eval(&p), "{atom} fails at {p:?}");
+        }
+        // Lemma 3.7: the sample lies in the same cell.
+        let s = Dense::cell_sample(&cell, &consts);
+        prop_assert_eq!(Dense::cell_of(&s, &consts), cell);
+    }
+
+    /// Lemma 3.9 (indistinguishability): the cell's sample agrees with the
+    /// original point on every atomic formula over the constants.
+    #[test]
+    fn cell_points_agree_on_atoms(
+        p in point(3),
+        consts in prop::collection::btree_set(-3i64..=3, 0..4),
+    ) {
+        let consts: Vec<Rat> = consts.into_iter().map(Rat::from).collect();
+        let cell = Dense::cell_of(&p, &consts);
+        let s = Dense::cell_sample(&cell, &consts);
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert_eq!(p[i] < p[j], s[i] < s[j]);
+                prop_assert_eq!(p[i] == p[j], s[i] == s[j]);
+            }
+            for c in &consts {
+                prop_assert_eq!(&p[i] < c, &s[i] < c);
+                prop_assert_eq!(&p[i] == c, &s[i] == c);
+            }
+        }
+    }
+
+    /// Entailment is sound: if `entails(a, b)` then every satisfying point
+    /// of `a` satisfies `b`.
+    #[test]
+    fn entailment_soundness(
+        a in conjunction(3, 5),
+        b in conjunction(3, 3),
+        p in point(3),
+    ) {
+        if Dense::entails(&a, &b) && a.iter().all(|c| c.eval(&p)) {
+            prop_assert!(b.iter().all(|c| c.eval(&p)),
+                "entails({a:?}, {b:?}) but {p:?} violates b");
+        }
+    }
+
+    /// Projection of cells commutes with projection of points (§3.2:
+    /// r-configurations are closed under projection).
+    #[test]
+    fn cell_projection_commutes(
+        p in point(4),
+        keep in prop::collection::vec(0usize..4, 1..4),
+        consts in prop::collection::btree_set(-2i64..=2, 0..3),
+    ) {
+        let consts: Vec<Rat> = consts.into_iter().map(Rat::from).collect();
+        let cell = Dense::cell_of(&p, &consts);
+        let projected_cell = Dense::cell_project(&cell, &keep);
+        let projected_point: Vec<Rat> = keep.iter().map(|&i| p[i].clone()).collect();
+        prop_assert_eq!(projected_cell, Dense::cell_of(&projected_point, &consts));
+    }
+}
+
+#[test]
+fn cells_of_size_two_partition_the_plane() {
+    // Deterministic exhaustive check that size-2 cells are disjoint and
+    // cover a grid of points.
+    let consts = vec![Rat::from(0), Rat::from(2)];
+    let cells = <Dense as CellTheory>::cells(&consts, 2);
+    let axis: Vec<Rat> =
+        ["-1", "0", "1", "2", "3", "1/2"].iter().map(|s| s.parse().unwrap()).collect();
+    for a in &axis {
+        for b in &axis {
+            let p = vec![a.clone(), b.clone()];
+            let matching: Vec<&RConfig> = cells
+                .iter()
+                .filter(|cell| Dense::cell_formula(cell).iter().all(|c| c.eval(&p)))
+                .collect();
+            assert_eq!(matching.len(), 1, "point {p:?} lies in {} cells", matching.len());
+        }
+    }
+}

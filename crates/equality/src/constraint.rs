@@ -1,0 +1,170 @@
+//! Equality constraints over an infinite domain (Definition 1.2, class 3).
+//!
+//! Atomic constraints are `x θ y` and `x θ c` with `θ ∈ {=, ≠}`; the
+//! domain is a countably infinite set *without order* — we use `i64`
+//! names, of which there is an unbounded supply.
+
+use std::fmt;
+
+/// One side of an equality constraint.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum ETerm {
+    /// Variable `x_i`.
+    Var(usize),
+    /// A named domain element.
+    Const(i64),
+}
+
+impl ETerm {
+    /// The variable index, if a variable.
+    #[must_use]
+    pub fn as_var(&self) -> Option<usize> {
+        match self {
+            ETerm::Var(v) => Some(*v),
+            ETerm::Const(_) => None,
+        }
+    }
+
+    /// The constant, if a constant.
+    #[must_use]
+    pub fn as_const(&self) -> Option<i64> {
+        match self {
+            ETerm::Var(_) => None,
+            ETerm::Const(c) => Some(*c),
+        }
+    }
+
+    /// Value under a point assignment.
+    #[must_use]
+    pub fn value(&self, point: &[i64]) -> i64 {
+        match self {
+            ETerm::Var(v) => point[*v],
+            ETerm::Const(c) => *c,
+        }
+    }
+}
+
+impl fmt::Display for ETerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ETerm::Var(v) => write!(f, "x{v}"),
+            ETerm::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// An atomic equality constraint `lhs = rhs` or `lhs ≠ rhs`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EqConstraint {
+    /// Left term.
+    pub lhs: ETerm,
+    /// `true` for `=`, `false` for `≠`.
+    pub equal: bool,
+    /// Right term.
+    pub rhs: ETerm,
+}
+
+impl EqConstraint {
+    /// `x_a = x_b`.
+    #[must_use]
+    pub fn eq(a: usize, b: usize) -> EqConstraint {
+        EqConstraint { lhs: ETerm::Var(a), equal: true, rhs: ETerm::Var(b) }
+    }
+
+    /// `x_a ≠ x_b`.
+    #[must_use]
+    pub fn ne(a: usize, b: usize) -> EqConstraint {
+        EqConstraint { lhs: ETerm::Var(a), equal: false, rhs: ETerm::Var(b) }
+    }
+
+    /// `x_v = c`.
+    #[must_use]
+    pub fn eq_const(v: usize, c: i64) -> EqConstraint {
+        EqConstraint { lhs: ETerm::Var(v), equal: true, rhs: ETerm::Const(c) }
+    }
+
+    /// `x_v ≠ c`.
+    #[must_use]
+    pub fn ne_const(v: usize, c: i64) -> EqConstraint {
+        EqConstraint { lhs: ETerm::Var(v), equal: false, rhs: ETerm::Const(c) }
+    }
+
+    /// The complementary constraint.
+    #[must_use]
+    pub fn negated(&self) -> EqConstraint {
+        EqConstraint { lhs: self.lhs, equal: !self.equal, rhs: self.rhs }
+    }
+
+    /// Evaluate at a point.
+    #[must_use]
+    pub fn eval(&self, point: &[i64]) -> bool {
+        (self.lhs.value(point) == self.rhs.value(point)) == self.equal
+    }
+
+    /// Rename variables.
+    #[must_use]
+    pub fn rename(&self, map: &dyn Fn(usize) -> usize) -> EqConstraint {
+        let rn = |t: ETerm| match t {
+            ETerm::Var(v) => ETerm::Var(map(v)),
+            c => c,
+        };
+        EqConstraint { lhs: rn(self.lhs), equal: self.equal, rhs: rn(self.rhs) }
+    }
+
+    /// Variables mentioned.
+    #[must_use]
+    pub fn vars(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = [self.lhs, self.rhs].iter().filter_map(ETerm::as_var).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Constants mentioned.
+    #[must_use]
+    pub fn constants(&self) -> Vec<i64> {
+        [self.lhs, self.rhs].iter().filter_map(ETerm::as_const).collect()
+    }
+}
+
+impl fmt::Display for EqConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.lhs, if self.equal { "=" } else { "≠" }, self.rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_and_negate() {
+        let c = EqConstraint::eq(0, 1);
+        assert!(c.eval(&[3, 3]));
+        assert!(!c.eval(&[3, 4]));
+        let n = c.negated();
+        assert!(!n.eval(&[3, 3]));
+        assert!(n.eval(&[3, 4]));
+        assert_eq!(n.negated(), c);
+    }
+
+    #[test]
+    fn const_constraints() {
+        assert!(EqConstraint::eq_const(0, 7).eval(&[7]));
+        assert!(EqConstraint::ne_const(0, 7).eval(&[8]));
+    }
+
+    #[test]
+    fn rename_vars_constants() {
+        let c = EqConstraint::eq_const(2, 5);
+        assert_eq!(c.vars(), vec![2]);
+        assert_eq!(c.constants(), vec![5]);
+        assert_eq!(c.rename(&|v| v + 1), EqConstraint::eq_const(3, 5));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(EqConstraint::eq(0, 1).to_string(), "x0 = x1");
+        assert_eq!(EqConstraint::ne_const(2, 9).to_string(), "x2 ≠ 9");
+    }
+}

@@ -1,0 +1,210 @@
+//! e-configurations (Definition 4.1): the cells of the equality theory.
+//!
+//! An e-configuration of size n over a constant set `D_φ` is an
+//! equivalence relation on the coordinates plus, per equivalence class,
+//! either a constant of `D_φ` or the marker *o* ("not equal to any
+//! constant of `D_φ` — and distinct from every other *o* class").
+//!
+//! Because the `F(ξ)` formula of Definition 4.3 includes `x ≠ v` for
+//! *every* constant `v ∈ D_φ` when the class is unpinned, the cell must
+//! carry its constant set.
+
+use crate::constraint::EqConstraint;
+
+/// An e-configuration.
+///
+/// Invariants: `class[i]` ids are normalized to first-occurrence order
+/// (class 0 appears before class 1, ...); `val[k]` is the pinned constant
+/// of class `k` (`None` = the paper's *o*); distinct pinned classes carry
+/// distinct constants; `constants` is the sorted, deduplicated `D_φ`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct EConfig {
+    /// Class id per variable.
+    pub class: Vec<usize>,
+    /// Pinned constant per class (`None` = *o*).
+    pub val: Vec<Option<i64>>,
+    /// The constant set `D_φ` the configuration is defined over.
+    pub constants: Vec<i64>,
+}
+
+impl EConfig {
+    /// The configuration of size 0 over a constant set.
+    #[must_use]
+    pub fn empty(constants: &[i64]) -> EConfig {
+        let mut cs = constants.to_vec();
+        cs.sort_unstable();
+        cs.dedup();
+        EConfig { class: Vec::new(), val: Vec::new(), constants: cs }
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.class.len()
+    }
+
+    /// All one-variable extensions (Definition 4.5): join an existing
+    /// class, pin to an unused constant, or open a fresh *o* class.
+    #[must_use]
+    pub fn extensions(&self) -> Vec<EConfig> {
+        let mut out = Vec::new();
+        for k in 0..self.val.len() {
+            let mut ext = self.clone();
+            ext.class.push(k);
+            out.push(ext);
+        }
+        for &c in &self.constants {
+            if self.val.contains(&Some(c)) {
+                continue;
+            }
+            let mut ext = self.clone();
+            ext.class.push(ext.val.len());
+            ext.val.push(Some(c));
+            out.push(ext);
+        }
+        let mut fresh = self.clone();
+        fresh.class.push(fresh.val.len());
+        fresh.val.push(None);
+        out.push(fresh);
+        out
+    }
+
+    /// The unique configuration containing `point` (Lemma 4.8).
+    #[must_use]
+    pub fn of_point(point: &[i64], constants: &[i64]) -> EConfig {
+        let mut cfg = EConfig::empty(constants);
+        let mut seen: Vec<i64> = Vec::new();
+        for &v in point {
+            match seen.iter().position(|&s| s == v) {
+                Some(k) => cfg.class.push(k),
+                None => {
+                    seen.push(v);
+                    cfg.class.push(cfg.val.len());
+                    cfg.val.push(if cfg.constants.binary_search(&v).is_ok() {
+                        Some(v)
+                    } else {
+                        None
+                    });
+                }
+            }
+        }
+        cfg
+    }
+
+    /// The conjunction `F(ξ)` of Definition 4.3.
+    #[must_use]
+    pub fn formula(&self) -> Vec<EqConstraint> {
+        let n = self.size();
+        let mut out = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if self.class[i] == self.class[j] {
+                    out.push(EqConstraint::eq(i, j));
+                } else {
+                    out.push(EqConstraint::ne(i, j));
+                }
+            }
+        }
+        for (i, &k) in self.class.iter().enumerate() {
+            match self.val[k] {
+                Some(c) => out.push(EqConstraint::eq_const(i, c)),
+                None => {
+                    for &c in &self.constants {
+                        out.push(EqConstraint::ne_const(i, c));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// A point of the configuration (Lemma 4.7): *o* classes get fresh
+    /// values outside `D_φ`, pairwise distinct.
+    #[must_use]
+    pub fn sample(&self) -> Vec<i64> {
+        let base = self.constants.iter().copied().max().unwrap_or(0) + 1;
+        let values: Vec<i64> =
+            self.val.iter().enumerate().map(|(k, v)| v.unwrap_or(base + k as i64)).collect();
+        self.class.iter().map(|&k| values[k]).collect()
+    }
+
+    /// Project onto variables `keep` (repetitions allowed).
+    #[must_use]
+    pub fn project(&self, keep: &[usize]) -> EConfig {
+        let mut out = EConfig::empty(&self.constants);
+        let mut remap: Vec<Option<usize>> = vec![None; self.val.len()];
+        for &v in keep {
+            let old = self.class[v];
+            let new = match remap[old] {
+                Some(n) => n,
+                None => {
+                    let n = out.val.len();
+                    out.val.push(self.val[old]);
+                    remap[old] = Some(n);
+                    n
+                }
+            };
+            out.class.push(new);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_4_2_from_the_paper() {
+        // D_φ = {1,2}; point (1,1,2,4,2,4,3):
+        // classes {1,2},{3,5},{4,6},{7}; vals (1,·,2,·,o,·,o,o) per class.
+        let cfg = EConfig::of_point(&[1, 1, 2, 4, 2, 4, 3], &[1, 2]);
+        assert_eq!(cfg.class, vec![0, 0, 1, 2, 1, 2, 3]);
+        assert_eq!(cfg.val, vec![Some(1), Some(2), None, None]);
+    }
+
+    #[test]
+    fn formula_holds_at_point() {
+        let p = [5, 5, 1, 9];
+        let cfg = EConfig::of_point(&p, &[1, 2]);
+        for atom in cfg.formula() {
+            assert!(atom.eval(&p), "{atom}");
+        }
+    }
+
+    #[test]
+    fn sample_in_same_cell() {
+        let consts = [1, 2];
+        for p in [[5, 5, 1], [1, 2, 3], [7, 8, 9], [2, 2, 2]] {
+            let cfg = EConfig::of_point(&p, &consts);
+            let s = cfg.sample();
+            assert_eq!(EConfig::of_point(&s, &consts), cfg, "point {p:?}");
+        }
+    }
+
+    #[test]
+    fn extension_counts() {
+        // Over m constants, cells of size 1: m pins + 1 fresh = m+1.
+        for m in 0..4i64 {
+            let consts: Vec<i64> = (0..m).collect();
+            let cells = EConfig::empty(&consts).extensions();
+            assert_eq!(cells.len(), m as usize + 1);
+        }
+        // Size 2 over 1 constant: classes/pins enumerated exhaustively = 5:
+        // (a,a)@c, (a,a)@o, (a,b) c/o, o/c, o/o.
+        let cells: Vec<EConfig> =
+            EConfig::empty(&[7]).extensions().iter().flat_map(EConfig::extensions).collect();
+        assert_eq!(cells.len(), 5);
+    }
+
+    #[test]
+    fn projection_commutes_with_points() {
+        let p = [4, 7, 4, 1];
+        let consts = [1];
+        let cfg = EConfig::of_point(&p, &consts);
+        let keep = [2usize, 0, 3];
+        let projected = cfg.project(&keep);
+        let pp: Vec<i64> = keep.iter().map(|&i| p[i]).collect();
+        assert_eq!(projected, EConfig::of_point(&pp, &consts));
+    }
+}

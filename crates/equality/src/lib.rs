@@ -1,0 +1,26 @@
+//! # cql-equality — equality constraints over an infinite domain (§4)
+//!
+//! The theory of equality (`=`, `≠`) over a countably infinite unordered
+//! set. This is the paper's "simplest generalization of the relational
+//! data model": finite relations are sets of `x = c` conjunctions, and
+//! the answers to classically *unsafe* queries (complements, `x ≠ c`
+//! selections) become finitely representable.
+//!
+//! Implements e-configurations ([`EConfig`], Definition 4.1), a complete
+//! union–find solver ([`EqSolver`]), and the [`Equality`] tag for
+//! `cql_core`'s evaluators. Per Theorem 4.11: relational calculus
+//! evaluates in closed form with LOGSPACE data complexity, inflationary
+//! Datalog¬ with PTIME data complexity.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod constraint;
+pub mod econfig;
+pub mod solver;
+pub mod theory_impl;
+
+pub use constraint::{ETerm, EqConstraint};
+pub use econfig::EConfig;
+pub use solver::EqSolver;
+pub use theory_impl::Equality;

@@ -1,0 +1,279 @@
+//! Canonicalization, entailment, elimination and sampling for
+//! conjunctions of equality constraints over an infinite domain.
+//!
+//! The solver is a union–find over variable and constant nodes plus a set
+//! of class-level disequalities. Over an infinite domain this is
+//! *complete*: a conjunction is unsatisfiable iff two distinct constants
+//! are unified or a disequality joins a single class, and an atom is
+//! implied iff it is explicit at the class level (or follows from two
+//! distinct pinned constants).
+
+use crate::constraint::{ETerm, EqConstraint};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A solved (consistent) conjunction of equality constraints.
+#[derive(Debug)]
+pub struct EqSolver {
+    /// Class id of each variable that occurs.
+    class_of: BTreeMap<usize, usize>,
+    /// Pinned constant per class.
+    pinned: Vec<Option<i64>>,
+    /// Sorted variables per class.
+    members: Vec<Vec<usize>>,
+    /// Non-implied class-level disequalities `(min, max)`.
+    ne: BTreeSet<(usize, usize)>,
+}
+
+impl EqSolver {
+    /// Solve a conjunction; `None` if unsatisfiable.
+    #[must_use]
+    pub fn build(constraints: &[EqConstraint]) -> Option<EqSolver> {
+        // Union-find over interned terms.
+        let mut index: BTreeMap<ETerm, usize> = BTreeMap::new();
+        let mut parent: Vec<usize> = Vec::new();
+        let mut terms: Vec<ETerm> = Vec::new();
+        fn find(parent: &mut [usize], mut i: usize) -> usize {
+            while parent[i] != i {
+                parent[i] = parent[parent[i]];
+                i = parent[i];
+            }
+            i
+        }
+        let intern = |t: ETerm,
+                      parent: &mut Vec<usize>,
+                      terms: &mut Vec<ETerm>,
+                      index: &mut BTreeMap<ETerm, usize>| {
+            *index.entry(t).or_insert_with(|| {
+                parent.push(parent.len());
+                terms.push(t);
+                parent.len() - 1
+            })
+        };
+        let mut diseqs: Vec<(usize, usize)> = Vec::new();
+        for c in constraints {
+            let a = intern(c.lhs, &mut parent, &mut terms, &mut index);
+            let b = intern(c.rhs, &mut parent, &mut terms, &mut index);
+            if c.equal {
+                let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+                parent[ra] = rb;
+            } else {
+                diseqs.push((a, b));
+            }
+        }
+        // Gather classes; two distinct constants in one class ⇒ unsat.
+        let n = parent.len();
+        let mut class_ids: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut pinned: Vec<Option<i64>> = Vec::new();
+        let mut members: Vec<Vec<usize>> = Vec::new();
+        let mut node_class: Vec<usize> = vec![0; n];
+        for i in 0..n {
+            let root = find(&mut parent, i);
+            let id = *class_ids.entry(root).or_insert_with(|| {
+                pinned.push(None);
+                members.push(Vec::new());
+                pinned.len() - 1
+            });
+            node_class[i] = id;
+            match terms[i] {
+                ETerm::Var(v) => members[id].push(v),
+                ETerm::Const(c) => match pinned[id] {
+                    Some(other) if other != c => return None,
+                    _ => pinned[id] = Some(c),
+                },
+            }
+        }
+        for m in &mut members {
+            m.sort_unstable();
+        }
+        let mut ne: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for (a, b) in diseqs {
+            let (ca, cb) = (node_class[a], node_class[b]);
+            if ca == cb {
+                return None;
+            }
+            // Disequality between distinct pinned constants is implied.
+            if let (Some(x), Some(y)) = (pinned[ca], pinned[cb]) {
+                debug_assert_ne!(x, y);
+                continue;
+            }
+            ne.insert((ca.min(cb), ca.max(cb)));
+        }
+        let mut class_of = BTreeMap::new();
+        for (id, m) in members.iter().enumerate() {
+            for &v in m {
+                class_of.insert(v, id);
+            }
+        }
+        Some(EqSolver { class_of, pinned, members, ne })
+    }
+
+    /// Canonical atom list, skipping variable `skip` if given.
+    #[must_use]
+    pub fn canonical_constraints(&self, skip: Option<usize>) -> Vec<EqConstraint> {
+        let keep = |v: usize| skip != Some(v);
+        let mut out = Vec::new();
+        // Representative surviving variable of each class.
+        let rep: Vec<Option<usize>> =
+            self.members.iter().map(|m| m.iter().copied().find(|&v| keep(v))).collect();
+        for (id, m) in self.members.iter().enumerate() {
+            let vars: Vec<usize> = m.iter().copied().filter(|&v| keep(v)).collect();
+            let Some(&first) = vars.first() else { continue };
+            if let Some(c) = self.pinned[id] {
+                for &v in &vars {
+                    out.push(EqConstraint::eq_const(v, c));
+                }
+            } else {
+                for &v in &vars[1..] {
+                    out.push(EqConstraint::eq(first, v));
+                }
+            }
+        }
+        for &(a, b) in &self.ne {
+            match (rep[a], self.pinned[a], rep[b], self.pinned[b]) {
+                (Some(x), None, Some(y), None) => {
+                    out.push(EqConstraint::ne(x.min(y), x.max(y)));
+                }
+                (Some(x), None, _, Some(c)) | (_, Some(c), Some(x), None) => {
+                    out.push(EqConstraint::ne_const(x, c));
+                }
+                // A vanished class or two pinned classes: nothing to emit.
+                _ => {}
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Eliminate variable `v`: exact over an infinite domain (a fresh
+    /// witness distinct from finitely many excluded values always exists).
+    #[must_use]
+    pub fn eliminate(&self, v: usize) -> Vec<EqConstraint> {
+        self.canonical_constraints(Some(v))
+    }
+
+    /// Is the atom implied? Complete for this theory.
+    #[must_use]
+    pub fn implies(&self, c: &EqConstraint) -> bool {
+        let class = |t: ETerm| -> Option<usize> {
+            match t {
+                ETerm::Var(v) => self.class_of.get(&v).copied(),
+                ETerm::Const(k) => self.pinned.iter().position(|&p| p == Some(k)),
+            }
+        };
+        match (class(c.lhs), class(c.rhs)) {
+            (Some(a), Some(b)) => {
+                if c.equal {
+                    a == b
+                } else {
+                    a != b
+                        && (self.ne.contains(&(a.min(b), a.max(b)))
+                            || (self.pinned[a].is_some()
+                                && self.pinned[b].is_some()
+                                && self.pinned[a] != self.pinned[b]))
+                }
+            }
+            // A term foreign to the conjunction: `x ≠ k` is implied when x
+            // is pinned to a different constant; constant-constant atoms
+            // are decided arithmetically.
+            (Some(a), None) | (None, Some(a)) => {
+                let k = c.lhs.as_const().or(c.rhs.as_const());
+                match (c.equal, self.pinned[a], k) {
+                    (false, Some(p), Some(k)) => p != k,
+                    _ => false,
+                }
+            }
+            (None, None) => match (c.lhs.as_const(), c.rhs.as_const()) {
+                (Some(x), Some(y)) => (x == y) == c.equal,
+                _ => c.equal && c.lhs == c.rhs,
+            },
+        }
+    }
+
+    /// A satisfying point for variables `0..arity`.
+    #[must_use]
+    pub fn sample(&self, arity: usize) -> Vec<i64> {
+        let max_const = self.pinned.iter().flatten().copied().max().unwrap_or(0).max(1_000_000);
+        let class_value: Vec<i64> = self
+            .pinned
+            .iter()
+            .enumerate()
+            .map(|(id, p)| p.unwrap_or(max_const + 1 + id as i64))
+            .collect();
+        let fresh_base = max_const + 1 + self.pinned.len() as i64;
+        (0..arity)
+            .map(|v| match self.class_of.get(&v) {
+                Some(&id) => class_value[id],
+                None => fresh_base + v as i64,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::EqConstraint as C;
+
+    fn canon(cs: &[C]) -> Option<Vec<C>> {
+        EqSolver::build(cs).map(|s| s.canonical_constraints(None))
+    }
+
+    #[test]
+    fn satisfiability() {
+        assert!(canon(&[C::eq(0, 1), C::eq(1, 2)]).is_some());
+        assert!(canon(&[C::eq(0, 1), C::ne(0, 1)]).is_none());
+        assert!(canon(&[C::eq(0, 1), C::eq(1, 2), C::ne(0, 2)]).is_none());
+        assert!(canon(&[C::eq_const(0, 1), C::eq_const(0, 2)]).is_none());
+        assert!(canon(&[C::eq_const(0, 1), C::ne_const(0, 1)]).is_none());
+        assert!(canon(&[C::eq_const(0, 1), C::ne_const(0, 2)]).is_some());
+    }
+
+    #[test]
+    fn canonical_forms_are_equal_for_equivalents() {
+        let a = canon(&[C::eq(0, 1), C::eq(1, 2)]).unwrap();
+        let b = canon(&[C::eq(2, 0), C::eq(0, 1)]).unwrap();
+        assert_eq!(a, b);
+        // Disequality implied by distinct pins disappears.
+        let c = canon(&[C::eq_const(0, 1), C::eq_const(1, 2), C::ne(0, 1)]).unwrap();
+        let d = canon(&[C::eq_const(0, 1), C::eq_const(1, 2)]).unwrap();
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn elimination_drops_variable() {
+        // ∃x1 (x0 = x1 ∧ x1 = x2) ≡ x0 = x2.
+        let s = EqSolver::build(&[C::eq(0, 1), C::eq(1, 2)]).unwrap();
+        assert_eq!(s.eliminate(1), vec![C::eq(0, 2)]);
+        // ∃x0 (x0 ≠ x1 ∧ x0 ≠ 5) ≡ true — infinite domain.
+        let s2 = EqSolver::build(&[C::ne(0, 1), C::ne_const(0, 5)]).unwrap();
+        assert_eq!(s2.eliminate(0), Vec::<C>::new());
+    }
+
+    #[test]
+    fn implication() {
+        let s = EqSolver::build(&[C::eq(0, 1), C::ne(1, 2)]).unwrap();
+        assert!(s.implies(&C::eq(1, 0)));
+        assert!(s.implies(&C::ne(0, 2)));
+        assert!(!s.implies(&C::eq(0, 2)));
+        let p = EqSolver::build(&[C::eq_const(0, 3)]).unwrap();
+        assert!(p.implies(&C::ne_const(0, 4)));
+        assert!(!p.implies(&C::ne_const(0, 3)));
+    }
+
+    #[test]
+    fn samples_satisfy() {
+        let cases: Vec<Vec<C>> = vec![
+            vec![C::eq(0, 1), C::ne(1, 2)],
+            vec![C::eq_const(0, 5), C::ne_const(1, 5), C::ne(1, 2)],
+            vec![C::ne(0, 1), C::ne(1, 2), C::ne(0, 2)],
+        ];
+        for cs in cases {
+            let s = EqSolver::build(&cs).unwrap();
+            let p = s.sample(3);
+            for c in &cs {
+                assert!(c.eval(&p), "{c} at {p:?}");
+            }
+        }
+    }
+}

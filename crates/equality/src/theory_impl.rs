@@ -1,0 +1,114 @@
+//! [`Theory`] and [`CellTheory`] implementations for equality constraints.
+
+use crate::constraint::EqConstraint;
+use crate::econfig::EConfig;
+use crate::solver::EqSolver;
+use cql_core::error::Result;
+use cql_core::theory::{CellTheory, Theory, Var};
+
+/// The equality-over-an-infinite-domain theory of §4 of the paper — "the
+/// simplest generalization of the relational data model" (Remark C).
+/// Unsafe relational queries whose answers are co-finite become
+/// representable: `¬R(x)` is a generalized relation of `≠` constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Equality {}
+
+impl Theory for Equality {
+    type Constraint = EqConstraint;
+    type Value = i64;
+
+    fn name() -> &'static str {
+        "equality over an infinite domain"
+    }
+
+    fn canonicalize(conj: &[EqConstraint]) -> Option<Vec<EqConstraint>> {
+        EqSolver::build(conj).map(|s| s.canonical_constraints(None))
+    }
+
+    fn eliminate(conj: &[EqConstraint], var: Var) -> Result<Vec<Vec<EqConstraint>>> {
+        Ok(match EqSolver::build(conj) {
+            None => Vec::new(),
+            Some(s) => vec![s.eliminate(var)],
+        })
+    }
+
+    fn negate(c: &EqConstraint) -> Vec<EqConstraint> {
+        vec![c.negated()]
+    }
+
+    fn var_eq(a: Var, b: Var) -> EqConstraint {
+        EqConstraint::eq(a, b)
+    }
+
+    fn var_const_eq(v: Var, value: &i64) -> EqConstraint {
+        EqConstraint::eq_const(v, *value)
+    }
+
+    fn eval(c: &EqConstraint, point: &[i64]) -> bool {
+        c.eval(point)
+    }
+
+    fn rename(c: &EqConstraint, map: &dyn Fn(Var) -> Var) -> EqConstraint {
+        c.rename(map)
+    }
+
+    fn vars(c: &EqConstraint) -> Vec<Var> {
+        c.vars()
+    }
+
+    fn constants(c: &EqConstraint) -> Vec<i64> {
+        c.constants()
+    }
+
+    fn entails(a: &[EqConstraint], b: &[EqConstraint]) -> bool {
+        match EqSolver::build(a) {
+            None => true,
+            Some(s) => b.iter().all(|c| s.implies(c)),
+        }
+    }
+
+    fn sample(conj: &[EqConstraint], arity: usize) -> Option<Vec<i64>> {
+        EqSolver::build(conj).map(|s| s.sample(arity))
+    }
+}
+
+impl CellTheory for Equality {
+    type Cell = EConfig;
+
+    fn empty_cell() -> EConfig {
+        EConfig::empty(&[])
+    }
+
+    fn extensions(cell: &EConfig, constants: &[i64]) -> Vec<EConfig> {
+        // The empty cell starts with no constant set; install it here so
+        // the generic `cells` driver works unchanged.
+        if cell.size() == 0 && cell.constants.is_empty() && !constants.is_empty() {
+            return EConfig::empty(constants).extensions();
+        }
+        cell.extensions()
+    }
+
+    fn cell_formula(cell: &EConfig) -> Vec<EqConstraint> {
+        cell.formula()
+    }
+
+    fn cell_sample(cell: &EConfig, constants: &[i64]) -> Vec<i64> {
+        if cell.size() == 0 {
+            let _ = constants;
+        }
+        cell.sample()
+    }
+
+    fn cell_of(point: &[i64], constants: &[i64]) -> EConfig {
+        EConfig::of_point(point, constants)
+    }
+
+    fn cell_truncate(cell: &EConfig, n: usize) -> EConfig {
+        let keep: Vec<usize> = (0..n).collect();
+        cell.project(&keep)
+    }
+
+    fn cell_project(cell: &EConfig, keep: &[Var]) -> EConfig {
+        cell.project(keep)
+    }
+}

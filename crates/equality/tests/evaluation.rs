@@ -1,0 +1,178 @@
+//! End-to-end evaluation with equality constraints (§4), including the
+//! paper's motivating "unsafe query" scenario and Datalog¬.
+
+use cql_core::datalog::{self, Atom, FixpointOptions, Literal, Program, Rule};
+use cql_core::{calculus, cells, CalculusQuery, Database, Formula, GenRelation};
+use cql_equality::{EqConstraint as C, Equality};
+
+fn finite_relation(rows: &[&[i64]]) -> GenRelation<Equality> {
+    let arity = rows.first().map_or(0, |r| r.len());
+    GenRelation::from_conjunctions(
+        arity,
+        rows.iter()
+            .map(|row| row.iter().enumerate().map(|(i, &v)| C::eq_const(i, v)).collect::<Vec<_>>()),
+    )
+}
+
+fn grid(arity: usize) -> Vec<Vec<i64>> {
+    let axis = [1i64, 2, 3, 4, 99, 100];
+    let mut out = vec![Vec::new()];
+    for _ in 0..arity {
+        out = out
+            .into_iter()
+            .flat_map(|p: Vec<i64>| {
+                axis.iter().map(move |&v| {
+                    let mut q = p.clone();
+                    q.push(v);
+                    q
+                })
+            })
+            .collect();
+    }
+    out
+}
+
+fn check_both(q: &CalculusQuery<Equality>, db: &Database<Equality>) {
+    let symbolic = calculus::evaluate(q, db).unwrap();
+    let cellular = cells::evaluate(q, db).unwrap();
+    for p in grid(q.arity()) {
+        assert_eq!(symbolic.satisfied_by(&p), cellular.satisfied_by(&p), "disagreement at {p:?}");
+    }
+}
+
+#[test]
+fn unsafe_complement_query_is_closed() {
+    // In the classical relational model {x | ¬R(x)} is unsafe; with
+    // equality constraints its answer is the generalized tuple x≠1 ∧ x≠2.
+    let mut db = Database::new();
+    db.insert("R", finite_relation(&[&[1], &[2]]));
+    let q = CalculusQuery::new(Formula::atom("R", vec![0]).not(), vec![0]).unwrap();
+    let out = calculus::evaluate(&q, &db).unwrap();
+    assert!(!out.satisfied_by(&[1]));
+    assert!(!out.satisfied_by(&[2]));
+    assert!(out.satisfied_by(&[3]));
+    assert!(out.satisfied_by(&[1_000_000]));
+    check_both(&q, &db);
+}
+
+#[test]
+fn join_and_projection() {
+    let mut db = Database::new();
+    db.insert("R", finite_relation(&[&[1, 2], &[2, 3], &[3, 4]]));
+    // φ(x0, x2) = ∃x1 (R(x0,x1) ∧ R(x1,x2)) — composition.
+    let f = Formula::atom("R", vec![0, 1]).and(Formula::atom("R", vec![1, 2])).exists(1);
+    let q = CalculusQuery::new(f, vec![0, 2]).unwrap();
+    let out = calculus::evaluate(&q, &db).unwrap();
+    assert!(out.satisfied_by(&[1, 3]));
+    assert!(out.satisfied_by(&[2, 4]));
+    assert!(!out.satisfied_by(&[1, 4]));
+    check_both(&q, &db);
+}
+
+#[test]
+fn repeated_variables_mean_diagonal() {
+    let mut db = Database::new();
+    db.insert("R", finite_relation(&[&[1, 1], &[1, 2], &[3, 3]]));
+    let q = CalculusQuery::new(Formula::atom("R", vec![0, 0]), vec![0]).unwrap();
+    let out = calculus::evaluate(&q, &db).unwrap();
+    assert!(out.satisfied_by(&[1]));
+    assert!(out.satisfied_by(&[3]));
+    assert!(!out.satisfied_by(&[2]));
+    check_both(&q, &db);
+}
+
+#[test]
+fn disequality_selection() {
+    let mut db = Database::new();
+    db.insert("R", finite_relation(&[&[1, 1], &[1, 2], &[3, 3], &[2, 1]]));
+    // φ(x0,x1) = R(x0,x1) ∧ x0 ≠ x1.
+    let f = Formula::atom("R", vec![0, 1]).and(Formula::constraint(C::ne(0, 1)));
+    let q = CalculusQuery::new(f, vec![0, 1]).unwrap();
+    let out = calculus::evaluate(&q, &db).unwrap();
+    assert!(out.satisfied_by(&[1, 2]));
+    assert!(out.satisfied_by(&[2, 1]));
+    assert!(!out.satisfied_by(&[1, 1]));
+    check_both(&q, &db);
+}
+
+#[test]
+fn datalog_same_generation_with_equality() {
+    // Reachability over a finite graph stored as equality constraints —
+    // the classical Datalog workload living inside the CQL framework.
+    let program: Program<Equality> = Program::new(vec![
+        Rule::new(Atom::new("T", vec![0, 1]), vec![Literal::Pos(Atom::new("E", vec![0, 1]))]),
+        Rule::new(
+            Atom::new("T", vec![0, 1]),
+            vec![
+                Literal::Pos(Atom::new("T", vec![0, 2])),
+                Literal::Pos(Atom::new("E", vec![2, 1])),
+            ],
+        ),
+    ]);
+    let mut edb = Database::new();
+    edb.insert("E", finite_relation(&[&[1, 2], &[2, 3], &[3, 4]]));
+    let opts = FixpointOptions::default();
+    let naive = datalog::naive(&program, &edb, &opts).unwrap();
+    let semi = datalog::seminaive(&program, &edb, &opts).unwrap();
+    let cellular = datalog::cell_naive(&program, &edb, &opts).unwrap();
+    for a in 1..=4i64 {
+        for b in 1..=4i64 {
+            let expected = a < b;
+            for db in [&naive.idb, &semi.idb, &cellular.idb] {
+                assert_eq!(db.get("T").unwrap().satisfied_by(&[a, b]), expected, "({a},{b})");
+            }
+        }
+    }
+}
+
+#[test]
+fn inflationary_negation_complement_of_reachability() {
+    let program: Program<Equality> = Program::new(vec![
+        Rule::new(Atom::new("T", vec![0, 1]), vec![Literal::Pos(Atom::new("E", vec![0, 1]))]),
+        Rule::new(
+            Atom::new("T", vec![0, 1]),
+            vec![
+                Literal::Pos(Atom::new("T", vec![0, 2])),
+                Literal::Pos(Atom::new("E", vec![2, 1])),
+            ],
+        ),
+        // NT collects node pairs not yet in T (inflationary semantics).
+        Rule::new(
+            Atom::new("NT", vec![0, 1]),
+            vec![
+                Literal::Pos(Atom::new("E", vec![0, 2])),
+                Literal::Pos(Atom::new("E", vec![3, 1])),
+                Literal::Neg(Atom::new("T", vec![0, 1])),
+            ],
+        ),
+    ]);
+    let mut edb = Database::new();
+    edb.insert("E", finite_relation(&[&[1, 2], &[2, 3]]));
+    let opts = FixpointOptions::default();
+    let symbolic = datalog::inflationary(&program, &edb, &opts).unwrap();
+    let cellular = datalog::cell_inflationary(&program, &edb, &opts).unwrap();
+    for p in grid(2) {
+        for rel in ["T", "NT"] {
+            assert_eq!(
+                symbolic.idb.get(rel).unwrap().satisfied_by(&p),
+                cellular.idb.get(rel).unwrap().satisfied_by(&p),
+                "{rel} at {p:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn universal_quantification() {
+    let mut db = Database::new();
+    db.insert("R", finite_relation(&[&[1], &[2]]));
+    db.insert("S", finite_relation(&[&[1], &[2], &[3]]));
+    // R ⊆ S: ∀x (¬R(x) ∨ S(x)).
+    let subset = Formula::atom("R", vec![0]).not().or(Formula::atom("S", vec![0])).forall(0);
+    assert!(calculus::decide(&subset, &db).unwrap());
+    assert!(cells::decide(&subset, &db).unwrap());
+    // S ⊄ R.
+    let superset = Formula::atom("S", vec![0]).not().or(Formula::atom("R", vec![0])).forall(0);
+    assert!(!calculus::decide(&superset, &db).unwrap());
+    assert!(!cells::decide(&superset, &db).unwrap());
+}

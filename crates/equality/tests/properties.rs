@@ -1,0 +1,123 @@
+//! Property-based tests for the equality theory (§4 lemmas).
+
+use cql_core::theory::Theory;
+use cql_equality::{EConfig, ETerm, EqConstraint, Equality};
+use proptest::prelude::*;
+
+fn term(nvars: usize) -> impl Strategy<Value = ETerm> {
+    prop_oneof![(0..nvars).prop_map(ETerm::Var), (0i64..4).prop_map(ETerm::Const)]
+}
+
+fn constraint(nvars: usize) -> impl Strategy<Value = EqConstraint> {
+    (term(nvars), any::<bool>(), term(nvars)).prop_map(|(l, e, r)| EqConstraint {
+        lhs: l,
+        equal: e,
+        rhs: r,
+    })
+}
+
+fn conjunction(nvars: usize, max_len: usize) -> impl Strategy<Value = Vec<EqConstraint>> {
+    prop::collection::vec(constraint(nvars), 0..max_len)
+}
+
+fn point(nvars: usize) -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(0i64..6, nvars)
+}
+
+const NVARS: usize = 4;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    #[test]
+    fn canonicalization_preserves_semantics(
+        conj in conjunction(NVARS, 6),
+        p in point(NVARS),
+    ) {
+        let raw = conj.iter().all(|c| c.eval(&p));
+        match Equality::canonicalize(&conj) {
+            None => prop_assert!(!raw),
+            Some(canon) => prop_assert_eq!(raw, canon.iter().all(|c| c.eval(&p))),
+        }
+    }
+
+    #[test]
+    fn sample_satisfies(conj in conjunction(NVARS, 6)) {
+        if let Some(s) = Equality::sample(&conj, NVARS) {
+            for c in &conj {
+                prop_assert!(c.eval(&s), "{c} at {s:?}");
+            }
+        }
+    }
+
+    /// ∃-elimination soundness & completeness over the infinite domain.
+    #[test]
+    fn elimination_correct(
+        conj in conjunction(NVARS, 5),
+        p in point(NVARS),
+        v in 0..NVARS,
+    ) {
+        let dnf = Equality::eliminate(&conj, v).unwrap();
+        let elim_holds = dnf.iter().any(|c| c.iter().all(|a| a.eval(&p)));
+        // Try witnesses: all point values, constants, and a fresh value.
+        let mut ws: Vec<i64> = p.clone();
+        for c in &conj {
+            ws.extend(c.constants());
+        }
+        ws.push(1_000_003);
+        let witnessed = ws.iter().any(|&w| {
+            let mut q = p.clone();
+            q[v] = w;
+            conj.iter().all(|c| c.eval(&q))
+        });
+        // Over an infinite domain, testing the finitely many "interesting"
+        // values plus one fresh value is exhaustive.
+        prop_assert_eq!(elim_holds, witnessed, "conj {:?} at {:?}", conj, p);
+    }
+
+    /// Lemmas 4.7/4.8: cell of a point is unique, its formula holds, and
+    /// the sample returns to the same cell.
+    #[test]
+    fn cells_consistent(
+        p in point(3),
+        consts in prop::collection::btree_set(0i64..4, 0..3),
+    ) {
+        let consts: Vec<i64> = consts.into_iter().collect();
+        let cell = EConfig::of_point(&p, &consts);
+        for atom in cell.formula() {
+            prop_assert!(atom.eval(&p), "{atom} at {p:?}");
+        }
+        let s = cell.sample();
+        prop_assert_eq!(EConfig::of_point(&s, &consts), cell);
+    }
+
+    /// Lemma 4.9: sample and original agree on all atomic formulas.
+    #[test]
+    fn cell_indistinguishability(
+        p in point(3),
+        consts in prop::collection::btree_set(0i64..4, 0..3),
+    ) {
+        let consts: Vec<i64> = consts.into_iter().collect();
+        let cell = EConfig::of_point(&p, &consts);
+        let s = cell.sample();
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert_eq!(p[i] == p[j], s[i] == s[j]);
+            }
+            for &c in &consts {
+                prop_assert_eq!(p[i] == c, s[i] == c);
+            }
+        }
+    }
+
+    #[test]
+    fn entailment_sound(
+        a in conjunction(3, 5),
+        b in conjunction(3, 3),
+        p in point(3),
+    ) {
+        if Equality::entails(&a, &b) && a.iter().all(|c| c.eval(&p)) {
+            prop_assert!(b.iter().all(|c| c.eval(&p)));
+        }
+    }
+}

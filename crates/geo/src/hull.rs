@@ -1,0 +1,237 @@
+//! Example 2.1: the convex hull by Floyd's method, as a CQL query.
+//!
+//! "A point (x,y) is not a convex hull point iff there are 3 other points
+//! in r such that (x,y) is inside the triangle that they generate." The
+//! declarative program tests, for each database point, the sentence
+//! `¬∃ x₁y₁x₂y₂x₃y₃ (R(x₁,y₁) ∧ R(x₂,y₂) ∧ R(x₃,y₃) ∧
+//! Intriangle(x,y,…))` — O(N⁴) with four database atoms, exactly the
+//! complexity the paper attributes to the method.
+
+use crate::types::{cross, Point};
+use cql_arith::Poly;
+use cql_core::{calculus, Database, Formula, GenRelation};
+use cql_poly::{PolyConstraint, RealPoly};
+
+/// The binary point relation `R(x, y)` over the polynomial theory.
+#[must_use]
+pub fn point_relation(points: &[Point]) -> GenRelation<RealPoly> {
+    GenRelation::from_conjunctions(
+        2,
+        points.iter().map(|p| {
+            vec![
+                PolyConstraint::eq(&Poly::var(0), &Poly::constant(p.x.clone())),
+                PolyConstraint::eq(&Poly::var(1), &Poly::constant(p.y.clone())),
+            ]
+        }),
+    )
+}
+
+/// The `Intriangle(x, y, x₁, y₁, x₂, y₂, x₃, y₃)` predicate as a formula:
+/// `(x,y)` lies in the *closed, nondegenerate* triangle iff the corners
+/// span a nonzero area and the three edge cross products all have the
+/// same (weak) sign. The nondegeneracy conjunct matters: with a collapsed
+/// triangle all cross products vanish and the sign test accepts every
+/// point. Degenerate witnesses are covered separately by [`on_segment`].
+///
+/// Variable numbering: `p = (vx, vy)`, triangle corners at
+/// `(v1x, v1y), (v2x, v2y), (v3x, v3y)`.
+#[must_use]
+pub fn intriangle(
+    (vx, vy): (usize, usize),
+    (v1x, v1y): (usize, usize),
+    (v2x, v2y): (usize, usize),
+    (v3x, v3y): (usize, usize),
+) -> Formula<RealPoly> {
+    // cross((x1,y1),(x2,y2),(x,y)) as a polynomial.
+    let cross_poly =
+        |(ax, ay): (usize, usize), (bx, by): (usize, usize), (px, py): (usize, usize)| -> Poly {
+            let abx = &Poly::var(bx) - &Poly::var(ax);
+            let aby = &Poly::var(by) - &Poly::var(ay);
+            let apx = &Poly::var(px) - &Poly::var(ax);
+            let apy = &Poly::var(py) - &Poly::var(ay);
+            &(&abx * &apy) - &(&aby * &apx)
+        };
+    let c1 = cross_poly((v1x, v1y), (v2x, v2y), (vx, vy));
+    let c2 = cross_poly((v2x, v2y), (v3x, v3y), (vx, vy));
+    let c3 = cross_poly((v3x, v3y), (v1x, v1y), (vx, vy));
+    let area = cross_poly((v1x, v1y), (v2x, v2y), (v3x, v3y));
+    let nondegenerate = Formula::constraint(PolyConstraint::ne0(area));
+    let all_nonneg = Formula::conj(
+        [&c1, &c2, &c3]
+            .iter()
+            .map(|p| Formula::constraint(PolyConstraint::le0(-&(**p).clone())))
+            .collect(),
+    );
+    let all_nonpos = Formula::conj(
+        [&c1, &c2, &c3]
+            .iter()
+            .map(|p| Formula::constraint(PolyConstraint::le0((**p).clone())))
+            .collect(),
+    );
+    nondegenerate.and(all_nonneg.or(all_nonpos))
+}
+
+/// `(x, y)` lies on the closed segment between `(ax, ay)` and `(bx, by)`:
+/// collinear, with both coordinates between the endpoints.
+#[must_use]
+pub fn on_segment(
+    (vx, vy): (usize, usize),
+    (ax, ay): (usize, usize),
+    (bx, by): (usize, usize),
+) -> Formula<RealPoly> {
+    let abx = &Poly::var(bx) - &Poly::var(ax);
+    let aby = &Poly::var(by) - &Poly::var(ay);
+    let apx = &Poly::var(vx) - &Poly::var(ax);
+    let apy = &Poly::var(vy) - &Poly::var(ay);
+    let collinear = PolyConstraint::eq0(&(&abx * &apy) - &(&aby * &apx));
+    // (ax − px)(bx − px) ≤ 0 keeps px between the endpoints (ties ok).
+    let between_x = PolyConstraint::le0(
+        &(&Poly::var(ax) - &Poly::var(vx)) * &(&Poly::var(bx) - &Poly::var(vx)),
+    );
+    let between_y = PolyConstraint::le0(
+        &(&Poly::var(ay) - &Poly::var(vy)) * &(&Poly::var(by) - &Poly::var(vy)),
+    );
+    Formula::conj(vec![
+        Formula::constraint(collinear),
+        Formula::constraint(between_x),
+        Formula::constraint(between_y),
+    ])
+}
+
+/// `(x_a, y_a) ≠ (x_b, y_b)` as a formula.
+fn distinct((ax, ay): (usize, usize), (bx, by): (usize, usize)) -> Formula<RealPoly> {
+    Formula::constraint(PolyConstraint::ne(&Poly::var(ax), &Poly::var(bx)))
+        .or(Formula::constraint(PolyConstraint::ne(&Poly::var(ay), &Poly::var(by))))
+}
+
+/// The convex hull by the CQL program: returns the hull points of the
+/// input (in input order). Assumes distinct input points (the workload
+/// generator guarantees it); points on hull edges between vertices are
+/// classified as non-hull (they lie in a closed triangle of other points).
+///
+/// # Panics
+/// Panics if sentence evaluation fails (the query stays in the supported
+/// fragment by construction).
+#[must_use]
+pub fn cql_hull(points: &[Point]) -> Vec<Point> {
+    let mut db = Database::new();
+    db.insert("R", point_relation(points));
+    // Variables: 0..=1 the candidate (pinned), 2..=7 the triangle corners.
+    points
+        .iter()
+        .filter(|p| {
+            let pinned_x = Formula::constraint(PolyConstraint::eq(
+                &Poly::var(0),
+                &Poly::constant(p.x.clone()),
+            ));
+            let pinned_y = Formula::constraint(PolyConstraint::eq(
+                &Poly::var(1),
+                &Poly::constant(p.y.clone()),
+            ));
+            let triangle_body = Formula::conj(vec![
+                pinned_x.clone(),
+                pinned_y.clone(),
+                Formula::atom("R", vec![2, 3]),
+                Formula::atom("R", vec![4, 5]),
+                Formula::atom("R", vec![6, 7]),
+                distinct((2, 3), (0, 1)),
+                distinct((4, 5), (0, 1)),
+                distinct((6, 7), (0, 1)),
+                intriangle((0, 1), (2, 3), (4, 5), (6, 7)),
+            ]);
+            let in_triangle = triangle_body.exists_all(&[0, 1, 2, 3, 4, 5, 6, 7]);
+            // Carathéodory's degenerate case: on a segment of two others.
+            let segment_body = Formula::conj(vec![
+                pinned_x,
+                pinned_y,
+                Formula::atom("R", vec![2, 3]),
+                Formula::atom("R", vec![4, 5]),
+                distinct((2, 3), (0, 1)),
+                distinct((4, 5), (0, 1)),
+                on_segment((0, 1), (2, 3), (4, 5)),
+            ]);
+            let on_edge = segment_body.exists_all(&[0, 1, 2, 3, 4, 5]);
+            !(calculus::decide(&in_triangle, &db).expect("hull sentence")
+                || calculus::decide(&on_edge, &db).expect("segment sentence"))
+        })
+        .cloned()
+        .collect()
+}
+
+/// Andrew's monotone chain: the classical `O(N log N)` baseline. Returns
+/// hull *vertices* (collinear edge points excluded), matching the CQL
+/// program's classification.
+#[must_use]
+pub fn monotone_chain_hull(points: &[Point]) -> Vec<Point> {
+    let mut pts = points.to_vec();
+    pts.sort();
+    pts.dedup();
+    if pts.len() <= 2 {
+        return pts;
+    }
+    let build = |iter: &mut dyn Iterator<Item = &Point>| -> Vec<Point> {
+        let mut chain: Vec<Point> = Vec::new();
+        for p in iter {
+            while chain.len() >= 2
+                && !cross(&chain[chain.len() - 2], &chain[chain.len() - 1], p).is_positive()
+            {
+                chain.pop();
+            }
+            chain.push(p.clone());
+        }
+        chain
+    };
+    let mut lower = build(&mut pts.iter());
+    let mut upper = build(&mut pts.iter().rev());
+    lower.pop();
+    upper.pop();
+    lower.append(&mut upper);
+    lower
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::random_points;
+    use std::collections::BTreeSet;
+
+    fn set(points: &[Point]) -> BTreeSet<Point> {
+        points.iter().cloned().collect()
+    }
+
+    #[test]
+    fn square_with_interior_point() {
+        let points = vec![
+            Point::ints(0, 0),
+            Point::ints(4, 0),
+            Point::ints(4, 4),
+            Point::ints(0, 4),
+            Point::ints(2, 2), // interior
+        ];
+        let hull = cql_hull(&points);
+        assert_eq!(set(&hull), set(&points[..4]));
+        assert_eq!(set(&monotone_chain_hull(&points)), set(&points[..4]));
+    }
+
+    #[test]
+    fn collinear_edge_point_is_not_a_vertex() {
+        let points = vec![
+            Point::ints(0, 0),
+            Point::ints(4, 0),
+            Point::ints(2, 0), // middle of the bottom edge
+            Point::ints(2, 3),
+        ];
+        let hull = cql_hull(&points);
+        let expected = vec![Point::ints(0, 0), Point::ints(4, 0), Point::ints(2, 3)];
+        assert_eq!(set(&hull), set(&expected));
+        assert_eq!(set(&monotone_chain_hull(&points)), set(&expected));
+    }
+
+    #[test]
+    fn agrees_with_monotone_chain_on_random_points() {
+        for seed in 0..2 {
+            let points = random_points(8, 12, seed);
+            assert_eq!(set(&cql_hull(&points)), set(&monotone_chain_hull(&points)), "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # cql-geo — the §2.1 computational geometry workloads
+//!
+//! The paper motivates constraint query languages with spatial data:
+//! this crate provides the worked examples as *runnable CQL programs*
+//! next to the specialized algorithms they generalize —
+//!
+//! * [`rectangles`] — Example 1.1 / Figure 2 rectangle intersection
+//!   (CQL vs naive pairs vs sweep line);
+//! * [`hull`] — Example 2.1 convex hull by Floyd's Intriangle method
+//!   (CQL, O(N⁴)) vs Andrew's monotone chain (O(N log N));
+//! * [`voronoi`] — Example 2.2 Voronoi-dual adjacency (CQL sentences vs
+//!   an exact rational baseline);
+//! * [`workload`] — seeded generators for reproducible benchmarks.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod hull;
+pub mod rectangles;
+pub mod types;
+pub mod voronoi;
+pub mod workload;
+
+pub use types::{cross, NamedRect, Point};

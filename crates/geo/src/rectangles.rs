@@ -1,0 +1,170 @@
+//! Example 1.1 / Figure 2: all pairs of distinct intersecting rectangles.
+//!
+//! Three implementations of the same query:
+//!
+//! * [`cql_intersections`] — the paper's generalized-relation program
+//!   `{(n₁,n₂) | n₁ ≠ n₂ ∧ ∃x,y (R(n₁,x,y) ∧ R(n₂,x,y))}` over the
+//!   ternary relation `R(z, x, y)` (point `(x,y)` lies in rectangle `z`),
+//!   evaluated symbolically with dense-order constraints;
+//! * [`naive_intersections`] — the quadratic pairwise baseline;
+//! * [`sweep_intersections`] — a sweep-line over x with an active set,
+//!   the "specialized computational geometry algorithm" the paper
+//!   contrasts with (§2.1's remark on optimization potential).
+
+use crate::types::NamedRect;
+use cql_arith::Rat;
+use cql_core::{calculus, CalculusQuery, Database, Formula, GenRelation};
+use cql_dense::{ClosedNetwork, Dense, DenseConstraint as C};
+
+/// The ternary generalized relation `R(z, x, y)` of Example 1.1: one
+/// generalized tuple `z = n ∧ a ≤ x ≤ c ∧ b ≤ y ≤ d` per rectangle.
+#[must_use]
+pub fn rect_relation(rects: &[NamedRect]) -> GenRelation<Dense> {
+    GenRelation::from_conjunctions(
+        3,
+        rects.iter().map(|r| {
+            vec![
+                C::eq_const(0, Rat::from(r.name)),
+                C::ge_const(1, r.a.clone()),
+                C::le_const(1, r.c.clone()),
+                C::ge_const(2, r.b.clone()),
+                C::le_const(2, r.d.clone()),
+            ]
+        }),
+    )
+}
+
+/// The Example 1.1 query as a [`CalculusQuery`] over relation `R`.
+#[must_use]
+pub fn intersection_query() -> CalculusQuery<Dense> {
+    let f = Formula::constraint(C::ne(0, 1)).and(
+        Formula::atom("R", vec![0, 2, 3])
+            .and(Formula::atom("R", vec![1, 2, 3]))
+            .exists_all(&[2, 3]),
+    );
+    CalculusQuery::new(f, vec![0, 1]).expect("well-formed query")
+}
+
+/// Run the CQL program and extract the ordered name pairs it returns.
+///
+/// # Panics
+/// Panics if evaluation fails (the query is fixed and well-formed).
+#[must_use]
+pub fn cql_intersections(rects: &[NamedRect]) -> Vec<(i64, i64)> {
+    let mut db = Database::new();
+    db.insert("R", rect_relation(rects));
+    let out = calculus::evaluate(&intersection_query(), &db).expect("evaluation");
+    // Each output tuple pins both name columns; read the pins back.
+    let mut pairs: Vec<(i64, i64)> = out
+        .tuples()
+        .iter()
+        .filter_map(|t| {
+            let network = ClosedNetwork::build(t.constraints())?;
+            let pinned = |v: usize| -> Option<i64> {
+                match network.var_interval(v) {
+                    (Some((lo, false)), Some((hi, false))) if lo == hi => lo.num().to_i64(),
+                    _ => None,
+                }
+            };
+            let (a, b) = (pinned(0)?, pinned(1)?);
+            // Canonicalization prunes only cheap contradictions; verify
+            // the pinned pair pointwise before reporting it.
+            t.satisfied_by(&[Rat::from(a), Rat::from(b)]).then_some((a, b))
+        })
+        .collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+/// Quadratic pairwise baseline.
+#[must_use]
+pub fn naive_intersections(rects: &[NamedRect]) -> Vec<(i64, i64)> {
+    let mut out = Vec::new();
+    for r1 in rects {
+        for r2 in rects {
+            if r1.name != r2.name && r1.intersects(r2) {
+                out.push((r1.name, r2.name));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Sweep-line baseline: events on x, active list checked on y overlap.
+/// Reports each unordered pair once per direction to match the query.
+#[must_use]
+pub fn sweep_intersections(rects: &[NamedRect]) -> Vec<(i64, i64)> {
+    #[derive(PartialEq, Eq, PartialOrd, Ord)]
+    enum Kind {
+        Open,
+        Close,
+    }
+    let mut events: Vec<(Rat, Kind, usize)> = Vec::with_capacity(2 * rects.len());
+    for (i, r) in rects.iter().enumerate() {
+        events.push((r.a.clone(), Kind::Open, i));
+        events.push((r.c.clone(), Kind::Close, i));
+    }
+    // Opens before closes at equal x so edge-touching counts (closed rects).
+    events.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    let mut active: Vec<usize> = Vec::new();
+    let mut out = Vec::new();
+    for (_, kind, i) in events {
+        match kind {
+            Kind::Open => {
+                for &j in &active {
+                    let (r1, r2) = (&rects[i], &rects[j]);
+                    if r1.b <= r2.d && r2.b <= r1.d {
+                        out.push((r1.name, r2.name));
+                        out.push((r2.name, r1.name));
+                    }
+                }
+                active.push(i);
+            }
+            Kind::Close => active.retain(|&j| j != i),
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::random_rects;
+
+    #[test]
+    fn three_rectangle_example() {
+        let rects = vec![
+            NamedRect::ints(1, 0, 0, 2, 2),
+            NamedRect::ints(2, 1, 1, 3, 3),
+            NamedRect::ints(3, 5, 5, 6, 6),
+        ];
+        let expected = vec![(1, 2), (2, 1)];
+        assert_eq!(cql_intersections(&rects), expected);
+        assert_eq!(naive_intersections(&rects), expected);
+        assert_eq!(sweep_intersections(&rects), expected);
+    }
+
+    #[test]
+    fn all_three_agree_on_random_workloads() {
+        for seed in 0..4 {
+            let rects = random_rects(24, 40, 12, seed);
+            let a = cql_intersections(&rects);
+            let b = naive_intersections(&rects);
+            let c = sweep_intersections(&rects);
+            assert_eq!(a, b, "seed {seed}");
+            assert_eq!(b, c, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn touching_edges_count_as_intersection() {
+        let rects = vec![NamedRect::ints(1, 0, 0, 1, 1), NamedRect::ints(2, 1, 1, 2, 2)];
+        let expected = vec![(1, 2), (2, 1)];
+        assert_eq!(cql_intersections(&rects), expected);
+        assert_eq!(sweep_intersections(&rects), expected);
+    }
+}

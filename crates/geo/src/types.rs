@@ -1,0 +1,108 @@
+//! Exact-rational geometric types for the §2.1 workloads.
+
+use cql_arith::Rat;
+
+/// A point of ℚ².
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Point {
+    /// x coordinate.
+    pub x: Rat,
+    /// y coordinate.
+    pub y: Rat,
+}
+
+impl Point {
+    /// Build from integers.
+    #[must_use]
+    pub fn ints(x: i64, y: i64) -> Point {
+        Point { x: Rat::from(x), y: Rat::from(y) }
+    }
+
+    /// Squared euclidean distance (exact).
+    #[must_use]
+    pub fn dist2(&self, other: &Point) -> Rat {
+        let dx = &self.x - &other.x;
+        let dy = &self.y - &other.y;
+        &(&dx * &dx) + &(&dy * &dy)
+    }
+}
+
+/// Cross product `(b − a) × (c − a)` — positive iff `c` lies left of the
+/// directed line `a → b`.
+#[must_use]
+pub fn cross(a: &Point, b: &Point, c: &Point) -> Rat {
+    let abx = &b.x - &a.x;
+    let aby = &b.y - &a.y;
+    let acx = &c.x - &a.x;
+    let acy = &c.y - &a.y;
+    &(&abx * &acy) - &(&aby * &acx)
+}
+
+/// An axis-aligned rectangle with a numeric name — the `(n, a, b, c, d)`
+/// encoding of Example 1.1: corners `(a,b)`, `(a,d)`, `(c,b)`, `(c,d)`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NamedRect {
+    /// The rectangle's name `n`.
+    pub name: i64,
+    /// Left edge `a`.
+    pub a: Rat,
+    /// Bottom edge `b`.
+    pub b: Rat,
+    /// Right edge `c`.
+    pub c: Rat,
+    /// Top edge `d`.
+    pub d: Rat,
+}
+
+impl NamedRect {
+    /// Build from integers.
+    ///
+    /// # Panics
+    /// Panics when `a > c` or `b > d`.
+    #[must_use]
+    pub fn ints(name: i64, a: i64, b: i64, c: i64, d: i64) -> NamedRect {
+        assert!(a <= c && b <= d, "degenerate rectangle");
+        NamedRect { name, a: Rat::from(a), b: Rat::from(b), c: Rat::from(c), d: Rat::from(d) }
+    }
+
+    /// Closed-rectangle intersection test.
+    #[must_use]
+    pub fn intersects(&self, other: &NamedRect) -> bool {
+        self.a <= other.c && other.a <= self.c && self.b <= other.d && other.b <= self.d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_orientation() {
+        let a = Point::ints(0, 0);
+        let b = Point::ints(2, 0);
+        let left = Point::ints(1, 1);
+        let right = Point::ints(1, -1);
+        let on = Point::ints(3, 0);
+        assert!(cross(&a, &b, &left).is_positive());
+        assert!(cross(&a, &b, &right).is_negative());
+        assert!(cross(&a, &b, &on).is_zero());
+    }
+
+    #[test]
+    fn distance_is_exact() {
+        let a = Point::ints(0, 0);
+        let b = Point::ints(3, 4);
+        assert_eq!(a.dist2(&b), Rat::from(25));
+    }
+
+    #[test]
+    fn rect_intersection_cases() {
+        let r1 = NamedRect::ints(1, 0, 0, 2, 2);
+        let r2 = NamedRect::ints(2, 1, 1, 3, 3);
+        let r3 = NamedRect::ints(3, 5, 5, 6, 6);
+        let touch = NamedRect::ints(4, 2, 0, 4, 2); // shares an edge with r1
+        assert!(r1.intersects(&r2));
+        assert!(!r1.intersects(&r3));
+        assert!(r1.intersects(&touch));
+    }
+}

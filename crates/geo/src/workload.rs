@@ -1,0 +1,64 @@
+//! Seeded workload generators for the geometry benchmarks.
+
+use crate::types::{NamedRect, Point};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// `n` random rectangles with integer corners in `[0, space)` and side
+/// lengths in `[1, max_side]`.
+#[must_use]
+pub fn random_rects(n: usize, space: i64, max_side: i64, seed: u64) -> Vec<NamedRect> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let a = rng.gen_range(0..space);
+            let b = rng.gen_range(0..space);
+            let w = rng.gen_range(1..=max_side);
+            let h = rng.gen_range(1..=max_side);
+            NamedRect::ints(i as i64, a, b, a + w, b + h)
+        })
+        .collect()
+}
+
+/// `n` distinct random integer points in `[0, space)²`.
+#[must_use]
+pub fn random_points(n: usize, space: i64, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let x = rng.gen_range(0..space);
+        let y = rng.gen_range(0..space);
+        if seen.insert((x, y)) {
+            out.push(Point::ints(x, y));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_by_seed() {
+        assert_eq!(random_rects(10, 100, 10, 7), random_rects(10, 100, 10, 7));
+        assert_ne!(random_rects(10, 100, 10, 7), random_rects(10, 100, 10, 8));
+        assert_eq!(random_points(10, 50, 3), random_points(10, 50, 3));
+    }
+
+    #[test]
+    fn points_are_distinct() {
+        let pts = random_points(200, 30, 11);
+        let set: BTreeSet<_> = pts.iter().collect();
+        assert_eq!(set.len(), 200);
+    }
+
+    #[test]
+    fn rects_are_wellformed() {
+        for r in random_rects(50, 100, 10, 1) {
+            assert!(r.a < r.c && r.b < r.d);
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! An in-memory B⁺-tree with an explicit node-access counter.
+//!
+//! §1.1(3) of the paper grounds its indexing discussion in B⁺-trees: with
+//! block size `B` and `N` tuples, range search costs
+//! `O(log_B N + K/B)` secondary-memory accesses and updates `O(log_B N)`.
+//! We reproduce the *access-count* model in memory: every node touched
+//! bumps a counter, so the benchmarks can chart measured accesses against
+//! the formula (the paper's point is the asymptotics, not the disk
+//! stack — see DESIGN.md §3).
+//!
+//! Keys are rationals; values are `u64` record ids (duplicate keys
+//! allowed). Deletion is by key+id and is *lazy*: leaves may underflow
+//! (they are merged away only when empty), keeping the structure simple
+//! while preserving the logarithmic search bound in the usual regimes.
+
+use cql_arith::Rat;
+use std::cell::Cell;
+
+enum Node {
+    Leaf {
+        keys: Vec<Rat>,
+        /// Record ids per key (duplicates collapse onto one key slot).
+        vals: Vec<Vec<u64>>,
+    },
+    Internal {
+        /// `keys[i]` separates `children[i]` (< key) from `children[i+1]` (≥ key).
+        keys: Vec<Rat>,
+        children: Vec<Node>,
+    },
+}
+
+/// A B⁺-tree keyed on ℚ with duplicate support and access counting.
+pub struct BPlusTree {
+    /// Maximum number of keys per node (the "block size" `B`).
+    order: usize,
+    root: Node,
+    len: usize,
+    accesses: Cell<u64>,
+}
+
+impl BPlusTree {
+    /// An empty tree with block size `order` (≥ 3).
+    ///
+    /// # Panics
+    /// Panics when `order < 3`.
+    #[must_use]
+    pub fn new(order: usize) -> BPlusTree {
+        assert!(order >= 3, "B+-tree order must be at least 3");
+        BPlusTree {
+            order,
+            root: Node::Leaf { keys: Vec::new(), vals: Vec::new() },
+            len: 0,
+            accesses: Cell::new(0),
+        }
+    }
+
+    /// Number of stored `(key, id)` pairs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Node accesses performed so far (search + update traffic).
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.accesses.get()
+    }
+
+    /// Reset the access counter.
+    pub fn reset_accesses(&self) {
+        self.accesses.set(0);
+    }
+
+    fn touch(&self) {
+        self.accesses.set(self.accesses.get() + 1);
+    }
+
+    /// Insert a `(key, id)` pair.
+    pub fn insert(&mut self, key: Rat, id: u64) {
+        self.len += 1;
+        let order = self.order;
+        // Count accesses along the descent.
+        let accesses = &self.accesses;
+        let split = insert_rec(&mut self.root, key, id, order, &|| {
+            accesses.set(accesses.get() + 1);
+        });
+        if let Some((sep, right)) = split {
+            let old_root =
+                std::mem::replace(&mut self.root, Node::Leaf { keys: vec![], vals: vec![] });
+            self.root = Node::Internal { keys: vec![sep], children: vec![old_root, right] };
+        }
+    }
+
+    /// Remove one `(key, id)` pair; returns whether it was present.
+    pub fn remove(&mut self, key: &Rat, id: u64) -> bool {
+        let accesses = &self.accesses;
+        let removed = remove_rec(&mut self.root, key, id, &|| {
+            accesses.set(accesses.get() + 1);
+        });
+        if removed {
+            self.len -= 1;
+        }
+        // Collapse a root with a single child.
+        if let Node::Internal { children, .. } = &mut self.root {
+            if children.len() == 1 {
+                let child = children.pop().expect("one child");
+                self.root = child;
+            }
+        }
+        removed
+    }
+
+    /// All ids with key in `[lo, hi]`, in key order.
+    #[must_use]
+    pub fn range(&self, lo: &Rat, hi: &Rat) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.range_rec(&self.root, lo, hi, &mut out);
+        out
+    }
+
+    fn range_rec(&self, node: &Node, lo: &Rat, hi: &Rat, out: &mut Vec<u64>) {
+        self.touch();
+        match node {
+            Node::Leaf { keys, vals } => {
+                let start = keys.partition_point(|k| k < lo);
+                for (k, v) in keys[start..].iter().zip(&vals[start..]) {
+                    if k > hi {
+                        break;
+                    }
+                    out.extend_from_slice(v);
+                }
+            }
+            Node::Internal { keys, children } => {
+                // Children overlapping [lo, hi]: from the lo-child to the
+                // hi-child inclusive.
+                let first = keys.partition_point(|k| k <= lo);
+                let last = keys.partition_point(|k| k <= hi);
+                for child in &children[first..=last] {
+                    self.range_rec(child, lo, hi, out);
+                }
+            }
+        }
+    }
+
+    /// All ids with the exact key.
+    #[must_use]
+    pub fn get(&self, key: &Rat) -> Vec<u64> {
+        self.range(key, key)
+    }
+
+    /// Height of the tree (1 for a single leaf).
+    #[must_use]
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut node = &self.root;
+        while let Node::Internal { children, .. } = node {
+            h += 1;
+            node = &children[0];
+        }
+        h
+    }
+}
+
+/// Recursive insert; returns a `(separator, right sibling)` on split.
+fn insert_rec(
+    node: &mut Node,
+    key: Rat,
+    id: u64,
+    order: usize,
+    touch: &dyn Fn(),
+) -> Option<(Rat, Node)> {
+    touch();
+    match node {
+        Node::Leaf { keys, vals } => {
+            match keys.binary_search(&key) {
+                Ok(i) => vals[i].push(id),
+                Err(i) => {
+                    keys.insert(i, key);
+                    vals.insert(i, vec![id]);
+                }
+            }
+            if keys.len() <= order {
+                return None;
+            }
+            let mid = keys.len() / 2;
+            let right_keys = keys.split_off(mid);
+            let right_vals = vals.split_off(mid);
+            let sep = right_keys[0].clone();
+            Some((sep, Node::Leaf { keys: right_keys, vals: right_vals }))
+        }
+        Node::Internal { keys, children } => {
+            let idx = keys.partition_point(|k| k <= &key);
+            let split = insert_rec(&mut children[idx], key, id, order, touch);
+            if let Some((sep, right)) = split {
+                keys.insert(idx, sep);
+                children.insert(idx + 1, right);
+            }
+            if keys.len() <= order {
+                return None;
+            }
+            let mid = keys.len() / 2;
+            let sep = keys[mid].clone();
+            let right_keys = keys.split_off(mid + 1);
+            keys.pop(); // the separator moves up
+            let right_children = children.split_off(mid + 1);
+            Some((sep, Node::Internal { keys: right_keys, children: right_children }))
+        }
+    }
+}
+
+fn remove_rec(node: &mut Node, key: &Rat, id: u64, touch: &dyn Fn()) -> bool {
+    touch();
+    match node {
+        Node::Leaf { keys, vals } => match keys.binary_search(key) {
+            Ok(i) => {
+                let Some(pos) = vals[i].iter().position(|&v| v == id) else {
+                    return false;
+                };
+                vals[i].swap_remove(pos);
+                if vals[i].is_empty() {
+                    vals.remove(i);
+                    keys.remove(i);
+                }
+                true
+            }
+            Err(_) => false,
+        },
+        Node::Internal { keys, children } => {
+            let idx = keys.partition_point(|k| k <= key);
+            let removed = remove_rec(&mut children[idx], key, id, touch);
+            // Drop empty leaves (lazy rebalancing).
+            let empty = matches!(&children[idx], Node::Leaf { keys, .. } if keys.is_empty());
+            if empty && children.len() > 1 {
+                children.remove(idx);
+                keys.remove(idx.min(keys.len() - 1));
+            }
+            removed
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(v: i64) -> Rat {
+        Rat::from(v)
+    }
+
+    #[test]
+    fn insert_and_range() {
+        let mut t = BPlusTree::new(4);
+        for i in 0..100i64 {
+            t.insert(r((i * 37) % 100), i as u64);
+        }
+        assert_eq!(t.len(), 100);
+        let mut got = t.range(&r(10), &r(20));
+        got.sort_unstable();
+        let mut expected: Vec<u64> = (0..100i64)
+            .filter(|&i| (10..=20).contains(&((i * 37) % 100)))
+            .map(|i| i as u64)
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn duplicates() {
+        let mut t = BPlusTree::new(3);
+        t.insert(r(5), 1);
+        t.insert(r(5), 2);
+        t.insert(r(5), 3);
+        let mut got = t.get(&r(5));
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn removal() {
+        let mut t = BPlusTree::new(4);
+        for i in 0..50u64 {
+            t.insert(r(i as i64), i);
+        }
+        assert!(t.remove(&r(25), 25));
+        assert!(!t.remove(&r(25), 25));
+        assert!(!t.remove(&r(200), 0));
+        assert_eq!(t.len(), 49);
+        assert!(t.get(&r(25)).is_empty());
+        assert_eq!(t.get(&r(26)), vec![26]);
+    }
+
+    #[test]
+    fn height_grows_logarithmically() {
+        let mut t = BPlusTree::new(8);
+        for i in 0..4096i64 {
+            t.insert(r(i), i as u64);
+        }
+        // With order 8, height should be around log_4..8(4096) ≈ 4-7.
+        assert!(t.height() <= 8, "height {}", t.height());
+        assert!(t.height() >= 3);
+    }
+
+    #[test]
+    fn access_counting_is_logarithmic_for_point_queries() {
+        let mut t = BPlusTree::new(16);
+        for i in 0..10_000i64 {
+            t.insert(r(i), i as u64);
+        }
+        t.reset_accesses();
+        let _ = t.get(&r(5_000));
+        let per_query = t.accesses();
+        // A point query touches one node per level.
+        assert_eq!(per_query, t.height() as u64);
+    }
+
+    #[test]
+    fn ordered_iteration_via_full_range() {
+        let mut t = BPlusTree::new(5);
+        for i in [5i64, 3, 9, 1, 7] {
+            t.insert(r(i), i as u64);
+        }
+        assert_eq!(t.range(&r(0), &r(10)), vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn random_workload_against_btreemap() {
+        use std::collections::BTreeMap;
+        let mut t = BPlusTree::new(4);
+        let mut reference: BTreeMap<i64, Vec<u64>> = BTreeMap::new();
+        let mut state = 12345u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as i64 % 64
+        };
+        for step in 0..2000u64 {
+            let k = next();
+            if step % 3 == 0 {
+                // Remove one instance if present.
+                let present = reference.get_mut(&k).and_then(Vec::pop);
+                let expected = present.is_some();
+                if let Some(id) = present {
+                    assert!(t.remove(&r(k), id));
+                } else {
+                    assert_eq!(t.remove(&r(k), step), expected);
+                }
+                if reference.get(&k).is_some_and(Vec::is_empty) {
+                    reference.remove(&k);
+                }
+            } else {
+                t.insert(r(k), step);
+                reference.entry(k).or_default().push(step);
+            }
+        }
+        // Compare a few ranges.
+        for (lo, hi) in [(0i64, 63i64), (10, 20), (30, 31), (50, 40)] {
+            if lo > hi {
+                continue;
+            }
+            let mut got = t.range(&r(lo), &r(hi));
+            got.sort_unstable();
+            let mut expected: Vec<u64> =
+                reference.range(lo..=hi).flat_map(|(_, ids)| ids.iter().copied()).collect();
+            expected.sort_unstable();
+            assert_eq!(got, expected, "range [{lo},{hi}]");
+        }
+    }
+}

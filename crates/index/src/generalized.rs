@@ -1,0 +1,308 @@
+//! The generalized 1-dimensional index of §1.1(3).
+//!
+//! Each generalized tuple is projected on attribute `x` to an interval —
+//! its *generalized key*. 1-dimensional searching on a generalized
+//! database attribute then becomes interval intersection:
+//!
+//! * *search* `(a₁ ≤ x ≤ a₂)`: find the generalized keys intersecting
+//!   `[a₁, a₂]` and add the range constraint **only to those tuples**
+//!   (avoiding the naive full-scan-and-annotate solution the paper warns
+//!   about);
+//! * *insert/delete* a generalized tuple: insert/delete its interval.
+//!
+//! The backend is pluggable: naive scan, centered interval tree, or
+//! priority search tree (1.5-dimensional searching, the paper's [41]).
+
+use crate::interval::Interval;
+use crate::interval_tree::IntervalTree;
+use crate::pst::PrioritySearchTree;
+use cql_arith::Rat;
+use cql_core::error::{CqlError, Result};
+use cql_core::relation::{GenRelation, GenTuple};
+use cql_dense::{ClosedNetwork, Dense, DenseConstraint};
+
+/// Which search structure backs the index.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Backend {
+    /// Linear scan of all generalized keys (the paper's "trivial, but
+    /// inefficient, solution" — kept as the baseline).
+    NaiveScan,
+    /// Centered interval tree.
+    IntervalTree,
+    /// McCreight priority search tree.
+    PrioritySearchTree,
+}
+
+enum Built {
+    Naive,
+    Tree(IntervalTree),
+    Pst(PrioritySearchTree),
+}
+
+/// A generalized 1-dimensional index on one attribute of a dense-order
+/// generalized relation.
+pub struct GeneralizedIndex {
+    attribute: usize,
+    arity: usize,
+    backend: Backend,
+    /// Tuple store; `None` marks deleted slots.
+    tuples: Vec<Option<(GenTuple<Dense>, Interval)>>,
+    live: usize,
+    built: Built,
+    dirty: bool,
+}
+
+/// Compute the generalized key of a tuple: the closed-interval hull of
+/// its projection on `attribute`.
+///
+/// # Errors
+/// `CqlError::Unsupported` if the projection is unbounded (the paper's
+/// indexing assumption is that projections are intervals; we additionally
+/// require finite endpoints for the key).
+pub fn generalized_key(tuple: &GenTuple<Dense>, attribute: usize) -> Result<Interval> {
+    let network = ClosedNetwork::build(tuple.constraints())
+        .ok_or_else(|| CqlError::Malformed("unsatisfiable tuple in index".into()))?;
+    let (lo, hi) = network.var_interval(attribute);
+    match (lo, hi) {
+        (Some((lo, _)), Some((hi, _))) => Ok(Interval::new(lo, hi)),
+        _ => Err(CqlError::Unsupported(format!(
+            "attribute x{attribute} has an unbounded projection; generalized keys require \
+             finite intervals"
+        ))),
+    }
+}
+
+impl GeneralizedIndex {
+    /// Build an index on `attribute` of `relation`.
+    ///
+    /// # Errors
+    /// Propagates [`generalized_key`] failures.
+    pub fn build(
+        relation: &GenRelation<Dense>,
+        attribute: usize,
+        backend: Backend,
+    ) -> Result<GeneralizedIndex> {
+        let mut tuples = Vec::with_capacity(relation.len());
+        for t in relation.tuples() {
+            let key = generalized_key(t, attribute)?;
+            tuples.push(Some((t.clone(), key)));
+        }
+        let mut idx = GeneralizedIndex {
+            attribute,
+            arity: relation.arity(),
+            backend,
+            live: tuples.len(),
+            tuples,
+            built: Built::Naive,
+            dirty: true,
+        };
+        idx.rebuild();
+        Ok(idx)
+    }
+
+    /// Number of live generalized tuples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True iff no live tuples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    fn entries(&self) -> Vec<(Interval, u64)> {
+        self.tuples
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|(_, key)| (key.clone(), i as u64)))
+            .collect()
+    }
+
+    fn rebuild(&mut self) {
+        self.built = match self.backend {
+            Backend::NaiveScan => Built::Naive,
+            Backend::IntervalTree => Built::Tree(IntervalTree::build(&self.entries())),
+            Backend::PrioritySearchTree => Built::Pst(PrioritySearchTree::build(&self.entries())),
+        };
+        self.dirty = false;
+    }
+
+    /// Insert a generalized tuple.
+    ///
+    /// # Errors
+    /// Propagates [`generalized_key`] failures.
+    pub fn insert(&mut self, tuple: GenTuple<Dense>) -> Result<()> {
+        let key = generalized_key(&tuple, self.attribute)?;
+        self.tuples.push(Some((tuple, key)));
+        self.live += 1;
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Delete a generalized tuple (by equality of canonical form);
+    /// returns whether it was present.
+    pub fn delete(&mut self, tuple: &GenTuple<Dense>) -> bool {
+        for slot in &mut self.tuples {
+            if slot.as_ref().is_some_and(|(t, _)| t == tuple) {
+                *slot = None;
+                self.live -= 1;
+                self.dirty = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// 1-dimensional search: a generalized relation representing all
+    /// tuples of the input whose attribute satisfies `a₁ ≤ x ≤ a₂` — the
+    /// range constraint is conjoined only onto the tuples whose
+    /// generalized key intersects the query interval.
+    pub fn search(&mut self, a1: &Rat, a2: &Rat) -> GenRelation<Dense> {
+        if self.dirty {
+            self.rebuild();
+        }
+        let query = Interval::new(a1.clone(), a2.clone());
+        let hits: Vec<u64> = match &self.built {
+            Built::Naive => self
+                .tuples
+                .iter()
+                .enumerate()
+                .filter_map(|(i, slot)| {
+                    slot.as_ref().filter(|(_, key)| key.intersects(&query)).map(|_| i as u64)
+                })
+                .collect(),
+            Built::Tree(t) => t.query(&query),
+            Built::Pst(p) => p.query(&query),
+        };
+        let range = vec![
+            DenseConstraint::ge_const(self.attribute, a1.clone()),
+            DenseConstraint::le_const(self.attribute, a2.clone()),
+        ];
+        let mut out = GenRelation::empty(self.arity);
+        for id in hits {
+            if let Some((tuple, _)) = &self.tuples[id as usize] {
+                if let Some(refined) = tuple.conjoin(&range) {
+                    out.insert(refined);
+                }
+            }
+        }
+        out
+    }
+
+    /// Backend node accesses since the last reset (0 for the naive scan,
+    /// which touches everything by definition).
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        match &self.built {
+            Built::Naive => self.live as u64,
+            Built::Tree(t) => t.accesses(),
+            Built::Pst(p) => p.accesses(),
+        }
+    }
+
+    /// Reset the backend access counter.
+    pub fn reset_accesses(&self) {
+        match &self.built {
+            Built::Naive => {}
+            Built::Tree(t) => t.reset_accesses(),
+            Built::Pst(p) => p.reset_accesses(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cql_core::relation::GenRelation;
+    use cql_dense::DenseConstraint as C;
+
+    /// Rectangles as 3-ary tuples (name, x, y) keyed on x.
+    fn rect_relation(n: i64) -> GenRelation<Dense> {
+        GenRelation::from_conjunctions(
+            3,
+            (0..n).map(|i| {
+                vec![
+                    C::eq_const(0, i),
+                    C::ge_const(1, 10 * i),
+                    C::le_const(1, 10 * i + 5),
+                    C::ge_const(2, 0),
+                    C::le_const(2, 1),
+                ]
+            }),
+        )
+    }
+
+    #[test]
+    fn search_agrees_across_backends() {
+        let rel = rect_relation(20);
+        let q = (Rat::from(12), Rat::from(47));
+        let mut results = Vec::new();
+        for backend in [Backend::NaiveScan, Backend::IntervalTree, Backend::PrioritySearchTree] {
+            let mut idx = GeneralizedIndex::build(&rel, 1, backend).unwrap();
+            let out = idx.search(&q.0, &q.1);
+            // Which rectangle names survive?
+            let mut names: Vec<i64> = (0..20)
+                .filter(|&i| out.satisfied_by(&[Rat::from(i), Rat::from(10 * i + 2), Rat::from(0)]))
+                .collect();
+            names.sort_unstable();
+            results.push(names);
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+        // Keys [10i, 10i+5] intersect [12, 47] for i ∈ {1, 2, 3, 4}; the
+        // refined tuple for i must still contain x = 10i+2 ∈ [12,47]:
+        // i=1 gives x=12 ✓ ... i=4 gives x=42 ✓.
+        assert_eq!(results[0], vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn search_refines_with_range_constraint() {
+        let rel = rect_relation(3);
+        let mut idx = GeneralizedIndex::build(&rel, 1, Backend::IntervalTree).unwrap();
+        let out = idx.search(&Rat::from(3), &Rat::from(4));
+        // Tuple 0 has x ∈ [0,5]: refined to [3,4].
+        assert!(out.satisfied_by(&[Rat::from(0), Rat::from(3), Rat::from(0)]));
+        assert!(!out.satisfied_by(&[Rat::from(0), Rat::from(2), Rat::from(0)]));
+        assert!(!out.satisfied_by(&[Rat::from(0), Rat::from(5), Rat::from(0)]));
+    }
+
+    #[test]
+    fn insert_and_delete() {
+        let rel = rect_relation(2);
+        let mut idx = GeneralizedIndex::build(&rel, 1, Backend::PrioritySearchTree).unwrap();
+        assert_eq!(idx.len(), 2);
+        let new_tuple = cql_core::relation::GenTuple::new(vec![
+            C::eq_const(0, 99),
+            C::ge_const(1, 100),
+            C::le_const(1, 105),
+        ])
+        .unwrap();
+        idx.insert(new_tuple.clone()).unwrap();
+        assert_eq!(idx.len(), 3);
+        let out = idx.search(&Rat::from(101), &Rat::from(102));
+        assert!(out.satisfied_by(&[Rat::from(99), Rat::from(101), Rat::from(7)]));
+        assert!(idx.delete(&new_tuple));
+        assert!(!idx.delete(&new_tuple));
+        assert_eq!(idx.len(), 2);
+        let out2 = idx.search(&Rat::from(101), &Rat::from(102));
+        assert!(out2.is_empty());
+    }
+
+    #[test]
+    fn unbounded_projection_is_rejected() {
+        let rel: GenRelation<Dense> =
+            GenRelation::from_conjunctions(2, vec![vec![C::ge_const(0, 0)]]);
+        match GeneralizedIndex::build(&rel, 0, Backend::NaiveScan) {
+            Err(CqlError::Unsupported(msg)) => assert!(msg.contains("unbounded")),
+            other => panic!("expected Unsupported, got {:?}", other.is_ok()),
+        }
+    }
+
+    #[test]
+    fn pinned_attribute_gets_point_key() {
+        let t = cql_core::relation::GenTuple::<Dense>::new(vec![C::eq_const(0, 7)]).unwrap();
+        assert_eq!(generalized_key(&t, 0).unwrap(), Interval::ints(7, 7));
+    }
+}

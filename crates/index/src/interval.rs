@@ -1,0 +1,99 @@
+//! Closed rational intervals — the *generalized keys* of §1.1(3).
+//!
+//! "The two endpoint a, a′ representation of an interval is a fixed
+//! length generalized key": when the projection of a generalized tuple on
+//! an attribute is an interval, 1-dimensional searching on that attribute
+//! reduces to interval intersection over these keys.
+
+use cql_arith::Rat;
+use std::fmt;
+
+/// A closed interval `[lo, hi]` over ℚ.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Interval {
+    /// Lower endpoint.
+    pub lo: Rat,
+    /// Upper endpoint.
+    pub hi: Rat,
+}
+
+impl Interval {
+    /// Build `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics when `lo > hi`.
+    #[must_use]
+    pub fn new(lo: Rat, hi: Rat) -> Interval {
+        assert!(lo <= hi, "interval endpoints out of order");
+        Interval { lo, hi }
+    }
+
+    /// A single point `[p, p]`.
+    #[must_use]
+    pub fn point(p: Rat) -> Interval {
+        Interval { lo: p.clone(), hi: p }
+    }
+
+    /// From integers.
+    #[must_use]
+    pub fn ints(lo: i64, hi: i64) -> Interval {
+        Interval::new(Rat::from(lo), Rat::from(hi))
+    }
+
+    /// Does this interval intersect another (closed semantics)?
+    #[must_use]
+    pub fn intersects(&self, other: &Interval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Does this interval contain the point?
+    #[must_use]
+    pub fn contains(&self, p: &Rat) -> bool {
+        &self.lo <= p && p <= &self.hi
+    }
+
+    /// The intersection, if nonempty.
+    #[must_use]
+    pub fn intersection(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.clone().max(other.lo.clone());
+        let hi = self.hi.clone().min(other.hi.clone());
+        (lo <= hi).then_some(()).map(|()| Interval { lo, hi })
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersection_semantics() {
+        let a = Interval::ints(0, 5);
+        let b = Interval::ints(5, 9);
+        let c = Interval::ints(6, 9);
+        assert!(a.intersects(&b)); // closed: touching counts
+        assert!(!a.intersects(&c));
+        assert_eq!(a.intersection(&b), Some(Interval::ints(5, 5)));
+        assert_eq!(a.intersection(&c), None);
+    }
+
+    #[test]
+    fn point_membership() {
+        let a = Interval::ints(1, 3);
+        assert!(a.contains(&Rat::from(1)));
+        assert!(a.contains(&Rat::from(3)));
+        assert!(a.contains(&Rat::frac(5, 2)));
+        assert!(!a.contains(&Rat::from(4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn rejects_inverted() {
+        let _ = Interval::ints(3, 1);
+    }
+}

@@ -1,0 +1,206 @@
+//! A centered interval tree for interval-intersection queries —
+//! "on-line intersections in a dynamic set of intervals ... a well-known
+//! problem with many elegant solutions from computational geometry"
+//! (§1.1(3) of the paper, citing Preparata–Shamos).
+//!
+//! Static construction in `O(N log N)`; an intersection query reporting
+//! `K` results runs in `O(log N + K)` node accesses, counted explicitly.
+
+use crate::interval::Interval;
+use cql_arith::Rat;
+use std::cell::Cell;
+
+struct TreeNode {
+    center: Rat,
+    /// Entries whose interval contains `center`, sorted by `lo` ascending.
+    by_lo: Vec<(Interval, u64)>,
+    /// The same entries sorted by `hi` descending.
+    by_hi: Vec<(Interval, u64)>,
+    left: Option<Box<TreeNode>>,
+    right: Option<Box<TreeNode>>,
+}
+
+/// A static centered interval tree over `(interval, id)` entries.
+pub struct IntervalTree {
+    root: Option<Box<TreeNode>>,
+    len: usize,
+    accesses: Cell<u64>,
+}
+
+impl IntervalTree {
+    /// Build from entries.
+    #[must_use]
+    pub fn build(entries: &[(Interval, u64)]) -> IntervalTree {
+        let len = entries.len();
+        let root = build_node(entries.to_vec());
+        IntervalTree { root, len, accesses: Cell::new(0) }
+    }
+
+    /// Number of stored intervals.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Node accesses performed so far.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.accesses.get()
+    }
+
+    /// Reset the access counter.
+    pub fn reset_accesses(&self) {
+        self.accesses.set(0);
+    }
+
+    /// Ids of all intervals intersecting `query`.
+    #[must_use]
+    pub fn query(&self, query: &Interval) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.query_rec(self.root.as_deref(), query, &mut out);
+        out
+    }
+
+    fn query_rec(&self, node: Option<&TreeNode>, query: &Interval, out: &mut Vec<u64>) {
+        let Some(node) = node else { return };
+        self.accesses.set(self.accesses.get() + 1);
+        if query.hi < node.center {
+            // Stored intervals containing the center start at lo ≤ center;
+            // they intersect the query iff lo ≤ query.hi.
+            for (iv, id) in &node.by_lo {
+                if iv.lo > query.hi {
+                    break;
+                }
+                out.push(*id);
+            }
+            self.query_rec(node.left.as_deref(), query, out);
+        } else if query.lo > node.center {
+            for (iv, id) in &node.by_hi {
+                if iv.hi < query.lo {
+                    break;
+                }
+                out.push(*id);
+            }
+            self.query_rec(node.right.as_deref(), query, out);
+        } else {
+            // The query spans the center: everything here intersects.
+            for (_, id) in &node.by_lo {
+                out.push(*id);
+            }
+            self.query_rec(node.left.as_deref(), query, out);
+            self.query_rec(node.right.as_deref(), query, out);
+        }
+    }
+}
+
+fn build_node(entries: Vec<(Interval, u64)>) -> Option<Box<TreeNode>> {
+    if entries.is_empty() {
+        return None;
+    }
+    // Center: median of all endpoints.
+    let mut endpoints: Vec<Rat> =
+        entries.iter().flat_map(|(iv, _)| [iv.lo.clone(), iv.hi.clone()]).collect();
+    endpoints.sort();
+    let center = endpoints[endpoints.len() / 2].clone();
+    let mut here = Vec::new();
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for (iv, id) in entries {
+        if iv.hi < center {
+            left.push((iv, id));
+        } else if iv.lo > center {
+            right.push((iv, id));
+        } else {
+            here.push((iv, id));
+        }
+    }
+    let mut by_lo = here.clone();
+    by_lo.sort_by(|a, b| a.0.lo.cmp(&b.0.lo));
+    let mut by_hi = here;
+    by_hi.sort_by(|a, b| b.0.hi.cmp(&a.0.hi));
+    Some(Box::new(TreeNode {
+        center,
+        by_lo,
+        by_hi,
+        left: build_node(left),
+        right: build_node(right),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries(spec: &[(i64, i64)]) -> Vec<(Interval, u64)> {
+        spec.iter().enumerate().map(|(i, &(lo, hi))| (Interval::ints(lo, hi), i as u64)).collect()
+    }
+
+    fn naive(entries: &[(Interval, u64)], q: &Interval) -> Vec<u64> {
+        let mut out: Vec<u64> =
+            entries.iter().filter(|(iv, _)| iv.intersects(q)).map(|(_, id)| *id).collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn matches_naive_scan() {
+        let es = entries(&[(0, 5), (3, 8), (10, 12), (6, 6), (-4, -1), (2, 11)]);
+        let tree = IntervalTree::build(&es);
+        for (lo, hi) in [(4, 7), (0, 0), (-10, 20), (9, 9), (13, 15), (-3, -2)] {
+            let q = Interval::ints(lo, hi);
+            let mut got = tree.query(&q);
+            got.sort_unstable();
+            assert_eq!(got, naive(&es, &q), "query [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn randomized_against_naive() {
+        let mut state = 999u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 200) as i64 - 100
+        };
+        let mut es = Vec::new();
+        for i in 0..300u64 {
+            let a = next();
+            let b = next();
+            es.push((Interval::ints(a.min(b), a.max(b)), i));
+        }
+        let tree = IntervalTree::build(&es);
+        for _ in 0..50 {
+            let a = next();
+            let b = next();
+            let q = Interval::ints(a.min(b), a.max(b));
+            let mut got = tree.query(&q);
+            got.sort_unstable();
+            assert_eq!(got, naive(&es, &q));
+        }
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = IntervalTree::build(&[]);
+        assert!(tree.is_empty());
+        assert!(tree.query(&Interval::ints(0, 1)).is_empty());
+    }
+
+    #[test]
+    fn access_counts_stay_logarithmic_for_sparse_queries() {
+        // Many disjoint intervals; a query hitting one of them should
+        // touch O(log N) nodes.
+        let es: Vec<(Interval, u64)> =
+            (0..1024i64).map(|i| (Interval::ints(4 * i, 4 * i + 1), i as u64)).collect();
+        let tree = IntervalTree::build(&es);
+        tree.reset_accesses();
+        let got = tree.query(&Interval::ints(2048, 2049));
+        assert_eq!(got.len(), 1);
+        assert!(tree.accesses() <= 2 * 10 + 8, "accesses {}", tree.accesses()); // ~2·log₂N
+    }
+}

@@ -1,0 +1,31 @@
+//! # cql-index — generalized 1-dimensional indexing (§1.1(3))
+//!
+//! The paper's bridge from constraint databases to spatial access
+//! methods: projecting a generalized tuple on an attribute yields an
+//! interval — a fixed-length *generalized key* — and 1-dimensional
+//! searching on a generalized attribute becomes on-line interval
+//! intersection (1.5-dimensional searching). This crate provides the
+//! substrates:
+//!
+//! * [`BPlusTree`] — the classical point index, with an explicit node
+//!   access counter reproducing the `O(log_B N + K/B)` cost model;
+//! * [`IntervalTree`] — centered interval tree, `O(log N + K)` queries;
+//! * [`PrioritySearchTree`] — McCreight's structure (the paper's [41]);
+//! * [`GeneralizedIndex`] — the §1.1(3) construction over dense-order
+//!   generalized relations, with pluggable backends and the naive
+//!   scan-and-annotate baseline the paper contrasts against.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bptree;
+pub mod generalized;
+pub mod interval;
+pub mod interval_tree;
+pub mod pst;
+
+pub use bptree::BPlusTree;
+pub use generalized::{generalized_key, Backend, GeneralizedIndex};
+pub use interval::Interval;
+pub use interval_tree::IntervalTree;
+pub use pst::PrioritySearchTree;

@@ -1,0 +1,186 @@
+//! A priority search tree (McCreight 1985, the paper's reference [41])
+//! for 1.5-dimensional searching.
+//!
+//! An interval `[lo, hi]` becomes the point `(lo, hi)`; the intervals
+//! intersecting a query `[a, b]` are exactly the points with `lo ≤ b` and
+//! `hi ≥ a` — a *semi-infinite* 2-d range. The PST is a binary tree on
+//! the `lo`-order carrying a max-heap on `hi`: linear space, and
+//! `O(log N + K)` reporting, the bound §1.1(3) quotes ("linear space data
+//! structure with logarithmic-time update and search").
+//!
+//! This implementation is static (built once over the entry set); the
+//! generalized index rebuilds on update batches.
+
+use crate::interval::Interval;
+use cql_arith::Rat;
+use std::cell::Cell;
+
+struct PstNode {
+    /// The heap entry: the undominated point with the largest `hi` in
+    /// this subtree.
+    item: (Interval, u64),
+    /// Median `lo` value splitting the remaining points.
+    split: Rat,
+    left: Option<Box<PstNode>>,
+    right: Option<Box<PstNode>>,
+}
+
+/// A static priority search tree over `(interval, id)` entries.
+pub struct PrioritySearchTree {
+    root: Option<Box<PstNode>>,
+    len: usize,
+    accesses: Cell<u64>,
+}
+
+impl PrioritySearchTree {
+    /// Build from entries.
+    #[must_use]
+    pub fn build(entries: &[(Interval, u64)]) -> PrioritySearchTree {
+        let mut sorted = entries.to_vec();
+        sorted.sort_by(|a, b| a.0.lo.cmp(&b.0.lo));
+        let len = sorted.len();
+        PrioritySearchTree { root: build_node(sorted), len, accesses: Cell::new(0) }
+    }
+
+    /// Number of stored intervals.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Node accesses performed so far.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.accesses.get()
+    }
+
+    /// Reset the access counter.
+    pub fn reset_accesses(&self) {
+        self.accesses.set(0);
+    }
+
+    /// Ids of all intervals intersecting `query`: points with
+    /// `lo ≤ query.hi ∧ hi ≥ query.lo`.
+    #[must_use]
+    pub fn query(&self, query: &Interval) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.query_rec(self.root.as_deref(), query, &mut out);
+        out
+    }
+
+    fn query_rec(&self, node: Option<&PstNode>, query: &Interval, out: &mut Vec<u64>) {
+        let Some(node) = node else { return };
+        self.accesses.set(self.accesses.get() + 1);
+        // Heap pruning: if even the largest hi fails, the subtree is out.
+        if node.item.0.hi < query.lo {
+            return;
+        }
+        if node.item.0.lo <= query.hi {
+            out.push(node.item.1);
+        }
+        // lo-order pruning: right subtree holds lo ≥ split.
+        self.query_rec(node.left.as_deref(), query, out);
+        if node.split <= query.hi {
+            self.query_rec(node.right.as_deref(), query, out);
+        }
+    }
+}
+
+/// Build over entries sorted by `lo`.
+fn build_node(mut entries: Vec<(Interval, u64)>) -> Option<Box<PstNode>> {
+    if entries.is_empty() {
+        return None;
+    }
+    // Pull out the max-hi entry for the heap slot.
+    let max_idx = entries
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1 .0.hi.cmp(&b.1 .0.hi))
+        .map(|(i, _)| i)
+        .expect("nonempty");
+    let item = entries.remove(max_idx);
+    if entries.is_empty() {
+        let split = item.0.lo.clone();
+        return Some(Box::new(PstNode { item, split, left: None, right: None }));
+    }
+    let mid = entries.len() / 2;
+    let split = entries[mid].0.lo.clone();
+    let right = entries.split_off(mid);
+    Some(Box::new(PstNode { item, split, left: build_node(entries), right: build_node(right) }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries(spec: &[(i64, i64)]) -> Vec<(Interval, u64)> {
+        spec.iter().enumerate().map(|(i, &(lo, hi))| (Interval::ints(lo, hi), i as u64)).collect()
+    }
+
+    fn naive(entries: &[(Interval, u64)], q: &Interval) -> Vec<u64> {
+        let mut out: Vec<u64> =
+            entries.iter().filter(|(iv, _)| iv.intersects(q)).map(|(_, id)| *id).collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn matches_naive_scan() {
+        let es = entries(&[(0, 5), (3, 8), (10, 12), (6, 6), (-4, -1), (2, 11)]);
+        let pst = PrioritySearchTree::build(&es);
+        for (lo, hi) in [(4, 7), (0, 0), (-10, 20), (9, 9), (13, 15), (-3, -2)] {
+            let q = Interval::ints(lo, hi);
+            let mut got = pst.query(&q);
+            got.sort_unstable();
+            assert_eq!(got, naive(&es, &q), "query [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn randomized_against_naive() {
+        let mut state = 4242u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(7);
+            ((state >> 33) % 200) as i64 - 100
+        };
+        let mut es = Vec::new();
+        for i in 0..400u64 {
+            let a = next();
+            let b = next();
+            es.push((Interval::ints(a.min(b), a.max(b)), i));
+        }
+        let pst = PrioritySearchTree::build(&es);
+        for _ in 0..60 {
+            let a = next();
+            let b = next();
+            let q = Interval::ints(a.min(b), a.max(b));
+            let mut got = pst.query(&q);
+            got.sort_unstable();
+            assert_eq!(got, naive(&es, &q));
+        }
+    }
+
+    #[test]
+    fn sparse_queries_touch_few_nodes() {
+        let es: Vec<(Interval, u64)> =
+            (0..2048i64).map(|i| (Interval::ints(4 * i, 4 * i + 1), i as u64)).collect();
+        let pst = PrioritySearchTree::build(&es);
+        pst.reset_accesses();
+        let got = pst.query(&Interval::ints(4096, 4097));
+        assert_eq!(got.len(), 1);
+        assert!(pst.accesses() <= 40, "accesses {}", pst.accesses());
+    }
+
+    #[test]
+    fn empty() {
+        let pst = PrioritySearchTree::build(&[]);
+        assert!(pst.is_empty());
+        assert!(pst.query(&Interval::ints(0, 1)).is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for the index substrates: all backends agree with the
+//! naive scan on random interval workloads, and access counts obey the
+//! §1.1(3) cost model qualitatively.
+
+use cql_arith::Rat;
+use cql_index::{BPlusTree, Interval, IntervalTree, PrioritySearchTree};
+use proptest::prelude::*;
+
+fn interval() -> impl Strategy<Value = Interval> {
+    (-60i64..60, 0i64..20).prop_map(|(lo, len)| Interval::ints(lo, lo + len))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Interval tree and PST agree with a naive scan on arbitrary data.
+    #[test]
+    fn interval_indexes_agree_with_scan(
+        entries in prop::collection::vec(interval(), 0..40),
+        query in interval(),
+    ) {
+        let tagged: Vec<(Interval, u64)> = entries
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, iv)| (iv, i as u64))
+            .collect();
+        let mut expected: Vec<u64> = tagged
+            .iter()
+            .filter(|(iv, _)| iv.intersects(&query))
+            .map(|(_, id)| *id)
+            .collect();
+        expected.sort_unstable();
+        let tree = IntervalTree::build(&tagged);
+        let mut a = tree.query(&query);
+        a.sort_unstable();
+        prop_assert_eq!(&a, &expected);
+        let pst = PrioritySearchTree::build(&tagged);
+        let mut b = pst.query(&query);
+        b.sort_unstable();
+        prop_assert_eq!(&b, &expected);
+    }
+
+    /// B+-tree range queries agree with a sorted-scan reference under
+    /// random insert/remove interleavings.
+    #[test]
+    fn bptree_matches_reference(
+        ops in prop::collection::vec((0i64..40, any::<bool>()), 1..120),
+        range in (-5i64..45, 0i64..20),
+    ) {
+        let mut tree = BPlusTree::new(4);
+        let mut reference: Vec<(i64, u64)> = Vec::new();
+        for (step, &(key, insert)) in ops.iter().enumerate() {
+            if insert {
+                tree.insert(Rat::from(key), step as u64);
+                reference.push((key, step as u64));
+            } else if let Some(pos) = reference.iter().position(|&(k, _)| k == key) {
+                let (_, id) = reference.remove(pos);
+                prop_assert!(tree.remove(&Rat::from(key), id));
+            } else {
+                prop_assert!(!tree.remove(&Rat::from(key), step as u64));
+            }
+        }
+        let (lo, len) = range;
+        let hi = lo + len;
+        let mut got = tree.range(&Rat::from(lo), &Rat::from(hi));
+        got.sort_unstable();
+        let mut expected: Vec<u64> = reference
+            .iter()
+            .filter(|&&(k, _)| k >= lo && k <= hi)
+            .map(|&(_, id)| id)
+            .collect();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(tree.len(), reference.len());
+    }
+
+    /// Interval algebra: intersection is commutative and consistent with
+    /// the `intersects` predicate.
+    #[test]
+    fn interval_algebra(a in interval(), b in interval()) {
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+        prop_assert_eq!(a.intersection(&b).is_some(), a.intersects(&b));
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains(&i.lo) && b.contains(&i.lo));
+            prop_assert!(a.contains(&i.hi) && b.contains(&i.hi));
+        }
+    }
+}
+
+/// Access-count shape: doubling N adds O(1) accesses per point query
+/// (logarithmic growth), while a scan doubles.
+#[test]
+fn bptree_access_counts_grow_logarithmically() {
+    let mut per_n = Vec::new();
+    for &n in &[1_000i64, 8_000, 64_000] {
+        let mut tree = BPlusTree::new(16);
+        for i in 0..n {
+            tree.insert(Rat::from(i), i as u64);
+        }
+        tree.reset_accesses();
+        for q in 0..20 {
+            let _ = tree.get(&Rat::from(q * (n / 20)));
+        }
+        per_n.push(tree.accesses() as f64 / 20.0);
+    }
+    // 64x more data should cost at most ~3 extra node accesses per query.
+    assert!(per_n[2] - per_n[0] <= 3.5, "{per_n:?}");
+}

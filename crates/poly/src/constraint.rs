@@ -1,0 +1,246 @@
+//! Real polynomial inequality constraints (Definition 1.2, class 1).
+//!
+//! An atomic constraint is `p(x₁..x_k) θ 0` with `θ ∈ {=, ≠, <, ≤}`
+//! (`>`/`≥` are expressed by negating the polynomial). The domain is ℝ —
+//! every algorithm here is exact over any real closed field; we compute
+//! with rational coefficients.
+
+use cql_arith::{Poly, Rat};
+use std::fmt;
+
+/// Comparison of a polynomial against zero.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum PolyOp {
+    /// `p = 0`.
+    Eq,
+    /// `p ≠ 0`.
+    Ne,
+    /// `p < 0`.
+    Lt,
+    /// `p ≤ 0`.
+    Le,
+}
+
+impl PolyOp {
+    /// Evaluate against a concrete value of `p`.
+    #[must_use]
+    pub fn eval(self, value: &Rat) -> bool {
+        match self {
+            PolyOp::Eq => value.is_zero(),
+            PolyOp::Ne => !value.is_zero(),
+            PolyOp::Lt => value.is_negative(),
+            PolyOp::Le => !value.is_positive(),
+        }
+    }
+
+    /// Is the operator strict (excludes the zero set)?
+    #[must_use]
+    pub fn is_strict(self) -> bool {
+        matches!(self, PolyOp::Lt | PolyOp::Ne)
+    }
+}
+
+/// An atomic polynomial constraint `poly op 0`, kept in a normalized form:
+/// integer coprime coefficients, and for the sign-symmetric operators
+/// (`=`, `≠`) a positive leading coefficient.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PolyConstraint {
+    /// The polynomial `p`.
+    pub poly: Poly,
+    /// The comparison against zero.
+    pub op: PolyOp,
+}
+
+impl PolyConstraint {
+    /// Build and normalize `poly op 0`.
+    #[must_use]
+    pub fn new(poly: Poly, op: PolyOp) -> PolyConstraint {
+        let mut p = poly.normalize_positive();
+        if matches!(op, PolyOp::Eq | PolyOp::Ne) {
+            // p = 0 ⟺ −p = 0: fix the sign of the leading term.
+            if let Some((_, c)) = p.leading_term() {
+                if c.is_negative() {
+                    p = -&p;
+                }
+            }
+        }
+        PolyConstraint { poly: p, op }
+    }
+
+    /// `p = 0`.
+    #[must_use]
+    pub fn eq0(poly: Poly) -> PolyConstraint {
+        PolyConstraint::new(poly, PolyOp::Eq)
+    }
+
+    /// `p ≠ 0`.
+    #[must_use]
+    pub fn ne0(poly: Poly) -> PolyConstraint {
+        PolyConstraint::new(poly, PolyOp::Ne)
+    }
+
+    /// `p < 0`.
+    #[must_use]
+    pub fn lt0(poly: Poly) -> PolyConstraint {
+        PolyConstraint::new(poly, PolyOp::Lt)
+    }
+
+    /// `p ≤ 0`.
+    #[must_use]
+    pub fn le0(poly: Poly) -> PolyConstraint {
+        PolyConstraint::new(poly, PolyOp::Le)
+    }
+
+    /// `a < b` as `a − b < 0`.
+    #[must_use]
+    pub fn lt(a: &Poly, b: &Poly) -> PolyConstraint {
+        PolyConstraint::lt0(a - b)
+    }
+
+    /// `a ≤ b`.
+    #[must_use]
+    pub fn le(a: &Poly, b: &Poly) -> PolyConstraint {
+        PolyConstraint::le0(a - b)
+    }
+
+    /// `a = b`.
+    #[must_use]
+    pub fn eq(a: &Poly, b: &Poly) -> PolyConstraint {
+        PolyConstraint::eq0(a - b)
+    }
+
+    /// `a ≠ b`.
+    #[must_use]
+    pub fn ne(a: &Poly, b: &Poly) -> PolyConstraint {
+        PolyConstraint::ne0(a - b)
+    }
+
+    /// The complementary constraint (the class is closed under negation).
+    #[must_use]
+    pub fn negated(&self) -> PolyConstraint {
+        match self.op {
+            PolyOp::Eq => PolyConstraint::new(self.poly.clone(), PolyOp::Ne),
+            PolyOp::Ne => PolyConstraint::new(self.poly.clone(), PolyOp::Eq),
+            // ¬(p < 0) ≡ p ≥ 0 ≡ −p ≤ 0.
+            PolyOp::Lt => PolyConstraint::new(-&self.poly, PolyOp::Le),
+            // ¬(p ≤ 0) ≡ p > 0 ≡ −p < 0.
+            PolyOp::Le => PolyConstraint::new(-&self.poly, PolyOp::Lt),
+        }
+    }
+
+    /// Evaluate at a point.
+    #[must_use]
+    pub fn eval(&self, point: &[Rat]) -> bool {
+        self.op.eval(&self.poly.eval(point))
+    }
+
+    /// Rename variables.
+    #[must_use]
+    pub fn rename(&self, map: &dyn Fn(usize) -> usize) -> PolyConstraint {
+        PolyConstraint::new(self.poly.rename(map), self.op)
+    }
+
+    /// Variables mentioned.
+    #[must_use]
+    pub fn vars(&self) -> Vec<usize> {
+        self.poly.vars()
+    }
+
+    /// Decide the constraint if the polynomial is constant.
+    #[must_use]
+    pub fn decide_constant(&self) -> Option<bool> {
+        self.poly.constant_value().map(|v| self.op.eval(&v))
+    }
+}
+
+impl fmt::Display for PolyConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self.op {
+            PolyOp::Eq => "=",
+            PolyOp::Ne => "≠",
+            PolyOp::Lt => "<",
+            PolyOp::Le => "≤",
+        };
+        write!(f, "{} {op} 0", self.poly)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Poly {
+        Poly::var(0)
+    }
+    fn y() -> Poly {
+        Poly::var(1)
+    }
+    fn c(v: i64) -> Poly {
+        Poly::constant(Rat::from(v))
+    }
+    fn pt(vals: &[i64]) -> Vec<Rat> {
+        vals.iter().map(|&v| Rat::from(v)).collect()
+    }
+
+    #[test]
+    fn normalization_makes_equalities_canonical() {
+        // 2x - 4 = 0 and -x + 2 = 0 normalize identically.
+        let a = PolyConstraint::eq0(&(&c(2) * &x()) - &c(4));
+        let b = PolyConstraint::eq0(&c(2) - &x());
+        assert_eq!(a, b);
+        // But inequalities keep their sign.
+        let l1 = PolyConstraint::lt0(&x() - &c(2));
+        let l2 = PolyConstraint::lt0(&c(2) - &x());
+        assert_ne!(l1, l2);
+    }
+
+    #[test]
+    fn eval_ops() {
+        // x + y - 3 < 0
+        let cst = PolyConstraint::lt0(&(&x() + &y()) - &c(3));
+        assert!(cst.eval(&pt(&[1, 1])));
+        assert!(!cst.eval(&pt(&[2, 1])));
+        assert!(!cst.eval(&pt(&[2, 2])));
+        let le = PolyConstraint::le0(&(&x() + &y()) - &c(3));
+        assert!(le.eval(&pt(&[2, 1])));
+    }
+
+    #[test]
+    fn negation_complements() {
+        let cases = vec![
+            PolyConstraint::eq0(&x() - &y()),
+            PolyConstraint::lt0(&x() - &c(1)),
+            PolyConstraint::le0(&(&x() * &x()) - &y()),
+            PolyConstraint::ne0(&x() + &y()),
+        ];
+        let points = [pt(&[0, 0]), pt(&[1, 1]), pt(&[2, -1]), pt(&[-3, 9]), pt(&[1, 2])];
+        for cst in cases {
+            let n = cst.negated();
+            for p in &points {
+                assert_ne!(cst.eval(p), n.eval(p), "{cst} / {n} at {p:?}");
+            }
+            // Negation is involutive semantically.
+            let nn = n.negated();
+            for p in &points {
+                assert_eq!(cst.eval(p), nn.eval(p));
+            }
+        }
+    }
+
+    #[test]
+    fn builders() {
+        // x < y at (1,2): true.
+        assert!(PolyConstraint::lt(&x(), &y()).eval(&pt(&[1, 2])));
+        assert!(PolyConstraint::le(&x(), &x()).eval(&pt(&[5, 0])));
+        assert!(PolyConstraint::eq(&x(), &y()).eval(&pt(&[4, 4])));
+        assert!(PolyConstraint::ne(&x(), &y()).eval(&pt(&[4, 5])));
+    }
+
+    #[test]
+    fn constant_decision() {
+        assert_eq!(PolyConstraint::lt0(c(-1)).decide_constant(), Some(true));
+        assert_eq!(PolyConstraint::lt0(c(1)).decide_constant(), Some(false));
+        assert_eq!(PolyConstraint::eq0(Poly::zero()).decide_constant(), Some(true));
+        assert_eq!(PolyConstraint::lt0(x()).decide_constant(), None);
+    }
+}

@@ -1,0 +1,419 @@
+//! Exact decision procedures for polynomial constraint conjunctions:
+//! univariate satisfiability at any degree (Sturm sequences + sign
+//! determination at algebraic numbers), full satisfiability by repeated
+//! quantifier elimination, and rational-witness sampling.
+
+use crate::constraint::{PolyConstraint, PolyOp};
+use crate::vs;
+use cql_arith::{Poly, Rat, UPoly};
+
+/// Convert a polynomial that mentions only variable `v` into a dense
+/// univariate polynomial.
+fn to_upoly(p: &Poly, v: usize) -> UPoly {
+    let coeffs: Vec<Rat> = p
+        .coeffs_in(v)
+        .into_iter()
+        .map(|c| c.constant_value().expect("univariate conversion of multivariate polynomial"))
+        .collect();
+    UPoly::new(coeffs)
+}
+
+/// Sign of `q` at the unique root of `f` inside `(lo, hi]`, where `f` is
+/// squarefree with exactly one root there.
+fn sign_at_root(f: &UPoly, mut lo: Rat, mut hi: Rat, q: &UPoly) -> i32 {
+    if q.is_zero() {
+        return 0;
+    }
+    let g = f.gcd(q);
+    if g.degree().is_some_and(|d| d > 0) && g.count_roots_in(&lo, &hi) > 0 {
+        return 0; // q shares the root.
+    }
+    loop {
+        if q.count_roots_in(&lo, &hi) == 0 {
+            // Sign is constant on (lo, hi]; hi is inside it.
+            return q.eval(&hi).sign().as_i32();
+        }
+        let mid = Rat::midpoint(&lo, &hi);
+        if f.count_roots_in(&lo, &mid) == 1 {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+}
+
+/// Exact satisfiability of `∃v ⋀ pᵢ θᵢ 0` where every `pᵢ` mentions only
+/// `v` (any degree).
+#[must_use]
+pub fn univariate_sat(constraints: &[PolyConstraint], v: usize) -> bool {
+    let mut polys: Vec<(UPoly, PolyOp)> = Vec::new();
+    for c in constraints {
+        match c.decide_constant() {
+            Some(false) => return false,
+            Some(true) => continue,
+            None => polys.push((to_upoly(&c.poly, v), c.op)),
+        }
+    }
+    if polys.is_empty() {
+        return true;
+    }
+    // Product of the (distinct) polynomials, squarefree.
+    let mut product = UPoly::new(vec![Rat::one()]);
+    for (p, _) in &polys {
+        product = product.mul(p);
+    }
+    let product = product.square_free();
+    let roots = refine_disjoint(product.isolate_roots(), &product);
+
+    let check_rational = |x: &Rat| polys.iter().all(|(p, op)| op.eval(&p.eval(x)));
+    let check_root = |lo: &Rat, hi: &Rat| {
+        polys.iter().all(|(p, op)| {
+            let s = sign_at_root(&product, lo.clone(), hi.clone(), p);
+            match op {
+                PolyOp::Eq => s == 0,
+                PolyOp::Ne => s != 0,
+                PolyOp::Lt => s < 0,
+                PolyOp::Le => s <= 0,
+            }
+        })
+    };
+
+    // Candidate regions: each root, plus rational points strictly between
+    // consecutive roots and beyond the extremes.
+    if roots.is_empty() {
+        return check_rational(&Rat::zero());
+    }
+    let below = &roots[0].0 - &Rat::one();
+    if check_rational(&below) {
+        return true;
+    }
+    for (i, (lo, hi)) in roots.iter().enumerate() {
+        if check_root(lo, hi) {
+            return true;
+        }
+        let gap_point = match roots.get(i + 1) {
+            Some((next_lo, _)) => Rat::midpoint(hi, next_lo),
+            None => hi + &Rat::one(),
+        };
+        if check_rational(&gap_point) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Refine isolating intervals until (a) the polynomial is nonzero at every
+/// interval's `hi` endpoint unless `hi` is itself the root, and (b) the
+/// `hi` of each interval is strictly below the `lo` of the next — so
+/// midpoints of gaps are guaranteed to sit strictly between roots.
+fn refine_disjoint(mut roots: Vec<(Rat, Rat)>, f: &UPoly) -> Vec<(Rat, Rat)> {
+    // First shrink each interval a few times for tightness.
+    for (lo, hi) in &mut roots {
+        for _ in 0..4 {
+            let mid = Rat::midpoint(lo, hi);
+            if f.count_roots_in(lo, &mid) == 1 {
+                *hi = mid;
+            } else {
+                *lo = mid;
+            }
+        }
+    }
+    // Ensure strict gaps between consecutive intervals.
+    for i in 1..roots.len() {
+        while roots[i - 1].1 >= roots[i].0 {
+            let (lo, hi) = roots[i].clone();
+            let mid = Rat::midpoint(&lo, &hi);
+            if f.count_roots_in(&lo, &mid) == 1 {
+                roots[i].1 = mid;
+            } else {
+                roots[i].0 = mid;
+            }
+        }
+    }
+    roots
+}
+
+/// Budget cap for full satisfiability by repeated elimination.
+const SAT_DNF_CAP: usize = 4_000;
+
+/// Try to decide satisfiability of a conjunction by eliminating all
+/// variables. Returns `None` when the conjunction leaves the supported
+/// fragment (degree ≥ 3 multivariate) or the intermediate DNF explodes.
+#[must_use]
+pub fn satisfiable(conj: &[PolyConstraint]) -> Option<bool> {
+    for c in conj {
+        if c.decide_constant() == Some(false) {
+            return Some(false);
+        }
+    }
+    let mut vars: Vec<usize> = conj.iter().flat_map(PolyConstraint::vars).collect();
+    vars.sort_unstable();
+    vars.dedup();
+    let mut dnf: vs::Dnf = vec![conj.to_vec()];
+    for &v in vars.iter().rev() {
+        let mut next = Vec::new();
+        for c in &dnf {
+            next.extend(vs::eliminate_conj(c, v).ok()?);
+            if next.len() > SAT_DNF_CAP {
+                return None;
+            }
+        }
+        dnf = next;
+        if dnf.is_empty() {
+            return Some(false);
+        }
+    }
+    // All variables eliminated: surviving conjunctions are constant-free
+    // (constants were decided during pruning), i.e. true.
+    Some(dnf.iter().any(|c| c.iter().all(|a| a.decide_constant().unwrap_or(false))))
+}
+
+/// A *rational* witness for a satisfiable conjunction, if one lies in the
+/// candidate grid the search examines. Systems whose solutions are all
+/// irrational (e.g. `x² = 2`) return `None`.
+#[must_use]
+pub fn sample(conj: &[PolyConstraint], arity: usize) -> Option<Vec<Rat>> {
+    if satisfiable(conj) != Some(true) {
+        return None;
+    }
+    let mut current: Vec<PolyConstraint> = conj.to_vec();
+    let mut point: Vec<Rat> = Vec::with_capacity(arity);
+    for v in 0..arity {
+        // Project the remaining system onto x_v alone.
+        let mut dnf: vs::Dnf = vec![current.clone()];
+        let mut vars: Vec<usize> = current.iter().flat_map(PolyConstraint::vars).collect();
+        vars.sort_unstable();
+        vars.dedup();
+        for &w in vars.iter().rev() {
+            if w == v {
+                continue;
+            }
+            let mut next = Vec::new();
+            for c in &dnf {
+                next.extend(vs::eliminate_conj(c, w).ok()?);
+                if next.len() > SAT_DNF_CAP {
+                    return None;
+                }
+            }
+            dnf = next;
+        }
+        // Pick a rational value of x_v from some satisfiable disjunct,
+        // verified against the *full* current system later by recursion.
+        let value = dnf.iter().find_map(|univ| pick_rational(univ, v))?;
+        // Substitute and continue.
+        current = current
+            .iter()
+            .filter_map(|c| {
+                let substituted =
+                    PolyConstraint::new(c.poly.substitute(v, &Poly::constant(value.clone())), c.op);
+                match substituted.decide_constant() {
+                    Some(true) => None,
+                    Some(false) => Some(Err(())),
+                    None => Some(Ok(substituted)),
+                }
+            })
+            .collect::<std::result::Result<Vec<_>, ()>>()
+            .ok()?;
+        point.push(value);
+    }
+    if conj.iter().all(|c| c.eval(&point)) {
+        Some(point)
+    } else {
+        None
+    }
+}
+
+/// Rational roots of a univariate polynomial by the rational root
+/// theorem (restricted to polynomials whose normalized leading and
+/// trailing integer coefficients fit in `i64`).
+fn rational_roots(p: &UPoly) -> Vec<Rat> {
+    use cql_arith::BigInt;
+    if p.is_zero() {
+        return Vec::new();
+    }
+    // Clear denominators.
+    let mut lcm = BigInt::one();
+    for c in p.coeffs() {
+        let g = lcm.gcd(c.den());
+        lcm = &(&lcm / &g) * c.den();
+    }
+    let ints: Vec<BigInt> = p.coeffs().iter().map(|c| &(c.num() * &lcm) / c.den()).collect();
+    let mut out = Vec::new();
+    // Factor out x^k: zero is a root when the trailing coefficient is 0.
+    let Some(first_nz) = ints.iter().position(|c| !c.is_zero()) else {
+        return out;
+    };
+    if first_nz > 0 {
+        out.push(Rat::zero());
+    }
+    let (Some(c0), Some(clead)) = (ints[first_nz].to_i64(), ints.last().and_then(BigInt::to_i64))
+    else {
+        return out;
+    };
+    let divisors = |n: i64| -> Vec<i64> {
+        let n = n.unsigned_abs();
+        let mut d = Vec::new();
+        let mut i = 1u64;
+        while i * i <= n && i < 1_000_000 {
+            if n % i == 0 {
+                d.push(i as i64);
+                d.push((n / i) as i64);
+            }
+            i += 1;
+        }
+        d
+    };
+    for num in divisors(c0) {
+        for den in divisors(clead) {
+            for sign in [1i64, -1] {
+                let cand = Rat::frac(sign * num, den);
+                if p.eval(&cand).is_zero() && !out.contains(&cand) {
+                    out.push(cand);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A rational value of `x_v` satisfying a univariate conjunction, if one
+/// exists among the candidate points derived from root isolation.
+fn pick_rational(univ: &[PolyConstraint], v: usize) -> Option<Rat> {
+    let mut polys: Vec<(UPoly, PolyOp)> = Vec::new();
+    for c in univ {
+        match c.decide_constant() {
+            Some(false) => return None,
+            Some(true) => continue,
+            None => {
+                if c.vars() != [v] {
+                    return None;
+                }
+                polys.push((to_upoly(&c.poly, v), c.op));
+            }
+        }
+    }
+    if polys.is_empty() {
+        return Some(Rat::zero());
+    }
+    let mut product = UPoly::new(vec![Rat::one()]);
+    for (p, _) in &polys {
+        product = product.mul(p);
+    }
+    let product = product.square_free();
+    let roots = refine_disjoint(product.isolate_roots(), &product);
+    let mut candidates: Vec<Rat> = vec![Rat::zero()];
+    for (p, _) in &polys {
+        candidates.extend(rational_roots(p));
+    }
+    if let Some((lo, _)) = roots.first() {
+        candidates.push(lo - &Rat::one());
+    }
+    for (i, (lo, hi)) in roots.iter().enumerate() {
+        candidates.push(lo.clone());
+        candidates.push(hi.clone());
+        candidates.push(Rat::midpoint(lo, hi));
+        match roots.get(i + 1) {
+            Some((next_lo, _)) => candidates.push(Rat::midpoint(hi, next_lo)),
+            None => candidates.push(hi + &Rat::one()),
+        }
+    }
+    candidates.into_iter().find(|x| polys.iter().all(|(p, op)| op.eval(&p.eval(x))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Poly {
+        Poly::var(0)
+    }
+    fn y() -> Poly {
+        Poly::var(1)
+    }
+    fn c(v: i64) -> Poly {
+        Poly::constant(Rat::from(v))
+    }
+
+    #[test]
+    fn univariate_cases() {
+        // x² - 2 = 0: satisfiable (irrational root).
+        assert!(univariate_sat(&[PolyConstraint::eq0(&x().pow(2) - &c(2))], 0));
+        // x² + 1 ≤ 0: unsatisfiable.
+        assert!(!univariate_sat(&[PolyConstraint::le0(&x().pow(2) + &c(1))], 0));
+        // x² - 2 = 0 ∧ x < 0: satisfiable (−√2).
+        assert!(univariate_sat(
+            &[PolyConstraint::eq0(&x().pow(2) - &c(2)), PolyConstraint::lt0(x())],
+            0
+        ));
+        // x² - 2 = 0 ∧ x < -2: unsatisfiable.
+        assert!(!univariate_sat(
+            &[PolyConstraint::eq0(&x().pow(2) - &c(2)), PolyConstraint::lt0(&x() + &c(2))],
+            0
+        ));
+        // x³ - 8 = 0 ∧ x ≠ 2: unsatisfiable (unique real root 2).
+        assert!(!univariate_sat(
+            &[PolyConstraint::eq0(&x().pow(3) - &c(8)), PolyConstraint::ne0(&x() - &c(2))],
+            0
+        ));
+        // (x-1)(x-3) < 0 ∧ x ≠ 2: satisfiable.
+        let p = &(&x() - &c(1)) * &(&x() - &c(3));
+        assert!(univariate_sat(&[PolyConstraint::lt0(p), PolyConstraint::ne0(&x() - &c(2))], 0));
+    }
+
+    #[test]
+    fn satisfiable_multivariate() {
+        // x + y = 3 ∧ x − y = 1.
+        let conj = vec![
+            PolyConstraint::eq0(&(&x() + &y()) - &c(3)),
+            PolyConstraint::eq0(&(&x() - &y()) - &c(1)),
+        ];
+        assert_eq!(satisfiable(&conj), Some(true));
+        // x < y ∧ y < x.
+        let bad = vec![PolyConstraint::lt0(&x() - &y()), PolyConstraint::lt0(&y() - &x())];
+        assert_eq!(satisfiable(&bad), Some(false));
+        // x² + y² < 0.
+        let circle = vec![PolyConstraint::lt0(&(&x() * &x()) + &(&y() * &y()))];
+        assert_eq!(satisfiable(&circle), Some(false));
+        // x² + y² = 1 (unit circle).
+        let unit = vec![PolyConstraint::eq0(&(&(&x() * &x()) + &(&y() * &y())) - &c(1))];
+        assert_eq!(satisfiable(&unit), Some(true));
+    }
+
+    #[test]
+    fn sample_linear() {
+        let conj =
+            vec![PolyConstraint::eq0(&(&x() + &y()) - &c(3)), PolyConstraint::lt0(&x() - &y())];
+        let p = sample(&conj, 2).unwrap();
+        for cst in &conj {
+            assert!(cst.eval(&p), "{cst} at {p:?}");
+        }
+    }
+
+    #[test]
+    fn sample_quadratic_rational() {
+        // y = x² ∧ x = 2 — rational witness (2, 4).
+        let conj =
+            vec![PolyConstraint::eq0(&y() - &(&x() * &x())), PolyConstraint::eq0(&x() - &c(2))];
+        let p = sample(&conj, 2).unwrap();
+        assert_eq!(p, vec![Rat::from(2), Rat::from(4)]);
+    }
+
+    #[test]
+    fn sample_irrational_only_returns_none() {
+        // x² = 2 has no rational witness.
+        let conj = vec![PolyConstraint::eq0(&x().pow(2) - &c(2))];
+        assert!(sample(&conj, 1).is_none());
+    }
+
+    #[test]
+    fn sign_at_algebraic_root() {
+        // f = x² − 2 (roots ±√2); q = x − 1: sign at √2 is +, at −√2 is −.
+        let f = UPoly::from_ints(&[-2, 0, 1]);
+        let q = UPoly::from_ints(&[-1, 1]);
+        let roots = f.isolate_roots();
+        assert_eq!(roots.len(), 2);
+        let signs: Vec<i32> =
+            roots.iter().map(|(lo, hi)| sign_at_root(&f, lo.clone(), hi.clone(), &q)).collect();
+        assert_eq!(signs, vec![-1, 1]);
+    }
+}

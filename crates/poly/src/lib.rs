@@ -1,0 +1,26 @@
+//! # cql-poly — real polynomial inequality constraints (§2)
+//!
+//! The theory of real closed fields restricted to the CQL setting:
+//! constraints `p(x̄) θ 0` with `θ ∈ {=, ≠, <, ≤}` over ℝ (exactly, over
+//! any real closed field), with
+//!
+//! * quantifier elimination by Loos–Weispfenning **virtual substitution**
+//!   for variables of degree ≤ 2 ([`vs`]) — covering every example in §2
+//!   of the paper (see DESIGN.md §3 for the substitution rationale vs the
+//!   paper's Ben-Or–Kozen–Reif cell decomposition),
+//! * an exact **univariate decision procedure** at any degree via Sturm
+//!   sequences and sign determination at algebraic numbers ([`decide`]),
+//! * the [`RealPoly`] theory tag for `cql_core`'s evaluators, and
+//! * the packaged non-closure phenomenon of Example 1.12 ([`nonclosure`]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod constraint;
+pub mod decide;
+pub mod nonclosure;
+pub mod theory_impl;
+pub mod vs;
+
+pub use constraint::{PolyConstraint, PolyOp};
+pub use theory_impl::{dsl, RealPoly};

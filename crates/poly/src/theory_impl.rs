@@ -1,0 +1,272 @@
+//! [`Theory`] implementation for real polynomial inequality constraints.
+
+use crate::constraint::{PolyConstraint, PolyOp};
+use crate::{decide, vs};
+use cql_arith::{Poly, Rat};
+use cql_core::error::Result;
+use cql_core::theory::{Theory, Var};
+
+/// The real-polynomial-inequality theory of §2 of the paper.
+///
+/// Relational calculus over this theory evaluates bottom-up in closed
+/// form (Theorem 2.3; here via virtual substitution, see `vs`); Datalog
+/// over it is **not closed** (Example 1.12) — the fixpoint engines report
+/// `CqlError::NotClosed` when their budget detects the divergence.
+///
+/// There is no finite cell decomposition over a constant set for real
+/// polynomials, so this theory implements [`Theory`] only (no
+/// `CellTheory`); negation is supported at the formula level and through
+/// DNF complement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RealPoly {}
+
+/// Cheap interval-consistency check: group constraints by the
+/// (sign-normalized) non-constant part of their polynomial; within a
+/// group every constraint bounds the same value `t = body(x̄)`, so
+/// emptiness of the combined interval / equality / disequality set is
+/// decidable without any quantifier elimination. This catches the
+/// conflicts that actually arise in evaluation pipelines (pinned
+/// variables disagreeing, empty ranges, `= vs ≠`), while full
+/// satisfiability stays available via `decide::satisfiable`.
+fn interval_consistent(constraints: &[PolyConstraint]) -> bool {
+    use cql_arith::Poly as P;
+    use std::collections::HashMap;
+    #[derive(Default)]
+    struct Bounds {
+        lo: Option<(Rat, bool)>, // (value, strict)
+        hi: Option<(Rat, bool)>,
+        eq: Option<Rat>,
+        ne: Vec<Rat>,
+    }
+    let mut groups: HashMap<P, Bounds> = HashMap::new();
+    for c in constraints {
+        let k = c.poly.coeff(&cql_arith::Monomial::unit());
+        let body = &c.poly - &P::constant(k.clone());
+        if body.is_zero() {
+            continue; // constants were decided elsewhere
+        }
+        // Normalize the body's sign by its leading coefficient so `p`
+        // and `−p` land in the same group.
+        let lead_neg = body.leading_term().is_some_and(|(_, c)| c.is_negative());
+        let (key, flipped) = if lead_neg { (-&body, true) } else { (body, false) };
+        // Constraint: key·s + k θ 0 with s = ±1 → bound on t = key(x̄).
+        // t θ' v where v = −k (s=+1) or v = k with reversed side (s=−1).
+        let v = if flipped { k } else { -&k };
+        let b = groups.entry(key).or_default();
+        match (c.op, flipped) {
+            (PolyOp::Eq, _) => match &b.eq {
+                Some(prev) if *prev != v => return false,
+                _ => b.eq = Some(v),
+            },
+            (PolyOp::Ne, _) => b.ne.push(v),
+            // t < v (not flipped) / t > v (flipped); Le likewise.
+            (PolyOp::Lt, false) | (PolyOp::Le, false) => {
+                let strict = c.op == PolyOp::Lt;
+                match &b.hi {
+                    Some((cur, cs)) if *cur < v || (*cur == v && (*cs || !strict)) => {}
+                    _ => b.hi = Some((v, strict)),
+                }
+            }
+            (PolyOp::Lt, true) | (PolyOp::Le, true) => {
+                let strict = c.op == PolyOp::Lt;
+                match &b.lo {
+                    Some((cur, cs)) if *cur > v || (*cur == v && (*cs || !strict)) => {}
+                    _ => b.lo = Some((v, strict)),
+                }
+            }
+        }
+    }
+    for b in groups.values() {
+        let lo = b.lo.as_ref();
+        let hi = b.hi.as_ref();
+        if let (Some((l, ls)), Some((h, hs))) = (lo, hi) {
+            if l > h || (l == h && (*ls || *hs)) {
+                return false;
+            }
+        }
+        if let Some(e) = &b.eq {
+            if b.ne.contains(e) {
+                return false;
+            }
+            if lo.is_some_and(|(l, ls)| l > e || (l == e && *ls)) {
+                return false;
+            }
+            if hi.is_some_and(|(h, hs)| h < e || (h == e && *hs)) {
+                return false;
+            }
+        }
+        // A point interval excluded by ≠ is empty.
+        if let (Some((l, false)), Some((h, false))) = (lo, hi) {
+            if l == h && b.ne.contains(l) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+impl Theory for RealPoly {
+    type Constraint = PolyConstraint;
+    type Value = Rat;
+
+    fn name() -> &'static str {
+        "real polynomial inequalities"
+    }
+
+    fn canonicalize(conj: &[PolyConstraint]) -> Option<Vec<PolyConstraint>> {
+        let mut out: Vec<PolyConstraint> = Vec::new();
+        for c in conj {
+            match c.decide_constant() {
+                Some(false) => return None,
+                Some(true) => continue,
+                None => out.push(c.clone()),
+            }
+        }
+        // Pin propagation: equalities `x_v = c` substitute into every
+        // other constraint, deciding them early (the active-domain
+        // workloads of §2.1 pin most variables; without this, quadratic
+        // predicates survive until quantifier elimination).
+        let mut pins: Vec<(Var, Rat)> = Vec::new();
+        for c in &out {
+            if c.op != PolyOp::Eq || c.poly.total_degree() != 1 {
+                continue;
+            }
+            let vars = c.vars();
+            if let [v] = vars[..] {
+                let coeffs = c.poly.coeffs_in(v);
+                if coeffs.len() == 2 {
+                    if let (Some(b), Some(a)) =
+                        (coeffs[0].constant_value(), coeffs[1].constant_value())
+                    {
+                        pins.push((v, -&(&b / &a)));
+                    }
+                }
+            }
+        }
+        if !pins.is_empty() {
+            let max_var = pins.iter().map(|&(v, _)| v).max().unwrap_or(0);
+            let mut assign: Vec<Option<Rat>> = vec![None; max_var + 1];
+            for (v, val) in &pins {
+                assign[*v] = Some(val.clone());
+            }
+            let mut substituted = Vec::with_capacity(out.len());
+            for c in out {
+                let pinned_here = pins.iter().any(|&(v, _)| c.poly.degree_in(v) > 0);
+                let is_pin = c.op == PolyOp::Eq
+                    && matches!(c.vars()[..], [v] if pins.iter().any(|&(w, _)| w == v));
+                if is_pin || !pinned_here {
+                    substituted.push(c);
+                    continue;
+                }
+                let sc = PolyConstraint::new(c.poly.partial_eval(&assign), c.op);
+                match sc.decide_constant() {
+                    Some(false) => return None,
+                    Some(true) => {}
+                    None => substituted.push(sc),
+                }
+            }
+            out = substituted;
+        }
+        out.sort();
+        out.dedup();
+        // Cheap single-value interval consistency (pins, ranges, = vs ≠;
+        // it also subsumes the constraint-vs-its-negation case, since a
+        // negated constraint shares the same body with the opposite bound).
+        if !interval_consistent(&out) {
+            return None;
+        }
+        Some(out)
+    }
+
+    fn eliminate(conj: &[PolyConstraint], var: Var) -> Result<Vec<Vec<PolyConstraint>>> {
+        vs::eliminate_conj(conj, var)
+    }
+
+    fn negate(c: &PolyConstraint) -> Vec<PolyConstraint> {
+        vec![c.negated()]
+    }
+
+    fn var_eq(a: Var, b: Var) -> PolyConstraint {
+        PolyConstraint::eq(&Poly::var(a), &Poly::var(b))
+    }
+
+    fn var_const_eq(v: Var, value: &Rat) -> PolyConstraint {
+        PolyConstraint::eq(&Poly::var(v), &Poly::constant(value.clone()))
+    }
+
+    fn eval(c: &PolyConstraint, point: &[Rat]) -> bool {
+        c.eval(point)
+    }
+
+    fn rename(c: &PolyConstraint, map: &dyn Fn(Var) -> Var) -> PolyConstraint {
+        c.rename(map)
+    }
+
+    fn vars(c: &PolyConstraint) -> Vec<Var> {
+        c.vars()
+    }
+
+    /// Polynomial constraints have no first-class domain constants (their
+    /// rational coefficients are not elements of an active domain the way
+    /// dense-order constants are), so this returns nothing; the theory has
+    /// no cell decomposition and never feeds a cell enumerator.
+    fn constants(_c: &PolyConstraint) -> Vec<Rat> {
+        Vec::new()
+    }
+
+    fn entails(a: &[PolyConstraint], b: &[PolyConstraint]) -> bool {
+        // Sound approximations: b is a syntactic subset of a, or the
+        // canonical forms coincide, or a is unsatisfiable.
+        match (Self::canonicalize(a), Self::canonicalize(b)) {
+            (None, _) => true,
+            (Some(ca), Some(cb)) => cb.iter().all(|c| ca.contains(c)),
+            (Some(_), None) => false,
+        }
+    }
+
+    fn sample(conj: &[PolyConstraint], arity: usize) -> Option<Vec<Rat>> {
+        decide::sample(conj, arity)
+    }
+}
+
+/// Convenience builders for formulas over [`RealPoly`].
+pub mod dsl {
+    use super::*;
+    use cql_core::formula::Formula;
+
+    /// The polynomial variable `x_v`.
+    #[must_use]
+    pub fn var(v: Var) -> Poly {
+        Poly::var(v)
+    }
+
+    /// A rational-constant polynomial.
+    #[must_use]
+    pub fn con(c: i64) -> Poly {
+        Poly::constant(Rat::from(c))
+    }
+
+    /// `a < b` as a formula.
+    #[must_use]
+    pub fn lt(a: &Poly, b: &Poly) -> Formula<RealPoly> {
+        Formula::constraint(PolyConstraint::lt(a, b))
+    }
+
+    /// `a ≤ b` as a formula.
+    #[must_use]
+    pub fn le(a: &Poly, b: &Poly) -> Formula<RealPoly> {
+        Formula::constraint(PolyConstraint::le(a, b))
+    }
+
+    /// `a = b` as a formula.
+    #[must_use]
+    pub fn eq(a: &Poly, b: &Poly) -> Formula<RealPoly> {
+        Formula::constraint(PolyConstraint::eq(a, b))
+    }
+
+    /// `a ≠ b` as a formula.
+    #[must_use]
+    pub fn ne(a: &Poly, b: &Poly) -> Formula<RealPoly> {
+        Formula::constraint(PolyConstraint::ne(a, b))
+    }
+}

@@ -1,0 +1,563 @@
+//! Quantifier elimination for real polynomial constraints by virtual
+//! substitution (Loos–Weispfenning), for variables occurring at degree
+//! ≤ 2 — plus an exact univariate fallback at any degree.
+//!
+//! The paper's Theorem 2.3 uses Ben-Or–Kozen–Reif / Kozen–Yap cell
+//! decomposition; full CAD is out of scope (DESIGN.md §3), but virtual
+//! substitution is exact on its fragment and covers every §2 example:
+//!
+//! `∃v ⋀ᵢ pᵢ θᵢ 0  ⟺  ⋁_{t ∈ E} (guard_t ∧ ⋀ᵢ (pᵢ θᵢ 0)[v ↦ t])`
+//!
+//! where the elimination set `E` holds the test points −∞, the (virtual)
+//! roots of each constraint, and `root + ε` for strict constraints. Root
+//! expressions `(A + B√d)/C` are arranged so the denominator `C` is a
+//! square (hence positive under the guard), which removes every sign case
+//! split; substituted constraints reduce to polynomial sign conditions on
+//! `A`, `B` and `d`.
+
+use crate::constraint::{PolyConstraint, PolyOp};
+
+use cql_arith::{Poly, Rat};
+use cql_core::error::{CqlError, Result};
+
+/// A conjunction of constraints.
+pub type Conj = Vec<PolyConstraint>;
+/// A disjunction of conjunctions.
+pub type Dnf = Vec<Conj>;
+
+/// The DNF equivalent to `true`.
+#[must_use]
+pub fn dnf_true() -> Dnf {
+    vec![Vec::new()]
+}
+
+/// Conjoin two DNFs (cross product with constant pruning).
+#[must_use]
+pub fn dnf_and(a: &Dnf, b: &Dnf) -> Dnf {
+    let mut out = Vec::new();
+    for x in a {
+        'pair: for y in b {
+            let mut conj = x.clone();
+            for c in y {
+                match c.decide_constant() {
+                    Some(false) => continue 'pair,
+                    Some(true) => {}
+                    None => conj.push(c.clone()),
+                }
+            }
+            conj.sort();
+            conj.dedup();
+            if !out.contains(&conj) {
+                out.push(conj);
+            }
+        }
+    }
+    out
+}
+
+/// Disjoin two DNFs.
+#[must_use]
+pub fn dnf_or(mut a: Dnf, b: Dnf) -> Dnf {
+    for conj in b {
+        if !a.contains(&conj) {
+            a.push(conj);
+        }
+    }
+    a
+}
+
+/// Normalize a single constraint into a DNF (deciding constants).
+fn atom(c: PolyConstraint) -> Dnf {
+    match c.decide_constant() {
+        Some(true) => dnf_true(),
+        Some(false) => Vec::new(),
+        None => vec![vec![c]],
+    }
+}
+
+/// A virtual root expression `t = (A + B√d) / C` with `C > 0` guaranteed
+/// by the guard (it is constructed as a nonzero square).
+#[derive(Clone, Debug)]
+struct RootExpr {
+    a: Poly,
+    b: Poly,
+    d: Poly,
+    c: Poly,
+}
+
+/// A test point of the elimination set.
+#[derive(Clone, Debug)]
+enum TestPoint {
+    MinusInfinity,
+    Root(RootExpr),
+    RootPlusEps(RootExpr),
+}
+
+/// `(A + B√d) θ 0` as a DNF of polynomial constraints, given `d ≥ 0`.
+fn radical_sign(a: &Poly, b: &Poly, d: &Poly, op: PolyOp) -> Dnf {
+    if b.is_zero() || d.is_zero() {
+        // Rational case: the expression is just A.
+        return atom(PolyConstraint::new(a.clone(), op));
+    }
+    let a2 = a * a;
+    let b2d = &(b * b) * d;
+    let diff = &a2 - &b2d; // A² − B²d
+    match op {
+        PolyOp::Eq => {
+            // A·B ≤ 0 ∧ A² = B²d.
+            dnf_and(&atom(PolyConstraint::le0(a * b)), &atom(PolyConstraint::eq0(diff)))
+        }
+        PolyOp::Ne => {
+            // ¬Eq: A·B > 0 ∨ A² ≠ B²d.
+            dnf_or(atom(PolyConstraint::lt0(-&(a * b))), atom(PolyConstraint::ne0(diff)))
+        }
+        PolyOp::Lt => {
+            // (A<0 ∧ B≤0) ∨ (A<0 ∧ B²d<A²) ∨ (B<0 ∧ A²<B²d).
+            let c1 = dnf_and(
+                &atom(PolyConstraint::lt0(a.clone())),
+                &atom(PolyConstraint::le0(b.clone())),
+            );
+            let c2 =
+                dnf_and(&atom(PolyConstraint::lt0(a.clone())), &atom(PolyConstraint::lt0(-&diff)));
+            let c3 = dnf_and(
+                &atom(PolyConstraint::lt0(b.clone())),
+                &atom(PolyConstraint::lt0(diff.clone())),
+            );
+            dnf_or(dnf_or(c1, c2), c3)
+        }
+        PolyOp::Le => {
+            // (A≤0 ∧ B≤0) ∨ (A≤0 ∧ B²d≤A²) ∨ (B≤0 ∧ A²≤B²d).
+            let c1 = dnf_and(
+                &atom(PolyConstraint::le0(a.clone())),
+                &atom(PolyConstraint::le0(b.clone())),
+            );
+            let c2 =
+                dnf_and(&atom(PolyConstraint::le0(a.clone())), &atom(PolyConstraint::le0(-&diff)));
+            let c3 = dnf_and(
+                &atom(PolyConstraint::le0(b.clone())),
+                &atom(PolyConstraint::le0(diff.clone())),
+            );
+            dnf_or(dnf_or(c1, c2), c3)
+        }
+    }
+}
+
+/// Substitute the root expression for `v` in `p`, producing `(P, Q)` with
+/// `p(t)·Cᵐ = P + Q√d` (and `Cᵐ > 0`).
+fn substitute_root(p: &Poly, v: usize, t: &RootExpr) -> (Poly, Poly) {
+    let coeffs = p.coeffs_in(v);
+    let m = coeffs.len() - 1;
+    // Powers (A + B√d)^i = Pᵢ + Qᵢ√d.
+    let mut pow_p = Poly::one();
+    let mut pow_q = Poly::zero();
+    // C^(m−i), built from the top down.
+    let mut c_pows = vec![Poly::one()];
+    for _ in 0..m {
+        let last = c_pows.last().unwrap().clone();
+        c_pows.push(&last * &t.c);
+    }
+    let mut acc_p = Poly::zero();
+    let mut acc_q = Poly::zero();
+    for (i, coeff) in coeffs.iter().enumerate() {
+        if !coeff.is_zero() {
+            let scale = &c_pows[m - i];
+            acc_p = &acc_p + &(&(coeff * &pow_p) * scale);
+            acc_q = &acc_q + &(&(coeff * &pow_q) * scale);
+        }
+        if i < m {
+            // (P + Q√d)(A + B√d) = (PA + QBd) + (PB + QA)√d.
+            let np = &(&pow_p * &t.a) + &(&(&pow_q * &t.b) * &t.d);
+            let nq = &(&pow_p * &t.b) + &(&pow_q * &t.a);
+            pow_p = np;
+            pow_q = nq;
+        }
+    }
+    (acc_p, acc_q)
+}
+
+/// `p θ 0` at `v = t` (an exact root expression).
+fn constraint_at_root(p: &Poly, op: PolyOp, v: usize, t: &RootExpr) -> Dnf {
+    let (big_p, big_q) = substitute_root(p, v, t);
+    radical_sign(&big_p, &big_q, &t.d, op)
+}
+
+/// `p θ 0` at `v = t + ε` (just right of the root), by the derivative
+/// recursion: `p(t+ε) < 0 ⟺ p(t) < 0 ∨ (p(t) = 0 ∧ p'(t+ε) < 0)`.
+fn constraint_at_root_eps(p: &Poly, op: PolyOp, v: usize, t: &RootExpr) -> Dnf {
+    match op {
+        PolyOp::Eq => {
+            // Zero on a right-neighbourhood ⇒ identically zero in v.
+            let mut out = dnf_true();
+            let mut q = p.clone();
+            loop {
+                out = dnf_and(&out, &constraint_at_root(&q, PolyOp::Eq, v, t));
+                if q.degree_in(v) == 0 {
+                    break;
+                }
+                q = q.derivative(v);
+            }
+            out
+        }
+        PolyOp::Ne => {
+            let mut out = Vec::new();
+            let mut q = p.clone();
+            loop {
+                out = dnf_or(out, constraint_at_root(&q, PolyOp::Ne, v, t));
+                if q.degree_in(v) == 0 {
+                    break;
+                }
+                q = q.derivative(v);
+            }
+            out
+        }
+        PolyOp::Lt | PolyOp::Le => {
+            // Strictly negative just right of t, or chain of zeros ending
+            // in the right sign; the base case keeps the weak/strict op.
+            if p.degree_in(v) == 0 {
+                return constraint_at_root(p, op, v, t);
+            }
+            let strictly_neg = constraint_at_root(p, PolyOp::Lt, v, t);
+            let zero_here = constraint_at_root(p, PolyOp::Eq, v, t);
+            let deriv = constraint_at_root_eps(&p.derivative(v), op, v, t);
+            dnf_or(strictly_neg, dnf_and(&zero_here, &deriv))
+        }
+    }
+}
+
+/// `p θ 0` at `v = −∞` (for all sufficiently negative v).
+fn constraint_at_minus_inf(p: &Poly, op: PolyOp, v: usize) -> Dnf {
+    let coeffs = p.coeffs_in(v);
+    match op {
+        PolyOp::Eq => {
+            let mut out = dnf_true();
+            for c in &coeffs {
+                out = dnf_and(&out, &atom(PolyConstraint::eq0(c.clone())));
+            }
+            out
+        }
+        PolyOp::Ne => {
+            let mut out = Vec::new();
+            for c in &coeffs {
+                out = dnf_or(out, atom(PolyConstraint::ne0(c.clone())));
+            }
+            out
+        }
+        PolyOp::Lt | PolyOp::Le => {
+            // Scan from the top coefficient down: sign at −∞ is the sign of
+            // the first nonzero cᵢ·(−1)^i; if all vanish, the weak/strict
+            // base case decides on c₀.
+            let mut out: Dnf = Vec::new();
+            let mut zeros: Dnf = dnf_true();
+            for (i, c) in coeffs.iter().enumerate().rev() {
+                let signed = if i % 2 == 1 { -c } else { c.clone() };
+                if i == 0 {
+                    let base = atom(PolyConstraint::new(signed, op));
+                    out = dnf_or(out, dnf_and(&zeros, &base));
+                } else {
+                    let this_neg = atom(PolyConstraint::lt0(signed));
+                    out = dnf_or(out, dnf_and(&zeros, &this_neg));
+                    zeros = dnf_and(&zeros, &atom(PolyConstraint::eq0(c.clone())));
+                }
+            }
+            out
+        }
+    }
+}
+
+/// `p θ 0` with `v` replaced by the test point.
+fn substitute(p: &Poly, op: PolyOp, v: usize, t: &TestPoint) -> Dnf {
+    if p.degree_in(v) == 0 {
+        return atom(PolyConstraint::new(p.clone(), op));
+    }
+    match t {
+        TestPoint::MinusInfinity => constraint_at_minus_inf(p, op, v),
+        TestPoint::Root(r) => constraint_at_root(p, op, v, r),
+        TestPoint::RootPlusEps(r) => constraint_at_root_eps(p, op, v, r),
+    }
+}
+
+/// The test points contributed by one constraint, with their guards.
+fn test_points_of(p: &Poly, op: PolyOp, v: usize) -> Vec<(Dnf, TestPoint)> {
+    let coeffs = p.coeffs_in(v);
+    let deg = coeffs.len() - 1;
+    let strict = op.is_strict();
+    let wrap = |r: RootExpr| {
+        if strict {
+            TestPoint::RootPlusEps(r)
+        } else {
+            TestPoint::Root(r)
+        }
+    };
+    let mut out = Vec::new();
+    match deg {
+        0 => {}
+        1 => {
+            // b·v + c: root −c/b = (−c·b)/b², guard b ≠ 0.
+            let b = &coeffs[1];
+            let c = &coeffs[0];
+            let guard = atom(PolyConstraint::ne0(b.clone()));
+            let root = RootExpr { a: -&(c * b), b: Poly::zero(), d: Poly::one(), c: b * b };
+            out.push((guard, wrap(root)));
+        }
+        2 => {
+            // a·v² + b·v + c.
+            let a = &coeffs[2];
+            let b = &coeffs[1];
+            let c = &coeffs[0];
+            // Degenerate linear root: guard a = 0 ∧ b ≠ 0.
+            let lin_guard = dnf_and(
+                &atom(PolyConstraint::eq0(a.clone())),
+                &atom(PolyConstraint::ne0(b.clone())),
+            );
+            let lin_root = RootExpr { a: -&(c * b), b: Poly::zero(), d: Poly::one(), c: b * b };
+            out.push((lin_guard, wrap(lin_root)));
+            // Quadratic roots (−b ± √d)/(2a) = (−2ab ± 2a√d)/(4a²):
+            // guards a ≠ 0 and d ≥ 0; both signs are enumerated so the
+            // 2a-scaling (of unknown sign) merely permutes them.
+            let d = &(b * b) - &(&(&Poly::constant(Rat::from(4)) * a) * c);
+            let quad_guard =
+                dnf_and(&atom(PolyConstraint::ne0(a.clone())), &atom(PolyConstraint::le0(-&d)));
+            let two_a = &Poly::constant(Rat::from(2)) * a;
+            let four_a2 = &(&Poly::constant(Rat::from(4)) * a) * a;
+            for sign in [1i64, -1] {
+                let root = RootExpr {
+                    a: -&(&two_a * b),
+                    b: (&Poly::constant(Rat::from(sign)) * &two_a),
+                    d: d.clone(),
+                    c: four_a2.clone(),
+                };
+                out.push((quad_guard.clone(), wrap(root)));
+            }
+        }
+        _ => unreachable!("test points requested for degree {deg} > 2"),
+    }
+    out
+}
+
+/// Eliminate `∃v` from a conjunction of polynomial constraints.
+///
+/// # Errors
+/// `CqlError::Unsupported` when `v` occurs at degree ≥ 3 in a constraint
+/// that also involves other variables (the univariate case is decided
+/// exactly at any degree via Sturm sequences).
+pub fn eliminate_conj(conj: &[PolyConstraint], v: usize) -> Result<Dnf> {
+    // Split off the v-free part and decide constants.
+    let mut v_free: Conj = Vec::new();
+    let mut with_v: Conj = Vec::new();
+    for c in conj {
+        match c.decide_constant() {
+            Some(false) => return Ok(Vec::new()),
+            Some(true) => continue,
+            None => {}
+        }
+        if c.poly.degree_in(v) == 0 {
+            v_free.push(c.clone());
+        } else {
+            with_v.push(c.clone());
+        }
+    }
+    v_free.sort();
+    v_free.dedup();
+    if with_v.is_empty() {
+        return Ok(vec![v_free]);
+    }
+
+    // Fast path: an equality that is linear in v with a nonzero *constant*
+    // coefficient pins v = −c/b exactly; substitute it everywhere (no
+    // guards, no branching, no degree-doubling denominators).
+    if let Some(pos) = with_v.iter().position(|c| {
+        c.op == PolyOp::Eq
+            && c.poly.degree_in(v) == 1
+            && c.poly.coeffs_in(v)[1].constant_value().is_some_and(|b| !b.is_zero())
+    }) {
+        let eq = with_v.remove(pos);
+        let coeffs = eq.poly.coeffs_in(v);
+        let b = coeffs[1].constant_value().expect("checked constant");
+        let replacement = coeffs[0].scale(&-&b.recip());
+        let mut conj2: Conj = v_free;
+        for c in &with_v {
+            let substituted = PolyConstraint::new(c.poly.substitute(v, &replacement), c.op);
+            match substituted.decide_constant() {
+                Some(false) => return Ok(Vec::new()),
+                Some(true) => {}
+                None => conj2.push(substituted),
+            }
+        }
+        conj2.sort();
+        conj2.dedup();
+        return Ok(vec![conj2]);
+    }
+
+    let max_deg = with_v.iter().map(|c| c.poly.degree_in(v)).max().unwrap();
+    if max_deg > 2 {
+        // Univariate fallback: exact at any degree when every constraint
+        // involving v mentions no other variable.
+        if with_v.iter().all(|c| c.vars() == [v]) {
+            return Ok(if crate::decide::univariate_sat(&with_v, v) {
+                vec![v_free]
+            } else {
+                Vec::new()
+            });
+        }
+        return Err(CqlError::Unsupported(format!(
+            "virtual substitution handles variables of degree ≤ 2; x{v} occurs at degree {max_deg} \
+             in a multivariate constraint"
+        )));
+    }
+
+    // The elimination set: −∞ plus each constraint's (guarded) roots.
+    let mut points: Vec<(Dnf, TestPoint)> = vec![(dnf_true(), TestPoint::MinusInfinity)];
+    for c in &with_v {
+        points.extend(test_points_of(&c.poly, c.op, v));
+    }
+
+    let mut result: Dnf = Vec::new();
+    for (guard, point) in points {
+        if guard.is_empty() {
+            continue;
+        }
+        let mut branch = guard;
+        for c in &with_v {
+            branch = dnf_and(&branch, &substitute(&c.poly, c.op, v, &point));
+            if branch.is_empty() {
+                break;
+            }
+        }
+        result = dnf_or(result, branch);
+    }
+
+    // Re-attach the v-free part.
+    if v_free.is_empty() {
+        Ok(result)
+    } else {
+        Ok(dnf_and(&result, &vec![v_free]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Poly {
+        Poly::var(0)
+    }
+    fn y() -> Poly {
+        Poly::var(1)
+    }
+    fn c(v: i64) -> Poly {
+        Poly::constant(Rat::from(v))
+    }
+    fn pt(vals: &[&str]) -> Vec<Rat> {
+        vals.iter().map(|v| v.parse().unwrap()).collect()
+    }
+    fn holds(dnf: &Dnf, p: &[Rat]) -> bool {
+        dnf.iter().any(|conj| conj.iter().all(|c| c.eval(p)))
+    }
+
+    #[test]
+    fn linear_interval() {
+        // ∃x (x − y < 0 ∧ 1 − x < 0) ≡ 1 < y... wait: x < y ∧ x > 1 ⇒ y > 1.
+        let conj = vec![PolyConstraint::lt0(&x() - &y()), PolyConstraint::lt0(&c(1) - &x())];
+        let out = eliminate_conj(&conj, 0).unwrap();
+        assert!(holds(&out, &pt(&["0", "2"])));
+        assert!(holds(&out, &pt(&["0", "3/2"])));
+        assert!(!holds(&out, &pt(&["0", "1"])));
+        assert!(!holds(&out, &pt(&["0", "0"])));
+    }
+
+    #[test]
+    fn linear_equality_substitution() {
+        // ∃x (x = 2y ∧ x ≤ 3) ≡ 2y ≤ 3.
+        let conj =
+            vec![PolyConstraint::eq0(&x() - &(&c(2) * &y())), PolyConstraint::le0(&x() - &c(3))];
+        let out = eliminate_conj(&conj, 0).unwrap();
+        assert!(holds(&out, &pt(&["0", "1"])));
+        assert!(holds(&out, &pt(&["0", "3/2"])));
+        assert!(!holds(&out, &pt(&["0", "2"])));
+    }
+
+    #[test]
+    fn example_1_9_parabola_projection() {
+        // ∃x (x² − y = 0) ≡ y ≥ 0 — the paper's Example 1.9 becomes
+        // closed once inequalities are admitted.
+        let conj = vec![PolyConstraint::eq0(&(&x() * &x()) - &y())];
+        let out = eliminate_conj(&conj, 0).unwrap();
+        assert!(holds(&out, &pt(&["0", "0"])));
+        assert!(holds(&out, &pt(&["0", "4"])));
+        assert!(holds(&out, &pt(&["0", "1/4"])));
+        assert!(!holds(&out, &pt(&["0", "-1"])));
+        assert!(!holds(&out, &pt(&["0", "-1/9"])));
+    }
+
+    #[test]
+    fn quadratic_with_strict_bound() {
+        // ∃x (x² < y) ≡ y > 0.
+        let conj = vec![PolyConstraint::lt0(&(&x() * &x()) - &y())];
+        let out = eliminate_conj(&conj, 0).unwrap();
+        assert!(holds(&out, &pt(&["0", "1"])));
+        assert!(holds(&out, &pt(&["0", "1/100"])));
+        assert!(!holds(&out, &pt(&["0", "0"])));
+        assert!(!holds(&out, &pt(&["0", "-2"])));
+    }
+
+    #[test]
+    fn unsatisfiable_conjunction_eliminates_to_false() {
+        // ∃x (x < y ∧ y < x) ≡ false.
+        let conj = vec![PolyConstraint::lt0(&x() - &y()), PolyConstraint::lt0(&y() - &x())];
+        let out = eliminate_conj(&conj, 0).unwrap();
+        for p in [pt(&["0", "0"]), pt(&["0", "5"]), pt(&["0", "-3"])] {
+            assert!(!holds(&out, &p));
+        }
+    }
+
+    #[test]
+    fn ne_constraints_split() {
+        // ∃x (x ≠ y ∧ x = z) ≡ z ≠ y.
+        let z = Poly::var(2);
+        let conj = vec![PolyConstraint::ne0(&x() - &y()), PolyConstraint::eq0(&x() - &z)];
+        let out = eliminate_conj(&conj, 0).unwrap();
+        assert!(holds(&out, &pt(&["0", "1", "2"])));
+        assert!(!holds(&out, &pt(&["0", "2", "2"])));
+    }
+
+    #[test]
+    fn free_variable_passthrough() {
+        // ∃x (x > 0 ∧ y < 1): x part always satisfiable ⇒ result ≡ y < 1.
+        let conj = vec![PolyConstraint::lt0(-&x()), PolyConstraint::lt0(&y() - &c(1))];
+        let out = eliminate_conj(&conj, 0).unwrap();
+        assert!(holds(&out, &pt(&["9", "0"])));
+        assert!(!holds(&out, &pt(&["9", "2"])));
+    }
+
+    #[test]
+    fn circle_projection() {
+        // ∃y (x² + y² = 1) ≡ −1 ≤ x ≤ 1.
+        let circle = &(&(&x() * &x()) + &(&y() * &y())) - &c(1);
+        let out = eliminate_conj(&[PolyConstraint::eq0(circle)], 1).unwrap();
+        assert!(holds(&out, &pt(&["0", "0"])));
+        assert!(holds(&out, &pt(&["1", "0"])));
+        assert!(holds(&out, &pt(&["-1", "0"])));
+        assert!(holds(&out, &pt(&["1/2", "0"])));
+        assert!(!holds(&out, &pt(&["2", "0"])));
+        assert!(!holds(&out, &pt(&["-3/2", "0"])));
+    }
+
+    #[test]
+    fn high_degree_univariate_falls_back() {
+        // ∃x (x³ − 8 = 0 ∧ y < 2): satisfiable, passes y part through.
+        let conj =
+            vec![PolyConstraint::eq0(&x().pow(3) - &c(8)), PolyConstraint::lt0(&y() - &c(2))];
+        let out = eliminate_conj(&conj, 0).unwrap();
+        assert!(holds(&out, &pt(&["0", "1"])));
+        assert!(!holds(&out, &pt(&["0", "3"])));
+        // ∃x (x⁴ + 1 ≤ 0): unsatisfiable.
+        let none = eliminate_conj(&[PolyConstraint::le0(&x().pow(4) + &c(1))], 0).unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn high_degree_multivariate_is_unsupported() {
+        let conj = vec![PolyConstraint::eq0(&x().pow(3) - &y())];
+        assert!(matches!(eliminate_conj(&conj, 0), Err(CqlError::Unsupported(_))));
+    }
+}

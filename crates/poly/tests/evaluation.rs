@@ -1,0 +1,160 @@
+//! Relational calculus with real polynomial constraints, end to end
+//! (Theorem 2.3's closed-form bottom-up evaluation), plus Example 1.12.
+
+use cql_arith::{Poly, Rat};
+use cql_core::{calculus, CalculusQuery, CqlError, Database, Formula, GenRelation};
+use cql_poly::{nonclosure, PolyConstraint as C, RealPoly};
+
+fn x(v: usize) -> Poly {
+    Poly::var(v)
+}
+fn con(c: i64) -> Poly {
+    Poly::constant(Rat::from(c))
+}
+fn pt(vals: &[i64]) -> Vec<Rat> {
+    vals.iter().map(|&v| Rat::from(v)).collect()
+}
+
+#[test]
+fn halfplane_and_line_example_1_5() {
+    // r = {(y = 2x ∧ x ≠ y), (x + y > 1)} — the paper's Example 1.5.
+    let rel: GenRelation<RealPoly> = GenRelation::from_conjunctions(
+        2,
+        vec![
+            vec![C::eq(&x(1), &(&con(2) * &x(0))), C::ne(&x(0), &x(1))],
+            vec![C::lt(&con(1), &(&x(0) + &x(1)))],
+        ],
+    );
+    // (0,0) excluded from the line by x ≠ y; (1,2) on the line; (5,5) in
+    // the half plane.
+    assert!(!rel.satisfied_by(&pt(&[0, 0])));
+    assert!(rel.satisfied_by(&pt(&[1, 2])));
+    assert!(rel.satisfied_by(&pt(&[5, 5])));
+    assert!(rel.satisfied_by(&pt(&[-3, -6]))); // on the line, x≠y
+    assert!(!rel.satisfied_by(&pt(&[2, -1]))); // off the line, x+y ≤ 1
+}
+
+#[test]
+fn projection_of_parabola_relation() {
+    // Example 1.9 in the framework: R = {y = x²}; ∃x.R(x,y) must evaluate
+    // to a generalized relation equivalent to y ≥ 0 (closure holds with
+    // inequalities admitted).
+    let mut db: Database<RealPoly> = Database::new();
+    db.insert("R", GenRelation::from_conjunctions(2, vec![vec![C::eq(&x(1), &(&x(0) * &x(0)))]]));
+    let f = Formula::atom("R", vec![0, 1]).exists(0);
+    let q = CalculusQuery::new(f, vec![1]).unwrap();
+    let out = calculus::evaluate(&q, &db).unwrap();
+    assert!(out.satisfied_by(&[Rat::from(0)]));
+    assert!(out.satisfied_by(&[Rat::from(9)]));
+    assert!(out.satisfied_by(&[Rat::frac(1, 7)]));
+    assert!(!out.satisfied_by(&[Rat::from(-1)]));
+    assert!(!out.satisfied_by(&[Rat::frac(-1, 9)]));
+}
+
+#[test]
+fn rectangle_intersection_with_polynomials() {
+    // The Example 1.1 query runs unchanged over the polynomial theory.
+    let rect = |name: i64, a: i64, b: i64, c: i64, d: i64| {
+        vec![
+            C::eq(&x(0), &con(name)),
+            C::le(&con(a), &x(1)),
+            C::le(&x(1), &con(c)),
+            C::le(&con(b), &x(2)),
+            C::le(&x(2), &con(d)),
+        ]
+    };
+    let mut db: Database<RealPoly> = Database::new();
+    db.insert(
+        "R",
+        GenRelation::from_conjunctions(
+            3,
+            vec![rect(1, 0, 0, 2, 2), rect(2, 1, 1, 3, 3), rect(3, 5, 5, 6, 6)],
+        ),
+    );
+    let f = Formula::constraint(C::ne(&x(0), &x(1))).and(
+        Formula::atom("R", vec![0, 2, 3])
+            .and(Formula::atom("R", vec![1, 2, 3]))
+            .exists_all(&[2, 3]),
+    );
+    let q = CalculusQuery::new(f, vec![0, 1]).unwrap();
+    let out = calculus::evaluate(&q, &db).unwrap();
+    assert!(out.satisfied_by(&pt(&[1, 2])));
+    assert!(out.satisfied_by(&pt(&[2, 1])));
+    assert!(!out.satisfied_by(&pt(&[1, 3])));
+    assert!(!out.satisfied_by(&pt(&[1, 1])));
+}
+
+#[test]
+fn triangles_same_program() {
+    // "The same program can be used for intersecting triangles" (Ex 1.1):
+    // triangles as conjunctions of three half-plane constraints.
+    // T1 = {(x,y) | x ≥ 0, y ≥ 0, x + y ≤ 2} (name 1)
+    // T2 = {(x,y) | x ≥ 1, y ≥ 1, x + y ≤ 4} (name 2) — overlaps T1 at (1,1).
+    // T3 = {(x,y) | x ≥ 10, y ≥ 10, x + y ≤ 21} (name 3) — disjoint.
+    let tri = |name: i64, ox: i64, oy: i64, s: i64| {
+        vec![
+            C::eq(&x(0), &con(name)),
+            C::le(&con(ox), &x(1)),
+            C::le(&con(oy), &x(2)),
+            C::le(&(&x(1) + &x(2)), &con(s)),
+        ]
+    };
+    let mut db: Database<RealPoly> = Database::new();
+    db.insert(
+        "R",
+        GenRelation::from_conjunctions(
+            3,
+            vec![tri(1, 0, 0, 2), tri(2, 1, 1, 4), tri(3, 10, 10, 21)],
+        ),
+    );
+    let f = Formula::constraint(C::ne(&x(0), &x(1))).and(
+        Formula::atom("R", vec![0, 2, 3])
+            .and(Formula::atom("R", vec![1, 2, 3]))
+            .exists_all(&[2, 3]),
+    );
+    let q = CalculusQuery::new(f, vec![0, 1]).unwrap();
+    let out = calculus::evaluate(&q, &db).unwrap();
+    assert!(out.satisfied_by(&pt(&[1, 2])));
+    assert!(!out.satisfied_by(&pt(&[1, 3])));
+    assert!(!out.satisfied_by(&pt(&[2, 3])));
+}
+
+#[test]
+fn sentence_decision_with_quantifier_alternation() {
+    // ∀y ∃x (x < y): true over ℝ.
+    let f: Formula<RealPoly> = Formula::constraint(C::lt(&x(0), &x(1))).exists(0).forall(1);
+    let db: Database<RealPoly> = Database::new();
+    assert!(calculus::decide(&f, &db).unwrap());
+    // ∃x ∀y (x ≤ y): false (no least real).
+    let g: Formula<RealPoly> = Formula::constraint(C::le(&x(0), &x(1))).forall(1).exists(0);
+    assert!(!calculus::decide(&g, &db).unwrap());
+    // ∀y ∃x (x² = y): false (negative y).
+    let h: Formula<RealPoly> =
+        Formula::constraint(C::eq(&(&x(0) * &x(0)), &x(1))).exists(0).forall(1);
+    assert!(!calculus::decide(&h, &db).unwrap());
+    // ∀y ∃x (x² = y ∨ y < 0): true.
+    let k: Formula<RealPoly> = Formula::constraint(C::eq(&(&x(0) * &x(0)), &x(1)))
+        .or(Formula::constraint(C::lt(&x(1), &con(0))))
+        .exists(0)
+        .forall(1);
+    assert!(calculus::decide(&k, &db).unwrap());
+}
+
+#[test]
+fn example_1_12_datalog_not_closed() {
+    let report = nonclosure::demonstrate(10);
+    assert_eq!(report.iterations, 10);
+}
+
+#[test]
+fn unsupported_degree_surfaces_cleanly() {
+    // ∃x (x³ = y) is outside the VS fragment → a typed error, not a panic.
+    let mut db: Database<RealPoly> = Database::new();
+    db.insert("R", GenRelation::from_conjunctions(2, vec![vec![C::eq(&x(0).pow(3), &x(1))]]));
+    let f = Formula::atom("R", vec![0, 1]).exists(0);
+    let q = CalculusQuery::new(f, vec![1]).unwrap();
+    match calculus::evaluate(&q, &db) {
+        Err(CqlError::Unsupported(msg)) => assert!(msg.contains("degree")),
+        other => panic!("expected Unsupported, got {other:?}"),
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests for the polynomial theory — virtual substitution
+//! soundness/completeness against witness search, and satisfiability
+//! consistency.
+
+use cql_arith::{Poly, Rat};
+use cql_core::theory::Theory;
+use cql_poly::{decide, vs, PolyConstraint, PolyOp, RealPoly};
+use proptest::prelude::*;
+
+/// A random polynomial of degree ≤ 2 over 3 variables with small integer
+/// coefficients: `c₀ + Σ cᵢxᵢ + d·x_q²` — at most one quadratic term, so
+/// the property suite stays fast while still driving the quadratic
+/// virtual-substitution paths.
+fn small_poly() -> impl Strategy<Value = Poly> {
+    (-3i64..=3, prop::collection::vec(-3i64..=3, 3), 0usize..3, -2i64..=2).prop_map(
+        |(c0, lin, qv, qc)| {
+            let mut p = Poly::constant(Rat::from(c0));
+            for (v, &c) in lin.iter().enumerate() {
+                p = &p + &Poly::var(v).scale(&Rat::from(c));
+            }
+            p = &p + &Poly::var(qv).pow(2).scale(&Rat::from(qc));
+            p
+        },
+    )
+}
+
+fn op() -> impl Strategy<Value = PolyOp> {
+    prop_oneof![Just(PolyOp::Eq), Just(PolyOp::Ne), Just(PolyOp::Lt), Just(PolyOp::Le)]
+}
+
+fn constraint() -> impl Strategy<Value = PolyConstraint> {
+    (small_poly(), op()).prop_map(|(p, o)| PolyConstraint::new(p, o))
+}
+
+fn conjunction(max: usize) -> impl Strategy<Value = Vec<PolyConstraint>> {
+    prop::collection::vec(constraint(), 1..max)
+}
+
+fn point() -> impl Strategy<Value = Vec<Rat>> {
+    prop::collection::vec((-6i64..=6, 1i64..=2).prop_map(|(n, d)| Rat::frac(n, d)), 3)
+}
+
+/// Candidate witness values for the eliminated variable: the point's own
+/// coordinates, small integers and halves — dense enough to catch
+/// completeness violations on these small-coefficient systems.
+fn witness_values(p: &[Rat]) -> Vec<Rat> {
+    let mut out: Vec<Rat> = p.to_vec();
+    for n in -6..=6 {
+        out.push(Rat::from(n));
+        out.push(Rat::frac(n, 2));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// VS completeness: a rational witness for ∃v implies the eliminated
+    /// formula holds.
+    #[test]
+    fn elimination_completeness(conj in conjunction(4), p in point(), v in 0usize..3) {
+        let Ok(dnf) = vs::eliminate_conj(&conj, v) else {
+            return Ok(()); // degree-3 fallthrough: out of fragment
+        };
+        let holds = |q: &[Rat]| dnf.iter().any(|c| c.iter().all(|a| a.eval(q)));
+        for w in witness_values(&p) {
+            let mut q = p.clone();
+            q[v] = w;
+            if conj.iter().all(|c| c.eval(&q)) {
+                let mut probe = p.clone();
+                probe[v] = Rat::zero();
+                prop_assert!(
+                    holds(&probe),
+                    "witness {:?} exists but elimination rejects; conj {:?}",
+                    q, conj
+                );
+                break;
+            }
+        }
+    }
+
+    /// VS soundness: if the eliminated formula holds at p, the original
+    /// conjunction pinned at p's other coordinates is satisfiable.
+    #[test]
+    fn elimination_soundness(conj in conjunction(3), p in point(), v in 0usize..3) {
+        let Ok(dnf) = vs::eliminate_conj(&conj, v) else { return Ok(()) };
+        let mut probe = p.clone();
+        probe[v] = Rat::zero();
+        let holds = dnf.iter().any(|c| c.iter().all(|a| a.eval(&probe)));
+        if holds {
+            let mut pinned = conj.clone();
+            for (i, val) in p.iter().enumerate() {
+                if i != v {
+                    pinned.push(PolyConstraint::eq(
+                        &Poly::var(i),
+                        &Poly::constant(val.clone()),
+                    ));
+                }
+            }
+            // The pinned system is univariate in v: decidable exactly.
+            let with_v: Vec<PolyConstraint> = pinned
+                .iter()
+                .filter(|c| c.decide_constant().is_none())
+                .cloned()
+                .collect();
+            let reduced: Vec<PolyConstraint> = with_v
+                .iter()
+                .map(|c| {
+                    let mut q = c.poly.clone();
+                    for (i, val) in p.iter().enumerate() {
+                        if i != v {
+                            q = q.substitute(i, &Poly::constant(val.clone()));
+                        }
+                    }
+                    PolyConstraint::new(q, c.op)
+                })
+                .collect();
+            if reduced.iter().any(|c| c.decide_constant() == Some(false)) {
+                prop_assert!(false, "eliminated formula holds but pinned system is trivially false: {conj:?} at {p:?}");
+            }
+            let univ: Vec<PolyConstraint> = reduced
+                .into_iter()
+                .filter(|c| c.decide_constant().is_none())
+                .collect();
+            prop_assert!(
+                decide::univariate_sat(&univ, v),
+                "eliminated formula accepts {:?} but ∃x{} fails: {:?}",
+                p, v, conj
+            );
+        }
+    }
+
+    /// Canonicalization: `None` only for genuinely unsatisfiable
+    /// conjunctions (checked at witness candidates).
+    #[test]
+    fn canonicalize_unsat_is_sound(conj in conjunction(4), p in point()) {
+        if RealPoly::canonicalize(&conj).is_none() {
+            prop_assert!(
+                !conj.iter().all(|c| c.eval(&p)),
+                "canonicalize says unsat but {:?} satisfies {:?}",
+                p, conj
+            );
+        }
+    }
+
+    /// decide::satisfiable(Some(false)) means no rational point satisfies.
+    #[test]
+    fn satisfiable_false_is_sound(conj in conjunction(3), p in point()) {
+        if decide::satisfiable(&conj) == Some(false) {
+            prop_assert!(!conj.iter().all(|c| c.eval(&p)));
+        }
+    }
+
+    /// Negation complements pointwise.
+    #[test]
+    fn negation_complements(c in constraint(), p in point()) {
+        prop_assert_ne!(c.eval(&p), c.negated().eval(&p));
+    }
+
+    /// Samples satisfy their conjunction.
+    #[test]
+    fn samples_satisfy(conj in conjunction(3)) {
+        if let Some(s) = decide::sample(&conj, 3) {
+            for c in &conj {
+                prop_assert!(c.eval(&s), "{c} at {s:?}");
+            }
+        }
+    }
+}

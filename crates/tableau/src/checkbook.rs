@@ -1,0 +1,111 @@
+//! The "balanced checkbook" example (Example 2.4 / Figure 3 of the
+//! paper): a four-row tableau with one linear equation constraint.
+//!
+//! ```text
+//! z  —  —  —  | Balanced
+//! z  f  r  m  | Expenses
+//! z  s  —  —  | Savings
+//! z  w  i  —  | Income
+//!       f + r + m + s = w + i
+//! ```
+
+use crate::tableau::{Entry, Tableau, TableauBuilder};
+use cql_arith::Rat;
+use std::collections::BTreeMap;
+
+/// Build the Figure 3 checkbook query:
+/// `Balanced(z) :- Expenses(z,f,r,m), Savings(z,s), Income(z,w,i),
+/// f + r + m + s = w + i`.
+#[must_use]
+pub fn balanced_checkbook() -> Tableau {
+    let one = Rat::one;
+    TableauBuilder::new(vec![Entry::Var("z")])
+        .row("Expenses", vec![Entry::Var("z"), Entry::Var("f"), Entry::Var("r"), Entry::Var("m")])
+        .row("Savings", vec![Entry::Var("z"), Entry::Var("s")])
+        .row("Income", vec![Entry::Var("z"), Entry::Var("w"), Entry::Var("i")])
+        .equation(
+            vec![
+                ("f", one()),
+                ("r", one()),
+                ("m", one()),
+                ("s", one()),
+                ("w", -one()),
+                ("i", -one()),
+            ],
+            Rat::zero(),
+        )
+        .build()
+}
+
+/// A synthetic checkbook database of `n` users; user ids `1..=n`. Every
+/// third user balances exactly.
+#[must_use]
+pub fn checkbook_database(n: usize) -> BTreeMap<String, Vec<Vec<Rat>>> {
+    let r = |v: i64| Rat::from(v);
+    let mut expenses = Vec::with_capacity(n);
+    let mut savings = Vec::with_capacity(n);
+    let mut income = Vec::with_capacity(n);
+    for u in 1..=n as i64 {
+        let food = 100 + u % 7;
+        let rent = 900 + u % 13;
+        let misc = 50 + u % 5;
+        let save = 200 + u % 11;
+        let wages = food + rent + misc + save;
+        let (wages, interest) = if u % 3 == 0 {
+            (wages - 10, 10) // balances: w + i = outgoings
+        } else {
+            (wages, 17) // off by 17
+        };
+        expenses.push(vec![r(u), r(food), r(rent), r(misc)]);
+        savings.push(vec![r(u), r(save)]);
+        income.push(vec![r(u), r(wages), r(interest)]);
+    }
+    let mut db = BTreeMap::new();
+    db.insert("Expenses".to_string(), expenses);
+    db.insert("Savings".to_string(), savings);
+    db.insert("Income".to_string(), income);
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_3_shape() {
+        let q = balanced_checkbook();
+        assert_eq!(q.arity(), 1);
+        assert_eq!(q.rows.len(), 3);
+        // Symbols: 1 summary + 4 + 2 + 3 row entries = 10.
+        assert_eq!(q.nsymbols, 10);
+        // Constraints: 3 z-equalities + 1 balance equation.
+        assert_eq!(q.constraints.len(), 4);
+    }
+
+    #[test]
+    fn exactly_every_third_user_balances() {
+        let q = balanced_checkbook();
+        let db = checkbook_database(12);
+        let out = q.evaluate(&db);
+        let ids: Vec<i64> = {
+            let mut v: Vec<i64> = out.iter().map(|t| t[0].num().to_i64().unwrap()).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(ids, vec![3, 6, 9, 12]);
+    }
+
+    #[test]
+    fn checkbook_contained_in_unconstrained_variant() {
+        // Dropping the balance equation weakens the query: containment
+        // must hold in one direction only.
+        let q = balanced_checkbook();
+        let loose = TableauBuilder::new(vec![Entry::Var("z")])
+            .row("Expenses", vec![Entry::Var("z"), Entry::Blank, Entry::Blank, Entry::Blank])
+            .row("Savings", vec![Entry::Var("z"), Entry::Blank])
+            .row("Income", vec![Entry::Var("z"), Entry::Blank, Entry::Blank])
+            .build();
+        assert!(crate::containment::contained_linear(&q, &loose));
+        assert!(!crate::containment::contained_linear(&loose, &q));
+    }
+}

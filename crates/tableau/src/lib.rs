@@ -1,0 +1,29 @@
+//! # cql-tableau — tableau query programs and their containment (§2.2)
+//!
+//! Tagged untyped tableau queries with constraints, in the paper's normal
+//! form `(T, C)`:
+//!
+//! * [`containment`] — symbol mappings and the Theorem 2.6 homomorphism
+//!   test for linear equation constraints (NP-complete), via exact
+//!   affine-subspace containment;
+//! * [`order_tableau`] — dense-order-constraint tableaux, the exact
+//!   Lemma 2.5 containment check, and the Theorem 2.8 demonstration that
+//!   the homomorphism property *fails* for semiinterval queries;
+//! * [`quadratic`] — the Theorem 2.7 Π₂ᵖ-hardness reduction from AE-QBF
+//!   to containment with quadratic equation constraints;
+//! * [`checkbook`] — the Figure 3 "balanced checkbook" example.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod checkbook;
+pub mod containment;
+pub mod minimize;
+pub mod order_tableau;
+pub mod quadratic;
+pub mod tableau;
+
+pub use containment::{contained_linear, is_homomorphism, symbol_mappings};
+pub use minimize::minimize;
+pub use order_tableau::{contained_order, has_homomorphism, OrderTableau};
+pub use tableau::{Entry, Tableau, TableauBuilder};

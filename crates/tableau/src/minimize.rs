@@ -1,0 +1,101 @@
+//! Tableau minimization by containment (the classical optimization
+//! application of Theorem 2.6): repeatedly drop rows whose removal keeps
+//! the query equivalent. For conjunctive queries the row-minimal
+//! equivalent tableau is the *core*, and greedy removal reaches it.
+
+use crate::containment::contained_linear;
+use crate::tableau::Tableau;
+
+/// Remove redundant rows: dropping a row only ever *weakens* a
+/// conjunctive query (`q' ⊇ q`), so the drop is safe iff `q' ⊆ q` — one
+/// homomorphism test per candidate. Constraints referencing symbols of a
+/// dropped row keep those symbols as existential unknowns, which
+/// `Tableau::evaluate` and the containment tests both support.
+#[must_use]
+pub fn minimize(query: &Tableau) -> Tableau {
+    let mut current = query.clone();
+    loop {
+        let mut improved = false;
+        for i in 0..current.rows.len() {
+            let mut candidate = current.clone();
+            candidate.rows.remove(i);
+            if contained_linear(&candidate, &current) {
+                current = candidate;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return current;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::containment::contained_linear;
+    use crate::tableau::{Entry, TableauBuilder};
+    use cql_arith::Rat;
+
+    #[test]
+    fn duplicate_rows_collapse() {
+        // q(x) :- R(x,y), R(x,y') — the second row is redundant.
+        let q = TableauBuilder::new(vec![Entry::Var("x")])
+            .row("R", vec![Entry::Var("x"), Entry::Var("y")])
+            .row("R", vec![Entry::Var("x"), Entry::Var("z")])
+            .build();
+        let m = minimize(&q);
+        assert_eq!(m.rows.len(), 1);
+        assert!(contained_linear(&m, &q) && contained_linear(&q, &m));
+    }
+
+    #[test]
+    fn constrained_rows_are_kept() {
+        // q(x) :- R(x,y), R(x,z), y + z = 10: neither row is redundant
+        // on its own? Dropping one leaves the equation with a free
+        // symbol, which weakens nothing — but containment must verify.
+        let q = TableauBuilder::new(vec![Entry::Var("x")])
+            .row("R", vec![Entry::Var("x"), Entry::Var("y")])
+            .row("S", vec![Entry::Var("x"), Entry::Var("z")])
+            .equation(vec![("y", Rat::one()), ("z", Rat::one())], Rat::from(10))
+            .build();
+        let m = minimize(&q);
+        // Different tags: both rows must survive.
+        assert_eq!(m.rows.len(), 2);
+    }
+
+    #[test]
+    fn path_with_shortcut_minimizes() {
+        // q(x) :- R(x,y), R(x,w) with w unconstrained collapses; a real
+        // 2-path q(x) :- R(x,y), R(y,z) does not.
+        let path = TableauBuilder::new(vec![Entry::Var("x")])
+            .row("R", vec![Entry::Var("x"), Entry::Var("y")])
+            .row("R", vec![Entry::Var("y"), Entry::Var("z")])
+            .build();
+        assert_eq!(minimize(&path).rows.len(), 2);
+    }
+
+    #[test]
+    fn minimized_query_evaluates_identically() {
+        use std::collections::BTreeMap;
+        let q = TableauBuilder::new(vec![Entry::Var("x")])
+            .row("R", vec![Entry::Var("x"), Entry::Var("y")])
+            .row("R", vec![Entry::Var("x"), Entry::Var("z")])
+            .row("R", vec![Entry::Var("w"), Entry::Var("x")])
+            .build();
+        let m = minimize(&q);
+        assert!(m.rows.len() < q.rows.len());
+        let r = |v: i64| Rat::from(v);
+        let mut db = BTreeMap::new();
+        db.insert(
+            "R".to_string(),
+            vec![vec![r(1), r(2)], vec![r(2), r(3)], vec![r(3), r(1)], vec![r(4), r(4)]],
+        );
+        let mut a = q.evaluate(&db);
+        let mut b = m.evaluate(&db);
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+}

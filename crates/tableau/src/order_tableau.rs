@@ -1,0 +1,166 @@
+//! Tableaux with dense-order inequality constraints and the failure of
+//! the homomorphism property for semiinterval queries (Theorem 2.8).
+//!
+//! For order constraints the Lemma 2.5 disjunction `C₁ ⊨ ⋁ᵢ hᵢ(C₂)` is
+//! decided exactly with the dense-order machinery (DNF complement +
+//! satisfiability), and the single-homomorphism test is available
+//! separately — Theorem 2.8's example shows they differ.
+
+use crate::containment::symbol_mappings;
+use crate::tableau::Tableau;
+use cql_arith::LinearSystem;
+use cql_core::relation::GenRelation;
+use cql_core::theory::Theory;
+use cql_dense::{Dense, DenseConstraint};
+
+/// A tableau with dense-order constraints over its symbols.
+#[derive(Clone, Debug)]
+pub struct OrderTableau {
+    /// Number of symbols.
+    pub nsymbols: usize,
+    /// Summary row symbols.
+    pub summary: Vec<usize>,
+    /// Tagged body rows.
+    pub rows: Vec<(String, Vec<usize>)>,
+    /// Dense-order constraints `C`.
+    pub constraints: Vec<DenseConstraint>,
+}
+
+impl OrderTableau {
+    fn shape(&self) -> Tableau {
+        Tableau {
+            nsymbols: self.nsymbols,
+            summary: self.summary.clone(),
+            rows: self.rows.clone(),
+            constraints: LinearSystem::new(self.nsymbols),
+        }
+    }
+
+    /// Apply a symbol mapping to this tableau's constraints.
+    #[must_use]
+    pub fn mapped_constraints(&self, mapping: &[usize]) -> Vec<DenseConstraint> {
+        self.constraints.iter().map(|c| c.rename(&|v| mapping[v])).collect()
+    }
+}
+
+/// All symbol mappings from `q2` to `q1`.
+#[must_use]
+pub fn order_symbol_mappings(q1: &OrderTableau, q2: &OrderTableau) -> Vec<Vec<usize>> {
+    symbol_mappings(&q1.shape(), &q2.shape())
+}
+
+/// Does a *single* homomorphism exist (`C₁ ⊨ h(C₂)` for some mapping)?
+#[must_use]
+pub fn has_homomorphism(q1: &OrderTableau, q2: &OrderTableau) -> bool {
+    order_symbol_mappings(q1, q2)
+        .iter()
+        .any(|m| Dense::entails(&q1.constraints, &q2.mapped_constraints(m)))
+}
+
+/// Containment by the exact Lemma 2.5 condition:
+/// `C₁ ⊨ h₁(C₂) ∨ … ∨ h_m(C₂)`.
+#[must_use]
+pub fn contained_order(q1: &OrderTableau, q2: &OrderTableau) -> bool {
+    if Dense::canonicalize(&q1.constraints).is_none() {
+        return true;
+    }
+    let mappings = order_symbol_mappings(q1, q2);
+    if mappings.is_empty() {
+        return false;
+    }
+    // C₁ ∧ ¬(⋁ hᵢ(C₂)) unsatisfiable?
+    let c1: GenRelation<Dense> =
+        GenRelation::from_conjunctions(q1.nsymbols, vec![q1.constraints.clone()]);
+    let union: GenRelation<Dense> = GenRelation::from_conjunctions(
+        q1.nsymbols,
+        mappings.iter().map(|m| q2.mapped_constraints(m)),
+    );
+    c1.intersect(&union.complement()).is_empty()
+}
+
+/// The two semiinterval queries of Theorem 2.8 (with the weak bounds the
+/// proof's case split `y ≥ 4 ∨ y ≤ 4` requires):
+///
+/// * `q1: R''(u) :- R'(u), R(x,y), R(y,z), x ≤ 4, 4 ≤ z`
+/// * `q2: R''(u) :- R'(u), R(v,w), v ≤ 4, 4 ≤ w`
+///
+/// `q1 ⊆ q2` holds semantically, but **no single symbol mapping is a
+/// homomorphism** — the homomorphism property fails.
+#[must_use]
+pub fn theorem_2_8_queries() -> (OrderTableau, OrderTableau) {
+    use DenseConstraint as C;
+    // q1 symbols: 0=u(summary), 1=u(row), 2=x, 3=y, 4=y', 5=z.
+    let q1 = OrderTableau {
+        nsymbols: 6,
+        summary: vec![0],
+        rows: vec![("Rp".into(), vec![1]), ("R".into(), vec![2, 3]), ("R".into(), vec![4, 5])],
+        constraints: vec![C::eq(0, 1), C::eq(3, 4), C::le_const(2, 4), C::ge_const(5, 4)],
+    };
+    // q2 symbols: 0=u(summary), 1=u(row), 2=v, 3=w.
+    let q2 = OrderTableau {
+        nsymbols: 4,
+        summary: vec![0],
+        rows: vec![("Rp".into(), vec![1]), ("R".into(), vec![2, 3])],
+        constraints: vec![C::eq(0, 1), C::le_const(2, 4), C::ge_const(3, 4)],
+    };
+    (q1, q2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cql_dense::DenseConstraint as C;
+
+    #[test]
+    fn theorem_2_8_homomorphism_property_fails() {
+        let (q1, q2) = theorem_2_8_queries();
+        // Containment holds (the paper's case analysis: either y > 4 and
+        // the first R row witnesses, or y ≤ 4 and the second does).
+        assert!(contained_order(&q1, &q2));
+        // But no single mapping is a homomorphism.
+        assert!(!has_homomorphism(&q1, &q2));
+        // There are exactly two row choices for q2's R row.
+        assert_eq!(order_symbol_mappings(&q1, &q2).len(), 2);
+        // And the reverse containment fails.
+        assert!(!contained_order(&q2, &q1));
+    }
+
+    #[test]
+    fn homomorphism_property_holds_one_sided() {
+        // Left-semiinterval only (all bounds on one side): q1 with x < 4
+        // and q2 with v < 5 — hom exists and containment agrees ([32]).
+        let q1 = OrderTableau {
+            nsymbols: 2,
+            summary: vec![0],
+            rows: vec![("R".into(), vec![1])],
+            constraints: vec![C::eq(0, 1), C::lt_const(1, 4)],
+        };
+        let q2 = OrderTableau {
+            nsymbols: 2,
+            summary: vec![0],
+            rows: vec![("R".into(), vec![1])],
+            constraints: vec![C::eq(0, 1), C::lt_const(1, 5)],
+        };
+        assert!(contained_order(&q1, &q2));
+        assert!(has_homomorphism(&q1, &q2));
+        assert!(!contained_order(&q2, &q1));
+        assert!(!has_homomorphism(&q2, &q1));
+    }
+
+    #[test]
+    fn unsatisfiable_order_constraints_contained() {
+        let q1 = OrderTableau {
+            nsymbols: 2,
+            summary: vec![0],
+            rows: vec![("R".into(), vec![1])],
+            constraints: vec![C::eq(0, 1), C::lt_const(1, 0), C::gt_const(1, 1)],
+        };
+        let q2 = OrderTableau {
+            nsymbols: 2,
+            summary: vec![0],
+            rows: vec![("S".into(), vec![1])],
+            constraints: vec![C::eq(0, 1)],
+        };
+        assert!(contained_order(&q1, &q2));
+    }
+}

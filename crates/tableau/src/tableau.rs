@@ -1,0 +1,370 @@
+//! Tagged untyped tableau query programs with constraints (§2.2).
+//!
+//! A tableau query is a nonrecursive Datalog rule presented as a table: a
+//! *summary row* (the rule head) and tagged rows (the body atoms), plus a
+//! conjunction of constraints. The *normal form* `(T, C)` gives every
+//! entry position a fresh symbol and pushes all equalities — repeated
+//! variables and constants — into `C` (the paper's convention before
+//! Lemma 2.5).
+
+use cql_arith::{LinearSystem, Rat};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An entry of a tableau row, before normalization.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Entry {
+    /// A named variable (repeats mean equality).
+    Var(&'static str),
+    /// A constant.
+    Const(Rat),
+    /// A "don't care" — a fresh variable (the paper's `—` padding).
+    Blank,
+}
+
+/// A tableau query in normal form `(T, C)` with linear equation
+/// constraints: symbols are `0..nsymbols`, each appearing in exactly one
+/// tableau position; `constraints` is a linear system over the symbols.
+#[derive(Clone, Debug)]
+pub struct Tableau {
+    /// Number of symbols.
+    pub nsymbols: usize,
+    /// Summary row: the symbols of the output columns.
+    pub summary: Vec<usize>,
+    /// Tagged body rows `(relation, symbols)`.
+    pub rows: Vec<(String, Vec<usize>)>,
+    /// The linear equation constraints `C`.
+    pub constraints: LinearSystem,
+}
+
+/// Builder for tableaux in the user-facing named syntax.
+pub struct TableauBuilder {
+    summary: Vec<Entry>,
+    rows: Vec<(String, Vec<Entry>)>,
+    extra: Vec<(Vec<(&'static str, Rat)>, Rat)>,
+}
+
+impl TableauBuilder {
+    /// Start a tableau with the given summary row.
+    #[must_use]
+    pub fn new(summary: Vec<Entry>) -> TableauBuilder {
+        TableauBuilder { summary, rows: Vec::new(), extra: Vec::new() }
+    }
+
+    /// Add a tagged row.
+    #[must_use]
+    pub fn row(mut self, relation: &str, entries: Vec<Entry>) -> TableauBuilder {
+        self.rows.push((relation.to_string(), entries));
+        self
+    }
+
+    /// Add a linear equation `Σ coeff·var = rhs` over named variables.
+    #[must_use]
+    pub fn equation(mut self, terms: Vec<(&'static str, Rat)>, rhs: Rat) -> TableauBuilder {
+        self.extra.push((terms, rhs));
+        self
+    }
+
+    /// Normalize into `(T, C)`.
+    ///
+    /// # Panics
+    /// Panics if an equation names a variable that appears nowhere in the
+    /// tableau.
+    #[must_use]
+    pub fn build(self) -> Tableau {
+        let mut nsymbols = 0usize;
+        let mut fresh = || {
+            nsymbols += 1;
+            nsymbols - 1
+        };
+        let mut first_occurrence: BTreeMap<&'static str, usize> = BTreeMap::new();
+        // Equations gathered as (coeff rows over symbols, rhs).
+        let mut eqs: Vec<(Vec<(usize, Rat)>, Rat)> = Vec::new();
+        let normalize_entry = |e: &Entry,
+                               fresh: &mut dyn FnMut() -> usize,
+                               eqs: &mut Vec<(Vec<(usize, Rat)>, Rat)>,
+                               first: &mut BTreeMap<&'static str, usize>|
+         -> usize {
+            let s = fresh();
+            match e {
+                Entry::Blank => {}
+                Entry::Const(c) => eqs.push((vec![(s, Rat::one())], c.clone())),
+                Entry::Var(name) => match first.get(name) {
+                    None => {
+                        first.insert(name, s);
+                    }
+                    Some(&other) => {
+                        // s − other = 0.
+                        eqs.push((vec![(s, Rat::one()), (other, -Rat::one())], Rat::zero()));
+                    }
+                },
+            }
+            s
+        };
+        let summary: Vec<usize> = self
+            .summary
+            .iter()
+            .map(|e| normalize_entry(e, &mut fresh, &mut eqs, &mut first_occurrence))
+            .collect();
+        let rows: Vec<(String, Vec<usize>)> = self
+            .rows
+            .iter()
+            .map(|(tag, entries)| {
+                (
+                    tag.clone(),
+                    entries
+                        .iter()
+                        .map(|e| normalize_entry(e, &mut fresh, &mut eqs, &mut first_occurrence))
+                        .collect(),
+                )
+            })
+            .collect();
+        for (terms, rhs) in &self.extra {
+            let row: Vec<(usize, Rat)> = terms
+                .iter()
+                .map(|(name, coeff)| {
+                    let s = *first_occurrence
+                        .get(name)
+                        .unwrap_or_else(|| panic!("equation names unknown variable `{name}`"));
+                    (s, coeff.clone())
+                })
+                .collect();
+            eqs.push((row, rhs.clone()));
+        }
+        let mut constraints = LinearSystem::new(nsymbols);
+        for (terms, rhs) in eqs {
+            let mut coeffs = vec![Rat::zero(); nsymbols];
+            for (s, c) in terms {
+                coeffs[s] = &coeffs[s] + &c;
+            }
+            constraints.push(coeffs, rhs);
+        }
+        Tableau { nsymbols, summary, rows, constraints }
+    }
+}
+
+impl Tableau {
+    /// Output arity.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.summary.len()
+    }
+
+    /// Evaluate over a finite relational database (each relation a list
+    /// of rational tuples): backtrack over body-row assignments, prune
+    /// early via the *equality classes* of `C` (rows of the shape
+    /// `x_i − x_j = 0`, which is how the normal form encodes repeated
+    /// variables), and check the remaining equations by direct evaluation
+    /// at the leaves. This is the classical conjunctive-query semantics
+    /// used to cross-check the containment decision procedures.
+    #[must_use]
+    pub fn evaluate(&self, db: &BTreeMap<String, Vec<Vec<Rat>>>) -> Vec<Vec<Rat>> {
+        // Union-find over symbols from C's pure-equality rows.
+        let mut parent: Vec<usize> = (0..self.nsymbols).collect();
+        fn find(parent: &mut [usize], mut i: usize) -> usize {
+            while parent[i] != i {
+                parent[i] = parent[parent[i]];
+                i = parent[i];
+            }
+            i
+        }
+        let mut residual: Vec<&Vec<Rat>> = Vec::new();
+        for row in self.constraints.rows() {
+            let nz: Vec<usize> = (0..self.nsymbols).filter(|&s| !row[s].is_zero()).collect();
+            let is_equality = nz.len() == 2
+                && row[self.nsymbols].is_zero()
+                && (&row[nz[0]] + &row[nz[1]]).is_zero();
+            if is_equality {
+                let (a, b) = (find(&mut parent, nz[0]), find(&mut parent, nz[1]));
+                parent[a] = b;
+            } else {
+                residual.push(row);
+            }
+        }
+        let class: Vec<usize> = (0..self.nsymbols).map(|s| find(&mut parent.clone(), s)).collect();
+
+        let mut out: Vec<Vec<Rat>> = Vec::new();
+        let mut assignment: Vec<Option<Rat>> = vec![None; self.nsymbols];
+        #[allow(clippy::too_many_arguments)]
+        fn go(
+            t: &Tableau,
+            db: &BTreeMap<String, Vec<Vec<Rat>>>,
+            class: &[usize],
+            residual: &[&Vec<Rat>],
+            row_idx: usize,
+            assignment: &mut Vec<Option<Rat>>,
+            out: &mut Vec<Vec<Rat>>,
+        ) {
+            if row_idx == t.rows.len() {
+                // All row symbols bound (per class). Symbols outside any
+                // row stay free: fall back to solving for them.
+                if assignment.iter().all(Option::is_some) {
+                    for row in residual {
+                        let mut lhs = Rat::zero();
+                        for (s, coeff) in row[..t.nsymbols].iter().enumerate() {
+                            if !coeff.is_zero() {
+                                lhs =
+                                    &lhs + &(coeff * assignment[class[s]].as_ref().expect("bound"));
+                            }
+                        }
+                        if lhs != row[t.nsymbols] {
+                            return;
+                        }
+                    }
+                    let tuple: Vec<Rat> = t
+                        .summary
+                        .iter()
+                        .map(|&s| assignment[class[s]].clone().expect("bound"))
+                        .collect();
+                    if !out.contains(&tuple) {
+                        out.push(tuple);
+                    }
+                    return;
+                }
+                // Unsafe query (free symbols): solve the pinned system.
+                let mut sys = t.constraints.clone();
+                for (s, v) in assignment.iter().enumerate() {
+                    if let Some(v) = v {
+                        let mut coeffs = vec![Rat::zero(); t.nsymbols];
+                        coeffs[s] = Rat::one();
+                        sys.push(coeffs, v.clone());
+                    }
+                }
+                // Re-add class links so pinned classes propagate.
+                for (s, &c) in class.iter().enumerate() {
+                    if s != c {
+                        let mut coeffs = vec![Rat::zero(); t.nsymbols];
+                        coeffs[s] = Rat::one();
+                        coeffs[c] = -Rat::one();
+                        sys.push(coeffs, Rat::zero());
+                    }
+                }
+                let Some(solution) = sys.solve() else { return };
+                if !sys.satisfied_by(&solution) {
+                    return;
+                }
+                let tuple: Vec<Rat> = t.summary.iter().map(|&s| solution[s].clone()).collect();
+                if !out.contains(&tuple) {
+                    out.push(tuple);
+                }
+                return;
+            }
+            let (tag, symbols) = &t.rows[row_idx];
+            let candidates: &[Vec<Rat>] = db.get(tag).map_or(&[], Vec::as_slice);
+            'rows: for dbrow in candidates {
+                if dbrow.len() != symbols.len() {
+                    continue;
+                }
+                let mut touched: Vec<usize> = Vec::with_capacity(symbols.len());
+                for (&s, v) in symbols.iter().zip(dbrow) {
+                    let c = class[s];
+                    match &assignment[c] {
+                        Some(existing) if existing != v => {
+                            for &u in &touched {
+                                assignment[u] = None;
+                            }
+                            continue 'rows;
+                        }
+                        Some(_) => {}
+                        None => {
+                            assignment[c] = Some(v.clone());
+                            touched.push(c);
+                        }
+                    }
+                }
+                go(t, db, class, residual, row_idx + 1, assignment, out);
+                for &u in &touched {
+                    assignment[u] = None;
+                }
+            }
+        }
+        go(self, db, &class, &residual, 0, &mut assignment, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for Tableau {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "summary(")?;
+        for (i, s) in self.summary.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "s{s}")?;
+        }
+        writeln!(f, ")")?;
+        for (tag, symbols) in &self.rows {
+            write!(f, "  {tag}(")?;
+            for (i, s) in symbols.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "s{s}")?;
+            }
+            writeln!(f, ")")?;
+        }
+        writeln!(f, "  with {} linear equation(s)", self.constraints.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(v: i64) -> Rat {
+        Rat::from(v)
+    }
+
+    #[test]
+    fn normal_form_gives_distinct_symbols() {
+        // Balanced(z) :- Expenses(z, f), Savings(z, s), f + s = 10.
+        let t = TableauBuilder::new(vec![Entry::Var("z")])
+            .row("Expenses", vec![Entry::Var("z"), Entry::Var("f")])
+            .row("Savings", vec![Entry::Var("z"), Entry::Var("s")])
+            .equation(vec![("f", r(1)), ("s", r(1))], r(10))
+            .build();
+        assert_eq!(t.nsymbols, 5);
+        // Repeated z forces two equalities; plus the explicit equation.
+        assert_eq!(t.constraints.len(), 3);
+        assert_eq!(t.arity(), 1);
+    }
+
+    #[test]
+    fn evaluation_over_finite_database() {
+        let t = TableauBuilder::new(vec![Entry::Var("z")])
+            .row("E", vec![Entry::Var("z"), Entry::Var("f")])
+            .row("S", vec![Entry::Var("z"), Entry::Var("s")])
+            .equation(vec![("f", r(1)), ("s", r(1))], r(10))
+            .build();
+        let mut db = BTreeMap::new();
+        db.insert("E".to_string(), vec![vec![r(1), r(4)], vec![r(2), r(7)], vec![r(3), r(5)]]);
+        db.insert("S".to_string(), vec![vec![r(1), r(6)], vec![r(2), r(2)], vec![r(3), r(5)]]);
+        let out = t.evaluate(&db);
+        // User 1: 4 + 6 = 10 ✓; user 2: 7 + 2 = 9 ✗; user 3: 5 + 5 = 10 ✓.
+        assert!(out.contains(&vec![r(1)]));
+        assert!(out.contains(&vec![r(3)]));
+        assert!(!out.contains(&vec![r(2)]));
+    }
+
+    #[test]
+    fn constants_pin_entries() {
+        let t = TableauBuilder::new(vec![Entry::Var("x")])
+            .row("R", vec![Entry::Var("x"), Entry::Const(r(7))])
+            .build();
+        let mut db = BTreeMap::new();
+        db.insert("R".to_string(), vec![vec![r(1), r(7)], vec![r(2), r(8)]]);
+        let out = t.evaluate(&db);
+        assert_eq!(out, vec![vec![r(1)]]);
+    }
+
+    #[test]
+    fn blank_is_dont_care() {
+        let t = TableauBuilder::new(vec![Entry::Var("x")])
+            .row("R", vec![Entry::Var("x"), Entry::Blank])
+            .build();
+        let mut db = BTreeMap::new();
+        db.insert("R".to_string(), vec![vec![r(1), r(7)], vec![r(1), r(8)], vec![r(2), r(0)]]);
+        let out = t.evaluate(&db);
+        assert_eq!(out.len(), 2);
+    }
+}

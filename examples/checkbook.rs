@@ -1,0 +1,35 @@
+//! Figure 3 / Example 2.4: the balanced checkbook tableau, plus a
+//! containment decision (Theorem 2.6).
+//!
+//! ```sh
+//! cargo run --example checkbook [n_users]
+//! ```
+
+use cql_tableau::checkbook::{balanced_checkbook, checkbook_database};
+use cql_tableau::containment::contained_linear;
+use cql_tableau::tableau::{Entry, TableauBuilder};
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(30);
+
+    let query = balanced_checkbook();
+    println!("the Figure 3 tableau:\n{query}");
+
+    let db = checkbook_database(n);
+    let balanced = query.evaluate(&db);
+    println!("balanced users out of {n}: {}", balanced.len());
+    let mut ids: Vec<String> = balanced.iter().map(|t| t[0].to_string()).collect();
+    ids.sort_by_key(|s| s.parse::<i64>().unwrap_or(0));
+    println!("  {}", ids.join(", "));
+
+    // Containment: the balanced query is contained in the "has accounts"
+    // query (drop the equation), never vice versa.
+    let loose = TableauBuilder::new(vec![Entry::Var("z")])
+        .row("Expenses", vec![Entry::Var("z"), Entry::Blank, Entry::Blank, Entry::Blank])
+        .row("Savings", vec![Entry::Var("z"), Entry::Blank])
+        .row("Income", vec![Entry::Var("z"), Entry::Blank, Entry::Blank])
+        .build();
+    println!("\nTheorem 2.6 homomorphism containment:");
+    println!("  balanced ⊆ has-accounts : {}", contained_linear(&query, &loose));
+    println!("  has-accounts ⊆ balanced : {}", contained_linear(&loose, &query));
+}

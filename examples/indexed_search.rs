@@ -1,0 +1,45 @@
+//! Generalized 1-dimensional indexing (§1.1(3)): project generalized
+//! tuples to interval keys and answer range searches with a priority
+//! search tree / interval tree instead of the naive scan, counting node
+//! accesses.
+//!
+//! ```sh
+//! cargo run --release --example indexed_search [n]
+//! ```
+
+use cql::prelude::*;
+use cql_index::{Backend, GeneralizedIndex};
+
+fn main() -> Result<(), CqlError> {
+    let n: i64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2000);
+
+    // A relation of n "segments": name pinned, x within an interval.
+    let rel: GenRelation<Dense> = GenRelation::from_conjunctions(
+        2,
+        (0..n).map(|i| {
+            vec![
+                DenseConstraint::eq_const(0, i),
+                DenseConstraint::ge_const(1, 3 * i),
+                DenseConstraint::le_const(1, 3 * i + 2),
+            ]
+        }),
+    );
+    let (qlo, qhi) = (Rat::from(3 * n / 2), Rat::from(3 * n / 2 + 30));
+
+    for backend in [Backend::NaiveScan, Backend::IntervalTree, Backend::PrioritySearchTree] {
+        let mut idx = GeneralizedIndex::build(&rel, 1, backend)?;
+        idx.reset_accesses();
+        let hits = idx.search(&qlo, &qhi);
+        println!(
+            "{backend:?}: {} refined tuples for x ∈ [{qlo}, {qhi}], {} node accesses",
+            hits.len(),
+            idx.accesses()
+        );
+    }
+    println!(
+        "\nThe paper's point: with interval generalized keys, \
+         1-d searching on a generalized attribute is 1.5-dimensional \
+         searching — O(log N + K), not O(N)."
+    );
+    Ok(())
+}

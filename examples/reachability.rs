@@ -1,0 +1,92 @@
+//! Datalog + dense order (§3): transitive closure over interval data,
+//! evaluated by all four engines — symbolic naive, semi-naive, the §3.2
+//! generalized-Herbrand (cell) evaluation, and the §3.3 parallel variant
+//! — with derivation-tree statistics.
+//!
+//! ```sh
+//! cargo run --release --example reachability [chain_length]
+//! ```
+
+use cql::prelude::*;
+use std::time::Instant;
+
+fn main() -> Result<(), CqlError> {
+    let n: i64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(12);
+
+    let program: Program<Dense> = Program::new(vec![
+        Rule::new(Atom::new("T", vec![0, 1]), vec![Literal::Pos(Atom::new("E", vec![0, 1]))]),
+        Rule::new(
+            Atom::new("T", vec![0, 1]),
+            vec![
+                Literal::Pos(Atom::new("T", vec![0, 2])),
+                Literal::Pos(Atom::new("E", vec![2, 1])),
+            ],
+        ),
+    ]);
+    let mut edb = Database::new();
+    edb.insert(
+        "E",
+        GenRelation::from_conjunctions(
+            2,
+            (0..n).map(|i| {
+                vec![DenseConstraint::eq_const(0, i), DenseConstraint::eq_const(1, i + 1)]
+            }),
+        ),
+    );
+    let opts = FixpointOptions::default();
+
+    let t0 = Instant::now();
+    let naive = datalog::naive(&program, &edb, &opts)?;
+    let t_naive = t0.elapsed();
+
+    let t0 = Instant::now();
+    let semi = datalog::seminaive(&program, &edb, &opts)?;
+    let t_semi = t0.elapsed();
+
+    let t0 = Instant::now();
+    let cell = datalog::cell_naive(&program, &edb, &opts)?;
+    let t_cell = t0.elapsed();
+
+    let t0 = Instant::now();
+    let par = datalog::cell_parallel(&program, &edb, &opts, 4)?;
+    let t_par = t0.elapsed();
+
+    println!("transitive closure of a {n}-edge chain:");
+    println!(
+        "  naive symbolic   : {:>5} tuples, {:>3} rounds, {t_naive:>10.3?}",
+        naive.idb.get("T").unwrap().len(),
+        naive.iterations
+    );
+    println!(
+        "  semi-naive       : {:>5} tuples, {:>3} rounds, {t_semi:>10.3?}",
+        semi.idb.get("T").unwrap().len(),
+        semi.iterations
+    );
+    println!(
+        "  cell (Herbrand)  : {:>5} tuples, {:>3} rounds, {t_cell:>10.3?}",
+        cell.idb.get("T").unwrap().len(),
+        cell.iterations
+    );
+    println!(
+        "  cell (4 threads) : {:>5} tuples, {:>3} rounds, {t_par:>10.3?}",
+        par.idb.get("T").unwrap().len(),
+        par.iterations
+    );
+    println!(
+        "\nderivation trees (§3.3): max depth {}, max fringe {}, {} atoms",
+        cell.stats.max_depth, cell.stats.max_fringe, cell.stats.atoms_derived
+    );
+
+    // All engines agree on sample points.
+    for a in 0..=n {
+        for b in 0..=n {
+            let p = [Rat::from(a), Rat::from(b)];
+            let expected = a < b;
+            for r in [&naive.idb, &semi.idb, &cell.idb, &par.idb] {
+                assert_eq!(r.get("T").unwrap().satisfied_by(&p), expected);
+            }
+        }
+    }
+    println!("all four engines agree ✓");
+    Ok(())
+}

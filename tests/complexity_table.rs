@@ -1,0 +1,223 @@
+//! The §1.3 data-complexity table as executable claims.
+//!
+//! | | Polynomial | Dense Order | Equality |
+//! |---|---|---|---|
+//! | Relational Calculus | NC | LOGSPACE | LOGSPACE |
+//! | Datalog¬ | **Not closed** | PTIME | PTIME |
+//!
+//! Wall-clock asymptotics belong to the bench harness; here we assert
+//! the *qualitative* content: every calculus cell is closed-form, the
+//! Datalog¬ cells converge in polynomially many rounds, and the
+//! polynomial Datalog cell diverges.
+
+use cql::prelude::*;
+
+fn r(v: i64) -> Rat {
+    Rat::from(v)
+}
+
+/// A fixed join-project query evaluated at growing database sizes; output
+/// must stay a generalized relation and rounds must not grow with N for
+/// the calculus (single pass).
+#[test]
+fn calculus_cells_are_closed_form() {
+    // Dense order.
+    for n in [4i64, 16, 64] {
+        let mut db: Database<Dense> = Database::new();
+        db.insert(
+            "E",
+            GenRelation::from_conjunctions(
+                2,
+                (0..n).map(|i| {
+                    vec![DenseConstraint::eq_const(0, i), DenseConstraint::eq_const(1, i + 1)]
+                }),
+            ),
+        );
+        let q = CalculusQuery::new(
+            Formula::atom("E", vec![0, 2]).and(Formula::atom("E", vec![2, 1])).exists(2),
+            vec![0, 1],
+        )
+        .unwrap();
+        let out = calculus::evaluate(&q, &db).unwrap();
+        assert_eq!(out.len() as i64, n - 1);
+        assert!(out.satisfied_by(&[r(0), r(2)]));
+        assert!(!out.satisfied_by(&[r(0), r(3)]));
+    }
+    // Equality.
+    for n in [4i64, 16, 64] {
+        let mut db: Database<Equality> = Database::new();
+        db.insert(
+            "E",
+            GenRelation::from_conjunctions(
+                2,
+                (0..n)
+                    .map(|i| vec![EqConstraint::eq_const(0, i), EqConstraint::eq_const(1, i + 1)]),
+            ),
+        );
+        let q = CalculusQuery::new(
+            Formula::atom("E", vec![0, 2]).and(Formula::atom("E", vec![2, 1])).exists(2),
+            vec![0, 1],
+        )
+        .unwrap();
+        let out = calculus::evaluate(&q, &db).unwrap();
+        assert!(out.satisfied_by(&[0, 2]));
+        assert!(!out.satisfied_by(&[0, 3]));
+    }
+    // Polynomial: rectangle join (the Example 1.1 shape).
+    let rects = cql_geo::workload::random_rects(12, 24, 8, 3);
+    let pairs = cql_geo::rectangles::cql_intersections(&rects);
+    assert_eq!(pairs, cql_geo::rectangles::naive_intersections(&rects));
+}
+
+/// Datalog¬ + dense order and + equality converge with rounds linear in
+/// the data diameter (PTIME); the cell engine's round count equals the
+/// minimum derivation depth.
+#[test]
+fn datalog_cells_converge_polynomially() {
+    let program: Program<Dense> = Program::new(vec![
+        Rule::new(Atom::new("T", vec![0, 1]), vec![Literal::Pos(Atom::new("E", vec![0, 1]))]),
+        Rule::new(
+            Atom::new("T", vec![0, 1]),
+            vec![
+                Literal::Pos(Atom::new("T", vec![0, 2])),
+                Literal::Pos(Atom::new("E", vec![2, 1])),
+            ],
+        ),
+    ]);
+    for n in [3i64, 6, 9] {
+        let mut edb: Database<Dense> = Database::new();
+        edb.insert(
+            "E",
+            GenRelation::from_conjunctions(
+                2,
+                (0..n).map(|i| {
+                    vec![DenseConstraint::eq_const(0, i), DenseConstraint::eq_const(1, i + 1)]
+                }),
+            ),
+        );
+        let result = datalog::cell_naive(&program, &edb, &FixpointOptions::default()).unwrap();
+        // Rounds track the chain length (+ the fixpoint-confirming round).
+        assert!(result.iterations as i64 <= n + 2, "n={n}: {}", result.iterations);
+        assert_eq!(result.stats.max_depth as i64, n);
+    }
+}
+
+/// Inflationary Datalog¬ terminates for both cell theories.
+#[test]
+fn inflationary_negation_terminates() {
+    let program: Program<Equality> = Program::new(vec![
+        Rule::new(Atom::new("T", vec![0, 1]), vec![Literal::Pos(Atom::new("E", vec![0, 1]))]),
+        Rule::new(
+            Atom::new("NT", vec![0, 1]),
+            vec![
+                Literal::Pos(Atom::new("E", vec![0, 2])),
+                Literal::Pos(Atom::new("E", vec![1, 3])),
+                Literal::Neg(Atom::new("T", vec![0, 1])),
+            ],
+        ),
+    ]);
+    let mut edb: Database<Equality> = Database::new();
+    edb.insert(
+        "E",
+        GenRelation::from_conjunctions(
+            2,
+            (0..5).map(|i| vec![EqConstraint::eq_const(0, i), EqConstraint::eq_const(1, i + 1)]),
+        ),
+    );
+    let a = datalog::inflationary(&program, &edb, &FixpointOptions::default()).unwrap();
+    let b = datalog::cell_inflationary(&program, &edb, &FixpointOptions::default()).unwrap();
+    for x in 0..6i64 {
+        for y in 0..6i64 {
+            for rel in ["T", "NT"] {
+                assert_eq!(
+                    a.idb.get(rel).unwrap().satisfied_by(&[x, y]),
+                    b.idb.get(rel).unwrap().satisfied_by(&[x, y]),
+                    "{rel}({x},{y})"
+                );
+            }
+        }
+    }
+}
+
+/// The polynomial Datalog cell of the table: *not closed* (Example 1.12),
+/// detected and reported as a typed error.
+#[test]
+fn polynomial_datalog_is_not_closed() {
+    let err = datalog::naive(
+        &cql_poly::nonclosure::transitive_closure_program(),
+        &cql_poly::nonclosure::doubling_edb(),
+        &FixpointOptions { max_iterations: 6, max_tuples: 10_000 },
+    )
+    .unwrap_err();
+    match err {
+        CqlError::NotClosed { iterations, .. } => assert_eq!(iterations, 6),
+        other => panic!("expected NotClosed, got {other}"),
+    }
+}
+
+/// Theorem 3.15 flavour: dense-order Datalog¬ expresses PTIME-complete
+/// queries — run monotone circuit value, a canonical PTIME problem, as a
+/// Datalog program over an order-encoded circuit.
+#[test]
+fn dense_datalog_expresses_circuit_value() {
+    // Gates named 0..n; EDB: AndG(g, a, b), OrG(g, a, b), True(g).
+    // Value(g) :- True(g)
+    // Value(g) :- OrG(g, a, b), Value(a)
+    // Value(g) :- OrG(g, a, b), Value(b)
+    // Value(g) :- AndG(g, a, b), Value(a), Value(b)
+    let program: Program<Dense> = Program::new(vec![
+        Rule::new(Atom::new("Value", vec![0]), vec![Literal::Pos(Atom::new("True", vec![0]))]),
+        Rule::new(
+            Atom::new("Value", vec![0]),
+            vec![
+                Literal::Pos(Atom::new("OrG", vec![0, 1, 2])),
+                Literal::Pos(Atom::new("Value", vec![1])),
+            ],
+        ),
+        Rule::new(
+            Atom::new("Value", vec![0]),
+            vec![
+                Literal::Pos(Atom::new("OrG", vec![0, 1, 2])),
+                Literal::Pos(Atom::new("Value", vec![2])),
+            ],
+        ),
+        Rule::new(
+            Atom::new("Value", vec![0]),
+            vec![
+                Literal::Pos(Atom::new("AndG", vec![0, 1, 2])),
+                Literal::Pos(Atom::new("Value", vec![1])),
+                Literal::Pos(Atom::new("Value", vec![2])),
+            ],
+        ),
+    ]);
+    // Circuit: g0=1, g1=0, g2 = g0 ∨ g1, g3 = g0 ∧ g1, g4 = g2 ∧ g0.
+    let unary = |vals: &[i64]| {
+        GenRelation::from_conjunctions(
+            1,
+            vals.iter().map(|&v| vec![DenseConstraint::eq_const(0, v)]),
+        )
+    };
+    let ternary = |rows: &[(i64, i64, i64)]| {
+        GenRelation::from_conjunctions(
+            3,
+            rows.iter().map(|&(g, a, b)| {
+                vec![
+                    DenseConstraint::eq_const(0, g),
+                    DenseConstraint::eq_const(1, a),
+                    DenseConstraint::eq_const(2, b),
+                ]
+            }),
+        )
+    };
+    let mut edb: Database<Dense> = Database::new();
+    edb.insert("True", unary(&[0]));
+    edb.insert("OrG", ternary(&[(2, 0, 1)]));
+    edb.insert("AndG", ternary(&[(3, 0, 1), (4, 2, 0)]));
+    let result = datalog::seminaive(&program, &edb, &FixpointOptions::default()).unwrap();
+    let value = result.idb.get("Value").unwrap();
+    assert!(value.satisfied_by(&[r(0)]));
+    assert!(!value.satisfied_by(&[r(1)]));
+    assert!(value.satisfied_by(&[r(2)]));
+    assert!(!value.satisfied_by(&[r(3)]));
+    assert!(value.satisfied_by(&[r(4)]));
+}

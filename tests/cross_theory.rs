@@ -1,0 +1,162 @@
+//! Cross-theory consistency: the same conceptual query answered in
+//! different constraint theories must agree wherever both apply.
+
+use cql::prelude::*;
+use cql_arith::Poly;
+use proptest::prelude::*;
+
+fn r(v: i64) -> Rat {
+    Rat::from(v)
+}
+
+/// Finite relations behave identically under the equality theory and the
+/// dense-order theory (order unused).
+#[test]
+fn finite_joins_agree_between_equality_and_dense() {
+    let rows: Vec<(i64, i64)> = vec![(1, 2), (2, 3), (3, 1), (4, 4)];
+    let mut dense_db: Database<Dense> = Database::new();
+    dense_db.insert(
+        "E",
+        GenRelation::from_conjunctions(
+            2,
+            rows.iter().map(|&(a, b)| {
+                vec![DenseConstraint::eq_const(0, a), DenseConstraint::eq_const(1, b)]
+            }),
+        ),
+    );
+    let mut eq_db: Database<Equality> = Database::new();
+    eq_db.insert(
+        "E",
+        GenRelation::from_conjunctions(
+            2,
+            rows.iter()
+                .map(|&(a, b)| vec![EqConstraint::eq_const(0, a), EqConstraint::eq_const(1, b)]),
+        ),
+    );
+    let dense_q = CalculusQuery::new(
+        Formula::<Dense>::atom("E", vec![0, 2]).and(Formula::atom("E", vec![2, 1])).exists(2),
+        vec![0, 1],
+    )
+    .unwrap();
+    let eq_q = CalculusQuery::new(
+        Formula::<Equality>::atom("E", vec![0, 2]).and(Formula::atom("E", vec![2, 1])).exists(2),
+        vec![0, 1],
+    )
+    .unwrap();
+    let dense_out = calculus::evaluate(&dense_q, &dense_db).unwrap();
+    let eq_out = calculus::evaluate(&eq_q, &eq_db).unwrap();
+    for a in 0..6i64 {
+        for b in 0..6i64 {
+            assert_eq!(
+                dense_out.satisfied_by(&[r(a), r(b)]),
+                eq_out.satisfied_by(&[a, b]),
+                "({a},{b})"
+            );
+        }
+    }
+}
+
+/// Dense-order constraints are a sublanguage of polynomial constraints:
+/// interval queries agree.
+#[test]
+fn interval_queries_agree_between_dense_and_poly() {
+    let intervals: Vec<(i64, i64)> = vec![(0, 4), (2, 6), (10, 12)];
+    let mut dense_db: Database<Dense> = Database::new();
+    dense_db.insert(
+        "S",
+        GenRelation::from_conjunctions(
+            1,
+            intervals.iter().map(|&(lo, hi)| {
+                vec![DenseConstraint::ge_const(0, lo), DenseConstraint::le_const(0, hi)]
+            }),
+        ),
+    );
+    let mut poly_db: Database<RealPoly> = Database::new();
+    poly_db.insert(
+        "S",
+        GenRelation::from_conjunctions(
+            1,
+            intervals.iter().map(|&(lo, hi)| {
+                vec![
+                    PolyConstraint::le(&Poly::constant(r(lo)), &Poly::var(0)),
+                    PolyConstraint::le(&Poly::var(0), &Poly::constant(r(hi))),
+                ]
+            }),
+        ),
+    );
+    // φ(x) = S(x) ∧ ¬(x ≤ 3)
+    let dq = CalculusQuery::new(
+        Formula::<Dense>::atom("S", vec![0])
+            .and(Formula::constraint(DenseConstraint::le_const(0, 3)).not()),
+        vec![0],
+    )
+    .unwrap();
+    let pq = CalculusQuery::new(
+        Formula::<RealPoly>::atom("S", vec![0]).and(
+            Formula::constraint(PolyConstraint::le(&Poly::var(0), &Poly::constant(r(3)))).not(),
+        ),
+        vec![0],
+    )
+    .unwrap();
+    let d = calculus::evaluate(&dq, &dense_db).unwrap();
+    let p = calculus::evaluate(&pq, &poly_db).unwrap();
+    for x in ["-1", "0", "3", "7/2", "4", "5", "11", "13"] {
+        let v: Rat = x.parse().unwrap();
+        let point = std::slice::from_ref(&v);
+        assert_eq!(d.satisfied_by(point), p.satisfied_by(point), "x={x}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random conjunctive order queries: symbolic vs cell evaluation on
+    /// random interval databases (the workhorse agreement property).
+    #[test]
+    fn random_order_queries_agree(
+        tuples in prop::collection::vec((0i64..6, 0i64..6), 1..5),
+        bound in 0i64..6,
+    ) {
+        let mut db: Database<Dense> = Database::new();
+        db.insert(
+            "R",
+            GenRelation::from_conjunctions(
+                2,
+                tuples.iter().map(|&(a, b)| {
+                    let (lo, hi) = (a.min(b), a.max(b) + 1);
+                    vec![
+                        DenseConstraint::ge_const(0, lo),
+                        DenseConstraint::le_const(0, hi),
+                        DenseConstraint::lt(0, 1),
+                    ]
+                }),
+            ),
+        );
+        let f = Formula::atom("R", vec![0, 1])
+            .and(Formula::constraint(DenseConstraint::lt_const(1, bound)).not());
+        let q = CalculusQuery::new(f, vec![0, 1]).unwrap();
+        let a = calculus::evaluate(&q, &db).unwrap();
+        let b = cells::evaluate(&q, &db).unwrap();
+        for x in 0..7i64 {
+            for y in 0..7i64 {
+                prop_assert_eq!(
+                    a.satisfied_by(&[r(x), r(y)]),
+                    b.satisfied_by(&[r(x), r(y)])
+                );
+            }
+        }
+    }
+
+    /// Equality-theory complements round-trip: ¬¬R ≡ R on sample points.
+    #[test]
+    fn double_complement_roundtrip(vals in prop::collection::btree_set(0i64..8, 1..5)) {
+        let rel: GenRelation<Equality> = GenRelation::from_conjunctions(
+            1,
+            vals.iter().map(|&v| vec![EqConstraint::eq_const(0, v)]),
+        );
+        let back = rel.complement().complement();
+        for x in 0..10i64 {
+            prop_assert_eq!(rel.satisfied_by(&[x]), back.satisfied_by(&[x]));
+        }
+    }
+}

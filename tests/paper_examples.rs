@@ -1,0 +1,236 @@
+//! Every worked example in the paper, end to end, across crates.
+
+use cql::prelude::*;
+use cql_arith::Poly;
+
+fn r(v: i64) -> Rat {
+    Rat::from(v)
+}
+
+/// Example 1.5: classical tuples are the degenerate generalized tuples.
+#[test]
+fn example_1_5_relational_model_embeds() {
+    let rel: GenRelation<Equality> = GenRelation::from_conjunctions(
+        2,
+        vec![
+            vec![EqConstraint::eq_const(0, 1), EqConstraint::eq_const(1, 2)],
+            vec![EqConstraint::eq_const(0, 3), EqConstraint::eq_const(1, 4)],
+        ],
+    );
+    assert!(rel.satisfied_by(&[1, 2]));
+    assert!(rel.satisfied_by(&[3, 4]));
+    assert!(!rel.satisfied_by(&[1, 4]));
+}
+
+/// Example 1.1 / Figure 2 with both the dense-order and polynomial
+/// theories, against the classical baselines.
+#[test]
+fn example_1_1_figure_2_rectangles() {
+    let rects = cql_geo::workload::random_rects(16, 32, 10, 99);
+    let cql = cql_geo::rectangles::cql_intersections(&rects);
+    let naive = cql_geo::rectangles::naive_intersections(&rects);
+    let sweep = cql_geo::rectangles::sweep_intersections(&rects);
+    assert_eq!(cql, naive);
+    assert_eq!(naive, sweep);
+}
+
+/// Example 1.7: the dense-order query, against cell-based EVAL_φ.
+#[test]
+fn example_1_7_two_evaluators_agree() {
+    let mut db: Database<Dense> = Database::new();
+    db.insert(
+        "R1",
+        GenRelation::from_conjunctions(
+            2,
+            vec![vec![DenseConstraint::lt(0, 1)], vec![DenseConstraint::eq_const(0, 4)]],
+        ),
+    );
+    let f = Formula::atom("R1", vec![0, 1]).or(Formula::conj(vec![
+        Formula::atom("R1", vec![0, 2]),
+        Formula::atom("R1", vec![2, 1]),
+        Formula::constraint(DenseConstraint::lt(0, 1)),
+        Formula::constraint(DenseConstraint::lt(1, 2)),
+    ])
+    .exists(2));
+    let q = CalculusQuery::new(f, vec![0, 1]).unwrap();
+    let a = calculus::evaluate(&q, &db).unwrap();
+    let b = cells::evaluate(&q, &db).unwrap();
+    for x in -1..6 {
+        for y in -1..6 {
+            let p = [r(x), r(y)];
+            assert_eq!(a.satisfied_by(&p), b.satisfied_by(&p), "at ({x},{y})");
+        }
+    }
+}
+
+/// Example 1.9: ∃x (y = x²) is not representable with equality
+/// constraints only — but with inequalities the answer is y ≥ 0.
+#[test]
+fn example_1_9_closure_needs_inequalities() {
+    let mut db: Database<RealPoly> = Database::new();
+    db.insert(
+        "R",
+        GenRelation::from_conjunctions(
+            2,
+            vec![vec![PolyConstraint::eq(&Poly::var(1), &(&Poly::var(0) * &Poly::var(0)))]],
+        ),
+    );
+    let q = CalculusQuery::new(Formula::atom("R", vec![0, 1]).exists(0), vec![1]).unwrap();
+    let out = calculus::evaluate(&q, &db).unwrap();
+    // The output must be exactly {y | y ≥ 0} — and representing it takes
+    // an inequality (every output constraint set uses ≤ or <).
+    assert!(out.satisfied_by(&[Rat::zero()]));
+    assert!(out.satisfied_by(&[Rat::frac(9, 2)]));
+    assert!(!out.satisfied_by(&[Rat::from(-3)]));
+    let uses_inequality = out.tuples().iter().any(|t| {
+        t.constraints().iter().any(|c| matches!(c.op, cql_poly::PolyOp::Lt | cql_poly::PolyOp::Le))
+    });
+    assert!(uses_inequality, "{out:?}");
+}
+
+/// Example 1.11 / 1.12: Datalog closes over dense order, diverges over
+/// polynomials.
+#[test]
+fn examples_1_11_and_1_12_datalog_closure() {
+    // Dense order: terminates.
+    let program: Program<Dense> = Program::new(vec![
+        Rule::new(Atom::new("T", vec![0, 1]), vec![Literal::Pos(Atom::new("E", vec![0, 1]))]),
+        Rule::new(
+            Atom::new("T", vec![0, 1]),
+            vec![
+                Literal::Pos(Atom::new("T", vec![0, 2])),
+                Literal::Pos(Atom::new("E", vec![2, 1])),
+            ],
+        ),
+    ]);
+    let mut edb: Database<Dense> = Database::new();
+    edb.insert(
+        "E",
+        GenRelation::from_conjunctions(
+            2,
+            (0..4).map(|i| {
+                vec![DenseConstraint::eq_const(0, i), DenseConstraint::eq_const(1, i + 1)]
+            }),
+        ),
+    );
+    let result = datalog::naive(&program, &edb, &FixpointOptions::default()).unwrap();
+    assert!(result.idb.get("T").unwrap().satisfied_by(&[r(0), r(4)]));
+
+    // Polynomials: the same program over y = 2x diverges (Example 1.12).
+    let report = cql_poly::nonclosure::demonstrate(8);
+    assert_eq!(report.iterations, 8);
+}
+
+/// Example 2.1: Floyd's convex hull method agrees with monotone chain.
+#[test]
+fn example_2_1_convex_hull() {
+    let points = cql_geo::workload::random_points(7, 10, 5);
+    let a: std::collections::BTreeSet<_> = cql_geo::hull::cql_hull(&points).into_iter().collect();
+    let b: std::collections::BTreeSet<_> =
+        cql_geo::hull::monotone_chain_hull(&points).into_iter().collect();
+    assert_eq!(a, b);
+}
+
+/// Example 2.2: the Voronoi dual sentences agree with the exact baseline.
+#[test]
+fn example_2_2_voronoi_dual() {
+    let points = cql_geo::workload::random_points(6, 12, 8);
+    assert_eq!(
+        cql_geo::voronoi::cql_voronoi_dual(&points),
+        cql_geo::voronoi::baseline_voronoi_dual(&points)
+    );
+}
+
+/// Example 2.4 / Figure 3: the checkbook tableau.
+#[test]
+fn example_2_4_checkbook() {
+    let q = cql_tableau::checkbook::balanced_checkbook();
+    let db = cql_tableau::checkbook::checkbook_database(9);
+    let out = q.evaluate(&db);
+    assert_eq!(out.len(), 3); // users 3, 6, 9
+}
+
+/// Theorem 2.8: semiinterval homomorphism-property failure.
+#[test]
+fn theorem_2_8_semiinterval() {
+    let (q1, q2) = cql_tableau::order_tableau::theorem_2_8_queries();
+    assert!(cql_tableau::order_tableau::contained_order(&q1, &q2));
+    assert!(!cql_tableau::order_tableau::has_homomorphism(&q1, &q2));
+}
+
+/// Example 3.2: the r-configuration of the paper's sample sequence.
+#[test]
+fn example_3_2_rconfiguration() {
+    let consts: Vec<Rat> = (0..4).map(Rat::from).collect();
+    let p: Vec<Rat> =
+        ["1/2", "7/2", "3/2", "3/2", "2"].iter().map(|s| s.parse().unwrap()).collect();
+    let cfg = <Dense as CellTheory>::cell_of(&p, &consts);
+    assert_eq!(cfg.rank, vec![1, 4, 2, 2, 3]);
+}
+
+/// Example 3.17: an r-configuration as a generalized Herbrand atom.
+#[test]
+fn example_3_17_herbrand_atom() {
+    let consts: Vec<Rat> = (0..4).map(Rat::from).collect();
+    let p: Vec<Rat> =
+        ["1/2", "7/2", "3/2", "3/2", "2"].iter().map(|s| s.parse().unwrap()).collect();
+    let cfg = <Dense as CellTheory>::cell_of(&p, &consts);
+    // F(ξ) holds at the defining point and at the cell's sample.
+    for atom in <Dense as CellTheory>::cell_formula(&cfg) {
+        assert!(atom.eval(&p), "{atom}");
+    }
+    let s = <Dense as CellTheory>::cell_sample(&cfg, &consts);
+    assert_eq!(<Dense as CellTheory>::cell_of(&s, &consts), cfg);
+}
+
+/// Example 4.2: the e-configuration of the paper's sample sequence.
+#[test]
+fn example_4_2_econfiguration() {
+    let cfg = cql_equality::EConfig::of_point(&[1, 1, 2, 4, 2, 4, 3], &[1, 2]);
+    assert_eq!(cfg.class, vec![0, 0, 1, 2, 1, 2, 3]);
+    assert_eq!(cfg.val, vec![Some(1), Some(2), None, None]);
+}
+
+/// Examples 5.4 / 5.5: the adder circuit.
+#[test]
+fn examples_5_4_5_5_adder() {
+    let adder = cql_bool::programs::derive_adder().unwrap();
+    assert_eq!(adder.tuples()[0].constraints(), &[cql_bool::programs::adder_paper_form()]);
+}
+
+/// Examples 5.7 / 5.8: parity, parametric and recursive.
+#[test]
+fn examples_5_7_5_8_parity() {
+    use cql_bool::programs::{accepts, parity_fact, parity_func, parity_program};
+    assert!(accepts(&parity_fact(4), &parity_func(4)));
+    let derived = parity_program(3).unwrap();
+    assert!(accepts(&derived, &parity_func(3)));
+}
+
+/// Lemma 5.9: the AE-QBF ↔ free-algebra-solvability equivalence.
+#[test]
+fn lemma_5_9_qbf() {
+    for seed in 0..25 {
+        let q = cql_bool::qbf::random_instance(2, 2, 3, seed);
+        assert_eq!(q.brute_force(), q.via_free_algebra(), "seed {seed}");
+    }
+}
+
+/// Theorem 2.7: the quadratic containment reduction tracks QBF truth.
+#[test]
+fn theorem_2_7_quadratic_reduction() {
+    use cql_tableau::quadratic::{reduce, ForallExists, Prop};
+    let inst = ForallExists {
+        xs: 1,
+        ys: 1,
+        psi: Prop::Or(
+            Box::new(Prop::And(Box::new(Prop::X(0)), Box::new(Prop::Y(0)))),
+            Box::new(Prop::And(
+                Box::new(Prop::Not(Box::new(Prop::X(0)))),
+                Box::new(Prop::Not(Box::new(Prop::Y(0)))),
+            )),
+        ),
+    };
+    let red = reduce(&inst);
+    assert_eq!(red.contained_via_solver(), Some(inst.brute_force()));
+}
