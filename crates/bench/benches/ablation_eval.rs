@@ -2,7 +2,7 @@
 //! same relational calculus query over dense order.
 
 use cql_bench::*;
-use cql_core::{calculus, cells};
+use cql_engine::{calculus, cells};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn ablation(c: &mut Criterion) {

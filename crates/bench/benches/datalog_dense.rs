@@ -2,7 +2,7 @@
 //! cell-based / parallel.
 
 use cql_bench::*;
-use cql_core::datalog::{self, FixpointOptions};
+use cql_engine::datalog::{self, FixpointOptions};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn engines(c: &mut Criterion) {

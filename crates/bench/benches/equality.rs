@@ -1,8 +1,8 @@
 //! E9 — §4 equality constraints: calculus and Datalog scaling.
 
 use cql_bench::*;
-use cql_core::calculus;
-use cql_core::datalog::{self, FixpointOptions};
+use cql_engine::calculus;
+use cql_engine::datalog::{self, FixpointOptions};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn equality(c: &mut Criterion) {

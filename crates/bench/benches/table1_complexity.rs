@@ -2,8 +2,8 @@
 //! databases, one Criterion group per (language, theory) cell.
 
 use cql_bench::*;
-use cql_core::calculus;
-use cql_core::datalog::{self, FixpointOptions};
+use cql_engine::calculus;
+use cql_engine::datalog::{self, FixpointOptions};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn rc_dense(c: &mut Criterion) {

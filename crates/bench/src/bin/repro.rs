@@ -14,9 +14,10 @@ use cql_bench::{
     chain_edb_dense, chain_edb_equality, compose_query_dense, compose_query_equality,
     interval_relation, loglog_slope, rat, tc_program_dense, tc_program_equality, timed,
 };
-use cql_core::datalog::{self, FixpointOptions};
-use cql_core::{calculus, cells, CalculusQuery, Formula};
+use cql_core::{CalculusQuery, Formula};
 use cql_dense::Dense;
+use cql_engine::datalog::{self, FixpointOptions};
+use cql_engine::{calculus, cells};
 use cql_index::{Backend, GeneralizedIndex};
 use std::collections::BTreeSet;
 use std::time::Duration;
@@ -385,6 +386,97 @@ fn representation() {
     println!(" separation; both are canonical, cf. DESIGN.md on the choice)");
 }
 
+/// E13 — the shared evaluation engine: indexed subsumption store and the
+/// unified parallel executor.
+fn engine() {
+    use cql_core::relation::{GenRelation, GenTuple};
+    use cql_core::{metrics, EnginePolicy, SubsumptionMode};
+    use cql_dense::DenseConstraint as C;
+
+    header("E13  engine: indexed subsumption store vs quadratic baseline");
+    // The E8 workload's insert stream at N = 2^10: transitive-closure
+    // tuples of a 64-node chain, emitted in ascending path length (the
+    // order semi-naive derivation produces them), truncated to 2^10.
+    let n_tuples = 1usize << 10;
+    let nodes = 64i64;
+    let mut stream: Vec<Vec<C>> = Vec::with_capacity(n_tuples);
+    'fill: for dist in 1..nodes {
+        for i in 0..nodes - dist {
+            stream.push(vec![C::eq_const(0, i), C::eq_const(1, i + dist)]);
+            if stream.len() == n_tuples {
+                break 'fill;
+            }
+        }
+    }
+    let run = |mode: SubsumptionMode| {
+        metrics::reset();
+        let (len, d) = timed(|| {
+            let mut rel =
+                GenRelation::<Dense>::with_policy(2, EnginePolicy::with_subsumption(mode));
+            for conj in &stream {
+                if let Some(t) = GenTuple::new(conj.clone()) {
+                    rel.insert(t);
+                }
+            }
+            rel.len()
+        });
+        (len, metrics::snapshot(), d)
+    };
+    let (len_q, m_q, d_q) = run(SubsumptionMode::Quadratic);
+    let (len_i, m_i, d_i) = run(SubsumptionMode::Indexed);
+    println!("insert stream: {} TC tuples over a {nodes}-node chain\n", stream.len());
+    println!(
+        "{:>12} {:>8} {:>16} {:>14} {:>12} {:>10}",
+        "mode", "tuples", "entails calls", "sample skips", "sig skips", "time"
+    );
+    println!(
+        "{:>12} {:>8} {:>16} {:>14} {:>12} {:>10}",
+        "quadratic",
+        len_q,
+        m_q.entailment_checks,
+        m_q.sample_skips,
+        m_q.signature_skips,
+        ms(d_q)
+    );
+    println!(
+        "{:>12} {:>8} {:>16} {:>14} {:>12} {:>10}",
+        "indexed",
+        len_i,
+        m_i.entailment_checks,
+        m_i.sample_skips,
+        m_i.signature_skips,
+        ms(d_i)
+    );
+    println!(
+        "\nsame relation: {} | strict entailment-check reduction: {} ({}x fewer)",
+        len_q == len_i,
+        m_i.entailment_checks < m_q.entailment_checks,
+        m_q.entailment_checks.checked_div(m_i.entailment_checks).unwrap_or(m_q.entailment_checks)
+    );
+
+    header("E14  engine: unified executor — parallel symbolic semi-naive");
+    let n = 64i64;
+    let db = chain_edb_dense(n);
+    let program = tc_program_dense();
+    println!("transitive closure, {n}-node dense chain, semi-naive rounds:\n");
+    println!("{:>8} {:>12} {:>8}", "threads", "time", "tuples");
+    let mut times = Vec::new();
+    for &threads in &[1usize, 2, 4] {
+        let opts = FixpointOptions { threads, ..Default::default() };
+        let (out, d) = timed(|| datalog::seminaive(&program, &db, &opts).unwrap());
+        println!("{threads:>8} {:>12} {:>8}", ms(d), out.idb.get("T").map_or(0, |r| r.len()));
+        times.push((threads, d));
+    }
+    let t1 = times[0].1.as_secs_f64();
+    let t4 = times[2].1.as_secs_f64();
+    println!(
+        "\n4-thread speedup over 1 thread: {:.2}x (host has {} core(s) — \
+         speedup > 1 requires a multi-core host)",
+        t1 / t4.max(1e-9),
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    );
+}
+
 fn fig1() {
     header("F1  Figure 1: the CQL pipeline (closed form, bottom-up)");
     let db = chain_edb_dense(4);
@@ -439,6 +531,9 @@ fn main() {
     }
     if want("index") {
         index();
+    }
+    if want("engine") {
+        engine();
     }
     if want("ablation") {
         ablation();

@@ -6,9 +6,9 @@
 #![forbid(unsafe_code)]
 
 use cql_arith::Rat;
-use cql_core::datalog::{Atom, Literal, Program, Rule};
 use cql_core::{CalculusQuery, Database, Formula, GenRelation};
 use cql_dense::{Dense, DenseConstraint};
+use cql_engine::datalog::{Atom, Literal, Program, Rule};
 use cql_equality::{EqConstraint, Equality};
 use std::time::{Duration, Instant};
 

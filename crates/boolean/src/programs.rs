@@ -5,9 +5,9 @@
 use crate::func::BoolFunc;
 use crate::term::BoolTerm;
 use crate::theory_impl::{BoolAlg, BoolAlgFree, BoolConstraint};
-use cql_core::datalog::{Atom, FixpointOptions, Literal, Program, Rule};
 use cql_core::error::Result;
 use cql_core::relation::{Database, GenRelation};
+use cql_engine::datalog::{Atom, FixpointOptions, Literal, Program, Rule};
 
 /// The half-adder fact of Example 5.4:
 /// `Halfadder(x, y, z, w) :- x ⊕ y = z, x ∧ y = w`
@@ -55,7 +55,7 @@ pub fn adder_program() -> Program<BoolAlg> {
 pub fn derive_adder() -> Result<GenRelation<BoolAlg>> {
     let mut edb: Database<BoolAlg> = Database::new();
     edb.insert("Halfadder", halfadder_relation());
-    let result = cql_core::datalog::naive(&adder_program(), &edb, &FixpointOptions::default())?;
+    let result = cql_engine::datalog::naive(&adder_program(), &edb, &FixpointOptions::default())?;
     Ok(result.idb.get("Adder").expect("Adder derived").clone())
 }
 
@@ -213,7 +213,7 @@ pub fn parity_program(n: usize) -> Result<GenRelation<BoolAlgFree>> {
         ),
     ]);
     let opts = FixpointOptions { max_iterations: n + 4, ..FixpointOptions::default() };
-    let result = cql_core::datalog::naive(&program, &edb, &opts)?;
+    let result = cql_engine::datalog::naive(&program, &edb, &opts)?;
     Ok(result.idb.get("Paritybit").expect("derived").clone())
 }
 

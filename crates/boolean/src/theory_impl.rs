@@ -205,6 +205,16 @@ impl Theory for BoolAlg {
         }
         Some(point)
     }
+
+    fn signature(conj: &[BoolConstraint]) -> u64 {
+        // Single bucket. A variable-support mask would be UNSOUND here:
+        // `x₁ = 0` entails `x₁ ∧ x₂ = 0`, so an entailed constraint may
+        // mention variables the entailing one never does. Every tuple
+        // shares signature 0 and subsumption falls back to the sample
+        // filter plus [`BoolAlg::entails`].
+        let _ = conj;
+        0
+    }
 }
 
 /// The same boolean theory under the **free interpretation**: a

@@ -12,8 +12,15 @@
 //! [`Theory`] trait; the paper's four theories live in sibling crates
 //! (`cql-dense`, `cql-equality`, `cql-poly`, `cql-bool`). Theories with a
 //! finite cell decomposition additionally implement [`CellTheory`], which
-//! unlocks the paper's `EVAL_φ` algorithm ([`cells`]) and the generalized
-//! Herbrand machinery of §3.2 ([`datalog::herbrand`]).
+//! unlocks the paper's `EVAL_φ` algorithm and the generalized Herbrand
+//! machinery of §3.2.
+//!
+//! This crate holds the *data model*: tuples, relations, databases,
+//! formulas, the theory seam, and the subsumption/compression policy
+//! ([`EnginePolicy`]). The evaluators — relational algebra and calculus,
+//! cell-based `EVAL_φ`, and the Datalog fixpoint engines — live in the
+//! sibling `cql-engine` crate, which layers interning and parallel
+//! execution on top of this data model.
 //!
 //! ```text
 //! database input     query program        database output
@@ -26,16 +33,15 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-pub mod algebra;
-pub mod calculus;
-pub mod cells;
-pub mod datalog;
 pub mod error;
 pub mod formula;
+pub mod metrics;
+pub mod policy;
 pub mod relation;
 pub mod theory;
 
 pub use error::{CqlError, Result};
 pub use formula::{CalculusQuery, Formula};
+pub use policy::{EnginePolicy, SubsumptionMode};
 pub use relation::{Database, GenRelation, GenTuple};
 pub use theory::{CellTheory, Theory, Var};

@@ -1,0 +1,76 @@
+//! Global evaluation counters.
+//!
+//! Cheap process-wide atomics incremented by the data model
+//! ([`crate::GenRelation::insert`]) and by the engine crate's interner.
+//! They exist so benchmarks and the `repro engine` acceptance check can
+//! compare work done under different [`crate::EnginePolicy`] settings —
+//! e.g. "how many [`crate::Theory::entails`] calls did the indexed store
+//! make versus the quadratic baseline on the same insert stream?".
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ENTAILMENT_CHECKS: AtomicU64 = AtomicU64::new(0);
+static SIGNATURE_SKIPS: AtomicU64 = AtomicU64::new(0);
+static SAMPLE_SKIPS: AtomicU64 = AtomicU64::new(0);
+static INTERN_HITS: AtomicU64 = AtomicU64::new(0);
+static INTERN_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the global counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Number of [`crate::Theory::entails`] calls made by relation inserts.
+    pub entailment_checks: u64,
+    /// Candidate tuples skipped by the signature bucket-subset test.
+    pub signature_skips: u64,
+    /// Candidate tuples skipped by the cached-sample-point test.
+    pub sample_skips: u64,
+    /// Canonicalizations avoided by the engine's tuple interner.
+    pub intern_hits: u64,
+    /// Interner misses (canonicalization actually ran).
+    pub intern_misses: u64,
+}
+
+/// Read all counters.
+#[must_use]
+pub fn snapshot() -> MetricsSnapshot {
+    MetricsSnapshot {
+        entailment_checks: ENTAILMENT_CHECKS.load(Ordering::Relaxed),
+        signature_skips: SIGNATURE_SKIPS.load(Ordering::Relaxed),
+        sample_skips: SAMPLE_SKIPS.load(Ordering::Relaxed),
+        intern_hits: INTERN_HITS.load(Ordering::Relaxed),
+        intern_misses: INTERN_MISSES.load(Ordering::Relaxed),
+    }
+}
+
+/// Reset all counters to zero (benchmark harness boundaries).
+pub fn reset() {
+    ENTAILMENT_CHECKS.store(0, Ordering::Relaxed);
+    SIGNATURE_SKIPS.store(0, Ordering::Relaxed);
+    SAMPLE_SKIPS.store(0, Ordering::Relaxed);
+    INTERN_HITS.store(0, Ordering::Relaxed);
+    INTERN_MISSES.store(0, Ordering::Relaxed);
+}
+
+pub(crate) fn count_entailment_check() {
+    ENTAILMENT_CHECKS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn count_signature_skip(n: u64) {
+    if n > 0 {
+        SIGNATURE_SKIPS.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+pub(crate) fn count_sample_skip() {
+    SAMPLE_SKIPS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Record a tuple-interner hit (engine crate).
+pub fn count_intern_hit() {
+    INTERN_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Record a tuple-interner miss (engine crate).
+pub fn count_intern_miss() {
+    INTERN_MISSES.fetch_add(1, Ordering::Relaxed);
+}

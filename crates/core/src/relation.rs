@@ -1,9 +1,12 @@
 //! Generalized tuples, relations and databases (Definitions 1.3 / 1.4).
 
 use crate::error::{CqlError, Result};
+use crate::metrics;
+use crate::policy::{EnginePolicy, SubsumptionMode};
 use crate::theory::{Theory, Var};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// A generalized k-tuple: a satisfiable conjunction of constraints over
 /// variables `0..arity`, kept in the theory's canonical form.
@@ -11,19 +14,24 @@ use std::fmt;
 /// A generalized tuple *finitely represents a possibly infinite set of
 /// points* of `D^arity` — the central idea of the paper ("What's in a
 /// tuple? Constraints.").
+///
+/// The canonical conjunction is stored behind an [`Arc`]: cloning a tuple
+/// is a reference-count bump, so interned tuples (see the engine crate's
+/// interner) are shared by every relation holding them, and equality
+/// checks between shared tuples short-circuit on pointer identity.
 pub struct GenTuple<T: Theory> {
-    constraints: Vec<T::Constraint>,
+    constraints: Arc<[T::Constraint]>,
 }
 
 impl<T: Theory> Clone for GenTuple<T> {
     fn clone(&self) -> Self {
-        GenTuple { constraints: self.constraints.clone() }
+        GenTuple { constraints: Arc::clone(&self.constraints) }
     }
 }
 
 impl<T: Theory> PartialEq for GenTuple<T> {
     fn eq(&self, other: &Self) -> bool {
-        self.constraints == other.constraints
+        Arc::ptr_eq(&self.constraints, &other.constraints) || self.constraints == other.constraints
     }
 }
 
@@ -39,19 +47,27 @@ impl<T: Theory> GenTuple<T> {
     /// Canonicalize a conjunction into a tuple; `None` if unsatisfiable.
     #[must_use]
     pub fn new(constraints: Vec<T::Constraint>) -> Option<GenTuple<T>> {
-        T::canonicalize(&constraints).map(|constraints| GenTuple { constraints })
+        T::canonicalize(&constraints).map(|c| GenTuple { constraints: c.into() })
     }
 
     /// The tuple with no constraints (all of `D^arity`).
     #[must_use]
     pub fn top() -> GenTuple<T> {
-        GenTuple { constraints: Vec::new() }
+        GenTuple { constraints: Vec::new().into() }
     }
 
     /// The canonical constraint conjunction.
     #[must_use]
     pub fn constraints(&self) -> &[T::Constraint] {
         &self.constraints
+    }
+
+    /// Do the two tuples share one interned representation? (Reference
+    /// identity of the underlying canonical conjunction — used to verify
+    /// hash-consing, not for semantic comparison.)
+    #[must_use]
+    pub fn shares_repr(&self, other: &GenTuple<T>) -> bool {
+        Arc::ptr_eq(&self.constraints, &other.constraints)
     }
 
     /// Does the point satisfy every constraint of the tuple?
@@ -63,7 +79,7 @@ impl<T: Theory> GenTuple<T> {
     /// Conjoin with more constraints; `None` if the result is unsatisfiable.
     #[must_use]
     pub fn conjoin(&self, extra: &[T::Constraint]) -> Option<GenTuple<T>> {
-        let mut all = self.constraints.clone();
+        let mut all = self.constraints.to_vec();
         all.extend_from_slice(extra);
         GenTuple::new(all)
     }
@@ -93,7 +109,7 @@ impl<T: Theory> fmt::Display for GenTuple<T> {
             return write!(f, "⊤");
         }
         let mut first = true;
-        for c in &self.constraints {
+        for c in self.constraints.iter() {
             if !first {
                 write!(f, " ∧ ")?;
             }
@@ -110,20 +126,38 @@ impl<T: Theory> fmt::Debug for GenTuple<T> {
     }
 }
 
+/// Cached per-tuple metadata of the indexed subsumption store.
+/// `sample` is `None` until first needed, then `Some(outcome)` where the
+/// outcome is the theory's answer (which may itself be "no sample").
+struct TupleMeta<T: Theory> {
+    signature: u64,
+    sample: Option<Option<Vec<T::Value>>>,
+}
+
+impl<T: Theory> Clone for TupleMeta<T> {
+    fn clone(&self) -> Self {
+        TupleMeta { signature: self.signature, sample: self.sample.clone() }
+    }
+}
+
 /// A generalized relation of some arity: a finite set of generalized
 /// tuples, i.e. a quantifier-free DNF formula over `arity` variables.
+///
+/// Inserts keep the representation compressed according to the relation's
+/// [`EnginePolicy`] (see [`SubsumptionMode`]); the default indexed mode
+/// maintains signature buckets and cached sample points so subsumption
+/// stays affordable without the seed's silent size cutoff.
 pub struct GenRelation<T: Theory> {
     arity: usize,
     tuples: Vec<GenTuple<T>>,
     /// Hashes of canonical tuples, for O(1) duplicate detection.
-    seen: std::collections::HashSet<u64>,
+    seen: HashSet<u64>,
+    policy: EnginePolicy,
+    /// Signature + cached sample per tuple (parallel to `tuples`).
+    meta: Vec<TupleMeta<T>>,
+    /// Signature value → indices into `tuples`.
+    buckets: HashMap<u64, Vec<usize>>,
 }
-
-/// Above this representation size, [`GenRelation::insert`] stops running
-/// the quadratic entailment-subsumption compression and deduplicates by
-/// canonical form only — large intermediate DNFs (e.g. the O(N³) join of
-/// the convex-hull query) stay correct, just less compressed.
-const SUBSUMPTION_LIMIT: usize = 48;
 
 fn tuple_hash<T: Theory>(t: &GenTuple<T>) -> u64 {
     use std::hash::{Hash, Hasher};
@@ -134,7 +168,14 @@ fn tuple_hash<T: Theory>(t: &GenTuple<T>) -> u64 {
 
 impl<T: Theory> Clone for GenRelation<T> {
     fn clone(&self) -> Self {
-        GenRelation { arity: self.arity, tuples: self.tuples.clone(), seen: self.seen.clone() }
+        GenRelation {
+            arity: self.arity,
+            tuples: self.tuples.clone(),
+            seen: self.seen.clone(),
+            policy: self.policy,
+            meta: self.meta.clone(),
+            buckets: self.buckets.clone(),
+        }
     }
 }
 
@@ -147,10 +188,31 @@ impl<T: Theory> PartialEq for GenRelation<T> {
 impl<T: Theory> Eq for GenRelation<T> {}
 
 impl<T: Theory> GenRelation<T> {
-    /// The empty relation (represents ∅, the formula `false`).
+    /// The empty relation (represents ∅, the formula `false`) under the
+    /// default [`EnginePolicy`].
     #[must_use]
     pub fn empty(arity: usize) -> GenRelation<T> {
-        GenRelation { arity, tuples: Vec::new(), seen: std::collections::HashSet::new() }
+        GenRelation::with_policy(arity, EnginePolicy::default())
+    }
+
+    /// The empty relation under an explicit policy. Relations derived from
+    /// this one (union, intersection, elimination, ...) inherit the policy.
+    #[must_use]
+    pub fn with_policy(arity: usize, policy: EnginePolicy) -> GenRelation<T> {
+        GenRelation {
+            arity,
+            tuples: Vec::new(),
+            seen: HashSet::new(),
+            policy,
+            meta: Vec::new(),
+            buckets: HashMap::new(),
+        }
+    }
+
+    /// The relation's policy.
+    #[must_use]
+    pub fn policy(&self) -> EnginePolicy {
+        self.policy
     }
 
     /// The full relation (represents `D^arity`, the formula `true`).
@@ -201,33 +263,169 @@ impl<T: Theory> GenRelation<T> {
         self.tuples.is_empty()
     }
 
-    /// Insert a tuple. Small representations keep a subsumption-free
-    /// invariant (a tuple covered by an existing one is dropped, and
-    /// tuples it covers are removed); past [`SUBSUMPTION_LIMIT`] tuples
-    /// only exact canonical duplicates are dropped, keeping insertion
-    /// near O(1) on large intermediate DNFs.
+    /// Insert a tuple, maintaining the compression invariant of the
+    /// relation's [`SubsumptionMode`]. Returns `true` if the tuple was
+    /// added (i.e. it was not a duplicate and not subsumed).
     pub fn insert(&mut self, tuple: GenTuple<T>) -> bool {
         debug_assert!(tuple.max_var_bound() <= self.arity);
         let h = tuple_hash(&tuple);
         if self.seen.contains(&h) && self.tuples.contains(&tuple) {
             return false;
         }
-        if self.tuples.len() <= SUBSUMPTION_LIMIT {
-            if self.tuples.iter().any(|t| T::entails(tuple.constraints(), t.constraints())) {
+        let mode = match self.policy.subsumption {
+            SubsumptionMode::DedupOnly => SubsumptionMode::DedupOnly,
+            SubsumptionMode::Quadratic => SubsumptionMode::Quadratic,
+            SubsumptionMode::Indexed => SubsumptionMode::Indexed,
+            SubsumptionMode::IndexedUpTo(n) => {
+                if self.tuples.len() <= n {
+                    SubsumptionMode::Indexed
+                } else {
+                    SubsumptionMode::DedupOnly
+                }
+            }
+        };
+        match mode {
+            SubsumptionMode::DedupOnly => {}
+            SubsumptionMode::Quadratic => {
+                if !self.quadratic_subsume(&tuple) {
+                    return false;
+                }
+            }
+            SubsumptionMode::Indexed | SubsumptionMode::IndexedUpTo(_) => {
+                if !self.indexed_subsume(&tuple) {
+                    return false;
+                }
+            }
+        }
+        self.push_tuple(tuple, h);
+        true
+    }
+
+    /// Quadratic baseline: scan every stored tuple in both directions.
+    /// Returns `false` if the new tuple is subsumed (caller must not push).
+    fn quadratic_subsume(&mut self, tuple: &GenTuple<T>) -> bool {
+        for t in &self.tuples {
+            metrics::count_entailment_check();
+            if T::entails(tuple.constraints(), t.constraints()) {
                 return false;
             }
-            let seen = &mut self.seen;
-            self.tuples.retain(|t| {
-                let keep = !T::entails(t.constraints(), tuple.constraints());
-                if !keep {
-                    seen.remove(&tuple_hash(t));
-                }
-                keep
-            });
         }
-        self.seen.insert(h);
-        self.tuples.push(tuple);
+        let mut evict = Vec::new();
+        for (i, t) in self.tuples.iter().enumerate() {
+            metrics::count_entailment_check();
+            if T::entails(t.constraints(), tuple.constraints()) {
+                evict.push(i);
+            }
+        }
+        self.remove_indices(&evict);
         true
+    }
+
+    /// Indexed subsumption: prune candidate buckets by signature subset,
+    /// then candidates by cached sample points, then run the (few)
+    /// remaining [`Theory::entails`] checks. Both filters are sound — a
+    /// pruned candidate provably cannot participate in the subsumption —
+    /// so the resulting relation equals the quadratic baseline's.
+    fn indexed_subsume(&mut self, tuple: &GenTuple<T>) -> bool {
+        let sig_new = T::signature(tuple.constraints());
+        let sample_new = T::sample(tuple.constraints(), self.arity);
+
+        // Drop-check: is the new tuple entailed by a stored one?
+        // `new ⊨ e` needs signature(e) ⊆ signature(new); and if we have a
+        // point of `new`, that point must lie in e.
+        let mut drop_candidates: Vec<usize> = Vec::new();
+        for (&key, idxs) in &self.buckets {
+            if key & !sig_new != 0 {
+                metrics::count_signature_skip(idxs.len() as u64);
+            } else {
+                drop_candidates.extend_from_slice(idxs);
+            }
+        }
+        for i in drop_candidates {
+            if let Some(p) = &sample_new {
+                if !self.tuples[i].satisfied_by(p) {
+                    metrics::count_sample_skip();
+                    continue;
+                }
+            }
+            metrics::count_entailment_check();
+            if T::entails(tuple.constraints(), self.tuples[i].constraints()) {
+                return false;
+            }
+        }
+
+        // Evict-check: which stored tuples does the new one subsume?
+        // `e ⊨ new` needs signature(new) ⊆ signature(e); and e's cached
+        // sample point (a point of e) must lie in `new`.
+        let mut evict_candidates: Vec<usize> = Vec::new();
+        for (&key, idxs) in &self.buckets {
+            if sig_new & !key != 0 {
+                metrics::count_signature_skip(idxs.len() as u64);
+            } else {
+                evict_candidates.extend_from_slice(idxs);
+            }
+        }
+        let mut evict = Vec::new();
+        for i in evict_candidates {
+            if let Some(p) = self.cached_sample(i) {
+                if !tuple.satisfied_by(p) {
+                    metrics::count_sample_skip();
+                    continue;
+                }
+            }
+            metrics::count_entailment_check();
+            if T::entails(self.tuples[i].constraints(), tuple.constraints()) {
+                evict.push(i);
+            }
+        }
+        evict.sort_unstable();
+        self.remove_indices(&evict);
+        true
+    }
+
+    /// The cached sample point of `tuples[i]`, computing it on first use.
+    fn cached_sample(&mut self, i: usize) -> Option<&[T::Value]> {
+        if self.meta[i].sample.is_none() {
+            self.meta[i].sample = Some(T::sample(self.tuples[i].constraints(), self.arity));
+        }
+        self.meta[i].sample.as_ref().and_then(|s| s.as_deref())
+    }
+
+    /// Remove the tuples at the given (sorted, distinct) indices,
+    /// compacting storage and rebuilding the signature buckets.
+    fn remove_indices(&mut self, indices: &[usize]) {
+        if indices.is_empty() {
+            return;
+        }
+        let mut k = 0;
+        let seen = &mut self.seen;
+        let tuples = std::mem::take(&mut self.tuples);
+        let meta = std::mem::take(&mut self.meta);
+        for (i, (t, m)) in tuples.into_iter().zip(meta).enumerate() {
+            if k < indices.len() && indices[k] == i {
+                k += 1;
+                seen.remove(&tuple_hash(&t));
+            } else {
+                self.tuples.push(t);
+                self.meta.push(m);
+            }
+        }
+        self.rebuild_buckets();
+    }
+
+    fn rebuild_buckets(&mut self) {
+        self.buckets.clear();
+        for (i, m) in self.meta.iter().enumerate() {
+            self.buckets.entry(m.signature).or_default().push(i);
+        }
+    }
+
+    fn push_tuple(&mut self, tuple: GenTuple<T>, hash: u64) {
+        let signature = T::signature(tuple.constraints());
+        self.seen.insert(hash);
+        self.buckets.entry(signature).or_default().push(self.tuples.len());
+        self.meta.push(TupleMeta { signature, sample: None });
+        self.tuples.push(tuple);
     }
 
     /// Does the point belong to the represented unrestricted relation?
@@ -257,7 +455,7 @@ impl<T: Theory> GenRelation<T> {
     #[must_use]
     pub fn intersect(&self, other: &GenRelation<T>) -> GenRelation<T> {
         assert_eq!(self.arity, other.arity, "intersect arity mismatch");
-        let mut out = GenRelation::empty(self.arity);
+        let mut out = GenRelation::with_policy(self.arity, self.policy);
         for a in &self.tuples {
             for b in &other.tuples {
                 if let Some(t) = a.conjoin(b.constraints()) {
@@ -300,7 +498,7 @@ impl<T: Theory> GenRelation<T> {
                 break;
             }
         }
-        let mut out = GenRelation::empty(self.arity);
+        let mut out = GenRelation::with_policy(self.arity, self.policy);
         for t in acc {
             out.insert(t);
         }
@@ -314,7 +512,7 @@ impl<T: Theory> GenRelation<T> {
     /// # Errors
     /// Propagates `CqlError::Unsupported` from the theory.
     pub fn eliminate(&self, var: Var) -> Result<GenRelation<T>> {
-        let mut out = GenRelation::empty(self.arity);
+        let mut out = GenRelation::with_policy(self.arity, self.policy);
         for t in &self.tuples {
             for conj in T::eliminate(t.constraints(), var)? {
                 if let Some(t2) = GenTuple::new(conj) {
@@ -335,7 +533,7 @@ impl<T: Theory> GenRelation<T> {
     /// relation's DNF into a query's variable space).
     #[must_use]
     pub fn rename_into(&self, new_arity: usize, map: &dyn Fn(Var) -> Var) -> GenRelation<T> {
-        let mut out = GenRelation::empty(new_arity);
+        let mut out = GenRelation::with_policy(new_arity, self.policy);
         for t in &self.tuples {
             if let Some(t2) = GenTuple::new(t.rename(map)) {
                 out.insert(t2);
@@ -438,8 +636,9 @@ impl<T: Theory> Database<T> {
     }
 }
 
-/// Sort-free dedup for values that are only `Eq + Hash`.
-pub(crate) fn dedup_values<V: Clone + Eq + std::hash::Hash>(values: &mut Vec<V>) {
+/// Sort-free dedup for values that are only `Eq + Hash` (shared with the
+/// engine crate's evaluators).
+pub fn dedup_values<V: Clone + Eq + std::hash::Hash>(values: &mut Vec<V>) {
     let mut seen = std::collections::HashSet::new();
     values.retain(|v| seen.insert(v.clone()));
 }

@@ -8,8 +8,9 @@
 //!
 //! * **closed-form evaluation** comes from [`Theory::eliminate`]
 //!   (quantifier elimination on a conjunction),
-//! * **bottom-up evaluation** comes from structural induction in
-//!   [`crate::calculus`] and fixpoint iteration in [`crate::datalog`],
+//! * **bottom-up evaluation** comes from structural induction in the
+//!   engine crate's calculus evaluator and fixpoint iteration in its
+//!   Datalog engines,
 //! * **low data complexity** comes from canonical forms
 //!   ([`Theory::canonicalize`]) living in a space that is polynomial in the
 //!   number of database constants for fixed arity.
@@ -102,6 +103,27 @@ pub trait Theory: Sized + Send + Sync + 'static {
     /// Used by tests and by sentence-level decision shortcuts; theories may
     /// return `None` when sampling is not implemented for a conjunction.
     fn sample(conj: &[Self::Constraint], arity: usize) -> Option<Vec<Self::Value>>;
+
+    /// Subsumption-index bucket signature of a *canonical* conjunction.
+    ///
+    /// [`crate::GenRelation`]'s indexed store buckets tuples by this value
+    /// and prunes whole buckets with a bitmask-subset test. **Soundness
+    /// contract**: whenever `a` entails `b` (for canonical `a`, `b`),
+    /// `signature(b) & !signature(a) == 0` must hold — the entailed side's
+    /// bits are a subset of the entailing side's.
+    ///
+    /// Any map of the conjunction's *variable-support set* into bits
+    /// satisfies the contract for theories where entailment in canonical
+    /// form implies `vars(b) ⊆ vars(a)` (dense order, equality, and the
+    /// polynomial theory's syntactic entailment qualify; see each
+    /// implementation). The default — the constant 0, one bucket for
+    /// everything — is always sound and disables bucket pruning, leaving
+    /// only the sample-point filter.
+    #[must_use]
+    fn signature(conj: &[Self::Constraint]) -> u64 {
+        let _ = conj;
+        0
+    }
 }
 
 /// A theory whose models admit a finite *cell decomposition* over any

@@ -249,8 +249,8 @@ impl Theory for TwoSorted {
 /// Propagates fixpoint errors.
 pub fn example_5_8_parity(n: usize) -> Result<cql_core::GenRelation<TwoSorted>> {
     use cql_bool::BoolTerm;
-    use cql_core::datalog::{self, Atom, FixpointOptions, Literal, Program, Rule};
     use cql_core::{Database, GenRelation};
+    use cql_engine::datalog::{self, Atom, FixpointOptions, Literal, Program, Rule};
 
     assert!(n >= 1);
     let num_eq = |v: Var, k: i64| SortedConstraint::Num(DenseConstraint::eq_const(v, k));

@@ -11,7 +11,8 @@
 //!
 //! | module | paper | contents |
 //! |--------|-------|----------|
-//! | [`core`] | §1 | the framework: `Theory`, generalized relations, calculus & Datalog evaluators, cell-based `EVAL_φ` |
+//! | [`core`] | §1 | the framework: `Theory`, generalized relations, `EnginePolicy` (plus the evaluators re-exported from [`engine`]) |
+//! | [`engine`] | §2–3 | shared evaluation engine: interner, executor, calculus & Datalog evaluators, cell-based `EVAL_φ` |
 //! | [`dense`] | §3 | dense linear order: order networks, r-configurations |
 //! | [`equality`] | §4 | equality over an infinite domain: e-configurations |
 //! | [`poly`] | §2 | real polynomial inequalities: virtual substitution QE |
@@ -58,8 +59,17 @@ pub mod combined;
 
 pub use cql_arith as arith;
 pub use cql_bool as boolean;
-pub use cql_core as core;
 pub use cql_dense as dense;
+
+/// The framework: `cql-core`'s data model (theories, generalized
+/// relations, formulas, policy) plus `cql-engine`'s evaluators
+/// (algebra, calculus, cells, Datalog) under the historical paths.
+pub mod core {
+    pub use cql_core::*;
+    pub use cql_engine::{algebra, calculus, cells, datalog};
+}
+
+pub use cql_engine as engine;
 pub use cql_equality as equality;
 pub use cql_geo as geo;
 pub use cql_index as index;
@@ -70,12 +80,13 @@ pub use cql_tableau as tableau;
 pub mod prelude {
     pub use cql_arith::{BigInt, Poly, Rat};
     pub use cql_bool::{BoolAlg, BoolConstraint, BoolTerm};
-    pub use cql_core::datalog::{Atom, FixpointOptions, Literal, Program, Rule};
     pub use cql_core::{
-        calculus, cells, datalog, CalculusQuery, CellTheory, CqlError, Database, Formula,
-        GenRelation, GenTuple, Theory,
+        CalculusQuery, CellTheory, CqlError, Database, EnginePolicy, Formula, GenRelation,
+        GenTuple, SubsumptionMode, Theory,
     };
     pub use cql_dense::{Dense, DenseConstraint, RConfig};
+    pub use cql_engine::datalog::{Atom, FixpointOptions, Literal, Program, Rule};
+    pub use cql_engine::{algebra, calculus, cells, datalog, Engine, Executor};
     pub use cql_equality::{EConfig, EqConstraint, Equality};
     pub use cql_poly::{PolyConstraint, RealPoly};
 }

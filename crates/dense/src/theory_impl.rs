@@ -74,6 +74,15 @@ impl Theory for Dense {
     fn sample(conj: &[DenseConstraint], arity: usize) -> Option<Vec<Rat>> {
         ClosedNetwork::build(conj).map(|n| n.sample(arity))
     }
+
+    fn signature(conj: &[DenseConstraint]) -> u64 {
+        // Variable-support mask. Sound for dense order: a canonical
+        // satisfiable conjunction constrains exactly the variables it
+        // mentions (every atomic dense constraint on a free variable
+        // excludes some rational), so `a ⊨ b` forces vars(b) ⊆ vars(a)
+        // and hence bit-subset signatures.
+        conj.iter().flat_map(|c| c.vars()).fold(0u64, |acc, v| acc | 1u64 << (v % 64))
+    }
 }
 
 impl CellTheory for Dense {

@@ -2,8 +2,9 @@
 //! its agreement with the calculus evaluator.
 
 use cql_arith::Rat;
-use cql_core::{algebra, calculus, CalculusQuery, Database, Formula, GenRelation};
+use cql_core::{CalculusQuery, Database, Formula, GenRelation};
 use cql_dense::{Dense, DenseConstraint as C};
+use cql_engine::{algebra, calculus};
 
 fn r(v: i64) -> Rat {
     Rat::from(v)

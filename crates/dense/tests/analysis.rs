@@ -2,9 +2,9 @@
 //! stratification, and stratified vs inflationary semantics.
 
 use cql_arith::Rat;
-use cql_core::datalog::{self, analysis, Atom, FixpointOptions, Literal, Program, Rule};
 use cql_core::{Database, GenRelation};
 use cql_dense::{Dense, DenseConstraint as C};
+use cql_engine::datalog::{self, analysis, Atom, FixpointOptions, Literal, Program, Rule};
 
 fn tc_program() -> Program<Dense> {
     Program::new(vec![

@@ -2,9 +2,10 @@
 //! validation diagnostics, display formats, database plumbing.
 
 use cql_arith::Rat;
-use cql_core::datalog::{self, Atom, FixpointOptions, Literal, Program, Rule};
-use cql_core::{calculus, CalculusQuery, CqlError, Database, Formula, GenRelation, GenTuple};
+use cql_core::{CalculusQuery, CqlError, Database, Formula, GenRelation, GenTuple};
 use cql_dense::{Dense, DenseConstraint as C};
+use cql_engine::calculus;
+use cql_engine::datalog::{self, Atom, FixpointOptions, Literal, Program, Rule};
 
 #[test]
 fn unknown_relation_is_reported() {
@@ -176,6 +177,7 @@ fn fixpoint_budget_is_enforced() {
             (0..8).map(|i| vec![C::eq_const(0, i), C::eq_const(1, i + 1)]),
         ),
     );
-    let opts = FixpointOptions { max_iterations: 2, max_tuples: 100_000 };
+    let opts =
+        FixpointOptions { max_iterations: 2, max_tuples: 100_000, ..FixpointOptions::default() };
     assert!(matches!(datalog::naive(&program, &edb, &opts), Err(CqlError::NotClosed { .. })));
 }

@@ -3,9 +3,10 @@
 //! (symbolic QE vs the paper's cell-based `EVAL_φ`).
 
 use cql_arith::Rat;
-use cql_core::datalog::{self, Atom, FixpointOptions, Literal, Program, Rule};
-use cql_core::{calculus, cells, CalculusQuery, Database, Formula, GenRelation};
+use cql_core::{CalculusQuery, Database, Formula, GenRelation};
 use cql_dense::{dsl, Dense, DenseConstraint as C};
+use cql_engine::datalog::{self, Atom, FixpointOptions, Literal, Program, Rule};
+use cql_engine::{calculus, cells};
 
 fn r(v: i64) -> Rat {
     Rat::from(v)

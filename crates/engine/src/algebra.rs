@@ -1,0 +1,248 @@
+//! The *generalized relational algebra* (§2.1 of the paper): "all the
+//! operations are simple variants of the familiar database ones except
+//! for projection. Projection corresponds to quantifier elimination and
+//! is the nontrivial operation."
+//!
+//! These operators work directly on generalized relations, independent of
+//! the formula AST — useful for procedural pipelines and as the algebraic
+//! target a calculus optimizer would translate into.
+//!
+//! Every operator has an engine-aware `*_with` form that runs its
+//! per-tuple batches (conjunctions, eliminations) on the engine's
+//! executor and canonicalizes results through its interner; the plain
+//! forms delegate to a serial engine.
+
+use crate::Engine;
+use cql_core::error::{CqlError, Result};
+use cql_core::relation::{GenRelation, GenTuple};
+use cql_core::theory::Theory;
+
+/// σ — restrict a relation by additional constraints (columns are the
+/// constraint variables).
+#[must_use]
+pub fn select<T: Theory>(rel: &GenRelation<T>, constraints: &[T::Constraint]) -> GenRelation<T> {
+    select_with(&Engine::serial(), rel, constraints)
+}
+
+/// [`select`] on an engine context.
+#[must_use]
+pub fn select_with<T: Theory>(
+    engine: &Engine<T>,
+    rel: &GenRelation<T>,
+    constraints: &[T::Constraint],
+) -> GenRelation<T> {
+    let tuples = engine.executor.map(rel.tuples().to_vec(), |t| engine.conjoin(&t, constraints));
+    let mut out = engine.relation(rel.arity());
+    for t in tuples.into_iter().flatten() {
+        out.insert(t);
+    }
+    out
+}
+
+/// π — project onto `columns` (in the given order): quantifier-eliminate
+/// every other column, then renumber. Duplicate columns are allowed.
+///
+/// # Errors
+/// Theory `Unsupported` errors from quantifier elimination, or
+/// `Malformed` on out-of-range columns.
+pub fn project<T: Theory>(rel: &GenRelation<T>, columns: &[usize]) -> Result<GenRelation<T>> {
+    project_with(&Engine::serial(), rel, columns)
+}
+
+/// [`project`] on an engine context.
+///
+/// # Errors
+/// As [`project`].
+pub fn project_with<T: Theory>(
+    engine: &Engine<T>,
+    rel: &GenRelation<T>,
+    columns: &[usize],
+) -> Result<GenRelation<T>> {
+    for &c in columns {
+        if c >= rel.arity() {
+            return Err(CqlError::Malformed(format!(
+                "projection column {c} out of range for arity {}",
+                rel.arity()
+            )));
+        }
+    }
+    // Eliminate the dropped columns.
+    let mut current = rel.clone();
+    for v in 0..rel.arity() {
+        if !columns.contains(&v) {
+            current = eliminate_with(engine, &current, v)?;
+        }
+    }
+    // Renumber kept columns; duplicates get equality constraints.
+    let mut out = engine.relation(columns.len());
+    for t in current.tuples() {
+        // position of original column v in the output (first occurrence).
+        let first_pos = |v: usize| columns.iter().position(|&c| c == v).expect("kept");
+        let mut constraints = t.rename(&first_pos);
+        for (i, &c) in columns.iter().enumerate() {
+            if first_pos(c) != i {
+                constraints.push(T::var_eq(first_pos(c), i));
+            }
+        }
+        if let Some(t2) = engine.intern(constraints) {
+            out.insert(t2);
+        }
+    }
+    Ok(out)
+}
+
+/// × — cartesian product: the right relation's columns are shifted past
+/// the left's.
+#[must_use]
+pub fn product<T: Theory>(a: &GenRelation<T>, b: &GenRelation<T>) -> GenRelation<T> {
+    product_with(&Engine::serial(), a, b)
+}
+
+/// [`product`] on an engine context: the pairwise conjunctions run on the
+/// executor, one batch per left tuple.
+#[must_use]
+pub fn product_with<T: Theory>(
+    engine: &Engine<T>,
+    a: &GenRelation<T>,
+    b: &GenRelation<T>,
+) -> GenRelation<T> {
+    let shift = a.arity();
+    let shifted: Vec<Vec<T::Constraint>> =
+        b.tuples().iter().map(|tb| tb.rename(&|v| v + shift)).collect();
+    let tuples = engine.executor.flat_map(a.tuples().to_vec(), |ta| {
+        shifted
+            .iter()
+            .filter_map(|tb| {
+                let mut constraints = ta.constraints().to_vec();
+                constraints.extend_from_slice(tb);
+                engine.intern(constraints)
+            })
+            .collect::<Vec<_>>()
+    });
+    let mut out = engine.relation(a.arity() + b.arity());
+    for t in tuples {
+        out.insert(t);
+    }
+    out
+}
+
+/// ∩ — intersection: pairwise conjunction of tuples (same arity), the
+/// engine-aware counterpart of [`GenRelation::intersect`].
+///
+/// # Panics
+/// Panics on arity mismatch.
+#[must_use]
+pub fn intersect_with<T: Theory>(
+    engine: &Engine<T>,
+    a: &GenRelation<T>,
+    b: &GenRelation<T>,
+) -> GenRelation<T> {
+    assert_eq!(a.arity(), b.arity(), "intersect arity mismatch");
+    let tuples = engine.executor.flat_map(a.tuples().to_vec(), |ta| {
+        b.tuples().iter().filter_map(|tb| engine.conjoin(&ta, tb.constraints())).collect::<Vec<_>>()
+    });
+    let mut out = engine.relation(a.arity());
+    for t in tuples {
+        out.insert(t);
+    }
+    out
+}
+
+/// ∃ — eliminate one variable from every tuple (quantifier elimination on
+/// the executor), the engine-aware counterpart of
+/// [`GenRelation::eliminate`].
+///
+/// # Errors
+/// Propagates `CqlError::Unsupported` from the theory.
+pub fn eliminate_with<T: Theory>(
+    engine: &Engine<T>,
+    rel: &GenRelation<T>,
+    var: usize,
+) -> Result<GenRelation<T>> {
+    let eliminated: Vec<Result<Vec<GenTuple<T>>>> =
+        engine.executor.map(rel.tuples().to_vec(), |t| {
+            Ok(T::eliminate(t.constraints(), var)?
+                .into_iter()
+                .filter_map(|conj| engine.intern(conj))
+                .collect())
+        });
+    let mut out = engine.relation(rel.arity());
+    for r in eliminated {
+        for t in r? {
+            out.insert(t);
+        }
+    }
+    Ok(out)
+}
+
+/// ⋈ — equi-join on column pairs `(left, right)`; the output keeps all
+/// columns of both sides (right shifted), with join equalities conjoined.
+#[must_use]
+pub fn join<T: Theory>(
+    a: &GenRelation<T>,
+    b: &GenRelation<T>,
+    on: &[(usize, usize)],
+) -> GenRelation<T> {
+    join_with(&Engine::serial(), a, b, on)
+}
+
+/// [`join`] on an engine context.
+#[must_use]
+pub fn join_with<T: Theory>(
+    engine: &Engine<T>,
+    a: &GenRelation<T>,
+    b: &GenRelation<T>,
+    on: &[(usize, usize)],
+) -> GenRelation<T> {
+    let shift = a.arity();
+    let eqs: Vec<T::Constraint> = on.iter().map(|&(l, r)| T::var_eq(l, r + shift)).collect();
+    select_with(engine, &product_with(engine, a, b), &eqs)
+}
+
+/// ∪ — union (delegates to the representation union).
+#[must_use]
+pub fn union<T: Theory>(a: &GenRelation<T>, b: &GenRelation<T>) -> GenRelation<T> {
+    a.union(b)
+}
+
+/// [`union`] on an engine context: the left side is re-inserted into a
+/// relation carrying the engine's policy, then the right side is merged.
+#[must_use]
+pub fn union_with<T: Theory>(
+    engine: &Engine<T>,
+    a: &GenRelation<T>,
+    b: &GenRelation<T>,
+) -> GenRelation<T> {
+    assert_eq!(a.arity(), b.arity(), "union arity mismatch");
+    let mut out = engine.relation(a.arity());
+    for t in a.tuples() {
+        out.insert(t.clone());
+    }
+    for t in b.tuples() {
+        out.insert(t.clone());
+    }
+    out
+}
+
+/// ∖ — difference `a ∖ b = a ∩ ¬b` (uses the DNF complement; see
+/// [`GenRelation::complement`] for cost caveats).
+#[must_use]
+pub fn difference<T: Theory>(a: &GenRelation<T>, b: &GenRelation<T>) -> GenRelation<T> {
+    a.intersect(&b.complement())
+}
+
+/// ρ — permute columns by `perm` (`perm[i]` = source column of output
+/// column `i`; must be a permutation).
+///
+/// # Panics
+/// Panics if `perm` is not a permutation of `0..arity`.
+#[must_use]
+pub fn rename_columns<T: Theory>(rel: &GenRelation<T>, perm: &[usize]) -> GenRelation<T> {
+    assert_eq!(perm.len(), rel.arity(), "permutation length mismatch");
+    let mut inverse = vec![usize::MAX; perm.len()];
+    for (i, &src) in perm.iter().enumerate() {
+        assert!(inverse[src] == usize::MAX, "not a permutation");
+        inverse[src] = i;
+    }
+    rel.rename_into(rel.arity(), &|v| inverse[v])
+}

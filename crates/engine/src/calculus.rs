@@ -7,11 +7,19 @@
 //! every disjunct, `∧`/`∨` are intersection/union, and `¬` is the DNF
 //! complement. The output is projected onto the query's free variables —
 //! a closed-form generalized relation.
+//!
+//! The induction is engine-aware: conjunction products and quantifier
+//! eliminations run on the [`Engine`]'s executor, and every derived
+//! conjunction is canonicalized through its interner. [`evaluate`] and
+//! [`decide`] use a serial engine; [`evaluate_with`] / [`decide_with`]
+//! accept a caller-owned one.
 
-use crate::error::{CqlError, Result};
-use crate::formula::{CalculusQuery, Formula};
-use crate::relation::{Database, GenRelation, GenTuple};
-use crate::theory::Theory;
+use crate::algebra::{eliminate_with, intersect_with, union_with};
+use crate::Engine;
+use cql_core::error::{CqlError, Result};
+use cql_core::formula::{CalculusQuery, Formula};
+use cql_core::relation::{Database, GenRelation};
+use cql_core::theory::Theory;
 
 /// Evaluate a relational calculus query into a generalized relation of
 /// arity `query.free.len()` (column `i` is free variable `query.free[i]`).
@@ -20,6 +28,18 @@ use crate::theory::Theory;
 /// Validation errors, or `CqlError::Unsupported` when the theory cannot
 /// eliminate a quantifier that the formula requires.
 pub fn evaluate<T: Theory>(query: &CalculusQuery<T>, db: &Database<T>) -> Result<GenRelation<T>> {
+    evaluate_with(&Engine::serial(), query, db)
+}
+
+/// [`evaluate`] on an engine context.
+///
+/// # Errors
+/// As [`evaluate`].
+pub fn evaluate_with<T: Theory>(
+    engine: &Engine<T>,
+    query: &CalculusQuery<T>,
+    db: &Database<T>,
+) -> Result<GenRelation<T>> {
     query.formula.validate(db)?;
     let scope = query
         .formula
@@ -27,8 +47,8 @@ pub fn evaluate<T: Theory>(query: &CalculusQuery<T>, db: &Database<T>) -> Result
         .last()
         .map_or(query.free.len(), |&v| v + 1)
         .max(query.free.iter().map(|&v| v + 1).max().unwrap_or(0));
-    let rel = eval_rec(&query.formula, db, scope)?;
-    project_to_free(&rel, &query.free)
+    let rel = eval_rec(engine, &query.formula, db, scope)?;
+    project_to_free(engine, &rel, &query.free)
 }
 
 /// Decide a sentence (a query with no free variables).
@@ -40,20 +60,36 @@ pub fn evaluate<T: Theory>(query: &CalculusQuery<T>, db: &Database<T>) -> Result
 /// # Errors
 /// Same as [`evaluate`].
 pub fn decide<T: Theory>(formula: &Formula<T>, db: &Database<T>) -> Result<bool> {
+    decide_with(&Engine::serial(), formula, db)
+}
+
+/// [`decide`] on an engine context.
+///
+/// # Errors
+/// Same as [`evaluate`].
+pub fn decide_with<T: Theory>(
+    engine: &Engine<T>,
+    formula: &Formula<T>,
+    db: &Database<T>,
+) -> Result<bool> {
     if let Some(v) = formula.free_vars().first() {
         return Err(CqlError::Malformed(format!(
             "decide() requires a sentence, but variable {v} is free"
         )));
     }
     formula.validate(db)?;
-    decide_rec(formula, db)
+    decide_rec(engine, formula, db)
 }
 
-fn decide_rec<T: Theory>(formula: &Formula<T>, db: &Database<T>) -> Result<bool> {
+fn decide_rec<T: Theory>(
+    engine: &Engine<T>,
+    formula: &Formula<T>,
+    db: &Database<T>,
+) -> Result<bool> {
     match formula {
-        Formula::And(a, b) => Ok(decide_rec(a, db)? && decide_rec(b, db)?),
-        Formula::Or(a, b) => Ok(decide_rec(a, db)? || decide_rec(b, db)?),
-        Formula::Not(a) => Ok(!decide_rec(a, db)?),
+        Formula::And(a, b) => Ok(decide_rec(engine, a, db)? && decide_rec(engine, b, db)?),
+        Formula::Or(a, b) => Ok(decide_rec(engine, a, db)? || decide_rec(engine, b, db)?),
+        Formula::Not(a) => Ok(!decide_rec(engine, a, db)?),
         Formula::Atom { relation, .. } => {
             // Arity was validated; a closed atom has arity 0.
             Ok(!db.require(relation)?.is_empty())
@@ -61,13 +97,14 @@ fn decide_rec<T: Theory>(formula: &Formula<T>, db: &Database<T>) -> Result<bool>
         Formula::Constraint(c) => Ok(T::is_satisfiable(std::slice::from_ref(c))),
         Formula::Exists(..) | Formula::Forall(..) => {
             let scope = formula.all_vars().last().map_or(0, |&v| v + 1);
-            let rel = eval_rec(formula, db, scope)?;
+            let rel = eval_rec(engine, formula, db, scope)?;
             Ok(!rel.is_empty())
         }
     }
 }
 
 fn eval_rec<T: Theory>(
+    engine: &Engine<T>,
     formula: &Formula<T>,
     db: &Database<T>,
     scope: usize,
@@ -78,27 +115,39 @@ fn eval_rec<T: Theory>(
             Ok(rel.rename_into(scope, &|j| vars[j]))
         }
         Formula::Constraint(c) => {
-            let mut out = GenRelation::empty(scope);
-            if let Some(t) = GenTuple::new(vec![c.clone()]) {
+            let mut out = engine.relation(scope);
+            if let Some(t) = engine.intern(vec![c.clone()]) {
                 out.insert(t);
             }
             Ok(out)
         }
-        Formula::And(a, b) => Ok(eval_rec(a, db, scope)?.intersect(&eval_rec(b, db, scope)?)),
-        Formula::Or(a, b) => Ok(eval_rec(a, db, scope)?.union(&eval_rec(b, db, scope)?)),
-        Formula::Not(a) => Ok(eval_rec(a, db, scope)?.complement()),
-        Formula::Exists(v, a) => eval_rec(a, db, scope)?.eliminate(*v),
+        Formula::And(a, b) => {
+            let left = eval_rec(engine, a, db, scope)?;
+            let right = eval_rec(engine, b, db, scope)?;
+            Ok(intersect_with(engine, &left, &right))
+        }
+        Formula::Or(a, b) => {
+            let left = eval_rec(engine, a, db, scope)?;
+            let right = eval_rec(engine, b, db, scope)?;
+            Ok(union_with(engine, &left, &right))
+        }
+        Formula::Not(a) => Ok(eval_rec(engine, a, db, scope)?.complement()),
+        Formula::Exists(v, a) => eliminate_with(engine, &eval_rec(engine, a, db, scope)?, *v),
         Formula::Forall(v, a) => {
             // ∀v.ψ ≡ ¬∃v.¬ψ
-            let inner = eval_rec(a, db, scope)?.complement();
-            Ok(inner.eliminate(*v)?.complement())
+            let inner = eval_rec(engine, a, db, scope)?.complement();
+            Ok(eliminate_with(engine, &inner, *v)?.complement())
         }
     }
 }
 
 /// Rename the free variables of a fully-evaluated relation to output
 /// columns `0..m`, verifying no other variable survived elimination.
-fn project_to_free<T: Theory>(rel: &GenRelation<T>, free: &[usize]) -> Result<GenRelation<T>> {
+fn project_to_free<T: Theory>(
+    engine: &Engine<T>,
+    rel: &GenRelation<T>,
+    free: &[usize],
+) -> Result<GenRelation<T>> {
     let mut position =
         vec![usize::MAX; rel.arity().max(free.iter().map(|&v| v + 1).max().unwrap_or(0))];
     for (i, &v) in free.iter().enumerate() {
@@ -115,9 +164,9 @@ fn project_to_free<T: Theory>(rel: &GenRelation<T>, free: &[usize]) -> Result<Ge
             }
         }
     }
-    let mut out = GenRelation::empty(free.len());
+    let mut out = engine.relation(free.len());
     for t in rel.tuples() {
-        if let Some(t2) = GenTuple::new(t.rename(&|v| position[v])) {
+        if let Some(t2) = engine.intern(t.rename(&|v| position[v])) {
             out.insert(t2);
         }
     }

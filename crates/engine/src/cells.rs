@@ -13,10 +13,10 @@
 //! calculus with dense order / equality constraints its LOGSPACE data
 //! complexity in the paper.
 
-use crate::error::{CqlError, Result};
-use crate::formula::{CalculusQuery, Formula};
-use crate::relation::{dedup_values, Database, GenRelation, GenTuple};
-use crate::theory::{CellTheory, Theory, Var};
+use cql_core::error::{CqlError, Result};
+use cql_core::formula::{CalculusQuery, Formula};
+use cql_core::relation::{dedup_values, Database, GenRelation, GenTuple};
+use cql_core::theory::{CellTheory, Theory, Var};
 
 /// Evaluate a calculus query with the cell-based `EVAL_φ` algorithm.
 ///

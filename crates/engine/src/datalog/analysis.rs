@@ -5,9 +5,9 @@
 
 use crate::datalog::ast::{Literal, Program};
 use crate::datalog::symbolic::{fixpoint_stratum, FixpointOptions, FixpointResult};
-use crate::error::{CqlError, Result};
-use crate::relation::{Database, GenRelation};
-use crate::theory::Theory;
+use cql_core::error::{CqlError, Result};
+use cql_core::relation::{Database, GenRelation};
+use cql_core::theory::Theory;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Strongly connected components of the predicate dependency graph

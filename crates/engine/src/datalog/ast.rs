@@ -1,8 +1,8 @@
 //! Datalog + constraints: rules and programs (Definition 1.10).
 
-use crate::error::{CqlError, Result};
-use crate::relation::Database;
-use crate::theory::{Theory, Var};
+use cql_core::error::{CqlError, Result};
+use cql_core::relation::Database;
+use cql_core::theory::{Theory, Var};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -269,7 +269,7 @@ impl<T: Theory> Program<T> {
     #[must_use]
     pub fn constants(&self) -> Vec<T::Value> {
         let mut out: Vec<T::Value> = self.rules.iter().flat_map(Rule::constants).collect();
-        crate::relation::dedup_values(&mut out);
+        cql_core::relation::dedup_values(&mut out);
         out
     }
 }

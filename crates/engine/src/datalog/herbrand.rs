@@ -19,9 +19,10 @@
 
 use crate::datalog::ast::{Literal, Program};
 use crate::datalog::symbolic::{FixpointOptions, FixpointResult};
-use crate::error::{CqlError, Result};
-use crate::relation::{dedup_values, Database, GenRelation, GenTuple};
-use crate::theory::CellTheory;
+use crate::executor::Executor;
+use cql_core::error::{CqlError, Result};
+use cql_core::relation::{dedup_values, Database, GenRelation, GenTuple};
+use cql_core::theory::CellTheory;
 use std::collections::{BTreeMap, HashMap};
 
 /// A body check that must be re-evaluated every round (IDB membership).
@@ -200,7 +201,7 @@ fn finish<T: CellTheory>(
 fn run_rounds<T: CellTheory>(
     prepared: &Prepared<T>,
     opts: &FixpointOptions,
-    threads: usize,
+    executor: &Executor,
 ) -> Result<CellFixpointResult<T>> {
     let idb_index: BTreeMap<&str, usize> =
         prepared.idb_names.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
@@ -213,19 +214,15 @@ fn run_rounds<T: CellTheory>(
                 iterations,
             });
         }
-        // Round-based T_P: every candidate fires against the frozen stage.
-        let derived: Vec<(usize, T::Cell, usize, usize)> = if threads <= 1 {
-            prepared
-                .candidates
-                .iter()
-                .filter_map(|cand| {
-                    candidate_fires(cand, &instance, &idb_index)
-                        .map(|(d, f)| (cand.head_relation, cand.head_cell.clone(), d + 1, f))
-                })
-                .collect()
-        } else {
-            fire_parallel(prepared, &instance, &idb_index, threads)
-        };
+        // Round-based T_P: every candidate fires against the frozen stage
+        // (on the unified executor — one scoped thread per chunk; §3.3's
+        // parallel-rounds observation).
+        let fired = executor.map((0..prepared.candidates.len()).collect(), |i| {
+            let cand = &prepared.candidates[i];
+            candidate_fires(cand, &instance, &idb_index)
+                .map(|(d, f)| (cand.head_relation, cand.head_cell.clone(), d + 1, f))
+        });
+        let derived: Vec<(usize, T::Cell, usize, usize)> = fired.into_iter().flatten().collect();
         let mut changed = false;
         for (rel_idx, cell, depth, fringe) in derived {
             if let std::collections::hash_map::Entry::Vacant(e) = instance[rel_idx].entry(cell) {
@@ -247,34 +244,6 @@ fn run_rounds<T: CellTheory>(
     }
 }
 
-fn fire_parallel<T: CellTheory>(
-    prepared: &Prepared<T>,
-    instance: &CellInstance<T>,
-    idb_index: &BTreeMap<&str, usize>,
-    threads: usize,
-) -> Vec<(usize, T::Cell, usize, usize)> {
-    let chunk = prepared.candidates.len().div_ceil(threads).max(1);
-    let chunks: Vec<&[Candidate<T>]> = prepared.candidates.chunks(chunk).collect();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|cands| {
-                scope.spawn(move || {
-                    cands
-                        .iter()
-                        .filter_map(|cand| {
-                            candidate_fires(cand, instance, idb_index).map(|(d, f)| {
-                                (cand.head_relation, cand.head_cell.clone(), d + 1, f)
-                            })
-                        })
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        handles.into_iter().flat_map(|h| h.join().expect("cell worker panicked")).collect()
-    })
-}
-
 /// Generalized naive evaluation of a positive Datalog program over cells.
 ///
 /// # Errors
@@ -286,7 +255,7 @@ pub fn cell_naive<T: CellTheory>(
     opts: &FixpointOptions,
 ) -> Result<CellFixpointResult<T>> {
     let prepared = prepare(program, edb, false)?;
-    run_rounds(&prepared, opts, 1)
+    run_rounds(&prepared, opts, &Executor::new(opts.threads))
 }
 
 /// Inflationary Datalog¬ over cells: negated atoms test membership in the
@@ -300,7 +269,7 @@ pub fn cell_inflationary<T: CellTheory>(
     opts: &FixpointOptions,
 ) -> Result<CellFixpointResult<T>> {
     let prepared = prepare(program, edb, true)?;
-    run_rounds(&prepared, opts, 1)
+    run_rounds(&prepared, opts, &Executor::new(opts.threads))
 }
 
 /// Parallel generalized naive evaluation: all candidate firings of a round
@@ -316,5 +285,5 @@ pub fn cell_parallel<T: CellTheory>(
     threads: usize,
 ) -> Result<CellFixpointResult<T>> {
     let prepared = prepare(program, edb, true)?;
-    run_rounds(&prepared, opts, threads.max(1))
+    run_rounds(&prepared, opts, &Executor::new(threads.max(1)))
 }

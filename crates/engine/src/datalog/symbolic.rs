@@ -17,12 +17,23 @@
 //! All engines take an iteration/size budget and report
 //! [`CqlError::NotClosed`] when exceeded — which is the *expected* outcome
 //! for Datalog with polynomial constraints (Example 1.12).
+//!
+//! Each engine threads an [`Engine`] context through rule firing: the
+//! per-round batches of tuple conjunctions and quantifier eliminations run
+//! on its executor, and every derived conjunction is canonicalized through
+//! its interner (so re-derivations across rounds skip the solver). The
+//! plain entry points build a context from [`FixpointOptions`]; the
+//! `*_with` variants accept a caller-owned one, sharing its interner
+//! across calls.
 
 use crate::datalog::ast::{Atom, Literal, Program, Rule};
-use crate::error::{CqlError, Result};
-use crate::relation::{Database, GenRelation, GenTuple};
-use crate::theory::{Theory, Var};
-use std::collections::{BTreeMap, BTreeSet};
+use crate::executor::Executor;
+use crate::Engine;
+use cql_core::error::{CqlError, Result};
+use cql_core::policy::EnginePolicy;
+use cql_core::relation::{Database, GenRelation, GenTuple};
+use cql_core::theory::{Theory, Var};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 /// Budget and knobs for fixpoint evaluation.
 #[derive(Clone, Copy, Debug)]
@@ -31,11 +42,28 @@ pub struct FixpointOptions {
     pub max_iterations: usize,
     /// Maximum total IDB tuples before reporting non-closure.
     pub max_tuples: usize,
+    /// Worker threads for per-round tuple batches (1 = serial).
+    pub threads: usize,
+    /// Subsumption policy for the IDB relations the fixpoint builds.
+    pub policy: EnginePolicy,
 }
 
 impl Default for FixpointOptions {
     fn default() -> FixpointOptions {
-        FixpointOptions { max_iterations: 1_000, max_tuples: 200_000 }
+        FixpointOptions {
+            max_iterations: 1_000,
+            max_tuples: 200_000,
+            threads: 1,
+            policy: EnginePolicy::default(),
+        }
+    }
+}
+
+impl FixpointOptions {
+    /// The engine context these options describe.
+    #[must_use]
+    pub fn engine<T: Theory>(&self) -> Engine<T> {
+        Engine::new(Executor::new(self.threads), self.policy)
     }
 }
 
@@ -48,11 +76,11 @@ pub struct FixpointResult<T: Theory> {
     pub iterations: usize,
 }
 
-fn init_idb<T: Theory>(program: &Program<T>) -> Result<Database<T>> {
+fn init_idb<T: Theory>(program: &Program<T>, engine: &Engine<T>) -> Result<Database<T>> {
     let arities = program.arities()?;
     let mut idb = Database::new();
     for name in program.idb_predicates() {
-        idb.insert(name.clone(), GenRelation::empty(arities[&name]));
+        idb.insert(name.clone(), engine.relation(arities[&name]));
     }
     Ok(idb)
 }
@@ -70,6 +98,7 @@ fn instance_relation<'a, T: Theory>(
 /// `delta_at`: in semi-naive mode, the index of the body literal that must
 /// read from `delta` instead of the full instance.
 fn fire_rule<T: Theory>(
+    engine: &Engine<T>,
     rule: &Rule<T>,
     edb: &Database<T>,
     idb: &Database<T>,
@@ -81,20 +110,23 @@ fn fire_rule<T: Theory>(
     for (li, lit) in rule.body.iter().enumerate() {
         match lit {
             Literal::Constraint(c) => {
-                acc = acc.into_iter().filter_map(|t| t.conjoin(std::slice::from_ref(c))).collect();
+                acc = acc
+                    .into_iter()
+                    .filter_map(|t| engine.conjoin(&t, std::slice::from_ref(c)))
+                    .collect();
             }
             Literal::Pos(a) => {
                 let rel = match delta_at {
                     Some((idx, delta)) if idx == li => delta.require(&a.relation)?,
                     _ => instance_relation(&a.relation, edb, idb)?,
                 };
-                acc = conjoin_atom(acc, rel, a);
+                acc = conjoin_atom(engine, acc, rel, a);
             }
             Literal::Neg(a) => {
                 let compl = complements.entry(a.relation.clone()).or_insert_with(|| {
                     instance_relation(&a.relation, edb, idb).expect("validated").complement()
                 });
-                acc = conjoin_atom(acc, compl, a);
+                acc = conjoin_atom(engine, acc, compl, a);
             }
         }
         if acc.is_empty() {
@@ -102,7 +134,9 @@ fn fire_rule<T: Theory>(
         }
     }
 
-    // Quantify away the non-head variables.
+    // Quantify away the non-head variables, one variable at a time; the
+    // per-conjunction eliminations of a round are independent and run on
+    // the executor.
     let head_vars: BTreeSet<Var> = rule.head.vars.iter().copied().collect();
     let n = rule.var_count();
     let mut conjs: Vec<Vec<T::Constraint>> =
@@ -111,13 +145,16 @@ fn fire_rule<T: Theory>(
         if head_vars.contains(&v) {
             continue;
         }
-        let mut next = Vec::new();
-        for conj in conjs {
+        let eliminated: Vec<Result<Vec<Vec<T::Constraint>>>> = engine.executor.map(conjs, |conj| {
             if conj.iter().any(|c| T::vars(c).contains(&v)) {
-                next.extend(T::eliminate(&conj, v)?);
+                T::eliminate(&conj, v)
             } else {
-                next.push(conj);
+                Ok(vec![conj])
             }
+        });
+        let mut next = Vec::new();
+        for r in eliminated {
+            next.extend(r?);
         }
         conjs = next;
     }
@@ -127,8 +164,7 @@ fn fire_rule<T: Theory>(
     for (i, &v) in rule.head.vars.iter().enumerate() {
         position[v] = i;
     }
-    let mut out = Vec::new();
-    for conj in conjs {
+    let out = engine.executor.map(conjs, |conj| {
         for c in &conj {
             for v in T::vars(c) {
                 debug_assert_ne!(position[v], usize::MAX, "variable survived elimination");
@@ -136,27 +172,31 @@ fn fire_rule<T: Theory>(
         }
         let renamed: Vec<T::Constraint> =
             conj.iter().map(|c| T::rename(c, &|v| position[v])).collect();
-        if let Some(t) = GenTuple::new(renamed) {
-            out.push(t);
-        }
-    }
-    Ok(out)
+        engine.intern(renamed)
+    });
+    Ok(out.into_iter().flatten().collect())
 }
 
+/// Conjoin every partial tuple with every (renamed) tuple of `rel`: the
+/// cartesian product step of rule firing, parallelized over the partials.
 fn conjoin_atom<T: Theory>(
+    engine: &Engine<T>,
     acc: Vec<GenTuple<T>>,
     rel: &GenRelation<T>,
     atom: &Atom,
 ) -> Vec<GenTuple<T>> {
-    let mut next: Vec<GenTuple<T>> = Vec::new();
-    for partial in &acc {
-        for u in rel.tuples() {
-            let renamed = u.rename(&|j| atom.vars[j]);
-            if let Some(t) = partial.conjoin(&renamed) {
-                if !next.contains(&t) {
-                    next.push(t);
-                }
-            }
+    // Rename each relation tuple into the rule's variable space once.
+    let renamed: Vec<Vec<T::Constraint>> =
+        rel.tuples().iter().map(|u| u.rename(&|j| atom.vars[j])).collect();
+    let products = engine.executor.flat_map(acc, |partial| {
+        renamed.iter().filter_map(|r| engine.conjoin(&partial, r)).collect::<Vec<_>>()
+    });
+    // Order-preserving dedup (interned tuples make the hashing cheap).
+    let mut seen: HashSet<GenTuple<T>> = HashSet::with_capacity(products.len());
+    let mut next = Vec::with_capacity(products.len());
+    for t in products {
+        if seen.insert(t.clone()) {
+            next.push(t);
         }
     }
     next
@@ -194,8 +234,22 @@ pub fn naive<T: Theory>(
     edb: &Database<T>,
     opts: &FixpointOptions,
 ) -> Result<FixpointResult<T>> {
+    naive_with(&opts.engine(), program, edb, opts)
+}
+
+/// [`naive`] with a caller-provided engine context.
+///
+/// # Errors
+/// As [`naive`].
+pub fn naive_with<T: Theory>(
+    engine: &Engine<T>,
+    program: &Program<T>,
+    edb: &Database<T>,
+    opts: &FixpointOptions,
+) -> Result<FixpointResult<T>> {
     program.validate(edb, false)?;
-    fixpoint_loop(program, edb, opts, false)
+    let idb = init_idb(program, engine)?;
+    fixpoint_with_seed(engine, program, edb, idb, opts)
 }
 
 /// Inflationary Datalog¬ evaluation: negated IDB/EDB atoms are evaluated
@@ -208,18 +262,10 @@ pub fn inflationary<T: Theory>(
     edb: &Database<T>,
     opts: &FixpointOptions,
 ) -> Result<FixpointResult<T>> {
+    let engine = opts.engine();
     program.validate(edb, true)?;
-    fixpoint_loop(program, edb, opts, true)
-}
-
-fn fixpoint_loop<T: Theory>(
-    program: &Program<T>,
-    edb: &Database<T>,
-    opts: &FixpointOptions,
-    _negation: bool,
-) -> Result<FixpointResult<T>> {
-    let idb = init_idb(program)?;
-    fixpoint_with_seed(program, edb, idb, opts)
+    let idb = init_idb(program, &engine)?;
+    fixpoint_with_seed(&engine, program, edb, idb, opts)
 }
 
 /// Run one stratum of a stratified program: the seed database holds the
@@ -231,17 +277,19 @@ pub(crate) fn fixpoint_stratum<T: Theory>(
     seed: &Database<T>,
     opts: &FixpointOptions,
 ) -> Result<FixpointResult<T>> {
+    let engine = opts.engine();
     let mut idb = seed.clone();
     for name in program.idb_predicates() {
         if idb.get(&name).is_none() {
             let arities = program.arities()?;
-            idb.insert(name.clone(), GenRelation::empty(arities[&name]));
+            idb.insert(name.clone(), engine.relation(arities[&name]));
         }
     }
-    fixpoint_with_seed(program, edb, idb, opts)
+    fixpoint_with_seed(&engine, program, edb, idb, opts)
 }
 
 fn fixpoint_with_seed<T: Theory>(
+    engine: &Engine<T>,
     program: &Program<T>,
     edb: &Database<T>,
     mut idb: Database<T>,
@@ -256,7 +304,7 @@ fn fixpoint_with_seed<T: Theory>(
         let mut staged: Vec<(String, GenTuple<T>)> = Vec::new();
         let mut complements = BTreeMap::new();
         for rule in &program.rules {
-            for t in fire_rule(rule, edb, &idb, None, &mut complements)? {
+            for t in fire_rule(engine, rule, edb, &idb, None, &mut complements)? {
                 staged.push((rule.head.relation.clone(), t));
             }
         }
@@ -286,18 +334,31 @@ pub fn seminaive<T: Theory>(
     edb: &Database<T>,
     opts: &FixpointOptions,
 ) -> Result<FixpointResult<T>> {
+    seminaive_with(&opts.engine(), program, edb, opts)
+}
+
+/// [`seminaive`] with a caller-provided engine context.
+///
+/// # Errors
+/// As [`naive`].
+pub fn seminaive_with<T: Theory>(
+    engine: &Engine<T>,
+    program: &Program<T>,
+    edb: &Database<T>,
+    opts: &FixpointOptions,
+) -> Result<FixpointResult<T>> {
     program.validate(edb, false)?;
     let idb_preds = program.idb_predicates();
     let arities = program.arities()?;
-    let mut idb = init_idb(program)?;
+    let mut idb = init_idb(program, engine)?;
     let mut iterations = 0;
 
     // Round 0: full firing (IDB relations are empty, so only rules whose
     // IDB body atoms are absent produce anything).
-    let mut delta = init_idb(program)?;
+    let mut delta = init_idb(program, engine)?;
     let mut complements = BTreeMap::new();
     for rule in &program.rules {
-        for t in fire_rule(rule, edb, &idb, None, &mut complements)? {
+        for t in fire_rule(engine, rule, edb, &idb, None, &mut complements)? {
             let mut rel = idb.get(&rule.head.relation).expect("init").clone();
             if rel.insert(t.clone()) {
                 let mut d = delta.get(&rule.head.relation).expect("init").clone();
@@ -313,7 +374,7 @@ pub fn seminaive<T: Theory>(
         check_budget(&idb, iterations, opts)?;
         let mut next_delta: Database<T> = Database::new();
         for name in &idb_preds {
-            next_delta.insert(name.clone(), GenRelation::empty(arities[name]));
+            next_delta.insert(name.clone(), engine.relation(arities[name]));
         }
         let mut complements = BTreeMap::new();
         for rule in &program.rules {
@@ -326,7 +387,7 @@ pub fn seminaive<T: Theory>(
                 if delta.get(&a.relation).is_none_or(GenRelation::is_empty) {
                     continue;
                 }
-                for t in fire_rule(rule, edb, &idb, Some((li, &delta)), &mut complements)? {
+                for t in fire_rule(engine, rule, edb, &idb, Some((li, &delta)), &mut complements)? {
                     let mut rel = idb.get(&rule.head.relation).expect("init").clone();
                     if rel.insert(t.clone()) {
                         let mut d = next_delta.get(&rule.head.relation).expect("init").clone();

@@ -1,0 +1,117 @@
+//! Hash-consing tuple interner.
+//!
+//! Canonicalization is the single most repeated unit of work in
+//! bottom-up evaluation: fixpoint iteration re-derives the same raw
+//! constraint conjunctions round after round, and each
+//! [`GenTuple::new`] call re-runs the theory's solver on them. The
+//! interner memoizes that step — a raw conjunction is canonicalized
+//! exactly once — and hash-conses the results, so every equal canonical
+//! tuple in the system shares one `Arc`'d representation ([`GenTuple`]
+//! clones are reference-count bumps, and equality between interned
+//! tuples short-circuits on pointer identity).
+//!
+//! Lock discipline: the pool is split into [`SHARDS`] independently
+//! locked shards keyed by the conjunction's hash, so parallel executor
+//! workers rarely contend; lookups take a shard lock briefly, and the
+//! (possibly expensive) canonicalization of a missed conjunction always
+//! runs *outside* any lock, so workers never serialize on a solver call.
+
+use cql_core::metrics;
+use cql_core::relation::GenTuple;
+use cql_core::theory::Theory;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+/// Number of independently locked pool shards (power of two).
+const SHARDS: usize = 16;
+
+/// Entry cap per shard memo table; on overflow the table is cleared
+/// (simple, and workloads that big have long since amortized their wins).
+const MAX_ENTRIES: usize = (1 << 20) / SHARDS;
+
+struct Pools<T: Theory> {
+    /// Memoized canonicalization: raw conjunction → canonical tuple
+    /// (`None` = unsatisfiable).
+    raw: HashMap<Vec<T::Constraint>, Option<GenTuple<T>>>,
+    /// Hash-consing of canonical forms: canonical constraints → the one
+    /// shared tuple representation.
+    canon: HashMap<Vec<T::Constraint>, GenTuple<T>>,
+}
+
+/// A thread-safe canonical-tuple pool. See the module docs.
+pub struct Interner<T: Theory> {
+    shards: Vec<Mutex<Pools<T>>>,
+}
+
+impl<T: Theory> Default for Interner<T> {
+    fn default() -> Self {
+        Interner::new()
+    }
+}
+
+fn shard_of<K: Hash>(key: &K) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) & (SHARDS - 1)
+}
+
+impl<T: Theory> Interner<T> {
+    /// An empty interner.
+    #[must_use]
+    pub fn new() -> Interner<T> {
+        Interner {
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(Pools { raw: HashMap::new(), canon: HashMap::new() }))
+                .collect(),
+        }
+    }
+
+    /// Canonicalize a raw conjunction through the pool: `None` iff
+    /// unsatisfiable. Repeated calls with an equal conjunction skip the
+    /// solver and return the shared canonical tuple.
+    pub fn intern(&self, raw: Vec<T::Constraint>) -> Option<GenTuple<T>> {
+        let shard = &self.shards[shard_of(&raw)];
+        {
+            let pools = shard.lock().expect("interner poisoned");
+            if let Some(hit) = pools.raw.get(&raw) {
+                metrics::count_intern_hit();
+                return hit.clone();
+            }
+        }
+        metrics::count_intern_miss();
+        // Solver work happens outside the lock.
+        let canonical = GenTuple::<T>::new(raw.clone());
+        let shared = canonical.map(|t| self.canonical(t));
+        let mut pools = shard.lock().expect("interner poisoned");
+        if pools.raw.len() >= MAX_ENTRIES {
+            pools.raw.clear();
+        }
+        pools.raw.insert(raw, shared.clone());
+        shared
+    }
+
+    /// The shared representative of an already-canonical tuple. Equal
+    /// tuples interned through one pool return pointer-identical
+    /// representations.
+    pub fn canonical(&self, tuple: GenTuple<T>) -> GenTuple<T> {
+        let shard = &self.shards[shard_of(&tuple.constraints())];
+        let mut pools = shard.lock().expect("interner poisoned");
+        if pools.canon.len() >= MAX_ENTRIES {
+            pools.canon.clear();
+        }
+        pools.canon.entry(tuple.constraints().to_vec()).or_insert(tuple).clone()
+    }
+
+    /// Number of distinct canonical tuples in the pool.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("interner poisoned").canon.len()).sum()
+    }
+
+    /// True iff nothing has been interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

@@ -1,0 +1,105 @@
+//! # cql-engine — the shared evaluation engine
+//!
+//! Every query evaluator of the CQL framework lives here, layered on the
+//! data model of `cql-core`:
+//!
+//! * [`algebra`] — relational algebra over generalized relations;
+//! * [`calculus`] — bottom-up structural-induction evaluation of
+//!   relational calculus + constraints (closed-form via quantifier
+//!   elimination);
+//! * [`cells`] — the paper's `EVAL_φ` algorithm for cell theories;
+//! * [`datalog`] — naive / semi-naive / inflationary fixpoints, both
+//!   symbolic and over generalized Herbrand atoms (§3.2).
+//!
+//! Three subsystems are shared by all of them:
+//!
+//! * [`Interner`] — hash-consing of canonical tuples, so a raw
+//!   conjunction is canonicalized at most once per evaluation and equal
+//!   tuples share one `Arc`'d representation;
+//! * [`Executor`] — one scoped-thread parallel map used by every
+//!   evaluator instead of per-module thread pools;
+//! * `cql_core`'s [`EnginePolicy`] — the subsumption/compression knob
+//!   every relation created during evaluation inherits.
+//!
+//! An [`Engine`] value bundles the three; evaluators take it by
+//! reference through their `*_with` entry points, while the plain entry
+//! points construct a serial default so existing call sites keep their
+//! signatures.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod algebra;
+pub mod calculus;
+pub mod cells;
+pub mod datalog;
+pub mod executor;
+pub mod interner;
+
+pub use cql_core::{EnginePolicy, SubsumptionMode};
+pub use executor::Executor;
+pub use interner::Interner;
+
+use cql_core::relation::{GenRelation, GenTuple};
+use cql_core::theory::Theory;
+
+/// The evaluation context: an executor, a tuple interner and the policy
+/// for relations created during evaluation.
+pub struct Engine<T: Theory> {
+    /// Parallel map used for per-tuple work batches.
+    pub executor: Executor,
+    /// Policy inherited by every relation the engine creates.
+    pub policy: EnginePolicy,
+    interner: Interner<T>,
+}
+
+impl<T: Theory> Default for Engine<T> {
+    fn default() -> Self {
+        Engine::serial()
+    }
+}
+
+impl<T: Theory> Engine<T> {
+    /// An engine with the given executor and policy (fresh interner).
+    #[must_use]
+    pub fn new(executor: Executor, policy: EnginePolicy) -> Engine<T> {
+        Engine { executor, policy, interner: Interner::new() }
+    }
+
+    /// The serial engine with default policy.
+    #[must_use]
+    pub fn serial() -> Engine<T> {
+        Engine::new(Executor::serial(), EnginePolicy::default())
+    }
+
+    /// An engine over `threads` workers with default policy.
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Engine<T> {
+        Engine::new(Executor::new(threads), EnginePolicy::default())
+    }
+
+    /// The engine's interner.
+    #[must_use]
+    pub fn interner(&self) -> &Interner<T> {
+        &self.interner
+    }
+
+    /// Canonicalize a raw conjunction through the interner (`None` iff
+    /// unsatisfiable).
+    pub fn intern(&self, raw: Vec<T::Constraint>) -> Option<GenTuple<T>> {
+        self.interner.intern(raw)
+    }
+
+    /// Conjoin a tuple with extra constraints through the interner.
+    pub fn conjoin(&self, base: &GenTuple<T>, extra: &[T::Constraint]) -> Option<GenTuple<T>> {
+        let mut all = base.constraints().to_vec();
+        all.extend_from_slice(extra);
+        self.intern(all)
+    }
+
+    /// An empty relation carrying the engine's policy.
+    #[must_use]
+    pub fn relation(&self, arity: usize) -> GenRelation<T> {
+        GenRelation::with_policy(arity, self.policy)
+    }
+}

@@ -1,0 +1,146 @@
+//! Worked-example equivalence under different engine configurations.
+//!
+//! Each test evaluates a paper example twice — once on the serial
+//! reference engine, once on an engine whose executor comes from
+//! [`Executor::from_env`] (honoring `CQL_ENGINE_THREADS`, which CI runs
+//! at 1 and 4) — and requires identical results. A shared engine is also
+//! reused across evaluations to check that interner hits are semantically
+//! invisible.
+
+use cql_arith::Rat;
+use cql_core::{metrics, CalculusQuery, Database, Formula, GenRelation};
+use cql_dense::{Dense, DenseConstraint as C};
+use cql_engine::datalog::{self, Atom, FixpointOptions, Literal, Program, Rule};
+use cql_engine::{calculus, Engine, Executor};
+use cql_equality::{EqConstraint, Equality};
+
+/// The rectangles database of Example 1.1: R(z, x, y) holds when point
+/// (x, y) lies in rectangle z.
+fn rectangles_db() -> Database<Dense> {
+    let mut db = Database::new();
+    db.insert(
+        "R",
+        GenRelation::from_conjunctions(
+            3,
+            vec![
+                vec![
+                    C::eq_const(0, 1),
+                    C::ge_const(1, 0),
+                    C::le_const(1, 2),
+                    C::ge_const(2, 0),
+                    C::le_const(2, 2),
+                ],
+                vec![
+                    C::eq_const(0, 2),
+                    C::ge_const(1, 1),
+                    C::le_const(1, 3),
+                    C::ge_const(2, 1),
+                    C::le_const(2, 3),
+                ],
+                vec![
+                    C::eq_const(0, 3),
+                    C::ge_const(1, 5),
+                    C::le_const(1, 6),
+                    C::ge_const(2, 5),
+                    C::le_const(2, 6),
+                ],
+            ],
+        ),
+    );
+    db
+}
+
+/// {(n1, n2) | n1 ≠ n2 ∧ ∃x,y (R(n1,x,y) ∧ R(n2,x,y))} — which pairs of
+/// rectangles intersect (§2.1 worked example).
+fn intersecting_rectangles() -> CalculusQuery<Dense> {
+    CalculusQuery::new(
+        Formula::constraint(C::ne(0, 1)).and(
+            Formula::atom("R", vec![0, 2, 3])
+                .and(Formula::atom("R", vec![1, 2, 3]))
+                .exists_all(&[2, 3]),
+        ),
+        vec![0, 1],
+    )
+    .unwrap()
+}
+
+#[test]
+fn calculus_parallel_matches_serial() {
+    let db = rectangles_db();
+    let q = intersecting_rectangles();
+    let serial = calculus::evaluate(&q, &db).expect("serial evaluation");
+    let engine: Engine<Dense> = Engine::new(Executor::from_env(), Default::default());
+    let parallel = calculus::evaluate_with(&engine, &q, &db).expect("parallel evaluation");
+    assert_eq!(serial, parallel);
+    assert!(serial.satisfied_by(&[Rat::from(1), Rat::from(2)]));
+    assert!(!serial.satisfied_by(&[Rat::from(1), Rat::from(3)]));
+}
+
+#[test]
+fn shared_engine_interner_hits_are_invisible() {
+    let db = rectangles_db();
+    let q = intersecting_rectangles();
+    let engine: Engine<Dense> = Engine::serial();
+    let first = calculus::evaluate_with(&engine, &q, &db).expect("first evaluation");
+    let before = metrics::snapshot();
+    let second = calculus::evaluate_with(&engine, &q, &db).expect("second evaluation");
+    let after = metrics::snapshot();
+    assert_eq!(first, second);
+    assert!(
+        after.intern_hits > before.intern_hits,
+        "re-evaluating on a shared engine should hit the interner"
+    );
+}
+
+/// Transitive closure over an equality-theory edge list.
+fn tc_program() -> Program<Equality> {
+    Program::new(vec![
+        Rule::new(Atom::new("T", vec![0, 1]), vec![Literal::Pos(Atom::new("E", vec![0, 1]))]),
+        Rule::new(
+            Atom::new("T", vec![0, 2]),
+            vec![
+                Literal::Pos(Atom::new("E", vec![0, 1])),
+                Literal::Pos(Atom::new("T", vec![1, 2])),
+            ],
+        ),
+    ])
+}
+
+fn chain_edb(n: i64) -> Database<Equality> {
+    let mut db = Database::new();
+    db.insert(
+        "E",
+        GenRelation::from_conjunctions(
+            2,
+            (0..n)
+                .map(|i| vec![EqConstraint::eq_const(0, i), EqConstraint::eq_const(1, i + 1)])
+                .collect::<Vec<_>>(),
+        ),
+    );
+    db
+}
+
+#[test]
+fn seminaive_thread_count_is_invisible() {
+    let program = tc_program();
+    let edb = chain_edb(12);
+    let serial =
+        datalog::seminaive(&program, &edb, &FixpointOptions::default()).expect("serial fixpoint");
+    let opts = FixpointOptions { threads: Executor::from_env().threads(), ..Default::default() };
+    let threaded = datalog::seminaive(&program, &edb, &opts).expect("threaded fixpoint");
+    assert_eq!(serial.idb.get("T"), threaded.idb.get("T"));
+    let t = threaded.idb.get("T").expect("T derived");
+    assert!(t.satisfied_by(&[0, 12]));
+    assert!(!t.satisfied_by(&[12, 0]));
+}
+
+#[test]
+fn naive_thread_count_is_invisible() {
+    let program = tc_program();
+    let edb = chain_edb(8);
+    let serial =
+        datalog::naive(&program, &edb, &FixpointOptions::default()).expect("serial fixpoint");
+    let opts = FixpointOptions { threads: Executor::from_env().threads(), ..Default::default() };
+    let threaded = datalog::naive(&program, &edb, &opts).expect("threaded fixpoint");
+    assert_eq!(serial.idb.get("T"), threaded.idb.get("T"));
+}

@@ -70,6 +70,14 @@ impl Theory for Equality {
     fn sample(conj: &[EqConstraint], arity: usize) -> Option<Vec<i64>> {
         EqSolver::build(conj).map(|s| s.sample(arity))
     }
+
+    fn signature(conj: &[EqConstraint]) -> u64 {
+        // Variable-support mask. Sound here for the same reason as the
+        // dense theory: any atomic `=`/`≠` constraint on a variable
+        // excludes some value of the infinite domain, so entailed
+        // conjunctions can only mention entailing variables.
+        conj.iter().flat_map(|c| c.vars()).fold(0u64, |acc, v| acc | 1u64 << (v % 64))
+    }
 }
 
 impl CellTheory for Equality {

@@ -1,8 +1,9 @@
 //! End-to-end evaluation with equality constraints (§4), including the
 //! paper's motivating "unsafe query" scenario and Datalog¬.
 
-use cql_core::datalog::{self, Atom, FixpointOptions, Literal, Program, Rule};
-use cql_core::{calculus, cells, CalculusQuery, Database, Formula, GenRelation};
+use cql_core::{CalculusQuery, Database, Formula, GenRelation};
+use cql_engine::datalog::{self, Atom, FixpointOptions, Literal, Program, Rule};
+use cql_engine::{calculus, cells};
 use cql_equality::{EqConstraint as C, Equality};
 
 fn finite_relation(rows: &[&[i64]]) -> GenRelation<Equality> {

@@ -9,7 +9,8 @@
 
 use crate::types::{cross, Point};
 use cql_arith::Poly;
-use cql_core::{calculus, Database, Formula, GenRelation};
+use cql_core::{Database, Formula, GenRelation};
+use cql_engine::calculus;
 use cql_poly::{PolyConstraint, RealPoly};
 
 /// The binary point relation `R(x, y)` over the polynomial theory.

@@ -13,8 +13,9 @@
 
 use crate::types::NamedRect;
 use cql_arith::Rat;
-use cql_core::{calculus, CalculusQuery, Database, Formula, GenRelation};
+use cql_core::{CalculusQuery, Database, Formula, GenRelation};
 use cql_dense::{ClosedNetwork, Dense, DenseConstraint as C};
+use cql_engine::calculus;
 
 /// The ternary generalized relation `R(z, x, y)` of Example 1.1: one
 /// generalized tuple `z = n ∧ a ≤ x ≤ c ∧ b ≤ y ≤ d` per rectangle.

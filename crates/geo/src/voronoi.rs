@@ -14,7 +14,8 @@
 
 use crate::types::Point;
 use cql_arith::{Poly, Rat};
-use cql_core::{calculus, Database, Formula};
+use cql_core::{Database, Formula};
+use cql_engine::calculus;
 use cql_poly::{PolyConstraint, RealPoly};
 
 fn constant(r: &Rat) -> Poly {

@@ -1,21 +1,48 @@
 //! Seeded workload generators for the geometry benchmarks.
+//!
+//! A small self-contained splitmix64 stream keeps the crate
+//! dependency-free (same idiom as `cql_bool::qbf::random_instance`);
+//! workloads are deterministic per seed.
 
 use crate::types::{NamedRect, Point};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
+
+/// Deterministic splitmix64 stream.
+struct Lcg {
+    state: u64,
+}
+
+impl Lcg {
+    fn new(seed: u64) -> Lcg {
+        Lcg { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15) }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[lo, hi)`.
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        let span = (hi - lo) as u64;
+        lo + (self.next_u64() % span.max(1)) as i64
+    }
+}
 
 /// `n` random rectangles with integer corners in `[0, space)` and side
 /// lengths in `[1, max_side]`.
 #[must_use]
 pub fn random_rects(n: usize, space: i64, max_side: i64, seed: u64) -> Vec<NamedRect> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Lcg::new(seed);
     (0..n)
         .map(|i| {
-            let a = rng.gen_range(0..space);
-            let b = rng.gen_range(0..space);
-            let w = rng.gen_range(1..=max_side);
-            let h = rng.gen_range(1..=max_side);
+            let a = rng.range(0, space);
+            let b = rng.range(0, space);
+            let w = rng.range(1, max_side + 1);
+            let h = rng.range(1, max_side + 1);
             NamedRect::ints(i as i64, a, b, a + w, b + h)
         })
         .collect()
@@ -24,12 +51,12 @@ pub fn random_rects(n: usize, space: i64, max_side: i64, seed: u64) -> Vec<Named
 /// `n` distinct random integer points in `[0, space)²`.
 #[must_use]
 pub fn random_points(n: usize, space: i64, seed: u64) -> Vec<Point> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Lcg::new(seed);
     let mut seen = BTreeSet::new();
     let mut out = Vec::with_capacity(n);
     while out.len() < n {
-        let x = rng.gen_range(0..space);
-        let y = rng.gen_range(0..space);
+        let x = rng.range(0, space);
+        let y = rng.range(0, space);
         if seen.insert((x, y)) {
             out.push(Point::ints(x, y));
         }

@@ -11,9 +11,9 @@
 use crate::constraint::PolyConstraint;
 use crate::theory_impl::RealPoly;
 use cql_arith::{Poly, Rat};
-use cql_core::datalog::{Atom, FixpointOptions, Literal, Program, Rule};
 use cql_core::error::CqlError;
 use cql_core::relation::{Database, GenRelation};
+use cql_engine::datalog::{Atom, FixpointOptions, Literal, Program, Rule};
 
 /// The transitive-closure program `S(x,y) :- R(x,y); S(x,y) :- R(x,z), S(z,y)`.
 #[must_use]
@@ -56,8 +56,12 @@ pub struct NonClosureReport {
 /// paper's Example 1.12.
 #[must_use]
 pub fn demonstrate(budget_iterations: usize) -> NonClosureReport {
-    let opts = FixpointOptions { max_iterations: budget_iterations, max_tuples: 10_000 };
-    match cql_core::datalog::naive(&transitive_closure_program(), &doubling_edb(), &opts) {
+    let opts = FixpointOptions {
+        max_iterations: budget_iterations,
+        max_tuples: 10_000,
+        ..FixpointOptions::default()
+    };
+    match cql_engine::datalog::naive(&transitive_closure_program(), &doubling_edb(), &opts) {
         Err(CqlError::NotClosed { reason, iterations }) => NonClosureReport { iterations, reason },
         Ok(result) => panic!(
             "Example 1.12 unexpectedly converged after {} iterations — non-closure not observed",
@@ -85,8 +89,9 @@ mod tests {
         // catching the NotClosed error — then verifying points against a
         // freshly bounded run that we stop by restricting the budget and
         // inspecting the error only.
-        let opts = FixpointOptions { max_iterations: 4, max_tuples: 10_000 };
-        let err = cql_core::datalog::naive(&transitive_closure_program(), &doubling_edb(), &opts)
+        let opts =
+            FixpointOptions { max_iterations: 4, max_tuples: 10_000, ..FixpointOptions::default() };
+        let err = cql_engine::datalog::naive(&transitive_closure_program(), &doubling_edb(), &opts)
             .unwrap_err();
         assert!(matches!(err, CqlError::NotClosed { .. }));
     }

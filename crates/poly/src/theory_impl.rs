@@ -227,6 +227,13 @@ impl Theory for RealPoly {
     fn sample(conj: &[PolyConstraint], arity: usize) -> Option<Vec<Rat>> {
         decide::sample(conj, arity)
     }
+
+    fn signature(conj: &[PolyConstraint]) -> u64 {
+        // Variable-support mask. Sound because [`RealPoly::entails`] is
+        // syntactic (entailed canonical constraints are a subset of the
+        // entailing ones), so the entailed side mentions no new variable.
+        conj.iter().flat_map(|c| c.vars()).fold(0u64, |acc, v| acc | 1u64 << (v % 64))
+    }
 }
 
 /// Convenience builders for formulas over [`RealPoly`].

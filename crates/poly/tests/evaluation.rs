@@ -2,7 +2,8 @@
 //! (Theorem 2.3's closed-form bottom-up evaluation), plus Example 1.12.
 
 use cql_arith::{Poly, Rat};
-use cql_core::{calculus, CalculusQuery, CqlError, Database, Formula, GenRelation};
+use cql_core::{CalculusQuery, CqlError, Database, Formula, GenRelation};
+use cql_engine::calculus;
 use cql_poly::{nonclosure, PolyConstraint as C, RealPoly};
 
 fn x(v: usize) -> Poly {

@@ -1,0 +1,145 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this shim
+//! provides the subset of criterion's API the workspace benches use —
+//! `criterion_group!` / `criterion_main!`, [`Criterion::benchmark_group`],
+//! `bench_function` / `bench_with_input`, [`BenchmarkId`] and
+//! [`Bencher::iter`] — with a simple median-of-samples timer instead of
+//! criterion's statistical machinery. Output is one line per benchmark:
+//! `group/id/param ... <median> (<samples> samples)`.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value laundering, as in criterion.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into(), sample_size: 10 }
+    }
+
+    /// Run a single free-standing benchmark.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) {
+        run_benchmark(&id.to_string(), 10, f);
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run a benchmark within the group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, f);
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, |b| f(b, input));
+    }
+
+    /// Finish the group (report separator).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { text: format!("{name}/{parameter}") }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { text: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, collecting `sample_size` samples.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // One warm-up call, then timed samples.
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark(label: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher { samples: Vec::new(), sample_size };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    b.samples.sort();
+    let median = b.samples[b.samples.len() / 2];
+    println!("{label:<48} {median:>12.2?} ({} samples)", b.samples.len());
+}
+
+/// Collect benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,165 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this shim
+//! reimplements the (small) slice of proptest's API that the workspace's
+//! property tests use: [`Strategy`] with `prop_map`, range / tuple /
+//! collection strategies, `any::<T>()`, the `proptest!`, `prop_oneof!`,
+//! `prop_assert*!` and `prop_assume!` macros, and
+//! [`ProptestConfig::with_cases`].
+//!
+//! Differences from real proptest, by design:
+//! * cases are generated from a deterministic splitmix64 stream seeded by
+//!   the test name, so runs are reproducible without a persistence file;
+//! * there is no shrinking — failures report the already-small generated
+//!   values (all workspace strategies draw from small domains);
+//! * `prop_assert*!` panics (like `assert*!`) instead of returning a
+//!   `TestCaseResult`.
+
+pub mod rng;
+pub mod strategy;
+
+/// Run-time configuration for a `proptest!` block.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Mirror of proptest's `prop` module namespace.
+pub mod prop {
+    /// Collection strategies (`vec`, `btree_set`).
+    pub mod collection {
+        pub use crate::strategy::{btree_set, vec, SizeRange};
+    }
+}
+
+/// The glob-import surface used by the tests.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::ProptestConfig;
+    // `#[macro_export]` puts the macros at the crate root; re-export them
+    // so `use proptest::prelude::*` brings them in scope like upstream.
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Assert with formatted context inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skip the current case when a precondition does not hold.
+///
+/// The property body runs inside a closure returning
+/// `Result<(), String>` (so `return Ok(())` works as in real proptest);
+/// a failed assumption early-returns `Ok(())`, counting the case as
+/// passed rather than rejected.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Ok(());
+        }
+    };
+}
+
+/// Combine heterogeneous strategies producing the same value type.
+///
+/// Expands to nested [`strategy::Alt`] combinators with weights chosen so
+/// every arm is equally likely, keeping all types concrete (trait-object
+/// strategies defeat inference in `impl Strategy<Value = ...>` returns).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($strat:expr $(,)?) => { $strat };
+    ($strat:expr, $($rest:expr),+ $(,)?) => {
+        $crate::strategy::Alt::new(
+            $strat,
+            $crate::prop_oneof!($($rest),+),
+            1,
+            $crate::__prop_count!($($rest),+),
+        )
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __prop_count {
+    ($strat:expr) => { 1u64 };
+    ($strat:expr, $($rest:expr),+) => { 1u64 + $crate::__prop_count!($($rest),+) };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...)` body runs
+/// for `cases` deterministic generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::rng::TestRng::from_name(stringify!($name));
+            for __case in 0..__cfg.cases {
+                let _ = __case;
+                $(let $pat = $crate::strategy::Strategy::generate(&$strat, &mut __rng);)*
+                // Run the body in a closure returning `Result` so property
+                // bodies may `return Ok(())` (proptest's TestCaseResult).
+                let __result = (move || -> ::std::result::Result<(), ::std::string::String> {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                })();
+                if let Err(__e) = __result {
+                    panic!("property {} failed: {}", stringify!($name), __e);
+                }
+            }
+        }
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+}

@@ -146,7 +146,7 @@ fn polynomial_datalog_is_not_closed() {
     let err = datalog::naive(
         &cql_poly::nonclosure::transitive_closure_program(),
         &cql_poly::nonclosure::doubling_edb(),
-        &FixpointOptions { max_iterations: 6, max_tuples: 10_000 },
+        &FixpointOptions { max_iterations: 6, max_tuples: 10_000, ..FixpointOptions::default() },
     )
     .unwrap_err();
     match err {
