@@ -1,15 +1,32 @@
-//! `repro` — regenerate the paper's tables and figures as text reports.
+//! `repro` — regenerate the paper's tables and figures as text or JSON
+//! reports, with optional evaluation tracing.
 //!
 //! ```sh
 //! cargo run --release -p cql-bench --bin repro -- all
-//! cargo run --release -p cql-bench --bin repro -- table1 fig2 index ...
+//! cargo run --release -p cql-bench --bin repro -- t1 e8 e13
+//! cargo run --release -p cql-bench --bin repro -- --json e13
+//! cargo run --release -p cql-bench --bin repro -- --trace e13 --json --selfcheck
 //! ```
+//!
+//! Sections are addressed by experiment id (`f1`, `t1`, `f2`, `f3`,
+//! `e4`–`e15`, `a1`–`a3`) or their legacy names (`fig1`, `table1`,
+//! `containment`, `engine`, …). Flags:
+//!
+//! * `--json` — emit one machine-readable JSON document instead of text;
+//! * `--trace` — collect spans for the whole run and write a chrome
+//!   `trace_event` file (loadable in Perfetto / `about://tracing`) to
+//!   `target/repro-trace.json`; spans are only populated when the binary
+//!   is built with `--features trace`;
+//! * `--selfcheck` — after the run, re-parse everything emitted (JSON
+//!   document, E13 EXPLAIN report, chrome-trace file) and exit non-zero
+//!   on any failure. Used by the CI smoke job.
 //!
 //! Each section corresponds to an experiment of DESIGN.md §4 and feeds
 //! EXPERIMENTS.md. Wall-clock numbers vary by machine; the *shapes*
 //! (scaling exponents, who wins, divergence vs convergence) are the
 //! reproduction targets.
 
+use cql_bench::emitter::{ms, Emitter};
 use cql_bench::{
     chain_edb_dense, chain_edb_equality, compose_query_dense, compose_query_equality,
     interval_relation, loglog_slope, rat, tc_program_dense, tc_program_equality, timed,
@@ -17,169 +34,193 @@ use cql_bench::{
 use cql_core::{CalculusQuery, Formula};
 use cql_dense::Dense;
 use cql_engine::datalog::{self, FixpointOptions};
-use cql_engine::{calculus, cells};
+use cql_engine::{calculus, cells, Executor};
 use cql_index::{Backend, GeneralizedIndex};
+use cql_trace::{chrome, json, Counter, EvalReport, Json, MetricsScope, TraceSession};
 use std::collections::BTreeSet;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-fn ms(d: Duration) -> String {
-    format!("{:>6.2}ms", d.as_secs_f64() * 1e3)
+/// Milliseconds as a JSON-friendly number (3 decimal places).
+fn ms_f(d: Duration) -> f64 {
+    (d.as_secs_f64() * 1e6).round() / 1e3
 }
 
-fn header(title: &str) {
-    println!("\n================================================================");
-    println!("{title}");
-    println!("================================================================");
+/// F1 — Figure 1 pipeline.
+fn fig1(em: &mut Emitter) {
+    em.section("f1", "Figure 1: the CQL pipeline (closed form, bottom-up)");
+    let db = chain_edb_dense(4);
+    let q = compose_query_dense();
+    let out = calculus::evaluate(&q, &db).unwrap();
+    em.note("input E (4 generalized tuples) → φ(x,y) = ∃z E(x,z) ∧ E(z,y) →");
+    for t in out.tuples() {
+        em.note(&format!("  {t}"));
+    }
+    em.note("output is a generalized relation: closed form ✓");
+    em.datum("output_tuples", out.len() as u64);
+    let sentence = Formula::atom("E", vec![0, 1]).exists_all(&[0, 1]);
+    let decided = cells::decide(&sentence, &db).unwrap();
+    em.note(&format!("decide(∃x,y E(x,y)) = {decided}"));
+    em.datum("decide_exists_edge", decided);
 }
 
 /// T1 — the §1.3 data-complexity table, measured.
-fn table1() {
-    header("T1  §1.3 data-complexity table (measured scaling exponents)");
-    println!("fixed query, database size N doubling; reported: time per N and");
-    println!("the log-log slope (LOGSPACE/PTIME cells ⇒ small polynomial degree).\n");
+fn table1(em: &mut Emitter) {
+    em.section("t1", "§1.3 data-complexity table (measured scaling exponents)");
+    em.note("fixed query, database size N doubling; reported: time per N and");
+    em.note("the log-log slope (LOGSPACE/PTIME cells ⇒ small polynomial degree).\n");
 
-    let sizes = [16i64, 32, 64, 128];
+    let mut rows: Vec<Vec<Json>> = Vec::new();
+    let mut slopes: Vec<Vec<Json>> = Vec::new();
+    let mut record = |theory: &str, series: &[(f64, f64)], rows: &mut Vec<Vec<Json>>| {
+        for &(n, secs) in series {
+            rows.push(vec![
+                Json::from(theory),
+                Json::from(n as u64),
+                Json::from((secs * 1e6).round() / 1e3),
+            ]);
+        }
+        slopes.push(vec![
+            Json::from(theory),
+            Json::from((loglog_slope(series) * 100.0).round() / 100.0),
+        ]);
+    };
 
-    // Relational calculus + dense order.
     let mut series = Vec::new();
-    print!("RC + dense order      ");
-    for &n in &sizes {
+    for &n in &[16i64, 32, 64, 128] {
         let db = chain_edb_dense(n);
         let q = compose_query_dense();
         let (_, d) = timed(|| calculus::evaluate(&q, &db).unwrap());
         series.push((n as f64, d.as_secs_f64().max(1e-9)));
-        print!("{} ", ms(d));
     }
-    println!("  slope {:.2}", loglog_slope(&series));
+    record("RC + dense order", &series, &mut rows);
 
-    // Relational calculus + equality.
     let mut series = Vec::new();
-    print!("RC + equality         ");
-    for &n in &sizes {
+    for &n in &[16i64, 32, 64, 128] {
         let db = chain_edb_equality(n);
         let q = compose_query_equality();
         let (_, d) = timed(|| calculus::evaluate(&q, &db).unwrap());
         series.push((n as f64, d.as_secs_f64().max(1e-9)));
-        print!("{} ", ms(d));
     }
-    println!("  slope {:.2}", loglog_slope(&series));
+    record("RC + equality", &series, &mut rows);
 
-    // Relational calculus + polynomials (rectangle join per Example 1.1).
     let mut series = Vec::new();
-    print!("RC + polynomial       ");
     for &n in &[8usize, 16, 32, 64] {
         let rects = cql_geo::workload::random_rects(n, 8 * n as i64, 8, 1);
         let (_, d) = timed(|| cql_geo::rectangles::cql_intersections(&rects));
         series.push((n as f64, d.as_secs_f64().max(1e-9)));
-        print!("{} ", ms(d));
     }
-    println!("  slope {:.2}", loglog_slope(&series));
+    record("RC + polynomial", &series, &mut rows);
 
-    // Datalog¬ + dense order (transitive closure; PTIME).
     let mut series = Vec::new();
-    print!("Datalog + dense order ");
     for &n in &[8i64, 16, 32, 64] {
         let db = chain_edb_dense(n);
         let (_, d) =
             timed(|| datalog::seminaive(&tc_program_dense(), &db, &FixpointOptions::default()));
         series.push((n as f64, d.as_secs_f64().max(1e-9)));
-        print!("{} ", ms(d));
     }
-    println!("  slope {:.2}", loglog_slope(&series));
+    record("Datalog + dense order", &series, &mut rows);
 
-    // Datalog¬ + equality.
     let mut series = Vec::new();
-    print!("Datalog + equality    ");
     for &n in &[8i64, 16, 32, 64] {
         let db = chain_edb_equality(n);
         let (_, d) =
             timed(|| datalog::seminaive(&tc_program_equality(), &db, &FixpointOptions::default()));
         series.push((n as f64, d.as_secs_f64().max(1e-9)));
-        print!("{} ", ms(d));
     }
-    println!("  slope {:.2}", loglog_slope(&series));
+    record("Datalog + equality", &series, &mut rows);
+
+    em.table("series", &["theory", "N", "time ms"], &rows);
+    em.note("");
+    em.table("slopes", &["theory", "slope"], &slopes);
 
     // Datalog + polynomial: NOT closed (Example 1.12).
     let report = cql_poly::nonclosure::demonstrate(10);
-    println!(
-        "Datalog + polynomial  NOT CLOSED — diverges; budget tripped after {} rounds\n  ({})",
+    em.note(&format!(
+        "\nDatalog + polynomial  NOT CLOSED — diverges; budget tripped after {} rounds\n  ({})",
         report.iterations, report.reason
-    );
+    ));
+    em.datum("datalog_poly_not_closed_after_rounds", report.iterations as u64);
 }
 
 /// F2 — Figure 2 / Example 1.1 rectangle intersection.
-fn fig2() {
-    header("F2  Figure 2 / Example 1.1: rectangle intersection");
-    println!(
-        "{:>6} {:>10} {:>12} {:>12} {:>12} {:>7}",
-        "N", "pairs", "CQL", "naive", "sweep", "agree"
-    );
+fn fig2(em: &mut Emitter) {
+    em.section("f2", "Figure 2 / Example 1.1: rectangle intersection");
+    let mut rows = Vec::new();
     for &n in &[16usize, 32, 64, 128] {
         let rects = cql_geo::workload::random_rects(n, 6 * n as i64, 10, 2026);
         let (a, t_cql) = timed(|| cql_geo::rectangles::cql_intersections(&rects));
         let (b, t_naive) = timed(|| cql_geo::rectangles::naive_intersections(&rects));
         let (c, t_sweep) = timed(|| cql_geo::rectangles::sweep_intersections(&rects));
-        println!(
-            "{:>6} {:>10} {:>12} {:>12} {:>12} {:>7}",
-            n,
-            a.len(),
-            ms(t_cql),
-            ms(t_naive),
-            ms(t_sweep),
-            a == b && b == c
-        );
+        rows.push(vec![
+            Json::from(n as u64),
+            Json::from(a.len() as u64),
+            Json::from(ms_f(t_cql)),
+            Json::from(ms_f(t_naive)),
+            Json::from(ms_f(t_sweep)),
+            Json::from(a == b && b == c),
+        ]);
     }
+    em.table("rows", &["N", "pairs", "cql ms", "naive ms", "sweep ms", "agree"], &rows);
 }
 
 /// F3 — Figure 3 / Example 2.4 checkbook.
-fn fig3() {
-    header("F3  Figure 3 / Example 2.4: balanced checkbook");
+fn fig3(em: &mut Emitter) {
+    em.section("f3", "Figure 3 / Example 2.4: balanced checkbook");
     let q = cql_tableau::checkbook::balanced_checkbook();
-    println!("{q}");
-    println!("{:>8} {:>10} {:>12}", "users", "balanced", "eval");
+    em.note(&format!("{q}"));
+    let mut rows = Vec::new();
     for &n in &[100usize, 400, 1600] {
         let db = cql_tableau::checkbook::checkbook_database(n);
         let (out, d) = timed(|| q.evaluate(&db));
-        println!("{n:>8} {:>10} {:>12}", out.len(), ms(d));
+        rows.push(vec![Json::from(n as u64), Json::from(out.len() as u64), Json::from(ms_f(d))]);
     }
+    em.table("rows", &["users", "balanced", "eval ms"], &rows);
 }
 
 /// E4/E5 — containment decisions.
-fn containment() {
-    header("E4  Theorem 2.6: NP containment with linear equations");
+fn containment(em: &mut Emitter) {
+    em.section("e4", "Theorem 2.6: NP containment with linear equations");
     use cql_tableau::tableau::{Entry, TableauBuilder};
-    println!("{:>6} {:>10} {:>12} {:>9}", "rows", "mappings", "decide", "result");
-    for &rows in &[2usize, 3, 4, 5, 6] {
-        // q1: a length-`rows` R-path with a telescoping sum equation.
+    let mut rows = Vec::new();
+    for &nrows in &[2usize, 3, 4, 5, 6] {
+        // q1: a length-`nrows` R-path with a telescoping sum equation.
         let names: Vec<&'static str> = vec!["a", "b", "c", "d", "e", "f", "g"];
         let mut b1 = TableauBuilder::new(vec![Entry::Var(names[0])]);
-        for i in 0..rows {
+        for i in 0..nrows {
             b1 = b1.row("R", vec![Entry::Var(names[i]), Entry::Var(names[i + 1])]);
         }
-        let q1 = b1.equation(vec![(names[0], rat(1)), (names[rows], rat(-1))], rat(0)).build();
+        let q1 = b1.equation(vec![(names[0], rat(1)), (names[nrows], rat(-1))], rat(0)).build();
         let mut b2 = TableauBuilder::new(vec![Entry::Var("u")]);
-        for _ in 0..rows {
+        for _ in 0..nrows {
             b2 = b2.row("R", vec![Entry::Var("u"), Entry::Blank]);
         }
         let q2 = b2.build();
         let mappings = cql_tableau::containment::symbol_mappings(&q1, &q2).len();
         let (result, d) = timed(|| cql_tableau::contained_linear(&q1, &q2));
-        println!("{rows:>6} {mappings:>10} {:>12} {result:>9}", ms(d));
+        rows.push(vec![
+            Json::from(nrows as u64),
+            Json::from(mappings as u64),
+            Json::from(ms_f(d)),
+            Json::from(result),
+        ]);
     }
+    em.table("rows", &["rows", "mappings", "decide ms", "result"], &rows);
 
-    header("E5  Theorem 2.8: the homomorphism property fails (semiinterval)");
+    em.section("e5", "Theorem 2.8: the homomorphism property fails (semiinterval)");
     let (q1, q2) = cql_tableau::order_tableau::theorem_2_8_queries();
     let contained = cql_tableau::contained_order(&q1, &q2);
     let hom = cql_tableau::has_homomorphism(&q1, &q2);
-    println!("q1 ⊆ q2 (Lemma 2.5 exact check): {contained}");
-    println!("single homomorphism exists:      {hom}");
-    println!("(the paper's point: {contained} vs {hom})");
+    em.note(&format!("q1 ⊆ q2 (Lemma 2.5 exact check): {contained}"));
+    em.note(&format!("single homomorphism exists:      {hom}"));
+    em.note(&format!("(the paper's point: {contained} vs {hom})"));
+    em.datum("contained", contained);
+    em.datum("homomorphism_exists", hom);
 }
 
 /// E6 — convex hull.
-fn hull() {
-    header("E6  Example 2.1: convex hull — Floyd CQL (O(N⁴)) vs monotone chain");
-    println!("{:>6} {:>6} {:>12} {:>12} {:>7}", "N", "hull", "CQL", "chain", "agree");
+fn hull(em: &mut Emitter) {
+    em.section("e6", "Example 2.1: convex hull — Floyd CQL (O(N⁴)) vs monotone chain");
+    let mut rows = Vec::new();
     let mut series = Vec::new();
     for &n in &[5usize, 6, 7, 8] {
         let points = cql_geo::workload::random_points(n, 40, 7);
@@ -188,30 +229,43 @@ fn hull() {
         let sa: BTreeSet<_> = a.iter().collect();
         let sb: BTreeSet<_> = b.iter().collect();
         series.push((n as f64, t_cql.as_secs_f64().max(1e-9)));
-        println!("{:>6} {:>6} {:>12} {:>12} {:>7}", n, a.len(), ms(t_cql), ms(t_chain), sa == sb);
+        rows.push(vec![
+            Json::from(n as u64),
+            Json::from(a.len() as u64),
+            Json::from(ms_f(t_cql)),
+            Json::from(ms_f(t_chain)),
+            Json::from(sa == sb),
+        ]);
     }
-    println!("CQL slope {:.2} (Floyd's method is ~N⁴)", loglog_slope(&series));
+    em.table("rows", &["N", "hull", "cql ms", "chain ms", "agree"], &rows);
+    let slope = (loglog_slope(&series) * 100.0).round() / 100.0;
+    em.note(&format!("CQL slope {slope:.2} (Floyd's method is ~N⁴)"));
+    em.datum("cql_slope", slope);
 }
 
 /// E7 — Voronoi dual.
-fn voronoi() {
-    header("E7  Example 2.2: Voronoi dual — CQL sentences vs exact baseline");
-    println!("{:>6} {:>8} {:>12} {:>12} {:>7}", "N", "edges", "CQL", "baseline", "agree");
+fn voronoi(em: &mut Emitter) {
+    em.section("e7", "Example 2.2: Voronoi dual — CQL sentences vs exact baseline");
+    let mut rows = Vec::new();
     for &n in &[5usize, 7, 9, 11] {
         let points = cql_geo::workload::random_points(n, 24, 13);
         let (a, t_cql) = timed(|| cql_geo::voronoi::cql_voronoi_dual(&points));
         let (b, t_base) = timed(|| cql_geo::voronoi::baseline_voronoi_dual(&points));
-        println!("{:>6} {:>8} {:>12} {:>12} {:>7}", n, a.len(), ms(t_cql), ms(t_base), a == b);
+        rows.push(vec![
+            Json::from(n as u64),
+            Json::from(a.len() as u64),
+            Json::from(ms_f(t_cql)),
+            Json::from(ms_f(t_base)),
+            Json::from(a == b),
+        ]);
     }
+    em.table("rows", &["N", "edges", "cql ms", "baseline ms", "agree"], &rows);
 }
 
 /// E8 — Datalog engines over dense order.
-fn datalog_dense() {
-    header("E8  §3 Datalog + dense order: engines and derivation trees");
-    println!(
-        "{:>6} {:>12} {:>12} {:>12} {:>12} {:>6} {:>7}",
-        "N", "naive", "semi-naive", "cell", "cell-par4", "depth", "fringe"
-    );
+fn datalog_dense(em: &mut Emitter) {
+    em.section("e8", "§3 Datalog + dense order: engines and derivation trees");
+    let mut rows = Vec::new();
     for &n in &[6i64, 10, 14, 18] {
         let db = chain_edb_dense(n);
         let program = tc_program_dense();
@@ -220,23 +274,27 @@ fn datalog_dense() {
         let (_, t_semi) = timed(|| datalog::seminaive(&program, &db, &opts).unwrap());
         let (cell, t_cell) = timed(|| datalog::cell_naive(&program, &db, &opts).unwrap());
         let (_, t_par) = timed(|| datalog::cell_parallel(&program, &db, &opts, 4).unwrap());
-        println!(
-            "{:>6} {:>12} {:>12} {:>12} {:>12} {:>6} {:>7}",
-            n,
-            ms(t_naive),
-            ms(t_semi),
-            ms(t_cell),
-            ms(t_par),
-            cell.stats.max_depth,
-            cell.stats.max_fringe
-        );
+        rows.push(vec![
+            Json::from(n as u64),
+            Json::from(ms_f(t_naive)),
+            Json::from(ms_f(t_semi)),
+            Json::from(ms_f(t_cell)),
+            Json::from(ms_f(t_par)),
+            Json::from(cell.stats.max_depth as u64),
+            Json::from(cell.stats.max_fringe as u64),
+        ]);
     }
+    em.table(
+        "rows",
+        &["N", "naive ms", "seminaive ms", "cell ms", "cellpar4 ms", "depth", "fringe"],
+        &rows,
+    );
 }
 
 /// E9 — equality theory scaling.
-fn equality() {
-    header("E9  §4 equality constraints: calculus and Datalog scaling");
-    println!("{:>6} {:>12} {:>12}", "N", "RC", "Datalog");
+fn equality(em: &mut Emitter) {
+    em.section("e9", "§4 equality constraints: calculus and Datalog scaling");
+    let mut rows = Vec::new();
     for &n in &[16i64, 32, 64, 128] {
         let db = chain_edb_equality(n);
         let q = compose_query_equality();
@@ -250,34 +308,37 @@ fn equality() {
         } else {
             ((), Duration::ZERO)
         };
-        println!("{n:>6} {:>12} {:>12}", ms(t_rc), ms(t_dl));
+        rows.push(vec![Json::from(n as u64), Json::from(ms_f(t_rc)), Json::from(ms_f(t_dl))]);
     }
+    em.table("rows", &["N", "rc ms", "datalog ms"], &rows);
 }
 
 /// E10 — boolean Datalog.
-fn boolean() {
-    header("E10  §5 boolean Datalog: adder chain and parity scaling");
-    println!("ripple adder (chained 1-bit adders via Boole's lemma):");
-    println!("{:>6} {:>12}", "bits", "derive");
+fn boolean(em: &mut Emitter) {
+    em.section("e10", "§5 boolean Datalog: adder chain and parity scaling");
+    em.note("ripple adder (chained 1-bit adders via Boole's lemma):");
+    let mut rows = Vec::new();
     for &bits in &[1usize, 2, 3, 4] {
         let (rel, d) = timed(|| cql_bool::programs::ripple_adder(bits).unwrap());
         let _ = rel;
-        println!("{bits:>6} {:>12}", ms(d));
+        rows.push(vec![Json::from(bits as u64), Json::from(ms_f(d))]);
     }
-    println!("\nrecursive parity program (generator count m = n + ⌈log n⌉ —");
-    println!("canonical forms grow exponentially in m, Theorem 5.6's bound):");
-    println!("{:>6} {:>12}", "n", "derive");
+    em.table("adder", &["bits", "derive ms"], &rows);
+    em.note("\nrecursive parity program (generator count m = n + ⌈log n⌉ —");
+    em.note("canonical forms grow exponentially in m, Theorem 5.6's bound):");
+    let mut rows = Vec::new();
     for &n in &[2usize, 3, 4, 5] {
         let (_, d) = timed(|| cql_bool::programs::parity_program(n).unwrap());
-        println!("{n:>6} {:>12}", ms(d));
+        rows.push(vec![Json::from(n as u64), Json::from(ms_f(d))]);
     }
+    em.table("parity", &["n", "derive ms"], &rows);
 }
 
 /// E11 — QBF hardness.
-fn qbf() {
-    header("E11  Lemma 5.9 / Theorem 5.11: Π₂ᵖ hardness machinery");
-    let mut checked = 0;
-    let mut agreed = 0;
+fn qbf(em: &mut Emitter) {
+    em.section("e11", "Lemma 5.9 / Theorem 5.11: Π₂ᵖ hardness machinery");
+    let mut checked = 0u64;
+    let mut agreed = 0u64;
     for seed in 0..40 {
         let q = cql_bool::qbf::random_instance(3, 3, 4, seed);
         checked += 1;
@@ -285,23 +346,23 @@ fn qbf() {
             agreed += 1;
         }
     }
-    println!("brute force vs free-algebra solvability: {agreed}/{checked} agree");
-    println!("\nsolver time vs universal-variable count m (exponential shape):");
-    println!("{:>4} {:>12}", "m", "decide");
+    em.note(&format!("brute force vs free-algebra solvability: {agreed}/{checked} agree"));
+    em.datum("agree", agreed);
+    em.datum("checked", checked);
+    em.note("\nsolver time vs universal-variable count m (exponential shape):");
+    let mut rows = Vec::new();
     for &m in &[4usize, 8, 12, 16] {
         let q = cql_bool::qbf::random_instance(3, m, 6, 7);
         let (_, d) = timed(|| q.via_free_algebra());
-        println!("{m:>4} {:>12}", ms(d));
+        rows.push(vec![Json::from(m as u64), Json::from(ms_f(d))]);
     }
+    em.table("rows", &["m", "decide ms"], &rows);
 }
 
 /// E12 — generalized indexing.
-fn index() {
-    header("E12  §1.1(3): generalized 1-d indexing — node accesses");
-    println!(
-        "{:>8} {:>8} | {:>12} {:>12} {:>12}  (accesses per search)",
-        "N", "K", "naive scan", "interval tree", "PST"
-    );
+fn index(em: &mut Emitter) {
+    em.section("e12", "§1.1(3): generalized 1-d indexing — node accesses");
+    let mut rows = Vec::new();
     for &n in &[256i64, 1024, 4096] {
         let rel = interval_relation(n);
         let qlo = rat(3 * n / 2);
@@ -316,10 +377,17 @@ fn index() {
             let _ = idx.search(&qlo, &qhi);
             row.push(idx.accesses());
         }
-        println!("{:>8} {:>8} | {:>12} {:>12} {:>12}", n, k, row[0], row[1], row[2]);
+        rows.push(vec![
+            Json::from(n as u64),
+            Json::from(k as u64),
+            Json::from(row[0]),
+            Json::from(row[1]),
+            Json::from(row[2]),
+        ]);
     }
-    println!("\nB+-tree point-index cost model (log_B N height):");
-    println!("{:>8} {:>6} {:>8} {:>18}", "N", "B", "height", "accesses/query");
+    em.table("interval_search", &["N", "K", "naive scan", "interval tree", "pst"], &rows);
+    em.note("\nB+-tree point-index cost model (log_B N height):");
+    let mut rows = Vec::new();
     for &(n, b) in &[(1000i64, 8usize), (10_000, 8), (10_000, 32), (100_000, 32)] {
         let mut tree = cql_index::BPlusTree::new(b);
         for i in 0..n {
@@ -329,41 +397,223 @@ fn index() {
         for q in 0..50 {
             let _ = tree.get(&rat(q * (n / 50)));
         }
-        println!("{n:>8} {b:>6} {:>8} {:>18.1}", tree.height(), tree.accesses() as f64 / 50.0);
+        rows.push(vec![
+            Json::from(n as u64),
+            Json::from(b as u64),
+            Json::from(tree.height() as u64),
+            Json::from((tree.accesses() as f64 / 50.0 * 10.0).round() / 10.0),
+        ]);
     }
+    em.table("bplus_tree", &["N", "B", "height", "accesses per query"], &rows);
 }
 
-/// Ablation — cell EVAL vs symbolic QE for the calculus.
-fn ablation() {
-    header("A1  ablation: symbolic QE vs cell-based EVAL_φ (dense order)");
-    println!("{:>6} {:>14} {:>14}", "N", "symbolic", "cells");
+/// E13 — the indexed subsumption store, measured under scoped metrics,
+/// plus the fixpoint EXPLAIN report.
+fn engine_store(em: &mut Emitter) -> EvalReport {
+    use cql_core::relation::{GenRelation, GenTuple};
+    use cql_core::{EnginePolicy, SubsumptionMode};
+    use cql_dense::DenseConstraint as C;
+
+    em.section("e13", "engine: indexed subsumption store vs quadratic baseline");
+    // The E8 workload's insert stream at N = 2^10: transitive-closure
+    // tuples of a 64-node chain, emitted in ascending path length (the
+    // order semi-naive derivation produces them), truncated to 2^10.
+    let n_tuples = 1usize << 10;
+    let nodes = 64i64;
+    let mut stream: Vec<Vec<C>> = Vec::with_capacity(n_tuples);
+    'fill: for dist in 1..nodes {
+        for i in 0..nodes - dist {
+            stream.push(vec![C::eq_const(0, i), C::eq_const(1, i + dist)]);
+            if stream.len() == n_tuples {
+                break 'fill;
+            }
+        }
+    }
+    // Per-mode scoped metrics: each run opens its own MetricsScope, so
+    // the counters are exact regardless of what else the process does
+    // (the old global reset()/snapshot() pair could not promise that).
+    let run = |mode: SubsumptionMode, label: &str| {
+        let scope = MetricsScope::enter(label);
+        let (len, d) = timed(|| {
+            let mut rel =
+                GenRelation::<Dense>::with_policy(2, EnginePolicy::with_subsumption(mode));
+            for conj in &stream {
+                if let Some(t) = GenTuple::new(conj.clone()) {
+                    rel.insert(t);
+                }
+            }
+            rel.len()
+        });
+        (len, scope.snapshot(), d)
+    };
+    let (len_q, m_q, d_q) = run(SubsumptionMode::Quadratic, "e13.quadratic");
+    let (len_i, m_i, d_i) = run(SubsumptionMode::Indexed, "e13.indexed");
+    em.note(&format!("insert stream: {} TC tuples over a {nodes}-node chain\n", stream.len()));
+    let mode_row = |name: &str, len: usize, m: &cql_trace::MetricsSnapshot, d: Duration| {
+        vec![
+            Json::from(name),
+            Json::from(len as u64),
+            Json::from(m.get(Counter::EntailmentChecks)),
+            Json::from(m.get(Counter::SampleSkips)),
+            Json::from(m.get(Counter::SignatureSkips)),
+            Json::from(ms_f(d)),
+        ]
+    };
+    em.table(
+        "modes",
+        &["mode", "tuples", "entails calls", "sample skips", "sig skips", "time ms"],
+        &[mode_row("quadratic", len_q, &m_q, d_q), mode_row("indexed", len_i, &m_i, d_i)],
+    );
+    let checks_q = m_q.get(Counter::EntailmentChecks);
+    let checks_i = m_i.get(Counter::EntailmentChecks);
+    em.note(&format!(
+        "\nsame relation: {} | strict entailment-check reduction: {} ({}x fewer)",
+        len_q == len_i,
+        checks_i < checks_q,
+        checks_q.checked_div(checks_i).unwrap_or(checks_q)
+    ));
+    em.datum("same_relation", len_q == len_i);
+    em.datum("entailment_reduction", checks_i < checks_q);
+
+    // The EXPLAIN artifact: a traced semi-naive transitive-closure
+    // fixpoint with per-round telemetry, scoped metrics and operator
+    // timings assembled into an EvalReport.
+    let n = 64i64;
+    let db = chain_edb_dense(n);
+    let program = tc_program_dense();
+    let threads = Executor::from_env().threads();
+    let opts = FixpointOptions { threads, ..Default::default() };
+    let scope = MetricsScope::enter("e13.fixpoint");
+    let start = Instant::now();
+    let (result, rounds) = datalog::seminaive_explain(&program, &db, &opts).unwrap();
+    let wall = start.elapsed();
+    let snap = scope.snapshot();
+    drop(scope);
+    let report = EvalReport::from_snapshot(
+        "T(x,y) :- E(x,y); T(x,y) :- T(x,z), E(z,y)  [semi-naive, 64-node chain]",
+        "dense linear order",
+        threads,
+        &snap,
+        rounds,
+        result.idb.get("T").map_or(0, cql_core::GenRelation::len) as u64,
+        u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX),
+    );
+    em.note("");
+    em.note(&report.render_text());
+    em.datum("eval_report", report.to_json());
+    report
+}
+
+/// E14 — the unified executor: thread scaling of the semi-naive fixpoint.
+fn engine_threads(em: &mut Emitter) {
+    em.section("e14", "engine: unified executor — parallel symbolic semi-naive");
+    let n = 64i64;
+    let db = chain_edb_dense(n);
+    let program = tc_program_dense();
+    em.note(&format!("transitive closure, {n}-node dense chain, semi-naive rounds:\n"));
+    let mut rows = Vec::new();
+    let mut times = Vec::new();
+    for &threads in &[1usize, 2, 4] {
+        let opts = FixpointOptions { threads, ..Default::default() };
+        let (out, d) = timed(|| datalog::seminaive(&program, &db, &opts).unwrap());
+        rows.push(vec![
+            Json::from(threads as u64),
+            Json::from(ms_f(d)),
+            Json::from(out.idb.get("T").map_or(0, cql_core::GenRelation::len) as u64),
+        ]);
+        times.push((threads, d));
+    }
+    em.table("rows", &["threads", "time ms", "tuples"], &rows);
+    let t1 = times[0].1.as_secs_f64();
+    let t4 = times[2].1.as_secs_f64();
+    let speedup = ((t1 / t4.max(1e-9)) * 100.0).round() / 100.0;
+    em.note(&format!(
+        "\n4-thread speedup over 1 thread: {speedup:.2}x (host has {} core(s) — \
+         speedup > 1 requires a multi-core host)",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    ));
+    em.datum("speedup_4_over_1", speedup);
+}
+
+/// E15 — telemetry overhead: the instrumented engine with telemetry
+/// dormant vs actively scoped.
+fn overhead(em: &mut Emitter) {
+    em.section("e15", "telemetry overhead: dormant instrumentation vs scoped run");
+    em.note("semi-naive TC fixpoint (32-node chain), best of 5 per configuration;");
+    em.note("'dormant' = no MetricsScope, no TraceSession (the default state);");
+    em.note("'scoped' = the whole run under a per-query MetricsScope.\n");
+    let db = chain_edb_dense(32);
+    let program = tc_program_dense();
+    let opts = FixpointOptions::default();
+    // Warm-up (allocator, page faults).
+    let _ = datalog::seminaive(&program, &db, &opts).unwrap();
+    let mut dormant = Duration::MAX;
+    let mut scoped = Duration::MAX;
+    for _ in 0..5 {
+        let (_, d) = timed(|| datalog::seminaive(&program, &db, &opts).unwrap());
+        dormant = dormant.min(d);
+        let (_, d) = timed(|| {
+            let _scope = MetricsScope::enter("e15.scoped");
+            datalog::seminaive(&program, &db, &opts).unwrap()
+        });
+        scoped = scoped.min(d);
+    }
+    let pct = ((scoped.as_secs_f64() / dormant.as_secs_f64().max(1e-12) - 1.0) * 1e4).round() / 1e2;
+    em.table(
+        "rows",
+        &["config", "time ms"],
+        &[
+            vec![Json::from("dormant"), Json::from(ms_f(dormant))],
+            vec![Json::from("scoped"), Json::from(ms_f(scoped))],
+        ],
+    );
+    em.note(&format!(
+        "\noverhead: {pct:+.2}% (target: < 5% with the trace feature off; \
+         span feature compiled {})",
+        if cfg!(feature = "trace") { "IN" } else { "OUT" }
+    ));
+    em.datum("overhead_percent", pct);
+    em.datum("trace_feature_compiled", cfg!(feature = "trace"));
+    em.datum("within_target", pct < 5.0);
+}
+
+/// A1/A2 — evaluation ablations.
+fn ablation(em: &mut Emitter) {
+    em.section("a1", "ablation: symbolic QE vs cell-based EVAL_φ (dense order)");
+    let mut rows = Vec::new();
     for &n in &[4i64, 8, 12, 16] {
         let db = chain_edb_dense(n);
         let q: CalculusQuery<Dense> = compose_query_dense();
         let (_, t_sym) = timed(|| calculus::evaluate(&q, &db).unwrap());
         let (_, t_cell) = timed(|| cells::evaluate(&q, &db).unwrap());
-        println!("{n:>6} {:>14} {:>14}", ms(t_sym), ms(t_cell));
+        rows.push(vec![Json::from(n as u64), Json::from(ms_f(t_sym)), Json::from(ms_f(t_cell))]);
     }
-    println!("(cell enumeration pays |cells(m)| up front; symbolic QE scales with");
-    println!(" the DNF it touches — the crossover motivates keeping both, §3.1 vs §3.2)");
+    em.table("rows", &["N", "symbolic ms", "cells ms"], &rows);
+    em.note("(cell enumeration pays |cells(m)| up front; symbolic QE scales with");
+    em.note(" the DNF it touches — the crossover motivates keeping both, §3.1 vs §3.2)");
 
-    header("A2  ablation: naive vs semi-naive round counts");
-    println!("{:>6} {:>8} {:>10}", "N", "naive", "semi-naive");
+    em.section("a2", "ablation: naive vs semi-naive round counts");
+    let mut rows = Vec::new();
     for &n in &[6i64, 10, 14] {
         let db = chain_edb_dense(n);
         let program = tc_program_dense();
         let opts = FixpointOptions::default();
         let a = datalog::naive(&program, &db, &opts).unwrap();
         let b = datalog::seminaive(&program, &db, &opts).unwrap();
-        println!("{n:>6} {:>8} {:>10}", a.iterations, b.iterations);
+        rows.push(vec![
+            Json::from(n as u64),
+            Json::from(a.iterations as u64),
+            Json::from(b.iterations as u64),
+        ]);
     }
+    em.table("rows", &["N", "naive", "seminaive"], &rows);
 }
 
 /// A3 — representation ablation: truth tables vs ROBDDs.
-fn representation() {
-    header("A3  ablation: truth-table vs BDD canonical forms (n-bit parity)");
+fn representation(em: &mut Emitter) {
+    em.section("a3", "ablation: truth-table vs BDD canonical forms (n-bit parity)");
     use cql_bool::{Bdd, BoolFunc, Input};
-    println!("{:>4} {:>14} {:>14} {:>12}", "n", "table build", "bdd build", "bdd nodes");
+    let mut rows = Vec::new();
     for &n in &[8usize, 12, 16, 20] {
         let (t_func, d_table) = timed(|| {
             let mut f = BoolFunc::zero();
@@ -380,163 +630,177 @@ fn representation() {
             f
         });
         let _ = t_func;
-        println!("{n:>4} {:>14} {:>14} {:>12}", ms(d_table), ms(d_bdd), bdd.node_count());
+        rows.push(vec![
+            Json::from(n as u64),
+            Json::from(ms_f(d_table)),
+            Json::from(ms_f(d_bdd)),
+            Json::from(bdd.node_count() as u64),
+        ]);
     }
-    println!("(the table is 2^n bits; the parity BDD is 2n−1 nodes — the classic");
-    println!(" separation; both are canonical, cf. DESIGN.md on the choice)");
+    em.table("rows", &["n", "table build ms", "bdd build ms", "bdd nodes"], &rows);
+    em.note("(the table is 2^n bits; the parity BDD is 2n−1 nodes — the classic");
+    em.note(" separation; both are canonical, cf. DESIGN.md on the choice)");
 }
 
-/// E13 — the shared evaluation engine: indexed subsumption store and the
-/// unified parallel executor.
-fn engine() {
-    use cql_core::relation::{GenRelation, GenTuple};
-    use cql_core::{metrics, EnginePolicy, SubsumptionMode};
-    use cql_dense::DenseConstraint as C;
+const TRACE_PATH: &str = "target/repro-trace.json";
 
-    header("E13  engine: indexed subsumption store vs quadratic baseline");
-    // The E8 workload's insert stream at N = 2^10: transitive-closure
-    // tuples of a 64-node chain, emitted in ascending path length (the
-    // order semi-naive derivation produces them), truncated to 2^10.
-    let n_tuples = 1usize << 10;
-    let nodes = 64i64;
-    let mut stream: Vec<Vec<C>> = Vec::with_capacity(n_tuples);
-    'fill: for dist in 1..nodes {
-        for i in 0..nodes - dist {
-            stream.push(vec![C::eq_const(0, i), C::eq_const(1, i + dist)]);
-            if stream.len() == n_tuples {
-                break 'fill;
+const USAGE: &str = "usage: repro [--json] [--trace] [--selfcheck] [ids...|all]
+ids: f1 t1 f2 f3 e4..e15 a1 a2 a3 (or legacy names: fig1 table1 fig2 fig3
+containment hull voronoi datalog equality boolean qbf index engine
+overhead ablation); e1/e2/e3 alias f1/t1/f2";
+
+fn main() {
+    let mut json = false;
+    let mut trace = false;
+    let mut selfcheck = false;
+    let mut ids: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--trace" => trace = true,
+            "--selfcheck" => selfcheck = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+            other => ids.push(other.to_ascii_lowercase()),
+        }
+    }
+    let all = ids.is_empty() || ids.iter().any(|a| a == "all");
+    let want = |keys: &[&str]| all || ids.iter().any(|id| keys.contains(&id.as_str()));
+
+    let session = trace.then(TraceSession::begin);
+    let mut em = Emitter::new(json);
+    let mut e13_report = None;
+
+    if want(&["f1", "fig1", "e1"]) {
+        fig1(&mut em);
+    }
+    if want(&["t1", "table1", "e2"]) {
+        table1(&mut em);
+    }
+    if want(&["f2", "fig2", "e3"]) {
+        fig2(&mut em);
+    }
+    if want(&["f3", "fig3"]) {
+        fig3(&mut em);
+    }
+    if want(&["e4", "e5", "containment"]) {
+        containment(&mut em);
+    }
+    if want(&["e6", "hull"]) {
+        hull(&mut em);
+    }
+    if want(&["e7", "voronoi"]) {
+        voronoi(&mut em);
+    }
+    if want(&["e8", "datalog"]) {
+        datalog_dense(&mut em);
+    }
+    if want(&["e9", "equality"]) {
+        equality(&mut em);
+    }
+    if want(&["e10", "boolean"]) {
+        boolean(&mut em);
+    }
+    if want(&["e11", "qbf"]) {
+        qbf(&mut em);
+    }
+    if want(&["e12", "index"]) {
+        index(&mut em);
+    }
+    if want(&["e13", "engine"]) {
+        e13_report = Some(engine_store(&mut em));
+    }
+    if want(&["e14", "engine"]) {
+        engine_threads(&mut em);
+    }
+    if want(&["e15", "overhead"]) {
+        overhead(&mut em);
+    }
+    if want(&["a1", "a2", "ablation"]) {
+        ablation(&mut em);
+    }
+    if want(&["a3", "ablation"]) {
+        representation(&mut em);
+    }
+
+    let mut trace_written = false;
+    if let Some(session) = session {
+        let collecting = session.is_collecting();
+        let records = session.end();
+        let doc = chrome::render(&records);
+        match std::fs::create_dir_all("target")
+            .and_then(|()| std::fs::write(TRACE_PATH, doc.pretty()))
+        {
+            Ok(()) => {
+                trace_written = true;
+                em.toplevel("trace_file", TRACE_PATH);
+                em.toplevel("trace_events", records.len() as u64);
+                if !collecting && !cfg!(feature = "trace") {
+                    em.note(
+                        "(spans empty: build with --features trace to populate the chrome trace)",
+                    );
+                }
+            }
+            Err(e) => eprintln!("warning: could not write {TRACE_PATH}: {e}"),
+        }
+    }
+
+    let doc = em.finish();
+
+    if selfcheck {
+        match run_selfcheck(&doc, e13_report.as_ref(), trace_written) {
+            Ok(summary) => eprintln!("selfcheck: ok ({summary})"),
+            Err(e) => {
+                eprintln!("selfcheck: FAILED: {e}");
+                std::process::exit(1);
             }
         }
     }
-    let run = |mode: SubsumptionMode| {
-        metrics::reset();
-        let (len, d) = timed(|| {
-            let mut rel =
-                GenRelation::<Dense>::with_policy(2, EnginePolicy::with_subsumption(mode));
-            for conj in &stream {
-                if let Some(t) = GenTuple::new(conj.clone()) {
-                    rel.insert(t);
-                }
-            }
-            rel.len()
-        });
-        (len, metrics::snapshot(), d)
-    };
-    let (len_q, m_q, d_q) = run(SubsumptionMode::Quadratic);
-    let (len_i, m_i, d_i) = run(SubsumptionMode::Indexed);
-    println!("insert stream: {} TC tuples over a {nodes}-node chain\n", stream.len());
-    println!(
-        "{:>12} {:>8} {:>16} {:>14} {:>12} {:>10}",
-        "mode", "tuples", "entails calls", "sample skips", "sig skips", "time"
-    );
-    println!(
-        "{:>12} {:>8} {:>16} {:>14} {:>12} {:>10}",
-        "quadratic",
-        len_q,
-        m_q.entailment_checks,
-        m_q.sample_skips,
-        m_q.signature_skips,
-        ms(d_q)
-    );
-    println!(
-        "{:>12} {:>8} {:>16} {:>14} {:>12} {:>10}",
-        "indexed",
-        len_i,
-        m_i.entailment_checks,
-        m_i.sample_skips,
-        m_i.signature_skips,
-        ms(d_i)
-    );
-    println!(
-        "\nsame relation: {} | strict entailment-check reduction: {} ({}x fewer)",
-        len_q == len_i,
-        m_i.entailment_checks < m_q.entailment_checks,
-        m_q.entailment_checks.checked_div(m_i.entailment_checks).unwrap_or(m_q.entailment_checks)
-    );
-
-    header("E14  engine: unified executor — parallel symbolic semi-naive");
-    let n = 64i64;
-    let db = chain_edb_dense(n);
-    let program = tc_program_dense();
-    println!("transitive closure, {n}-node dense chain, semi-naive rounds:\n");
-    println!("{:>8} {:>12} {:>8}", "threads", "time", "tuples");
-    let mut times = Vec::new();
-    for &threads in &[1usize, 2, 4] {
-        let opts = FixpointOptions { threads, ..Default::default() };
-        let (out, d) = timed(|| datalog::seminaive(&program, &db, &opts).unwrap());
-        println!("{threads:>8} {:>12} {:>8}", ms(d), out.idb.get("T").map_or(0, |r| r.len()));
-        times.push((threads, d));
-    }
-    let t1 = times[0].1.as_secs_f64();
-    let t4 = times[2].1.as_secs_f64();
-    println!(
-        "\n4-thread speedup over 1 thread: {:.2}x (host has {} core(s) — \
-         speedup > 1 requires a multi-core host)",
-        t1 / t4.max(1e-9),
-        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-    );
+    let _ = ms(Duration::ZERO); // keep the text helper linked for benches
 }
 
-fn fig1() {
-    header("F1  Figure 1: the CQL pipeline (closed form, bottom-up)");
-    let db = chain_edb_dense(4);
-    let q = compose_query_dense();
-    let out = calculus::evaluate(&q, &db).unwrap();
-    println!("input E (4 generalized tuples) → φ(x,y) = ∃z E(x,z) ∧ E(z,y) →");
-    for t in out.tuples() {
-        println!("  {t}");
+/// Re-parse everything this run emitted: the JSON document round-trips,
+/// the E13 EXPLAIN report deserializes with non-empty rounds, and the
+/// chrome-trace file parses with strictly nested spans per thread.
+fn run_selfcheck(
+    doc: &Json,
+    e13: Option<&EvalReport>,
+    trace_written: bool,
+) -> Result<String, String> {
+    let mut checks = Vec::new();
+    let reparsed = json::parse(&doc.pretty()).map_err(|e| format!("document re-parse: {e}"))?;
+    if reparsed != *doc {
+        return Err("document JSON round-trip mismatch".into());
     }
-    println!("output is a generalized relation: closed form ✓");
-    let sentence = Formula::atom("E", vec![0, 1]).exists_all(&[0, 1]);
-    println!("decide(∃x,y E(x,y)) = {}", cells::decide(&sentence, &db).unwrap());
-}
+    checks.push("doc round-trip".to_string());
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let all = args.is_empty() || args.iter().any(|a| a == "all");
-    let want = |name: &str| all || args.iter().any(|a| a == name);
+    if let Some(report) = e13 {
+        let text = report.to_json().pretty();
+        let back = EvalReport::from_json(&json::parse(&text).map_err(|e| format!("report: {e}"))?)
+            .map_err(|e| format!("report from_json: {e}"))?;
+        if back != *report {
+            return Err("EvalReport JSON round-trip mismatch".into());
+        }
+        if report.rounds.is_empty() {
+            return Err("EvalReport has no fixpoint rounds".into());
+        }
+        checks.push(format!("e13 report ({} rounds)", report.rounds.len()));
+    }
 
-    if want("fig1") {
-        fig1();
+    if trace_written {
+        let text =
+            std::fs::read_to_string(TRACE_PATH).map_err(|e| format!("read {TRACE_PATH}: {e}"))?;
+        let events = chrome::parse(&text).map_err(|e| format!("chrome trace: {e}"))?;
+        if let Some((a, b)) = chrome::nesting_violation(&events) {
+            return Err(format!("chrome trace spans \"{a}\" and \"{b}\" partially overlap"));
+        }
+        checks.push(format!("chrome trace ({} events)", events.len()));
     }
-    if want("table1") {
-        table1();
-    }
-    if want("fig2") {
-        fig2();
-    }
-    if want("fig3") {
-        fig3();
-    }
-    if want("containment") {
-        containment();
-    }
-    if want("hull") {
-        hull();
-    }
-    if want("voronoi") {
-        voronoi();
-    }
-    if want("datalog") {
-        datalog_dense();
-    }
-    if want("equality") {
-        equality();
-    }
-    if want("boolean") {
-        boolean();
-    }
-    if want("qbf") {
-        qbf();
-    }
-    if want("index") {
-        index();
-    }
-    if want("engine") {
-        engine();
-    }
-    if want("ablation") {
-        ablation();
-        representation();
-    }
+    Ok(checks.join(", "))
 }

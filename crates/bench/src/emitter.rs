@@ -1,0 +1,184 @@
+//! Dual text/JSON output for the `repro` harness.
+//!
+//! Every experiment section routes its results through an [`Emitter`]:
+//! in text mode the emitter prints the familiar headed tables; in JSON
+//! mode (`repro --json`) it accumulates one object per section and
+//! prints a single machine-readable document at the end — the same data,
+//! mechanically consumable (and round-trip-validated by `--selfcheck`).
+
+use cql_trace::Json;
+use std::time::Duration;
+
+/// Format a duration the way the text reports do.
+#[must_use]
+pub fn ms(d: Duration) -> String {
+    format!("{:>6.2}ms", d.as_secs_f64() * 1e3)
+}
+
+/// Accumulates experiment sections and renders them as text or JSON.
+pub struct Emitter {
+    json: bool,
+    sections: Vec<(String, String, Json)>,
+    extra: Vec<(String, Json)>,
+}
+
+impl Emitter {
+    /// A new emitter; `json` selects the output mode.
+    #[must_use]
+    pub fn new(json: bool) -> Emitter {
+        Emitter { json, sections: Vec::new(), extra: Vec::new() }
+    }
+
+    /// Is this emitter in JSON mode?
+    #[must_use]
+    pub fn is_json(&self) -> bool {
+        self.json
+    }
+
+    /// Start a new experiment section.
+    pub fn section(&mut self, id: &str, title: &str) {
+        if !self.json {
+            println!("\n================================================================");
+            println!("{id}  {title}");
+            println!("================================================================");
+        }
+        self.sections.push((id.to_string(), title.to_string(), Json::obj()));
+    }
+
+    fn current(&mut self) -> &mut Json {
+        &mut self.sections.last_mut().expect("section() before emit").2
+    }
+
+    /// A free-form explanatory line (text mode only; JSON drops prose).
+    pub fn note(&mut self, text: &str) {
+        if !self.json {
+            println!("{text}");
+        }
+    }
+
+    /// Attach a key/value datum to the current section.
+    pub fn kv(&mut self, key: &str, value: impl Into<Json>) {
+        let value = value.into();
+        if !self.json {
+            println!("{key}: {value}");
+        }
+        let obj = std::mem::replace(self.current(), Json::Null);
+        *self.current() = obj.field(key, value);
+    }
+
+    /// Attach a datum without printing it in text mode (for values a
+    /// section already rendered its own way).
+    pub fn datum(&mut self, key: &str, value: impl Into<Json>) {
+        let value = value.into();
+        let obj = std::mem::replace(self.current(), Json::Null);
+        *self.current() = obj.field(key, value);
+    }
+
+    /// Emit a table: text mode prints right-aligned columns, JSON mode
+    /// stores an array of row objects under `name`.
+    pub fn table(&mut self, name: &str, columns: &[&str], rows: &[Vec<Json>]) {
+        if !self.json {
+            let mut widths: Vec<usize> = columns.iter().map(|c| c.len()).collect();
+            let rendered: Vec<Vec<String>> =
+                rows.iter().map(|row| row.iter().map(cell_text).collect::<Vec<_>>()).collect();
+            for row in &rendered {
+                for (w, cell) in widths.iter_mut().zip(row) {
+                    *w = (*w).max(cell.len());
+                }
+            }
+            let line = |cells: &[String]| {
+                let padded: Vec<String> = cells
+                    .iter()
+                    .zip(&widths)
+                    .map(|(c, w)| format!("{c:>width$}", width = w))
+                    .collect();
+                println!("{}", padded.join("  "));
+            };
+            line(&columns.iter().map(|c| (*c).to_string()).collect::<Vec<_>>());
+            for row in &rendered {
+                line(row);
+            }
+        }
+        let json_rows: Vec<Json> = rows
+            .iter()
+            .map(|row| {
+                let mut obj = Json::obj();
+                for (col, cell) in columns.iter().zip(row) {
+                    obj = obj.field(&col.replace(' ', "_"), cell.clone());
+                }
+                obj
+            })
+            .collect();
+        self.datum(name, Json::Arr(json_rows));
+    }
+
+    /// Attach a top-level (non-section) field to the JSON document, and
+    /// print it as `key: value` in text mode.
+    pub fn toplevel(&mut self, key: &str, value: impl Into<Json>) {
+        let value = value.into();
+        if !self.json {
+            println!("{key}: {value}");
+        }
+        self.extra.push((key.to_string(), value));
+    }
+
+    /// Render the whole document. Text mode has already printed
+    /// everything; JSON mode prints the accumulated document now.
+    pub fn finish(self) -> Json {
+        let experiments: Vec<Json> = self
+            .sections
+            .into_iter()
+            .map(|(id, title, body)| match body {
+                Json::Obj(fields) => {
+                    let mut obj =
+                        Json::obj().field("id", id.as_str()).field("title", title.as_str());
+                    for (k, v) in fields {
+                        obj = obj.field(&k, v);
+                    }
+                    obj
+                }
+                other => Json::obj()
+                    .field("id", id.as_str())
+                    .field("title", title.as_str())
+                    .field("data", other),
+            })
+            .collect();
+        let mut doc = Json::obj().field("experiments", Json::Arr(experiments));
+        for (k, v) in self.extra {
+            doc = doc.field(&k, v);
+        }
+        if self.json {
+            println!("{}", doc.pretty());
+        }
+        doc
+    }
+}
+
+/// Text rendering of one table cell: strings verbatim, numbers via the
+/// JSON integer/float rules.
+fn cell_text(v: &Json) -> String {
+    match v {
+        Json::Str(s) => s.clone(),
+        other => other.render(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_mode_builds_sections() {
+        let mut em = Emitter::new(true);
+        em.section("e1", "first");
+        em.datum("answer", 42u64);
+        em.table("rows", &["n", "time ms"], &[vec![Json::from(1u64), Json::from(2.5f64)]]);
+        let doc = em.finish();
+        let exps = doc.get("experiments").and_then(Json::as_arr).unwrap();
+        assert_eq!(exps.len(), 1);
+        assert_eq!(exps[0].get("id").and_then(Json::as_str), Some("e1"));
+        assert_eq!(exps[0].get("answer").and_then(Json::as_u64), Some(42));
+        let rows = exps[0].get("rows").and_then(Json::as_arr).unwrap();
+        assert_eq!(rows[0].get("time_ms").and_then(Json::as_num), Some(2.5));
+    }
+}

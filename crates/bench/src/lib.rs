@@ -5,6 +5,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod emitter;
+
+pub use emitter::Emitter;
+
 use cql_arith::Rat;
 use cql_core::{CalculusQuery, Database, Formula, GenRelation};
 use cql_dense::{Dense, DenseConstraint};

@@ -104,20 +104,22 @@ impl Theory for BoolAlg {
     }
 
     fn eliminate(conj: &[BoolConstraint], var: Var) -> Result<Vec<Vec<BoolConstraint>>> {
-        // Boole's Lemma (5.3): ∃x (t = 0) ⟺ t[0/x] ∧ t[1/x] = 0.
-        let Some(canon) = Self::canonicalize(conj) else {
-            return Ok(Vec::new());
-        };
-        let combined = canon.first().map_or_else(BoolFunc::zero, |c| c.func.clone());
-        let eliminated = combined.forall(Input::Var(var));
-        if forall_vars(&eliminated).is_one() {
-            return Ok(Vec::new());
-        }
-        Ok(vec![if eliminated.is_zero() {
-            Vec::new()
-        } else {
-            vec![BoolConstraint { func: eliminated }]
-        }])
+        cql_trace::qe_timed("qe.bool", || {
+            // Boole's Lemma (5.3): ∃x (t = 0) ⟺ t[0/x] ∧ t[1/x] = 0.
+            let Some(canon) = Self::canonicalize(conj) else {
+                return Ok(Vec::new());
+            };
+            let combined = canon.first().map_or_else(BoolFunc::zero, |c| c.func.clone());
+            let eliminated = combined.forall(Input::Var(var));
+            if forall_vars(&eliminated).is_one() {
+                return Ok(Vec::new());
+            }
+            Ok(vec![if eliminated.is_zero() {
+                Vec::new()
+            } else {
+                vec![BoolConstraint { func: eliminated }]
+            }])
+        })
     }
 
     /// Boolean equality constraints are **not closed under negation** for
@@ -242,10 +244,12 @@ impl Theory for BoolAlgFree {
     }
 
     fn eliminate(conj: &[BoolConstraint], var: Var) -> Result<Vec<Vec<BoolConstraint>>> {
-        if Self::canonicalize(conj).is_none() {
-            return Ok(Vec::new());
-        }
-        BoolAlg::eliminate(conj, var)
+        cql_trace::qe_timed("qe.bool-free", || {
+            if Self::canonicalize(conj).is_none() {
+                return Ok(Vec::new());
+            }
+            BoolAlg::eliminate(conj, var)
+        })
     }
 
     fn negate(c: &BoolConstraint) -> Vec<BoolConstraint> {

@@ -1,21 +1,33 @@
-//! Global evaluation counters.
+//! Deprecated process-global counter shim over [`cql_trace`].
 //!
-//! Cheap process-wide atomics incremented by the data model
-//! ([`crate::GenRelation::insert`]) and by the engine crate's interner.
-//! They exist so benchmarks and the `repro engine` acceptance check can
-//! compare work done under different [`crate::EnginePolicy`] settings —
-//! e.g. "how many [`crate::Theory::entails`] calls did the indexed store
-//! make versus the quadratic baseline on the same insert stream?".
+//! The original design kept five process-wide atomics incremented by the
+//! data model ([`crate::relation::GenRelation::insert`] — which lives in
+//! *this* crate; the evaluators and the tuple interner that also count
+//! into them moved to the `cql-engine` crate in PR 1). Process-global
+//! `reset()`/`snapshot()` pairs are racy the moment two tests, two
+//! benches, or two queries run concurrently — which the
+//! `CQL_ENGINE_THREADS={1,4}` CI matrix does.
+//!
+//! The replacement is [`cql_trace::MetricsScope`]: per-query, nestable,
+//! thread-aggregated, merge-on-drop. Open a scope around the work you
+//! want to measure and read `scope.snapshot()`:
+//!
+//! ```
+//! use cql_trace::{Counter, MetricsScope};
+//! let scope = MetricsScope::enter("my-workload");
+//! // ... inserts, evaluation ...
+//! let checks = scope.snapshot().get(Counter::EntailmentChecks);
+//! ```
+//!
+//! This module remains as a deprecated shim: counts made while **no**
+//! scope is installed still land in the process root, and top-level
+//! scopes fold their totals into the root when they drop, so existing
+//! whole-process consumers keep seeing totals. New code should not use
+//! it.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use cql_trace::Counter;
 
-static ENTAILMENT_CHECKS: AtomicU64 = AtomicU64::new(0);
-static SIGNATURE_SKIPS: AtomicU64 = AtomicU64::new(0);
-static SAMPLE_SKIPS: AtomicU64 = AtomicU64::new(0);
-static INTERN_HITS: AtomicU64 = AtomicU64::new(0);
-static INTERN_MISSES: AtomicU64 = AtomicU64::new(0);
-
-/// A snapshot of the global counters.
+/// A snapshot of the five legacy process-global counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     /// Number of [`crate::Theory::entails`] calls made by relation inserts.
@@ -24,53 +36,49 @@ pub struct MetricsSnapshot {
     pub signature_skips: u64,
     /// Candidate tuples skipped by the cached-sample-point test.
     pub sample_skips: u64,
-    /// Canonicalizations avoided by the engine's tuple interner.
+    /// Canonicalizations avoided by the engine crate's tuple interner.
     pub intern_hits: u64,
     /// Interner misses (canonicalization actually ran).
     pub intern_misses: u64,
 }
 
-/// Read all counters.
+/// Read the process-root counters (work counted outside any
+/// [`cql_trace::MetricsScope`], plus every completed top-level scope).
+#[deprecated(
+    since = "0.1.0",
+    note = "process-global totals are racy across concurrent queries; \
+            open a cql_trace::MetricsScope around the work instead"
+)]
 #[must_use]
 pub fn snapshot() -> MetricsSnapshot {
+    let root = cql_trace::root_snapshot();
     MetricsSnapshot {
-        entailment_checks: ENTAILMENT_CHECKS.load(Ordering::Relaxed),
-        signature_skips: SIGNATURE_SKIPS.load(Ordering::Relaxed),
-        sample_skips: SAMPLE_SKIPS.load(Ordering::Relaxed),
-        intern_hits: INTERN_HITS.load(Ordering::Relaxed),
-        intern_misses: INTERN_MISSES.load(Ordering::Relaxed),
+        entailment_checks: root.get(Counter::EntailmentChecks),
+        signature_skips: root.get(Counter::SignatureSkips),
+        sample_skips: root.get(Counter::SampleSkips),
+        intern_hits: root.get(Counter::InternHits),
+        intern_misses: root.get(Counter::InternMisses),
     }
 }
 
-/// Reset all counters to zero (benchmark harness boundaries).
+/// Reset the process-root counters (benchmark harness boundaries).
+#[deprecated(
+    since = "0.1.0",
+    note = "resetting process-global counters races with concurrent scopes; \
+            open a cql_trace::MetricsScope around the work instead"
+)]
 pub fn reset() {
-    ENTAILMENT_CHECKS.store(0, Ordering::Relaxed);
-    SIGNATURE_SKIPS.store(0, Ordering::Relaxed);
-    SAMPLE_SKIPS.store(0, Ordering::Relaxed);
-    INTERN_HITS.store(0, Ordering::Relaxed);
-    INTERN_MISSES.store(0, Ordering::Relaxed);
-}
-
-pub(crate) fn count_entailment_check() {
-    ENTAILMENT_CHECKS.fetch_add(1, Ordering::Relaxed);
-}
-
-pub(crate) fn count_signature_skip(n: u64) {
-    if n > 0 {
-        SIGNATURE_SKIPS.fetch_add(n, Ordering::Relaxed);
-    }
-}
-
-pub(crate) fn count_sample_skip() {
-    SAMPLE_SKIPS.fetch_add(1, Ordering::Relaxed);
+    cql_trace::root_reset();
 }
 
 /// Record a tuple-interner hit (engine crate).
+#[deprecated(since = "0.1.0", note = "use cql_trace::count(Counter::InternHits, 1)")]
 pub fn count_intern_hit() {
-    INTERN_HITS.fetch_add(1, Ordering::Relaxed);
+    cql_trace::count(Counter::InternHits, 1);
 }
 
 /// Record a tuple-interner miss (engine crate).
+#[deprecated(since = "0.1.0", note = "use cql_trace::count(Counter::InternMisses, 1)")]
 pub fn count_intern_miss() {
-    INTERN_MISSES.fetch_add(1, Ordering::Relaxed);
+    cql_trace::count(Counter::InternMisses, 1);
 }

@@ -1,9 +1,9 @@
 //! Generalized tuples, relations and databases (Definitions 1.3 / 1.4).
 
 use crate::error::{CqlError, Result};
-use crate::metrics;
 use crate::policy::{EnginePolicy, SubsumptionMode};
 use crate::theory::{Theory, Var};
+use cql_trace::{count, Counter};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
@@ -270,6 +270,7 @@ impl<T: Theory> GenRelation<T> {
         debug_assert!(tuple.max_var_bound() <= self.arity);
         let h = tuple_hash(&tuple);
         if self.seen.contains(&h) && self.tuples.contains(&tuple) {
+            count(Counter::TuplesSubsumed, 1);
             return false;
         }
         let mode = match self.policy.subsumption {
@@ -288,15 +289,18 @@ impl<T: Theory> GenRelation<T> {
             SubsumptionMode::DedupOnly => {}
             SubsumptionMode::Quadratic => {
                 if !self.quadratic_subsume(&tuple) {
+                    count(Counter::TuplesSubsumed, 1);
                     return false;
                 }
             }
             SubsumptionMode::Indexed | SubsumptionMode::IndexedUpTo(_) => {
                 if !self.indexed_subsume(&tuple) {
+                    count(Counter::TuplesSubsumed, 1);
                     return false;
                 }
             }
         }
+        count(Counter::TuplesInserted, 1);
         self.push_tuple(tuple, h);
         true
     }
@@ -305,14 +309,14 @@ impl<T: Theory> GenRelation<T> {
     /// Returns `false` if the new tuple is subsumed (caller must not push).
     fn quadratic_subsume(&mut self, tuple: &GenTuple<T>) -> bool {
         for t in &self.tuples {
-            metrics::count_entailment_check();
+            count(Counter::EntailmentChecks, 1);
             if T::entails(tuple.constraints(), t.constraints()) {
                 return false;
             }
         }
         let mut evict = Vec::new();
         for (i, t) in self.tuples.iter().enumerate() {
-            metrics::count_entailment_check();
+            count(Counter::EntailmentChecks, 1);
             if T::entails(t.constraints(), tuple.constraints()) {
                 evict.push(i);
             }
@@ -336,7 +340,7 @@ impl<T: Theory> GenRelation<T> {
         let mut drop_candidates: Vec<usize> = Vec::new();
         for (&key, idxs) in &self.buckets {
             if key & !sig_new != 0 {
-                metrics::count_signature_skip(idxs.len() as u64);
+                count(Counter::SignatureSkips, idxs.len() as u64);
             } else {
                 drop_candidates.extend_from_slice(idxs);
             }
@@ -344,11 +348,11 @@ impl<T: Theory> GenRelation<T> {
         for i in drop_candidates {
             if let Some(p) = &sample_new {
                 if !self.tuples[i].satisfied_by(p) {
-                    metrics::count_sample_skip();
+                    count(Counter::SampleSkips, 1);
                     continue;
                 }
             }
-            metrics::count_entailment_check();
+            count(Counter::EntailmentChecks, 1);
             if T::entails(tuple.constraints(), self.tuples[i].constraints()) {
                 return false;
             }
@@ -360,7 +364,7 @@ impl<T: Theory> GenRelation<T> {
         let mut evict_candidates: Vec<usize> = Vec::new();
         for (&key, idxs) in &self.buckets {
             if sig_new & !key != 0 {
-                metrics::count_signature_skip(idxs.len() as u64);
+                count(Counter::SignatureSkips, idxs.len() as u64);
             } else {
                 evict_candidates.extend_from_slice(idxs);
             }
@@ -369,11 +373,11 @@ impl<T: Theory> GenRelation<T> {
         for i in evict_candidates {
             if let Some(p) = self.cached_sample(i) {
                 if !tuple.satisfied_by(p) {
-                    metrics::count_sample_skip();
+                    count(Counter::SampleSkips, 1);
                     continue;
                 }
             }
-            metrics::count_entailment_check();
+            count(Counter::EntailmentChecks, 1);
             if T::entails(self.tuples[i].constraints(), tuple.constraints()) {
                 evict.push(i);
             }
@@ -397,6 +401,7 @@ impl<T: Theory> GenRelation<T> {
         if indices.is_empty() {
             return;
         }
+        count(Counter::TuplesEvicted, indices.len() as u64);
         let mut k = 0;
         let seen = &mut self.seen;
         let tuples = std::mem::take(&mut self.tuples);

@@ -95,30 +95,32 @@ impl Theory for TwoSorted {
     }
 
     fn eliminate(conj: &[SortedConstraint], var: Var) -> Result<Vec<Vec<SortedConstraint>>> {
-        let (nums, bools) = split(conj);
-        let num_uses = nums.iter().any(|c| c.vars().contains(&var));
-        if num_uses {
-            let dnf = Dense::eliminate(&nums, var)?;
-            return Ok(dnf
+        cql_trace::qe_timed("qe.two-sorted", || {
+            let (nums, bools) = split(conj);
+            let num_uses = nums.iter().any(|c| c.vars().contains(&var));
+            if num_uses {
+                let dnf = Dense::eliminate(&nums, var)?;
+                return Ok(dnf
+                    .into_iter()
+                    .map(|nconj| {
+                        let mut all: Vec<SortedConstraint> =
+                            nconj.into_iter().map(SortedConstraint::Num).collect();
+                        all.extend(bools.iter().cloned().map(SortedConstraint::Bool));
+                        all
+                    })
+                    .collect());
+            }
+            let dnf = BoolAlg::eliminate(&bools, var)?;
+            Ok(dnf
                 .into_iter()
-                .map(|nconj| {
+                .map(|bconj| {
                     let mut all: Vec<SortedConstraint> =
-                        nconj.into_iter().map(SortedConstraint::Num).collect();
-                    all.extend(bools.iter().cloned().map(SortedConstraint::Bool));
+                        nums.iter().cloned().map(SortedConstraint::Num).collect();
+                    all.extend(bconj.into_iter().map(SortedConstraint::Bool));
                     all
                 })
-                .collect());
-        }
-        let dnf = BoolAlg::eliminate(&bools, var)?;
-        Ok(dnf
-            .into_iter()
-            .map(|bconj| {
-                let mut all: Vec<SortedConstraint> =
-                    nums.iter().cloned().map(SortedConstraint::Num).collect();
-                all.extend(bconj.into_iter().map(SortedConstraint::Bool));
-                all
-            })
-            .collect())
+                .collect())
+        })
     }
 
     /// Negation is available on the order sort only (the boolean sort is

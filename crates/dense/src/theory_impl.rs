@@ -30,9 +30,11 @@ impl Theory for Dense {
     }
 
     fn eliminate(conj: &[DenseConstraint], var: Var) -> Result<Vec<Vec<DenseConstraint>>> {
-        Ok(match ClosedNetwork::build(conj) {
-            None => Vec::new(),
-            Some(n) => n.eliminate(var),
+        cql_trace::qe_timed("qe.dense", || {
+            Ok(match ClosedNetwork::build(conj) {
+                None => Vec::new(),
+                Some(n) => n.eliminate(var),
+            })
         })
     }
 

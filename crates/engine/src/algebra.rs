@@ -11,11 +11,18 @@
 //! per-tuple batches (conjunctions, eliminations) on the engine's
 //! executor and canonicalizes results through its interner; the plain
 //! forms delegate to a serial engine.
+//!
+//! Each `*_with` operator runs under [`cql_trace::op_timed`]
+//! (`"algebra.<op>"`): inclusive wall time aggregates into the current
+//! metrics scope's operator table and, in traced builds, emits a span.
+//! Timings are inclusive — `join` includes the `product` and `select` it
+//! is built from.
 
 use crate::Engine;
 use cql_core::error::{CqlError, Result};
 use cql_core::relation::{GenRelation, GenTuple};
 use cql_core::theory::Theory;
+use cql_trace::op_timed;
 
 /// σ — restrict a relation by additional constraints (columns are the
 /// constraint variables).
@@ -31,12 +38,15 @@ pub fn select_with<T: Theory>(
     rel: &GenRelation<T>,
     constraints: &[T::Constraint],
 ) -> GenRelation<T> {
-    let tuples = engine.executor.map(rel.tuples().to_vec(), |t| engine.conjoin(&t, constraints));
-    let mut out = engine.relation(rel.arity());
-    for t in tuples.into_iter().flatten() {
-        out.insert(t);
-    }
-    out
+    op_timed("algebra.select", || {
+        let tuples =
+            engine.executor.map(rel.tuples().to_vec(), |t| engine.conjoin(&t, constraints));
+        let mut out = engine.relation(rel.arity());
+        for t in tuples.into_iter().flatten() {
+            out.insert(t);
+        }
+        out
+    })
 }
 
 /// π — project onto `columns` (in the given order): quantifier-eliminate
@@ -58,37 +68,39 @@ pub fn project_with<T: Theory>(
     rel: &GenRelation<T>,
     columns: &[usize],
 ) -> Result<GenRelation<T>> {
-    for &c in columns {
-        if c >= rel.arity() {
-            return Err(CqlError::Malformed(format!(
-                "projection column {c} out of range for arity {}",
-                rel.arity()
-            )));
-        }
-    }
-    // Eliminate the dropped columns.
-    let mut current = rel.clone();
-    for v in 0..rel.arity() {
-        if !columns.contains(&v) {
-            current = eliminate_with(engine, &current, v)?;
-        }
-    }
-    // Renumber kept columns; duplicates get equality constraints.
-    let mut out = engine.relation(columns.len());
-    for t in current.tuples() {
-        // position of original column v in the output (first occurrence).
-        let first_pos = |v: usize| columns.iter().position(|&c| c == v).expect("kept");
-        let mut constraints = t.rename(&first_pos);
-        for (i, &c) in columns.iter().enumerate() {
-            if first_pos(c) != i {
-                constraints.push(T::var_eq(first_pos(c), i));
+    op_timed("algebra.project", || {
+        for &c in columns {
+            if c >= rel.arity() {
+                return Err(CqlError::Malformed(format!(
+                    "projection column {c} out of range for arity {}",
+                    rel.arity()
+                )));
             }
         }
-        if let Some(t2) = engine.intern(constraints) {
-            out.insert(t2);
+        // Eliminate the dropped columns.
+        let mut current = rel.clone();
+        for v in 0..rel.arity() {
+            if !columns.contains(&v) {
+                current = eliminate_with(engine, &current, v)?;
+            }
         }
-    }
-    Ok(out)
+        // Renumber kept columns; duplicates get equality constraints.
+        let mut out = engine.relation(columns.len());
+        for t in current.tuples() {
+            // position of original column v in the output (first occurrence).
+            let first_pos = |v: usize| columns.iter().position(|&c| c == v).expect("kept");
+            let mut constraints = t.rename(&first_pos);
+            for (i, &c) in columns.iter().enumerate() {
+                if first_pos(c) != i {
+                    constraints.push(T::var_eq(first_pos(c), i));
+                }
+            }
+            if let Some(t2) = engine.intern(constraints) {
+                out.insert(t2);
+            }
+        }
+        Ok(out)
+    })
 }
 
 /// × — cartesian product: the right relation's columns are shifted past
@@ -106,24 +118,26 @@ pub fn product_with<T: Theory>(
     a: &GenRelation<T>,
     b: &GenRelation<T>,
 ) -> GenRelation<T> {
-    let shift = a.arity();
-    let shifted: Vec<Vec<T::Constraint>> =
-        b.tuples().iter().map(|tb| tb.rename(&|v| v + shift)).collect();
-    let tuples = engine.executor.flat_map(a.tuples().to_vec(), |ta| {
-        shifted
-            .iter()
-            .filter_map(|tb| {
-                let mut constraints = ta.constraints().to_vec();
-                constraints.extend_from_slice(tb);
-                engine.intern(constraints)
-            })
-            .collect::<Vec<_>>()
-    });
-    let mut out = engine.relation(a.arity() + b.arity());
-    for t in tuples {
-        out.insert(t);
-    }
-    out
+    op_timed("algebra.product", || {
+        let shift = a.arity();
+        let shifted: Vec<Vec<T::Constraint>> =
+            b.tuples().iter().map(|tb| tb.rename(&|v| v + shift)).collect();
+        let tuples = engine.executor.flat_map(a.tuples().to_vec(), |ta| {
+            shifted
+                .iter()
+                .filter_map(|tb| {
+                    let mut constraints = ta.constraints().to_vec();
+                    constraints.extend_from_slice(tb);
+                    engine.intern(constraints)
+                })
+                .collect::<Vec<_>>()
+        });
+        let mut out = engine.relation(a.arity() + b.arity());
+        for t in tuples {
+            out.insert(t);
+        }
+        out
+    })
 }
 
 /// ∩ — intersection: pairwise conjunction of tuples (same arity), the
@@ -138,14 +152,19 @@ pub fn intersect_with<T: Theory>(
     b: &GenRelation<T>,
 ) -> GenRelation<T> {
     assert_eq!(a.arity(), b.arity(), "intersect arity mismatch");
-    let tuples = engine.executor.flat_map(a.tuples().to_vec(), |ta| {
-        b.tuples().iter().filter_map(|tb| engine.conjoin(&ta, tb.constraints())).collect::<Vec<_>>()
-    });
-    let mut out = engine.relation(a.arity());
-    for t in tuples {
-        out.insert(t);
-    }
-    out
+    op_timed("algebra.intersect", || {
+        let tuples = engine.executor.flat_map(a.tuples().to_vec(), |ta| {
+            b.tuples()
+                .iter()
+                .filter_map(|tb| engine.conjoin(&ta, tb.constraints()))
+                .collect::<Vec<_>>()
+        });
+        let mut out = engine.relation(a.arity());
+        for t in tuples {
+            out.insert(t);
+        }
+        out
+    })
 }
 
 /// ∃ — eliminate one variable from every tuple (quantifier elimination on
@@ -159,20 +178,22 @@ pub fn eliminate_with<T: Theory>(
     rel: &GenRelation<T>,
     var: usize,
 ) -> Result<GenRelation<T>> {
-    let eliminated: Vec<Result<Vec<GenTuple<T>>>> =
-        engine.executor.map(rel.tuples().to_vec(), |t| {
-            Ok(T::eliminate(t.constraints(), var)?
-                .into_iter()
-                .filter_map(|conj| engine.intern(conj))
-                .collect())
-        });
-    let mut out = engine.relation(rel.arity());
-    for r in eliminated {
-        for t in r? {
-            out.insert(t);
+    op_timed("algebra.eliminate", || {
+        let eliminated: Vec<Result<Vec<GenTuple<T>>>> =
+            engine.executor.map(rel.tuples().to_vec(), |t| {
+                Ok(T::eliminate(t.constraints(), var)?
+                    .into_iter()
+                    .filter_map(|conj| engine.intern(conj))
+                    .collect())
+            });
+        let mut out = engine.relation(rel.arity());
+        for r in eliminated {
+            for t in r? {
+                out.insert(t);
+            }
         }
-    }
-    Ok(out)
+        Ok(out)
+    })
 }
 
 /// ⋈ — equi-join on column pairs `(left, right)`; the output keeps all
@@ -194,9 +215,11 @@ pub fn join_with<T: Theory>(
     b: &GenRelation<T>,
     on: &[(usize, usize)],
 ) -> GenRelation<T> {
-    let shift = a.arity();
-    let eqs: Vec<T::Constraint> = on.iter().map(|&(l, r)| T::var_eq(l, r + shift)).collect();
-    select_with(engine, &product_with(engine, a, b), &eqs)
+    op_timed("algebra.join", || {
+        let shift = a.arity();
+        let eqs: Vec<T::Constraint> = on.iter().map(|&(l, r)| T::var_eq(l, r + shift)).collect();
+        select_with(engine, &product_with(engine, a, b), &eqs)
+    })
 }
 
 /// ∪ — union (delegates to the representation union).
@@ -214,14 +237,16 @@ pub fn union_with<T: Theory>(
     b: &GenRelation<T>,
 ) -> GenRelation<T> {
     assert_eq!(a.arity(), b.arity(), "union arity mismatch");
-    let mut out = engine.relation(a.arity());
-    for t in a.tuples() {
-        out.insert(t.clone());
-    }
-    for t in b.tuples() {
-        out.insert(t.clone());
-    }
-    out
+    op_timed("algebra.union", || {
+        let mut out = engine.relation(a.arity());
+        for t in a.tuples() {
+            out.insert(t.clone());
+        }
+        for t in b.tuples() {
+            out.insert(t.clone());
+        }
+        out
+    })
 }
 
 /// ∖ — difference `a ∖ b = a ∩ ¬b` (uses the DNF complement; see

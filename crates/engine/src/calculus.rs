@@ -20,6 +20,7 @@ use cql_core::error::{CqlError, Result};
 use cql_core::formula::{CalculusQuery, Formula};
 use cql_core::relation::{Database, GenRelation};
 use cql_core::theory::Theory;
+use cql_trace::op_timed;
 
 /// Evaluate a relational calculus query into a generalized relation of
 /// arity `query.free.len()` (column `i` is free variable `query.free[i]`).
@@ -40,6 +41,8 @@ pub fn evaluate_with<T: Theory>(
     query: &CalculusQuery<T>,
     db: &Database<T>,
 ) -> Result<GenRelation<T>> {
+    let mut query_span = cql_trace::span("calculus.query", "query");
+    query_span.arg("free_vars", query.free.len() as u64);
     query.formula.validate(db)?;
     let scope = query
         .formula
@@ -48,7 +51,7 @@ pub fn evaluate_with<T: Theory>(
         .map_or(query.free.len(), |&v| v + 1)
         .max(query.free.iter().map(|&v| v + 1).max().unwrap_or(0));
     let rel = eval_rec(engine, &query.formula, db, scope)?;
-    project_to_free(engine, &rel, &query.free)
+    op_timed("calculus.project_free", || project_to_free(engine, &rel, &query.free))
 }
 
 /// Decide a sentence (a query with no free variables).
@@ -109,7 +112,17 @@ fn eval_rec<T: Theory>(
     db: &Database<T>,
     scope: usize,
 ) -> Result<GenRelation<T>> {
-    match formula {
+    // One operator label per node kind; timings are inclusive of subtrees.
+    let op = match formula {
+        Formula::Atom { .. } => "calculus.atom",
+        Formula::Constraint(_) => "calculus.constraint",
+        Formula::And(..) => "calculus.and",
+        Formula::Or(..) => "calculus.or",
+        Formula::Not(_) => "calculus.not",
+        Formula::Exists(..) => "calculus.exists",
+        Formula::Forall(..) => "calculus.forall",
+    };
+    op_timed(op, || match formula {
         Formula::Atom { relation, vars } => {
             let rel = db.require(relation)?;
             Ok(rel.rename_into(scope, &|j| vars[j]))
@@ -138,7 +151,7 @@ fn eval_rec<T: Theory>(
             let inner = eval_rec(engine, a, db, scope)?.complement();
             Ok(eliminate_with(engine, &inner, *v)?.complement())
         }
-    }
+    })
 }
 
 /// Rename the free variables of a fully-evaluated relation to output

@@ -30,6 +30,13 @@ pub fn evaluate<T: CellTheory>(
     query: &CalculusQuery<T>,
     db: &Database<T>,
 ) -> Result<GenRelation<T>> {
+    cql_trace::op_timed("cells.evaluate", || evaluate_inner(query, db))
+}
+
+fn evaluate_inner<T: CellTheory>(
+    query: &CalculusQuery<T>,
+    db: &Database<T>,
+) -> Result<GenRelation<T>> {
     query.formula.validate(db)?;
     // Renumber variables into "slots": free variables become 0..m by the
     // query's output order, and each quantifier at nesting depth d binds
@@ -58,17 +65,19 @@ pub fn evaluate<T: CellTheory>(
 /// # Errors
 /// `CqlError::Malformed` if the formula has free variables.
 pub fn decide<T: CellTheory>(formula: &Formula<T>, db: &Database<T>) -> Result<bool> {
-    if !formula.free_vars().is_empty() {
-        return Err(CqlError::Malformed("cells::decide requires a sentence".into()));
-    }
-    formula.validate(db)?;
-    let slotted = slot_formula(formula, &[], 0)?;
-    let mut constants = db.constants();
-    constants.extend(formula.constants());
-    dedup_values(&mut constants);
-    let cell = T::empty_cell();
-    let sample = T::cell_sample(&cell, &constants);
-    Ok(boolean_eval(&slotted, &cell, &sample, db, &constants))
+    cql_trace::op_timed("cells.decide", || {
+        if !formula.free_vars().is_empty() {
+            return Err(CqlError::Malformed("cells::decide requires a sentence".into()));
+        }
+        formula.validate(db)?;
+        let slotted = slot_formula(formula, &[], 0)?;
+        let mut constants = db.constants();
+        constants.extend(formula.constants());
+        dedup_values(&mut constants);
+        let cell = T::empty_cell();
+        let sample = T::cell_sample(&cell, &constants);
+        Ok(boolean_eval(&slotted, &cell, &sample, db, &constants))
+    })
 }
 
 /// Rewrite a formula so variable indices are evaluation slots.

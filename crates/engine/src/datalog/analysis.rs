@@ -106,7 +106,7 @@ pub fn predicate_sccs<T: Theory>(program: &Program<T>) -> Vec<BTreeSet<String>> 
 }
 
 /// Is the program **piecewise linear** (Ullman–Van Gelder, the paper's
-/// [55])? Every rule has at most one body atom mutually recursive with
+/// \[55\])? Every rule has at most one body atom mutually recursive with
 /// its head. Piecewise linear programs have the (generalized) polynomial
 /// fringe property, hence NC evaluation (Theorem 3.21).
 #[must_use]

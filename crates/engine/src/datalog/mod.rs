@@ -17,4 +17,7 @@ pub use ast::{Atom, Literal, Program, Rule};
 pub use herbrand::{
     cell_inflationary, cell_naive, cell_parallel, CellFixpointResult, DerivationStats,
 };
-pub use symbolic::{inflationary, naive, seminaive, FixpointOptions, FixpointResult};
+pub use symbolic::{
+    inflationary, naive, naive_explain, naive_explain_with, seminaive, seminaive_explain,
+    seminaive_explain_with, FixpointOptions, FixpointResult,
+};

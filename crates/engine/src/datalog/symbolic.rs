@@ -33,7 +33,9 @@ use cql_core::error::{CqlError, Result};
 use cql_core::policy::EnginePolicy;
 use cql_core::relation::{Database, GenRelation, GenTuple};
 use cql_core::theory::{Theory, Var};
+use cql_trace::{count, span, Counter, MetricsScope, MetricsSnapshot, RoundStats};
 use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::time::Instant;
 
 /// Budget and knobs for fixpoint evaluation.
 #[derive(Clone, Copy, Debug)]
@@ -74,6 +76,59 @@ pub struct FixpointResult<T: Theory> {
     pub idb: Database<T>,
     /// Number of rounds executed.
     pub iterations: usize,
+}
+
+/// Per-round telemetry collection for the `*_explain` entry points.
+///
+/// Each round runs under its own child [`MetricsScope`] (entailment
+/// checks, QE calls and QE wall time attribute to the round that spent
+/// them, then fold into the enclosing query scope on drop) and a
+/// `"fixpoint.round"` span carrying the round's delta size as an
+/// argument. Tuples produced / admitted / rejected are counted directly
+/// in the loop — the delta relations also run `insert`, so counter
+/// diffs would double-count them.
+struct RoundLog {
+    rounds: Vec<RoundStats>,
+}
+
+impl RoundLog {
+    fn begin(iterations: usize) -> (MetricsScope, Instant, cql_trace::SpanGuard) {
+        let scope = MetricsScope::enter("fixpoint.round");
+        let mut round_span = span("fixpoint.round", "round");
+        round_span.arg("round", iterations as u64 + 1);
+        (scope, Instant::now(), round_span)
+    }
+
+    fn finish(
+        &mut self,
+        round: usize,
+        produced: usize,
+        delta: usize,
+        scope: &MetricsScope,
+        started: Instant,
+        round_span: &mut cql_trace::SpanGuard,
+    ) {
+        let snap = scope.snapshot();
+        let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        round_span.arg("produced", produced as u64);
+        round_span.arg("delta", delta as u64);
+        self.rounds.push(RoundStats {
+            round: round as u64,
+            produced: produced as u64,
+            delta: delta as u64,
+            subsumed: (produced - delta) as u64,
+            entailment_checks: snap.get(Counter::EntailmentChecks),
+            qe_calls: snap.get(Counter::QeCalls),
+            qe_ns: qe_nanos(&snap),
+            wall_ns,
+        });
+    }
+}
+
+/// Total inclusive wall time of the theory QE entry points (`"qe.*"`
+/// operator rows) in a snapshot.
+fn qe_nanos(snap: &MetricsSnapshot) -> u64 {
+    snap.ops.iter().filter(|(name, _)| name.starts_with("qe.")).map(|(_, agg)| agg.nanos).sum()
 }
 
 fn init_idb<T: Theory>(program: &Program<T>, engine: &Engine<T>) -> Result<Database<T>> {
@@ -292,12 +347,25 @@ fn fixpoint_with_seed<T: Theory>(
     engine: &Engine<T>,
     program: &Program<T>,
     edb: &Database<T>,
+    idb: Database<T>,
+    opts: &FixpointOptions,
+) -> Result<FixpointResult<T>> {
+    fixpoint_rounds(engine, program, edb, idb, opts, None)
+}
+
+fn fixpoint_rounds<T: Theory>(
+    engine: &Engine<T>,
+    program: &Program<T>,
+    edb: &Database<T>,
     mut idb: Database<T>,
     opts: &FixpointOptions,
+    mut log: Option<&mut RoundLog>,
 ) -> Result<FixpointResult<T>> {
     let mut iterations = 0;
     loop {
         check_budget(&idb, iterations, opts)?;
+        count(Counter::FixpointRounds, 1);
+        let (round_scope, round_start, mut round_span) = RoundLog::begin(iterations);
         let mut changed = false;
         // Inflationary semantics: all rules read the stage fixed at the
         // start of the round; derived tuples land in `staged`.
@@ -308,19 +376,56 @@ fn fixpoint_with_seed<T: Theory>(
                 staged.push((rule.head.relation.clone(), t));
             }
         }
+        let produced = staged.len();
+        let mut delta = 0;
         for (name, t) in staged {
             let rel = idb.get(&name).expect("initialized").clone();
             let mut rel = rel;
             if rel.insert(t) {
                 changed = true;
+                delta += 1;
             }
             idb.insert(name, rel);
         }
         iterations += 1;
+        if let Some(log) = log.as_deref_mut() {
+            log.finish(iterations, produced, delta, &round_scope, round_start, &mut round_span);
+        }
         if !changed {
             return Ok(FixpointResult { idb, iterations });
         }
     }
+}
+
+/// [`naive`] with per-round EXPLAIN telemetry: returns the fixpoint and
+/// one [`RoundStats`] per round (see `RoundLog` for what each field
+/// attributes where).
+///
+/// # Errors
+/// As [`naive`].
+pub fn naive_explain<T: Theory>(
+    program: &Program<T>,
+    edb: &Database<T>,
+    opts: &FixpointOptions,
+) -> Result<(FixpointResult<T>, Vec<RoundStats>)> {
+    naive_explain_with(&opts.engine(), program, edb, opts)
+}
+
+/// [`naive_explain`] with a caller-provided engine context.
+///
+/// # Errors
+/// As [`naive`].
+pub fn naive_explain_with<T: Theory>(
+    engine: &Engine<T>,
+    program: &Program<T>,
+    edb: &Database<T>,
+    opts: &FixpointOptions,
+) -> Result<(FixpointResult<T>, Vec<RoundStats>)> {
+    program.validate(edb, false)?;
+    let idb = init_idb(program, engine)?;
+    let mut log = RoundLog { rounds: Vec::new() };
+    let result = fixpoint_rounds(engine, program, edb, idb, opts, Some(&mut log))?;
+    Ok((result, log.rounds))
 }
 
 /// Semi-naive evaluation of a positive program: after the first round,
@@ -347,6 +452,43 @@ pub fn seminaive_with<T: Theory>(
     edb: &Database<T>,
     opts: &FixpointOptions,
 ) -> Result<FixpointResult<T>> {
+    seminaive_rounds(engine, program, edb, opts, None)
+}
+
+/// [`seminaive`] with per-round EXPLAIN telemetry.
+///
+/// # Errors
+/// As [`naive`].
+pub fn seminaive_explain<T: Theory>(
+    program: &Program<T>,
+    edb: &Database<T>,
+    opts: &FixpointOptions,
+) -> Result<(FixpointResult<T>, Vec<RoundStats>)> {
+    seminaive_explain_with(&opts.engine(), program, edb, opts)
+}
+
+/// [`seminaive_explain`] with a caller-provided engine context.
+///
+/// # Errors
+/// As [`naive`].
+pub fn seminaive_explain_with<T: Theory>(
+    engine: &Engine<T>,
+    program: &Program<T>,
+    edb: &Database<T>,
+    opts: &FixpointOptions,
+) -> Result<(FixpointResult<T>, Vec<RoundStats>)> {
+    let mut log = RoundLog { rounds: Vec::new() };
+    let result = seminaive_rounds(engine, program, edb, opts, Some(&mut log))?;
+    Ok((result, log.rounds))
+}
+
+fn seminaive_rounds<T: Theory>(
+    engine: &Engine<T>,
+    program: &Program<T>,
+    edb: &Database<T>,
+    opts: &FixpointOptions,
+    mut log: Option<&mut RoundLog>,
+) -> Result<FixpointResult<T>> {
     program.validate(edb, false)?;
     let idb_preds = program.idb_predicates();
     let arities = program.arities()?;
@@ -355,10 +497,14 @@ pub fn seminaive_with<T: Theory>(
 
     // Round 0: full firing (IDB relations are empty, so only rules whose
     // IDB body atoms are absent produce anything).
+    count(Counter::FixpointRounds, 1);
+    let (round_scope, round_start, mut round_span) = RoundLog::begin(iterations);
     let mut delta = init_idb(program, engine)?;
     let mut complements = BTreeMap::new();
+    let mut produced = 0;
     for rule in &program.rules {
         for t in fire_rule(engine, rule, edb, &idb, None, &mut complements)? {
+            produced += 1;
             let mut rel = idb.get(&rule.head.relation).expect("init").clone();
             if rel.insert(t.clone()) {
                 let mut d = delta.get(&rule.head.relation).expect("init").clone();
@@ -369,14 +515,22 @@ pub fn seminaive_with<T: Theory>(
         }
     }
     iterations += 1;
+    if let Some(log) = log.as_deref_mut() {
+        log.finish(iterations, produced, delta.size(), &round_scope, round_start, &mut round_span);
+    }
+    drop(round_span);
+    drop(round_scope);
 
     while delta.size() > 0 {
         check_budget(&idb, iterations, opts)?;
+        count(Counter::FixpointRounds, 1);
+        let (round_scope, round_start, mut round_span) = RoundLog::begin(iterations);
         let mut next_delta: Database<T> = Database::new();
         for name in &idb_preds {
             next_delta.insert(name.clone(), engine.relation(arities[name]));
         }
         let mut complements = BTreeMap::new();
+        let mut produced = 0;
         for rule in &program.rules {
             // One firing per IDB body-atom position bound to the delta.
             for (li, lit) in rule.body.iter().enumerate() {
@@ -388,6 +542,7 @@ pub fn seminaive_with<T: Theory>(
                     continue;
                 }
                 for t in fire_rule(engine, rule, edb, &idb, Some((li, &delta)), &mut complements)? {
+                    produced += 1;
                     let mut rel = idb.get(&rule.head.relation).expect("init").clone();
                     if rel.insert(t.clone()) {
                         let mut d = next_delta.get(&rule.head.relation).expect("init").clone();
@@ -400,6 +555,16 @@ pub fn seminaive_with<T: Theory>(
         }
         delta = next_delta;
         iterations += 1;
+        if let Some(log) = log.as_deref_mut() {
+            log.finish(
+                iterations,
+                produced,
+                delta.size(),
+                &round_scope,
+                round_start,
+                &mut round_span,
+            );
+        }
     }
     Ok(FixpointResult { idb, iterations })
 }

@@ -11,6 +11,16 @@
 //!
 //! An executor with `threads == 1` never spawns: callers can thread one
 //! through unconditionally and pay nothing in the sequential case.
+//!
+//! Observability: the executor is the one place evaluation crosses a
+//! thread boundary, so it is the one place scoped metrics could leak.
+//! Before spawning, [`Executor::map`] captures the calling thread's
+//! innermost [`cql_trace::MetricsScope`] handle and installs it on every
+//! worker for the duration of the batch — counters incremented by
+//! workers land in the same scope as serial work, making per-query
+//! totals exact at any thread count.
+
+use cql_trace::{current_handle, span};
 
 /// Environment variable read by [`Executor::from_env`]; the CI matrix
 /// runs the engine property tests at 1 and 4 threads through it.
@@ -86,10 +96,21 @@ impl Executor {
             chunks.push(chunk);
         }
         let f = &f;
+        // Workers count into the scope of the thread that issued the batch.
+        let metrics_scope = current_handle();
+        let mut batch_span = span("executor.batch", "engine");
+        batch_span.arg("workers", workers as u64);
         let mut results: Vec<Vec<O>> = std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .into_iter()
-                .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<O>>()))
+                .map(|chunk| {
+                    let metrics_scope = metrics_scope.clone();
+                    scope.spawn(move || {
+                        let _installed = metrics_scope.map(|h| h.install());
+                        let _span = span("executor.worker", "engine");
+                        chunk.into_iter().map(f).collect::<Vec<O>>()
+                    })
+                })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("executor worker panicked")).collect()
         });

@@ -10,15 +10,15 @@
 //! clones are reference-count bumps, and equality between interned
 //! tuples short-circuits on pointer identity).
 //!
-//! Lock discipline: the pool is split into [`SHARDS`] independently
+//! Lock discipline: the pool is split into `SHARDS` independently
 //! locked shards keyed by the conjunction's hash, so parallel executor
 //! workers rarely contend; lookups take a shard lock briefly, and the
 //! (possibly expensive) canonicalization of a missed conjunction always
 //! runs *outside* any lock, so workers never serialize on a solver call.
 
-use cql_core::metrics;
 use cql_core::relation::GenTuple;
 use cql_core::theory::Theory;
+use cql_trace::{count, Counter};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Mutex;
@@ -75,17 +75,19 @@ impl<T: Theory> Interner<T> {
         {
             let pools = shard.lock().expect("interner poisoned");
             if let Some(hit) = pools.raw.get(&raw) {
-                metrics::count_intern_hit();
+                count(Counter::InternHits, 1);
                 return hit.clone();
             }
         }
-        metrics::count_intern_miss();
+        count(Counter::InternMisses, 1);
         // Solver work happens outside the lock.
         let canonical = GenTuple::<T>::new(raw.clone());
         let shared = canonical.map(|t| self.canonical(t));
         let mut pools = shard.lock().expect("interner poisoned");
         if pools.raw.len() >= MAX_ENTRIES {
             pools.raw.clear();
+            count(Counter::InternerEpochs, 1);
+            cql_trace::span::instant("interner.epoch", "interner");
         }
         pools.raw.insert(raw, shared.clone());
         shared
@@ -99,6 +101,8 @@ impl<T: Theory> Interner<T> {
         let mut pools = shard.lock().expect("interner poisoned");
         if pools.canon.len() >= MAX_ENTRIES {
             pools.canon.clear();
+            count(Counter::InternerEpochs, 1);
+            cql_trace::span::instant("interner.epoch", "interner");
         }
         pools.canon.entry(tuple.constraints().to_vec()).or_insert(tuple).clone()
     }

@@ -25,6 +25,18 @@
 //! reference through their `*_with` entry points, while the plain entry
 //! points construct a serial default so existing call sites keep their
 //! signatures.
+//!
+//! ## Observability
+//!
+//! The whole stack is instrumented through [`trace`] (the `cql-trace`
+//! crate, re-exported here): open a [`trace::MetricsScope`] around an
+//! evaluation and its counters/operator timings are exact at any
+//! executor width (workers install the issuing thread's scope); build
+//! the engine with the `trace` cargo feature and run under a
+//! [`trace::TraceSession`] to additionally collect spans for every
+//! algebra operator, calculus node, fixpoint round, QE call, executor
+//! batch and interner epoch. The `datalog::*_explain` entry points
+//! return per-round [`trace::RoundStats`] for the EXPLAIN report.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -37,6 +49,7 @@ pub mod executor;
 pub mod interner;
 
 pub use cql_core::{EnginePolicy, SubsumptionMode};
+pub use cql_trace as trace;
 pub use executor::Executor;
 pub use interner::Interner;
 

@@ -8,7 +8,7 @@
 //! invisible.
 
 use cql_arith::Rat;
-use cql_core::{metrics, CalculusQuery, Database, Formula, GenRelation};
+use cql_core::{CalculusQuery, Database, Formula, GenRelation};
 use cql_dense::{Dense, DenseConstraint as C};
 use cql_engine::datalog::{self, Atom, FixpointOptions, Literal, Program, Rule};
 use cql_engine::{calculus, Engine, Executor};
@@ -82,14 +82,11 @@ fn shared_engine_interner_hits_are_invisible() {
     let q = intersecting_rectangles();
     let engine: Engine<Dense> = Engine::serial();
     let first = calculus::evaluate_with(&engine, &q, &db).expect("first evaluation");
-    let before = metrics::snapshot();
+    let scope = cql_engine::trace::MetricsScope::enter("second-evaluation");
     let second = calculus::evaluate_with(&engine, &q, &db).expect("second evaluation");
-    let after = metrics::snapshot();
+    let hits = scope.snapshot().get(cql_engine::trace::Counter::InternHits);
     assert_eq!(first, second);
-    assert!(
-        after.intern_hits > before.intern_hits,
-        "re-evaluating on a shared engine should hit the interner"
-    );
+    assert!(hits > 0, "re-evaluating on a shared engine should hit the interner");
 }
 
 /// Transitive closure over an equality-theory edge list.

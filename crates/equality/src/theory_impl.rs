@@ -26,9 +26,11 @@ impl Theory for Equality {
     }
 
     fn eliminate(conj: &[EqConstraint], var: Var) -> Result<Vec<Vec<EqConstraint>>> {
-        Ok(match EqSolver::build(conj) {
-            None => Vec::new(),
-            Some(s) => vec![s.eliminate(var)],
+        cql_trace::qe_timed("qe.equality", || {
+            Ok(match EqSolver::build(conj) {
+                None => Vec::new(),
+                Some(s) => vec![s.eliminate(var)],
+            })
         })
     }
 

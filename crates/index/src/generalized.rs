@@ -11,7 +11,7 @@
 //! * *insert/delete* a generalized tuple: insert/delete its interval.
 //!
 //! The backend is pluggable: naive scan, centered interval tree, or
-//! priority search tree (1.5-dimensional searching, the paper's [41]).
+//! priority search tree (1.5-dimensional searching, the paper's \[41\]).
 
 use crate::interval::Interval;
 use crate::interval_tree::IntervalTree;

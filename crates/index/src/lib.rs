@@ -10,7 +10,7 @@
 //! * [`BPlusTree`] — the classical point index, with an explicit node
 //!   access counter reproducing the `O(log_B N + K/B)` cost model;
 //! * [`IntervalTree`] — centered interval tree, `O(log N + K)` queries;
-//! * [`PrioritySearchTree`] — McCreight's structure (the paper's [41]);
+//! * [`PrioritySearchTree`] — McCreight's structure (the paper's \[41\]);
 //! * [`GeneralizedIndex`] — the §1.1(3) construction over dense-order
 //!   generalized relations, with pluggable backends and the naive
 //!   scan-and-annotate baseline the paper contrasts against.

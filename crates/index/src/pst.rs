@@ -1,4 +1,4 @@
-//! A priority search tree (McCreight 1985, the paper's reference [41])
+//! A priority search tree (McCreight 1985, the paper's reference \[41\])
 //! for 1.5-dimensional searching.
 //!
 //! An interval `[lo, hi]` becomes the point `(lo, hi)`; the intervals

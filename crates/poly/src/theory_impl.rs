@@ -179,7 +179,7 @@ impl Theory for RealPoly {
     }
 
     fn eliminate(conj: &[PolyConstraint], var: Var) -> Result<Vec<Vec<PolyConstraint>>> {
-        vs::eliminate_conj(conj, var)
+        cql_trace::qe_timed("qe.poly", || vs::eliminate_conj(conj, var))
     }
 
     fn negate(c: &PolyConstraint) -> Vec<PolyConstraint> {

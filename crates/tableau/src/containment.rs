@@ -90,7 +90,7 @@ pub fn is_homomorphism(q1: &Tableau, q2: &Tableau, mapping: &[usize]) -> bool {
 /// Theorem 2.6: containment `q1 ⊆ q2` for tableaux with linear equation
 /// constraints, decided by searching for a homomorphism. Complete because
 /// an affine space contained in a finite union of affine spaces is
-/// contained in one of them (Lemma 2.5 + [47] p. 139).
+/// contained in one of them (Lemma 2.5 + \[47\] p. 139).
 #[must_use]
 pub fn contained_linear(q1: &Tableau, q2: &Tableau) -> bool {
     if !q1.constraints.is_consistent() {

@@ -1,0 +1,47 @@
+//! # cql-trace — observability for the CQL evaluation stack
+//!
+//! The paper's claims are *complexity* claims (closed-form evaluation in
+//! LOGSPACE/PTIME/NC); trusting a perf change to the engine means being
+//! able to see where evaluation work goes. This crate is that layer,
+//! threaded through `cql-core`, `cql-engine`, the four theory crates and
+//! the bench harness:
+//!
+//! * [`MetricsScope`] — scoped, thread-aggregated evaluation counters
+//!   and per-operator timings. Per-query, nestable, merge-on-drop;
+//!   exact under any executor width (the engine's executor installs the
+//!   scope on every worker). Replaces the racy process-global atomics
+//!   that `cql_core::metrics` used to be.
+//! * [`span()`]/[`SpanGuard`]/[`TraceSession`] — span-based tracing of
+//!   calculus disjuncts, algebra operators, fixpoint rounds, QE calls,
+//!   executor batches and interner epochs. Behind the `trace` cargo
+//!   feature: **zero cost when disabled** (entry points compile to empty
+//!   inline functions).
+//! * [`EvalReport`] — the EXPLAIN artifact: per-round fixpoint telemetry
+//!   (delta size, tuples produced/subsumed, entailment checks, QE and
+//!   wall time), per-operator inclusive timings, counter totals.
+//!   Renders as a text table or JSON; `repro --trace <exp> --json`
+//!   emits it mechanically.
+//! * [`chrome`] — a `trace_event` JSON exporter, loadable in
+//!   `about://tracing` / Perfetto.
+//! * [`json`] — the minimal in-repo JSON support all of the above use
+//!   (the build environment is offline; no `serde`).
+//!
+//! This crate is dependency-free and theory-agnostic: it knows nothing
+//! about constraints or relations, only counters, spans and reports.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chrome;
+pub mod json;
+pub mod report;
+pub mod scope;
+pub mod span;
+
+pub use json::Json;
+pub use report::{EvalReport, OperatorStats, RoundStats};
+pub use scope::{
+    count, current_handle, op_timed, qe_timed, root_reset, root_snapshot, Counter, MetricsScope,
+    MetricsSnapshot, OpAgg, ScopeHandle, COUNTERS,
+};
+pub use span::{span, SpanGuard, SpanRecord, TraceSession};

@@ -1,0 +1,359 @@
+//! The `EvalReport` EXPLAIN artifact.
+//!
+//! A closed-form evaluation is a structural induction (`EVAL_φ`) or a
+//! fixpoint iteration; an [`EvalReport`] is the post-hoc account of where
+//! that work went: one [`RoundStats`] row per fixpoint round (delta size,
+//! tuples produced vs subsumed, entailment checks, QE calls, wall time),
+//! a per-operator table (inclusive wall time of each algebra operator /
+//! calculus node / theory QE entry point, from the query's
+//! [`crate::MetricsScope`]), and the scope's counter totals.
+//!
+//! Renderable as a text table ([`EvalReport::render_text`]) and as JSON
+//! ([`EvalReport::to_json`] / [`EvalReport::from_json`] round-trip, used
+//! by `repro --trace e13 --json` and the CI smoke check).
+
+use crate::json::Json;
+use crate::scope::{MetricsSnapshot, OpAgg};
+
+/// Telemetry for one fixpoint round.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Round number (1-based, matching `FixpointResult::iterations`).
+    pub round: u64,
+    /// Tuples derived by rule firings this round (before insertion).
+    pub produced: u64,
+    /// Tuples admitted into the IDB this round (the delta).
+    pub delta: u64,
+    /// Tuples rejected as duplicates or subsumed.
+    pub subsumed: u64,
+    /// `Theory::entails` calls spent on subsumption this round.
+    pub entailment_checks: u64,
+    /// Quantifier-elimination calls this round.
+    pub qe_calls: u64,
+    /// Inclusive QE wall time this round, nanoseconds.
+    pub qe_ns: u64,
+    /// Round wall time, nanoseconds.
+    pub wall_ns: u64,
+}
+
+impl RoundStats {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("round", self.round)
+            .field("produced", self.produced)
+            .field("delta", self.delta)
+            .field("subsumed", self.subsumed)
+            .field("entailment_checks", self.entailment_checks)
+            .field("qe_calls", self.qe_calls)
+            .field("qe_ns", self.qe_ns)
+            .field("wall_ns", self.wall_ns)
+    }
+
+    fn from_json(v: &Json) -> Result<RoundStats, String> {
+        let get = |key: &str| {
+            v.get(key).and_then(Json::as_u64).ok_or_else(|| format!("round missing \"{key}\""))
+        };
+        Ok(RoundStats {
+            round: get("round")?,
+            produced: get("produced")?,
+            delta: get("delta")?,
+            subsumed: get("subsumed")?,
+            entailment_checks: get("entailment_checks")?,
+            qe_calls: get("qe_calls")?,
+            qe_ns: get("qe_ns")?,
+            wall_ns: get("wall_ns")?,
+        })
+    }
+}
+
+/// One operator row of the report (from the scope's operator table).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OperatorStats {
+    /// Operator name (`"qe.dense"`, `"algebra.project"`, …).
+    pub name: String,
+    /// Invocations.
+    pub calls: u64,
+    /// Inclusive wall time, nanoseconds.
+    pub nanos: u64,
+}
+
+/// The EXPLAIN artifact for one evaluation. See the module docs.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EvalReport {
+    /// What was evaluated (query shape or experiment id).
+    pub query: String,
+    /// The constraint theory evaluated over.
+    pub theory: String,
+    /// Executor width the evaluation ran at.
+    pub threads: u64,
+    /// Fixpoint rounds (empty for non-fixpoint evaluations).
+    pub rounds: Vec<RoundStats>,
+    /// Per-operator inclusive timings.
+    pub operators: Vec<OperatorStats>,
+    /// Counter totals of the evaluation's scope, as `(name, value)` rows.
+    pub totals: Vec<(String, u64)>,
+    /// Total tuples in the result (IDB size or output relation length).
+    pub result_tuples: u64,
+    /// End-to-end wall time, nanoseconds.
+    pub wall_ns: u64,
+}
+
+impl EvalReport {
+    /// Assemble a report from a completed scope snapshot.
+    #[must_use]
+    pub fn from_snapshot(
+        query: &str,
+        theory: &str,
+        threads: usize,
+        snapshot: &MetricsSnapshot,
+        rounds: Vec<RoundStats>,
+        result_tuples: u64,
+        wall_ns: u64,
+    ) -> EvalReport {
+        let operators = snapshot
+            .ops
+            .iter()
+            .map(|(&name, &OpAgg { calls, nanos })| OperatorStats {
+                name: name.to_string(),
+                calls,
+                nanos,
+            })
+            .collect();
+        let totals =
+            snapshot.rows().into_iter().map(|(name, value)| (name.to_string(), value)).collect();
+        EvalReport {
+            query: query.to_string(),
+            theory: theory.to_string(),
+            threads: threads as u64,
+            rounds,
+            operators,
+            totals,
+            result_tuples,
+            wall_ns,
+        }
+    }
+
+    /// How effective subsumption was: rejected / produced, in `[0, 1]`.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn subsumption_effectiveness(&self) -> f64 {
+        let produced: u64 = self.rounds.iter().map(|r| r.produced).sum();
+        let subsumed: u64 = self.rounds.iter().map(|r| r.subsumed).sum();
+        if produced == 0 {
+            0.0
+        } else {
+            subsumed as f64 / produced as f64
+        }
+    }
+
+    /// Render as JSON.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut totals = Json::obj();
+        for (name, value) in &self.totals {
+            totals = totals.field(name, *value);
+        }
+        Json::obj()
+            .field("query", self.query.as_str())
+            .field("theory", self.theory.as_str())
+            .field("threads", self.threads)
+            .field("rounds", Json::Arr(self.rounds.iter().map(RoundStats::to_json).collect()))
+            .field(
+                "operators",
+                Json::Arr(
+                    self.operators
+                        .iter()
+                        .map(|op| {
+                            Json::obj()
+                                .field("name", op.name.as_str())
+                                .field("calls", op.calls)
+                                .field("nanos", op.nanos)
+                        })
+                        .collect(),
+                ),
+            )
+            .field("totals", totals)
+            .field("result_tuples", self.result_tuples)
+            .field("wall_ns", self.wall_ns)
+            .field("subsumption_effectiveness", self.subsumption_effectiveness())
+    }
+
+    /// Parse a report back from its JSON form.
+    ///
+    /// # Errors
+    /// A message naming the first missing or mistyped field.
+    pub fn from_json(v: &Json) -> Result<EvalReport, String> {
+        let str_field = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("report missing \"{key}\""))
+        };
+        let num_field = |key: &str| {
+            v.get(key).and_then(Json::as_u64).ok_or_else(|| format!("report missing \"{key}\""))
+        };
+        let rounds = v
+            .get("rounds")
+            .and_then(Json::as_arr)
+            .ok_or("report missing \"rounds\"")?
+            .iter()
+            .map(RoundStats::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let operators = v
+            .get("operators")
+            .and_then(Json::as_arr)
+            .ok_or("report missing \"operators\"")?
+            .iter()
+            .map(|op| {
+                Ok::<_, String>(OperatorStats {
+                    name: op
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or("operator missing \"name\"")?
+                        .to_string(),
+                    calls: op.get("calls").and_then(Json::as_u64).ok_or("operator calls")?,
+                    nanos: op.get("nanos").and_then(Json::as_u64).ok_or("operator nanos")?,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let totals = match v.get("totals") {
+            Some(Json::Obj(fields)) => fields
+                .iter()
+                .map(|(name, value)| {
+                    value
+                        .as_u64()
+                        .map(|n| (name.clone(), n))
+                        .ok_or_else(|| format!("total \"{name}\" not a number"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("report missing \"totals\"".into()),
+        };
+        Ok(EvalReport {
+            query: str_field("query")?,
+            theory: str_field("theory")?,
+            threads: num_field("threads")?,
+            rounds,
+            operators,
+            totals,
+            result_tuples: num_field("result_tuples")?,
+            wall_ns: num_field("wall_ns")?,
+        })
+    }
+
+    /// Render as a fixed-width text table (the `EXPLAIN` view).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn render_text(&self) -> String {
+        let ms = |ns: u64| format!("{:.2}ms", ns as f64 / 1e6);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "EXPLAIN {} [{}] threads={} wall={} result_tuples={}\n",
+            self.query,
+            self.theory,
+            self.threads,
+            ms(self.wall_ns),
+            self.result_tuples
+        ));
+        if !self.rounds.is_empty() {
+            out.push_str(&format!(
+                "{:>6} {:>10} {:>8} {:>10} {:>16} {:>10} {:>10} {:>10}\n",
+                "round", "produced", "delta", "subsumed", "entails", "qe calls", "qe time", "wall"
+            ));
+            for r in &self.rounds {
+                out.push_str(&format!(
+                    "{:>6} {:>10} {:>8} {:>10} {:>16} {:>10} {:>10} {:>10}\n",
+                    r.round,
+                    r.produced,
+                    r.delta,
+                    r.subsumed,
+                    r.entailment_checks,
+                    r.qe_calls,
+                    ms(r.qe_ns),
+                    ms(r.wall_ns)
+                ));
+            }
+            out.push_str(&format!(
+                "subsumption effectiveness: {:.1}% of produced tuples rejected\n",
+                100.0 * self.subsumption_effectiveness()
+            ));
+        }
+        if !self.operators.is_empty() {
+            out.push_str(&format!("{:>24} {:>10} {:>12}\n", "operator", "calls", "incl time"));
+            for op in &self.operators {
+                out.push_str(&format!("{:>24} {:>10} {:>12}\n", op.name, op.calls, ms(op.nanos)));
+            }
+        }
+        out.push_str("totals: ");
+        let mut first = true;
+        for (name, value) in &self.totals {
+            if *value > 0 {
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                out.push_str(&format!("{name}={value}"));
+            }
+        }
+        if first {
+            out.push_str("(all zero)");
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample() -> EvalReport {
+        EvalReport {
+            query: "T(x,y) :- E; T,E".into(),
+            theory: "dense linear order".into(),
+            threads: 4,
+            rounds: vec![
+                RoundStats {
+                    round: 1,
+                    produced: 64,
+                    delta: 64,
+                    subsumed: 0,
+                    entailment_checks: 10,
+                    qe_calls: 0,
+                    qe_ns: 0,
+                    wall_ns: 1_200_000,
+                },
+                RoundStats {
+                    round: 2,
+                    produced: 128,
+                    delta: 63,
+                    subsumed: 65,
+                    entailment_checks: 40,
+                    qe_calls: 63,
+                    qe_ns: 400_000,
+                    wall_ns: 2_000_000,
+                },
+            ],
+            operators: vec![OperatorStats { name: "qe.dense".into(), calls: 63, nanos: 400_000 }],
+            totals: vec![("entailment_checks".into(), 50), ("tuples_inserted".into(), 127)],
+            result_tuples: 127,
+            wall_ns: 3_500_000,
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let report = sample();
+        let text = report.to_json().pretty();
+        let back = EvalReport::from_json(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn text_render_mentions_rounds_and_effectiveness() {
+        let text = sample().render_text();
+        assert!(text.contains("round"));
+        assert!(text.contains("subsumption effectiveness"));
+        assert!(text.contains("qe.dense"));
+    }
+}

@@ -1,0 +1,465 @@
+//! Scoped, thread-aggregated evaluation metrics.
+//!
+//! The previous design kept five process-global atomics
+//! (`cql_core::metrics`): correct for a single benchmark loop, racy and
+//! meaningless the moment two tests — or two queries — run concurrently.
+//! A [`MetricsScope`] replaces them:
+//!
+//! * **per-query** — a scope is opened around one evaluation and sees
+//!   only the work done under it;
+//! * **nestable** — scopes stack per thread (a per-round scope inside a
+//!   per-query scope); counts land in the innermost scope;
+//! * **thread-aggregated** — the engine's executor installs the
+//!   spawning thread's scope on every worker ([`ScopeHandle::install`]),
+//!   so counts from parallel batches land in the *same* shared counter
+//!   set and totals are exact at any `CQL_ENGINE_THREADS`;
+//! * **merge-on-drop** — when a scope closes, its totals fold into the
+//!   enclosing scope (or the process root when there is none), so outer
+//!   scopes always end up with the sum over their children and the
+//!   legacy process-wide totals remain available via [`root_snapshot`].
+//!
+//! Counting sites call [`count`] (a thread-local lookup plus one relaxed
+//! `fetch_add`) and [`op_timed`] (which skips the clock entirely when no
+//! scope is installed and no trace session is active).
+
+use crate::span;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The fixed evaluation counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// `Theory::entails` calls made by relation inserts.
+    EntailmentChecks,
+    /// Subsumption candidates skipped by the signature bucket-subset test.
+    SignatureSkips,
+    /// Subsumption candidates skipped by the cached-sample-point test.
+    SampleSkips,
+    /// Canonicalizations avoided by the engine's tuple interner.
+    InternHits,
+    /// Interner misses (canonicalization actually ran).
+    InternMisses,
+    /// Interner memo tables cleared on overflow (an "epoch" boundary).
+    InternerEpochs,
+    /// Tuples admitted by `GenRelation::insert`.
+    TuplesInserted,
+    /// Tuples rejected by `GenRelation::insert` (duplicate or subsumed).
+    TuplesSubsumed,
+    /// Stored tuples evicted because a new tuple subsumed them.
+    TuplesEvicted,
+    /// Quantifier-elimination calls (theory `eliminate` entry points).
+    QeCalls,
+    /// Fixpoint rounds executed.
+    FixpointRounds,
+}
+
+const N_COUNTERS: usize = 11;
+
+/// All [`Counter`] variants, in order (for generic reporting loops).
+pub const COUNTERS: [Counter; N_COUNTERS] = [
+    Counter::EntailmentChecks,
+    Counter::SignatureSkips,
+    Counter::SampleSkips,
+    Counter::InternHits,
+    Counter::InternMisses,
+    Counter::InternerEpochs,
+    Counter::TuplesInserted,
+    Counter::TuplesSubsumed,
+    Counter::TuplesEvicted,
+    Counter::QeCalls,
+    Counter::FixpointRounds,
+];
+
+impl Counter {
+    /// Stable snake_case name (JSON keys, report rows).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::EntailmentChecks => "entailment_checks",
+            Counter::SignatureSkips => "signature_skips",
+            Counter::SampleSkips => "sample_skips",
+            Counter::InternHits => "intern_hits",
+            Counter::InternMisses => "intern_misses",
+            Counter::InternerEpochs => "interner_epochs",
+            Counter::TuplesInserted => "tuples_inserted",
+            Counter::TuplesSubsumed => "tuples_subsumed",
+            Counter::TuplesEvicted => "tuples_evicted",
+            Counter::QeCalls => "qe_calls",
+            Counter::FixpointRounds => "fixpoint_rounds",
+        }
+    }
+}
+
+#[derive(Default)]
+struct CounterSet {
+    cells: [AtomicU64; N_COUNTERS],
+}
+
+impl CounterSet {
+    fn add(&self, counter: Counter, n: u64) {
+        if n > 0 {
+            self.cells[counter as usize].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    fn load(&self, counter: Counter) -> u64 {
+        self.cells[counter as usize].load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        for cell in &self.cells {
+            cell.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Aggregated timing for one named operator.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpAgg {
+    /// Number of invocations.
+    pub calls: u64,
+    /// Total inclusive wall time, nanoseconds.
+    pub nanos: u64,
+}
+
+/// An immutable snapshot of a scope's (or the root's) totals.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    counters: [u64; N_COUNTERS],
+    /// Per-operator inclusive wall time, keyed by operator name
+    /// (`"qe.dense"`, `"algebra.project"`, …).
+    pub ops: BTreeMap<&'static str, OpAgg>,
+}
+
+impl MetricsSnapshot {
+    /// The value of one counter.
+    #[must_use]
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.counters[counter as usize]
+    }
+
+    /// Pointwise difference `self - earlier` (counters saturate at 0;
+    /// operator aggregates subtract per key).
+    #[must_use]
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut counters = [0u64; N_COUNTERS];
+        for (i, slot) in counters.iter_mut().enumerate() {
+            *slot = self.counters[i].saturating_sub(earlier.counters[i]);
+        }
+        let mut ops = BTreeMap::new();
+        for (&name, agg) in &self.ops {
+            let before = earlier.ops.get(name).copied().unwrap_or_default();
+            let diff = OpAgg {
+                calls: agg.calls.saturating_sub(before.calls),
+                nanos: agg.nanos.saturating_sub(before.nanos),
+            };
+            if diff.calls > 0 || diff.nanos > 0 {
+                ops.insert(name, diff);
+            }
+        }
+        MetricsSnapshot { counters, ops }
+    }
+
+    /// Render counters and operator timings as `(name, value)` rows.
+    #[must_use]
+    pub fn rows(&self) -> Vec<(&'static str, u64)> {
+        COUNTERS.iter().map(|&c| (c.name(), self.get(c))).collect()
+    }
+}
+
+struct ScopeInner {
+    name: String,
+    counters: CounterSet,
+    ops: Mutex<BTreeMap<&'static str, OpAgg>>,
+}
+
+impl ScopeInner {
+    fn new(name: &str) -> ScopeInner {
+        ScopeInner {
+            name: name.to_string(),
+            counters: CounterSet::default(),
+            ops: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters = [0u64; N_COUNTERS];
+        for (i, slot) in counters.iter_mut().enumerate() {
+            *slot = self.counters.cells[i].load(Ordering::Relaxed);
+        }
+        MetricsSnapshot { counters, ops: self.ops.lock().expect("scope ops poisoned").clone() }
+    }
+
+    fn add_op(&self, op: &'static str, duration: Duration) {
+        let mut ops = self.ops.lock().expect("scope ops poisoned");
+        let agg = ops.entry(op).or_default();
+        agg.calls += 1;
+        agg.nanos += u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX);
+    }
+}
+
+/// A cloneable, `Send` handle to a live scope — what the executor carries
+/// across threads so worker counts aggregate into the owning scope.
+#[derive(Clone)]
+pub struct ScopeHandle {
+    inner: Arc<ScopeInner>,
+}
+
+impl ScopeHandle {
+    /// Install this scope as the current thread's innermost scope until
+    /// the returned guard drops. Used by executor workers; also usable by
+    /// hand-rolled threads participating in a scoped evaluation.
+    #[must_use]
+    pub fn install(&self) -> InstallGuard {
+        STACK.with(|stack| stack.borrow_mut().push(self.clone()));
+        InstallGuard { inner: Arc::clone(&self.inner) }
+    }
+
+    /// The scope's name.
+    #[must_use]
+    pub fn name(&self) -> String {
+        self.inner.name.clone()
+    }
+
+    /// Snapshot this scope's totals so far (own counts plus every child
+    /// scope that already dropped).
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.inner.snapshot()
+    }
+}
+
+/// Guard returned by [`ScopeHandle::install`]; pops the scope from the
+/// installing thread's stack on drop.
+pub struct InstallGuard {
+    inner: Arc<ScopeInner>,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if let Some(at) = stack.iter().rposition(|h| Arc::ptr_eq(&h.inner, &self.inner)) {
+                stack.remove(at);
+            }
+        });
+    }
+}
+
+/// A per-query (or per-round, per-test, …) metrics scope. See the module
+/// docs for the aggregation contract.
+pub struct MetricsScope {
+    handle: ScopeHandle,
+    parent: Option<ScopeHandle>,
+    _installed: InstallGuard,
+}
+
+impl MetricsScope {
+    /// Open a scope: it becomes the calling thread's innermost scope, and
+    /// the executor propagates it to workers. The enclosing scope (if
+    /// any) is remembered as the merge target.
+    #[must_use]
+    pub fn enter(name: &str) -> MetricsScope {
+        let parent = current_handle();
+        let handle = ScopeHandle { inner: Arc::new(ScopeInner::new(name)) };
+        let installed = handle.install();
+        MetricsScope { handle, parent, _installed: installed }
+    }
+
+    /// A `Send` handle for cross-thread aggregation.
+    #[must_use]
+    pub fn handle(&self) -> ScopeHandle {
+        self.handle.clone()
+    }
+
+    /// The scope's name.
+    #[must_use]
+    pub fn name(&self) -> String {
+        self.handle.name()
+    }
+
+    /// Totals recorded under this scope so far.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.handle.snapshot()
+    }
+}
+
+impl Drop for MetricsScope {
+    fn drop(&mut self) {
+        // Fold this scope's totals into the enclosing scope, or the
+        // process root when the stack is empty — so ancestors (and the
+        // legacy process-wide view) see the sum over completed children.
+        let snap = self.handle.snapshot();
+        match &self.parent {
+            Some(parent) => {
+                for &c in &COUNTERS {
+                    parent.inner.counters.add(c, snap.get(c));
+                }
+                let mut ops = parent.inner.ops.lock().expect("scope ops poisoned");
+                for (name, agg) in &snap.ops {
+                    let slot = ops.entry(name).or_default();
+                    slot.calls += agg.calls;
+                    slot.nanos += agg.nanos;
+                }
+            }
+            None => {
+                for &c in &COUNTERS {
+                    ROOT.add(c, snap.get(c));
+                }
+                let mut ops = ROOT_OPS.lock().expect("root ops poisoned");
+                for (name, agg) in &snap.ops {
+                    let slot = ops.entry(name).or_default();
+                    slot.calls += agg.calls;
+                    slot.nanos += agg.nanos;
+                }
+            }
+        }
+    }
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<ScopeHandle>> = const { RefCell::new(Vec::new()) };
+}
+
+static ROOT: CounterSet = CounterSet {
+    cells: [
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+    ],
+};
+static ROOT_OPS: Mutex<BTreeMap<&'static str, OpAgg>> = Mutex::new(BTreeMap::new());
+
+/// The current thread's innermost scope, if any.
+#[must_use]
+pub fn current_handle() -> Option<ScopeHandle> {
+    STACK.with(|stack| stack.borrow().last().cloned())
+}
+
+/// Increment a counter by `n` in the innermost scope of the calling
+/// thread, or in the process root when no scope is installed.
+pub fn count(counter: Counter, n: u64) {
+    if n == 0 {
+        return;
+    }
+    let in_scope = STACK
+        .with(|stack| stack.borrow().last().map(|h| h.inner.counters.add(counter, n)).is_some());
+    if !in_scope {
+        ROOT.add(counter, n);
+    }
+}
+
+/// Time `f` under an operator label: its inclusive wall time aggregates
+/// into the innermost scope's operator table, and (with the `trace`
+/// feature and an active session) emits a span. When neither a scope nor
+/// a session is active, `f` runs untimed — no clock reads at all.
+pub fn op_timed<R>(op: &'static str, f: impl FnOnce() -> R) -> R {
+    let scope = current_handle();
+    if scope.is_none() && !span::session_active() {
+        return f();
+    }
+    let start = Instant::now();
+    let result = f();
+    let elapsed = start.elapsed();
+    if let Some(handle) = scope {
+        handle.inner.add_op(op, elapsed);
+    }
+    span::record_complete(op, "op", start, elapsed, Vec::new());
+    result
+}
+
+/// [`op_timed`] that also bumps [`Counter::QeCalls`] — the hook the four
+/// theory crates wrap their `Theory::eliminate` implementations with.
+pub fn qe_timed<R>(op: &'static str, f: impl FnOnce() -> R) -> R {
+    count(Counter::QeCalls, 1);
+    op_timed(op, f)
+}
+
+/// Snapshot of the process root: everything counted outside any scope
+/// plus every top-level scope that has already dropped. This is the
+/// legacy process-global view (racy across concurrent scopes *by
+/// construction* — prefer [`MetricsScope`]).
+#[must_use]
+pub fn root_snapshot() -> MetricsSnapshot {
+    let mut counters = [0u64; N_COUNTERS];
+    for (slot, &c) in counters.iter_mut().zip(COUNTERS.iter()) {
+        *slot = ROOT.load(c);
+    }
+    MetricsSnapshot { counters, ops: ROOT_OPS.lock().expect("root ops poisoned").clone() }
+}
+
+/// Reset the process root (benchmark-harness boundaries only).
+pub fn root_reset() {
+    ROOT.reset();
+    ROOT_OPS.lock().expect("root ops poisoned").clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_isolates_and_merges_on_drop() {
+        let outer = MetricsScope::enter("outer");
+        count(Counter::EntailmentChecks, 3);
+        {
+            let inner = MetricsScope::enter("inner");
+            count(Counter::EntailmentChecks, 5);
+            assert_eq!(inner.snapshot().get(Counter::EntailmentChecks), 5);
+            // Outer does not see the child until it drops.
+            assert_eq!(outer.snapshot().get(Counter::EntailmentChecks), 3);
+        }
+        assert_eq!(outer.snapshot().get(Counter::EntailmentChecks), 8);
+    }
+
+    #[test]
+    fn cross_thread_counts_aggregate_into_one_scope() {
+        let scope = MetricsScope::enter("threaded");
+        let handle = scope.handle();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let h = handle.clone();
+                s.spawn(move || {
+                    let _g = h.install();
+                    for _ in 0..100 {
+                        count(Counter::InternHits, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(scope.snapshot().get(Counter::InternHits), 400);
+    }
+
+    #[test]
+    fn op_timed_aggregates_into_scope() {
+        let scope = MetricsScope::enter("ops");
+        let v = qe_timed("qe.test", || 7);
+        assert_eq!(v, 7);
+        let snap = scope.snapshot();
+        assert_eq!(snap.get(Counter::QeCalls), 1);
+        assert_eq!(snap.ops.get("qe.test").map(|a| a.calls), Some(1));
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let scope = MetricsScope::enter("diff");
+        count(Counter::TuplesInserted, 2);
+        let before = scope.snapshot();
+        count(Counter::TuplesInserted, 5);
+        let diff = scope.snapshot().since(&before);
+        assert_eq!(diff.get(Counter::TuplesInserted), 5);
+    }
+}

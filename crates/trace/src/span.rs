@@ -1,0 +1,307 @@
+//! Span-based tracing, zero-cost when disabled.
+//!
+//! With the `trace` cargo feature **off** (the default), every entry
+//! point here is an empty `#[inline]` function and [`SpanGuard`] is a
+//! zero-sized type: instrumented engine code compiles to exactly what it
+//! was before instrumentation.
+//!
+//! With the feature **on**, spans are still only recorded while a
+//! [`TraceSession`] is active (a global flag), so a traced build pays
+//! one atomic load per span site outside sessions. During a session,
+//! every span becomes a [`SpanRecord`] — name, category, thread, start
+//! offset and duration from the session epoch, plus key/value arguments
+//! — which [`crate::chrome::render`] turns into a `trace_event` JSON
+//! file loadable in `about://tracing` / Perfetto.
+//!
+//! Span taxonomy used by the engine (see DESIGN.md "Observability"):
+//! `query` (one per evaluation entry), `round` (one per fixpoint round),
+//! `op` (algebra operators, calculus nodes, QE calls), `engine`
+//! (executor batches, interner epochs).
+
+use crate::json::Json;
+use std::time::{Duration, Instant};
+
+/// One recorded span (or instant event, when `dur_ns` is `None`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanRecord {
+    /// Span name (e.g. `"fixpoint.round"`, `"qe.dense"`).
+    pub name: &'static str,
+    /// Category (`"query"`, `"round"`, `"op"`, `"engine"`).
+    pub cat: &'static str,
+    /// Trace-local thread id (dense small integers, not OS tids).
+    pub tid: u64,
+    /// Start, nanoseconds since the session epoch.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds; `None` marks an instant event.
+    pub dur_ns: Option<u64>,
+    /// Arguments attached to the span.
+    pub args: Vec<(&'static str, Json)>,
+}
+
+#[cfg(feature = "trace")]
+mod imp {
+    use super::SpanRecord;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::{Mutex, OnceLock};
+    use std::time::Instant;
+
+    pub(super) static ACTIVE: AtomicBool = AtomicBool::new(false);
+    pub(super) static EVENTS: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+    thread_local! {
+        pub(super) static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(super) fn epoch() -> Instant {
+        *EPOCH.get_or_init(Instant::now)
+    }
+
+    pub(super) fn ns_since_epoch(at: Instant) -> u64 {
+        u64::try_from(at.saturating_duration_since(epoch()).as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// Is a trace session currently collecting spans? Always `false` without
+/// the `trace` feature.
+#[inline]
+#[must_use]
+pub fn session_active() -> bool {
+    #[cfg(feature = "trace")]
+    {
+        imp::ACTIVE.load(std::sync::atomic::Ordering::Relaxed)
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        false
+    }
+}
+
+/// Record a completed interval directly (used by [`crate::op_timed`],
+/// which already measured the duration for the metrics side).
+#[inline]
+pub fn record_complete(
+    name: &'static str,
+    cat: &'static str,
+    start: Instant,
+    dur: Duration,
+    args: Vec<(&'static str, Json)>,
+) {
+    #[cfg(feature = "trace")]
+    {
+        if !session_active() {
+            return;
+        }
+        let record = SpanRecord {
+            name,
+            cat,
+            tid: imp::TID.with(|t| *t),
+            ts_ns: imp::ns_since_epoch(start),
+            dur_ns: Some(u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX)),
+            args,
+        };
+        imp::EVENTS.lock().expect("trace events poisoned").push(record);
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        let _ = (name, cat, start, dur, args);
+    }
+}
+
+/// Record an instant event (e.g. an interner epoch flush).
+#[inline]
+pub fn instant(name: &'static str, cat: &'static str) {
+    #[cfg(feature = "trace")]
+    {
+        if !session_active() {
+            return;
+        }
+        let record = SpanRecord {
+            name,
+            cat,
+            tid: imp::TID.with(|t| *t),
+            ts_ns: imp::ns_since_epoch(std::time::Instant::now()),
+            dur_ns: None,
+            args: Vec::new(),
+        };
+        imp::EVENTS.lock().expect("trace events poisoned").push(record);
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        let _ = (name, cat);
+    }
+}
+
+/// RAII span: measures from construction to drop. Zero-sized and inert
+/// without the `trace` feature.
+pub struct SpanGuard {
+    #[cfg(feature = "trace")]
+    open: Option<OpenSpan>,
+}
+
+#[cfg(feature = "trace")]
+struct OpenSpan {
+    name: &'static str,
+    cat: &'static str,
+    start: Instant,
+    args: Vec<(&'static str, Json)>,
+}
+
+/// Open a span. Spans on one thread must close in LIFO order (RAII makes
+/// this automatic), which is what gives the chrome trace its strict
+/// nesting.
+#[inline]
+#[must_use]
+pub fn span(name: &'static str, cat: &'static str) -> SpanGuard {
+    #[cfg(feature = "trace")]
+    {
+        if !session_active() {
+            return SpanGuard { open: None };
+        }
+        SpanGuard { open: Some(OpenSpan { name, cat, start: Instant::now(), args: Vec::new() }) }
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        let _ = (name, cat);
+        SpanGuard {}
+    }
+}
+
+impl SpanGuard {
+    /// Attach an argument (visible in the chrome trace and EXPLAIN
+    /// drill-downs). No-op when the span is not being recorded.
+    #[inline]
+    pub fn arg(&mut self, key: &'static str, value: impl Into<Json>) {
+        #[cfg(feature = "trace")]
+        {
+            if let Some(open) = &mut self.open {
+                open.args.push((key, value.into()));
+            }
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            let _ = (key, value);
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        #[cfg(feature = "trace")]
+        {
+            if let Some(open) = self.open.take() {
+                record_complete(open.name, open.cat, open.start, open.start.elapsed(), open.args);
+            }
+        }
+    }
+}
+
+/// A span-collection session. At most one is active at a time; spans
+/// opened while no session is active are discarded at zero cost.
+pub struct TraceSession {
+    #[cfg(feature = "trace")]
+    active: bool,
+}
+
+impl TraceSession {
+    /// Start collecting spans. Returns an inert session (and collects
+    /// nothing) if the `trace` feature is off or another session is
+    /// already running.
+    #[must_use]
+    pub fn begin() -> TraceSession {
+        #[cfg(feature = "trace")]
+        {
+            let fresh = !imp::ACTIVE.swap(true, std::sync::atomic::Ordering::SeqCst);
+            if fresh {
+                imp::EVENTS.lock().expect("trace events poisoned").clear();
+                let _ = imp::epoch();
+            }
+            TraceSession { active: fresh }
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            TraceSession {}
+        }
+    }
+
+    /// Was span collection actually enabled for this session? (`false`
+    /// when the `trace` feature is off or a session was already active.)
+    #[must_use]
+    pub fn is_collecting(&self) -> bool {
+        #[cfg(feature = "trace")]
+        {
+            self.active
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            false
+        }
+    }
+
+    /// Stop collecting and return every span recorded during the
+    /// session. Empty without the `trace` feature.
+    #[must_use]
+    pub fn end(self) -> Vec<SpanRecord> {
+        #[cfg(feature = "trace")]
+        {
+            if !self.active {
+                return Vec::new();
+            }
+            imp::ACTIVE.store(false, std::sync::atomic::Ordering::SeqCst);
+            std::mem::take(&mut *imp::EVENTS.lock().expect("trace events poisoned"))
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(all(test, feature = "trace"))]
+mod tests {
+    use super::*;
+
+    // Sessions are process-global; serialize the tests that open one.
+    static SESSION_TESTS: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn session_collects_nested_spans() {
+        let _serial = SESSION_TESTS.lock().unwrap();
+        let session = TraceSession::begin();
+        assert!(session.is_collecting());
+        {
+            let mut outer = span("outer", "op");
+            outer.arg("n", 3u64);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = span("inner", "op");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        let records = session.end();
+        assert_eq!(records.len(), 2);
+        // RAII: inner closes (and records) first.
+        let inner = &records[0];
+        let outer = &records[1];
+        assert_eq!(inner.name, "inner");
+        assert_eq!(outer.name, "outer");
+        assert!(outer.ts_ns <= inner.ts_ns);
+        assert!(
+            inner.ts_ns + inner.dur_ns.unwrap() <= outer.ts_ns + outer.dur_ns.unwrap(),
+            "inner span must end within outer"
+        );
+        assert_eq!(outer.args, vec![("n", crate::json::Json::from(3u64))]);
+    }
+
+    #[test]
+    fn no_collection_outside_sessions() {
+        let _serial = SESSION_TESTS.lock().unwrap();
+        {
+            let _s = span("dropped", "op");
+        }
+        let session = TraceSession::begin();
+        let records = session.end();
+        assert!(records.iter().all(|r| r.name != "dropped"));
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! The build environment has no access to crates.io, so this shim
 //! reimplements the (small) slice of proptest's API that the workspace's
-//! property tests use: [`Strategy`] with `prop_map`, range / tuple /
+//! property tests use: [`Strategy`](strategy::Strategy) with `prop_map`, range / tuple /
 //! collection strategies, `any::<T>()`, the `proptest!`, `prop_oneof!`,
 //! `prop_assert*!` and `prop_assume!` macros, and
 //! [`ProptestConfig::with_cases`].
