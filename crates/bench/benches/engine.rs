@@ -3,8 +3,8 @@
 //! different executor thread counts.
 //!
 //! The companion acceptance check (`repro engine`) additionally reports
-//! the entailment-check *counts* via `cql_core::metrics`, which are
-//! deterministic and hardware-independent.
+//! the entailment-check *counts* via `cql_trace` scoped metrics, which
+//! are deterministic and hardware-independent.
 
 use cql_bench::{chain_edb_dense, tc_program_dense};
 use cql_core::relation::{GenRelation, GenTuple};

@@ -9,7 +9,7 @@
 //! ```
 //!
 //! Sections are addressed by experiment id (`f1`, `t1`, `f2`, `f3`,
-//! `e4`–`e15`, `a1`–`a3`) or their legacy names (`fig1`, `table1`,
+//! `e4`–`e16`, `a1`–`a3`) or their legacy names (`fig1`, `table1`,
 //! `containment`, `engine`, …). Flags:
 //!
 //! * `--json` — emit one machine-readable JSON document instead of text;
@@ -577,6 +577,92 @@ fn overhead(em: &mut Emitter) {
     em.datum("within_target", pct < 5.0);
 }
 
+/// E16 — filter-before-solve: summary-pruned joins and the QE memo
+/// cache, A/B on the transitive-closure fixpoint at 2^10 stream scale.
+///
+/// Returns `(same_results, reduction)` where `reduction` is the factor
+/// by which filtering shrinks the solver-visible work (QE calls +
+/// entailment checks, summed over both fixpoint engines). The selfcheck
+/// enforces `same_results && reduction >= 2`.
+fn filtering(em: &mut Emitter) -> (bool, f64) {
+    use cql_core::EnginePolicy;
+    em.section("e16", "filter-before-solve: summary pruning and the QE memo cache");
+    em.note("naive + semi-naive TC over the 48-node dense chain (2^10-scale:");
+    em.note("1176 closure tuples). Policy A/B — 'off' hands every disjunct pair");
+    em.note("to the solver and re-runs every QE; 'on' enumerates join pairs");
+    em.note("through the per-relation summary index and memoizes QE. The");
+    em.note("reproduction target is the deterministic counter reduction; wall");
+    em.note("time on this workload is dominated by canonicalization either way.\n");
+
+    let db = chain_edb_dense(48);
+    let program = tc_program_dense();
+    let run = |semi: bool, filtering: bool| {
+        let opts = FixpointOptions {
+            policy: EnginePolicy::default().with_filtering(filtering),
+            ..FixpointOptions::default()
+        };
+        let scope = MetricsScope::enter(if filtering { "e16.on" } else { "e16.off" });
+        let (tuples, d) = timed(|| {
+            let out = if semi {
+                datalog::seminaive(&program, &db, &opts).unwrap()
+            } else {
+                datalog::naive(&program, &db, &opts).unwrap()
+            };
+            out.idb.get("T").map_or(0, cql_core::GenRelation::len)
+        });
+        (tuples, scope.snapshot(), d)
+    };
+
+    let mut rows = Vec::new();
+    let mut same_results = true;
+    let mut solver_off = 0u64;
+    let mut solver_on = 0u64;
+    for (engine, semi) in [("naive", false), ("seminaive", true)] {
+        let mut per_policy = Vec::new();
+        for (policy, on) in [("off", false), ("on", true)] {
+            let (tuples, m, d) = run(semi, on);
+            let solver = m.get(Counter::QeCalls) + m.get(Counter::EntailmentChecks);
+            *(if on { &mut solver_on } else { &mut solver_off }) += solver;
+            per_policy.push(tuples);
+            rows.push(vec![
+                Json::from(engine),
+                Json::from(policy),
+                Json::from(tuples as u64),
+                Json::from(m.get(Counter::QeCalls)),
+                Json::from(m.get(Counter::EntailmentChecks)),
+                Json::from(m.get(Counter::PruneCandidates) - m.get(Counter::PruneSurvivors)),
+                Json::from(m.get(Counter::QeCacheHits)),
+                Json::from(ms_f(d)),
+            ]);
+        }
+        same_results &= per_policy[0] == per_policy[1];
+    }
+    em.table(
+        "rows",
+        &[
+            "engine",
+            "filtering",
+            "tuples",
+            "qe calls",
+            "entails calls",
+            "pruned pairs",
+            "cache hits",
+            "time ms",
+        ],
+        &rows,
+    );
+    let reduction = ((solver_off as f64 / (solver_on as f64).max(1.0)) * 100.0).round() / 100.0;
+    em.note(&format!(
+        "\nsame results: {same_results} | solver-visible work (QE + entailment): \
+         {solver_off} off vs {solver_on} on — {reduction:.2}x reduction (target ≥ 2x)"
+    ));
+    em.datum("same_results", same_results);
+    em.datum("solver_calls_off", solver_off);
+    em.datum("solver_calls_on", solver_on);
+    em.datum("reduction", reduction);
+    (same_results, reduction)
+}
+
 /// A1/A2 — evaluation ablations.
 fn ablation(em: &mut Emitter) {
     em.section("a1", "ablation: symbolic QE vs cell-based EVAL_φ (dense order)");
@@ -645,9 +731,9 @@ fn representation(em: &mut Emitter) {
 const TRACE_PATH: &str = "target/repro-trace.json";
 
 const USAGE: &str = "usage: repro [--json] [--trace] [--selfcheck] [ids...|all]
-ids: f1 t1 f2 f3 e4..e15 a1 a2 a3 (or legacy names: fig1 table1 fig2 fig3
+ids: f1 t1 f2 f3 e4..e16 a1 a2 a3 (or legacy names: fig1 table1 fig2 fig3
 containment hull voronoi datalog equality boolean qbf index engine
-overhead ablation); e1/e2/e3 alias f1/t1/f2";
+overhead filtering ablation); e1/e2/e3 alias f1/t1/f2";
 
 fn main() {
     let mut json = false;
@@ -676,6 +762,7 @@ fn main() {
     let session = trace.then(TraceSession::begin);
     let mut em = Emitter::new(json);
     let mut e13_report = None;
+    let mut e16_stats = None;
 
     if want(&["f1", "fig1", "e1"]) {
         fig1(&mut em);
@@ -722,6 +809,9 @@ fn main() {
     if want(&["e15", "overhead"]) {
         overhead(&mut em);
     }
+    if want(&["e16", "filtering", "pruning"]) {
+        e16_stats = Some(filtering(&mut em));
+    }
     if want(&["a1", "a2", "ablation"]) {
         ablation(&mut em);
     }
@@ -754,7 +844,7 @@ fn main() {
     let doc = em.finish();
 
     if selfcheck {
-        match run_selfcheck(&doc, e13_report.as_ref(), trace_written) {
+        match run_selfcheck(&doc, e13_report.as_ref(), e16_stats, trace_written) {
             Ok(summary) => eprintln!("selfcheck: ok ({summary})"),
             Err(e) => {
                 eprintln!("selfcheck: FAILED: {e}");
@@ -766,11 +856,14 @@ fn main() {
 }
 
 /// Re-parse everything this run emitted: the JSON document round-trips,
-/// the E13 EXPLAIN report deserializes with non-empty rounds, and the
-/// chrome-trace file parses with strictly nested spans per thread.
+/// the E13 EXPLAIN report deserializes with non-empty rounds, the E16
+/// filtering A/B preserved results and hit its ≥2x solver-work target,
+/// and the chrome-trace file parses with strictly nested spans per
+/// thread.
 fn run_selfcheck(
     doc: &Json,
     e13: Option<&EvalReport>,
+    e16: Option<(bool, f64)>,
     trace_written: bool,
 ) -> Result<String, String> {
     let mut checks = Vec::new();
@@ -791,6 +884,16 @@ fn run_selfcheck(
             return Err("EvalReport has no fixpoint rounds".into());
         }
         checks.push(format!("e13 report ({} rounds)", report.rounds.len()));
+    }
+
+    if let Some((same_results, reduction)) = e16 {
+        if !same_results {
+            return Err("E16: filtering changed the fixpoint result".into());
+        }
+        if reduction < 2.0 {
+            return Err(format!("E16: solver-work reduction {reduction:.2}x below the 2x target"));
+        }
+        checks.push(format!("e16 filtering ({reduction:.2}x)"));
     }
 
     if trace_written {

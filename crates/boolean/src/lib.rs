@@ -26,4 +26,4 @@ pub use bdd::Bdd;
 pub use func::{BoolFunc, Input};
 pub use qbf::AeQbf;
 pub use term::BoolTerm;
-pub use theory_impl::{BoolAlg, BoolAlgFree, BoolConstraint, BoolElem};
+pub use theory_impl::{BoolAlg, BoolAlgFree, BoolConstraint, BoolElem, BoolSummary};

@@ -3,6 +3,7 @@
 use crate::func::{BoolFunc, Input};
 use crate::term::BoolTerm;
 use cql_core::error::Result;
+use cql_core::summary::ConstraintSummary;
 use cql_core::theory::{Theory, Var};
 use std::fmt;
 
@@ -73,12 +74,70 @@ pub fn solvable_free(f: &BoolFunc) -> bool {
     forall_vars(f).is_zero()
 }
 
+/// Forced-literal mask summary of a boolean conjunction: bit `v` of
+/// `forced_one` is set when the conjunction is unsatisfiable under
+/// *every* interpretation with `x_v = 0` (so `x_v` is forced to 1), and
+/// dually for `forced_zero`. Two summaries with opposite forced bits on
+/// the same variable refute intersection — a consequence that holds for
+/// both the parametric ([`BoolAlg`]) and free ([`BoolAlgFree`]) readings,
+/// since "unsatisfiable everywhere" is the stronger criterion.
+///
+/// A plain variable-support mask would be unsound here for the same
+/// reason as in [`BoolAlg::signature`]; only *forced* literals may prune.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BoolSummary {
+    /// Bit `v`: `x_v` must be 1 (for `v < 64`; higher variables are
+    /// never recorded, which is sound).
+    pub forced_one: u64,
+    /// Bit `v`: `x_v` must be 0.
+    pub forced_zero: u64,
+}
+
+impl BoolSummary {
+    /// Summarize a conjunction (collapsed to `⋁ funcs = 0` first).
+    #[must_use]
+    pub fn of(conj: &[BoolConstraint]) -> BoolSummary {
+        let mut f = BoolFunc::zero();
+        for c in conj {
+            f = f.or(&c.func);
+        }
+        let mut s = BoolSummary::default();
+        for v in f.var_inputs() {
+            if v >= 64 {
+                continue;
+            }
+            if forall_vars(&f.cofactor(Input::Var(v), false)).is_one() {
+                s.forced_one |= 1 << v;
+            }
+            if forall_vars(&f.cofactor(Input::Var(v), true)).is_one() {
+                s.forced_zero |= 1 << v;
+            }
+        }
+        s
+    }
+}
+
+impl ConstraintSummary for BoolSummary {
+    fn top() -> BoolSummary {
+        BoolSummary::default()
+    }
+
+    fn may_intersect(&self, other: &BoolSummary) -> bool {
+        (self.forced_one | other.forced_one) & (self.forced_zero | other.forced_zero) == 0
+    }
+}
+
 impl Theory for BoolAlg {
     type Constraint = BoolConstraint;
     type Value = BoolElem;
+    type Summary = BoolSummary;
 
     fn name() -> &'static str {
         "boolean equality constraints over a free boolean algebra"
+    }
+
+    fn summary(conj: &[BoolConstraint]) -> BoolSummary {
+        BoolSummary::of(conj)
     }
 
     fn canonicalize(conj: &[BoolConstraint]) -> Option<Vec<BoolConstraint>> {
@@ -232,9 +291,14 @@ pub enum BoolAlgFree {}
 impl Theory for BoolAlgFree {
     type Constraint = BoolConstraint;
     type Value = BoolElem;
+    type Summary = BoolSummary;
 
     fn name() -> &'static str {
         "boolean equality constraints (free interpretation)"
+    }
+
+    fn summary(conj: &[BoolConstraint]) -> BoolSummary {
+        BoolSummary::of(conj)
     }
 
     fn canonicalize(conj: &[BoolConstraint]) -> Option<Vec<BoolConstraint>> {

@@ -38,10 +38,12 @@ pub mod formula;
 pub mod metrics;
 pub mod policy;
 pub mod relation;
+pub mod summary;
 pub mod theory;
 
 pub use error::{CqlError, Result};
 pub use formula::{CalculusQuery, Formula};
 pub use policy::{EnginePolicy, SubsumptionMode};
 pub use relation::{Database, GenRelation, GenTuple};
+pub use summary::{BoxSummary, ConstraintSummary, NoSummary};
 pub use theory::{CellTheory, Theory, Var};

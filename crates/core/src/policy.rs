@@ -38,18 +38,37 @@ pub enum SubsumptionMode {
 pub struct EnginePolicy {
     /// Subsumption compression mode (default [`SubsumptionMode::Indexed`]).
     pub subsumption: SubsumptionMode,
+    /// Summary-pruned joins (default `true`): algebra products/joins and
+    /// Datalog rule firings probe a per-relation summary index
+    /// ([`crate::summary::ConstraintSummary`]) and conjoin only candidate
+    /// pairs whose summaries may intersect. Sound — pruned pairs are
+    /// provably jointly unsatisfiable — so turning this off changes wall
+    /// time and counters, never results.
+    pub join_pruning: bool,
+    /// The engine's bounded quantifier-elimination memo cache (default
+    /// `true`): repeated eliminations of the same conjunction × variable
+    /// across rounds and rules skip the solver. Results are identical
+    /// with the cache off.
+    pub qe_cache: bool,
 }
 
 impl Default for EnginePolicy {
     fn default() -> EnginePolicy {
-        EnginePolicy { subsumption: SubsumptionMode::Indexed }
+        EnginePolicy { subsumption: SubsumptionMode::Indexed, join_pruning: true, qe_cache: true }
     }
 }
 
 impl EnginePolicy {
-    /// Policy with the given subsumption mode.
+    /// Policy with the given subsumption mode (other knobs at default).
     #[must_use]
     pub fn with_subsumption(subsumption: SubsumptionMode) -> EnginePolicy {
-        EnginePolicy { subsumption }
+        EnginePolicy { subsumption, ..EnginePolicy::default() }
+    }
+
+    /// This policy with filter-before-solve (summary pruning and the QE
+    /// cache) switched on or off together — the E16 A/B knob.
+    #[must_use]
+    pub fn with_filtering(self, on: bool) -> EnginePolicy {
+        EnginePolicy { join_pruning: on, qe_cache: on, ..self }
     }
 }

@@ -1,0 +1,275 @@
+//! Cheap over-approximating summaries of canonical conjunctions.
+//!
+//! The filter-before-solve layer (DESIGN.md §9): before the engine hands
+//! a pair of generalized tuples to the theory solver (conjoin +
+//! canonicalize, or worse, quantifier elimination), it intersects their
+//! *summaries* — constant-size over-approximations computed once per
+//! tuple. The paper's own indexing discussion (§1.1(3)) makes the same
+//! move for 1-dimensional searching: project a generalized tuple to an
+//! interval and search the cheap projections first.
+//!
+//! # Soundness law
+//!
+//! For every theory `T` and canonical conjunctions `a`, `b`:
+//!
+//! ```text
+//! sat(a ∧ b)  ⇒  T::summary(a).may_intersect(&T::summary(b))
+//! ```
+//!
+//! A summary may claim intersection for a jointly unsatisfiable pair
+//! (that costs only a wasted exact check) but must never deny it for a
+//! satisfiable one — pruning is a filter, never an oracle. The law is
+//! property-tested per theory with point witnesses: any point satisfying
+//! both conjunctions forces `may_intersect` to hold.
+
+use crate::theory::Var;
+use cql_arith::Rat;
+
+/// A cheap over-approximation of a canonical conjunction's solution set.
+///
+/// Implementations must satisfy the soundness law in the module docs.
+/// [`ConstraintSummary::range`] additionally lets the engine bucket
+/// summaries by a bounded dimension (grid / sorted-interval indexes);
+/// returning `None` everywhere is always correct and merely disables
+/// bucketing for that summary.
+pub trait ConstraintSummary: Clone + std::fmt::Debug + Send + Sync {
+    /// Summary of the unconstrained conjunction: intersects everything.
+    #[must_use]
+    fn top() -> Self;
+
+    /// May the two summarized conjunctions share a solution?
+    ///
+    /// `false` asserts the underlying conjunction pair is unsatisfiable;
+    /// `true` promises nothing.
+    #[must_use]
+    fn may_intersect(&self, other: &Self) -> bool;
+
+    /// A closed interval `[lo, hi]` over-approximating dimension `dim`
+    /// of the solution set, when the summary bounds it on both sides
+    /// (`lo == hi` for a pinned dimension). `None` when unbounded or
+    /// unknown at `dim`.
+    #[must_use]
+    fn range(&self, dim: Var) -> Option<(Rat, Rat)> {
+        let _ = dim;
+        None
+    }
+
+    /// Dimensions for which [`ConstraintSummary::range`] would return
+    /// `Some`, used by the engine to pick an index dimension. The
+    /// default (empty) is always sound.
+    #[must_use]
+    fn ranged_dims(&self) -> Vec<Var> {
+        Vec::new()
+    }
+}
+
+/// One per-dimension bound of a [`BoxSummary`]: optional lower and upper
+/// bounds, each with a strictness flag.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DimBounds {
+    /// Lower bound `(value, strict)`: `x > value` when strict, `x ≥ value`
+    /// otherwise.
+    pub lo: Option<(Rat, bool)>,
+    /// Upper bound `(value, strict)`: `x < value` when strict, `x ≤ value`
+    /// otherwise.
+    pub hi: Option<(Rat, bool)>,
+}
+
+impl DimBounds {
+    /// Is the bound pair itself empty (`lo > hi`, or touching with a
+    /// strict side)?
+    fn is_empty(&self) -> bool {
+        match (&self.lo, &self.hi) {
+            (Some((lo, ls)), Some((hi, hs))) => lo > hi || (lo == hi && (*ls || *hs)),
+            _ => false,
+        }
+    }
+
+    /// Do two bound pairs on the same dimension overlap?
+    fn overlaps(&self, other: &DimBounds) -> bool {
+        let below = |lo: &Option<(Rat, bool)>, hi: &Option<(Rat, bool)>| match (lo, hi) {
+            (Some((l, ls)), Some((h, hs))) => l < h || (l == h && !*ls && !*hs),
+            _ => true,
+        };
+        below(&self.lo, &other.hi) && below(&other.lo, &self.hi)
+    }
+}
+
+/// Per-variable interval box: the summary shape shared by the dense-order
+/// and polynomial theories (and the numeric sort of the two-sorted
+/// theory). Dimensions not mentioned are unbounded, so ignoring a
+/// constraint can only widen the box — which is exactly the sound
+/// direction.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BoxSummary {
+    /// Bounds per dimension, sparse and sorted by variable.
+    bounds: Vec<(Var, DimBounds)>,
+}
+
+impl BoxSummary {
+    /// The unconstrained box.
+    #[must_use]
+    pub fn new() -> BoxSummary {
+        BoxSummary::default()
+    }
+
+    fn entry(&mut self, v: Var) -> &mut DimBounds {
+        let i = match self.bounds.binary_search_by_key(&v, |(w, _)| *w) {
+            Ok(i) => i,
+            Err(i) => {
+                self.bounds.insert(i, (v, DimBounds::default()));
+                i
+            }
+        };
+        &mut self.bounds[i].1
+    }
+
+    fn get(&self, v: Var) -> Option<&DimBounds> {
+        self.bounds.binary_search_by_key(&v, |(w, _)| *w).ok().map(|i| &self.bounds[i].1)
+    }
+
+    /// Record `x_v < value` (strict) or `x_v ≤ value`, keeping the
+    /// tighter of this and any existing upper bound.
+    pub fn bound_above(&mut self, v: Var, value: Rat, strict: bool) {
+        let b = self.entry(v);
+        match &b.hi {
+            Some((cur, cs)) if *cur < value || (*cur == value && (*cs || !strict)) => {}
+            _ => b.hi = Some((value, strict)),
+        }
+    }
+
+    /// Record `x_v > value` (strict) or `x_v ≥ value`, keeping the
+    /// tighter of this and any existing lower bound.
+    pub fn bound_below(&mut self, v: Var, value: Rat, strict: bool) {
+        let b = self.entry(v);
+        match &b.lo {
+            Some((cur, cs)) if *cur > value || (*cur == value && (*cs || !strict)) => {}
+            _ => b.lo = Some((value, strict)),
+        }
+    }
+
+    /// Record `x_v = value` (a point dimension).
+    pub fn pin(&mut self, v: Var, value: Rat) {
+        self.bound_below(v, value.clone(), false);
+        self.bound_above(v, value, false);
+    }
+}
+
+impl ConstraintSummary for BoxSummary {
+    fn top() -> BoxSummary {
+        BoxSummary::default()
+    }
+
+    fn may_intersect(&self, other: &BoxSummary) -> bool {
+        // A box empty on its own cannot meet anything.
+        if self.bounds.iter().any(|(_, b)| b.is_empty())
+            || other.bounds.iter().any(|(_, b)| b.is_empty())
+        {
+            return false;
+        }
+        self.bounds.iter().all(|(v, b)| other.get(*v).is_none_or(|ob| b.overlaps(ob)))
+    }
+
+    fn range(&self, dim: Var) -> Option<(Rat, Rat)> {
+        let b = self.get(dim)?;
+        match (&b.lo, &b.hi) {
+            // The closed hull: strictness is dropped, which only widens.
+            (Some((lo, _)), Some((hi, _))) if lo <= hi => Some((lo.clone(), hi.clone())),
+            _ => None,
+        }
+    }
+
+    fn ranged_dims(&self) -> Vec<Var> {
+        self.bounds
+            .iter()
+            .filter(|(_, b)| matches!((&b.lo, &b.hi), (Some((l, _)), Some((h, _))) if l <= h))
+            .map(|(v, _)| *v)
+            .collect()
+    }
+}
+
+/// The trivial summary: intersects everything, buckets nothing. Useful
+/// for theories (or theory modes) that opt out of pruning.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoSummary;
+
+impl ConstraintSummary for NoSummary {
+    fn top() -> NoSummary {
+        NoSummary
+    }
+
+    fn may_intersect(&self, _other: &NoSummary) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(v: i64) -> Rat {
+        Rat::from(v)
+    }
+
+    #[test]
+    fn disjoint_boxes_do_not_intersect() {
+        let mut a = BoxSummary::new();
+        a.bound_above(0, r(3), false);
+        let mut b = BoxSummary::new();
+        b.bound_below(0, r(5), false);
+        assert!(!a.may_intersect(&b));
+        assert!(!b.may_intersect(&a));
+    }
+
+    #[test]
+    fn touching_boxes_respect_strictness() {
+        let mut a = BoxSummary::new();
+        a.bound_above(0, r(3), false);
+        let mut b = BoxSummary::new();
+        b.bound_below(0, r(3), false);
+        assert!(a.may_intersect(&b));
+        let mut c = BoxSummary::new();
+        c.bound_below(0, r(3), true);
+        assert!(!a.may_intersect(&c));
+    }
+
+    #[test]
+    fn unbounded_dims_always_overlap() {
+        let mut a = BoxSummary::new();
+        a.pin(0, r(1));
+        let mut b = BoxSummary::new();
+        b.pin(1, r(9));
+        assert!(a.may_intersect(&b));
+        assert!(BoxSummary::top().may_intersect(&a));
+    }
+
+    #[test]
+    fn empty_box_meets_nothing() {
+        let mut a = BoxSummary::new();
+        a.bound_below(2, r(7), false);
+        a.bound_above(2, r(4), false);
+        assert!(!a.may_intersect(&BoxSummary::top()));
+    }
+
+    #[test]
+    fn range_is_closed_hull() {
+        let mut a = BoxSummary::new();
+        a.bound_below(1, r(2), true);
+        a.bound_above(1, r(6), true);
+        assert_eq!(a.range(1), Some((r(2), r(6))));
+        assert_eq!(a.range(0), None);
+        assert_eq!(a.ranged_dims(), vec![1]);
+        let mut p = BoxSummary::new();
+        p.pin(0, r(5));
+        assert_eq!(p.range(0), Some((r(5), r(5))));
+    }
+
+    #[test]
+    fn pin_tightens_bounds() {
+        let mut a = BoxSummary::new();
+        a.bound_below(0, r(0), false);
+        a.bound_above(0, r(10), false);
+        a.pin(0, r(4));
+        assert_eq!(a.range(0), Some((r(4), r(4))));
+    }
+}

@@ -33,8 +33,22 @@ pub trait Theory: Sized + Send + Sync + 'static {
     /// A domain element, used to evaluate constraints at concrete points.
     type Value: Clone + Eq + Hash + Debug + Display + Send + Sync;
 
+    /// Cheap over-approximation of a conjunction's solution set, used by
+    /// the engine's filter-before-solve layer (summary-pruned joins).
+    /// See [`crate::summary::ConstraintSummary`] for the soundness law;
+    /// [`crate::summary::NoSummary`] opts a theory out of pruning.
+    type Summary: crate::summary::ConstraintSummary;
+
     /// Human-readable theory name (for diagnostics and reports).
     fn name() -> &'static str;
+
+    /// Summarize a *canonical* conjunction. **Soundness law**: for any
+    /// canonical `a`, `b`, if `a ∧ b` is satisfiable then
+    /// `summary(a).may_intersect(&summary(b))` — over-approximate freely,
+    /// never under-approximate. `Summary::top()` is always a correct
+    /// (if useless) answer.
+    #[must_use]
+    fn summary(conj: &[Self::Constraint]) -> Self::Summary;
 
     /// Put a conjunction into canonical form, or return `None` if it is
     /// unsatisfiable. Canonical forms must be *semantically unique*: two

@@ -13,8 +13,9 @@
 //! `Input` bits.
 
 use cql_arith::Rat;
-use cql_bool::{BoolAlg, BoolConstraint, BoolFunc};
+use cql_bool::{BoolAlg, BoolConstraint, BoolFunc, BoolSummary};
 use cql_core::error::Result;
+use cql_core::summary::{BoxSummary, ConstraintSummary};
 use cql_core::theory::{Theory, Var};
 use cql_dense::{Dense, DenseConstraint};
 use std::fmt;
@@ -66,6 +67,37 @@ impl fmt::Display for SortedConstraint {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TwoSorted {}
 
+/// Product summary for the two-sorted theory: the numeric sort's
+/// interval box and the boolean sort's forced-literal masks. Sorts are
+/// disjoint variable populations, so intersection may be refuted by
+/// either side independently; `range` delegates to the numeric box (the
+/// sort with a meaningful rational hull).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TwoSortedSummary {
+    /// Summary of the dense-order atoms.
+    pub num: BoxSummary,
+    /// Summary of the boolean atoms.
+    pub bools: BoolSummary,
+}
+
+impl ConstraintSummary for TwoSortedSummary {
+    fn top() -> TwoSortedSummary {
+        TwoSortedSummary::default()
+    }
+
+    fn may_intersect(&self, other: &TwoSortedSummary) -> bool {
+        self.num.may_intersect(&other.num) && self.bools.may_intersect(&other.bools)
+    }
+
+    fn range(&self, dim: Var) -> Option<(Rat, Rat)> {
+        self.num.range(dim)
+    }
+
+    fn ranged_dims(&self) -> Vec<Var> {
+        self.num.ranged_dims()
+    }
+}
+
 fn split(conj: &[SortedConstraint]) -> (Vec<DenseConstraint>, Vec<BoolConstraint>) {
     let mut nums = Vec::new();
     let mut bools = Vec::new();
@@ -81,9 +113,15 @@ fn split(conj: &[SortedConstraint]) -> (Vec<DenseConstraint>, Vec<BoolConstraint
 impl Theory for TwoSorted {
     type Constraint = SortedConstraint;
     type Value = SortedValue;
+    type Summary = TwoSortedSummary;
 
     fn name() -> &'static str {
         "dense linear order × boolean algebra (two-sorted, §5.2)"
+    }
+
+    fn summary(conj: &[SortedConstraint]) -> TwoSortedSummary {
+        let (nums, bools) = split(conj);
+        TwoSortedSummary { num: Dense::summary(&nums), bools: BoolAlg::summary(&bools) }
     }
 
     fn canonicalize(conj: &[SortedConstraint]) -> Option<Vec<SortedConstraint>> {

@@ -1,10 +1,11 @@
 //! [`Theory`] and [`CellTheory`] implementations for dense linear order.
 
-use crate::constraint::DenseConstraint;
+use crate::constraint::{DenseConstraint, DenseOp, Term};
 use crate::network::ClosedNetwork;
 use crate::rconfig::RConfig;
 use cql_arith::Rat;
 use cql_core::error::Result;
+use cql_core::summary::BoxSummary;
 use cql_core::theory::{CellTheory, Theory, Var};
 
 /// The dense-linear-order constraint theory of §3 of the paper.
@@ -20,9 +21,29 @@ pub enum Dense {}
 impl Theory for Dense {
     type Constraint = DenseConstraint;
     type Value = Rat;
+    type Summary = BoxSummary;
 
     fn name() -> &'static str {
         "dense linear order with constants"
+    }
+
+    /// Per-variable interval box from the variable-vs-constant atoms.
+    /// Variable-variable atoms and `≠` atoms are ignored — dropping a
+    /// constraint only widens the box, the sound direction.
+    fn summary(conj: &[DenseConstraint]) -> BoxSummary {
+        let mut b = BoxSummary::new();
+        for c in conj {
+            match (&c.lhs, c.op, &c.rhs) {
+                (Term::Var(v), DenseOp::Lt, Term::Const(k)) => b.bound_above(*v, k.clone(), true),
+                (Term::Var(v), DenseOp::Le, Term::Const(k)) => b.bound_above(*v, k.clone(), false),
+                (Term::Var(v), DenseOp::Eq, Term::Const(k))
+                | (Term::Const(k), DenseOp::Eq, Term::Var(v)) => b.pin(*v, k.clone()),
+                (Term::Const(k), DenseOp::Lt, Term::Var(v)) => b.bound_below(*v, k.clone(), true),
+                (Term::Const(k), DenseOp::Le, Term::Var(v)) => b.bound_below(*v, k.clone(), false),
+                _ => {}
+            }
+        }
+        b
     }
 
     fn canonicalize(conj: &[DenseConstraint]) -> Option<Vec<DenseConstraint>> {

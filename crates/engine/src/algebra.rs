@@ -18,11 +18,13 @@
 //! Timings are inclusive — `join` includes the `product` and `select` it
 //! is built from.
 
+use crate::summary_index::SummaryIndex;
 use crate::Engine;
 use cql_core::error::{CqlError, Result};
 use cql_core::relation::{GenRelation, GenTuple};
+use cql_core::summary::ConstraintSummary;
 use cql_core::theory::Theory;
-use cql_trace::op_timed;
+use cql_trace::{count, op_timed, Counter};
 
 /// σ — restrict a relation by additional constraints (columns are the
 /// constraint variables).
@@ -39,8 +41,21 @@ pub fn select_with<T: Theory>(
     constraints: &[T::Constraint],
 ) -> GenRelation<T> {
     op_timed("algebra.select", || {
-        let tuples =
-            engine.executor.map(rel.tuples().to_vec(), |t| engine.conjoin(&t, constraints));
+        // Filter-before-solve: one summary for the selection constraints,
+        // one per tuple; pairs whose summaries refute intersection are
+        // unsatisfiable (soundness law) and skip the solver entirely.
+        let pruning = engine.policy.join_pruning;
+        let sel = pruning.then(|| T::summary(constraints));
+        let tuples = engine.executor.map(rel.tuples().to_vec(), |t| {
+            if let Some(sel) = &sel {
+                count(Counter::PruneCandidates, 1);
+                if !sel.may_intersect(&T::summary(t.constraints())) {
+                    return None;
+                }
+                count(Counter::PruneSurvivors, 1);
+            }
+            engine.conjoin(&t, constraints)
+        });
         let mut out = engine.relation(rel.arity());
         for t in tuples.into_iter().flatten() {
             out.insert(t);
@@ -112,6 +127,11 @@ pub fn product<T: Theory>(a: &GenRelation<T>, b: &GenRelation<T>) -> GenRelation
 
 /// [`product`] on an engine context: the pairwise conjunctions run on the
 /// executor, one batch per left tuple.
+///
+/// The product is never summary-pruned: the sides occupy disjoint column
+/// spaces, so their summaries cannot conflict (every pair is satisfiable
+/// whenever both tuples are). Pruning applies where columns are shared or
+/// equated — [`select_with`], [`intersect_with`], [`join_with`].
 #[must_use]
 pub fn product_with<T: Theory>(
     engine: &Engine<T>,
@@ -153,11 +173,22 @@ pub fn intersect_with<T: Theory>(
 ) -> GenRelation<T> {
     assert_eq!(a.arity(), b.arity(), "intersect arity mismatch");
     op_timed("algebra.intersect", || {
+        // Both sides share one column space, so summaries are directly
+        // comparable: index the right side, probe per left tuple.
+        let index = engine
+            .policy
+            .join_pruning
+            .then(|| SummaryIndex::<T>::build(b.tuples().iter().map(|t| t.constraints())));
         let tuples = engine.executor.flat_map(a.tuples().to_vec(), |ta| {
-            b.tuples()
-                .iter()
-                .filter_map(|tb| engine.conjoin(&ta, tb.constraints()))
-                .collect::<Vec<_>>()
+            let bs = b.tuples();
+            match &index {
+                Some(index) => index
+                    .matches(&T::summary(ta.constraints()))
+                    .into_iter()
+                    .filter_map(|i| engine.conjoin(&ta, bs[i].constraints()))
+                    .collect::<Vec<_>>(),
+                None => bs.iter().filter_map(|tb| engine.conjoin(&ta, tb.constraints())).collect(),
+            }
         });
         let mut out = engine.relation(a.arity());
         for t in tuples {
@@ -181,7 +212,8 @@ pub fn eliminate_with<T: Theory>(
     op_timed("algebra.eliminate", || {
         let eliminated: Vec<Result<Vec<GenTuple<T>>>> =
             engine.executor.map(rel.tuples().to_vec(), |t| {
-                Ok(T::eliminate(t.constraints(), var)?
+                Ok(engine
+                    .eliminate_cached(t.constraints(), var)?
                     .into_iter()
                     .filter_map(|conj| engine.intern(conj))
                     .collect())
@@ -218,7 +250,45 @@ pub fn join_with<T: Theory>(
     op_timed("algebra.join", || {
         let shift = a.arity();
         let eqs: Vec<T::Constraint> = on.iter().map(|&(l, r)| T::var_eq(l, r + shift)).collect();
-        select_with(engine, &product_with(engine, a, b), &eqs)
+        if !engine.policy.join_pruning || on.is_empty() {
+            return select_with(engine, &product_with(engine, a, b), &eqs);
+        }
+        // Pruned path. The two sides live in disjoint column spaces, so
+        // box summaries alone never conflict — but the join equalities
+        // make the joined columns comparable: bucket the right side on
+        // the join column its summaries bound most often, and probe with
+        // the left tuple's interval on the matching left column. A pair
+        // whose intervals at a joined column are disjoint cannot satisfy
+        // the equality, so skipping it is sound. Each surviving pair is
+        // conjoined in the same two steps as `select ∘ product` (product
+        // conjunction, then the equality constraints), so the output is
+        // identical to the unpruned path minus the doomed pairs.
+        let summaries: Vec<T::Summary> =
+            b.tuples().iter().map(|t| T::summary(t.constraints())).collect();
+        let (l0, r0) = *on
+            .iter()
+            .max_by_key(|(_, r)| summaries.iter().filter(|s| s.range(*r).is_some()).count())
+            .expect("on is non-empty");
+        let index = SummaryIndex::<T>::with_summaries(summaries, Some(r0));
+        let shifted: Vec<Vec<T::Constraint>> =
+            b.tuples().iter().map(|tb| tb.rename(&|v| v + shift)).collect();
+        let tuples = engine.executor.flat_map(a.tuples().to_vec(), |ta| {
+            let probe = T::summary(ta.constraints()).range(l0);
+            index
+                .matches_range(probe)
+                .into_iter()
+                .filter_map(|i| {
+                    let mut constraints = ta.constraints().to_vec();
+                    constraints.extend_from_slice(&shifted[i]);
+                    engine.intern(constraints).and_then(|t| engine.conjoin(&t, &eqs))
+                })
+                .collect::<Vec<_>>()
+        });
+        let mut out = engine.relation(a.arity() + b.arity());
+        for t in tuples {
+            out.insert(t);
+        }
+        out
     })
 }
 

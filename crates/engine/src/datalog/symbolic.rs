@@ -28,6 +28,7 @@
 
 use crate::datalog::ast::{Atom, Literal, Program, Rule};
 use crate::executor::Executor;
+use crate::summary_index::SummaryIndex;
 use crate::Engine;
 use cql_core::error::{CqlError, Result};
 use cql_core::policy::EnginePolicy;
@@ -120,6 +121,9 @@ impl RoundLog {
             entailment_checks: snap.get(Counter::EntailmentChecks),
             qe_calls: snap.get(Counter::QeCalls),
             qe_ns: qe_nanos(&snap),
+            prune_candidates: snap.get(Counter::PruneCandidates),
+            prune_survivors: snap.get(Counter::PruneSurvivors),
+            qe_cache_hits: snap.get(Counter::QeCacheHits),
             wall_ns,
         });
     }
@@ -202,7 +206,7 @@ fn fire_rule<T: Theory>(
         }
         let eliminated: Vec<Result<Vec<Vec<T::Constraint>>>> = engine.executor.map(conjs, |conj| {
             if conj.iter().any(|c| T::vars(c).contains(&v)) {
-                T::eliminate(&conj, v)
+                engine.eliminate_cached(&conj, v)
             } else {
                 Ok(vec![conj])
             }
@@ -234,6 +238,14 @@ fn fire_rule<T: Theory>(
 
 /// Conjoin every partial tuple with every (renamed) tuple of `rel`: the
 /// cartesian product step of rule firing, parallelized over the partials.
+///
+/// With [`EnginePolicy::join_pruning`] on, the renamed tuples are put in
+/// a [`SummaryIndex`] and each partial only conjoins the candidates whose
+/// summaries may intersect its own — both live in the rule's variable
+/// space, so shared variables (the join variables of the rule body) prune
+/// directly. This is where transitive-closure-style rules win: partials
+/// pin the join variable, and candidates pinned elsewhere never reach the
+/// solver.
 fn conjoin_atom<T: Theory>(
     engine: &Engine<T>,
     acc: Vec<GenTuple<T>>,
@@ -243,8 +255,17 @@ fn conjoin_atom<T: Theory>(
     // Rename each relation tuple into the rule's variable space once.
     let renamed: Vec<Vec<T::Constraint>> =
         rel.tuples().iter().map(|u| u.rename(&|j| atom.vars[j])).collect();
-    let products = engine.executor.flat_map(acc, |partial| {
-        renamed.iter().filter_map(|r| engine.conjoin(&partial, r)).collect::<Vec<_>>()
+    let index = engine
+        .policy
+        .join_pruning
+        .then(|| SummaryIndex::<T>::build(renamed.iter().map(Vec::as_slice)));
+    let products = engine.executor.flat_map(acc, |partial| match &index {
+        Some(index) => index
+            .matches(&T::summary(partial.constraints()))
+            .into_iter()
+            .filter_map(|i| engine.conjoin(&partial, &renamed[i]))
+            .collect::<Vec<_>>(),
+        None => renamed.iter().filter_map(|r| engine.conjoin(&partial, r)).collect(),
     });
     // Order-preserving dedup (interned tuples make the hashing cheap).
     let mut seen: HashSet<GenTuple<T>> = HashSet::with_capacity(products.len());

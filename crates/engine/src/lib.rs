@@ -47,23 +47,29 @@ pub mod cells;
 pub mod datalog;
 pub mod executor;
 pub mod interner;
+pub mod qe_cache;
+pub mod summary_index;
 
 pub use cql_core::{EnginePolicy, SubsumptionMode};
 pub use cql_trace as trace;
 pub use executor::Executor;
 pub use interner::Interner;
+pub use qe_cache::QeCache;
+pub use summary_index::SummaryIndex;
 
+use cql_core::error::Result;
 use cql_core::relation::{GenRelation, GenTuple};
-use cql_core::theory::Theory;
+use cql_core::theory::{Theory, Var};
 
-/// The evaluation context: an executor, a tuple interner and the policy
-/// for relations created during evaluation.
+/// The evaluation context: an executor, a tuple interner, a QE memo
+/// cache and the policy for relations created during evaluation.
 pub struct Engine<T: Theory> {
     /// Parallel map used for per-tuple work batches.
     pub executor: Executor,
     /// Policy inherited by every relation the engine creates.
     pub policy: EnginePolicy,
     interner: Interner<T>,
+    qe_cache: QeCache<T>,
 }
 
 impl<T: Theory> Default for Engine<T> {
@@ -76,7 +82,7 @@ impl<T: Theory> Engine<T> {
     /// An engine with the given executor and policy (fresh interner).
     #[must_use]
     pub fn new(executor: Executor, policy: EnginePolicy) -> Engine<T> {
-        Engine { executor, policy, interner: Interner::new() }
+        Engine { executor, policy, interner: Interner::new(), qe_cache: QeCache::new() }
     }
 
     /// The serial engine with default policy.
@@ -114,5 +120,30 @@ impl<T: Theory> Engine<T> {
     #[must_use]
     pub fn relation(&self, arity: usize) -> GenRelation<T> {
         GenRelation::with_policy(arity, self.policy)
+    }
+
+    /// The engine's QE memo cache.
+    #[must_use]
+    pub fn qe_cache(&self) -> &QeCache<T> {
+        &self.qe_cache
+    }
+
+    /// `∃ var. conj` through the engine's QE memo cache (a direct theory
+    /// call when [`EnginePolicy::qe_cache`] is off). All evaluator QE
+    /// goes through here, so fixpoint rounds that re-derive a
+    /// conjunction skip the solver entirely on the repeat.
+    ///
+    /// # Errors
+    /// Propagates theory errors (which are never cached).
+    pub fn eliminate_cached(
+        &self,
+        conj: &[T::Constraint],
+        var: Var,
+    ) -> Result<Vec<Vec<T::Constraint>>> {
+        if self.policy.qe_cache {
+            self.qe_cache.eliminate(conj, var)
+        } else {
+            T::eliminate(conj, var)
+        }
     }
 }

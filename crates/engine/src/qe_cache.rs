@@ -1,0 +1,98 @@
+//! Bounded memo cache for quantifier elimination.
+//!
+//! Projection is "the nontrivial operation" of the generalized algebra
+//! (§2.1), and fixpoint evaluation re-eliminates the same conjunctions
+//! round after round — naive evaluation re-fires every rule against the
+//! full instance, so all but the frontier's eliminations are exact
+//! repeats. The [`QeCache`] memoizes `(conjunction, variable) → DNF`
+//! with the same sharded, clear-on-overflow discipline as the
+//! [`crate::Interner`]: lookups take a shard lock briefly, solver work
+//! for a miss runs outside any lock, and a full shard is cleared rather
+//! than evicted piecemeal (an epoch, marked by a `"qe_cache.epoch"`
+//! instant span).
+//!
+//! Hits count [`Counter::QeCacheHits`]; they deliberately do *not* count
+//! `Counter::QeCalls`, which is incremented inside the theories' timed QE
+//! entry points — so the "QE calls" column of EXPLAIN reports and the E16
+//! experiment directly shows solver-visible work shrinking as the cache
+//! warms. Errors are returned but never cached: a theory may be asked
+//! again (e.g. under a different budget) and must re-raise.
+
+use cql_core::error::Result;
+use cql_core::theory::{Theory, Var};
+use cql_trace::{count, Counter};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+/// Number of independently locked cache shards (power of two).
+const SHARDS: usize = 16;
+
+/// Entry cap per shard; on overflow the shard is cleared.
+const MAX_ENTRIES: usize = (1 << 20) / SHARDS;
+
+type Memo<T> = HashMap<(Vec<<T as Theory>::Constraint>, Var), Vec<Vec<<T as Theory>::Constraint>>>;
+
+/// A thread-safe `(conjunction, eliminated variable) → DNF` memo table.
+pub struct QeCache<T: Theory> {
+    shards: Vec<Mutex<Memo<T>>>,
+}
+
+impl<T: Theory> Default for QeCache<T> {
+    fn default() -> Self {
+        QeCache::new()
+    }
+}
+
+fn shard_of<K: Hash>(key: &K) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) & (SHARDS - 1)
+}
+
+impl<T: Theory> QeCache<T> {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> QeCache<T> {
+        QeCache { shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect() }
+    }
+
+    /// `∃ var. conj` through the memo table. A repeated call with an
+    /// equal key returns the cached DNF without touching the theory
+    /// solver.
+    ///
+    /// # Errors
+    /// Propagates (and does not cache) theory errors.
+    pub fn eliminate(&self, conj: &[T::Constraint], var: Var) -> Result<Vec<Vec<T::Constraint>>> {
+        let key = (conj.to_vec(), var);
+        let shard = &self.shards[shard_of(&key)];
+        {
+            let memo = shard.lock().expect("qe cache poisoned");
+            if let Some(hit) = memo.get(&key) {
+                count(Counter::QeCacheHits, 1);
+                return Ok(hit.clone());
+            }
+        }
+        // Solver work happens outside the lock.
+        let dnf = T::eliminate(conj, var)?;
+        let mut memo = shard.lock().expect("qe cache poisoned");
+        if memo.len() >= MAX_ENTRIES {
+            memo.clear();
+            cql_trace::span::instant("qe_cache.epoch", "engine");
+        }
+        memo.insert(key, dnf.clone());
+        Ok(dnf)
+    }
+
+    /// Number of memoized eliminations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("qe cache poisoned").len()).sum()
+    }
+
+    /// True iff nothing has been memoized.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

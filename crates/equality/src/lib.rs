@@ -18,9 +18,11 @@
 pub mod constraint;
 pub mod econfig;
 pub mod solver;
+pub mod summary;
 pub mod theory_impl;
 
 pub use constraint::{ETerm, EqConstraint};
 pub use econfig::EConfig;
 pub use solver::EqSolver;
+pub use summary::EqSummary;
 pub use theory_impl::Equality;

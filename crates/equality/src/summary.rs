@@ -1,0 +1,176 @@
+//! Partition-shape summaries of equality conjunctions.
+//!
+//! An [`EqSummary`] records the cheap facts a canonical equality
+//! conjunction asserts — variable pins (`x = c`), constant disequalities
+//! (`x ≠ c`), and variable `=`/`≠` edges — and refutes intersection only
+//! when the combined facts are contradictory (two pins disagree through
+//! the merged equality partition, or a `≠` edge closes inside one class).
+//! Every refutation is a logical consequence of `a ∧ b`, so the
+//! [`ConstraintSummary`] soundness law holds by construction.
+
+use crate::constraint::{ETerm, EqConstraint};
+use cql_arith::Rat;
+use cql_core::summary::ConstraintSummary;
+use cql_core::theory::Var;
+use std::collections::HashMap;
+
+/// Summary of one equality conjunction: its partition-relevant atoms.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EqSummary {
+    /// `x_v = c` pins, sorted by variable.
+    pins: Vec<(Var, i64)>,
+    /// `x_v ≠ c` atoms.
+    ne_const: Vec<(Var, i64)>,
+    /// `x_a = x_b` edges.
+    eq_vars: Vec<(Var, Var)>,
+    /// `x_a ≠ x_b` edges.
+    ne_vars: Vec<(Var, Var)>,
+}
+
+impl EqSummary {
+    /// Summarize a conjunction of equality constraints.
+    #[must_use]
+    pub fn of(conj: &[EqConstraint]) -> EqSummary {
+        let mut s = EqSummary::default();
+        for c in conj {
+            match (c.lhs, c.equal, c.rhs) {
+                (ETerm::Var(v), true, ETerm::Const(k)) | (ETerm::Const(k), true, ETerm::Var(v)) => {
+                    s.pins.push((v, k))
+                }
+                (ETerm::Var(v), false, ETerm::Const(k))
+                | (ETerm::Const(k), false, ETerm::Var(v)) => s.ne_const.push((v, k)),
+                (ETerm::Var(a), true, ETerm::Var(b)) => s.eq_vars.push((a, b)),
+                (ETerm::Var(a), false, ETerm::Var(b)) => s.ne_vars.push((a, b)),
+                // Constant-constant atoms are decided by canonicalization.
+                (ETerm::Const(_), _, ETerm::Const(_)) => {}
+            }
+        }
+        s.pins.sort_unstable();
+        s.pins.dedup();
+        s
+    }
+}
+
+/// Union-find over sparse variable ids.
+struct Classes {
+    parent: HashMap<Var, Var>,
+}
+
+impl Classes {
+    fn new() -> Classes {
+        Classes { parent: HashMap::new() }
+    }
+
+    fn find(&mut self, v: Var) -> Var {
+        let p = *self.parent.get(&v).unwrap_or(&v);
+        if p == v {
+            return v;
+        }
+        let root = self.find(p);
+        self.parent.insert(v, root);
+        root
+    }
+
+    fn union(&mut self, a: Var, b: Var) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent.insert(ra, rb);
+        }
+    }
+}
+
+impl ConstraintSummary for EqSummary {
+    fn top() -> EqSummary {
+        EqSummary::default()
+    }
+
+    fn may_intersect(&self, other: &EqSummary) -> bool {
+        // Merge the equality partitions of both sides, then look for a
+        // contradiction among the combined pins and disequalities.
+        let mut classes = Classes::new();
+        for &(a, b) in self.eq_vars.iter().chain(&other.eq_vars) {
+            classes.union(a, b);
+        }
+        let mut class_pin: HashMap<Var, i64> = HashMap::new();
+        for &(v, k) in self.pins.iter().chain(&other.pins) {
+            let root = classes.find(v);
+            match class_pin.get(&root) {
+                Some(&prev) if prev != k => return false,
+                _ => {
+                    class_pin.insert(root, k);
+                }
+            }
+        }
+        for &(a, b) in self.ne_vars.iter().chain(&other.ne_vars) {
+            if classes.find(a) == classes.find(b) {
+                return false;
+            }
+        }
+        for &(v, k) in self.ne_const.iter().chain(&other.ne_const) {
+            if class_pin.get(&classes.find(v)) == Some(&k) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn range(&self, dim: Var) -> Option<(Rat, Rat)> {
+        // Pinned variables project to a point, enabling the engine's
+        // grid (point-bucket) index for equality workloads.
+        self.pins
+            .binary_search_by_key(&dim, |&(v, _)| v)
+            .ok()
+            .map(|i| (Rat::from(self.pins[i].1), Rat::from(self.pins[i].1)))
+    }
+
+    fn ranged_dims(&self) -> Vec<Var> {
+        let mut vars: Vec<Var> = self.pins.iter().map(|&(v, _)| v).collect();
+        vars.dedup();
+        vars
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflicting_pins_refute() {
+        let a = EqSummary::of(&[EqConstraint::eq_const(0, 3)]);
+        let b = EqSummary::of(&[EqConstraint::eq_const(0, 4)]);
+        assert!(!a.may_intersect(&b));
+        assert!(a.may_intersect(&a));
+    }
+
+    #[test]
+    fn pins_propagate_through_merged_classes() {
+        // a: x0 = x1, x0 = 3; b: x1 = 4 — contradiction through the class.
+        let a = EqSummary::of(&[EqConstraint::eq(0, 1), EqConstraint::eq_const(0, 3)]);
+        let b = EqSummary::of(&[EqConstraint::eq_const(1, 4)]);
+        assert!(!a.may_intersect(&b));
+    }
+
+    #[test]
+    fn ne_edge_inside_a_class_refutes() {
+        let a = EqSummary::of(&[EqConstraint::eq(0, 1)]);
+        let b = EqSummary::of(&[EqConstraint::ne(0, 1)]);
+        assert!(!a.may_intersect(&b));
+    }
+
+    #[test]
+    fn ne_const_vs_pin_refutes() {
+        let a = EqSummary::of(&[EqConstraint::eq_const(2, 7)]);
+        let b = EqSummary::of(&[EqConstraint::ne_const(2, 7)]);
+        assert!(!a.may_intersect(&b));
+        let c = EqSummary::of(&[EqConstraint::ne_const(2, 8)]);
+        assert!(a.may_intersect(&c));
+    }
+
+    #[test]
+    fn pinned_dims_have_point_ranges() {
+        let a = EqSummary::of(&[EqConstraint::eq_const(1, 5)]);
+        assert_eq!(a.range(1), Some((Rat::from(5), Rat::from(5))));
+        assert_eq!(a.range(0), None);
+        assert_eq!(a.ranged_dims(), vec![1]);
+    }
+}

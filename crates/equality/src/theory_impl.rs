@@ -3,6 +3,7 @@
 use crate::constraint::EqConstraint;
 use crate::econfig::EConfig;
 use crate::solver::EqSolver;
+use crate::summary::EqSummary;
 use cql_core::error::Result;
 use cql_core::theory::{CellTheory, Theory, Var};
 
@@ -16,9 +17,14 @@ pub enum Equality {}
 impl Theory for Equality {
     type Constraint = EqConstraint;
     type Value = i64;
+    type Summary = EqSummary;
 
     fn name() -> &'static str {
         "equality over an infinite domain"
+    }
+
+    fn summary(conj: &[EqConstraint]) -> EqSummary {
+        EqSummary::of(conj)
     }
 
     fn canonicalize(conj: &[EqConstraint]) -> Option<Vec<EqConstraint>> {

@@ -4,6 +4,7 @@ use crate::constraint::{PolyConstraint, PolyOp};
 use crate::{decide, vs};
 use cql_arith::{Poly, Rat};
 use cql_core::error::Result;
+use cql_core::summary::BoxSummary;
 use cql_core::theory::{Theory, Var};
 
 /// The real-polynomial-inequality theory of §2 of the paper.
@@ -108,9 +109,43 @@ fn interval_consistent(constraints: &[PolyConstraint]) -> bool {
 impl Theory for RealPoly {
     type Constraint = PolyConstraint;
     type Value = Rat;
+    type Summary = BoxSummary;
 
     fn name() -> &'static str {
         "real polynomial inequalities"
+    }
+
+    /// Interval box from the univariate *linear* atoms (`a·x + b θ 0`);
+    /// higher-degree and multivariate atoms are skipped, which only
+    /// widens the box. Canonicalization's pin propagation concentrates
+    /// active-domain workloads into exactly these atoms.
+    fn summary(conj: &[PolyConstraint]) -> BoxSummary {
+        let mut bx = BoxSummary::new();
+        for c in conj {
+            let [v] = c.vars()[..] else { continue };
+            if c.poly.total_degree() != 1 {
+                continue;
+            }
+            let coeffs = c.poly.coeffs_in(v);
+            if coeffs.len() != 2 {
+                continue;
+            }
+            let (Some(b), Some(a)) = (coeffs[0].constant_value(), coeffs[1].constant_value())
+            else {
+                continue;
+            };
+            // a·x + b θ 0  ⇔  x θ' −b/a, with θ reversed when a < 0.
+            let bound = -&(&b / &a);
+            match (c.op, a.is_negative()) {
+                (PolyOp::Eq, _) => bx.pin(v, bound),
+                (PolyOp::Ne, _) => {}
+                (PolyOp::Lt, false) => bx.bound_above(v, bound, true),
+                (PolyOp::Le, false) => bx.bound_above(v, bound, false),
+                (PolyOp::Lt, true) => bx.bound_below(v, bound, true),
+                (PolyOp::Le, true) => bx.bound_below(v, bound, false),
+            }
+        }
+        bx
     }
 
     fn canonicalize(conj: &[PolyConstraint]) -> Option<Vec<PolyConstraint>> {

@@ -32,6 +32,14 @@ pub struct RoundStats {
     pub qe_calls: u64,
     /// Inclusive QE wall time this round, nanoseconds.
     pub qe_ns: u64,
+    /// Disjunct pairs an exhaustive join would have conjoined this round.
+    pub prune_candidates: u64,
+    /// Disjunct pairs whose summaries intersected (handed to the solver);
+    /// `prune_candidates - prune_survivors` pairs were pruned for free.
+    pub prune_survivors: u64,
+    /// Quantifier eliminations served from the QE memo cache this round
+    /// (these never reach the solver, so they are not in `qe_calls`).
+    pub qe_cache_hits: u64,
     /// Round wall time, nanoseconds.
     pub wall_ns: u64,
 }
@@ -46,6 +54,9 @@ impl RoundStats {
             .field("entailment_checks", self.entailment_checks)
             .field("qe_calls", self.qe_calls)
             .field("qe_ns", self.qe_ns)
+            .field("prune_candidates", self.prune_candidates)
+            .field("prune_survivors", self.prune_survivors)
+            .field("qe_cache_hits", self.qe_cache_hits)
             .field("wall_ns", self.wall_ns)
     }
 
@@ -61,6 +72,9 @@ impl RoundStats {
             entailment_checks: get("entailment_checks")?,
             qe_calls: get("qe_calls")?,
             qe_ns: get("qe_ns")?,
+            prune_candidates: get("prune_candidates")?,
+            prune_survivors: get("prune_survivors")?,
+            qe_cache_hits: get("qe_cache_hits")?,
             wall_ns: get("wall_ns")?,
         })
     }
@@ -256,12 +270,21 @@ impl EvalReport {
         ));
         if !self.rounds.is_empty() {
             out.push_str(&format!(
-                "{:>6} {:>10} {:>8} {:>10} {:>16} {:>10} {:>10} {:>10}\n",
-                "round", "produced", "delta", "subsumed", "entails", "qe calls", "qe time", "wall"
+                "{:>6} {:>10} {:>8} {:>10} {:>16} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                "round",
+                "produced",
+                "delta",
+                "subsumed",
+                "entails",
+                "qe calls",
+                "qe time",
+                "pruned",
+                "qe hits",
+                "wall"
             ));
             for r in &self.rounds {
                 out.push_str(&format!(
-                    "{:>6} {:>10} {:>8} {:>10} {:>16} {:>10} {:>10} {:>10}\n",
+                    "{:>6} {:>10} {:>8} {:>10} {:>16} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
                     r.round,
                     r.produced,
                     r.delta,
@@ -269,6 +292,8 @@ impl EvalReport {
                     r.entailment_checks,
                     r.qe_calls,
                     ms(r.qe_ns),
+                    r.prune_candidates.saturating_sub(r.prune_survivors),
+                    r.qe_cache_hits,
                     ms(r.wall_ns)
                 ));
             }
@@ -321,6 +346,9 @@ mod tests {
                     entailment_checks: 10,
                     qe_calls: 0,
                     qe_ns: 0,
+                    prune_candidates: 64,
+                    prune_survivors: 64,
+                    qe_cache_hits: 0,
                     wall_ns: 1_200_000,
                 },
                 RoundStats {
@@ -331,6 +359,9 @@ mod tests {
                     entailment_checks: 40,
                     qe_calls: 63,
                     qe_ns: 400_000,
+                    prune_candidates: 4096,
+                    prune_survivors: 128,
+                    qe_cache_hits: 12,
                     wall_ns: 2_000_000,
                 },
             ],

@@ -55,9 +55,18 @@ pub enum Counter {
     QeCalls,
     /// Fixpoint rounds executed.
     FixpointRounds,
+    /// Disjunct pairs an exhaustive join/firing would have conjoined
+    /// (the denominator of the summary-pruning win).
+    PruneCandidates,
+    /// Disjunct pairs whose summaries may intersect — the pairs actually
+    /// handed to the solver after pruning.
+    PruneSurvivors,
+    /// Quantifier eliminations served from the engine's QE memo cache
+    /// (no solver call, no `QeCalls` bump).
+    QeCacheHits,
 }
 
-const N_COUNTERS: usize = 11;
+const N_COUNTERS: usize = 14;
 
 /// All [`Counter`] variants, in order (for generic reporting loops).
 pub const COUNTERS: [Counter; N_COUNTERS] = [
@@ -72,6 +81,9 @@ pub const COUNTERS: [Counter; N_COUNTERS] = [
     Counter::TuplesEvicted,
     Counter::QeCalls,
     Counter::FixpointRounds,
+    Counter::PruneCandidates,
+    Counter::PruneSurvivors,
+    Counter::QeCacheHits,
 ];
 
 impl Counter {
@@ -90,6 +102,9 @@ impl Counter {
             Counter::TuplesEvicted => "tuples_evicted",
             Counter::QeCalls => "qe_calls",
             Counter::FixpointRounds => "fixpoint_rounds",
+            Counter::PruneCandidates => "prune_candidates",
+            Counter::PruneSurvivors => "prune_survivors",
+            Counter::QeCacheHits => "qe_cache_hits",
         }
     }
 }
@@ -328,6 +343,9 @@ thread_local! {
 
 static ROOT: CounterSet = CounterSet {
     cells: [
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
         AtomicU64::new(0),
         AtomicU64::new(0),
         AtomicU64::new(0),

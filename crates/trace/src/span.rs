@@ -16,7 +16,9 @@
 //! Span taxonomy used by the engine (see DESIGN.md "Observability"):
 //! `query` (one per evaluation entry), `round` (one per fixpoint round),
 //! `op` (algebra operators, calculus nodes, QE calls), `engine`
-//! (executor batches, interner epochs).
+//! (executor batches, interner and QE-cache epochs, summary-index
+//! builds — `summary_index.build` spans carry `pruned`/`survivors`
+//! args, and `qe_cache.epoch` instants mark cache clears).
 
 use crate::json::Json;
 use std::time::{Duration, Instant};
