@@ -9,7 +9,7 @@
 //! ```
 //!
 //! Sections are addressed by experiment id (`f1`, `t1`, `f2`, `f3`,
-//! `e4`–`e16`, `a1`–`a3`) or their legacy names (`fig1`, `table1`,
+//! `e4`–`e17`, `a1`–`a3`) or their legacy names (`fig1`, `table1`,
 //! `containment`, `engine`, …). Flags:
 //!
 //! * `--json` — emit one machine-readable JSON document instead of text;
@@ -18,8 +18,10 @@
 //!   `target/repro-trace.json`; spans are only populated when the binary
 //!   is built with `--features trace`;
 //! * `--selfcheck` — after the run, re-parse everything emitted (JSON
-//!   document, E13 EXPLAIN report, chrome-trace file) and exit non-zero
-//!   on any failure. Used by the CI smoke job.
+//!   document, E13 EXPLAIN report, chrome-trace file) and enforce the
+//!   E16/E17 A/B invariants (equal results, solver-work reduction
+//!   targets), exiting non-zero on any failure. Used by the CI smoke
+//!   job.
 //!
 //! Each section corresponds to an experiment of DESIGN.md §4 and feeds
 //! EXPERIMENTS.md. Wall-clock numbers vary by machine; the *shapes*
@@ -29,7 +31,8 @@
 use cql_bench::emitter::{ms, Emitter};
 use cql_bench::{
     chain_edb_dense, chain_edb_equality, compose_query_dense, compose_query_equality,
-    interval_relation, loglog_slope, rat, tc_program_dense, tc_program_equality, timed,
+    interval_relation, loglog_slope, path_join_program_dense, rat, tc_program_dense,
+    tc_program_equality, timed,
 };
 use cql_core::{CalculusQuery, Formula};
 use cql_dense::Dense;
@@ -485,7 +488,7 @@ fn engine_store(em: &mut Emitter) -> EvalReport {
     let opts = FixpointOptions { threads, ..Default::default() };
     let scope = MetricsScope::enter("e13.fixpoint");
     let start = Instant::now();
-    let (result, rounds) = datalog::seminaive_explain(&program, &db, &opts).unwrap();
+    let (result, rounds, plans) = datalog::seminaive_explain(&program, &db, &opts).unwrap();
     let wall = start.elapsed();
     let snap = scope.snapshot();
     drop(scope);
@@ -497,7 +500,8 @@ fn engine_store(em: &mut Emitter) -> EvalReport {
         rounds,
         result.idb.get("T").map_or(0, cql_core::GenRelation::len) as u64,
         u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX),
-    );
+    )
+    .with_plans(plans);
     em.note("");
     em.note(&report.render_text());
     em.datum("eval_report", report.to_json());
@@ -663,6 +667,135 @@ fn filtering(em: &mut Emitter) -> (bool, f64) {
     (same_results, reduction)
 }
 
+/// E17 — constraint-aware multiway join: the variable-at-a-time leapfrog
+/// body join vs the binary-pruned left-to-right fold, A/B on 3- and
+/// 4-atom rule bodies over a dense chain (both sides keep summary
+/// pruning and the QE cache on, so the delta is the join shape alone).
+///
+/// Returns `(byte_identical, reduction)` where `reduction` is the factor
+/// by which the multiway join shrinks the solver-visible work
+/// (canonicalization requests + QE calls, summed over naive and
+/// semi-naive). The selfcheck enforces `byte_identical && reduction >= 2`.
+fn multiway(em: &mut Emitter) -> (bool, f64) {
+    use cql_core::EnginePolicy;
+    em.section("e17", "engine: constraint-aware multiway join vs binary-pruned fold");
+    em.note("path-join program over the 24-node dense chain:");
+    em.note("  T(x,w) :- T(x,y), E(y,z), E(z,w)   (3-atom recursive body)");
+    em.note("  Q(x,v) :- E(x,y), E(y,z), E(z,w), E(w,v)  (4-atom body)");
+    em.note("  P(x,u) :- E(x,y), T(y,z), E(z,w), T(w,v), E(v,u)  (5-atom body)");
+    em.note("plus the triangle-closing rule over an 8x8 bipartite wedge EDB:");
+    em.note("  W(x,z) :- R(x,y), S(y,z), C(z,x)   (m^3 wedges, m^2 closures)");
+    em.note("Policy A/B — 'binary' folds atoms left-to-right (one solver-visible");
+    em.note("canonicalization per surviving intermediate pair); 'multiway' probes");
+    em.note("per-variable summary levels and calls the solver once per surviving");
+    em.note("full combination. Results must be byte-identical.\n");
+
+    let mut db = chain_edb_dense(24);
+    cql_bench::wedge_edb_dense(&mut db, 8);
+    let program = path_join_program_dense();
+    // Canonical text rendering of every derived relation, for the
+    // byte-identical comparison (tuple order is join-order dependent, so
+    // compare sorted).
+    let render = |result: &datalog::FixpointResult<Dense>| {
+        let mut lines = Vec::new();
+        for name in ["T", "Q", "P", "W"] {
+            let mut tuples: Vec<String> = result
+                .idb
+                .get(name)
+                .map_or(&[][..], cql_core::GenRelation::tuples)
+                .iter()
+                .map(|t| format!("{name}: {t}"))
+                .collect();
+            tuples.sort_unstable();
+            lines.extend(tuples);
+        }
+        lines.join("\n")
+    };
+    let run = |semi: bool, multiway_on: bool| {
+        let opts = FixpointOptions {
+            policy: EnginePolicy::default().with_multiway(multiway_on),
+            ..FixpointOptions::default()
+        };
+        let scope = MetricsScope::enter(if multiway_on { "e17.multiway" } else { "e17.binary" });
+        let (out, d) = timed(|| {
+            if semi {
+                datalog::seminaive(&program, &db, &opts).unwrap()
+            } else {
+                datalog::naive(&program, &db, &opts).unwrap()
+            }
+        });
+        (render(&out), scope.snapshot(), d)
+    };
+
+    let mut rows = Vec::new();
+    let mut byte_identical = true;
+    let mut solver_binary = 0u64;
+    let mut solver_multi = 0u64;
+    for (engine, semi) in [("naive", false), ("seminaive", true)] {
+        let mut renders = Vec::new();
+        for (mode, on) in [("binary", false), ("multiway", true)] {
+            let (rendered, m, d) = run(semi, on);
+            let solver =
+                m.get(Counter::InternHits) + m.get(Counter::InternMisses) + m.get(Counter::QeCalls);
+            *(if on { &mut solver_multi } else { &mut solver_binary }) += solver;
+            renders.push(rendered);
+            rows.push(vec![
+                Json::from(engine),
+                Json::from(mode),
+                Json::from(solver),
+                Json::from(m.get(Counter::QeCalls)),
+                Json::from(m.get(Counter::MultiwayProbes)),
+                Json::from(m.get(Counter::MultiwaySurvivors)),
+                Json::from(m.get(Counter::PlanCacheHits)),
+                Json::from(m.get(Counter::SummaryIndexReuses)),
+                Json::from(ms_f(d)),
+            ]);
+        }
+        byte_identical &= renders[0] == renders[1];
+    }
+    em.table(
+        "rows",
+        &[
+            "engine",
+            "join",
+            "solver calls",
+            "qe calls",
+            "mw probes",
+            "mw survivors",
+            "plan hits",
+            "index reuses",
+            "time ms",
+        ],
+        &rows,
+    );
+    let reduction =
+        ((solver_binary as f64 / (solver_multi as f64).max(1.0)) * 100.0).round() / 100.0;
+    em.note(&format!(
+        "\nbyte-identical results: {byte_identical} | solver-visible work \
+         (canonicalizations + QE): {solver_binary} binary vs {solver_multi} multiway — \
+         {reduction:.2}x reduction (target ≥ 2x)"
+    ));
+    em.datum("byte_identical", byte_identical);
+    em.datum("solver_calls_binary", solver_binary);
+    em.datum("solver_calls_multiway", solver_multi);
+    em.datum("reduction", reduction);
+
+    // The EXPLAIN artifact: the chosen variable orders and probe totals
+    // of the multiway run, as the report renders them.
+    let opts = FixpointOptions::default();
+    let (_, _, plans) = datalog::seminaive_explain(&program, &db, &opts).unwrap();
+    em.note("");
+    for p in &plans {
+        let order = p.var_order.iter().map(|v| format!("x{v}")).collect::<Vec<_>>().join(" ");
+        em.note(&format!(
+            "plan: {} | order [{}] atoms={} probes={} survivors={}",
+            p.rule, order, p.atoms, p.probes, p.survivors
+        ));
+    }
+    em.datum("plans", Json::Arr(plans.iter().map(cql_trace::PlanStats::to_json).collect()));
+    (byte_identical, reduction)
+}
+
 /// A1/A2 — evaluation ablations.
 fn ablation(em: &mut Emitter) {
     em.section("a1", "ablation: symbolic QE vs cell-based EVAL_φ (dense order)");
@@ -731,9 +864,9 @@ fn representation(em: &mut Emitter) {
 const TRACE_PATH: &str = "target/repro-trace.json";
 
 const USAGE: &str = "usage: repro [--json] [--trace] [--selfcheck] [ids...|all]
-ids: f1 t1 f2 f3 e4..e16 a1 a2 a3 (or legacy names: fig1 table1 fig2 fig3
+ids: f1 t1 f2 f3 e4..e17 a1 a2 a3 (or legacy names: fig1 table1 fig2 fig3
 containment hull voronoi datalog equality boolean qbf index engine
-overhead filtering ablation); e1/e2/e3 alias f1/t1/f2";
+overhead filtering multiway ablation); e1/e2/e3 alias f1/t1/f2";
 
 fn main() {
     let mut json = false;
@@ -763,6 +896,7 @@ fn main() {
     let mut em = Emitter::new(json);
     let mut e13_report = None;
     let mut e16_stats = None;
+    let mut e17_stats = None;
 
     if want(&["f1", "fig1", "e1"]) {
         fig1(&mut em);
@@ -812,6 +946,9 @@ fn main() {
     if want(&["e16", "filtering", "pruning"]) {
         e16_stats = Some(filtering(&mut em));
     }
+    if want(&["e17", "multiway"]) {
+        e17_stats = Some(multiway(&mut em));
+    }
     if want(&["a1", "a2", "ablation"]) {
         ablation(&mut em);
     }
@@ -844,7 +981,7 @@ fn main() {
     let doc = em.finish();
 
     if selfcheck {
-        match run_selfcheck(&doc, e13_report.as_ref(), e16_stats, trace_written) {
+        match run_selfcheck(&doc, e13_report.as_ref(), e16_stats, e17_stats, trace_written) {
             Ok(summary) => eprintln!("selfcheck: ok ({summary})"),
             Err(e) => {
                 eprintln!("selfcheck: FAILED: {e}");
@@ -858,12 +995,14 @@ fn main() {
 /// Re-parse everything this run emitted: the JSON document round-trips,
 /// the E13 EXPLAIN report deserializes with non-empty rounds, the E16
 /// filtering A/B preserved results and hit its ≥2x solver-work target,
-/// and the chrome-trace file parses with strictly nested spans per
-/// thread.
+/// the E17 multiway A/B produced byte-identical results with ≥2x fewer
+/// solver-visible calls, and the chrome-trace file parses with strictly
+/// nested spans per thread.
 fn run_selfcheck(
     doc: &Json,
     e13: Option<&EvalReport>,
     e16: Option<(bool, f64)>,
+    e17: Option<(bool, f64)>,
     trace_written: bool,
 ) -> Result<String, String> {
     let mut checks = Vec::new();
@@ -894,6 +1033,16 @@ fn run_selfcheck(
             return Err(format!("E16: solver-work reduction {reduction:.2}x below the 2x target"));
         }
         checks.push(format!("e16 filtering ({reduction:.2}x)"));
+    }
+
+    if let Some((byte_identical, reduction)) = e17 {
+        if !byte_identical {
+            return Err("E17: multiway join changed the fixpoint result".into());
+        }
+        if reduction < 2.0 {
+            return Err(format!("E17: solver-call reduction {reduction:.2}x below the 2x target"));
+        }
+        checks.push(format!("e17 multiway ({reduction:.2}x)"));
     }
 
     if trace_written {

@@ -52,6 +52,89 @@ pub fn tc_program_dense() -> Program<Dense> {
     ])
 }
 
+/// The E17 path-join workload: wide rule bodies with real join
+/// variables, so the multiway planner has something to order. The
+/// binary fold pays one canonicalization per surviving intermediate
+/// prefix (so `k−1` per result for a `k`-atom body); the multiway join
+/// pays one per result — the wider the body, the bigger the gap.
+///
+/// * `T(x,w) ← T(x,y), E(y,z), E(z,w)` — recursive 3-atom body (odd-
+///   distance reachability over a chain);
+/// * `Q(x,v) ← E(x,y), E(y,z), E(z,w), E(w,v)` — non-recursive 4-atom
+///   path join (distance-4 pairs);
+/// * `P(x,u) ← E(x,y), T(y,z), E(z,w), T(w,v), E(v,u)` — 5-atom body
+///   mixing EDB and IDB atoms;
+/// * `W(x,z) ← R(x,y), S(y,z), C(z,x)` — triangle-closing rule over the
+///   [`wedge_edb_dense`] relations, the canonical case where any
+///   pairwise fold materializes far more intermediates than results.
+#[must_use]
+pub fn path_join_program_dense() -> Program<Dense> {
+    Program::new(vec![
+        Rule::new(Atom::new("T", vec![0, 1]), vec![Literal::Pos(Atom::new("E", vec![0, 1]))]),
+        Rule::new(
+            Atom::new("T", vec![0, 3]),
+            vec![
+                Literal::Pos(Atom::new("T", vec![0, 1])),
+                Literal::Pos(Atom::new("E", vec![1, 2])),
+                Literal::Pos(Atom::new("E", vec![2, 3])),
+            ],
+        ),
+        Rule::new(
+            Atom::new("Q", vec![0, 4]),
+            vec![
+                Literal::Pos(Atom::new("E", vec![0, 1])),
+                Literal::Pos(Atom::new("E", vec![1, 2])),
+                Literal::Pos(Atom::new("E", vec![2, 3])),
+                Literal::Pos(Atom::new("E", vec![3, 4])),
+            ],
+        ),
+        Rule::new(
+            Atom::new("P", vec![0, 5]),
+            vec![
+                Literal::Pos(Atom::new("E", vec![0, 1])),
+                Literal::Pos(Atom::new("T", vec![1, 2])),
+                Literal::Pos(Atom::new("E", vec![2, 3])),
+                Literal::Pos(Atom::new("T", vec![3, 4])),
+                Literal::Pos(Atom::new("E", vec![4, 5])),
+            ],
+        ),
+        Rule::new(
+            Atom::new("W", vec![0, 2]),
+            vec![
+                Literal::Pos(Atom::new("R", vec![0, 1])),
+                Literal::Pos(Atom::new("S", vec![1, 2])),
+                Literal::Pos(Atom::new("C", vec![2, 0])),
+            ],
+        ),
+    ])
+}
+
+/// EDB for the E17 triangle-closing rule `W(x,z) ← R(x,y), S(y,z),
+/// C(z,x)`: `R` and `S` are complete bipartite over `0..m` (`m²` pinned
+/// pairs each) while `C` closes only the diagonal (`m` pairs). Every
+/// `R` tuple joins every compatible `S` tuple, so a left-to-right fold
+/// must canonicalize all `m³` wedges before `C` filters them down to
+/// `m²` full matches; the multiway join intersects the `C` summary
+/// levels up front and never materializes the wedges.
+pub fn wedge_edb_dense(db: &mut Database<Dense>, m: i64) {
+    let pairs = || {
+        (0..m).flat_map(move |a| {
+            (0..m).map(move |b| {
+                vec![DenseConstraint::eq_const(0, a), DenseConstraint::eq_const(1, b)]
+            })
+        })
+    };
+    db.insert("R", GenRelation::from_conjunctions(2, pairs()));
+    db.insert("S", GenRelation::from_conjunctions(2, pairs()));
+    db.insert(
+        "C",
+        GenRelation::from_conjunctions(
+            2,
+            (0..m).map(|i| vec![DenseConstraint::eq_const(0, i), DenseConstraint::eq_const(1, i)]),
+        ),
+    );
+}
+
 /// Same program for the equality theory.
 #[must_use]
 pub fn tc_program_equality() -> Program<Equality> {

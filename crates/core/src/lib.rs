@@ -35,7 +35,6 @@
 
 pub mod error;
 pub mod formula;
-pub mod metrics;
 pub mod policy;
 pub mod relation;
 pub mod summary;

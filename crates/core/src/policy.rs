@@ -50,11 +50,31 @@ pub struct EnginePolicy {
     /// across rounds and rules skip the solver. Results are identical
     /// with the cache off.
     pub qe_cache: bool,
+    /// Variable-at-a-time multiway rule-body joins (default `true`):
+    /// Datalog rule firings with ≥2 relational body atoms build one
+    /// summary level per (atom, variable) and leapfrog-intersect them,
+    /// so the solver canonicalizes one conjunction per *surviving full
+    /// combination* instead of one per intermediate pair. Sound and
+    /// complete — same results as the binary `conjoin_atom` fold, with
+    /// far fewer solver-visible calls on 3+-atom bodies.
+    pub multiway_join: bool,
+    /// Below this many intermediate conjunctions, per-variable QE and
+    /// head-rename batches in rule firing run serially instead of being
+    /// dispatched through the executor (default 16): single-digit
+    /// batches pay more in dispatch bookkeeping than a worker could
+    /// recover. Results are identical either way.
+    pub serial_batch_threshold: usize,
 }
 
 impl Default for EnginePolicy {
     fn default() -> EnginePolicy {
-        EnginePolicy { subsumption: SubsumptionMode::Indexed, join_pruning: true, qe_cache: true }
+        EnginePolicy {
+            subsumption: SubsumptionMode::Indexed,
+            join_pruning: true,
+            qe_cache: true,
+            multiway_join: true,
+            serial_batch_threshold: 16,
+        }
     }
 }
 
@@ -66,9 +86,20 @@ impl EnginePolicy {
     }
 
     /// This policy with filter-before-solve (summary pruning and the QE
-    /// cache) switched on or off together — the E16 A/B knob.
+    /// cache) switched on or off together — the E16 A/B knob. Also turns
+    /// the multiway join off: exhaustive mode means the plain binary
+    /// fold with no summary consultation at all.
     #[must_use]
     pub fn with_filtering(self, on: bool) -> EnginePolicy {
-        EnginePolicy { join_pruning: on, qe_cache: on, ..self }
+        EnginePolicy { join_pruning: on, qe_cache: on, multiway_join: on, ..self }
+    }
+
+    /// This policy with the variable-at-a-time multiway join switched on
+    /// or off — the E17 A/B knob. With it off (and `join_pruning` still
+    /// on) rule bodies fall back to the binary-pruned `conjoin_atom`
+    /// fold. Results are identical either way.
+    #[must_use]
+    pub fn with_multiway(self, on: bool) -> EnginePolicy {
+        EnginePolicy { multiway_join: on, ..self }
     }
 }

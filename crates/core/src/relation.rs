@@ -157,6 +157,19 @@ pub struct GenRelation<T: Theory> {
     meta: Vec<TupleMeta<T>>,
     /// Signature value → indices into `tuples`.
     buckets: HashMap<u64, Vec<usize>>,
+    /// Content version: drawn from a process-global counter, refreshed on
+    /// every mutation, preserved by `clone`. Two relations with the same
+    /// version provably hold the same tuples, so derived structures
+    /// (summary indexes, join-plan levels) can be cached against it.
+    version: u64,
+}
+
+/// Process-global source of [`GenRelation`] content versions. Starts at 1
+/// so 0 can serve as a "never seen" sentinel in caches.
+static NEXT_VERSION: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+fn fresh_version() -> u64 {
+    NEXT_VERSION.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
 }
 
 fn tuple_hash<T: Theory>(t: &GenTuple<T>) -> u64 {
@@ -175,6 +188,7 @@ impl<T: Theory> Clone for GenRelation<T> {
             policy: self.policy,
             meta: self.meta.clone(),
             buckets: self.buckets.clone(),
+            version: self.version,
         }
     }
 }
@@ -206,6 +220,7 @@ impl<T: Theory> GenRelation<T> {
             policy,
             meta: Vec::new(),
             buckets: HashMap::new(),
+            version: fresh_version(),
         }
     }
 
@@ -213,6 +228,16 @@ impl<T: Theory> GenRelation<T> {
     #[must_use]
     pub fn policy(&self) -> EnginePolicy {
         self.policy
+    }
+
+    /// The relation's content version. Globally unique per mutation:
+    /// equal versions imply equal contents (clones share the version of
+    /// the relation they were cloned from; every insert or eviction
+    /// assigns a fresh one). Suitable as a cache key for structures
+    /// derived from the tuple set.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// The full relation (represents `D^arity`, the formula `true`).
@@ -401,6 +426,7 @@ impl<T: Theory> GenRelation<T> {
         if indices.is_empty() {
             return;
         }
+        self.version = fresh_version();
         count(Counter::TuplesEvicted, indices.len() as u64);
         let mut k = 0;
         let seen = &mut self.seen;
@@ -426,6 +452,7 @@ impl<T: Theory> GenRelation<T> {
     }
 
     fn push_tuple(&mut self, tuple: GenTuple<T>, hash: u64) {
+        self.version = fresh_version();
         let signature = T::signature(tuple.constraints());
         self.seen.insert(hash);
         self.buckets.entry(signature).or_default().push(self.tuples.len());

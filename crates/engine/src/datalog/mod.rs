@@ -3,6 +3,8 @@
 //! * [`ast`] — rules and programs (Definition 1.10);
 //! * [`symbolic`] — naive / semi-naive / inflationary fixpoints by joining
 //!   generalized tuples and eliminating quantifiers;
+//! * [`plan`] — per-rule multiway join planning (variable elimination
+//!   orders, cached per-atom summary levels, the leapfrog search);
 //! * [`herbrand`] — the §3.2 generalized-Herbrand-atom (cell-based)
 //!   evaluation for theories with finite cell decompositions, including
 //!   the §3.3 parallel evaluation and derivation-tree statistics.
@@ -10,6 +12,7 @@
 pub mod analysis;
 pub mod ast;
 pub mod herbrand;
+pub mod plan;
 pub mod symbolic;
 
 pub use analysis::{is_piecewise_linear, predicate_sccs, stratified, stratify};
@@ -17,6 +20,7 @@ pub use ast::{Atom, Literal, Program, Rule};
 pub use herbrand::{
     cell_inflationary, cell_naive, cell_parallel, CellFixpointResult, DerivationStats,
 };
+pub use plan::JoinPlan;
 pub use symbolic::{
     inflationary, naive, naive_explain, naive_explain_with, seminaive, seminaive_explain,
     seminaive_explain_with, FixpointOptions, FixpointResult,

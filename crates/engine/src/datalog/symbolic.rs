@@ -25,16 +25,27 @@
 //! plain entry points build a context from [`FixpointOptions`]; the
 //! `*_with` variants accept a caller-owned one, sharing its interner
 //! across calls.
+//!
+//! Rule bodies with two or more relational atoms default to the
+//! **multiway join** of [`super::plan`] (see
+//! [`EnginePolicy::multiway_join`]): instead of folding atoms
+//! left-to-right and canonicalizing every intermediate pair, a per-rule
+//! [`JoinPlan`](super::plan::JoinPlan) picks a variable elimination
+//! order, per-atom summary levels are leapfrog-intersected, and the
+//! solver sees one conjunction per surviving *full* combination. The
+//! binary fold remains both the fallback (`multiway_join: false`, or a
+//! single relational atom) and the equivalence baseline in the property
+//! tests.
 
 use crate::datalog::ast::{Atom, Literal, Program, Rule};
+use crate::datalog::plan::{multiway_join, AtomData, PlanCache};
 use crate::executor::Executor;
-use crate::summary_index::SummaryIndex;
 use crate::Engine;
 use cql_core::error::{CqlError, Result};
 use cql_core::policy::EnginePolicy;
 use cql_core::relation::{Database, GenRelation, GenTuple};
 use cql_core::theory::{Theory, Var};
-use cql_trace::{count, span, Counter, MetricsScope, MetricsSnapshot, RoundStats};
+use cql_trace::{count, span, Counter, MetricsScope, MetricsSnapshot, PlanStats, RoundStats};
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::time::Instant;
 
@@ -90,9 +101,14 @@ pub struct FixpointResult<T: Theory> {
 /// diffs would double-count them.
 struct RoundLog {
     rounds: Vec<RoundStats>,
+    plans: Vec<PlanStats>,
 }
 
 impl RoundLog {
+    fn new() -> RoundLog {
+        RoundLog { rounds: Vec::new(), plans: Vec::new() }
+    }
+
     fn begin(iterations: usize) -> (MetricsScope, Instant, cql_trace::SpanGuard) {
         let scope = MetricsScope::enter("fixpoint.round");
         let mut round_span = span("fixpoint.round", "round");
@@ -124,6 +140,8 @@ impl RoundLog {
             prune_candidates: snap.get(Counter::PruneCandidates),
             prune_survivors: snap.get(Counter::PruneSurvivors),
             qe_cache_hits: snap.get(Counter::QeCacheHits),
+            multiway_probes: snap.get(Counter::MultiwayProbes),
+            multiway_survivors: snap.get(Counter::MultiwaySurvivors),
             wall_ns,
         });
     }
@@ -152,45 +170,89 @@ fn instance_relation<'a, T: Theory>(
     idb.get(name).map_or_else(|| edb.require(name), Ok)
 }
 
+/// Where a rule body reads its relations from: the EDB/IDB pair, plus
+/// the semi-naive delta binding (the body-literal index that must read
+/// from `delta` instead of the full instance).
+struct BodyCtx<'a, T: Theory> {
+    edb: &'a Database<T>,
+    idb: &'a Database<T>,
+    delta_at: Option<(usize, &'a Database<T>)>,
+}
+
+impl<'a, T: Theory> BodyCtx<'a, T> {
+    /// The relation a positive body literal at index `li` reads.
+    fn positive(&self, li: usize, a: &Atom) -> Result<&'a GenRelation<T>> {
+        match self.delta_at {
+            Some((idx, delta)) if idx == li => delta.require(&a.relation),
+            _ => instance_relation(&a.relation, self.edb, self.idb),
+        }
+    }
+}
+
+/// Run `f` over `items` — serially when the batch is below the policy's
+/// [`EnginePolicy::serial_batch_threshold`] (skipping executor dispatch,
+/// its spans, and its scope bookkeeping for tiny batches), on the
+/// engine's executor otherwise.
+fn map_batch<T: Theory, I: Send, O: Send>(
+    engine: &Engine<T>,
+    items: Vec<I>,
+    f: impl Fn(I) -> O + Sync,
+) -> Vec<O> {
+    if items.len() < engine.policy.serial_batch_threshold {
+        items.into_iter().map(f).collect()
+    } else {
+        engine.executor.map(items, f)
+    }
+}
+
+/// [`map_batch`] with per-item vector results, flattened in item order.
+fn flat_map_batch<T: Theory, I: Send, O: Send>(
+    engine: &Engine<T>,
+    items: Vec<I>,
+    f: impl Fn(I) -> Vec<O> + Sync,
+) -> Vec<O> {
+    if items.len() < engine.policy.serial_batch_threshold {
+        items.into_iter().flat_map(f).collect()
+    } else {
+        engine.executor.flat_map(items, f)
+    }
+}
+
+/// Order-preserving dedup (interned tuples make the hashing cheap).
+fn dedup_ordered<T: Theory>(tuples: impl IntoIterator<Item = GenTuple<T>>) -> Vec<GenTuple<T>> {
+    let mut seen: HashSet<GenTuple<T>> = HashSet::new();
+    let mut out = Vec::new();
+    for t in tuples {
+        if seen.insert(t.clone()) {
+            out.push(t);
+        }
+    }
+    out
+}
+
 /// Fire one rule against an instance; returns head tuples over `0..k`.
 ///
-/// `delta_at`: in semi-naive mode, the index of the body literal that must
-/// read from `delta` instead of the full instance.
+/// The body join runs multiway (variable-at-a-time, one solver call per
+/// surviving full combination) when the policy allows it and the body
+/// has at least two relational atoms; otherwise it is the binary
+/// left-to-right fold. Both paths share the quantifier-elimination and
+/// head-renaming stages below.
 fn fire_rule<T: Theory>(
     engine: &Engine<T>,
+    rule_idx: usize,
     rule: &Rule<T>,
-    edb: &Database<T>,
-    idb: &Database<T>,
-    delta_at: Option<(usize, &Database<T>)>,
+    ctx: &BodyCtx<'_, T>,
     complements: &mut BTreeMap<String, GenRelation<T>>,
+    cache: &mut PlanCache<T>,
 ) -> Result<Vec<GenTuple<T>>> {
-    // Partial conjunctions over the rule's local variables.
-    let mut acc: Vec<GenTuple<T>> = vec![GenTuple::top()];
-    for (li, lit) in rule.body.iter().enumerate() {
-        match lit {
-            Literal::Constraint(c) => {
-                acc = acc
-                    .into_iter()
-                    .filter_map(|t| engine.conjoin(&t, std::slice::from_ref(c)))
-                    .collect();
-            }
-            Literal::Pos(a) => {
-                let rel = match delta_at {
-                    Some((idx, delta)) if idx == li => delta.require(&a.relation)?,
-                    _ => instance_relation(&a.relation, edb, idb)?,
-                };
-                acc = conjoin_atom(engine, acc, rel, a);
-            }
-            Literal::Neg(a) => {
-                let compl = complements.entry(a.relation.clone()).or_insert_with(|| {
-                    instance_relation(&a.relation, edb, idb).expect("validated").complement()
-                });
-                acc = conjoin_atom(engine, acc, compl, a);
-            }
-        }
-        if acc.is_empty() {
-            return Ok(Vec::new());
-        }
+    let rel_atoms = rule.body.iter().filter(|lit| !matches!(lit, Literal::Constraint(_))).count();
+    let acc = if engine.policy.multiway_join && rel_atoms >= 2 {
+        fire_body_multiway(engine, rule_idx, rule, ctx, complements, cache)?
+    } else {
+        fire_body_binary(engine, rule, ctx, complements, cache)?
+    };
+    if acc.is_empty() {
+        return Ok(Vec::new());
     }
 
     // Quantify away the non-head variables, one variable at a time; the
@@ -204,7 +266,7 @@ fn fire_rule<T: Theory>(
         if head_vars.contains(&v) {
             continue;
         }
-        let eliminated: Vec<Result<Vec<Vec<T::Constraint>>>> = engine.executor.map(conjs, |conj| {
+        let eliminated: Vec<Result<Vec<Vec<T::Constraint>>>> = map_batch(engine, conjs, |conj| {
             if conj.iter().any(|c| T::vars(c).contains(&v)) {
                 engine.eliminate_cached(&conj, v)
             } else {
@@ -223,7 +285,7 @@ fn fire_rule<T: Theory>(
     for (i, &v) in rule.head.vars.iter().enumerate() {
         position[v] = i;
     }
-    let out = engine.executor.map(conjs, |conj| {
+    let out = map_batch(engine, conjs, |conj| {
         for c in &conj {
             for v in T::vars(c) {
                 debug_assert_ne!(position[v], usize::MAX, "variable survived elimination");
@@ -236,46 +298,121 @@ fn fire_rule<T: Theory>(
     Ok(out.into_iter().flatten().collect())
 }
 
-/// Conjoin every partial tuple with every (renamed) tuple of `rel`: the
-/// cartesian product step of rule firing, parallelized over the partials.
-///
-/// With [`EnginePolicy::join_pruning`] on, the renamed tuples are put in
-/// a [`SummaryIndex`] and each partial only conjoins the candidates whose
-/// summaries may intersect its own — both live in the rule's variable
-/// space, so shared variables (the join variables of the rule body) prune
-/// directly. This is where transitive-closure-style rules win: partials
-/// pin the join variable, and candidates pinned elsewhere never reach the
-/// solver.
+/// Binary body join: fold the literals left to right, canonicalizing
+/// every intermediate conjunction. With
+/// [`EnginePolicy::join_pruning`] on, each atom's cached summary index
+/// restricts the product to candidates whose summaries may intersect
+/// the partial's — both live in the rule's variable space, so shared
+/// variables (the join variables of the rule body) prune directly.
+fn fire_body_binary<T: Theory>(
+    engine: &Engine<T>,
+    rule: &Rule<T>,
+    ctx: &BodyCtx<'_, T>,
+    complements: &mut BTreeMap<String, GenRelation<T>>,
+    cache: &mut PlanCache<T>,
+) -> Result<Vec<GenTuple<T>>> {
+    let mut acc: Vec<GenTuple<T>> = vec![GenTuple::top()];
+    for (li, lit) in rule.body.iter().enumerate() {
+        match lit {
+            Literal::Constraint(c) => {
+                acc = acc
+                    .into_iter()
+                    .filter_map(|t| engine.conjoin(&t, std::slice::from_ref(c)))
+                    .collect();
+            }
+            Literal::Pos(a) => {
+                let data = cache.atom_data(ctx.positive(li, a)?, &a.vars);
+                acc = conjoin_atom(engine, acc, &data);
+            }
+            Literal::Neg(a) => {
+                let compl = complements.entry(a.relation.clone()).or_insert_with(|| {
+                    instance_relation(&a.relation, ctx.edb, ctx.idb)
+                        .expect("validated")
+                        .complement()
+                });
+                let data = cache.atom_data(compl, &a.vars);
+                acc = conjoin_atom(engine, acc, &data);
+            }
+        }
+        if acc.is_empty() {
+            return Ok(Vec::new());
+        }
+    }
+    Ok(acc)
+}
+
+/// Multiway body join: constraint literals seed a base conjunction, the
+/// rule's cached [`JoinPlan`](super::plan::JoinPlan) orders the
+/// relational atoms, and the leapfrog search of
+/// [`multiway_join`] enumerates candidate combinations that every
+/// atom's summary admits — the solver canonicalizes one conjunction per
+/// surviving full combination instead of one per intermediate pair.
+fn fire_body_multiway<T: Theory>(
+    engine: &Engine<T>,
+    rule_idx: usize,
+    rule: &Rule<T>,
+    ctx: &BodyCtx<'_, T>,
+    complements: &mut BTreeMap<String, GenRelation<T>>,
+    cache: &mut PlanCache<T>,
+) -> Result<Vec<GenTuple<T>>> {
+    let mut base = GenTuple::top();
+    for lit in &rule.body {
+        if let Literal::Constraint(c) = lit {
+            match engine.conjoin(&base, std::slice::from_ref(c)) {
+                Some(t) => base = t,
+                None => return Ok(Vec::new()),
+            }
+        }
+    }
+    let plan = cache.plan(rule_idx, rule);
+    let mut atoms: Vec<std::sync::Arc<AtomData<T>>> = Vec::with_capacity(plan.atom_order.len());
+    for &li in &plan.atom_order {
+        let data = match &rule.body[li] {
+            Literal::Pos(a) => cache.atom_data(ctx.positive(li, a)?, &a.vars),
+            Literal::Neg(a) => {
+                let compl = complements.entry(a.relation.clone()).or_insert_with(|| {
+                    instance_relation(&a.relation, ctx.edb, ctx.idb)
+                        .expect("validated")
+                        .complement()
+                });
+                cache.atom_data(compl, &a.vars)
+            }
+            Literal::Constraint(_) => unreachable!("plans order relational literals only"),
+        };
+        if data.renamed.is_empty() {
+            return Ok(Vec::new());
+        }
+        atoms.push(data);
+    }
+    let (conjs, probes, survivors) = multiway_join(&atoms, &base, rule.var_count());
+    count(Counter::MultiwayProbes, probes);
+    count(Counter::MultiwaySurvivors, survivors);
+    cache.record(rule_idx, probes, survivors);
+    let interned = map_batch(engine, conjs, |conj| engine.intern(conj));
+    Ok(dedup_ordered(interned.into_iter().flatten()))
+}
+
+/// Conjoin every partial tuple with every renamed tuple of the atom: the
+/// cartesian product step of the binary fold, parallelized over the
+/// partials. The atom's renamed tuples, summaries and one-dimensional
+/// summary index come from the run's [`PlanCache`], so unchanged
+/// relations are renamed and indexed once per run rather than once per
+/// round.
 fn conjoin_atom<T: Theory>(
     engine: &Engine<T>,
     acc: Vec<GenTuple<T>>,
-    rel: &GenRelation<T>,
-    atom: &Atom,
+    data: &AtomData<T>,
 ) -> Vec<GenTuple<T>> {
-    // Rename each relation tuple into the rule's variable space once.
-    let renamed: Vec<Vec<T::Constraint>> =
-        rel.tuples().iter().map(|u| u.rename(&|j| atom.vars[j])).collect();
-    let index = engine
-        .policy
-        .join_pruning
-        .then(|| SummaryIndex::<T>::build(renamed.iter().map(Vec::as_slice)));
-    let products = engine.executor.flat_map(acc, |partial| match &index {
+    let index = data.index(engine.policy.join_pruning);
+    let products = flat_map_batch(engine, acc, |partial| match index {
         Some(index) => index
             .matches(&T::summary(partial.constraints()))
             .into_iter()
-            .filter_map(|i| engine.conjoin(&partial, &renamed[i]))
+            .filter_map(|i| engine.conjoin(&partial, &data.renamed[i]))
             .collect::<Vec<_>>(),
-        None => renamed.iter().filter_map(|r| engine.conjoin(&partial, r)).collect(),
+        None => data.renamed.iter().filter_map(|r| engine.conjoin(&partial, r)).collect(),
     });
-    // Order-preserving dedup (interned tuples make the hashing cheap).
-    let mut seen: HashSet<GenTuple<T>> = HashSet::with_capacity(products.len());
-    let mut next = Vec::with_capacity(products.len());
-    for t in products {
-        if seen.insert(t.clone()) {
-            next.push(t);
-        }
-    }
-    next
+    dedup_ordered(products)
 }
 
 fn check_budget<T: Theory>(
@@ -382,6 +519,7 @@ fn fixpoint_rounds<T: Theory>(
     opts: &FixpointOptions,
     mut log: Option<&mut RoundLog>,
 ) -> Result<FixpointResult<T>> {
+    let mut cache = PlanCache::new(program.rules.len());
     let mut iterations = 0;
     loop {
         check_budget(&idb, iterations, opts)?;
@@ -392,8 +530,9 @@ fn fixpoint_rounds<T: Theory>(
         // start of the round; derived tuples land in `staged`.
         let mut staged: Vec<(String, GenTuple<T>)> = Vec::new();
         let mut complements = BTreeMap::new();
-        for rule in &program.rules {
-            for t in fire_rule(engine, rule, edb, &idb, None, &mut complements)? {
+        for (ri, rule) in program.rules.iter().enumerate() {
+            let ctx = BodyCtx { edb, idb: &idb, delta_at: None };
+            for t in fire_rule(engine, ri, rule, &ctx, &mut complements, &mut cache)? {
                 staged.push((rule.head.relation.clone(), t));
             }
         }
@@ -413,14 +552,17 @@ fn fixpoint_rounds<T: Theory>(
             log.finish(iterations, produced, delta, &round_scope, round_start, &mut round_span);
         }
         if !changed {
+            if let Some(log) = log.as_deref_mut() {
+                log.plans = cache.plan_stats(program);
+            }
             return Ok(FixpointResult { idb, iterations });
         }
     }
 }
 
-/// [`naive`] with per-round EXPLAIN telemetry: returns the fixpoint and
-/// one [`RoundStats`] per round (see `RoundLog` for what each field
-/// attributes where).
+/// [`naive`] with per-round EXPLAIN telemetry: returns the fixpoint, one
+/// [`RoundStats`] per round (see `RoundLog` for what each field
+/// attributes where), and one [`PlanStats`] per multiway-planned rule.
 ///
 /// # Errors
 /// As [`naive`].
@@ -428,7 +570,7 @@ pub fn naive_explain<T: Theory>(
     program: &Program<T>,
     edb: &Database<T>,
     opts: &FixpointOptions,
-) -> Result<(FixpointResult<T>, Vec<RoundStats>)> {
+) -> Result<(FixpointResult<T>, Vec<RoundStats>, Vec<PlanStats>)> {
     naive_explain_with(&opts.engine(), program, edb, opts)
 }
 
@@ -441,12 +583,12 @@ pub fn naive_explain_with<T: Theory>(
     program: &Program<T>,
     edb: &Database<T>,
     opts: &FixpointOptions,
-) -> Result<(FixpointResult<T>, Vec<RoundStats>)> {
+) -> Result<(FixpointResult<T>, Vec<RoundStats>, Vec<PlanStats>)> {
     program.validate(edb, false)?;
     let idb = init_idb(program, engine)?;
-    let mut log = RoundLog { rounds: Vec::new() };
+    let mut log = RoundLog::new();
     let result = fixpoint_rounds(engine, program, edb, idb, opts, Some(&mut log))?;
-    Ok((result, log.rounds))
+    Ok((result, log.rounds, log.plans))
 }
 
 /// Semi-naive evaluation of a positive program: after the first round,
@@ -476,7 +618,8 @@ pub fn seminaive_with<T: Theory>(
     seminaive_rounds(engine, program, edb, opts, None)
 }
 
-/// [`seminaive`] with per-round EXPLAIN telemetry.
+/// [`seminaive`] with per-round EXPLAIN telemetry (see [`naive_explain`]
+/// for the shape of the returned statistics).
 ///
 /// # Errors
 /// As [`naive`].
@@ -484,7 +627,7 @@ pub fn seminaive_explain<T: Theory>(
     program: &Program<T>,
     edb: &Database<T>,
     opts: &FixpointOptions,
-) -> Result<(FixpointResult<T>, Vec<RoundStats>)> {
+) -> Result<(FixpointResult<T>, Vec<RoundStats>, Vec<PlanStats>)> {
     seminaive_explain_with(&opts.engine(), program, edb, opts)
 }
 
@@ -497,10 +640,10 @@ pub fn seminaive_explain_with<T: Theory>(
     program: &Program<T>,
     edb: &Database<T>,
     opts: &FixpointOptions,
-) -> Result<(FixpointResult<T>, Vec<RoundStats>)> {
-    let mut log = RoundLog { rounds: Vec::new() };
+) -> Result<(FixpointResult<T>, Vec<RoundStats>, Vec<PlanStats>)> {
+    let mut log = RoundLog::new();
     let result = seminaive_rounds(engine, program, edb, opts, Some(&mut log))?;
-    Ok((result, log.rounds))
+    Ok((result, log.rounds, log.plans))
 }
 
 fn seminaive_rounds<T: Theory>(
@@ -514,6 +657,7 @@ fn seminaive_rounds<T: Theory>(
     let idb_preds = program.idb_predicates();
     let arities = program.arities()?;
     let mut idb = init_idb(program, engine)?;
+    let mut cache = PlanCache::new(program.rules.len());
     let mut iterations = 0;
 
     // Round 0: full firing (IDB relations are empty, so only rules whose
@@ -523,8 +667,16 @@ fn seminaive_rounds<T: Theory>(
     let mut delta = init_idb(program, engine)?;
     let mut complements = BTreeMap::new();
     let mut produced = 0;
-    for rule in &program.rules {
-        for t in fire_rule(engine, rule, edb, &idb, None, &mut complements)? {
+    for (ri, rule) in program.rules.iter().enumerate() {
+        let fired = fire_rule(
+            engine,
+            ri,
+            rule,
+            &BodyCtx { edb, idb: &idb, delta_at: None },
+            &mut complements,
+            &mut cache,
+        )?;
+        for t in fired {
             produced += 1;
             let mut rel = idb.get(&rule.head.relation).expect("init").clone();
             if rel.insert(t.clone()) {
@@ -552,7 +704,7 @@ fn seminaive_rounds<T: Theory>(
         }
         let mut complements = BTreeMap::new();
         let mut produced = 0;
-        for rule in &program.rules {
+        for (ri, rule) in program.rules.iter().enumerate() {
             // One firing per IDB body-atom position bound to the delta.
             for (li, lit) in rule.body.iter().enumerate() {
                 let Literal::Pos(a) = lit else { continue };
@@ -562,7 +714,15 @@ fn seminaive_rounds<T: Theory>(
                 if delta.get(&a.relation).is_none_or(GenRelation::is_empty) {
                     continue;
                 }
-                for t in fire_rule(engine, rule, edb, &idb, Some((li, &delta)), &mut complements)? {
+                let fired = fire_rule(
+                    engine,
+                    ri,
+                    rule,
+                    &BodyCtx { edb, idb: &idb, delta_at: Some((li, &delta)) },
+                    &mut complements,
+                    &mut cache,
+                )?;
+                for t in fired {
                     produced += 1;
                     let mut rel = idb.get(&rule.head.relation).expect("init").clone();
                     if rel.insert(t.clone()) {
@@ -586,6 +746,9 @@ fn seminaive_rounds<T: Theory>(
                 &mut round_span,
             );
         }
+    }
+    if let Some(log) = log {
+        log.plans = cache.plan_stats(program);
     }
     Ok(FixpointResult { idb, iterations })
 }

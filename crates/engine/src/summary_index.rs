@@ -32,18 +32,138 @@ use cql_index::Interval;
 use cql_trace::{count, span, Counter};
 use std::collections::{BTreeMap, HashMap};
 
+/// One per-variable bucket level: the reusable core of both the
+/// single-dimension [`SummaryIndex`] and the multiway [`SummaryTrie`].
+/// Holds only entry *indices* bucketed by their closed range hull at one
+/// dimension; the owning structure keeps the summaries themselves.
+pub struct SummaryLevel {
+    len: usize,
+    /// Entries pinned at the level's dimension (`lo == hi`), keyed by
+    /// the point.
+    points: BTreeMap<Rat, Vec<usize>>,
+    /// Entries bounded but not pinned: closed interval hulls.
+    spans: Vec<(Interval, usize)>,
+    /// Entries unbounded at the dimension — candidates for every probe.
+    rest: Vec<usize>,
+}
+
+impl SummaryLevel {
+    /// Bucket `summaries` by their closed hull at dimension `dim`.
+    pub fn build<'a, S, I>(dim: Var, summaries: I) -> SummaryLevel
+    where
+        S: ConstraintSummary + 'a,
+        I: IntoIterator<Item = &'a S>,
+    {
+        let mut points: BTreeMap<Rat, Vec<usize>> = BTreeMap::new();
+        let mut spans: Vec<(Interval, usize)> = Vec::new();
+        let mut rest: Vec<usize> = Vec::new();
+        let mut len = 0;
+        for (i, s) in summaries.into_iter().enumerate() {
+            len += 1;
+            match s.range(dim) {
+                Some((lo, hi)) if lo == hi => points.entry(lo).or_default().push(i),
+                Some((lo, hi)) => spans.push((Interval::new(lo, hi), i)),
+                None => rest.push(i),
+            }
+        }
+        SummaryLevel { len, points, spans, rest }
+    }
+
+    /// Number of bucketed entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff the level holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// How many entries actually range the level's dimension (the rest
+    /// are returned by every probe).
+    #[must_use]
+    pub fn bucketed(&self) -> usize {
+        self.len - self.rest.len()
+    }
+
+    /// Entry indices whose hull at the level's dimension meets the closed
+    /// probe `range`; all entries (in index order) when the probe is
+    /// unranged. Sound: two summaries whose closed hulls at one dimension
+    /// are disjoint cannot share a solution at that dimension.
+    #[must_use]
+    pub fn candidates(&self, range: Option<(Rat, Rat)>) -> Vec<usize> {
+        let Some((lo, hi)) = range else {
+            return (0..self.len).collect();
+        };
+        let mut out: Vec<usize> = Vec::new();
+        for ids in self.points.range(lo.clone()..=hi.clone()).map(|(_, ids)| ids) {
+            out.extend_from_slice(ids);
+        }
+        let probe = Interval::new(lo, hi);
+        for (iv, i) in &self.spans {
+            if iv.intersects(&probe) {
+                out.push(*i);
+            }
+        }
+        out.extend_from_slice(&self.rest);
+        out
+    }
+}
+
+/// One [`SummaryLevel`] per variable of a join atom: the per-atom side of
+/// the multiway (leapfrog-style) rule-body join. A candidate binding's
+/// accumulated range at a variable probes the atom's level at that
+/// variable; an entry survives only if every probed level admits it.
+///
+/// Theories whose summaries range nothing (the boolean algebras) put
+/// every entry in each level's catch-all bucket, degenerating to plain
+/// `may_intersect` filtering — sound, just unselective.
+pub struct SummaryTrie {
+    levels: BTreeMap<Var, SummaryLevel>,
+}
+
+impl SummaryTrie {
+    /// Build one level per distinct variable in `vars` over the entry
+    /// summaries.
+    pub fn build<S: ConstraintSummary>(summaries: &[S], vars: &[Var]) -> SummaryTrie {
+        let mut levels = BTreeMap::new();
+        for &v in vars {
+            levels.entry(v).or_insert_with(|| SummaryLevel::build(v, summaries.iter()));
+        }
+        SummaryTrie { levels }
+    }
+
+    /// The level at `var`, if one was built.
+    #[must_use]
+    pub fn level(&self, var: Var) -> Option<&SummaryLevel> {
+        self.levels.get(&var)
+    }
+}
+
+/// The bucket dimension ranged by the most summaries, smallest variable
+/// on ties (deterministic across runs and thread counts); `None` when no
+/// summary ranges anything.
+#[must_use]
+pub fn majority_dim<S: ConstraintSummary>(summaries: &[S]) -> Option<Var> {
+    let mut freq: HashMap<Var, usize> = HashMap::new();
+    for s in summaries {
+        for v in s.ranged_dims() {
+            *freq.entry(v).or_insert(0) += 1;
+        }
+    }
+    freq.into_iter().max_by_key(|&(v, n)| (n, std::cmp::Reverse(v))).map(|(v, _)| v)
+}
+
 /// A one-dimensional bucket index over the summaries of one join side.
 pub struct SummaryIndex<T: Theory> {
     summaries: Vec<T::Summary>,
     /// The bucketed dimension, `None` when no summary ranges anything
     /// (every probe then returns all entries).
     dim: Option<Var>,
-    /// Entries pinned at `dim` (`lo == hi`), keyed by the point.
-    points: BTreeMap<Rat, Vec<usize>>,
-    /// Entries bounded but not pinned at `dim`: closed interval hulls.
-    spans: Vec<(Interval, usize)>,
-    /// Entries unbounded at `dim` — candidates for every probe.
-    rest: Vec<usize>,
+    /// The bucket level at `dim` (empty buckets when `dim` is `None`).
+    level: SummaryLevel,
 }
 
 impl<T: Theory> SummaryIndex<T> {
@@ -55,15 +175,7 @@ impl<T: Theory> SummaryIndex<T> {
         T::Constraint: 'a,
     {
         let summaries: Vec<T::Summary> = conjs.into_iter().map(|c| T::summary(c)).collect();
-        let mut freq: HashMap<Var, usize> = HashMap::new();
-        for s in &summaries {
-            for v in s.ranged_dims() {
-                *freq.entry(v).or_insert(0) += 1;
-            }
-        }
-        // Most-often-ranged dimension, smallest variable on ties (for
-        // determinism across runs and thread counts).
-        let dim = freq.into_iter().max_by_key(|&(v, n)| (n, std::cmp::Reverse(v))).map(|(v, _)| v);
+        let dim = majority_dim(&summaries);
         SummaryIndex::with_summaries(summaries, dim)
     }
 
@@ -74,20 +186,17 @@ impl<T: Theory> SummaryIndex<T> {
     pub fn with_summaries(summaries: Vec<T::Summary>, dim: Option<Var>) -> SummaryIndex<T> {
         let mut sp = span("summary_index.build", "engine");
         sp.arg("tuples", summaries.len() as u64);
-        let mut points: BTreeMap<Rat, Vec<usize>> = BTreeMap::new();
-        let mut spans: Vec<(Interval, usize)> = Vec::new();
-        let mut rest: Vec<usize> = Vec::new();
-        if let Some(d) = dim {
-            for (i, s) in summaries.iter().enumerate() {
-                match s.range(d) {
-                    Some((lo, hi)) if lo == hi => points.entry(lo).or_default().push(i),
-                    Some((lo, hi)) => spans.push((Interval::new(lo, hi), i)),
-                    None => rest.push(i),
-                }
-            }
-        }
-        sp.arg("bucketed", (summaries.len() - rest.len()) as u64);
-        SummaryIndex { summaries, dim, points, spans, rest }
+        let level = match dim {
+            Some(d) => SummaryLevel::build(d, summaries.iter()),
+            None => SummaryLevel {
+                len: summaries.len(),
+                points: BTreeMap::new(),
+                spans: Vec::new(),
+                rest: Vec::new(),
+            },
+        };
+        sp.arg("bucketed", level.bucketed() as u64);
+        SummaryIndex { summaries, dim, level }
     }
 
     /// Number of indexed entries.
@@ -108,21 +217,10 @@ impl<T: Theory> SummaryIndex<T> {
     /// two summaries whose closed hulls at one dimension are disjoint
     /// cannot share a solution at that dimension.
     fn bucket_candidates(&self, range: Option<(Rat, Rat)>) -> Vec<usize> {
-        let (Some(_), Some((lo, hi))) = (self.dim, range) else {
+        let (Some(_), Some(range)) = (self.dim, range) else {
             return (0..self.summaries.len()).collect();
         };
-        let mut out: Vec<usize> = Vec::new();
-        for ids in self.points.range(lo.clone()..=hi.clone()).map(|(_, ids)| ids) {
-            out.extend_from_slice(ids);
-        }
-        let probe = Interval::new(lo, hi);
-        for (iv, i) in &self.spans {
-            if iv.intersects(&probe) {
-                out.push(*i);
-            }
-        }
-        out.extend_from_slice(&self.rest);
-        out
+        self.level.candidates(Some(range))
     }
 
     /// Candidate entries for a probe summary: bucket scan at the index

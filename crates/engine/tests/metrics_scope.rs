@@ -213,25 +213,3 @@ fn poly_totals_are_thread_invariant() {
     let query = compose_query::<RealPoly>();
     assert_width_invariant(|t| calculus_totals(&query, &db, t));
 }
-
-/// Sanity: the dense fixpoint counters a scope reports match what the
-/// deprecated process-root snapshot accumulates from the same run (the
-/// scope merges into the root on drop), keeping the legacy API's totals
-/// meaningful during the migration.
-#[test]
-fn scope_merges_into_process_root() {
-    let values: Vec<Rat> = (0..6).map(Rat::from).collect();
-    let db = chain_db::<Dense>(&values);
-    let program = tc_program::<Dense>();
-    let before = cql_engine::trace::root_snapshot().get(Counter::FixpointRounds);
-    let scope = MetricsScope::enter("merge-check");
-    let opts = FixpointOptions::default();
-    datalog::seminaive(&program, &db, &opts).expect("fixpoint converges");
-    let rounds = scope.snapshot().get(Counter::FixpointRounds);
-    drop(scope);
-    let after = cql_engine::trace::root_snapshot().get(Counter::FixpointRounds);
-    assert!(rounds > 0);
-    // `>=` not `==`: other tests in this binary run concurrently and
-    // merge their own rounds into the same process root.
-    assert!(after - before >= rounds, "drop did not merge the scope into the root");
-}

@@ -10,6 +10,14 @@
 //! over polynomial constraints is not closed (Example 1.12), and the
 //! boolean theories are covered by the operator tests (their Datalog
 //! worked examples live in `cql-bool`).
+//!
+//! The multiway-join block at the bottom pins the three-way equality
+//! `multiway == binary-pruned == exhaustive` for all four theories: the
+//! recursive 3-atom path-join exercises naive, semi-naive and
+//! inflationary fixpoints (dense/equality, with the cell-based Herbrand
+//! engine as an independent pointwise oracle), and non-recursive
+//! multi-atom joins cover the polynomial and boolean theories, whose
+//! recursive programs need not close.
 
 use cql_arith::{Poly, Rat};
 use cql_bool::{BoolConstraint, BoolTerm};
@@ -324,4 +332,166 @@ fn qe_cache_hits_and_is_transparent() {
     assert_eq!(direct, first);
     assert_eq!(scope.snapshot().get(Counter::QeCacheHits), 0);
     assert!(off.qe_cache().is_empty());
+}
+
+// ---------------------------------------------- multiway join equivalence
+
+/// Path-join program: a recursive rule with a 3-atom body (the E17
+/// shape), so the multiway planner has real join variables to order.
+fn path3_program<T: Theory>() -> Program<T> {
+    Program::new(vec![
+        Rule::new(Atom::new("T", vec![0, 1]), vec![Literal::Pos(Atom::new("E", vec![0, 1]))]),
+        Rule::new(
+            Atom::new("T", vec![0, 3]),
+            vec![
+                Literal::Pos(Atom::new("T", vec![0, 1])),
+                Literal::Pos(Atom::new("E", vec![1, 2])),
+                Literal::Pos(Atom::new("E", vec![2, 3])),
+            ],
+        ),
+    ])
+}
+
+/// The three body-join configurations that must be indistinguishable:
+/// multiway (the default), binary-pruned (multiway off, pruning on — the
+/// pre-refactor path), and exhaustive enumeration (no filtering at all).
+fn join_configs() -> [(&'static str, EnginePolicy); 3] {
+    [
+        ("multiway", EnginePolicy::default()),
+        ("binary", EnginePolicy::default().with_multiway(false)),
+        ("exhaustive", EnginePolicy::default().with_filtering(false)),
+    ]
+}
+
+/// Every symbolic fixpoint engine must produce the identical tuple set
+/// for `head` under all three join configurations.
+fn assert_multiway_invisible<T: Theory>(program: &Program<T>, edb: &Database<T>, head: &str) {
+    type Run<T> = fn(
+        &Program<T>,
+        &Database<T>,
+        &FixpointOptions,
+    ) -> cql_core::error::Result<datalog::FixpointResult<T>>;
+    let engines: [(&str, Run<T>); 3] = [
+        ("naive", datalog::naive::<T>),
+        ("seminaive", datalog::seminaive::<T>),
+        ("inflationary", datalog::inflationary::<T>),
+    ];
+    for (engine_name, run) in engines {
+        let results: Vec<(&str, HashSet<GenTuple<T>>)> = join_configs()
+            .into_iter()
+            .map(|(config, policy)| {
+                let opts = FixpointOptions { policy, ..Default::default() };
+                let r = run(program, edb, &opts)
+                    .unwrap_or_else(|e| panic!("{engine_name}/{config} failed: {e:?}"));
+                (config, tuple_set(r.idb.get(head).expect("head relation")))
+            })
+            .collect();
+        let (reference_name, reference) = &results[0];
+        for (config, set) in &results[1..] {
+            assert_eq!(
+                reference, set,
+                "{engine_name}: {reference_name} and {config} joins diverged"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dense_multiway_fixpoint_matches_binary_and_exhaustive(edges in edge_list()) {
+        assert_multiway_invisible(
+            &path3_program::<cql_dense::Dense>(),
+            &dense_edge_db(&edges),
+            "T",
+        );
+    }
+
+    #[test]
+    fn equality_multiway_fixpoint_matches_binary_and_exhaustive(edges in edge_list()) {
+        assert_multiway_invisible(
+            &path3_program::<cql_equality::Equality>(),
+            &eq_edge_db(&edges),
+            "T",
+        );
+    }
+
+    /// The cell-based Herbrand engine never touches `fire_rule`, which
+    /// makes it an independent oracle: the multiway symbolic fixpoint
+    /// must agree with it pointwise on the integer grid.
+    #[test]
+    fn dense_multiway_matches_herbrand_cells(edges in edge_list()) {
+        let program = path3_program::<cql_dense::Dense>();
+        let edb = dense_edge_db(&edges);
+        let opts = FixpointOptions::default();
+        let symbolic = datalog::naive(&program, &edb, &opts).expect("symbolic fixpoint");
+        let cells = datalog::cell_naive(&program, &edb, &opts).expect("cell fixpoint");
+        let t = symbolic.idb.get("T").expect("T");
+        let tc = cells.idb.get("T").expect("T");
+        for a in 0..6i64 {
+            for b in 0..6i64 {
+                let p = [Rat::from(a), Rat::from(b)];
+                prop_assert_eq!(t.satisfied_by(&p), tc.satisfied_by(&p), "at ({},{})", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn equality_multiway_matches_herbrand_cells(edges in edge_list()) {
+        let program = path3_program::<cql_equality::Equality>();
+        let edb = eq_edge_db(&edges);
+        let opts = FixpointOptions::default();
+        let symbolic = datalog::naive(&program, &edb, &opts).expect("symbolic fixpoint");
+        let cells = datalog::cell_naive(&program, &edb, &opts).expect("cell fixpoint");
+        let t = symbolic.idb.get("T").expect("T");
+        let tc = cells.idb.get("T").expect("T");
+        for a in 0..6i64 {
+            for b in 0..6i64 {
+                prop_assert_eq!(t.satisfied_by(&[a, b]), tc.satisfied_by(&[a, b]), "at ({},{})", a, b);
+            }
+        }
+    }
+
+    /// Recursive polynomial Datalog need not close (Example 1.12), so the
+    /// polynomial theory is covered by a non-recursive multi-atom join.
+    #[test]
+    fn poly_multiway_join_matches_binary_and_exhaustive(
+        a in poly_relation(),
+        b in poly_relation(),
+    ) {
+        let mut edb = Database::new();
+        edb.insert("A", GenRelation::<cql_poly::RealPoly>::from_conjunctions(3, a));
+        edb.insert("B", GenRelation::from_conjunctions(3, b));
+        let program: Program<cql_poly::RealPoly> = Program::new(vec![Rule::new(
+            Atom::new("H", vec![0, 4]),
+            vec![
+                Literal::Pos(Atom::new("A", vec![0, 1, 2])),
+                Literal::Pos(Atom::new("B", vec![2, 3, 4])),
+            ],
+        )]);
+        assert_multiway_invisible(&program, &edb, "H");
+    }
+
+    /// Boolean summaries carry no interval ranges, so every trie level
+    /// degenerates to its catch-all bucket — this pins that the multiway
+    /// path stays sound (and exact) when level pruning has nothing to
+    /// offer.
+    #[test]
+    fn bool_multiway_join_matches_binary_and_exhaustive(
+        a in bool_relation(),
+        b in bool_relation(),
+    ) {
+        let mut edb = Database::new();
+        edb.insert("A", GenRelation::<cql_bool::BoolAlg>::from_conjunctions(3, a));
+        edb.insert("B", GenRelation::from_conjunctions(3, b));
+        let program: Program<cql_bool::BoolAlg> = Program::new(vec![Rule::new(
+            Atom::new("H", vec![0, 4]),
+            vec![
+                Literal::Pos(Atom::new("A", vec![0, 1, 2])),
+                Literal::Pos(Atom::new("B", vec![2, 3, 4])),
+            ],
+        )]);
+        assert_multiway_invisible(&program, &edb, "H");
+    }
 }

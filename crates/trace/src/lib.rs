@@ -10,7 +10,7 @@
 //!   and per-operator timings. Per-query, nestable, merge-on-drop;
 //!   exact under any executor width (the engine's executor installs the
 //!   scope on every worker). Replaces the racy process-global atomics
-//!   that `cql_core::metrics` used to be.
+//!   the core crate's old `metrics` module used to be.
 //! * [`span()`]/[`SpanGuard`]/[`TraceSession`] — span-based tracing of
 //!   calculus disjuncts, algebra operators, fixpoint rounds, QE calls,
 //!   executor batches and interner epochs. Behind the `trace` cargo
@@ -39,7 +39,7 @@ pub mod scope;
 pub mod span;
 
 pub use json::Json;
-pub use report::{EvalReport, OperatorStats, RoundStats};
+pub use report::{EvalReport, OperatorStats, PlanStats, RoundStats};
 pub use scope::{
     count, current_handle, op_timed, qe_timed, root_reset, root_snapshot, Counter, MetricsScope,
     MetricsSnapshot, OpAgg, ScopeHandle, COUNTERS,

@@ -40,6 +40,12 @@ pub struct RoundStats {
     /// Quantifier eliminations served from the QE memo cache this round
     /// (these never reach the solver, so they are not in `qe_calls`).
     pub qe_cache_hits: u64,
+    /// Candidate bindings the multiway join's backtracking search
+    /// examined against summary levels this round.
+    pub multiway_probes: u64,
+    /// Full body combinations that survived every summary level and were
+    /// handed to the solver this round.
+    pub multiway_survivors: u64,
     /// Round wall time, nanoseconds.
     pub wall_ns: u64,
 }
@@ -57,6 +63,8 @@ impl RoundStats {
             .field("prune_candidates", self.prune_candidates)
             .field("prune_survivors", self.prune_survivors)
             .field("qe_cache_hits", self.qe_cache_hits)
+            .field("multiway_probes", self.multiway_probes)
+            .field("multiway_survivors", self.multiway_survivors)
             .field("wall_ns", self.wall_ns)
     }
 
@@ -64,6 +72,9 @@ impl RoundStats {
         let get = |key: &str| {
             v.get(key).and_then(Json::as_u64).ok_or_else(|| format!("round missing \"{key}\""))
         };
+        // Fields introduced after the first snapshot format default to 0
+        // so older committed reports still parse.
+        let opt = |key: &str| v.get(key).and_then(Json::as_u64).unwrap_or(0);
         Ok(RoundStats {
             round: get("round")?,
             produced: get("produced")?,
@@ -75,7 +86,63 @@ impl RoundStats {
             prune_candidates: get("prune_candidates")?,
             prune_survivors: get("prune_survivors")?,
             qe_cache_hits: get("qe_cache_hits")?,
+            multiway_probes: opt("multiway_probes"),
+            multiway_survivors: opt("multiway_survivors"),
             wall_ns: get("wall_ns")?,
+        })
+    }
+}
+
+/// Per-rule multiway join-plan telemetry: the variable elimination order
+/// the planner chose, and how selective the leapfrog intersection was
+/// over the whole evaluation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// The rule, rendered as Datalog text.
+    pub rule: String,
+    /// Chosen variable elimination order (rule-variable indices).
+    pub var_order: Vec<u64>,
+    /// Relational body atoms participating in the multiway join.
+    pub atoms: u64,
+    /// Candidate bindings examined against this rule's summary levels.
+    pub probes: u64,
+    /// Full combinations that survived every level (solver calls).
+    pub survivors: u64,
+}
+
+impl PlanStats {
+    /// Render as a JSON object (one entry of the report's `plans` array).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("rule", self.rule.as_str())
+            .field("var_order", Json::Arr(self.var_order.iter().map(|&v| Json::from(v)).collect()))
+            .field("atoms", self.atoms)
+            .field("probes", self.probes)
+            .field("survivors", self.survivors)
+    }
+
+    /// Parse one `plans` entry.
+    ///
+    /// # Errors
+    /// Describes the missing or mistyped field.
+    pub fn from_json(v: &Json) -> Result<PlanStats, String> {
+        let get = |key: &str| {
+            v.get(key).and_then(Json::as_u64).ok_or_else(|| format!("plan missing \"{key}\""))
+        };
+        let var_order = v
+            .get("var_order")
+            .and_then(Json::as_arr)
+            .ok_or("plan missing \"var_order\"")?
+            .iter()
+            .map(|j| j.as_u64().ok_or_else(|| "plan var_order entry not a number".to_string()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(PlanStats {
+            rule: v.get("rule").and_then(Json::as_str).ok_or("plan missing \"rule\"")?.to_string(),
+            var_order,
+            atoms: get("atoms")?,
+            probes: get("probes")?,
+            survivors: get("survivors")?,
         })
     }
 }
@@ -102,6 +169,9 @@ pub struct EvalReport {
     pub threads: u64,
     /// Fixpoint rounds (empty for non-fixpoint evaluations).
     pub rounds: Vec<RoundStats>,
+    /// Per-rule multiway join plans (empty when the multiway path was
+    /// off or no rule had ≥2 relational body atoms).
+    pub plans: Vec<PlanStats>,
     /// Per-operator inclusive timings.
     pub operators: Vec<OperatorStats>,
     /// Counter totals of the evaluation's scope, as `(name, value)` rows.
@@ -140,11 +210,19 @@ impl EvalReport {
             theory: theory.to_string(),
             threads: threads as u64,
             rounds,
+            plans: Vec::new(),
             operators,
             totals,
             result_tuples,
             wall_ns,
         }
+    }
+
+    /// This report with per-rule join-plan telemetry attached.
+    #[must_use]
+    pub fn with_plans(mut self, plans: Vec<PlanStats>) -> EvalReport {
+        self.plans = plans;
+        self
     }
 
     /// How effective subsumption was: rejected / produced, in `[0, 1]`.
@@ -172,6 +250,7 @@ impl EvalReport {
             .field("theory", self.theory.as_str())
             .field("threads", self.threads)
             .field("rounds", Json::Arr(self.rounds.iter().map(RoundStats::to_json).collect()))
+            .field("plans", Json::Arr(self.plans.iter().map(PlanStats::to_json).collect()))
             .field(
                 "operators",
                 Json::Arr(
@@ -213,6 +292,11 @@ impl EvalReport {
             .iter()
             .map(RoundStats::from_json)
             .collect::<Result<Vec<_>, _>>()?;
+        // Reports written before join-plan telemetry have no "plans" key.
+        let plans = match v.get("plans").and_then(Json::as_arr) {
+            Some(arr) => arr.iter().map(PlanStats::from_json).collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+        };
         let operators = v
             .get("operators")
             .and_then(Json::as_arr)
@@ -247,6 +331,7 @@ impl EvalReport {
             theory: str_field("theory")?,
             threads: num_field("threads")?,
             rounds,
+            plans,
             operators,
             totals,
             result_tuples: num_field("result_tuples")?,
@@ -270,7 +355,7 @@ impl EvalReport {
         ));
         if !self.rounds.is_empty() {
             out.push_str(&format!(
-                "{:>6} {:>10} {:>8} {:>10} {:>16} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                "{:>6} {:>10} {:>8} {:>10} {:>16} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
                 "round",
                 "produced",
                 "delta",
@@ -280,11 +365,13 @@ impl EvalReport {
                 "qe time",
                 "pruned",
                 "qe hits",
+                "mw probes",
+                "mw surv",
                 "wall"
             ));
             for r in &self.rounds {
                 out.push_str(&format!(
-                    "{:>6} {:>10} {:>8} {:>10} {:>16} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                    "{:>6} {:>10} {:>8} {:>10} {:>16} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
                     r.round,
                     r.produced,
                     r.delta,
@@ -294,6 +381,8 @@ impl EvalReport {
                     ms(r.qe_ns),
                     r.prune_candidates.saturating_sub(r.prune_survivors),
                     r.qe_cache_hits,
+                    r.multiway_probes,
+                    r.multiway_survivors,
                     ms(r.wall_ns)
                 ));
             }
@@ -301,6 +390,17 @@ impl EvalReport {
                 "subsumption effectiveness: {:.1}% of produced tuples rejected\n",
                 100.0 * self.subsumption_effectiveness()
             ));
+        }
+        if !self.plans.is_empty() {
+            out.push_str("join plans (multiway):\n");
+            for p in &self.plans {
+                let order =
+                    p.var_order.iter().map(|v| format!("x{v}")).collect::<Vec<_>>().join(" ");
+                out.push_str(&format!(
+                    "  {} | order [{}] atoms={} probes={} survivors={}\n",
+                    p.rule, order, p.atoms, p.probes, p.survivors
+                ));
+            }
         }
         if !self.operators.is_empty() {
             out.push_str(&format!("{:>24} {:>10} {:>12}\n", "operator", "calls", "incl time"));
@@ -349,6 +449,8 @@ mod tests {
                     prune_candidates: 64,
                     prune_survivors: 64,
                     qe_cache_hits: 0,
+                    multiway_probes: 0,
+                    multiway_survivors: 0,
                     wall_ns: 1_200_000,
                 },
                 RoundStats {
@@ -362,9 +464,18 @@ mod tests {
                     prune_candidates: 4096,
                     prune_survivors: 128,
                     qe_cache_hits: 12,
+                    multiway_probes: 512,
+                    multiway_survivors: 96,
                     wall_ns: 2_000_000,
                 },
             ],
+            plans: vec![PlanStats {
+                rule: "T(x0,x2) :- T(x0,x1), E(x1,x2)".into(),
+                var_order: vec![1, 0, 2],
+                atoms: 2,
+                probes: 512,
+                survivors: 96,
+            }],
             operators: vec![OperatorStats { name: "qe.dense".into(), calls: 63, nanos: 400_000 }],
             totals: vec![("entailment_checks".into(), 50), ("tuples_inserted".into(), 127)],
             result_tuples: 127,
@@ -386,5 +497,33 @@ mod tests {
         assert!(text.contains("round"));
         assert!(text.contains("subsumption effectiveness"));
         assert!(text.contains("qe.dense"));
+    }
+
+    #[test]
+    fn text_render_shows_plan_variable_order() {
+        let text = sample().render_text();
+        assert!(text.contains("join plans (multiway):"));
+        assert!(text.contains("order [x1 x0 x2]"));
+        assert!(text.contains("probes=512"));
+        assert!(text.contains("survivors=96"));
+    }
+
+    #[test]
+    fn plan_free_json_still_parses() {
+        // Reports written before join-plan telemetry: no "plans" key, no
+        // multiway round fields.
+        let mut report = sample();
+        report.plans.clear();
+        for r in &mut report.rounds {
+            r.multiway_probes = 0;
+            r.multiway_survivors = 0;
+        }
+        let mut json = report.to_json();
+        if let Json::Obj(fields) = &mut json {
+            fields.retain(|(name, _)| name != "plans");
+        }
+        let text = json.pretty();
+        let back = EvalReport::from_json(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, report);
     }
 }

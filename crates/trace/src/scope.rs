@@ -1,9 +1,9 @@
 //! Scoped, thread-aggregated evaluation metrics.
 //!
-//! The previous design kept five process-global atomics
-//! (`cql_core::metrics`): correct for a single benchmark loop, racy and
-//! meaningless the moment two tests — or two queries — run concurrently.
-//! A [`MetricsScope`] replaces them:
+//! The previous design kept five process-global atomics (a `metrics`
+//! module in the core crate, since removed): correct for a single
+//! benchmark loop, racy and meaningless the moment two tests — or two
+//! queries — run concurrently. A [`MetricsScope`] replaces them:
 //!
 //! * **per-query** — a scope is opened around one evaluation and sees
 //!   only the work done under it;
@@ -64,9 +64,21 @@ pub enum Counter {
     /// Quantifier eliminations served from the engine's QE memo cache
     /// (no solver call, no `QeCalls` bump).
     QeCacheHits,
+    /// Candidate bindings examined by the multiway join's leapfrog
+    /// backtracking search (one per summary-level probe at any depth).
+    MultiwayProbes,
+    /// Full body-atom combinations that survived every summary level and
+    /// were handed to the solver for canonicalization.
+    MultiwaySurvivors,
+    /// Rule firings that reused a cached `JoinPlan` (variable order +
+    /// atom order) instead of re-planning.
+    PlanCacheHits,
+    /// Summary-index / summary-level builds avoided because the source
+    /// relation's content version was unchanged since the cached build.
+    SummaryIndexReuses,
 }
 
-const N_COUNTERS: usize = 14;
+const N_COUNTERS: usize = 18;
 
 /// All [`Counter`] variants, in order (for generic reporting loops).
 pub const COUNTERS: [Counter; N_COUNTERS] = [
@@ -84,6 +96,10 @@ pub const COUNTERS: [Counter; N_COUNTERS] = [
     Counter::PruneCandidates,
     Counter::PruneSurvivors,
     Counter::QeCacheHits,
+    Counter::MultiwayProbes,
+    Counter::MultiwaySurvivors,
+    Counter::PlanCacheHits,
+    Counter::SummaryIndexReuses,
 ];
 
 impl Counter {
@@ -105,6 +121,10 @@ impl Counter {
             Counter::PruneCandidates => "prune_candidates",
             Counter::PruneSurvivors => "prune_survivors",
             Counter::QeCacheHits => "qe_cache_hits",
+            Counter::MultiwayProbes => "multiway_probes",
+            Counter::MultiwaySurvivors => "multiway_survivors",
+            Counter::PlanCacheHits => "plan_cache_hits",
+            Counter::SummaryIndexReuses => "summary_index_reuses",
         }
     }
 }
@@ -341,24 +361,9 @@ thread_local! {
     static STACK: RefCell<Vec<ScopeHandle>> = const { RefCell::new(Vec::new()) };
 }
 
-static ROOT: CounterSet = CounterSet {
-    cells: [
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-    ],
-};
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO_CELL: AtomicU64 = AtomicU64::new(0);
+static ROOT: CounterSet = CounterSet { cells: [ZERO_CELL; N_COUNTERS] };
 static ROOT_OPS: Mutex<BTreeMap<&'static str, OpAgg>> = Mutex::new(BTreeMap::new());
 
 /// The current thread's innermost scope, if any.

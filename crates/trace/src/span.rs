@@ -18,7 +18,9 @@
 //! `op` (algebra operators, calculus nodes, QE calls), `engine`
 //! (executor batches, interner and QE-cache epochs, summary-index
 //! builds — `summary_index.build` spans carry `pruned`/`survivors`
-//! args, and `qe_cache.epoch` instants mark cache clears).
+//! args, and `qe_cache.epoch` instants mark cache clears; multiway rule
+//! joins add `join_plan.build` spans carrying the chosen `var_order`
+//! and `multiway.join` spans carrying `probes`/`survivors` args).
 
 use crate::json::Json;
 use std::time::{Duration, Instant};
