@@ -796,6 +796,155 @@ fn multiway(em: &mut Emitter) -> (bool, f64) {
     (byte_identical, reduction)
 }
 
+/// E18 — incremental view maintenance vs full re-evaluation. Returns
+/// `(byte_identical, solver_reduction, wall_reduction)` (the per-update
+/// maintenance cost of the view vs a from-scratch semi-naive run, in
+/// solver-visible calls — QE + entailment — and wall time). The
+/// selfcheck enforces `byte_identical && both reductions >= 10`.
+fn incremental(em: &mut Emitter) -> (bool, f64, f64) {
+    use cql_core::{Database, GenRelation, GenTuple};
+    use cql_dense::DenseConstraint;
+    use cql_engine::MaterializedView;
+    em.section("e18", "incremental maintenance: MaterializedView vs semi-naive re-run");
+    em.note("TC over the 48-edge dense chain (2^10-scale: 1176 closure tuples),");
+    em.note("then a stream of 8 single-edge updates (pendant inserts/retracts at");
+    em.note("both ends, including retract-then-reinsert). A/B per update —");
+    em.note("'incremental' adjusts support counts and fires delta-restricted");
+    em.note("rules (counting/DRed over the multiway plans); 'rerun' re-runs");
+    em.note("semi-naive from scratch on the updated EDB. The maintained closure");
+    em.note("must render byte-identical to the re-run after every update.");
+    em.note("Costs are maintenance-only: reading the view re-compresses changed");
+    em.note("predicates into antichain form, an O(|T|) pass amortized over any");
+    em.note("batch of updates (run here after every update for the comparison,");
+    em.note("outside the timed region).\n");
+
+    let n = 48i64;
+    let program = tc_program_dense();
+    let opts = FixpointOptions::default();
+    let edge = |a: i64, b: i64| {
+        GenTuple::<Dense>::new(vec![
+            DenseConstraint::eq_const(0, a),
+            DenseConstraint::eq_const(1, b),
+        ])
+        .unwrap()
+    };
+    let render = |rel: Option<&GenRelation<Dense>>| {
+        let mut lines: Vec<String> =
+            rel.map_or(&[][..], GenRelation::tuples).iter().map(ToString::to_string).collect();
+        lines.sort_unstable();
+        lines.join("\n")
+    };
+    let (mut view, d_build) =
+        timed(|| MaterializedView::new(program.clone(), &chain_edb_dense(n), opts).unwrap());
+    em.note(&format!("view construction (initial fixpoint): {}", ms(d_build)));
+    em.datum("construction_ms", ms_f(d_build));
+
+    // The asserted-edge mirror the from-scratch runs see.
+    let mut edges: Vec<(i64, i64)> = (0..n).map(|i| (i, i + 1)).collect();
+    let script: [(bool, i64, i64); 8] = [
+        (true, n, n + 1),
+        (false, n, n + 1),
+        (true, -1, 0),
+        (false, -1, 0),
+        (true, n, n + 1),
+        (true, n + 1, n + 2),
+        (false, n + 1, n + 2),
+        (false, n, n + 1),
+    ];
+
+    let mut rows = Vec::new();
+    let mut byte_identical = true;
+    let (mut solver_inc, mut solver_rerun) = (0u64, 0u64);
+    let (mut wall_inc, mut wall_rerun) = (Duration::ZERO, Duration::ZERO);
+    for &(insert, a, b) in &script {
+        let t = edge(a, b);
+        let (stats, d_inc, m_inc) = {
+            let scope = MetricsScope::enter("e18.incremental");
+            let (stats, d) = timed(|| {
+                if insert {
+                    view.insert("E", t.clone()).unwrap()
+                } else {
+                    view.retract("E", &t).unwrap()
+                }
+            });
+            (stats, d, scope.snapshot())
+        };
+        if insert {
+            edges.push((a, b));
+        } else {
+            edges.retain(|&e| e != (a, b));
+        }
+        let mut db = Database::new();
+        db.insert(
+            "E",
+            GenRelation::from_conjunctions(
+                2,
+                edges.iter().map(|&(x, y)| {
+                    vec![DenseConstraint::eq_const(0, x), DenseConstraint::eq_const(1, y)]
+                }),
+            ),
+        );
+        let (full, d_full, m_full) = {
+            let scope = MetricsScope::enter("e18.rerun");
+            let (full, d) = timed(|| datalog::seminaive(&program, &db, &opts).unwrap());
+            (full, d, scope.snapshot())
+        };
+        byte_identical &= render(view.current().get("T")) == render(full.idb.get("T"));
+        let s_inc = m_inc.get(Counter::QeCalls) + m_inc.get(Counter::EntailmentChecks);
+        let s_full = m_full.get(Counter::QeCalls) + m_full.get(Counter::EntailmentChecks);
+        solver_inc += s_inc;
+        solver_rerun += s_full;
+        wall_inc += d_inc;
+        wall_rerun += d_full;
+        rows.push(vec![
+            Json::from(if insert { "insert" } else { "retract" }),
+            Json::from(format!("E({a},{b})")),
+            Json::from(stats.delta_rounds),
+            Json::from(stats.rederivations),
+            Json::from(stats.support_adjust),
+            Json::from(s_inc),
+            Json::from(s_full),
+            Json::from(ms_f(d_inc)),
+            Json::from(ms_f(d_full)),
+        ]);
+    }
+    em.table(
+        "rows",
+        &[
+            "op",
+            "edge",
+            "rounds",
+            "rederive",
+            "support",
+            "solver inc",
+            "solver rerun",
+            "inc ms",
+            "rerun ms",
+        ],
+        &rows,
+    );
+    let solver_reduction =
+        ((solver_rerun as f64 / (solver_inc as f64).max(1.0)) * 100.0).round() / 100.0;
+    let wall_reduction =
+        ((wall_rerun.as_secs_f64() / wall_inc.as_secs_f64().max(1e-9)) * 100.0).round() / 100.0;
+    em.note(&format!(
+        "\nbyte-identical results: {byte_identical} | solver-visible work \
+         (QE + entailment): {solver_inc} incremental vs {solver_rerun} re-run — \
+         {solver_reduction:.2}x reduction | wall {wall_reduction:.2}x (targets ≥ 10x)"
+    ));
+    em.datum("byte_identical", byte_identical);
+    em.datum("solver_calls_incremental", solver_inc);
+    em.datum("solver_calls_rerun", solver_rerun);
+    em.datum("solver_reduction", solver_reduction);
+    em.datum("wall_reduction", wall_reduction);
+    // The per-update EXPLAIN rows, exactly as EvalReport embeds them.
+    em.datum(
+        "updates",
+        Json::Arr(view.take_updates().iter().map(cql_trace::UpdateStats::to_json).collect()),
+    );
+    (byte_identical, solver_reduction, wall_reduction)
+}
+
 /// A1/A2 — evaluation ablations.
 fn ablation(em: &mut Emitter) {
     em.section("a1", "ablation: symbolic QE vs cell-based EVAL_φ (dense order)");
@@ -864,9 +1013,9 @@ fn representation(em: &mut Emitter) {
 const TRACE_PATH: &str = "target/repro-trace.json";
 
 const USAGE: &str = "usage: repro [--json] [--trace] [--selfcheck] [ids...|all]
-ids: f1 t1 f2 f3 e4..e17 a1 a2 a3 (or legacy names: fig1 table1 fig2 fig3
+ids: f1 t1 f2 f3 e4..e18 a1 a2 a3 (or legacy names: fig1 table1 fig2 fig3
 containment hull voronoi datalog equality boolean qbf index engine
-overhead filtering multiway ablation); e1/e2/e3 alias f1/t1/f2";
+overhead filtering multiway incremental ablation); e1/e2/e3 alias f1/t1/f2";
 
 fn main() {
     let mut json = false;
@@ -897,6 +1046,7 @@ fn main() {
     let mut e13_report = None;
     let mut e16_stats = None;
     let mut e17_stats = None;
+    let mut e18_stats = None;
 
     if want(&["f1", "fig1", "e1"]) {
         fig1(&mut em);
@@ -949,6 +1099,9 @@ fn main() {
     if want(&["e17", "multiway"]) {
         e17_stats = Some(multiway(&mut em));
     }
+    if want(&["e18", "incremental"]) {
+        e18_stats = Some(incremental(&mut em));
+    }
     if want(&["a1", "a2", "ablation"]) {
         ablation(&mut em);
     }
@@ -981,7 +1134,14 @@ fn main() {
     let doc = em.finish();
 
     if selfcheck {
-        match run_selfcheck(&doc, e13_report.as_ref(), e16_stats, e17_stats, trace_written) {
+        match run_selfcheck(
+            &doc,
+            e13_report.as_ref(),
+            e16_stats,
+            e17_stats,
+            e18_stats,
+            trace_written,
+        ) {
             Ok(summary) => eprintln!("selfcheck: ok ({summary})"),
             Err(e) => {
                 eprintln!("selfcheck: FAILED: {e}");
@@ -996,13 +1156,16 @@ fn main() {
 /// the E13 EXPLAIN report deserializes with non-empty rounds, the E16
 /// filtering A/B preserved results and hit its ≥2x solver-work target,
 /// the E17 multiway A/B produced byte-identical results with ≥2x fewer
-/// solver-visible calls, and the chrome-trace file parses with strictly
-/// nested spans per thread.
+/// solver-visible calls, the E18 incremental A/B maintained the view
+/// byte-identically at ≥10x less per-update work (solver calls and wall
+/// time), and the chrome-trace file parses with strictly nested spans
+/// per thread.
 fn run_selfcheck(
     doc: &Json,
     e13: Option<&EvalReport>,
     e16: Option<(bool, f64)>,
     e17: Option<(bool, f64)>,
+    e18: Option<(bool, f64, f64)>,
     trace_written: bool,
 ) -> Result<String, String> {
     let mut checks = Vec::new();
@@ -1043,6 +1206,25 @@ fn run_selfcheck(
             return Err(format!("E17: solver-call reduction {reduction:.2}x below the 2x target"));
         }
         checks.push(format!("e17 multiway ({reduction:.2}x)"));
+    }
+
+    if let Some((byte_identical, solver_reduction, wall_reduction)) = e18 {
+        if !byte_identical {
+            return Err("E18: incremental maintenance diverged from the re-run".into());
+        }
+        if solver_reduction < 10.0 {
+            return Err(format!(
+                "E18: per-update solver-call reduction {solver_reduction:.2}x below the 10x target"
+            ));
+        }
+        if wall_reduction < 10.0 {
+            return Err(format!(
+                "E18: per-update wall-time reduction {wall_reduction:.2}x below the 10x target"
+            ));
+        }
+        checks.push(format!(
+            "e18 incremental ({solver_reduction:.2}x solver, {wall_reduction:.2}x wall)"
+        ));
     }
 
     if trace_written {

@@ -1,0 +1,59 @@
+//! Committed benchmark snapshots (`BENCH_*.json` at the repository
+//! root) must stay loadable: each parses with the same JSON reader the
+//! emitter round-trips through, carries a non-empty `experiments`
+//! array, and no experiment id repeats — within a snapshot or across
+//! snapshots (each PR's snapshot captures a distinct experiment).
+
+use cql_trace::{json, Json};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn snapshots() -> Vec<(String, Json)> {
+    let mut found = Vec::new();
+    for entry in std::fs::read_dir(repo_root()).expect("repo root") {
+        let entry = entry.expect("dir entry");
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with("BENCH_") && name.ends_with(".json") {
+            let text = std::fs::read_to_string(entry.path())
+                .unwrap_or_else(|e| panic!("read {name}: {e}"));
+            let doc = json::parse(&text).unwrap_or_else(|e| panic!("{name} does not parse: {e}"));
+            found.push((name, doc));
+        }
+    }
+    found.sort_by(|a, b| a.0.cmp(&b.0));
+    found
+}
+
+#[test]
+fn committed_snapshots_parse_with_unique_experiment_ids() {
+    let snapshots = snapshots();
+    assert!(!snapshots.is_empty(), "no BENCH_*.json snapshots at the repo root");
+    // id → snapshot file, to report collisions precisely.
+    let mut seen: BTreeMap<String, String> = BTreeMap::new();
+    for (file, doc) in snapshots {
+        let Json::Obj(fields) = &doc else { panic!("{file}: top level is not an object") };
+        let experiments = fields
+            .iter()
+            .find(|(k, _)| k == "experiments")
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("{file}: missing `experiments`"));
+        let Json::Arr(experiments) = experiments else {
+            panic!("{file}: `experiments` is not an array")
+        };
+        assert!(!experiments.is_empty(), "{file}: empty `experiments`");
+        for exp in experiments {
+            let Json::Obj(exp) = exp else { panic!("{file}: experiment is not an object") };
+            let id = match exp.iter().find(|(k, _)| k == "id") {
+                Some((_, Json::Str(id))) if !id.is_empty() => id.clone(),
+                _ => panic!("{file}: experiment without a non-empty string `id`"),
+            };
+            if let Some(other) = seen.insert(id.clone(), file.clone()) {
+                panic!("experiment id `{id}` appears in both {other} and {file}");
+            }
+        }
+    }
+}

@@ -460,6 +460,32 @@ impl<T: Theory> GenRelation<T> {
         self.tuples.push(tuple);
     }
 
+    /// Is this exact canonical tuple stored in the representation?
+    /// (Syntactic membership, not point-set containment.)
+    #[must_use]
+    pub fn contains(&self, tuple: &GenTuple<T>) -> bool {
+        self.seen.contains(&tuple_hash(tuple)) && self.tuples.contains(tuple)
+    }
+
+    /// Remove one exact stored tuple. Returns `true` if it was present
+    /// (and bumps the content version); `false` leaves the relation — and
+    /// its version — untouched. Removal is syntactic: the point set may
+    /// grow back via other stored tuples, and any tuples this one evicted
+    /// at insert time do **not** reappear (callers that need exact
+    /// retraction semantics must rebuild from their own ledger).
+    pub fn remove(&mut self, tuple: &GenTuple<T>) -> bool {
+        if !self.seen.contains(&tuple_hash(tuple)) {
+            return false;
+        }
+        match self.tuples.iter().position(|t| t == tuple) {
+            Some(i) => {
+                self.remove_indices(&[i]);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Does the point belong to the represented unrestricted relation?
     #[must_use]
     pub fn satisfied_by(&self, point: &[T::Value]) -> bool {

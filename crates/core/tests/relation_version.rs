@@ -1,0 +1,204 @@
+//! Regression tests for `GenRelation::version()`: every mutation path
+//! must assign a fresh version, and every non-mutation must keep it.
+//!
+//! PR 4's `PlanCache` keys renamed tuples and summary tries by
+//! `(version, atom vars)` — a missed bump would silently serve a stale
+//! `SummaryTrie` for the mutated relation. These tests enumerate the
+//! mutation paths (plain insert, evicting insert, removal) and the
+//! non-mutations (duplicate insert, subsumed insert, failed removal,
+//! clone) against a minimal point-equality theory.
+
+use cql_core::error::Result;
+use cql_core::relation::{GenRelation, GenTuple};
+use cql_core::summary::NoSummary;
+use cql_core::theory::{Theory, Var};
+use std::fmt;
+
+/// `x_v = c` over the integers: the smallest constraint language with a
+/// non-trivial entailment order (more constraints = fewer points), enough
+/// to drive subsumption, eviction and the signature buckets.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct VarEq {
+    var: Var,
+    value: i64,
+}
+
+impl fmt::Display for VarEq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{} = {}", self.var, self.value)
+    }
+}
+
+struct PointEq;
+
+impl Theory for PointEq {
+    type Constraint = VarEq;
+    type Value = i64;
+    type Summary = NoSummary;
+
+    fn name() -> &'static str {
+        "point equality (test)"
+    }
+
+    fn summary(_conj: &[VarEq]) -> NoSummary {
+        NoSummary
+    }
+
+    fn canonicalize(conj: &[VarEq]) -> Option<Vec<VarEq>> {
+        let mut out = conj.to_vec();
+        out.sort_unstable_by_key(|c| (c.var, c.value));
+        out.dedup();
+        for w in out.windows(2) {
+            if w[0].var == w[1].var {
+                return None; // two distinct constants for one variable
+            }
+        }
+        Some(out)
+    }
+
+    fn eliminate(conj: &[VarEq], var: Var) -> Result<Vec<Vec<VarEq>>> {
+        Ok(vec![conj.iter().copied().filter(|c| c.var != var).collect()])
+    }
+
+    fn negate(_c: &VarEq) -> Vec<VarEq> {
+        unimplemented!("negation is not used by these tests")
+    }
+
+    fn var_eq(_a: Var, _b: Var) -> VarEq {
+        unimplemented!("variable equality is not used by these tests")
+    }
+
+    fn var_const_eq(v: Var, value: &i64) -> VarEq {
+        VarEq { var: v, value: *value }
+    }
+
+    fn eval(c: &VarEq, point: &[i64]) -> bool {
+        point[c.var] == c.value
+    }
+
+    fn rename(c: &VarEq, map: &dyn Fn(Var) -> Var) -> VarEq {
+        VarEq { var: map(c.var), value: c.value }
+    }
+
+    fn vars(c: &VarEq) -> Vec<Var> {
+        vec![c.var]
+    }
+
+    fn constants(c: &VarEq) -> Vec<i64> {
+        vec![c.value]
+    }
+
+    // points(a) ⊆ points(b) iff b's constraints are a subset of a's.
+    fn entails(a: &[VarEq], b: &[VarEq]) -> bool {
+        match (Self::canonicalize(a), Self::canonicalize(b)) {
+            (Some(ca), Some(cb)) => cb.iter().all(|c| ca.contains(c)),
+            _ => false,
+        }
+    }
+
+    fn sample(conj: &[VarEq], arity: usize) -> Option<Vec<i64>> {
+        let mut point = vec![0i64; arity];
+        for c in conj {
+            point[c.var] = c.value;
+        }
+        Some(point)
+    }
+
+    fn signature(conj: &[VarEq]) -> u64 {
+        conj.iter().fold(0, |acc, c| acc | 1u64 << (c.var % 64))
+    }
+}
+
+fn tuple(constraints: &[(Var, i64)]) -> GenTuple<PointEq> {
+    GenTuple::new(constraints.iter().map(|&(var, value)| VarEq { var, value }).collect()).unwrap()
+}
+
+#[test]
+fn plain_insert_bumps_version() {
+    let mut rel: GenRelation<PointEq> = GenRelation::empty(2);
+    let v0 = rel.version();
+    assert!(rel.insert(tuple(&[(0, 1), (1, 2)])));
+    assert_ne!(rel.version(), v0);
+}
+
+#[test]
+fn duplicate_insert_keeps_version() {
+    let mut rel: GenRelation<PointEq> = GenRelation::empty(2);
+    rel.insert(tuple(&[(0, 1), (1, 2)]));
+    let v = rel.version();
+    assert!(!rel.insert(tuple(&[(0, 1), (1, 2)])));
+    assert_eq!(rel.version(), v);
+}
+
+#[test]
+fn subsumed_insert_keeps_version() {
+    let mut rel: GenRelation<PointEq> = GenRelation::empty(2);
+    rel.insert(tuple(&[(0, 1)])); // all points with x0 = 1
+    let v = rel.version();
+    // x0 = 1 ∧ x1 = 2 is a subset: rejected, no mutation.
+    assert!(!rel.insert(tuple(&[(0, 1), (1, 2)])));
+    assert_eq!(rel.version(), v);
+    assert_eq!(rel.len(), 1);
+}
+
+#[test]
+fn evicting_insert_bumps_version() {
+    let mut rel: GenRelation<PointEq> = GenRelation::empty(2);
+    rel.insert(tuple(&[(0, 1), (1, 2)]));
+    let v = rel.version();
+    // The more general tuple evicts the stored one — two mutations in
+    // one insert, still a fresh version.
+    assert!(rel.insert(tuple(&[(0, 1)])));
+    assert_ne!(rel.version(), v);
+    assert_eq!(rel.len(), 1);
+}
+
+#[test]
+fn remove_bumps_version_only_when_present() {
+    let mut rel: GenRelation<PointEq> = GenRelation::empty(2);
+    let t = tuple(&[(0, 1), (1, 2)]);
+    rel.insert(t.clone());
+    let v = rel.version();
+    assert!(!rel.remove(&tuple(&[(0, 7)])));
+    assert_eq!(rel.version(), v);
+    assert!(rel.remove(&t));
+    assert_ne!(rel.version(), v);
+    assert!(rel.is_empty());
+    assert!(!rel.remove(&t));
+}
+
+#[test]
+fn removed_tuple_can_be_reinserted() {
+    let mut rel: GenRelation<PointEq> = GenRelation::empty(2);
+    let t = tuple(&[(0, 1), (1, 2)]);
+    rel.insert(t.clone());
+    assert!(rel.remove(&t));
+    let v = rel.version();
+    // The duplicate-hash bookkeeping must forget removed tuples.
+    assert!(rel.insert(t.clone()));
+    assert_ne!(rel.version(), v);
+    assert!(rel.contains(&t));
+}
+
+#[test]
+fn clone_preserves_version_and_diverges_on_mutation() {
+    let mut rel: GenRelation<PointEq> = GenRelation::empty(2);
+    rel.insert(tuple(&[(0, 1)]));
+    let mut copy = rel.clone();
+    assert_eq!(rel.version(), copy.version());
+    copy.insert(tuple(&[(0, 2)]));
+    assert_ne!(rel.version(), copy.version());
+}
+
+#[test]
+fn equal_contents_built_separately_have_distinct_versions() {
+    // Versions are globally unique per mutation: equal versions must
+    // imply equal contents, but equal contents never force equal
+    // versions — two independently built relations always differ.
+    let mut a: GenRelation<PointEq> = GenRelation::empty(1);
+    let mut b: GenRelation<PointEq> = GenRelation::empty(1);
+    a.insert(tuple(&[(0, 3)]));
+    b.insert(tuple(&[(0, 3)]));
+    assert_eq!(a, b);
+    assert_ne!(a.version(), b.version());
+}

@@ -85,7 +85,9 @@ pub mod prelude {
         GenTuple, SubsumptionMode, Theory,
     };
     pub use cql_dense::{Dense, DenseConstraint, RConfig};
-    pub use cql_engine::datalog::{Atom, FixpointOptions, Literal, Program, Rule};
+    pub use cql_engine::datalog::{
+        Atom, FixpointOptions, Literal, MaterializedView, Program, Rule,
+    };
     pub use cql_engine::{algebra, calculus, cells, datalog, Engine, Executor};
     pub use cql_equality::{EConfig, EqConstraint, Equality};
     pub use cql_poly::{PolyConstraint, RealPoly};

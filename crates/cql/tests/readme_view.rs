@@ -1,0 +1,35 @@
+//! The README's `MaterializedView` quick-start, verbatim — if this test
+//! stops compiling or passing, the README is lying.
+
+use cql::prelude::*;
+
+#[test]
+fn readme_materialized_view_quickstart() {
+    // T = transitive closure of E, maintained incrementally.
+    let program: Program<Dense> = Program::new(vec![
+        Rule::new(Atom::new("T", vec![0, 1]), vec![Literal::Pos(Atom::new("E", vec![0, 1]))]),
+        Rule::new(
+            Atom::new("T", vec![0, 2]),
+            vec![
+                Literal::Pos(Atom::new("T", vec![0, 1])),
+                Literal::Pos(Atom::new("E", vec![1, 2])),
+            ],
+        ),
+    ]);
+    let edge = |a: i64, b: i64| {
+        GenTuple::new(vec![DenseConstraint::eq_const(0, a), DenseConstraint::eq_const(1, b)])
+            .unwrap()
+    };
+
+    let mut db: Database<Dense> = Database::new();
+    db.insert("E", GenRelation::from_conjunctions(2, vec![]));
+    let mut view = MaterializedView::new(program, &db, FixpointOptions::default()).unwrap();
+
+    view.insert("E", edge(0, 1)).unwrap();
+    let stats = view.insert("E", edge(1, 2)).unwrap(); // per-update EXPLAIN row
+    assert!(view.current().get("T").unwrap().satisfied_by(&[Rat::from(0), Rat::from(2)]));
+    assert!(stats.delta_rounds > 0);
+
+    view.retract("E", &edge(1, 2)).unwrap(); // over-delete + re-derive
+    assert!(!view.current().get("T").unwrap().satisfied_by(&[Rat::from(0), Rat::from(2)]));
+}

@@ -1,0 +1,667 @@
+//! Incremental view maintenance: a materialized Datalog fixpoint kept
+//! consistent under single-tuple EDB inserts and retracts.
+//!
+//! Every batch engine in [`super::symbolic`] pays a full fixpoint from
+//! scratch; a [`MaterializedView`] pays once at construction and then
+//! per-update work proportional to the *delta cone* — the derivations
+//! that actually mention the changed tuple. The algorithm is a
+//! counting/DRed hybrid adapted to generalized tuples:
+//!
+//! * **Support counts.** Per IDB predicate the view keeps a *derivation
+//!   store* — a [`SubsumptionMode::DedupOnly`] relation holding every
+//!   distinct derived tuple — plus a count per tuple of how many
+//!   derivations currently produce it. A derivation is one (rule,
+//!   satisfiable body combination, QE disjunct), enumerated by the
+//!   multiplicity-preserving `fire_rule_counted` of the symbolic module.
+//!   Storing *all* derived tuples (not just the subsumption-maximal
+//!   antichain) is what makes counting subsumption-aware: a derivation
+//!   whose premise is subsumed by a surviving tuple still counts,
+//!   because the subsumed premise is still in the store that rules fire
+//!   against. The exposed view is rebuilt lazily as the maximal
+//!   antichain of the store — identical to the batch engines' result,
+//!   since tuples derived from subsumed premises are entailed by the
+//!   tuples derived from their subsuming premises (the same
+//!   monotonicity that makes naive and seminaive byte-identical).
+//!
+//! * **Insertion** runs delta rounds with the inclusion–exclusion
+//!   discipline: in each round, one body position reads the delta,
+//!   positions before it read the post-delta stores, positions after it
+//!   read the pre-delta snapshot — so every derivation involving at
+//!   least one delta tuple is counted exactly once. Join plans and
+//!   per-atom summary tries come from the view's long-lived plan cache
+//!   (`datalog/plan.rs`), keyed by [`GenRelation::version`], so
+//!   unchanged relations are renamed and bucketed once across updates.
+//!
+//! * **Retraction** is DRed-style: an *over-deletion* phase removes the
+//!   whole cone (every tuple with any derivation mentioning a deleted
+//!   tuple, regardless of its residual count — this is what keeps
+//!   cyclically-supported tuples from surviving on counts that only
+//!   other deleted tuples justify), decrementing counts with the same
+//!   inclusion–exclusion enumeration; then a *re-derivation* phase
+//!   re-inserts over-deleted tuples whose residual count is positive
+//!   (they kept derivations from never-deleted premises) and propagates
+//!   them as ordinary insertions.
+//!
+//! Updates count [`Counter::DeltaRounds`], [`Counter::Rederivations`]
+//! and [`Counter::SupportAdjust`], run under `view.insert` /
+//! `view.retract` / `view.delta_round` / `view.rederive` spans, and
+//! each returns an [`UpdateStats`] EXPLAIN row (also kept in an
+//! internal log for report assembly).
+//!
+//! Restricted to positive programs: inflationary negation is
+//! non-monotone, so a retraction could *grow* the view and support
+//! counting does not apply.
+
+use crate::datalog::ast::{Literal, Program, Rule};
+use crate::datalog::plan::PlanCache;
+use crate::datalog::symbolic::{fire_rule_counted, FixpointOptions};
+use crate::Engine;
+use cql_core::error::{CqlError, Result};
+use cql_core::policy::{EnginePolicy, SubsumptionMode};
+use cql_core::relation::{Database, GenRelation, GenTuple};
+use cql_core::theory::Theory;
+use cql_trace::{count, span, Counter, MetricsScope, UpdateStats};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::time::Instant;
+
+/// Per-predicate batches of tuples entering (or leaving) the stores,
+/// in deterministic predicate order and stable discovery order.
+type Delta<T> = BTreeMap<String, Vec<GenTuple<T>>>;
+
+/// A Datalog program's IDB, materialized once and maintained under
+/// [`insert`](MaterializedView::insert) /
+/// [`retract`](MaterializedView::retract) without re-running the
+/// fixpoint. See the module docs for the algorithm.
+pub struct MaterializedView<T: Theory> {
+    program: Program<T>,
+    opts: FixpointOptions,
+    engine: Engine<T>,
+    arities: BTreeMap<String, usize>,
+    idb_preds: BTreeSet<String>,
+    /// Derivation stores: every asserted EDB tuple / every distinct
+    /// derived IDB tuple, dedup-only (no subsumption compression — the
+    /// stores are support-count keys, not the exposed result).
+    stores: BTreeMap<String, GenRelation<T>>,
+    /// Per IDB predicate: derivation count per stored tuple.
+    counts: BTreeMap<String, HashMap<GenTuple<T>, u64>>,
+    cache: PlanCache<T>,
+    /// Lazily rebuilt antichain view of the IDB stores.
+    view: Database<T>,
+    dirty: BTreeSet<String>,
+    log: Vec<UpdateStats>,
+}
+
+impl<T: Theory> MaterializedView<T> {
+    /// Materialize `program` over `edb` (the initial fixpoint runs as
+    /// one insertion propagation of every EDB tuple).
+    ///
+    /// # Errors
+    /// Validation errors (the program must be positive), theory
+    /// `Unsupported` errors, or [`CqlError::NotClosed`] when the
+    /// options' budget is exhausted.
+    pub fn new(
+        program: Program<T>,
+        edb: &Database<T>,
+        opts: FixpointOptions,
+    ) -> Result<MaterializedView<T>> {
+        program.validate(edb, false)?;
+        let engine = opts.engine();
+        let arities = program.arities()?;
+        let idb_preds = program.idb_predicates();
+        let store_policy = store_policy(&opts);
+        let mut stores = BTreeMap::new();
+        let mut counts = BTreeMap::new();
+        for (name, &arity) in &arities {
+            stores.insert(name.clone(), GenRelation::with_policy(arity, store_policy));
+            if idb_preds.contains(name) {
+                counts.insert(name.clone(), HashMap::new());
+            }
+        }
+        let cache = PlanCache::new(program.rules.len());
+        let mut view = MaterializedView {
+            dirty: idb_preds.clone(),
+            program,
+            opts,
+            engine,
+            arities,
+            idb_preds,
+            stores,
+            counts,
+            cache,
+            view: Database::new(),
+            log: Vec::new(),
+        };
+        let mut init: Delta<T> = BTreeMap::new();
+        view.seed_constant_rules(&mut init)?;
+        for (name, rel) in edb.iter() {
+            if view.stores.contains_key(name) && !view.idb_preds.contains(name) {
+                let batch = init.entry(name.to_string()).or_default();
+                for t in rel.tuples() {
+                    if !batch.contains(t) {
+                        batch.push(t.clone());
+                    }
+                }
+            }
+        }
+        view.propagate_insertions(init)?;
+        Ok(view)
+    }
+
+    /// Fire rules whose bodies have no relational atoms exactly once:
+    /// no delta ever re-fires them, so their derivations are banked at
+    /// construction and their outputs join the initial delta.
+    fn seed_constant_rules(&mut self, init: &mut Delta<T>) -> Result<()> {
+        let MaterializedView { program, engine, cache, counts, .. } = self;
+        let mut pending: BTreeMap<String, HashSet<GenTuple<T>>> = BTreeMap::new();
+        for (ri, rule) in program.rules.iter().enumerate() {
+            if rule.body.iter().any(|l| !matches!(l, Literal::Constraint(_))) {
+                continue;
+            }
+            let rels: Vec<Option<&GenRelation<T>>> = vec![None; rule.body.len()];
+            let fired = fire_rule_counted(engine, ri, rule, &rels, cache)?;
+            let head = &rule.head.relation;
+            for t in fired {
+                count(Counter::SupportAdjust, 1);
+                *counts.get_mut(head).expect("head is IDB").entry(t.clone()).or_insert(0) += 1;
+                if pending.entry(head.clone()).or_default().insert(t.clone()) {
+                    init.entry(head.clone()).or_default().push(t);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Assert one EDB tuple. A tuple already asserted is a no-op (set
+    /// semantics). Returns the per-update EXPLAIN row.
+    ///
+    /// # Errors
+    /// Unknown or non-EDB relation, arity overflow, or budget
+    /// exhaustion mid-propagation (which leaves the view unusable).
+    pub fn insert(&mut self, relation: &str, tuple: GenTuple<T>) -> Result<UpdateStats> {
+        self.require_edb(relation, &tuple)?;
+        let scope = MetricsScope::enter("view.update");
+        let started = Instant::now();
+        {
+            let mut sp = span("view.insert", "engine");
+            sp.arg("relation", relation);
+            if !self.stores[relation].contains(&tuple) {
+                let mut delta = BTreeMap::new();
+                delta.insert(relation.to_string(), vec![tuple]);
+                self.propagate_insertions(delta)?;
+            }
+        }
+        Ok(self.finish_update("insert", relation, &scope, started))
+    }
+
+    /// Retract one previously asserted EDB tuple (exact canonical
+    /// match). Returns the per-update EXPLAIN row.
+    ///
+    /// # Errors
+    /// Unknown or non-EDB relation, a tuple that is not currently
+    /// asserted, or budget exhaustion mid-propagation.
+    pub fn retract(&mut self, relation: &str, tuple: &GenTuple<T>) -> Result<UpdateStats> {
+        self.require_edb(relation, tuple)?;
+        if !self.stores[relation].contains(tuple) {
+            return Err(CqlError::Malformed(format!(
+                "retract of a tuple not currently asserted in `{relation}`"
+            )));
+        }
+        let scope = MetricsScope::enter("view.update");
+        let started = Instant::now();
+        {
+            let mut sp = span("view.retract", "engine");
+            sp.arg("relation", relation);
+            self.propagate_retraction(relation, tuple.clone())?;
+        }
+        Ok(self.finish_update("retract", relation, &scope, started))
+    }
+
+    /// The maintained IDB, as subsumption-compressed relations (the
+    /// same representation the batch engines produce). Rebuilds only
+    /// the predicates whose stores changed since the last call.
+    pub fn current(&mut self) -> &Database<T> {
+        let dirty: Vec<String> = std::mem::take(&mut self.dirty).into_iter().collect();
+        for name in dirty {
+            let mut rel = self.engine.relation(self.arities[&name]);
+            for t in self.stores[&name].tuples() {
+                rel.insert(t.clone());
+            }
+            self.view.insert(name, rel);
+        }
+        &self.view
+    }
+
+    /// Number of derivations currently supporting `tuple` (0 when the
+    /// tuple is not derived, or the predicate is not IDB).
+    #[must_use]
+    pub fn support_count(&self, relation: &str, tuple: &GenTuple<T>) -> u64 {
+        self.counts.get(relation).and_then(|m| m.get(tuple)).copied().unwrap_or(0)
+    }
+
+    /// The maintained program.
+    #[must_use]
+    pub fn program(&self) -> &Program<T> {
+        &self.program
+    }
+
+    /// EXPLAIN rows of every update applied so far, in order.
+    #[must_use]
+    pub fn updates(&self) -> &[UpdateStats] {
+        &self.log
+    }
+
+    /// Drain the per-update EXPLAIN log (for report assembly).
+    pub fn take_updates(&mut self) -> Vec<UpdateStats> {
+        std::mem::take(&mut self.log)
+    }
+
+    fn require_edb(&self, relation: &str, tuple: &GenTuple<T>) -> Result<()> {
+        let Some(&arity) = self.arities.get(relation) else {
+            return Err(CqlError::UnknownRelation(relation.to_string()));
+        };
+        if self.idb_preds.contains(relation) {
+            return Err(CqlError::Malformed(format!(
+                "`{relation}` is an IDB predicate; only EDB relations accept updates"
+            )));
+        }
+        if tuple.max_var_bound() > arity {
+            return Err(CqlError::ArityMismatch {
+                relation: relation.to_string(),
+                expected: arity,
+                found: tuple.max_var_bound(),
+            });
+        }
+        Ok(())
+    }
+
+    fn finish_update(
+        &mut self,
+        op: &str,
+        relation: &str,
+        scope: &MetricsScope,
+        started: Instant,
+    ) -> UpdateStats {
+        let snap = scope.snapshot();
+        let stats = UpdateStats {
+            op: op.to_string(),
+            relation: relation.to_string(),
+            delta_rounds: snap.get(Counter::DeltaRounds),
+            rederivations: snap.get(Counter::Rederivations),
+            support_adjust: snap.get(Counter::SupportAdjust),
+            qe_calls: snap.get(Counter::QeCalls),
+            entailment_checks: snap.get(Counter::EntailmentChecks),
+            wall_ns: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        };
+        self.log.push(stats.clone());
+        stats
+    }
+
+    /// Positive phase: repeat delta rounds until no new tuple is
+    /// derived. `delta` tuples must not yet be in the stores; each
+    /// round adds them, then fires every (rule, delta position) with
+    /// the inclusion–exclusion bindings of [`bind_positions`].
+    fn propagate_insertions(&mut self, mut delta: Delta<T>) -> Result<()> {
+        let store_policy = store_policy(&self.opts);
+        let MaterializedView {
+            program, opts, engine, arities, stores, counts, cache, dirty, ..
+        } = self;
+        let mut rounds = 0usize;
+        while !delta.is_empty() {
+            check_budget(stores, rounds, opts)?;
+            rounds += 1;
+            count(Counter::DeltaRounds, 1);
+            let mut round_span = span("view.delta_round", "round");
+            round_span.arg("delta", delta.values().map(Vec::len).sum::<usize>() as u64);
+            let mut old: BTreeMap<String, GenRelation<T>> = BTreeMap::new();
+            let mut drels: BTreeMap<String, GenRelation<T>> = BTreeMap::new();
+            for (name, tuples) in &delta {
+                old.insert(name.clone(), stores[name].clone());
+                let mut drel = GenRelation::with_policy(arities[name], store_policy);
+                let store = stores.get_mut(name).expect("known predicate");
+                for t in tuples {
+                    let added = store.insert(t.clone());
+                    debug_assert!(added, "insertion delta tuples are new by construction");
+                    drel.insert(t.clone());
+                }
+                drels.insert(name.clone(), drel);
+            }
+            let mut next: Delta<T> = BTreeMap::new();
+            let mut pending: BTreeMap<String, HashSet<GenTuple<T>>> = BTreeMap::new();
+            for (ri, rule) in program.rules.iter().enumerate() {
+                for (li, lit) in rule.body.iter().enumerate() {
+                    let Literal::Pos(a) = lit else { continue };
+                    let Some(drel) = drels.get(&a.relation) else { continue };
+                    let rels = bind_positions(rule, li, drel, stores, &old);
+                    let fired = fire_rule_counted(engine, ri, rule, &rels, cache)?;
+                    let head = &rule.head.relation;
+                    for t in fired {
+                        count(Counter::SupportAdjust, 1);
+                        *counts
+                            .get_mut(head)
+                            .expect("head is IDB")
+                            .entry(t.clone())
+                            .or_insert(0) += 1;
+                        if !stores[head].contains(&t)
+                            && pending.entry(head.clone()).or_default().insert(t.clone())
+                        {
+                            dirty.insert(head.clone());
+                            next.entry(head.clone()).or_default().push(t);
+                        }
+                    }
+                }
+            }
+            delta = next;
+        }
+        Ok(())
+    }
+
+    /// Negative phase (DRed): over-delete the retracted tuple's cone,
+    /// decrementing support counts with the same inclusion–exclusion
+    /// enumeration as insertion, then re-derive over-deleted tuples
+    /// whose residual count shows surviving support.
+    fn propagate_retraction(&mut self, relation: &str, tuple: GenTuple<T>) -> Result<()> {
+        let store_policy = store_policy(&self.opts);
+        let mut reinserts: Delta<T> = BTreeMap::new();
+        {
+            let MaterializedView {
+                program,
+                opts,
+                engine,
+                arities,
+                stores,
+                counts,
+                cache,
+                dirty,
+                ..
+            } = self;
+            // Over-deleted IDB tuples, in discovery order (sets for the
+            // membership tests, vectors to keep propagation and
+            // re-derivation deterministic).
+            let mut deleted: Delta<T> = BTreeMap::new();
+            let mut deleted_set: BTreeMap<String, HashSet<GenTuple<T>>> = BTreeMap::new();
+            let mut d: Delta<T> = BTreeMap::new();
+            d.insert(relation.to_string(), vec![tuple]);
+            let mut rounds = 0usize;
+            while !d.is_empty() {
+                check_budget(stores, rounds, opts)?;
+                rounds += 1;
+                count(Counter::DeltaRounds, 1);
+                let mut round_span = span("view.delta_round", "round");
+                round_span.arg("deleted", d.values().map(Vec::len).sum::<usize>() as u64);
+                let mut old: BTreeMap<String, GenRelation<T>> = BTreeMap::new();
+                let mut drels: BTreeMap<String, GenRelation<T>> = BTreeMap::new();
+                for (name, tuples) in &d {
+                    old.insert(name.clone(), stores[name].clone());
+                    let mut drel = GenRelation::with_policy(arities[name], store_policy);
+                    let store = stores.get_mut(name).expect("known predicate");
+                    for t in tuples {
+                        let removed = store.remove(t);
+                        debug_assert!(removed, "deletion delta tuples are stored");
+                        drel.insert(t.clone());
+                    }
+                    drels.insert(name.clone(), drel);
+                }
+                let mut next: Delta<T> = BTreeMap::new();
+                for (ri, rule) in program.rules.iter().enumerate() {
+                    for (li, lit) in rule.body.iter().enumerate() {
+                        let Literal::Pos(a) = lit else { continue };
+                        let Some(drel) = drels.get(&a.relation) else { continue };
+                        let rels = bind_positions(rule, li, drel, stores, &old);
+                        let fired = fire_rule_counted(engine, ri, rule, &rels, cache)?;
+                        let head = &rule.head.relation;
+                        for t in fired {
+                            count(Counter::SupportAdjust, 1);
+                            let c = counts
+                                .get_mut(head)
+                                .expect("head is IDB")
+                                .entry(t.clone())
+                                .or_insert(0);
+                            debug_assert!(*c > 0, "support count underflow");
+                            *c = c.saturating_sub(1);
+                            // Over-delete regardless of the residual
+                            // count: a positive residual may rest only
+                            // on tuples this cascade deletes later
+                            // (cyclic support), so survival is decided
+                            // by the re-derivation phase.
+                            if stores[head].contains(&t)
+                                && deleted_set.entry(head.clone()).or_default().insert(t.clone())
+                            {
+                                dirty.insert(head.clone());
+                                next.entry(head.clone()).or_default().push(t);
+                            }
+                        }
+                    }
+                }
+                for (name, tuples) in &next {
+                    deleted.entry(name.clone()).or_default().extend(tuples.iter().cloned());
+                }
+                d = next;
+            }
+            // Residual count > 0 means derivations from never-deleted
+            // premises survive: the tuple is still in the view.
+            for (name, tuples) in deleted {
+                let table = counts.get_mut(&name).expect("head is IDB");
+                for t in tuples {
+                    if table.get(&t).copied().unwrap_or(0) > 0 {
+                        count(Counter::Rederivations, 1);
+                        reinserts.entry(name.clone()).or_default().push(t);
+                    } else {
+                        table.remove(&t);
+                    }
+                }
+            }
+        }
+        if !reinserts.is_empty() {
+            let _sp = span("view.rederive", "engine");
+            self.propagate_insertions(reinserts)?;
+        }
+        Ok(())
+    }
+}
+
+/// The derivation stores' policy: the caller's engine policy with
+/// subsumption compression off (stores key support counts by exact
+/// derived tuple, so nothing may be evicted or rejected as subsumed).
+fn store_policy(opts: &FixpointOptions) -> EnginePolicy {
+    EnginePolicy { subsumption: SubsumptionMode::DedupOnly, ..opts.policy }
+}
+
+/// Bind one firing's relations: position `delta_at` reads the delta,
+/// positions before it read `new` (this round's change applied),
+/// positions after it read `old` where the round changed the relation
+/// and `new` otherwise. Counts every derivation involving at least one
+/// delta tuple exactly once across the round's firings.
+fn bind_positions<'a, T: Theory>(
+    rule: &Rule<T>,
+    delta_at: usize,
+    drel: &'a GenRelation<T>,
+    new: &'a BTreeMap<String, GenRelation<T>>,
+    old: &'a BTreeMap<String, GenRelation<T>>,
+) -> Vec<Option<&'a GenRelation<T>>> {
+    rule.body
+        .iter()
+        .enumerate()
+        .map(|(lj, lit)| match lit {
+            Literal::Pos(a) => Some(if lj == delta_at {
+                drel
+            } else if lj < delta_at {
+                &new[&a.relation]
+            } else {
+                old.get(&a.relation).unwrap_or_else(|| &new[&a.relation])
+            }),
+            Literal::Neg(_) | Literal::Constraint(_) => None,
+        })
+        .collect()
+}
+
+fn check_budget<T: Theory>(
+    stores: &BTreeMap<String, GenRelation<T>>,
+    rounds: usize,
+    opts: &FixpointOptions,
+) -> Result<()> {
+    if rounds >= opts.max_iterations {
+        return Err(CqlError::NotClosed {
+            reason: "incremental propagation exceeded the iteration budget".into(),
+            iterations: rounds,
+        });
+    }
+    let size: usize = stores.values().map(GenRelation::len).sum();
+    if size > opts.max_tuples {
+        return Err(CqlError::NotClosed {
+            reason: format!("derivation stores grew past {} tuples", opts.max_tuples),
+            iterations: rounds,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datalog::ast::Atom;
+    use crate::datalog::symbolic::seminaive;
+    use cql_dense::{Dense, DenseConstraint};
+
+    fn tc_program() -> Program<Dense> {
+        Program::new(vec![
+            Rule::new(Atom::new("T", vec![0, 1]), vec![Literal::Pos(Atom::new("E", vec![0, 1]))]),
+            Rule::new(
+                Atom::new("T", vec![0, 1]),
+                vec![
+                    Literal::Pos(Atom::new("T", vec![0, 2])),
+                    Literal::Pos(Atom::new("E", vec![2, 1])),
+                ],
+            ),
+        ])
+    }
+
+    fn edge(a: i64, b: i64) -> GenTuple<Dense> {
+        GenTuple::new(vec![DenseConstraint::eq_const(0, a), DenseConstraint::eq_const(1, b)])
+            .unwrap()
+    }
+
+    fn edge_db(edges: &[(i64, i64)]) -> Database<Dense> {
+        let mut rel = GenRelation::empty(2);
+        for &(a, b) in edges {
+            rel.insert(edge(a, b));
+        }
+        let mut db = Database::new();
+        db.insert("E", rel);
+        db
+    }
+
+    fn sorted_render(rel: &GenRelation<Dense>) -> Vec<String> {
+        let mut out: Vec<String> = rel.tuples().iter().map(ToString::to_string).collect();
+        out.sort();
+        out
+    }
+
+    fn assert_matches_batch(view: &mut MaterializedView<Dense>, edges: &[(i64, i64)]) {
+        let batch = seminaive(view.program(), &edge_db(edges), &FixpointOptions::default())
+            .expect("batch fixpoint");
+        let maintained = view.current();
+        assert_eq!(
+            sorted_render(maintained.require("T").unwrap()),
+            sorted_render(batch.idb.require("T").unwrap()),
+        );
+    }
+
+    #[test]
+    fn construction_matches_batch_fixpoint() {
+        let edges = [(0, 1), (1, 2), (2, 3)];
+        let mut view =
+            MaterializedView::new(tc_program(), &edge_db(&edges), FixpointOptions::default())
+                .unwrap();
+        assert_matches_batch(&mut view, &edges);
+    }
+
+    #[test]
+    fn insert_extends_the_closure() {
+        let mut view = MaterializedView::new(
+            tc_program(),
+            &edge_db(&[(0, 1), (1, 2)]),
+            FixpointOptions::default(),
+        )
+        .unwrap();
+        let stats = view.insert("E", edge(2, 3)).unwrap();
+        assert!(stats.delta_rounds > 0);
+        assert_matches_batch(&mut view, &[(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn duplicate_insert_is_a_noop() {
+        let mut view =
+            MaterializedView::new(tc_program(), &edge_db(&[(0, 1)]), FixpointOptions::default())
+                .unwrap();
+        let stats = view.insert("E", edge(0, 1)).unwrap();
+        assert_eq!(stats.delta_rounds, 0);
+        assert_matches_batch(&mut view, &[(0, 1)]);
+    }
+
+    #[test]
+    fn retract_shrinks_the_closure() {
+        let mut view = MaterializedView::new(
+            tc_program(),
+            &edge_db(&[(0, 1), (1, 2), (2, 3)]),
+            FixpointOptions::default(),
+        )
+        .unwrap();
+        let stats = view.retract("E", &edge(1, 2)).unwrap();
+        assert!(stats.support_adjust > 0);
+        assert_matches_batch(&mut view, &[(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn retract_keeps_tuples_with_alternative_support() {
+        // Two paths 0→3: through 1 and through 2. Deleting one leaves
+        // T(0,3) supported by the other — the re-derivation phase must
+        // resurrect the over-deleted cone.
+        let edges = [(0, 1), (1, 3), (0, 2), (2, 3)];
+        let mut view =
+            MaterializedView::new(tc_program(), &edge_db(&edges), FixpointOptions::default())
+                .unwrap();
+        assert!(view.support_count("T", &edge(0, 3)) >= 2);
+        let stats = view.retract("E", &edge(1, 3)).unwrap();
+        assert!(stats.rederivations > 0, "T(0,3) must be re-derived");
+        assert_matches_batch(&mut view, &[(0, 1), (0, 2), (2, 3)]);
+        assert!(view.support_count("T", &edge(0, 3)) >= 1);
+    }
+
+    #[test]
+    fn retract_deletes_cyclic_support() {
+        // A 3-cycle: every closure tuple supports the others. Pure
+        // counting would let the cycle keep itself alive; over-deletion
+        // must take the whole cone down.
+        let mut view = MaterializedView::new(
+            tc_program(),
+            &edge_db(&[(0, 1), (1, 2), (2, 0)]),
+            FixpointOptions::default(),
+        )
+        .unwrap();
+        view.retract("E", &edge(2, 0)).unwrap();
+        assert_matches_batch(&mut view, &[(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn retract_then_reinsert_round_trips() {
+        let edges = [(0, 1), (1, 2), (2, 3), (3, 4)];
+        let mut view =
+            MaterializedView::new(tc_program(), &edge_db(&edges), FixpointOptions::default())
+                .unwrap();
+        view.retract("E", &edge(2, 3)).unwrap();
+        assert_matches_batch(&mut view, &[(0, 1), (1, 2), (3, 4)]);
+        view.insert("E", edge(2, 3)).unwrap();
+        assert_matches_batch(&mut view, &edges);
+        assert_eq!(view.updates().len(), 2);
+    }
+
+    #[test]
+    fn updates_reject_idb_and_unknown_relations() {
+        let mut view =
+            MaterializedView::new(tc_program(), &edge_db(&[(0, 1)]), FixpointOptions::default())
+                .unwrap();
+        assert!(matches!(view.insert("T", edge(5, 6)), Err(CqlError::Malformed(_))));
+        assert!(matches!(view.insert("Q", edge(5, 6)), Err(CqlError::UnknownRelation(_))));
+        assert!(matches!(view.retract("E", &edge(7, 8)), Err(CqlError::Malformed(_))));
+    }
+}

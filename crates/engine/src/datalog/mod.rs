@@ -5,6 +5,10 @@
 //!   generalized tuples and eliminating quantifiers;
 //! * [`plan`] — per-rule multiway join planning (variable elimination
 //!   orders, cached per-atom summary levels, the leapfrog search);
+//! * [`incremental`] — a [`incremental::MaterializedView`] keeping a
+//!   positive program's IDB maintained under single-tuple EDB inserts
+//!   and retracts (counting/DRed support tracking, delta-restricted
+//!   firings over the multiway plans);
 //! * [`herbrand`] — the §3.2 generalized-Herbrand-atom (cell-based)
 //!   evaluation for theories with finite cell decompositions, including
 //!   the §3.3 parallel evaluation and derivation-tree statistics.
@@ -12,6 +16,7 @@
 pub mod analysis;
 pub mod ast;
 pub mod herbrand;
+pub mod incremental;
 pub mod plan;
 pub mod symbolic;
 
@@ -20,6 +25,7 @@ pub use ast::{Atom, Literal, Program, Rule};
 pub use herbrand::{
     cell_inflationary, cell_naive, cell_parallel, CellFixpointResult, DerivationStats,
 };
+pub use incremental::MaterializedView;
 pub use plan::JoinPlan;
 pub use symbolic::{
     inflationary, naive, naive_explain, naive_explain_with, seminaive, seminaive_explain,

@@ -206,6 +206,14 @@ impl<T: Theory> PlanCache<T> {
     pub fn atom_data(&mut self, rel: &GenRelation<T>, atom_vars: &[Var]) -> Arc<AtomData<T>> {
         let key = (rel.version(), atom_vars.to_vec());
         if let Some(data) = self.atoms.get(&key) {
+            // Version equality must prove content equality: a mutation
+            // path that forgot to bump the version would serve a stale
+            // trie here. Tuple count is a cheap necessary condition.
+            debug_assert_eq!(
+                rel.len(),
+                data.renamed.len(),
+                "GenRelation content changed without a version bump"
+            );
             count(Counter::SummaryIndexReuses, 1);
             return Arc::clone(data);
         }
@@ -447,5 +455,36 @@ mod tests {
     fn sorted_intersection_is_exact() {
         assert_eq!(intersect_sorted(&[0, 2, 4, 6], &[1, 2, 3, 6]), vec![2, 6]);
         assert_eq!(intersect_sorted(&[], &[1]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn atom_cache_never_serves_stale_data_across_mutations() {
+        use cql_core::relation::{GenRelation, GenTuple};
+        use cql_dense::DenseConstraint;
+        let tup = |a: i64, b: i64| {
+            GenTuple::<Dense>::new(vec![
+                DenseConstraint::eq_const(0, a),
+                DenseConstraint::eq_const(1, b),
+            ])
+            .unwrap()
+        };
+        let mut cache: PlanCache<Dense> = PlanCache::new(0);
+        let mut rel: GenRelation<Dense> = GenRelation::empty(2);
+        rel.insert(tup(1, 2));
+        let vars = vec![0, 1];
+        let first = cache.atom_data(&rel, &vars);
+        assert_eq!(first.renamed.len(), 1);
+        // Every mutation path (insert, eviction, removal) must renew the
+        // version, so the cache key changes and fresh data is built — a
+        // stale SummaryTrie would echo the old tuple count.
+        rel.insert(tup(3, 4));
+        let second = cache.atom_data(&rel, &vars);
+        assert_eq!(second.renamed.len(), 2);
+        assert!(rel.remove(&tup(1, 2)));
+        let third = cache.atom_data(&rel, &vars);
+        assert_eq!(third.renamed.len(), 1);
+        // An unchanged relation reuses the cached entry (same Arc).
+        let fourth = cache.atom_data(&rel, &vars);
+        assert!(Arc::ptr_eq(&third, &fourth));
     }
 }

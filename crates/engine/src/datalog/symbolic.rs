@@ -254,14 +254,28 @@ fn fire_rule<T: Theory>(
     if acc.is_empty() {
         return Ok(Vec::new());
     }
+    let conjs: Vec<Vec<T::Constraint>> =
+        acc.into_iter().map(|t| t.constraints().to_vec()).collect();
+    project_conjs(engine, rule, conjs)
+}
 
+/// The shared tail of rule firing: quantify away the non-head variables
+/// and rename head variables to output columns. **Multiplicity
+/// preserving** — one output tuple per (input conjunction, QE disjunct)
+/// that canonicalizes satisfiable, with no deduplication. Batch callers
+/// ([`fire_rule`]) tolerate the duplicates (relation insert dedups);
+/// the counted firing of incremental maintenance *depends* on them (each
+/// output is one derivation).
+pub(crate) fn project_conjs<T: Theory>(
+    engine: &Engine<T>,
+    rule: &Rule<T>,
+    mut conjs: Vec<Vec<T::Constraint>>,
+) -> Result<Vec<GenTuple<T>>> {
     // Quantify away the non-head variables, one variable at a time; the
     // per-conjunction eliminations of a round are independent and run on
     // the executor.
     let head_vars: BTreeSet<Var> = rule.head.vars.iter().copied().collect();
     let n = rule.var_count();
-    let mut conjs: Vec<Vec<T::Constraint>> =
-        acc.into_iter().map(|t| t.constraints().to_vec()).collect();
     for v in 0..n {
         if head_vars.contains(&v) {
             continue;
@@ -296,6 +310,63 @@ fn fire_rule<T: Theory>(
         engine.intern(renamed)
     });
     Ok(out.into_iter().flatten().collect())
+}
+
+/// Fire one rule of a **positive** program with an explicit relation per
+/// body literal, preserving derivation multiplicity: the result holds one
+/// tuple per (satisfiable body combination, QE disjunct), with no
+/// deduplication anywhere on the path.
+///
+/// This is the firing primitive of incremental view maintenance
+/// ([`super::incremental`]): support counts are exactly the output
+/// multiplicities, so both the insertion and the over-deletion phases
+/// must enumerate derivations identically — which they get for free by
+/// sharing this function, differing only in which relations they bind to
+/// each literal. The body join always runs multiway (the summary search
+/// only discards provably unsatisfiable combinations, which contribute
+/// no output either way, so counts are unaffected by pruning).
+///
+/// `rels[li]` is the relation positive literal `li` reads; entries for
+/// constraint literals are ignored.
+///
+/// # Panics
+/// Debug-asserts the rule has no negated literals (callers validate the
+/// program as positive) and that every relational literal is bound.
+pub(crate) fn fire_rule_counted<T: Theory>(
+    engine: &Engine<T>,
+    rule_idx: usize,
+    rule: &Rule<T>,
+    rels: &[Option<&GenRelation<T>>],
+    cache: &mut PlanCache<T>,
+) -> Result<Vec<GenTuple<T>>> {
+    let mut base = GenTuple::top();
+    for lit in &rule.body {
+        debug_assert!(!matches!(lit, Literal::Neg(_)), "counted firing is for positive programs");
+        if let Literal::Constraint(c) = lit {
+            match engine.conjoin(&base, std::slice::from_ref(c)) {
+                Some(t) => base = t,
+                None => return Ok(Vec::new()),
+            }
+        }
+    }
+    let plan = cache.plan(rule_idx, rule);
+    let mut atoms: Vec<std::sync::Arc<AtomData<T>>> = Vec::with_capacity(plan.atom_order.len());
+    for &li in &plan.atom_order {
+        let Literal::Pos(a) = &rule.body[li] else {
+            unreachable!("plans order relational literals only")
+        };
+        let rel = rels[li].expect("every relational literal needs a bound relation");
+        let data = cache.atom_data(rel, &a.vars);
+        if data.renamed.is_empty() {
+            return Ok(Vec::new());
+        }
+        atoms.push(data);
+    }
+    let (conjs, probes, survivors) = multiway_join(&atoms, &base, rule.var_count());
+    count(Counter::MultiwayProbes, probes);
+    count(Counter::MultiwaySurvivors, survivors);
+    cache.record(rule_idx, probes, survivors);
+    project_conjs(engine, rule, conjs)
 }
 
 /// Binary body join: fold the literals left to right, canonicalizing

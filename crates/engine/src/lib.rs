@@ -9,7 +9,10 @@
 //!   elimination);
 //! * [`cells`] — the paper's `EVAL_φ` algorithm for cell theories;
 //! * [`datalog`] — naive / semi-naive / inflationary fixpoints, both
-//!   symbolic and over generalized Herbrand atoms (§3.2).
+//!   symbolic and over generalized Herbrand atoms (§3.2), plus a
+//!   [`MaterializedView`] that keeps a positive program's IDB
+//!   maintained under single-tuple inserts and retracts without
+//!   re-running the fixpoint.
 //!
 //! Three subsystems are shared by all of them:
 //!
@@ -52,6 +55,7 @@ pub mod summary_index;
 
 pub use cql_core::{EnginePolicy, SubsumptionMode};
 pub use cql_trace as trace;
+pub use datalog::incremental::MaterializedView;
 pub use executor::Executor;
 pub use interner::Interner;
 pub use qe_cache::QeCache;

@@ -9,7 +9,9 @@
 //! [`crate::Interner`]: lookups take a shard lock briefly, solver work
 //! for a miss runs outside any lock, and a full shard is cleared rather
 //! than evicted piecemeal (an epoch, marked by a `"qe_cache.epoch"`
-//! instant span).
+//! instant span and counted as [`Counter::QeCacheEpochs`] — a nonzero
+//! count in an EXPLAIN report means the working set outgrew the cache
+//! and hit rates are about to dip).
 //!
 //! Hits count [`Counter::QeCacheHits`]; they deliberately do *not* count
 //! `Counter::QeCalls`, which is incremented inside the theories' timed QE
@@ -36,6 +38,7 @@ type Memo<T> = HashMap<(Vec<<T as Theory>::Constraint>, Var), Vec<Vec<<T as Theo
 /// A thread-safe `(conjunction, eliminated variable) → DNF` memo table.
 pub struct QeCache<T: Theory> {
     shards: Vec<Mutex<Memo<T>>>,
+    per_shard: usize,
 }
 
 impl<T: Theory> Default for QeCache<T> {
@@ -54,7 +57,17 @@ impl<T: Theory> QeCache<T> {
     /// An empty cache.
     #[must_use]
     pub fn new() -> QeCache<T> {
-        QeCache { shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect() }
+        QeCache::with_shard_capacity(MAX_ENTRIES)
+    }
+
+    /// An empty cache with an explicit per-shard entry cap (tests use a
+    /// tiny cap to force overflow epochs deterministically).
+    #[must_use]
+    pub fn with_shard_capacity(per_shard: usize) -> QeCache<T> {
+        QeCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            per_shard: per_shard.max(1),
+        }
     }
 
     /// `∃ var. conj` through the memo table. A repeated call with an
@@ -76,8 +89,9 @@ impl<T: Theory> QeCache<T> {
         // Solver work happens outside the lock.
         let dnf = T::eliminate(conj, var)?;
         let mut memo = shard.lock().expect("qe cache poisoned");
-        if memo.len() >= MAX_ENTRIES {
+        if memo.len() >= self.per_shard {
             memo.clear();
+            count(Counter::QeCacheEpochs, 1);
             cql_trace::span::instant("qe_cache.epoch", "engine");
         }
         memo.insert(key, dnf.clone());
@@ -94,5 +108,38 @@ impl<T: Theory> QeCache<T> {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cql_dense::{Dense, DenseConstraint};
+    use cql_trace::MetricsScope;
+
+    #[test]
+    fn overflow_clears_are_counted_as_epochs() {
+        let cache: QeCache<Dense> = QeCache::with_shard_capacity(1);
+        let scope = MetricsScope::enter("test.qe_epochs");
+        for i in 0..32 {
+            let conj = vec![DenseConstraint::eq_const(0, i)];
+            cache.eliminate(&conj, 0).unwrap();
+        }
+        let snap = scope.snapshot();
+        // 32 distinct keys over 16 shards with a 1-entry cap: at least one
+        // shard must have overflowed and cleared.
+        assert!(snap.get(Counter::QeCacheEpochs) > 0, "no epoch counted");
+        assert_eq!(snap.get(Counter::QeCalls), 32, "every miss reaches the solver");
+    }
+
+    #[test]
+    fn default_capacity_counts_no_epochs_on_small_workloads() {
+        let cache: QeCache<Dense> = QeCache::new();
+        let scope = MetricsScope::enter("test.qe_no_epochs");
+        for i in 0..32 {
+            let conj = vec![DenseConstraint::eq_const(0, i)];
+            cache.eliminate(&conj, 0).unwrap();
+        }
+        assert_eq!(scope.snapshot().get(Counter::QeCacheEpochs), 0);
     }
 }

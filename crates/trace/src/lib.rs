@@ -39,7 +39,7 @@ pub mod scope;
 pub mod span;
 
 pub use json::Json;
-pub use report::{EvalReport, OperatorStats, PlanStats, RoundStats};
+pub use report::{EvalReport, OperatorStats, PlanStats, RoundStats, UpdateStats};
 pub use scope::{
     count, current_handle, op_timed, qe_timed, root_reset, root_snapshot, Counter, MetricsScope,
     MetricsSnapshot, OpAgg, ScopeHandle, COUNTERS,

@@ -147,6 +147,71 @@ impl PlanStats {
     }
 }
 
+/// Telemetry for one incremental view update (`MaterializedView::insert`
+/// or `::retract`): what the delta propagation cost, instead of what a
+/// from-scratch fixpoint would have.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// `"insert"` or `"retract"`.
+    pub op: String,
+    /// EDB relation the update touched.
+    pub relation: String,
+    /// Delta-restricted firing rounds run to propagate the change.
+    pub delta_rounds: u64,
+    /// Over-deleted tuples re-inserted because they kept other support.
+    pub rederivations: u64,
+    /// Support-count adjustments (increments plus decrements) applied.
+    pub support_adjust: u64,
+    /// Quantifier-elimination calls spent on this update.
+    pub qe_calls: u64,
+    /// `Theory::entails` calls spent on this update.
+    pub entailment_checks: u64,
+    /// Update wall time, nanoseconds.
+    pub wall_ns: u64,
+}
+
+impl UpdateStats {
+    /// Render as a JSON object (one entry of the report's `updates` array).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("op", self.op.as_str())
+            .field("relation", self.relation.as_str())
+            .field("delta_rounds", self.delta_rounds)
+            .field("rederivations", self.rederivations)
+            .field("support_adjust", self.support_adjust)
+            .field("qe_calls", self.qe_calls)
+            .field("entailment_checks", self.entailment_checks)
+            .field("wall_ns", self.wall_ns)
+    }
+
+    /// Parse one `updates` entry.
+    ///
+    /// # Errors
+    /// Describes the missing or mistyped field.
+    pub fn from_json(v: &Json) -> Result<UpdateStats, String> {
+        let get = |key: &str| {
+            v.get(key).and_then(Json::as_u64).ok_or_else(|| format!("update missing \"{key}\""))
+        };
+        let text = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("update missing \"{key}\""))
+        };
+        Ok(UpdateStats {
+            op: text("op")?,
+            relation: text("relation")?,
+            delta_rounds: get("delta_rounds")?,
+            rederivations: get("rederivations")?,
+            support_adjust: get("support_adjust")?,
+            qe_calls: get("qe_calls")?,
+            entailment_checks: get("entailment_checks")?,
+            wall_ns: get("wall_ns")?,
+        })
+    }
+}
+
 /// One operator row of the report (from the scope's operator table).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct OperatorStats {
@@ -172,6 +237,9 @@ pub struct EvalReport {
     /// Per-rule multiway join plans (empty when the multiway path was
     /// off or no rule had ≥2 relational body atoms).
     pub plans: Vec<PlanStats>,
+    /// Per-update incremental maintenance telemetry (empty for batch
+    /// evaluations).
+    pub updates: Vec<UpdateStats>,
     /// Per-operator inclusive timings.
     pub operators: Vec<OperatorStats>,
     /// Counter totals of the evaluation's scope, as `(name, value)` rows.
@@ -211,6 +279,7 @@ impl EvalReport {
             threads: threads as u64,
             rounds,
             plans: Vec::new(),
+            updates: Vec::new(),
             operators,
             totals,
             result_tuples,
@@ -222,6 +291,13 @@ impl EvalReport {
     #[must_use]
     pub fn with_plans(mut self, plans: Vec<PlanStats>) -> EvalReport {
         self.plans = plans;
+        self
+    }
+
+    /// This report with per-update maintenance telemetry attached.
+    #[must_use]
+    pub fn with_updates(mut self, updates: Vec<UpdateStats>) -> EvalReport {
+        self.updates = updates;
         self
     }
 
@@ -251,6 +327,7 @@ impl EvalReport {
             .field("threads", self.threads)
             .field("rounds", Json::Arr(self.rounds.iter().map(RoundStats::to_json).collect()))
             .field("plans", Json::Arr(self.plans.iter().map(PlanStats::to_json).collect()))
+            .field("updates", Json::Arr(self.updates.iter().map(UpdateStats::to_json).collect()))
             .field(
                 "operators",
                 Json::Arr(
@@ -297,6 +374,11 @@ impl EvalReport {
             Some(arr) => arr.iter().map(PlanStats::from_json).collect::<Result<Vec<_>, _>>()?,
             None => Vec::new(),
         };
+        // Reports written before incremental maintenance have no "updates".
+        let updates = match v.get("updates").and_then(Json::as_arr) {
+            Some(arr) => arr.iter().map(UpdateStats::from_json).collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+        };
         let operators = v
             .get("operators")
             .and_then(Json::as_arr)
@@ -332,6 +414,7 @@ impl EvalReport {
             threads: num_field("threads")?,
             rounds,
             plans,
+            updates,
             operators,
             totals,
             result_tuples: num_field("result_tuples")?,
@@ -399,6 +482,26 @@ impl EvalReport {
                 out.push_str(&format!(
                     "  {} | order [{}] atoms={} probes={} survivors={}\n",
                     p.rule, order, p.atoms, p.probes, p.survivors
+                ));
+            }
+        }
+        if !self.updates.is_empty() {
+            out.push_str("incremental updates:\n");
+            out.push_str(&format!(
+                "  {:>8} {:>12} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                "op", "relation", "rounds", "rederive", "support", "qe calls", "entails", "wall"
+            ));
+            for u in &self.updates {
+                out.push_str(&format!(
+                    "  {:>8} {:>12} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                    u.op,
+                    u.relation,
+                    u.delta_rounds,
+                    u.rederivations,
+                    u.support_adjust,
+                    u.qe_calls,
+                    u.entailment_checks,
+                    ms(u.wall_ns)
                 ));
             }
         }
@@ -476,6 +579,16 @@ mod tests {
                 probes: 512,
                 survivors: 96,
             }],
+            updates: vec![UpdateStats {
+                op: "retract".into(),
+                relation: "E".into(),
+                delta_rounds: 3,
+                rederivations: 2,
+                support_adjust: 17,
+                qe_calls: 9,
+                entailment_checks: 21,
+                wall_ns: 150_000,
+            }],
             operators: vec![OperatorStats { name: "qe.dense".into(), calls: 63, nanos: 400_000 }],
             totals: vec![("entailment_checks".into(), 50), ("tuples_inserted".into(), 127)],
             result_tuples: 127,
@@ -506,6 +619,27 @@ mod tests {
         assert!(text.contains("order [x1 x0 x2]"));
         assert!(text.contains("probes=512"));
         assert!(text.contains("survivors=96"));
+    }
+
+    #[test]
+    fn text_render_shows_update_rows() {
+        let text = sample().render_text();
+        assert!(text.contains("incremental updates:"));
+        assert!(text.contains("retract"));
+    }
+
+    #[test]
+    fn update_free_json_still_parses() {
+        // Reports written before incremental maintenance: no "updates" key.
+        let mut report = sample();
+        report.updates.clear();
+        let mut json = report.to_json();
+        if let Json::Obj(fields) = &mut json {
+            fields.retain(|(name, _)| name != "updates");
+        }
+        let text = json.pretty();
+        let back = EvalReport::from_json(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, report);
     }
 
     #[test]

@@ -76,9 +76,20 @@ pub enum Counter {
     /// Summary-index / summary-level builds avoided because the source
     /// relation's content version was unchanged since the cached build.
     SummaryIndexReuses,
+    /// Delta-restricted rule-firing rounds run by incremental view
+    /// maintenance (insert or retract propagation).
+    DeltaRounds,
+    /// Over-deleted tuples re-inserted during the re-derivation phase of
+    /// an incremental retract because they retained alternative support.
+    Rederivations,
+    /// Support-count adjustments (increments plus decrements) applied to
+    /// derived tuples by incremental view maintenance.
+    SupportAdjust,
+    /// QE memo-cache shards cleared on overflow (an "epoch" boundary).
+    QeCacheEpochs,
 }
 
-const N_COUNTERS: usize = 18;
+const N_COUNTERS: usize = 22;
 
 /// All [`Counter`] variants, in order (for generic reporting loops).
 pub const COUNTERS: [Counter; N_COUNTERS] = [
@@ -100,6 +111,10 @@ pub const COUNTERS: [Counter; N_COUNTERS] = [
     Counter::MultiwaySurvivors,
     Counter::PlanCacheHits,
     Counter::SummaryIndexReuses,
+    Counter::DeltaRounds,
+    Counter::Rederivations,
+    Counter::SupportAdjust,
+    Counter::QeCacheEpochs,
 ];
 
 impl Counter {
@@ -125,6 +140,10 @@ impl Counter {
             Counter::MultiwaySurvivors => "multiway_survivors",
             Counter::PlanCacheHits => "plan_cache_hits",
             Counter::SummaryIndexReuses => "summary_index_reuses",
+            Counter::DeltaRounds => "delta_rounds",
+            Counter::Rederivations => "rederivations",
+            Counter::SupportAdjust => "support_adjust",
+            Counter::QeCacheEpochs => "qe_cache_epochs",
         }
     }
 }
