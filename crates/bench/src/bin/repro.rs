@@ -30,16 +30,19 @@
 
 use cql_bench::emitter::{ms, Emitter};
 use cql_bench::{
-    chain_edb_dense, chain_edb_equality, compose_query_dense, compose_query_equality,
-    interval_relation, loglog_slope, path_join_program_dense, rat, tc_program_dense,
-    tc_program_equality, timed,
+    chain_edb_dense, chain_edb_equality, compose_query_dense, compose_query_equality, gate,
+    interval_relation, is_live_section, loglog_slope, path_join_program_dense, rat,
+    tc_program_dense, tc_program_equality, timed,
 };
 use cql_core::{CalculusQuery, Formula};
 use cql_dense::Dense;
 use cql_engine::datalog::{self, FixpointOptions};
-use cql_engine::{calculus, cells, Executor};
+use cql_engine::{calculus, cells, Executor, MaterializedView};
 use cql_index::{Backend, GeneralizedIndex};
-use cql_trace::{chrome, json, Counter, EvalReport, Json, MetricsScope, TraceSession};
+use cql_trace::{
+    chrome, expose, hist, json, Counter, EvalReport, Histogram, Json, MetricsScope,
+    TelemetryRegistry, TelemetrySnapshot, TraceSession,
+};
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
@@ -486,9 +489,11 @@ fn engine_store(em: &mut Emitter) -> EvalReport {
     let program = tc_program_dense();
     let threads = Executor::from_env().threads();
     let opts = FixpointOptions { threads, ..Default::default() };
+    let engine = opts.engine();
     let scope = MetricsScope::enter("e13.fixpoint");
     let start = Instant::now();
-    let (result, rounds, plans) = datalog::seminaive_explain(&program, &db, &opts).unwrap();
+    let (result, rounds, plans) =
+        datalog::seminaive_explain_with(&engine, &program, &db, &opts).unwrap();
     let wall = start.elapsed();
     let snap = scope.snapshot();
     drop(scope);
@@ -501,7 +506,8 @@ fn engine_store(em: &mut Emitter) -> EvalReport {
         result.idb.get("T").map_or(0, cql_core::GenRelation::len) as u64,
         u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX),
     )
-    .with_plans(plans);
+    .with_plans(plans)
+    .with_gauges(engine.gauges());
     em.note("");
     em.note(&report.render_text());
     em.datum("eval_report", report.to_json());
@@ -540,12 +546,16 @@ fn engine_threads(em: &mut Emitter) {
 }
 
 /// E15 — telemetry overhead: the instrumented engine with telemetry
-/// dormant vs actively scoped.
-fn overhead(em: &mut Emitter) {
+/// dormant vs actively scoped. Returns the measured overhead percent;
+/// the selfcheck enforces the documented < 5% bound when the span
+/// feature is compiled out.
+fn overhead(em: &mut Emitter) -> f64 {
     em.section("e15", "telemetry overhead: dormant instrumentation vs scoped run");
-    em.note("semi-naive TC fixpoint (32-node chain), best of 5 per configuration;");
-    em.note("'dormant' = no MetricsScope, no TraceSession (the default state);");
-    em.note("'scoped' = the whole run under a per-query MetricsScope.\n");
+    em.note("semi-naive TC fixpoint (32-node chain), best of 7 per configuration;");
+    em.note("'dormant' = no MetricsScope, no TraceSession (the default state —");
+    em.note("histogram recording is scope-only, so dormant sites skip it too);");
+    em.note("'scoped' = the whole run under a per-query MetricsScope, including");
+    em.note("the latency histograms.\n");
     let db = chain_edb_dense(32);
     let program = tc_program_dense();
     let opts = FixpointOptions::default();
@@ -553,7 +563,7 @@ fn overhead(em: &mut Emitter) {
     let _ = datalog::seminaive(&program, &db, &opts).unwrap();
     let mut dormant = Duration::MAX;
     let mut scoped = Duration::MAX;
-    for _ in 0..5 {
+    for _ in 0..7 {
         let (_, d) = timed(|| datalog::seminaive(&program, &db, &opts).unwrap());
         dormant = dormant.min(d);
         let (_, d) = timed(|| {
@@ -579,6 +589,7 @@ fn overhead(em: &mut Emitter) {
     em.datum("overhead_percent", pct);
     em.datum("trace_feature_compiled", cfg!(feature = "trace"));
     em.datum("within_target", pct < 5.0);
+    pct
 }
 
 /// E16 — filter-before-solve: summary-pruned joins and the QE memo
@@ -945,6 +956,162 @@ fn incremental(em: &mut Emitter) -> (bool, f64, f64) {
     (byte_identical, solver_reduction, wall_reduction)
 }
 
+/// What E19 hands the selfcheck: the registry snapshot plus both
+/// rendered expositions, so the invariants can be re-verified against
+/// exactly what was emitted.
+struct TelemetryOutcome {
+    snapshot: TelemetrySnapshot,
+    prometheus: String,
+    json: Json,
+    view_updates: u64,
+}
+
+/// E19 — the telemetry runtime end to end: a long-lived
+/// [`TelemetryRegistry`] collects two named scopes (a fixpoint workload
+/// and a stream of view updates) with latency histograms and sampled
+/// engine gauges, then renders the snapshot as Prometheus-style text
+/// and JSON. The selfcheck re-validates both expositions, the
+/// histogram/counter invariants, quantile monotonicity, and that an
+/// injected 2× wall slowdown trips the `--compare` gate.
+fn telemetry_runtime(em: &mut Emitter) -> TelemetryOutcome {
+    em.section("e19", "telemetry runtime: registry, histograms, gauges, exposition");
+    em.note("two registered scopes — 'fixpoint' runs semi-naive TC over the");
+    em.note("64-node dense chain (repeated until >= 25 ms of wall, so the");
+    em.note("regression gate has a wall metric above its noise floor) plus one");
+    em.note("calculus query; 'view' applies 8 single-edge MaterializedView");
+    em.note("updates. Histograms merge through the scope fold; gauges sample");
+    em.note("the engine's interner and QE-cache occupancy.\n");
+
+    let registry = TelemetryRegistry::new();
+    let threads = Executor::from_env().threads();
+    let opts = FixpointOptions { threads, ..Default::default() };
+    let engine = opts.engine();
+    let program = tc_program_dense();
+    let db = chain_edb_dense(64);
+
+    // Scope 1: the fixpoint workload, repeated to a 25 ms wall floor.
+    let fixpoint_handle = registry.register("fixpoint");
+    let mut reps = 0u64;
+    let fixpoint_wall = {
+        let _g = fixpoint_handle.install();
+        let start = Instant::now();
+        loop {
+            datalog::seminaive_with(&engine, &program, &db, &opts).unwrap();
+            reps += 1;
+            if start.elapsed() >= Duration::from_millis(25) {
+                break;
+            }
+        }
+        let q = compose_query_dense();
+        calculus::evaluate_with(&engine, &q, &db).unwrap();
+        start.elapsed()
+    };
+    for (name, value) in engine.gauges() {
+        registry.set_gauge("fixpoint", &name, value);
+    }
+
+    // Scope 2: incremental view maintenance (construction stays outside
+    // the install, so the scope holds exactly the update telemetry).
+    let mut view = MaterializedView::new(program.clone(), &chain_edb_dense(32), opts).unwrap();
+    let view_handle = registry.register("view");
+    let edge = |a: i64, b: i64| {
+        cql_core::GenTuple::<Dense>::new(vec![
+            cql_dense::DenseConstraint::eq_const(0, a),
+            cql_dense::DenseConstraint::eq_const(1, b),
+        ])
+        .unwrap()
+    };
+    let script: [(bool, i64, i64); 8] = [
+        (true, 32, 33),
+        (false, 32, 33),
+        (true, -1, 0),
+        (false, -1, 0),
+        (true, 32, 33),
+        (true, 33, 34),
+        (false, 33, 34),
+        (false, 32, 33),
+    ];
+    let view_wall = {
+        let _g = view_handle.install();
+        let start = Instant::now();
+        for &(insert, a, b) in &script {
+            let t = edge(a, b);
+            if insert {
+                view.insert("E", t).unwrap();
+            } else {
+                view.retract("E", &t).unwrap();
+            }
+        }
+        start.elapsed()
+    };
+
+    let snapshot = registry.snapshot();
+    let mut hist_rows = Vec::new();
+    for scope in &snapshot.scopes {
+        for (name, h) in &scope.metrics.hists {
+            let q = |p: f64| h.quantile(p).unwrap_or(0);
+            hist_rows.push(vec![
+                Json::from(scope.name.as_str()),
+                Json::from(*name),
+                Json::from(h.count()),
+                Json::from(q(0.5)),
+                Json::from(q(0.9)),
+                Json::from(q(0.99)),
+                Json::from(h.max().unwrap_or(0)),
+            ]);
+        }
+    }
+    em.table(
+        "histograms",
+        &["scope", "histogram", "count", "p50", "p90", "p99", "max"],
+        &hist_rows,
+    );
+    em.note("");
+    let gauge_rows: Vec<Vec<Json>> = snapshot
+        .scopes
+        .iter()
+        .flat_map(|s| {
+            s.gauges.iter().map(|(k, v)| {
+                vec![Json::from(s.name.as_str()), Json::from(k.as_str()), Json::from(*v)]
+            })
+        })
+        .collect();
+    em.table("gauges", &["scope", "gauge", "value"], &gauge_rows);
+
+    let prometheus = expose::to_prometheus(&snapshot);
+    let prom_samples = match expose::validate_prometheus(&prometheus) {
+        Ok(n) => n as u64,
+        Err(e) => {
+            em.note(&format!("prometheus exposition INVALID: {e}"));
+            0
+        }
+    };
+    let json_doc = expose::to_json(&snapshot);
+    let json_samples = match expose::validate_json(&json_doc) {
+        Ok(n) => n as u64,
+        Err(e) => {
+            em.note(&format!("json exposition INVALID: {e}"));
+            0
+        }
+    };
+    em.note("\nfirst prometheus exposition lines:");
+    for line in prometheus.lines().take(6) {
+        em.note(&format!("  {line}"));
+    }
+    em.note(&format!(
+        "\nexposition: {prom_samples} prometheus samples, {json_samples} json samples \
+         (both validated; full round-trip enforced by --selfcheck)"
+    ));
+
+    em.datum("fixpoint_reps", reps);
+    em.datum("fixpoint_wall_ms", ms_f(fixpoint_wall));
+    em.datum("view_updates", script.len() as u64);
+    em.datum("view_update_wall_ms", ms_f(view_wall));
+    em.datum("prometheus_samples", prom_samples);
+    em.datum("json_samples", json_samples);
+    TelemetryOutcome { snapshot, prometheus, json: json_doc, view_updates: script.len() as u64 }
+}
+
 /// A1/A2 — evaluation ablations.
 fn ablation(em: &mut Emitter) {
     em.section("a1", "ablation: symbolic QE vs cell-based EVAL_φ (dense order)");
@@ -1012,21 +1179,25 @@ fn representation(em: &mut Emitter) {
 
 const TRACE_PATH: &str = "target/repro-trace.json";
 
-const USAGE: &str = "usage: repro [--json] [--trace] [--selfcheck] [ids...|all]
-ids: f1 t1 f2 f3 e4..e18 a1 a2 a3 (or legacy names: fig1 table1 fig2 fig3
+const USAGE: &str = "usage: repro [--json] [--trace] [--selfcheck] [--compare] [ids...|all]
+ids: f1 t1 f2 f3 e4..e19 a1 a2 a3 (or legacy names: fig1 table1 fig2 fig3
 containment hull voronoi datalog equality boolean qbf index engine
-overhead filtering multiway incremental ablation); e1/e2/e3 alias f1/t1/f2";
+overhead filtering multiway incremental telemetry ablation); e1/e2/e3
+alias f1/t1/f2. --compare diffs the run against the committed BENCH_*.json
+baselines (perf-regression gate) and exits non-zero on a regression.";
 
 fn main() {
     let mut json = false;
     let mut trace = false;
     let mut selfcheck = false;
+    let mut compare = false;
     let mut ids: Vec<String> = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--json" => json = true,
             "--trace" => trace = true,
             "--selfcheck" => selfcheck = true,
+            "--compare" => compare = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -1038,15 +1209,26 @@ fn main() {
             other => ids.push(other.to_ascii_lowercase()),
         }
     }
+    // Ids are validated against the shared live-section list (the same
+    // one the snapshot test holds BENCH_*.json to), so a typo can't
+    // silently select nothing.
+    for id in &ids {
+        if !is_live_section(id) {
+            eprintln!("unknown experiment id {id}\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
     let all = ids.is_empty() || ids.iter().any(|a| a == "all");
     let want = |keys: &[&str]| all || ids.iter().any(|id| keys.contains(&id.as_str()));
 
     let session = trace.then(TraceSession::begin);
     let mut em = Emitter::new(json);
     let mut e13_report = None;
+    let mut e15_overhead = None;
     let mut e16_stats = None;
     let mut e17_stats = None;
     let mut e18_stats = None;
+    let mut e19_outcome = None;
 
     if want(&["f1", "fig1", "e1"]) {
         fig1(&mut em);
@@ -1091,7 +1273,7 @@ fn main() {
         engine_threads(&mut em);
     }
     if want(&["e15", "overhead"]) {
-        overhead(&mut em);
+        e15_overhead = Some(overhead(&mut em));
     }
     if want(&["e16", "filtering", "pruning"]) {
         e16_stats = Some(filtering(&mut em));
@@ -1101,6 +1283,9 @@ fn main() {
     }
     if want(&["e18", "incremental"]) {
         e18_stats = Some(incremental(&mut em));
+    }
+    if want(&["e19", "telemetry"]) {
+        e19_outcome = Some(telemetry_runtime(&mut em));
     }
     if want(&["a1", "a2", "ablation"]) {
         ablation(&mut em);
@@ -1131,41 +1316,110 @@ fn main() {
         }
     }
 
+    // Snapshots that may feed the regression gate carry the machine's
+    // calibration reading, so wall times can be rescaled when compared
+    // on different hardware.
+    if compare || e19_outcome.is_some() {
+        em.toplevel("calibration_ns", gate::calibration_ns());
+    }
+
     let doc = em.finish();
 
+    let mut failed = false;
     if selfcheck {
         match run_selfcheck(
             &doc,
             e13_report.as_ref(),
+            e15_overhead,
             e16_stats,
             e17_stats,
             e18_stats,
+            e19_outcome.as_ref(),
             trace_written,
         ) {
             Ok(summary) => eprintln!("selfcheck: ok ({summary})"),
             Err(e) => {
                 eprintln!("selfcheck: FAILED: {e}");
-                std::process::exit(1);
+                failed = true;
             }
         }
+    }
+    if compare {
+        match run_compare(&doc) {
+            Ok(summary) => eprintln!("compare: ok ({summary})"),
+            Err(e) => {
+                eprintln!("compare: FAILED:\n{e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
     }
     let _ = ms(Duration::ZERO); // keep the text helper linked for benches
 }
 
+/// The perf-regression gate: diff this run's document against every
+/// committed `BENCH_*.json` baseline at the repository root (see
+/// [`gate::compare_docs`] for the per-class bounds). Experiments not
+/// regenerated by this run are left ungated.
+fn run_compare(doc: &Json) -> Result<String, String> {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut baselines: Vec<std::path::PathBuf> = std::fs::read_dir(&root)
+        .map_err(|e| format!("read {}: {e}", root.display()))?
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    baselines.sort();
+    if baselines.is_empty() {
+        return Err("no committed BENCH_*.json baselines found".into());
+    }
+    let mut report = gate::GateReport::default();
+    for path in &baselines {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let baseline = json::parse(&text).map_err(|e| format!("parse {}: {e}", path.display()))?;
+        report.merge(gate::compare_docs(doc, &baseline));
+    }
+    let regressions = report.regressions().len();
+    if regressions > 0 {
+        return Err(report.render_text());
+    }
+    eprintln!("{}", report.render_text());
+    Ok(format!(
+        "{} metrics gated against {} baseline file(s), {} skipped",
+        report.rows.len(),
+        baselines.len(),
+        report.skipped.len()
+    ))
+}
+
 /// Re-parse everything this run emitted: the JSON document round-trips,
-/// the E13 EXPLAIN report deserializes with non-empty rounds, the E16
-/// filtering A/B preserved results and hit its ≥2x solver-work target,
-/// the E17 multiway A/B produced byte-identical results with ≥2x fewer
-/// solver-visible calls, the E18 incremental A/B maintained the view
-/// byte-identically at ≥10x less per-update work (solver calls and wall
-/// time), and the chrome-trace file parses with strictly nested spans
-/// per thread.
+/// the E13 EXPLAIN report deserializes with non-empty rounds, the E15
+/// dormant-telemetry overhead stays under its pinned 5% bound when the
+/// `trace` feature is off, the E16 filtering A/B preserved results and
+/// hit its ≥2x solver-work target, the E17 multiway A/B produced
+/// byte-identical results with ≥2x fewer solver-visible calls, the E18
+/// incremental A/B maintained the view byte-identically at ≥10x less
+/// per-update work (solver calls and wall time), the E19 telemetry
+/// snapshot satisfies the documented histogram/counter identities with
+/// monotone quantiles and valid, round-trippable expositions (and an
+/// injected 2x wall slowdown trips the regression gate), and the
+/// chrome-trace file parses with strictly nested spans per thread.
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
 fn run_selfcheck(
     doc: &Json,
     e13: Option<&EvalReport>,
+    e15: Option<f64>,
     e16: Option<(bool, f64)>,
     e17: Option<(bool, f64)>,
     e18: Option<(bool, f64, f64)>,
+    e19: Option<&TelemetryOutcome>,
     trace_written: bool,
 ) -> Result<String, String> {
     let mut checks = Vec::new();
@@ -1186,6 +1440,20 @@ fn run_selfcheck(
             return Err("EvalReport has no fixpoint rounds".into());
         }
         checks.push(format!("e13 report ({} rounds)", report.rounds.len()));
+    }
+
+    if let Some(pct) = e15 {
+        // The dormant bound is only meaningful when telemetry is
+        // actually dormant: with the `trace` feature compiled in, spans
+        // do real work and E15 reports it rather than bounding it.
+        if !cfg!(feature = "trace") {
+            if pct >= 5.0 {
+                return Err(format!(
+                    "E15: dormant telemetry overhead {pct:.2}% breaches the 5% bound"
+                ));
+            }
+            checks.push(format!("e15 overhead ({pct:.2}% < 5%)"));
+        }
     }
 
     if let Some((same_results, reduction)) = e16 {
@@ -1224,6 +1492,106 @@ fn run_selfcheck(
         }
         checks.push(format!(
             "e18 incremental ({solver_reduction:.2}x solver, {wall_reduction:.2}x wall)"
+        ));
+    }
+
+    if let Some(outcome) = e19 {
+        // Histogram totals must equal the corresponding counter totals:
+        // every sample lands in exactly one scope, so the scoped
+        // histogram and the scoped counter count the same events.
+        let scope = |name: &str| {
+            outcome
+                .snapshot
+                .scopes
+                .iter()
+                .find(|s| s.name == name)
+                .ok_or_else(|| format!("E19: telemetry scope \"{name}\" missing"))
+        };
+        let fixpoint = scope("fixpoint")?;
+        let identities: [(&str, u64, u64); 3] = [
+            (
+                hist::QE_CALL_NS,
+                fixpoint.metrics.hists.get(hist::QE_CALL_NS).map_or(0, Histogram::count),
+                fixpoint.metrics.get(Counter::QeCalls),
+            ),
+            (
+                hist::FIXPOINT_ROUND_NS,
+                fixpoint.metrics.hists.get(hist::FIXPOINT_ROUND_NS).map_or(0, Histogram::count),
+                fixpoint.metrics.get(Counter::FixpointRounds),
+            ),
+            (
+                hist::MULTIWAY_FANOUT,
+                fixpoint.metrics.hists.get(hist::MULTIWAY_FANOUT).map_or(0, Histogram::sum),
+                fixpoint.metrics.get(Counter::MultiwayProbes),
+            ),
+        ];
+        for (name, hist_total, counter_total) in identities {
+            if hist_total != counter_total {
+                return Err(format!(
+                    "E19: {name} histogram total {hist_total} != counter total {counter_total}"
+                ));
+            }
+            if hist_total == 0 {
+                return Err(format!("E19: {name} recorded no samples — the check is vacuous"));
+            }
+        }
+        let view = scope("view")?;
+        let updates = view.metrics.hists.get(hist::VIEW_UPDATE_NS).map_or(0, Histogram::count);
+        if updates != outcome.view_updates {
+            return Err(format!(
+                "E19: view_update_ns count {updates} != {} applied updates",
+                outcome.view_updates
+            ));
+        }
+
+        // Quantiles must be monotone in q for every histogram.
+        for reading in &outcome.snapshot.scopes {
+            for (name, h) in &reading.metrics.hists {
+                let mut prev = 0u64;
+                for step in 0..=10u32 {
+                    let q = f64::from(step) / 10.0;
+                    let v = h.quantile(q).ok_or_else(|| {
+                        format!(
+                            "E19: {}/{name} quantile({q}) on a non-empty histogram",
+                            reading.name
+                        )
+                    })?;
+                    if v < prev {
+                        return Err(format!(
+                            "E19: {}/{name} quantile({q}) = {v} < quantile({}) = {prev}",
+                            reading.name,
+                            (f64::from(step) - 1.0) / 10.0
+                        ));
+                    }
+                    prev = v;
+                }
+            }
+        }
+
+        // Both expositions validate, and the JSON one round-trips.
+        let prom_samples = expose::validate_prometheus(&outcome.prometheus)
+            .map_err(|e| format!("E19: prometheus exposition: {e}"))?;
+        let json_samples = expose::validate_json(&outcome.json)
+            .map_err(|e| format!("E19: json exposition: {e}"))?;
+        let back = json::parse(&outcome.json.pretty())
+            .map_err(|e| format!("E19: exposition re-parse: {e}"))?;
+        if back != outcome.json {
+            return Err("E19: exposition JSON round-trip mismatch".into());
+        }
+
+        // The gate must be a faithful detector: the run compared against
+        // itself is clean, and an injected 2x wall slowdown is caught.
+        let clean = gate::compare_docs(doc, doc);
+        if !clean.regressions().is_empty() {
+            return Err(format!("E19: gate flags a run against itself:\n{}", clean.render_text()));
+        }
+        let slowed = gate::scale_wall_metrics(doc, 2.0);
+        let tripped = gate::compare_docs(&slowed, doc);
+        if tripped.regressions().is_empty() {
+            return Err("E19: injected 2x wall slowdown did not trip the gate".into());
+        }
+        checks.push(format!(
+            "e19 telemetry ({prom_samples} prom / {json_samples} json samples, gate trips on 2x)"
         ));
     }
 

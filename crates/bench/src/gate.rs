@@ -1,0 +1,422 @@
+//! The perf-regression gate behind `repro --compare`.
+//!
+//! A committed `BENCH_*.json` snapshot is a *baseline*: the machine that
+//! produced it recorded its deterministic counters, A/B reductions and
+//! wall times. `--compare` re-runs the same experiments and diffs the
+//! fresh document against every committed baseline, per metric class:
+//!
+//! * **flags** — a boolean that was `true` in the baseline (results
+//!   agree, byte-identical, …) must still be `true`;
+//! * **reductions** — a `*reduction*` factor may not fall below half the
+//!   baseline value (the A/B win must survive, with headroom for
+//!   workload drift);
+//! * **counts** — solver-visible call counters (`solver_calls_*`,
+//!   `*_calls`, `*_checks`, `*_rounds`) may not grow past 1.25× the
+//!   baseline plus a small absolute slack;
+//! * **walls** — `*_ms` metrics are machine-dependent, so they are only
+//!   gated when *both* documents carry a `calibration_ns` reading of the
+//!   fixed [`calibration_ns`] workload. The baseline wall is rescaled by
+//!   the calibration ratio and the current wall may not exceed 1.75× the
+//!   rescaled value (plus 1 ms absolute slack for micro-timings). The
+//!   factor is deliberately below 2: an injected 2× slowdown must trip
+//!   the gate, which `repro e19 --selfcheck` verifies in-process.
+//!
+//! Anything else (tables, nested objects, unclassified numbers) is
+//! reported as skipped rather than silently dropped, so a truncated
+//! comparison is visible in the gate output.
+
+use cql_trace::Json;
+use std::time::Instant;
+
+/// Nanoseconds for the fixed integer calibration workload (best of 3
+/// runs of a 2M-step xorshift fold). Embedded as the top-level
+/// `calibration_ns` of a snapshot, it lets [`compare_docs`] rescale the
+/// baseline's wall times to the comparing machine's speed.
+#[must_use]
+pub fn calibration_ns() -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let mut x = 0x9e37_79b9_7f4a_7c15_u64;
+        let mut acc = 0u64;
+        for _ in 0..2_000_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            acc = acc.wrapping_add(x);
+        }
+        std::hint::black_box(acc);
+        best = best.min(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+    best
+}
+
+/// How a metric is gated (which bound applies).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricClass {
+    /// Boolean that must stay `true`.
+    Flag,
+    /// A/B reduction factor with a 0.5× floor.
+    Reduction,
+    /// Deterministic counter with a 1.25× ceiling.
+    Count,
+    /// Calibration-rescaled wall time with a 1.75× ceiling.
+    Wall,
+}
+
+impl MetricClass {
+    /// The class name as the gate report prints it.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricClass::Flag => "flag",
+            MetricClass::Reduction => "reduction",
+            MetricClass::Count => "count",
+            MetricClass::Wall => "wall",
+        }
+    }
+}
+
+/// One gated metric: the baseline value, the fresh value, the bound it
+/// was held to, and the verdict.
+#[derive(Clone, Debug)]
+pub struct GateRow {
+    /// Experiment id (`e16`, …).
+    pub experiment: String,
+    /// Metric key within the experiment.
+    pub metric: String,
+    /// Which bound applied.
+    pub class: MetricClass,
+    /// Baseline value (walls: already rescaled by the calibration ratio).
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub current: f64,
+    /// The bound `current` was checked against (a floor for reductions,
+    /// a ceiling otherwise).
+    pub limit: f64,
+    /// Did the metric stay within the bound?
+    pub ok: bool,
+}
+
+/// The outcome of diffing one fresh document against one baseline.
+#[derive(Clone, Debug, Default)]
+pub struct GateReport {
+    /// Every gated metric, in document order.
+    pub rows: Vec<GateRow>,
+    /// Metrics that could not be gated (unclassified keys, walls
+    /// without calibration), as `experiment.metric: reason` lines.
+    pub skipped: Vec<String>,
+}
+
+impl GateReport {
+    /// The rows that regressed.
+    #[must_use]
+    pub fn regressions(&self) -> Vec<&GateRow> {
+        self.rows.iter().filter(|r| !r.ok).collect()
+    }
+
+    /// Fold another report (a second baseline file) into this one.
+    pub fn merge(&mut self, other: GateReport) {
+        self.rows.extend(other.rows);
+        self.skipped.extend(other.skipped);
+    }
+
+    /// Render the gate outcome as aligned text lines.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = Vec::new();
+        for r in &self.rows {
+            let verdict = if r.ok { "ok" } else { "REGRESSION" };
+            let bound = if r.class == MetricClass::Reduction { ">=" } else { "<=" };
+            out.push(format!(
+                "{verdict:>10}  {:>9}  {}.{}: {:.2} (baseline {:.2}, bound {bound} {:.2})",
+                r.class.name(),
+                r.experiment,
+                r.metric,
+                r.current,
+                r.baseline,
+                r.limit,
+            ));
+        }
+        for s in &self.skipped {
+            out.push(format!("   skipped  {s}"));
+        }
+        out.join("\n")
+    }
+}
+
+/// Classify a metric key. `None` means the key is not gated.
+fn classify(key: &str, value: &Json) -> Option<MetricClass> {
+    match value {
+        Json::Bool(_) => Some(MetricClass::Flag),
+        Json::Num(_) => {
+            if key.contains("reduction") {
+                Some(MetricClass::Reduction)
+            } else if key.ends_with("_ms") {
+                Some(MetricClass::Wall)
+            } else if key.starts_with("solver_calls")
+                || key.ends_with("_calls")
+                || key.ends_with("_checks")
+                || key.ends_with("_rounds")
+            {
+                Some(MetricClass::Count)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Count ceiling: 1.25× the baseline plus absolute slack for tiny
+/// counters.
+fn count_limit(baseline: f64) -> f64 {
+    baseline * 1.25 + 16.0
+}
+
+/// Wall ceiling: 1.75× the calibration-rescaled baseline plus 1 ms of
+/// absolute slack (micro-timings jitter more than they inform).
+fn wall_limit(scaled_baseline: f64) -> f64 {
+    scaled_baseline * 1.75 + 1.0
+}
+
+/// Reduction floor: half the baseline factor.
+fn reduction_limit(baseline: f64) -> f64 {
+    baseline * 0.5
+}
+
+fn experiments(doc: &Json) -> &[Json] {
+    doc.get("experiments").and_then(Json::as_arr).unwrap_or(&[])
+}
+
+/// Diff `current` against one `baseline` snapshot document.
+///
+/// Baseline experiments absent from `current` are not compared (a
+/// `--compare` run may regenerate only a subset of sections); baseline
+/// metrics absent from a matched current experiment count as
+/// regressions (a metric must not silently disappear). Wall metrics are
+/// gated only when both documents carry a top-level `calibration_ns`.
+#[must_use]
+pub fn compare_docs(current: &Json, baseline: &Json) -> GateReport {
+    let scale = match (
+        current.get("calibration_ns").and_then(Json::as_num),
+        baseline.get("calibration_ns").and_then(Json::as_num),
+    ) {
+        (Some(now), Some(then)) if then > 0.0 => Some(now / then),
+        _ => None,
+    };
+    let mut report = GateReport::default();
+    for base_exp in experiments(baseline) {
+        let Some(id) = base_exp.get("id").and_then(Json::as_str) else { continue };
+        let Some(cur_exp) =
+            experiments(current).iter().find(|e| e.get("id").and_then(Json::as_str) == Some(id))
+        else {
+            continue;
+        };
+        let Json::Obj(fields) = base_exp else { continue };
+        for (key, base_val) in fields {
+            if key == "id" || key == "title" {
+                continue;
+            }
+            let Some(class) = classify(key, base_val) else {
+                if matches!(base_val, Json::Num(_)) {
+                    report.skipped.push(format!("{id}.{key}: unclassified metric"));
+                }
+                continue;
+            };
+            let cur_val = cur_exp.get(key);
+            match class {
+                MetricClass::Flag => {
+                    if base_val.as_bool() != Some(true) {
+                        continue; // only true flags are load-bearing
+                    }
+                    let ok = cur_val.and_then(Json::as_bool) == Some(true);
+                    report.rows.push(GateRow {
+                        experiment: id.to_string(),
+                        metric: key.clone(),
+                        class,
+                        baseline: 1.0,
+                        current: f64::from(i8::from(ok)),
+                        limit: 1.0,
+                        ok,
+                    });
+                }
+                MetricClass::Reduction | MetricClass::Count | MetricClass::Wall => {
+                    let base_num = base_val.as_num().unwrap_or(0.0);
+                    let (baseline_val, limit) = match class {
+                        MetricClass::Reduction => (base_num, reduction_limit(base_num)),
+                        MetricClass::Count => (base_num, count_limit(base_num)),
+                        MetricClass::Wall => {
+                            let Some(scale) = scale else {
+                                report.skipped.push(format!(
+                                    "{id}.{key}: wall metric without calibration_ns in both docs"
+                                ));
+                                continue;
+                            };
+                            (base_num * scale, wall_limit(base_num * scale))
+                        }
+                        MetricClass::Flag => unreachable!(),
+                    };
+                    let Some(current_val) = cur_val.and_then(Json::as_num) else {
+                        report.rows.push(GateRow {
+                            experiment: id.to_string(),
+                            metric: key.clone(),
+                            class,
+                            baseline: baseline_val,
+                            current: f64::NAN,
+                            limit,
+                            ok: false,
+                        });
+                        continue;
+                    };
+                    let ok = if class == MetricClass::Reduction {
+                        current_val >= limit
+                    } else {
+                        current_val <= limit
+                    };
+                    report.rows.push(GateRow {
+                        experiment: id.to_string(),
+                        metric: key.clone(),
+                        class,
+                        baseline: baseline_val,
+                        current: current_val,
+                        limit,
+                        ok,
+                    });
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Clone a snapshot document with every wall (`*_ms`) metric multiplied
+/// by `factor` — the synthetic slowdown the e19 selfcheck injects to
+/// prove the gate trips.
+#[must_use]
+pub fn scale_wall_metrics(doc: &Json, factor: f64) -> Json {
+    fn walk(v: &Json, in_experiment: bool, factor: f64) -> Json {
+        match v {
+            Json::Obj(fields) => Json::Obj(
+                fields
+                    .iter()
+                    .map(|(k, val)| {
+                        let scaled = match val {
+                            Json::Num(n) if in_experiment && k.ends_with("_ms") => {
+                                Json::Num(n * factor)
+                            }
+                            other => walk(other, in_experiment || k == "experiments", factor),
+                        };
+                        (k.clone(), scaled)
+                    })
+                    .collect(),
+            ),
+            Json::Arr(items) => {
+                Json::Arr(items.iter().map(|i| walk(i, in_experiment, factor)).collect())
+            }
+            other => other.clone(),
+        }
+    }
+    walk(doc, false, factor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(calibration: Option<u64>, fields: &[(&str, Json)]) -> Json {
+        let mut exp = Json::obj().field("id", "e99").field("title", "t");
+        for (k, v) in fields {
+            exp = exp.field(k, v.clone());
+        }
+        let mut d = Json::obj().field("experiments", Json::Arr(vec![exp]));
+        if let Some(c) = calibration {
+            d = d.field("calibration_ns", c);
+        }
+        d
+    }
+
+    #[test]
+    fn identical_docs_pass() {
+        let d = doc(
+            Some(1000),
+            &[
+                ("same_results", Json::Bool(true)),
+                ("solver_calls_on", Json::from(2256u64)),
+                ("reduction", Json::from(16.85)),
+                ("wall_ms", Json::from(24.3)),
+            ],
+        );
+        let report = compare_docs(&d, &d);
+        assert_eq!(report.rows.len(), 4);
+        assert!(report.regressions().is_empty(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn injected_wall_slowdown_trips_the_gate() {
+        let base = doc(Some(1000), &[("fixpoint_wall_ms", Json::from(25.0))]);
+        let slowed = scale_wall_metrics(&base, 2.0);
+        let report = compare_docs(&slowed, &base);
+        assert_eq!(report.regressions().len(), 1, "{}", report.render_text());
+        // And the unscaled document still passes against itself.
+        assert!(compare_docs(&base, &base).regressions().is_empty());
+    }
+
+    #[test]
+    fn wall_metrics_skip_without_calibration() {
+        let base = doc(None, &[("construction_ms", Json::from(24.3))]);
+        let slowed = scale_wall_metrics(&base, 10.0);
+        let report = compare_docs(&slowed, &base);
+        assert!(report.rows.is_empty());
+        assert_eq!(report.skipped.len(), 1);
+    }
+
+    #[test]
+    fn calibration_rescales_the_wall_baseline() {
+        // Baseline machine twice as fast (half the calibration time):
+        // the bound doubles, so a 2x wall on the slower machine passes.
+        let base = doc(Some(500), &[("wall_ms", Json::from(20.0))]);
+        let mut cur = doc(Some(1000), &[("wall_ms", Json::from(40.0))]);
+        let report = compare_docs(&cur, &base);
+        assert!(report.regressions().is_empty(), "{}", report.render_text());
+        // But 4x trips it even after rescaling.
+        cur = doc(Some(1000), &[("wall_ms", Json::from(80.0))]);
+        assert_eq!(compare_docs(&cur, &base).regressions().len(), 1);
+    }
+
+    #[test]
+    fn count_growth_and_lost_flags_regress() {
+        let base = doc(
+            Some(1000),
+            &[("byte_identical", Json::Bool(true)), ("solver_calls_on", Json::from(1000u64))],
+        );
+        let cur = doc(
+            Some(1000),
+            &[("byte_identical", Json::Bool(false)), ("solver_calls_on", Json::from(1400u64))],
+        );
+        let report = compare_docs(&cur, &base);
+        assert_eq!(report.regressions().len(), 2, "{}", report.render_text());
+    }
+
+    #[test]
+    fn reduction_floor_is_half_the_baseline() {
+        let base = doc(Some(1000), &[("reduction", Json::from(16.0))]);
+        let ok = doc(Some(1000), &[("reduction", Json::from(9.0))]);
+        assert!(compare_docs(&ok, &base).regressions().is_empty());
+        let bad = doc(Some(1000), &[("reduction", Json::from(7.0))]);
+        assert_eq!(compare_docs(&bad, &base).regressions().len(), 1);
+    }
+
+    #[test]
+    fn missing_metric_is_a_regression() {
+        let base = doc(Some(1000), &[("solver_calls_on", Json::from(10u64))]);
+        let cur = doc(Some(1000), &[]);
+        assert_eq!(compare_docs(&cur, &base).regressions().len(), 1);
+    }
+
+    #[test]
+    fn calibration_workload_is_nontrivial() {
+        let ns = calibration_ns();
+        assert!(ns > 100_000, "calibration finished implausibly fast: {ns}ns");
+    }
+}

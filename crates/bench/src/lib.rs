@@ -6,8 +6,46 @@
 #![forbid(unsafe_code)]
 
 pub mod emitter;
+pub mod gate;
 
 pub use emitter::Emitter;
+
+/// Every live `repro` section: canonical experiment id plus the legacy
+/// names that select it. This is the single source of truth shared by
+/// the `repro` argument parser (unknown ids are rejected against it)
+/// and the snapshot test (every committed `BENCH_*.json` experiment id
+/// must still have a live section to regenerate it).
+pub const SECTIONS: &[(&str, &[&str])] = &[
+    ("f1", &["fig1", "e1"]),
+    ("t1", &["table1", "e2"]),
+    ("f2", &["fig2", "e3"]),
+    ("f3", &["fig3"]),
+    ("e4", &["containment"]),
+    ("e5", &["containment"]),
+    ("e6", &["hull"]),
+    ("e7", &["voronoi"]),
+    ("e8", &["datalog"]),
+    ("e9", &["equality"]),
+    ("e10", &["boolean"]),
+    ("e11", &["qbf"]),
+    ("e12", &["index"]),
+    ("e13", &["engine"]),
+    ("e14", &["engine"]),
+    ("e15", &["overhead"]),
+    ("e16", &["filtering", "pruning"]),
+    ("e17", &["multiway"]),
+    ("e18", &["incremental"]),
+    ("e19", &["telemetry"]),
+    ("a1", &["ablation"]),
+    ("a2", &["ablation"]),
+    ("a3", &["ablation"]),
+];
+
+/// Is `id` a live section id (canonical or legacy, or `all`)?
+#[must_use]
+pub fn is_live_section(id: &str) -> bool {
+    id == "all" || SECTIONS.iter().any(|(canon, aliases)| *canon == id || aliases.contains(&id))
+}
 
 use cql_arith::Rat;
 use cql_core::{CalculusQuery, Database, Formula, GenRelation};

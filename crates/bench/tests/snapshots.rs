@@ -1,8 +1,10 @@
 //! Committed benchmark snapshots (`BENCH_*.json` at the repository
 //! root) must stay loadable: each parses with the same JSON reader the
 //! emitter round-trips through, carries a non-empty `experiments`
-//! array, and no experiment id repeats — within a snapshot or across
-//! snapshots (each PR's snapshot captures a distinct experiment).
+//! array, no experiment id repeats — within a snapshot or across
+//! snapshots (each PR's snapshot captures a distinct experiment) — and
+//! every id names a live `repro` section, so each committed baseline
+//! can still be regenerated (and gated against) by the current binary.
 
 use cql_trace::{json, Json};
 use std::collections::BTreeMap;
@@ -51,6 +53,10 @@ fn committed_snapshots_parse_with_unique_experiment_ids() {
                 Some((_, Json::Str(id))) if !id.is_empty() => id.clone(),
                 _ => panic!("{file}: experiment without a non-empty string `id`"),
             };
+            assert!(
+                cql_bench::is_live_section(&id),
+                "{file}: experiment id `{id}` has no live repro section to regenerate it"
+            );
             if let Some(other) = seen.insert(id.clone(), file.clone()) {
                 panic!("experiment id `{id}` appears in both {other} and {file}");
             }

@@ -288,6 +288,23 @@ impl<T: Theory> GenRelation<T> {
         self.tuples.is_empty()
     }
 
+    /// Estimated heap bytes held by the relation: constraint storage of
+    /// every tuple plus the dedup/signature bookkeeping. A sampling
+    /// gauge for telemetry (one pass, no solver work), not an allocator
+    /// measurement.
+    #[must_use]
+    pub fn bytes_estimate(&self) -> usize {
+        let constraint = std::mem::size_of::<T::Constraint>();
+        let constraints: usize = self.tuples.iter().map(|t| t.constraints().len()).sum();
+        let bucket_ids: usize = self.buckets.values().map(Vec::len).sum();
+        constraints * constraint
+            + self.tuples.len() * std::mem::size_of::<GenTuple<T>>()
+            + self.seen.len() * (std::mem::size_of::<u64>() + 16)
+            + self.meta.len() * std::mem::size_of::<TupleMeta<T>>()
+            + self.buckets.len() * (std::mem::size_of::<(u64, Vec<usize>)>() + 16)
+            + bucket_ids * std::mem::size_of::<usize>()
+    }
+
     /// Insert a tuple, maintaining the compression invariant of the
     /// relation's [`SubsumptionMode`]. Returns `true` if the tuple was
     /// added (i.e. it was not a duplicate and not subsumed).
@@ -691,6 +708,13 @@ impl<T: Theory> Database<T> {
     #[must_use]
     pub fn size(&self) -> usize {
         self.relations.values().map(GenRelation::len).sum()
+    }
+
+    /// Estimated heap bytes across all relations (sum of
+    /// [`GenRelation::bytes_estimate`]). A sampling gauge for telemetry.
+    #[must_use]
+    pub fn bytes_estimate(&self) -> usize {
+        self.relations.values().map(GenRelation::bytes_estimate).sum()
     }
 }
 

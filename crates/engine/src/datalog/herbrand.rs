@@ -215,6 +215,7 @@ fn run_rounds<T: CellTheory>(
             });
         }
         cql_trace::count(cql_trace::Counter::FixpointRounds, 1);
+        let round_start = std::time::Instant::now();
         let mut round_span = cql_trace::span("herbrand.round", "round");
         round_span.arg("round", iterations as u64 + 1);
         // Round-based T_P: every candidate fires against the frozen stage
@@ -234,6 +235,10 @@ fn run_rounds<T: CellTheory>(
             }
         }
         iterations += 1;
+        cql_trace::record_hist(
+            cql_trace::hist::FIXPOINT_ROUND_NS,
+            u64::try_from(round_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
         if !changed {
             return Ok(finish(prepared, instance, iterations));
         }

@@ -60,7 +60,7 @@ use cql_core::error::{CqlError, Result};
 use cql_core::policy::{EnginePolicy, SubsumptionMode};
 use cql_core::relation::{Database, GenRelation, GenTuple};
 use cql_core::theory::Theory;
-use cql_trace::{count, span, Counter, MetricsScope, UpdateStats};
+use cql_trace::{count, hist, record_hist, span, Counter, MetricsScope, UpdateStats};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::time::Instant;
 
@@ -282,6 +282,10 @@ impl<T: Theory> MaterializedView<T> {
         started: Instant,
     ) -> UpdateStats {
         let snap = scope.snapshot();
+        let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        // Recorded inside the update scope; merge-on-drop folds the
+        // sample into whatever scope encloses the update.
+        record_hist(hist::VIEW_UPDATE_NS, wall_ns);
         let stats = UpdateStats {
             op: op.to_string(),
             relation: relation.to_string(),
@@ -290,7 +294,7 @@ impl<T: Theory> MaterializedView<T> {
             support_adjust: snap.get(Counter::SupportAdjust),
             qe_calls: snap.get(Counter::QeCalls),
             entailment_checks: snap.get(Counter::EntailmentChecks),
-            wall_ns: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            wall_ns,
         };
         self.log.push(stats.clone());
         stats

@@ -29,5 +29,5 @@ pub use incremental::MaterializedView;
 pub use plan::JoinPlan;
 pub use symbolic::{
     inflationary, naive, naive_explain, naive_explain_with, seminaive, seminaive_explain,
-    seminaive_explain_with, FixpointOptions, FixpointResult,
+    seminaive_explain_with, seminaive_with, FixpointOptions, FixpointResult,
 };

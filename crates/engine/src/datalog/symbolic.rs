@@ -45,7 +45,9 @@ use cql_core::error::{CqlError, Result};
 use cql_core::policy::EnginePolicy;
 use cql_core::relation::{Database, GenRelation, GenTuple};
 use cql_core::theory::{Theory, Var};
-use cql_trace::{count, span, Counter, MetricsScope, MetricsSnapshot, PlanStats, RoundStats};
+use cql_trace::{
+    count, hist, record_hist, span, Counter, MetricsScope, MetricsSnapshot, PlanStats, RoundStats,
+};
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::time::Instant;
 
@@ -122,11 +124,10 @@ impl RoundLog {
         produced: usize,
         delta: usize,
         scope: &MetricsScope,
-        started: Instant,
+        wall_ns: u64,
         round_span: &mut cql_trace::SpanGuard,
     ) {
         let snap = scope.snapshot();
-        let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         round_span.arg("produced", produced as u64);
         round_span.arg("delta", delta as u64);
         self.rounds.push(RoundStats {
@@ -145,6 +146,16 @@ impl RoundLog {
             wall_ns,
         });
     }
+}
+
+/// Close out a fixpoint round's wall clock: the elapsed nanoseconds are
+/// recorded into the round-latency histogram (inside the round scope,
+/// which folds into the enclosing query scope on drop, so totals stay
+/// exact at any executor width) and returned for [`RoundStats`].
+fn record_round_wall(started: Instant) -> u64 {
+    let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    record_hist(hist::FIXPOINT_ROUND_NS, wall_ns);
+    wall_ns
 }
 
 /// Total inclusive wall time of the theory QE entry points (`"qe.*"`
@@ -365,6 +376,7 @@ pub(crate) fn fire_rule_counted<T: Theory>(
     let (conjs, probes, survivors) = multiway_join(&atoms, &base, rule.var_count());
     count(Counter::MultiwayProbes, probes);
     count(Counter::MultiwaySurvivors, survivors);
+    record_hist(hist::MULTIWAY_FANOUT, probes);
     cache.record(rule_idx, probes, survivors);
     project_conjs(engine, rule, conjs)
 }
@@ -458,6 +470,7 @@ fn fire_body_multiway<T: Theory>(
     let (conjs, probes, survivors) = multiway_join(&atoms, &base, rule.var_count());
     count(Counter::MultiwayProbes, probes);
     count(Counter::MultiwaySurvivors, survivors);
+    record_hist(hist::MULTIWAY_FANOUT, probes);
     cache.record(rule_idx, probes, survivors);
     let interned = map_batch(engine, conjs, |conj| engine.intern(conj));
     Ok(dedup_ordered(interned.into_iter().flatten()))
@@ -619,8 +632,9 @@ fn fixpoint_rounds<T: Theory>(
             idb.insert(name, rel);
         }
         iterations += 1;
+        let wall_ns = record_round_wall(round_start);
         if let Some(log) = log.as_deref_mut() {
-            log.finish(iterations, produced, delta, &round_scope, round_start, &mut round_span);
+            log.finish(iterations, produced, delta, &round_scope, wall_ns, &mut round_span);
         }
         if !changed {
             if let Some(log) = log.as_deref_mut() {
@@ -759,8 +773,9 @@ fn seminaive_rounds<T: Theory>(
         }
     }
     iterations += 1;
+    let wall_ns = record_round_wall(round_start);
     if let Some(log) = log.as_deref_mut() {
-        log.finish(iterations, produced, delta.size(), &round_scope, round_start, &mut round_span);
+        log.finish(iterations, produced, delta.size(), &round_scope, wall_ns, &mut round_span);
     }
     drop(round_span);
     drop(round_scope);
@@ -807,15 +822,9 @@ fn seminaive_rounds<T: Theory>(
         }
         delta = next_delta;
         iterations += 1;
+        let wall_ns = record_round_wall(round_start);
         if let Some(log) = log.as_deref_mut() {
-            log.finish(
-                iterations,
-                produced,
-                delta.size(),
-                &round_scope,
-                round_start,
-                &mut round_span,
-            );
+            log.finish(iterations, produced, delta.size(), &round_scope, wall_ns, &mut round_span);
         }
     }
     if let Some(log) = log {

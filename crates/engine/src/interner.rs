@@ -113,9 +113,43 @@ impl<T: Theory> Interner<T> {
         self.shards.iter().map(|s| s.lock().expect("interner poisoned").canon.len()).sum()
     }
 
+    /// Number of memoized raw-conjunction entries (the
+    /// canonicalization memo, as opposed to the hash-consing pool).
+    #[must_use]
+    pub fn raw_len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("interner poisoned").raw.len()).sum()
+    }
+
+    /// Estimated heap bytes held by the memo tables: per-entry table
+    /// overhead plus the keys' constraint storage. A sampling gauge for
+    /// telemetry (one pass over the tables, no solver work), not an
+    /// allocator measurement.
+    #[must_use]
+    pub fn bytes_estimate(&self) -> usize {
+        let constraint = std::mem::size_of::<T::Constraint>();
+        let raw_entry =
+            std::mem::size_of::<(Vec<T::Constraint>, Option<GenTuple<T>>)>() + ENTRY_OVERHEAD;
+        let canon_entry = std::mem::size_of::<(Vec<T::Constraint>, GenTuple<T>)>() + ENTRY_OVERHEAD;
+        self.shards
+            .iter()
+            .map(|s| {
+                let pools = s.lock().expect("interner poisoned");
+                let raw_constraints: usize = pools.raw.keys().map(Vec::len).sum();
+                let canon_constraints: usize = pools.canon.keys().map(Vec::len).sum();
+                pools.raw.len() * raw_entry
+                    + pools.canon.len() * canon_entry
+                    + (raw_constraints + canon_constraints) * constraint
+            })
+            .sum()
+    }
+
     /// True iff nothing has been interned.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 }
+
+/// Approximate per-entry bookkeeping of a `std::collections::HashMap`
+/// (control byte + padding amortized), shared by the size estimators.
+const ENTRY_OVERHEAD: usize = 16;

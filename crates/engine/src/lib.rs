@@ -132,6 +132,28 @@ impl<T: Theory> Engine<T> {
         &self.qe_cache
     }
 
+    /// Sampled occupancy/cardinality gauges for the engine's shared
+    /// state, as `(name, value)` rows: interner entries (canonical pool
+    /// and raw memo) and estimated bytes, QE-cache entries, estimated
+    /// bytes, per-shard peak occupancy and shard capacity. The rows feed
+    /// [`trace::EvalReport::with_gauges`] and a
+    /// [`trace::TelemetryRegistry`]'s `set_gauge`; sampling is one pass
+    /// over the tables with no solver work.
+    #[must_use]
+    pub fn gauges(&self) -> Vec<(String, u64)> {
+        let occupancy = self.qe_cache.shard_occupancy();
+        let peak = occupancy.iter().copied().max().unwrap_or(0);
+        vec![
+            ("interner_entries".to_string(), self.interner.len() as u64),
+            ("interner_raw_entries".to_string(), self.interner.raw_len() as u64),
+            ("interner_bytes".to_string(), self.interner.bytes_estimate() as u64),
+            ("qe_cache_entries".to_string(), self.qe_cache.len() as u64),
+            ("qe_cache_bytes".to_string(), self.qe_cache.bytes_estimate() as u64),
+            ("qe_cache_shard_peak".to_string(), peak as u64),
+            ("qe_cache_shard_capacity".to_string(), self.qe_cache.shard_capacity() as u64),
+        ]
+    }
+
     /// `∃ var. conj` through the engine's QE memo cache (a direct theory
     /// call when [`EnginePolicy::qe_cache`] is off). All evaluator QE
     /// goes through here, so fixpoint rounds that re-derive a

@@ -104,6 +104,40 @@ impl<T: Theory> QeCache<T> {
         self.shards.iter().map(|s| s.lock().expect("qe cache poisoned").len()).sum()
     }
 
+    /// Entries per shard, in shard order — occupancy telemetry (a full
+    /// shard is one overflow away from an epoch clear).
+    #[must_use]
+    pub fn shard_occupancy(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.lock().expect("qe cache poisoned").len()).collect()
+    }
+
+    /// The per-shard entry cap (shards clear on reaching it).
+    #[must_use]
+    pub fn shard_capacity(&self) -> usize {
+        self.per_shard
+    }
+
+    /// Estimated heap bytes held by the memo tables: per-entry table
+    /// overhead plus key/value constraint storage. A sampling gauge, not
+    /// an allocator measurement.
+    #[must_use]
+    pub fn bytes_estimate(&self) -> usize {
+        let constraint = std::mem::size_of::<T::Constraint>();
+        let entry =
+            std::mem::size_of::<((Vec<T::Constraint>, Var), Vec<Vec<T::Constraint>>)>() + 16;
+        self.shards
+            .iter()
+            .map(|s| {
+                let memo = s.lock().expect("qe cache poisoned");
+                let constraints: usize = memo
+                    .iter()
+                    .map(|((key, _), dnf)| key.len() + dnf.iter().map(Vec::len).sum::<usize>())
+                    .sum();
+                memo.len() * entry + constraints * constraint
+            })
+            .sum()
+    }
+
     /// True iff nothing has been memoized.
     #[must_use]
     pub fn is_empty(&self) -> bool {

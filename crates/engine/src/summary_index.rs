@@ -88,6 +88,20 @@ impl SummaryLevel {
         self.len - self.rest.len()
     }
 
+    /// Estimated heap bytes held by the level's bucket structures
+    /// (points map, span list, catch-all) — a sampling gauge for
+    /// telemetry, not an allocator measurement.
+    #[must_use]
+    pub fn bytes_estimate(&self) -> usize {
+        let point_entry = std::mem::size_of::<(Rat, Vec<usize>)>() + 16;
+        let id = std::mem::size_of::<usize>();
+        let point_ids: usize = self.points.values().map(Vec::len).sum();
+        self.points.len() * point_entry
+            + point_ids * id
+            + self.spans.len() * std::mem::size_of::<(Interval, usize)>()
+            + self.rest.len() * id
+    }
+
     /// Entry indices whose hull at the level's dimension meets the closed
     /// probe `range`; all entries (in index order) when the probe is
     /// unranged. Sound: two summaries whose closed hulls at one dimension
@@ -209,6 +223,13 @@ impl<T: Theory> SummaryIndex<T> {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.summaries.is_empty()
+    }
+
+    /// Estimated heap bytes held by the index: the stored summaries plus
+    /// the bucket level. A sampling gauge for telemetry.
+    #[must_use]
+    pub fn bytes_estimate(&self) -> usize {
+        self.summaries.len() * std::mem::size_of::<T::Summary>() + self.level.bytes_estimate()
     }
 
     /// Indices whose bucket at the index dimension meets `range` (a

@@ -1,0 +1,194 @@
+//! Histogram exactness under the parallel executor.
+//!
+//! Companion to `metrics_scope.rs` for the telemetry histograms: a
+//! [`MetricsScope`] entered on the issuing thread captures *exactly* the
+//! samples recorded on its behalf, no matter how many worker threads the
+//! [`Executor`] fans out to — per-round and per-worker shards fold into
+//! the issuing scope on drop with bucket-exact [`Histogram::merge`], so
+//! the merged result is identical to the single-threaded one. Wall-time
+//! histograms can't be compared bucket-for-bucket (their *values* are
+//! clock readings), so the width-invariance assertions split:
+//!
+//! * the `multiway_fanout` histogram records a deterministic value (the
+//!   probe count of each multiway join) and must be **bucket-exact
+//!   equal** across widths 1, 4 and 8 — min, max, sum, count and every
+//!   bucket;
+//! * the latency histograms must keep their documented count/sum
+//!   invariants (`qe_call_ns` count == `QeCalls`, `fixpoint_round_ns`
+//!   count == `FixpointRounds`, `multiway_fanout` sum ==
+//!   `MultiwayProbes`) at every width.
+//!
+//! All four shipped theories are covered: dense order and equality run
+//! the recursive fixpoint (which exercises the multiway join), boolean
+//! algebra and real polynomials run the calculus compose query (their
+//! QE is the expensive path worth histogramming).
+
+use cql_arith::Rat;
+use cql_bool::{BoolAlg, BoolFunc};
+use cql_core::theory::Theory;
+use cql_core::{CalculusQuery, Database, Formula, GenRelation};
+use cql_dense::Dense;
+use cql_engine::datalog::{self, Atom, FixpointOptions, Literal, Program, Rule};
+use cql_engine::trace::{hist, Counter, Histogram, MetricsScope, MetricsSnapshot};
+use cql_engine::{calculus, Engine};
+use cql_equality::Equality;
+use cql_poly::RealPoly;
+
+const WIDTHS: [usize; 3] = [1, 4, 8];
+
+/// Transitive closure: the second rule's two relational atoms take the
+/// multiway join path.
+fn tc_program<T: Theory>() -> Program<T> {
+    Program::new(vec![
+        Rule::new(Atom::new("T", vec![0, 1]), vec![Literal::Pos(Atom::new("E", vec![0, 1]))]),
+        Rule::new(
+            Atom::new("T", vec![0, 1]),
+            vec![
+                Literal::Pos(Atom::new("T", vec![0, 2])),
+                Literal::Pos(Atom::new("E", vec![2, 1])),
+            ],
+        ),
+    ])
+}
+
+/// `∃z E(x,z) ∧ E(z,y)` with free variables x, y.
+fn compose_query<T: Theory>() -> CalculusQuery<T> {
+    CalculusQuery::new(
+        Formula::atom("E", vec![0, 2]).and(Formula::atom("E", vec![2, 1])).exists(2),
+        vec![0, 1],
+    )
+    .expect("well-formed")
+}
+
+fn chain_db<T: Theory>(values: &[T::Value]) -> Database<T> {
+    let mut db = Database::new();
+    db.insert(
+        "E",
+        GenRelation::from_conjunctions(
+            2,
+            values.windows(2).map(|w| vec![T::var_const_eq(0, &w[0]), T::var_const_eq(1, &w[1])]),
+        ),
+    );
+    db
+}
+
+/// The documented latency-histogram invariants, which must hold at any
+/// executor width because scopes merge exactly.
+fn assert_latency_invariants(snap: &MetricsSnapshot, width: usize) {
+    if let Some(h) = snap.hists.get(hist::QE_CALL_NS) {
+        assert_eq!(
+            h.count(),
+            snap.get(Counter::QeCalls),
+            "qe_call_ns count != QeCalls at width {width}"
+        );
+    }
+    if let Some(h) = snap.hists.get(hist::FIXPOINT_ROUND_NS) {
+        assert_eq!(
+            h.count(),
+            snap.get(Counter::FixpointRounds),
+            "fixpoint_round_ns count != FixpointRounds at width {width}"
+        );
+    }
+    if let Some(h) = snap.hists.get(hist::MULTIWAY_FANOUT) {
+        assert_eq!(
+            h.sum(),
+            snap.get(Counter::MultiwayProbes),
+            "multiway_fanout sum != MultiwayProbes at width {width}"
+        );
+    }
+}
+
+/// Scoped snapshot of a semi-naive fixpoint at the given thread width.
+fn fixpoint_snapshot<T: Theory>(
+    program: &Program<T>,
+    db: &Database<T>,
+    threads: usize,
+) -> MetricsSnapshot {
+    let scope = MetricsScope::enter("fixpoint");
+    let opts = FixpointOptions { threads, ..Default::default() };
+    datalog::seminaive(program, db, &opts).expect("fixpoint converges");
+    scope.snapshot()
+}
+
+/// Scoped snapshot of a calculus evaluation at the given thread width.
+fn calculus_snapshot<T: Theory>(
+    query: &CalculusQuery<T>,
+    db: &Database<T>,
+    threads: usize,
+) -> MetricsSnapshot {
+    let scope = MetricsScope::enter("calculus");
+    let engine: Engine<T> = Engine::with_threads(threads);
+    calculus::evaluate_with(&engine, query, db).expect("query evaluates");
+    scope.snapshot()
+}
+
+/// Width invariance for a fixpoint workload: the latency invariants hold
+/// at every width, and the deterministic fanout histogram merged from
+/// any number of worker shards is bucket-exact equal to width 1's.
+fn assert_fixpoint_width_invariant<T: Theory>(program: &Program<T>, db: &Database<T>) {
+    let mut reference: Option<Histogram> = None;
+    for width in WIDTHS {
+        let snap = fixpoint_snapshot(program, db, width);
+        assert_latency_invariants(&snap, width);
+        let fanout = snap
+            .hists
+            .get(hist::MULTIWAY_FANOUT)
+            .cloned()
+            .expect("recursive rule takes the multiway path");
+        assert!(fanout.count() > 0, "no multiway joins recorded — the test is vacuous");
+        match &reference {
+            None => reference = Some(fanout),
+            Some(r) => assert_eq!(r, &fanout, "fanout histogram diverged at width {width}"),
+        }
+    }
+}
+
+/// Width invariance for a calculus workload: QE latency samples all land
+/// in the issuing scope (count == `QeCalls`) and the sample count is
+/// itself width-invariant.
+fn assert_calculus_width_invariant<T: Theory>(query: &CalculusQuery<T>, db: &Database<T>) {
+    let mut reference: Option<u64> = None;
+    for width in WIDTHS {
+        let snap = calculus_snapshot(query, db, width);
+        assert_latency_invariants(&snap, width);
+        let count = snap.hists.get(hist::QE_CALL_NS).map_or(0, Histogram::count);
+        assert!(count > 0, "no QE samples recorded — the test is vacuous");
+        match reference {
+            None => reference = Some(count),
+            Some(r) => assert_eq!(r, count, "QE sample count diverged at width {width}"),
+        }
+    }
+}
+
+#[test]
+fn dense_fanout_histogram_is_thread_invariant() {
+    let values: Vec<Rat> = (0..10).map(Rat::from).collect();
+    let db = chain_db::<Dense>(&values);
+    assert_fixpoint_width_invariant(&tc_program::<Dense>(), &db);
+    assert_calculus_width_invariant(&compose_query::<Dense>(), &db);
+}
+
+#[test]
+fn equality_fanout_histogram_is_thread_invariant() {
+    let values: Vec<i64> = (0..10).collect();
+    let db = chain_db::<Equality>(&values);
+    assert_fixpoint_width_invariant(&tc_program::<Equality>(), &db);
+    assert_calculus_width_invariant(&compose_query::<Equality>(), &db);
+}
+
+#[test]
+fn boolean_qe_histogram_is_thread_invariant() {
+    // Only 0 and 1 are generator-free elements, so the "chain" is the
+    // two-element cycle 0 → 1 → 0 → 1 (as in metrics_scope.rs).
+    let values: Vec<BoolFunc> =
+        vec![BoolFunc::zero(), BoolFunc::one(), BoolFunc::zero(), BoolFunc::one()];
+    let db = chain_db::<BoolAlg>(&values);
+    assert_calculus_width_invariant(&compose_query::<BoolAlg>(), &db);
+}
+
+#[test]
+fn poly_qe_histogram_is_thread_invariant() {
+    let values: Vec<Rat> = (0..8).map(Rat::from).collect();
+    let db = chain_db::<RealPoly>(&values);
+    assert_calculus_width_invariant(&compose_query::<RealPoly>(), &db);
+}

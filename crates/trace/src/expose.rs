@@ -1,0 +1,447 @@
+//! Renderers for [`TelemetrySnapshot`]: Prometheus-style text exposition
+//! and JSON, plus validating parsers for both.
+//!
+//! The text format follows the Prometheus exposition conventions:
+//! `# HELP` / `# TYPE` headers once per metric family, then one
+//! `name{labels} value` sample per line. Counters become
+//! `cql_<counter>` families labelled by scope; operator timings become
+//! `cql_op_calls` / `cql_op_nanos` labelled by scope and op; gauges
+//! become one `cql_gauge` family labelled by scope and gauge name; each
+//! histogram becomes the conventional `_bucket`(+`le`)/`_sum`/`_count`
+//! triple with **cumulative** bucket counts ending in `le="+Inf"`.
+//!
+//! [`validate_prometheus`] re-parses an exposition and rejects duplicate
+//! samples (same family + label set twice), non-monotone cumulative
+//! bucket series, and `+Inf` buckets that disagree with their `_count`
+//! — the CI smoke and `repro --selfcheck` both run it.
+//!
+//! The full quick-start documented in the README — register a scope,
+//! record under it, snapshot, render both expositions, validate and
+//! round-trip them:
+//!
+//! ```
+//! use cql_trace::{count, expose, json, record_hist, Counter, TelemetryRegistry};
+//!
+//! let registry = TelemetryRegistry::new();
+//! let handle = registry.register("query");
+//! {
+//!     let _guard = handle.install();
+//!     count(Counter::QeCalls, 3);
+//!     record_hist("qe_call_ns", 1_500);
+//!     record_hist("qe_call_ns", 40_000);
+//!     record_hist("qe_call_ns", 2_000_000);
+//! }
+//! registry.set_gauge("query", "interner_entries", 4096);
+//!
+//! let snap = registry.snapshot();
+//! let text = expose::to_prometheus(&snap);
+//! assert!(text.contains("cql_qe_calls{scope=\"query\"} 3"));
+//! assert!(text.contains("le=\"+Inf\""));
+//! expose::validate_prometheus(&text).expect("valid exposition");
+//!
+//! let doc = expose::to_json(&snap);
+//! expose::validate_json(&doc).expect("valid json exposition");
+//! assert_eq!(json::parse(&doc.pretty()).unwrap(), doc);
+//! ```
+
+use crate::histogram::{bucket_bounds, Histogram};
+use crate::json::Json;
+use crate::registry::TelemetrySnapshot;
+use crate::scope::COUNTERS;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// Escape a label value per the exposition format.
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Render a snapshot as Prometheus-style text exposition.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn to_prometheus(snap: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    // Counter families: one family per Counter, all scopes under it.
+    for &c in &COUNTERS {
+        let rows: Vec<_> = snap
+            .scopes
+            .iter()
+            .map(|s| (s.name.as_str(), s.metrics.get(c)))
+            .filter(|&(_, v)| v > 0)
+            .collect();
+        if rows.is_empty() {
+            continue;
+        }
+        let name = c.name();
+        let _ = writeln!(out, "# HELP cql_{name} Evaluation counter `{name}`.");
+        let _ = writeln!(out, "# TYPE cql_{name} counter");
+        for (scope, v) in rows {
+            let _ = writeln!(out, "cql_{name}{{scope=\"{}\"}} {v}", escape_label(scope));
+        }
+    }
+    // Operator timing families.
+    let op_rows: Vec<_> = snap
+        .scopes
+        .iter()
+        .flat_map(|s| s.metrics.ops.iter().map(move |(&op, agg)| (s.name.as_str(), op, *agg)))
+        .collect();
+    if !op_rows.is_empty() {
+        let _ = writeln!(out, "# HELP cql_op_calls Invocations per operator.");
+        let _ = writeln!(out, "# TYPE cql_op_calls counter");
+        for &(scope, op, agg) in &op_rows {
+            let _ = writeln!(
+                out,
+                "cql_op_calls{{scope=\"{}\",op=\"{}\"}} {}",
+                escape_label(scope),
+                escape_label(op),
+                agg.calls
+            );
+        }
+        let _ = writeln!(out, "# HELP cql_op_nanos Inclusive wall nanoseconds per operator.");
+        let _ = writeln!(out, "# TYPE cql_op_nanos counter");
+        for &(scope, op, agg) in &op_rows {
+            let _ = writeln!(
+                out,
+                "cql_op_nanos{{scope=\"{}\",op=\"{}\"}} {}",
+                escape_label(scope),
+                escape_label(op),
+                agg.nanos
+            );
+        }
+    }
+    // One gauge family, labelled by gauge name.
+    let gauge_rows: Vec<_> = snap
+        .scopes
+        .iter()
+        .flat_map(|s| s.gauges.iter().map(move |(g, &v)| (s.name.as_str(), g.as_str(), v)))
+        .collect();
+    if !gauge_rows.is_empty() {
+        let _ = writeln!(out, "# HELP cql_gauge Sampled occupancy/cardinality gauges.");
+        let _ = writeln!(out, "# TYPE cql_gauge gauge");
+        for &(scope, gauge, v) in &gauge_rows {
+            let _ = writeln!(
+                out,
+                "cql_gauge{{scope=\"{}\",name=\"{}\"}} {v}",
+                escape_label(scope),
+                escape_label(gauge)
+            );
+        }
+    }
+    // Histogram families: conventional cumulative _bucket/_sum/_count.
+    let hist_names: BTreeSet<&str> =
+        snap.scopes.iter().flat_map(|s| s.metrics.hists.keys().copied()).collect();
+    for hist in hist_names {
+        let _ = writeln!(out, "# HELP cql_{hist} Latency/fanout distribution `{hist}`.");
+        let _ = writeln!(out, "# TYPE cql_{hist} histogram");
+        for s in &snap.scopes {
+            let Some(h) = s.metrics.hists.get(hist) else { continue };
+            let scope = escape_label(&s.name);
+            let mut cumulative = 0u64;
+            for (idx, n) in h.buckets() {
+                cumulative += n;
+                let (_, hi) = bucket_bounds(idx);
+                let _ = writeln!(
+                    out,
+                    "cql_{hist}_bucket{{scope=\"{scope}\",le=\"{hi}\"}} {cumulative}"
+                );
+            }
+            let _ =
+                writeln!(out, "cql_{hist}_bucket{{scope=\"{scope}\",le=\"+Inf\"}} {}", h.count());
+            let _ = writeln!(out, "cql_{hist}_sum{{scope=\"{scope}\"}} {}", h.sum());
+            let _ = writeln!(out, "cql_{hist}_count{{scope=\"{scope}\"}} {}", h.count());
+        }
+    }
+    out
+}
+
+/// One parsed exposition sample.
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+fn parse_sample(line: &str, lineno: usize) -> Result<Sample, String> {
+    let err = |what: &str| format!("line {lineno}: {what}: {line}");
+    let (head, value) = line.rsplit_once(' ').ok_or_else(|| err("missing value"))?;
+    let value: f64 = value.parse().map_err(|_| err("value not a number"))?;
+    let (name, labels) = match head.split_once('{') {
+        None => (head.to_string(), Vec::new()),
+        Some((name, rest)) => {
+            let rest = rest.strip_suffix('}').ok_or_else(|| err("unterminated labels"))?;
+            let mut labels = Vec::new();
+            let mut remaining = rest;
+            while !remaining.is_empty() {
+                let (key, after_eq) =
+                    remaining.split_once("=\"").ok_or_else(|| err("bad label"))?;
+                // Find the closing unescaped quote.
+                let mut end = None;
+                let bytes = after_eq.as_bytes();
+                let mut i = 0;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            end = Some(i);
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                let end = end.ok_or_else(|| err("unterminated label value"))?;
+                let raw = &after_eq[..end];
+                let unescaped =
+                    raw.replace("\\n", "\n").replace("\\\"", "\"").replace("\\\\", "\\");
+                labels.push((key.to_string(), unescaped));
+                remaining = after_eq[end + 1..].trim_start_matches(',');
+            }
+            (name.to_string(), labels)
+        }
+    };
+    if name.is_empty() {
+        return Err(err("empty metric name"));
+    }
+    Ok(Sample { name, labels, value })
+}
+
+/// Validate a Prometheus-style exposition produced by [`to_prometheus`]:
+/// every line parses, no (family, label set) sample repeats, every
+/// cumulative `_bucket` series is monotone nondecreasing with ascending
+/// `le` and ends at `le="+Inf"`, and the `+Inf` count equals the
+/// family's `_count` sample. Returns the number of samples.
+///
+/// # Errors
+/// A message naming the offending line or series.
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+pub fn validate_prometheus(text: &str) -> Result<usize, String> {
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    // (family, labels-minus-le) → ascending (le, cumulative) rows.
+    let mut series: BTreeMap<String, Vec<(f64, u64)>> = BTreeMap::new();
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut samples = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let sample = parse_sample(line, lineno)?;
+        samples += 1;
+        let full_key = format!("{}|{:?}", sample.name, sample.labels);
+        if !seen.insert(full_key) {
+            return Err(format!(
+                "line {lineno}: duplicate sample for {} with identical labels",
+                sample.name
+            ));
+        }
+        if let Some(family) = sample.name.strip_suffix("_bucket") {
+            let le = sample
+                .labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| format!("line {lineno}: _bucket sample without le label"))?;
+            let le = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse::<f64>().map_err(|_| format!("line {lineno}: unparsable le \"{le}\""))?
+            };
+            let others: Vec<_> = sample.labels.iter().filter(|(k, _)| k != "le").cloned().collect();
+            series
+                .entry(format!("{family}|{others:?}"))
+                .or_default()
+                .push((le, sample.value as u64));
+        } else if let Some(family) = sample.name.strip_suffix("_count") {
+            let labels: Vec<_> = sample.labels.clone();
+            counts.insert(format!("{family}|{labels:?}"), sample.value as u64);
+        }
+    }
+    for (key, rows) in &series {
+        let mut prev_le = f64::NEG_INFINITY;
+        let mut prev_count = 0u64;
+        for &(le, count) in rows {
+            if le <= prev_le {
+                return Err(format!("histogram series {key}: le values not ascending"));
+            }
+            if count < prev_count {
+                return Err(format!("histogram series {key}: cumulative counts decrease"));
+            }
+            prev_le = le;
+            prev_count = count;
+        }
+        let Some(&(last_le, last_count)) = rows.last() else { continue };
+        if last_le.is_finite() {
+            return Err(format!("histogram series {key}: missing le=\"+Inf\" bucket"));
+        }
+        if let Some(&total) = counts.get(key) {
+            if total != last_count {
+                return Err(format!(
+                    "histogram series {key}: +Inf bucket {last_count} != _count {total}"
+                ));
+            }
+        }
+    }
+    Ok(samples)
+}
+
+/// Render a snapshot as JSON: one object per scope with `counters`
+/// (nonzero only), `ops`, `gauges` and `histograms` sub-objects.
+#[must_use]
+pub fn to_json(snap: &TelemetrySnapshot) -> Json {
+    let scopes = snap
+        .scopes
+        .iter()
+        .map(|s| {
+            let mut counters = Json::obj();
+            for &c in &COUNTERS {
+                let v = s.metrics.get(c);
+                if v > 0 {
+                    counters = counters.field(c.name(), v);
+                }
+            }
+            let mut ops = Json::obj();
+            for (&op, agg) in &s.metrics.ops {
+                ops =
+                    ops.field(op, Json::obj().field("calls", agg.calls).field("nanos", agg.nanos));
+            }
+            let mut gauges = Json::obj();
+            for (g, &v) in &s.gauges {
+                gauges = gauges.field(g, v);
+            }
+            let mut hists = Json::obj();
+            for (&name, h) in &s.metrics.hists {
+                hists = hists.field(name, h.to_json());
+            }
+            Json::obj()
+                .field("scope", s.name.as_str())
+                .field("counters", counters)
+                .field("ops", ops)
+                .field("gauges", gauges)
+                .field("histograms", hists)
+        })
+        .collect();
+    Json::obj().field("scopes", Json::Arr(scopes))
+}
+
+/// Validate the [`to_json`] shape after a parse round-trip: every scope
+/// entry carries the four sub-objects with numeric leaves, and every
+/// histogram re-parses as a well-formed [`Histogram`] whose bucket
+/// counts sum to its `count`. Returns the number of scopes.
+///
+/// # Errors
+/// A message naming the first malformed entry.
+pub fn validate_json(v: &Json) -> Result<usize, String> {
+    let scopes = v.get("scopes").and_then(Json::as_arr).ok_or("missing \"scopes\" array")?;
+    for s in scopes {
+        let name = s.get("scope").and_then(Json::as_str).ok_or("scope without a name")?;
+        for section in ["counters", "gauges"] {
+            let Some(Json::Obj(fields)) = s.get(section) else {
+                return Err(format!("scope {name}: missing \"{section}\" object"));
+            };
+            for (key, value) in fields {
+                if value.as_num().is_none() {
+                    return Err(format!("scope {name}: {section}.{key} not a number"));
+                }
+            }
+        }
+        let Some(Json::Obj(ops)) = s.get("ops") else {
+            return Err(format!("scope {name}: missing \"ops\" object"));
+        };
+        for (op, agg) in ops {
+            if agg.get("calls").and_then(Json::as_u64).is_none()
+                || agg.get("nanos").and_then(Json::as_u64).is_none()
+            {
+                return Err(format!("scope {name}: op {op} missing calls/nanos"));
+            }
+        }
+        let Some(Json::Obj(hists)) = s.get("histograms") else {
+            return Err(format!("scope {name}: missing \"histograms\" object"));
+        };
+        for (hist_name, hist_json) in hists {
+            let h = Histogram::from_json(hist_json)
+                .map_err(|e| format!("scope {name}: histogram {hist_name}: {e}"))?;
+            let bucket_total: u64 = h.buckets().map(|(_, n)| n).sum();
+            if bucket_total != h.count() {
+                return Err(format!(
+                    "scope {name}: histogram {hist_name}: buckets sum {bucket_total} != count {}",
+                    h.count()
+                ));
+            }
+        }
+    }
+    Ok(scopes.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::registry::TelemetryRegistry;
+    use crate::scope::{count, record_hist, Counter};
+
+    fn sample_snapshot() -> TelemetrySnapshot {
+        let registry = TelemetryRegistry::new();
+        let a = registry.register("tenant-a");
+        {
+            let _g = a.install();
+            count(Counter::QeCalls, 4);
+            count(Counter::TuplesInserted, 9);
+            for v in [120u64, 1500, 1501, 90_000] {
+                record_hist(crate::scope::hist::QE_CALL_NS, v);
+            }
+        }
+        registry.set_gauge("tenant-a", "interner_entries", 123);
+        registry.set_gauge("tenant-b", "interner_entries", 7);
+        registry.snapshot()
+    }
+
+    #[test]
+    fn prometheus_exposition_validates() {
+        let text = to_prometheus(&sample_snapshot());
+        assert!(text.contains("cql_qe_calls{scope=\"tenant-a\"} 4"));
+        assert!(text.contains("cql_gauge{scope=\"tenant-b\",name=\"interner_entries\"} 7"));
+        assert!(text.contains("le=\"+Inf\""));
+        let samples = validate_prometheus(&text).expect("exposition must validate");
+        assert!(samples >= 8, "expected counters + gauges + histogram samples, got {samples}");
+    }
+
+    #[test]
+    fn validator_rejects_duplicates_and_non_monotone_buckets() {
+        let dup = "cql_x{scope=\"a\"} 1\ncql_x{scope=\"a\"} 2\n";
+        assert!(validate_prometheus(dup).unwrap_err().contains("duplicate"));
+        let shrink = "cql_h_bucket{scope=\"a\",le=\"10\"} 5\n\
+                      cql_h_bucket{scope=\"a\",le=\"20\"} 3\n\
+                      cql_h_bucket{scope=\"a\",le=\"+Inf\"} 3\n";
+        assert!(validate_prometheus(shrink).unwrap_err().contains("decrease"));
+        let no_inf = "cql_h_bucket{scope=\"a\",le=\"10\"} 5\n";
+        assert!(validate_prometheus(no_inf).unwrap_err().contains("+Inf"));
+        let mismatch = "cql_h_bucket{scope=\"a\",le=\"+Inf\"} 3\n\
+                        cql_h_count{scope=\"a\"} 4\n";
+        assert!(validate_prometheus(mismatch).unwrap_err().contains("_count"));
+    }
+
+    #[test]
+    fn escaped_label_values_round_trip_the_validator() {
+        let tricky = "cql_x{scope=\"a\\\"b\\\\c\"} 1\n";
+        assert_eq!(validate_prometheus(tricky).unwrap(), 1);
+    }
+
+    #[test]
+    fn json_round_trips_and_validates() {
+        let j = to_json(&sample_snapshot());
+        let text = j.pretty();
+        let back = json::parse(&text).expect("telemetry JSON parses");
+        assert_eq!(back, j, "parse(render(json)) must be identity");
+        let scopes = validate_json(&back).expect("telemetry JSON validates");
+        assert_eq!(scopes, 2);
+    }
+
+    #[test]
+    fn json_validator_rejects_corrupt_histograms() {
+        let bad = json::parse(
+            r#"{"scopes":[{"scope":"s","counters":{},"ops":{},"gauges":{},
+                 "histograms":{"h":{"count":5,"sum":1,"min":1,"max":1,"buckets":[[1,2]]}}}]}"#,
+        )
+        .unwrap();
+        assert!(validate_json(&bad).unwrap_err().contains("buckets sum"));
+    }
+}

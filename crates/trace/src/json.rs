@@ -112,6 +112,15 @@ impl Json {
         self.as_num().map(|n| n as u64)
     }
 
+    /// The value as a boolean, if it is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as a string slice, if it is a string.
     #[must_use]
     pub fn as_str(&self) -> Option<&str> {

@@ -21,6 +21,16 @@
 //!   wall time), per-operator inclusive timings, counter totals.
 //!   Renders as a text table or JSON; `repro --trace <exp> --json`
 //!   emits it mechanically.
+//! * [`Histogram`] — dependency-free log-bucketed streaming histograms
+//!   (~1.6% relative error, exact bucket-wise merge) recorded for QE
+//!   call latency, fixpoint-round wall, multiway-probe fanout and
+//!   incremental-update latency; merged through the same scope
+//!   merge-on-drop path as the counters, so distributions stay exact at
+//!   any executor width.
+//! * [`TelemetryRegistry`] — long-lived named scopes (the per-tenant
+//!   shape a server pins) with sampled gauges and snapshot-on-demand;
+//!   [`expose`] renders a snapshot as Prometheus-style text or JSON and
+//!   validates both.
 //! * [`chrome`] — a `trace_event` JSON exporter, loadable in
 //!   `about://tracing` / Perfetto.
 //! * [`json`] — the minimal in-repo JSON support all of the above use
@@ -33,15 +43,20 @@
 #![forbid(unsafe_code)]
 
 pub mod chrome;
+pub mod expose;
+pub mod histogram;
 pub mod json;
+pub mod registry;
 pub mod report;
 pub mod scope;
 pub mod span;
 
+pub use histogram::Histogram;
 pub use json::Json;
+pub use registry::{ScopeReading, TelemetryRegistry, TelemetrySnapshot};
 pub use report::{EvalReport, OperatorStats, PlanStats, RoundStats, UpdateStats};
 pub use scope::{
-    count, current_handle, op_timed, qe_timed, root_reset, root_snapshot, Counter, MetricsScope,
-    MetricsSnapshot, OpAgg, ScopeHandle, COUNTERS,
+    count, current_handle, hist, op_timed, qe_timed, record_hist, root_reset, root_snapshot,
+    Counter, MetricsScope, MetricsSnapshot, OpAgg, ScopeHandle, COUNTERS,
 };
 pub use span::{span, SpanGuard, SpanRecord, TraceSession};

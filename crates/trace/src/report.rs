@@ -12,6 +12,7 @@
 //! ([`EvalReport::to_json`] / [`EvalReport::from_json`] round-trip, used
 //! by `repro --trace e13 --json` and the CI smoke check).
 
+use crate::histogram::Histogram;
 use crate::json::Json;
 use crate::scope::{MetricsSnapshot, OpAgg};
 
@@ -242,6 +243,13 @@ pub struct EvalReport {
     pub updates: Vec<UpdateStats>,
     /// Per-operator inclusive timings.
     pub operators: Vec<OperatorStats>,
+    /// Latency/fanout distributions recorded under the evaluation's
+    /// scope (QE call latency, round wall, multiway fanout, …), as
+    /// `(name, histogram)` rows in name order.
+    pub hists: Vec<(String, Histogram)>,
+    /// Sampled occupancy/cardinality gauges (interner entries and bytes,
+    /// QE-cache occupancy, relation sizes), as `(name, value)` rows.
+    pub gauges: Vec<(String, u64)>,
     /// Counter totals of the evaluation's scope, as `(name, value)` rows.
     pub totals: Vec<(String, u64)>,
     /// Total tuples in the result (IDB size or output relation length).
@@ -273,6 +281,8 @@ impl EvalReport {
             .collect();
         let totals =
             snapshot.rows().into_iter().map(|(name, value)| (name.to_string(), value)).collect();
+        let hists =
+            snapshot.hists.iter().map(|(&name, hist)| (name.to_string(), hist.clone())).collect();
         EvalReport {
             query: query.to_string(),
             theory: theory.to_string(),
@@ -281,6 +291,8 @@ impl EvalReport {
             plans: Vec::new(),
             updates: Vec::new(),
             operators,
+            hists,
+            gauges: Vec::new(),
             totals,
             result_tuples,
             wall_ns,
@@ -299,6 +311,26 @@ impl EvalReport {
     pub fn with_updates(mut self, updates: Vec<UpdateStats>) -> EvalReport {
         self.updates = updates;
         self
+    }
+
+    /// This report with sampled occupancy/cardinality gauges attached
+    /// (interner entries/bytes, QE-cache occupancy, relation sizes).
+    #[must_use]
+    pub fn with_gauges(mut self, gauges: Vec<(String, u64)>) -> EvalReport {
+        self.gauges = gauges;
+        self
+    }
+
+    /// One recorded histogram by name, if present.
+    #[must_use]
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// One gauge by name, if present.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
     }
 
     /// How effective subsumption was: rejected / produced, in `[0, 1]`.
@@ -321,6 +353,14 @@ impl EvalReport {
         for (name, value) in &self.totals {
             totals = totals.field(name, *value);
         }
+        let mut hists = Json::obj();
+        for (name, hist) in &self.hists {
+            hists = hists.field(name, hist.to_json());
+        }
+        let mut gauges = Json::obj();
+        for (name, value) in &self.gauges {
+            gauges = gauges.field(name, *value);
+        }
         Json::obj()
             .field("query", self.query.as_str())
             .field("theory", self.theory.as_str())
@@ -342,6 +382,8 @@ impl EvalReport {
                         .collect(),
                 ),
             )
+            .field("histograms", hists)
+            .field("gauges", gauges)
             .field("totals", totals)
             .field("result_tuples", self.result_tuples)
             .field("wall_ns", self.wall_ns)
@@ -396,6 +438,31 @@ impl EvalReport {
                 })
             })
             .collect::<Result<Vec<_>, _>>()?;
+        // Reports written before the telemetry runtime have neither
+        // "histograms" nor "gauges".
+        let hists = match v.get("histograms") {
+            Some(Json::Obj(fields)) => fields
+                .iter()
+                .map(|(name, h)| {
+                    Histogram::from_json(h)
+                        .map(|h| (name.clone(), h))
+                        .map_err(|e| format!("histogram \"{name}\": {e}"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => Vec::new(),
+        };
+        let gauges = match v.get("gauges") {
+            Some(Json::Obj(fields)) => fields
+                .iter()
+                .map(|(name, value)| {
+                    value
+                        .as_u64()
+                        .map(|n| (name.clone(), n))
+                        .ok_or_else(|| format!("gauge \"{name}\" not a number"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => Vec::new(),
+        };
         let totals = match v.get("totals") {
             Some(Json::Obj(fields)) => fields
                 .iter()
@@ -416,6 +483,8 @@ impl EvalReport {
             plans,
             updates,
             operators,
+            hists,
+            gauges,
             totals,
             result_tuples: num_field("result_tuples")?,
             wall_ns: num_field("wall_ns")?,
@@ -511,6 +580,31 @@ impl EvalReport {
                 out.push_str(&format!("{:>24} {:>10} {:>12}\n", op.name, op.calls, ms(op.nanos)));
             }
         }
+        if !self.hists.is_empty() {
+            out.push_str(&format!(
+                "{:>24} {:>10} {:>12} {:>12} {:>12} {:>12}\n",
+                "histogram", "count", "p50", "p90", "p99", "max"
+            ));
+            for (name, h) in &self.hists {
+                let q = |q: f64| h.quantile(q).map_or_else(|| "-".into(), |v| v.to_string());
+                out.push_str(&format!(
+                    "{:>24} {:>10} {:>12} {:>12} {:>12} {:>12}\n",
+                    name,
+                    h.count(),
+                    q(0.5),
+                    q(0.9),
+                    q(0.99),
+                    h.max().map_or_else(|| "-".into(), |v| v.to_string())
+                ));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges: ");
+            let rows: Vec<String> =
+                self.gauges.iter().map(|(name, value)| format!("{name}={value}")).collect();
+            out.push_str(&rows.join(", "));
+            out.push('\n');
+        }
         out.push_str("totals: ");
         let mut first = true;
         for (name, value) in &self.totals {
@@ -590,6 +684,14 @@ mod tests {
                 wall_ns: 150_000,
             }],
             operators: vec![OperatorStats { name: "qe.dense".into(), calls: 63, nanos: 400_000 }],
+            hists: vec![("qe_call_ns".into(), {
+                let mut h = Histogram::new();
+                for v in [900u64, 1100, 6200, 6300, 48_000] {
+                    h.record(v);
+                }
+                h
+            })],
+            gauges: vec![("interner_entries".into(), 512), ("interner_bytes".into(), 65_536)],
             totals: vec![("entailment_checks".into(), 50), ("tuples_inserted".into(), 127)],
             result_tuples: 127,
             wall_ns: 3_500_000,
@@ -626,6 +728,30 @@ mod tests {
         let text = sample().render_text();
         assert!(text.contains("incremental updates:"));
         assert!(text.contains("retract"));
+    }
+
+    #[test]
+    fn text_render_shows_histograms_and_gauges() {
+        let text = sample().render_text();
+        assert!(text.contains("histogram"));
+        assert!(text.contains("qe_call_ns"));
+        assert!(text.contains("gauges: interner_entries=512, interner_bytes=65536"));
+    }
+
+    #[test]
+    fn telemetry_free_json_still_parses() {
+        // Reports written before the telemetry runtime: no "histograms"
+        // or "gauges" keys.
+        let mut report = sample();
+        report.hists.clear();
+        report.gauges.clear();
+        let mut json = report.to_json();
+        if let Json::Obj(fields) = &mut json {
+            fields.retain(|(name, _)| name != "histograms" && name != "gauges");
+        }
+        let text = json.pretty();
+        let back = EvalReport::from_json(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, report);
     }
 
     #[test]

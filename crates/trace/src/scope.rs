@@ -22,12 +22,31 @@
 //! `fetch_add`) and [`op_timed`] (which skips the clock entirely when no
 //! scope is installed and no trace session is active).
 
+use crate::histogram::Histogram;
 use crate::span;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Names of the histograms the engine records through [`record_hist`].
+/// Kept in one place so recording sites, reports and selfchecks agree.
+pub mod hist {
+    /// Per-call solver/QE latency, nanoseconds (recorded by [`super::qe_timed`];
+    /// its `count()` equals the [`super::Counter::QeCalls`] delta of the
+    /// same scope).
+    pub const QE_CALL_NS: &str = "qe_call_ns";
+    /// Fixpoint round wall time, nanoseconds (its `count()` equals the
+    /// [`super::Counter::FixpointRounds`] delta of the same scope).
+    pub const FIXPOINT_ROUND_NS: &str = "fixpoint_round_ns";
+    /// Candidate bindings probed per multiway-join execution (its
+    /// `sum()` equals the [`super::Counter::MultiwayProbes`] delta of
+    /// the same scope).
+    pub const MULTIWAY_FANOUT: &str = "multiway_fanout";
+    /// Per-update `MaterializedView` insert/retract latency, nanoseconds.
+    pub const VIEW_UPDATE_NS: &str = "view_update_ns";
+}
 
 /// The fixed evaluation counters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -187,6 +206,9 @@ pub struct MetricsSnapshot {
     /// Per-operator inclusive wall time, keyed by operator name
     /// (`"qe.dense"`, `"algebra.project"`, …).
     pub ops: BTreeMap<&'static str, OpAgg>,
+    /// Latency/fanout distributions, keyed by histogram name (see
+    /// [`hist`]). Merged exactly across threads and child scopes.
+    pub hists: BTreeMap<&'static str, Histogram>,
 }
 
 impl MetricsSnapshot {
@@ -215,7 +237,18 @@ impl MetricsSnapshot {
                 ops.insert(name, diff);
             }
         }
-        MetricsSnapshot { counters, ops }
+        let mut hists = BTreeMap::new();
+        for (&name, hist) in &self.hists {
+            let before = earlier.hists.get(name);
+            let diff = match before {
+                Some(before) => hist.since(before),
+                None => hist.clone(),
+            };
+            if diff.count() > 0 {
+                hists.insert(name, diff);
+            }
+        }
+        MetricsSnapshot { counters, ops, hists }
     }
 
     /// Render counters and operator timings as `(name, value)` rows.
@@ -229,6 +262,7 @@ struct ScopeInner {
     name: String,
     counters: CounterSet,
     ops: Mutex<BTreeMap<&'static str, OpAgg>>,
+    hists: Mutex<BTreeMap<&'static str, Histogram>>,
 }
 
 impl ScopeInner {
@@ -237,6 +271,7 @@ impl ScopeInner {
             name: name.to_string(),
             counters: CounterSet::default(),
             ops: Mutex::new(BTreeMap::new()),
+            hists: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -245,7 +280,11 @@ impl ScopeInner {
         for (i, slot) in counters.iter_mut().enumerate() {
             *slot = self.counters.cells[i].load(Ordering::Relaxed);
         }
-        MetricsSnapshot { counters, ops: self.ops.lock().expect("scope ops poisoned").clone() }
+        MetricsSnapshot {
+            counters,
+            ops: self.ops.lock().expect("scope ops poisoned").clone(),
+            hists: self.hists.lock().expect("scope hists poisoned").clone(),
+        }
     }
 
     fn add_op(&self, op: &'static str, duration: Duration) {
@@ -253,6 +292,11 @@ impl ScopeInner {
         let agg = ops.entry(op).or_default();
         agg.calls += 1;
         agg.nanos += u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX);
+    }
+
+    fn add_hist(&self, name: &'static str, value: u64) {
+        let mut hists = self.hists.lock().expect("scope hists poisoned");
+        hists.entry(name).or_default().record(value);
     }
 }
 
@@ -264,6 +308,15 @@ pub struct ScopeHandle {
 }
 
 impl ScopeHandle {
+    /// A free-standing, long-lived scope that is not installed on any
+    /// thread and never merges on drop — the shape a
+    /// [`TelemetryRegistry`](crate::TelemetryRegistry) pins per tenant.
+    /// Threads participate by calling [`ScopeHandle::install`].
+    #[must_use]
+    pub fn detached(name: &str) -> ScopeHandle {
+        ScopeHandle { inner: Arc::new(ScopeInner::new(name)) }
+    }
+
     /// Install this scope as the current thread's innermost scope until
     /// the returned guard drops. Used by executor workers; also usable by
     /// hand-rolled threads participating in a scoped evaluation.
@@ -360,6 +413,11 @@ impl Drop for MetricsScope {
                     slot.calls += agg.calls;
                     slot.nanos += agg.nanos;
                 }
+                drop(ops);
+                let mut hists = parent.inner.hists.lock().expect("scope hists poisoned");
+                for (name, hist) in &snap.hists {
+                    hists.entry(name).or_default().merge(hist);
+                }
             }
             None => {
                 for &c in &COUNTERS {
@@ -370,6 +428,11 @@ impl Drop for MetricsScope {
                     let slot = ops.entry(name).or_default();
                     slot.calls += agg.calls;
                     slot.nanos += agg.nanos;
+                }
+                drop(ops);
+                let mut hists = ROOT_HISTS.lock().expect("root hists poisoned");
+                for (name, hist) in &snap.hists {
+                    hists.entry(name).or_default().merge(hist);
                 }
             }
         }
@@ -384,6 +447,7 @@ thread_local! {
 const ZERO_CELL: AtomicU64 = AtomicU64::new(0);
 static ROOT: CounterSet = CounterSet { cells: [ZERO_CELL; N_COUNTERS] };
 static ROOT_OPS: Mutex<BTreeMap<&'static str, OpAgg>> = Mutex::new(BTreeMap::new());
+static ROOT_HISTS: Mutex<BTreeMap<&'static str, Histogram>> = Mutex::new(BTreeMap::new());
 
 /// The current thread's innermost scope, if any.
 #[must_use]
@@ -402,6 +466,20 @@ pub fn count(counter: Counter, n: u64) {
     if !in_scope {
         ROOT.add(counter, n);
     }
+}
+
+/// Record one sample into the named histogram of the calling thread's
+/// innermost scope. **Scope-only**: with no scope installed this is a
+/// no-op (one thread-local read), so dormant instrumentation sites stay
+/// inside the E15 overhead budget; scoped samples reach ancestors and
+/// [`root_snapshot`] through the merge-on-drop path, which keeps merged
+/// distributions bucket-exact at any executor width.
+pub fn record_hist(name: &'static str, value: u64) {
+    STACK.with(|stack| {
+        if let Some(handle) = stack.borrow().last() {
+            handle.inner.add_hist(name, value);
+        }
+    });
 }
 
 /// Time `f` under an operator label: its inclusive wall time aggregates
@@ -423,11 +501,28 @@ pub fn op_timed<R>(op: &'static str, f: impl FnOnce() -> R) -> R {
     result
 }
 
-/// [`op_timed`] that also bumps [`Counter::QeCalls`] — the hook the four
-/// theory crates wrap their `Theory::eliminate` implementations with.
+/// [`op_timed`] that also bumps [`Counter::QeCalls`] and records the
+/// call's latency into the [`hist::QE_CALL_NS`] histogram — the hook the
+/// four theory crates wrap their `Theory::eliminate` implementations
+/// with. Like [`op_timed`], the clock is skipped entirely when neither a
+/// scope nor a trace session is active.
 pub fn qe_timed<R>(op: &'static str, f: impl FnOnce() -> R) -> R {
     count(Counter::QeCalls, 1);
-    op_timed(op, f)
+    let scope = current_handle();
+    if scope.is_none() && !span::session_active() {
+        return f();
+    }
+    let start = Instant::now();
+    let result = f();
+    let elapsed = start.elapsed();
+    if let Some(handle) = scope {
+        handle.inner.add_op(op, elapsed);
+        handle
+            .inner
+            .add_hist(hist::QE_CALL_NS, u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+    }
+    span::record_complete(op, "op", start, elapsed, Vec::new());
+    result
 }
 
 /// Snapshot of the process root: everything counted outside any scope
@@ -440,13 +535,18 @@ pub fn root_snapshot() -> MetricsSnapshot {
     for (slot, &c) in counters.iter_mut().zip(COUNTERS.iter()) {
         *slot = ROOT.load(c);
     }
-    MetricsSnapshot { counters, ops: ROOT_OPS.lock().expect("root ops poisoned").clone() }
+    MetricsSnapshot {
+        counters,
+        ops: ROOT_OPS.lock().expect("root ops poisoned").clone(),
+        hists: ROOT_HISTS.lock().expect("root hists poisoned").clone(),
+    }
 }
 
 /// Reset the process root (benchmark-harness boundaries only).
 pub fn root_reset() {
     ROOT.reset();
     ROOT_OPS.lock().expect("root ops poisoned").clear();
+    ROOT_HISTS.lock().expect("root hists poisoned").clear();
 }
 
 #[cfg(test)]
@@ -493,6 +593,57 @@ mod tests {
         let snap = scope.snapshot();
         assert_eq!(snap.get(Counter::QeCalls), 1);
         assert_eq!(snap.ops.get("qe.test").map(|a| a.calls), Some(1));
+    }
+
+    #[test]
+    fn histograms_merge_on_drop_and_across_threads() {
+        let outer = MetricsScope::enter("hist-outer");
+        record_hist(hist::MULTIWAY_FANOUT, 10);
+        {
+            let inner = MetricsScope::enter("hist-inner");
+            let handle = inner.handle();
+            std::thread::scope(|s| {
+                for t in 0..4u64 {
+                    let h = handle.clone();
+                    s.spawn(move || {
+                        let _g = h.install();
+                        record_hist(hist::MULTIWAY_FANOUT, 100 + t);
+                    });
+                }
+            });
+            let snap = inner.snapshot();
+            assert_eq!(snap.hists[hist::MULTIWAY_FANOUT].count(), 4);
+            // Outer does not see the child until it drops.
+            assert_eq!(outer.snapshot().hists[hist::MULTIWAY_FANOUT].count(), 1);
+        }
+        let merged = &outer.snapshot().hists[hist::MULTIWAY_FANOUT];
+        assert_eq!(merged.count(), 5);
+        assert_eq!(merged.sum(), 10 + 100 + 101 + 102 + 103);
+        assert_eq!(merged.min(), Some(10));
+        assert_eq!(merged.max(), Some(103));
+    }
+
+    #[test]
+    fn record_hist_without_scope_is_a_no_op_for_scopes() {
+        // No scope installed: the sample must not appear in any scope
+        // opened afterwards (root-level accumulation is covered by the
+        // merge-on-drop test above).
+        record_hist(hist::VIEW_UPDATE_NS, 42);
+        let scope = MetricsScope::enter("after");
+        assert!(!scope.snapshot().hists.contains_key(hist::VIEW_UPDATE_NS));
+    }
+
+    #[test]
+    fn qe_timed_records_latency_histogram_in_scope() {
+        let scope = MetricsScope::enter("qe-hist");
+        for _ in 0..3 {
+            qe_timed("qe.test", || std::hint::black_box(1 + 1));
+        }
+        let snap = scope.snapshot();
+        assert_eq!(snap.get(Counter::QeCalls), 3);
+        let hist = &snap.hists[hist::QE_CALL_NS];
+        assert_eq!(hist.count(), 3, "one histogram sample per QE call");
+        assert_eq!(snap.ops["qe.test"].calls, 3);
     }
 
     #[test]
