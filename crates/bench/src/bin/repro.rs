@@ -9,8 +9,8 @@
 //! ```
 //!
 //! Sections are addressed by experiment id (`f1`, `t1`, `f2`, `f3`,
-//! `e4`–`e17`, `a1`–`a3`) or their legacy names (`fig1`, `table1`,
-//! `containment`, `engine`, …). Flags:
+//! `e4`–`e20`, `a1`–`a3`) or their legacy names (`fig1`, `table1`,
+//! `containment`, `engine`, `recorder`, …). Flags:
 //!
 //! * `--json` — emit one machine-readable JSON document instead of text;
 //! * `--trace` — collect spans for the whole run and write a chrome
@@ -40,8 +40,9 @@ use cql_engine::datalog::{self, FixpointOptions};
 use cql_engine::{calculus, cells, Executor, MaterializedView};
 use cql_index::{Backend, GeneralizedIndex};
 use cql_trace::{
-    chrome, expose, hist, json, Counter, EvalReport, Histogram, Json, MetricsScope,
-    TelemetryRegistry, TelemetrySnapshot, TraceSession,
+    chrome, expose, hist, histogram, json, recorder, span, watchdog, AnomalyStats, Counter,
+    EvalReport, Histogram, Json, MetricsScope, RecorderConfig, SloRule, TelemetryRegistry,
+    TelemetrySnapshot, TraceSession,
 };
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
@@ -548,14 +549,21 @@ fn engine_threads(em: &mut Emitter) {
 /// E15 — telemetry overhead: the instrumented engine with telemetry
 /// dormant vs actively scoped. Returns the measured overhead percent;
 /// the selfcheck enforces the documented < 5% bound when the span
-/// feature is compiled out.
+/// feature is compiled out. Since the flight recorder is always
+/// compiled in, "dormant" now also covers recorder-off: every span
+/// site pays the recorder's one relaxed load, and this bound pins it.
 fn overhead(em: &mut Emitter) -> f64 {
     em.section("e15", "telemetry overhead: dormant instrumentation vs scoped run");
     em.note("semi-naive TC fixpoint (32-node chain), best of 7 per configuration;");
-    em.note("'dormant' = no MetricsScope, no TraceSession (the default state —");
+    em.note("'dormant' = no MetricsScope, no TraceSession, flight recorder off");
+    em.note("(the default state — the recorder is compiled in unconditionally,");
+    em.note("so dormant sites still pay its one relaxed atomic load, and");
     em.note("histogram recording is scope-only, so dormant sites skip it too);");
     em.note("'scoped' = the whole run under a per-query MetricsScope, including");
     em.note("the latency histograms.\n");
+    // The recorder is runtime-global state: pin it off so the dormant
+    // bound measures exactly the compiled-in-but-off configuration.
+    recorder::set_config(RecorderConfig::Off);
     let db = chain_edb_dense(32);
     let program = tc_program_dense();
     let opts = FixpointOptions::default();
@@ -1112,6 +1120,208 @@ fn telemetry_runtime(em: &mut Emitter) -> TelemetryOutcome {
     TelemetryOutcome { snapshot, prometheus, json: json_doc, view_updates: script.len() as u64 }
 }
 
+/// What E20 hands the selfcheck: the end-to-end recorder facts it must
+/// enforce (all four flags are deterministic by construction).
+struct RecorderOutcome {
+    exemplar_coverage: bool,
+    nonzero_buckets: u64,
+    recorder_no_drops: bool,
+    breach_tripped: bool,
+    dump_parsed: bool,
+}
+
+/// E20 — the flight recorder end to end: runtime capture (`always`
+/// mode, no compile-time feature), histogram exemplars resolving to
+/// recorded spans, Prometheus/JSON exposition of those exemplars, and
+/// the SLO watchdog freezing and dumping a breaching scope's rings as a
+/// chrome trace. Runs at `threads = 1` so every histogram sample is
+/// recorded under the harness's open span (exemplar attribution is
+/// per-thread); width-invariance of the capture itself is covered by
+/// the engine's `recorder_capture` test.
+#[allow(clippy::too_many_lines)]
+fn recorder_flight(em: &mut Emitter) -> RecorderOutcome {
+    em.section("e20", "flight recorder: runtime capture, exemplars, SLO watchdog");
+    em.note("recorder switched to 'always' at runtime (no rebuild); one scope");
+    em.note("runs semi-naive TC over the 24-node dense chain plus 6 single-edge");
+    em.note("view updates. Every nonzero histogram bucket must then carry an");
+    em.note("exemplar resolving to a captured span; an injected 2x-over-SLO");
+    em.note("update must trip the watchdog and dump the frozen rings as a");
+    em.note("parseable chrome trace.\n");
+
+    // threads = 1: the width-1 executor never spawns, so every
+    // record_hist call happens under the harness spans opened below.
+    let opts = FixpointOptions { threads: 1, ..Default::default() };
+    let program = tc_program_dense();
+    let db = chain_edb_dense(24);
+    recorder::set_ring_capacity(1 << 16);
+    let registry = TelemetryRegistry::new();
+    registry.set_recorder(RecorderConfig::Always);
+    let handle = registry.register("e20");
+    {
+        let _g = handle.install();
+        let _run = span("e20.run", "query");
+        datalog::seminaive(&program, &db, &opts).unwrap();
+        let mut view = MaterializedView::new(program.clone(), &chain_edb_dense(16), opts).unwrap();
+        let edge = |a: i64, b: i64| {
+            cql_core::GenTuple::<Dense>::new(vec![
+                cql_dense::DenseConstraint::eq_const(0, a),
+                cql_dense::DenseConstraint::eq_const(1, b),
+            ])
+            .unwrap()
+        };
+        let script: [(bool, i64, i64); 6] = [
+            (true, 16, 17),
+            (false, 16, 17),
+            (true, -1, 0),
+            (true, 16, 17),
+            (false, -1, 0),
+            (false, 16, 17),
+        ];
+        for &(insert, a, b) in &script {
+            let _u = span("e20.update", "op");
+            let t = edge(a, b);
+            if insert {
+                view.insert("E", t).unwrap();
+            } else {
+                view.retract("E", &t).unwrap();
+            }
+        }
+    }
+    registry.set_recorder(RecorderConfig::Off);
+
+    let events = handle.recorded_events();
+    let span_ids: BTreeSet<u64> = events.iter().map(|e| e.span_id).collect();
+    let dropped: u64 = handle.ring_stats().iter().map(|s| s.dropped).sum();
+    let recorder_no_drops = dropped == 0;
+
+    // Exemplar coverage: every nonzero bucket of every captured
+    // histogram carries an exemplar whose value lies in the bucket and
+    // whose span id resolves to a captured event.
+    let snapshot = registry.snapshot();
+    let mut nonzero_buckets = 0u64;
+    let mut covered = 0u64;
+    for scope in &snapshot.scopes {
+        for h in scope.metrics.hists.values() {
+            for (idx, count) in h.buckets() {
+                if count == 0 {
+                    continue;
+                }
+                nonzero_buckets += 1;
+                if let Some(ex) = h.exemplar(idx) {
+                    let (lo, hi) = histogram::bucket_bounds(idx);
+                    if ex.value >= lo && ex.value <= hi && span_ids.contains(&ex.span_id) {
+                        covered += 1;
+                    }
+                }
+            }
+        }
+    }
+    let exemplar_coverage = nonzero_buckets > 0 && covered == nonzero_buckets;
+    let prometheus = expose::to_prometheus(&snapshot);
+    let exemplar_lines = prometheus.matches(" # {").count() as u64;
+    let prometheus_valid = expose::validate_prometheus(&prometheus).is_ok();
+
+    let hist_names: Vec<&str> = snapshot.scopes[0].metrics.hists.keys().copied().collect();
+    em.note(&format!(
+        "captured {} span events across {} histogram(s) [{}]: {covered}/{nonzero_buckets} \
+         nonzero buckets carry resolving exemplars; exposition emits {exemplar_lines} \
+         exemplar line(s), validator {}",
+        events.len(),
+        hist_names.len(),
+        hist_names.join(", "),
+        if prometheus_valid { "accepts" } else { "REJECTS" },
+    ));
+
+    // SLO watchdog: declare a threshold 1.5x above everything observed,
+    // then inject one update sample 2x over it — exactly the sample a
+    // pathological view update would record — and let the at-drop check
+    // trip, freeze and dump.
+    let observed_max = snapshot
+        .scopes
+        .iter()
+        .filter_map(|s| s.metrics.hists.get(hist::VIEW_UPDATE_NS))
+        .filter_map(Histogram::max)
+        .max()
+        .unwrap_or(1_000_000);
+    let threshold_ns = observed_max.saturating_mul(3) / 2 + 1;
+    registry.set_slo_rules(vec![SloRule::new(hist::VIEW_UPDATE_NS, 0.99, threshold_ns)]);
+    watchdog::set_dump_dir(Some(std::path::PathBuf::from("target")));
+    let _ = registry.take_breaches(); // drop stale history
+    registry.set_recorder(RecorderConfig::Always);
+    {
+        let scope = MetricsScope::enter("e20-breach");
+        {
+            let _u = span("e20.slow_update", "op");
+            record_hist_injected(threshold_ns.saturating_mul(2));
+        }
+        drop(scope); // the at-drop watchdog check runs here
+    }
+    registry.set_recorder(RecorderConfig::Off);
+    registry.set_slo_rules(Vec::new());
+    watchdog::set_dump_dir(None);
+    let breaches = registry.take_breaches();
+    let breach = breaches.iter().find(|b| b.scope == "e20-breach");
+    let breach_tripped = breach.is_some();
+    let mut dump_parsed = false;
+    let mut dump_events = 0u64;
+    if let Some(b) = breach {
+        if let Some(path) = &b.dump_path {
+            if let Ok(text) = std::fs::read_to_string(path) {
+                if let Ok(parsed) = chrome::parse(&text) {
+                    dump_events = parsed.len() as u64;
+                    dump_parsed = parsed.len() == b.events_dumped
+                        && chrome::nesting_violation(&parsed).is_none();
+                }
+            }
+        }
+        em.note(&format!(
+            "\nSLO '{} p99 < {}ns' tripped: observed {}ns; {} frozen event(s) dumped to {}",
+            b.hist,
+            b.max_ns,
+            b.observed,
+            b.events_dumped,
+            b.dump_path.as_deref().unwrap_or("<nowhere>"),
+        ));
+    } else {
+        em.note("\nSLO breach DID NOT TRIP (selfcheck will fail)");
+    }
+    let anomalies: Vec<AnomalyStats> = breaches
+        .iter()
+        .map(|b| AnomalyStats {
+            scope: b.scope.clone(),
+            hist: b.hist.clone(),
+            quantile: b.quantile,
+            observed_ns: b.observed,
+            threshold_ns: b.max_ns,
+            dump_path: b.dump_path.clone().unwrap_or_default(),
+        })
+        .collect();
+
+    em.datum("captured_events", events.len() as u64);
+    em.datum("nonzero_buckets", nonzero_buckets);
+    em.datum("exemplar_lines", exemplar_lines);
+    em.datum("exemplar_coverage", exemplar_coverage && prometheus_valid);
+    em.datum("recorder_no_drops", recorder_no_drops);
+    em.datum("breach_tripped", breach_tripped);
+    em.datum("dump_parsed", dump_parsed);
+    em.datum("dump_events", dump_events);
+    em.datum("anomalies", Json::Arr(anomalies.iter().map(AnomalyStats::to_json).collect()));
+    RecorderOutcome {
+        exemplar_coverage: exemplar_coverage && prometheus_valid,
+        nonzero_buckets,
+        recorder_no_drops,
+        breach_tripped,
+        dump_parsed,
+    }
+}
+
+/// Record one injected view-update latency sample (E20's synthetic
+/// SLO-breach input), kept out of line so the intent reads at the call
+/// site.
+fn record_hist_injected(wall_ns: u64) {
+    cql_trace::record_hist(hist::VIEW_UPDATE_NS, wall_ns);
+}
+
 /// A1/A2 — evaluation ablations.
 fn ablation(em: &mut Emitter) {
     em.section("a1", "ablation: symbolic QE vs cell-based EVAL_φ (dense order)");
@@ -1180,10 +1390,10 @@ fn representation(em: &mut Emitter) {
 const TRACE_PATH: &str = "target/repro-trace.json";
 
 const USAGE: &str = "usage: repro [--json] [--trace] [--selfcheck] [--compare] [ids...|all]
-ids: f1 t1 f2 f3 e4..e19 a1 a2 a3 (or legacy names: fig1 table1 fig2 fig3
+ids: f1 t1 f2 f3 e4..e20 a1 a2 a3 (or legacy names: fig1 table1 fig2 fig3
 containment hull voronoi datalog equality boolean qbf index engine
-overhead filtering multiway incremental telemetry ablation); e1/e2/e3
-alias f1/t1/f2. --compare diffs the run against the committed BENCH_*.json
+overhead filtering multiway incremental telemetry recorder ablation);
+e1/e2/e3 alias f1/t1/f2. --compare diffs the run against the committed BENCH_*.json
 baselines (perf-regression gate) and exits non-zero on a regression.";
 
 fn main() {
@@ -1229,6 +1439,7 @@ fn main() {
     let mut e17_stats = None;
     let mut e18_stats = None;
     let mut e19_outcome = None;
+    let mut e20_outcome = None;
 
     if want(&["f1", "fig1", "e1"]) {
         fig1(&mut em);
@@ -1287,6 +1498,9 @@ fn main() {
     if want(&["e19", "telemetry"]) {
         e19_outcome = Some(telemetry_runtime(&mut em));
     }
+    if want(&["e20", "recorder"]) {
+        e20_outcome = Some(recorder_flight(&mut em));
+    }
     if want(&["a1", "a2", "ablation"]) {
         ablation(&mut em);
     }
@@ -1319,7 +1533,7 @@ fn main() {
     // Snapshots that may feed the regression gate carry the machine's
     // calibration reading, so wall times can be rescaled when compared
     // on different hardware.
-    if compare || e19_outcome.is_some() {
+    if compare || e19_outcome.is_some() || e20_outcome.is_some() {
         em.toplevel("calibration_ns", gate::calibration_ns());
     }
 
@@ -1335,6 +1549,7 @@ fn main() {
             e17_stats,
             e18_stats,
             e19_outcome.as_ref(),
+            e20_outcome.as_ref(),
             trace_written,
         ) {
             Ok(summary) => eprintln!("selfcheck: ok ({summary})"),
@@ -1409,8 +1624,10 @@ fn run_compare(doc: &Json) -> Result<String, String> {
 /// per-update work (solver calls and wall time), the E19 telemetry
 /// snapshot satisfies the documented histogram/counter identities with
 /// monotone quantiles and valid, round-trippable expositions (and an
-/// injected 2x wall slowdown trips the regression gate), and the
-/// chrome-trace file parses with strictly nested spans per thread.
+/// injected 2x wall slowdown trips the regression gate), the E20 flight
+/// recorder proved exemplar coverage, drop-free capture, and a tripped,
+/// parseable SLO dump, and the chrome-trace file parses with strictly
+/// nested spans per thread.
 #[allow(clippy::too_many_arguments, clippy::too_many_lines)]
 fn run_selfcheck(
     doc: &Json,
@@ -1420,6 +1637,7 @@ fn run_selfcheck(
     e17: Option<(bool, f64)>,
     e18: Option<(bool, f64, f64)>,
     e19: Option<&TelemetryOutcome>,
+    e20: Option<&RecorderOutcome>,
     trace_written: bool,
 ) -> Result<String, String> {
     let mut checks = Vec::new();
@@ -1592,6 +1810,30 @@ fn run_selfcheck(
         }
         checks.push(format!(
             "e19 telemetry ({prom_samples} prom / {json_samples} json samples, gate trips on 2x)"
+        ));
+    }
+
+    if let Some(outcome) = e20 {
+        if !outcome.exemplar_coverage {
+            return Err(format!(
+                "E20: not every nonzero bucket ({} total) carries a valid, resolving exemplar",
+                outcome.nonzero_buckets
+            ));
+        }
+        if !outcome.recorder_no_drops {
+            return Err("E20: recorder rings dropped events on a workload sized to fit".into());
+        }
+        if !outcome.breach_tripped {
+            return Err("E20: injected 2x-over-SLO update did not trip the watchdog".into());
+        }
+        if !outcome.dump_parsed {
+            return Err(
+                "E20: SLO breach dump missing, unparseable, or spans not strictly nested".into()
+            );
+        }
+        checks.push(format!(
+            "e20 recorder ({} exemplar'd buckets, breach dumped+parsed)",
+            outcome.nonzero_buckets
         ));
     }
 

@@ -36,6 +36,7 @@ pub const SECTIONS: &[(&str, &[&str])] = &[
     ("e17", &["multiway"]),
     ("e18", &["incremental"]),
     ("e19", &["telemetry"]),
+    ("e20", &["recorder"]),
     ("a1", &["ablation"]),
     ("a2", &["ablation"]),
     ("a3", &["ablation"]),

@@ -135,15 +135,17 @@ impl<T: Theory> Engine<T> {
     /// Sampled occupancy/cardinality gauges for the engine's shared
     /// state, as `(name, value)` rows: interner entries (canonical pool
     /// and raw memo) and estimated bytes, QE-cache entries, estimated
-    /// bytes, per-shard peak occupancy and shard capacity. The rows feed
-    /// [`trace::EvalReport::with_gauges`] and a
-    /// [`trace::TelemetryRegistry`]'s `set_gauge`; sampling is one pass
-    /// over the tables with no solver work.
+    /// bytes, per-shard peak occupancy and shard capacity, plus the
+    /// process-global flight-recorder occupancy rows (events
+    /// recorded/dropped, ring capacity, per-thread root-ring fill % and
+    /// drop counts). The rows feed [`trace::EvalReport::with_gauges`]
+    /// and a [`trace::TelemetryRegistry`]'s `set_gauge`; sampling is one
+    /// pass over the tables with no solver work.
     #[must_use]
     pub fn gauges(&self) -> Vec<(String, u64)> {
         let occupancy = self.qe_cache.shard_occupancy();
         let peak = occupancy.iter().copied().max().unwrap_or(0);
-        vec![
+        let mut rows = vec![
             ("interner_entries".to_string(), self.interner.len() as u64),
             ("interner_raw_entries".to_string(), self.interner.raw_len() as u64),
             ("interner_bytes".to_string(), self.interner.bytes_estimate() as u64),
@@ -151,7 +153,9 @@ impl<T: Theory> Engine<T> {
             ("qe_cache_bytes".to_string(), self.qe_cache.bytes_estimate() as u64),
             ("qe_cache_shard_peak".to_string(), peak as u64),
             ("qe_cache_shard_capacity".to_string(), self.qe_cache.shard_capacity() as u64),
-        ]
+        ];
+        rows.extend(trace::recorder::gauges());
+        rows
     }
 
     /// `∃ var. conj` through the engine's QE memo cache (a direct theory

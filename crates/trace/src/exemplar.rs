@@ -1,0 +1,87 @@
+//! Histogram exemplars: one recorded span per log-bucket.
+//!
+//! An exemplar ties a histogram bucket back to a concrete recorded span
+//! in the flight recorder ([`crate::recorder`]): each bucket of a
+//! [`Histogram`](crate::histogram::Histogram) retains the **most
+//! recent** `(span id, owning scope, observed value)` triple that
+//! landed in it. An operator looking at a p99 bucket in the Prometheus
+//! exposition can jump straight to the span tree that produced it — the
+//! OpenMetrics `# {…}` exemplar syntax carries the span id and scope on
+//! every `_bucket` sample line.
+//!
+//! Retention rule: *most recent wins*. Within one scope a later
+//! `record` overwrites the bucket's exemplar; when a child scope folds
+//! into its parent at drop, the child's exemplars overwrite the
+//! parent's for every bucket the child touched (the child's samples are
+//! newer by construction). Exemplars are diagnostic annotations, not
+//! measurements: they are excluded from histogram equality so the
+//! cross-thread bucket-exactness invariants are unaffected by *which*
+//! span a bucket happens to cite.
+
+use crate::json::Json;
+
+/// The most recent recorded span observed in one histogram bucket.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Exemplar {
+    /// Flight-recorder span id (`SpanEvent::span_id`) active when the
+    /// sample was recorded.
+    pub span_id: u64,
+    /// Name of the scope that recorded the sample.
+    pub scope: String,
+    /// The observed value itself (falls inside the bucket's bounds).
+    pub value: u64,
+}
+
+impl Exemplar {
+    /// JSON array form `[span_id, value, scope]` used inside histogram
+    /// serialization.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Arr(vec![
+            Json::from(self.span_id),
+            Json::from(self.value),
+            Json::from(self.scope.as_str()),
+        ])
+    }
+
+    /// Parse the `[span_id, value, scope]` array form.
+    pub fn from_json(value: &Json) -> Result<Exemplar, String> {
+        let Json::Arr(items) = value else {
+            return Err("exemplar: expected array".to_string());
+        };
+        if items.len() != 3 {
+            return Err(format!("exemplar: expected 3 elements, got {}", items.len()));
+        }
+        let span_id =
+            items[0].as_u64().ok_or_else(|| "exemplar: span_id must be a u64".to_string())?;
+        let value = items[1].as_u64().ok_or_else(|| "exemplar: value must be a u64".to_string())?;
+        let scope = items[2]
+            .as_str()
+            .ok_or_else(|| "exemplar: scope must be a string".to_string())?
+            .to_string();
+        Ok(Exemplar { span_id, scope, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trip() {
+        let ex = Exemplar { span_id: 42, scope: "fixpoint/tc".to_string(), value: 1_900 };
+        let back = Exemplar::from_json(&ex.to_json()).expect("round trip");
+        assert_eq!(back, ex);
+    }
+
+    #[test]
+    fn malformed_forms_are_rejected() {
+        for bad in [
+            Json::from(1u64),
+            Json::Arr(vec![Json::from(1u64), Json::from(2u64)]),
+            Json::Arr(vec![Json::from("x"), Json::from(2u64), Json::from("s")]),
+        ] {
+            assert!(Exemplar::from_json(&bad).is_err());
+        }
+    }
+}

@@ -10,10 +10,18 @@
 //! histogram becomes the conventional `_bucket`(+`le`)/`_sum`/`_count`
 //! triple with **cumulative** bucket counts ending in `le="+Inf"`.
 //!
+//! Histogram `_bucket` samples additionally carry **exemplars** in the
+//! OpenMetrics `# {…}` syntax when the flight recorder stamped one on
+//! the bucket: `cql_qe_call_ns_bucket{scope="q",le="2047"} 13
+//! # {span_id="42",scope="q"} 1903` links the bucket to the recorded
+//! span (`SpanEvent::span_id`) that most recently landed in it.
+//!
 //! [`validate_prometheus`] re-parses an exposition and rejects duplicate
 //! samples (same family + label set twice), non-monotone cumulative
-//! bucket series, and `+Inf` buckets that disagree with their `_count`
-//! — the CI smoke and `repro --selfcheck` both run it.
+//! bucket series, `+Inf` buckets that disagree with their `_count`,
+//! label values with invalid or unescaped escape sequences, and
+//! exemplars whose value exceeds their bucket's `le` bound — the CI
+//! smoke and `repro --selfcheck` both run it.
 //!
 //! The full quick-start documented in the README — register a scope,
 //! record under it, snapshot, render both expositions, validate and
@@ -51,9 +59,35 @@ use crate::scope::COUNTERS;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 
-/// Escape a label value per the exposition format.
+/// Escape a label value per the exposition format: backslash, double
+/// quote and newline become `\\`, `\"` and `\n` (backslash first, so the
+/// escapes themselves are not re-escaped).
 fn escape_label(v: &str) -> String {
     v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Invert [`escape_label`] one character at a time. A `replace`-chain
+/// inverse is *wrong* here: unescaping `\n` before `\\` corrupts the
+/// value `a\nb` (backslash, `n`) — escaped as `a\\nb` — into
+/// backslash-newline. Sequential scanning also lets the validator reject
+/// invalid escapes and dangling backslashes outright.
+fn unescape_label(raw: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                Some('n') => out.push('\n'),
+                Some(other) => return Err(format!("invalid escape \\{other} in label value")),
+                None => return Err("unescaped trailing backslash in label value".to_string()),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
 }
 
 /// Render a snapshot as Prometheus-style text exposition.
@@ -140,10 +174,18 @@ pub fn to_prometheus(snap: &TelemetrySnapshot) -> String {
             for (idx, n) in h.buckets() {
                 cumulative += n;
                 let (_, hi) = bucket_bounds(idx);
-                let _ = writeln!(
-                    out,
-                    "cql_{hist}_bucket{{scope=\"{scope}\",le=\"{hi}\"}} {cumulative}"
-                );
+                let _ =
+                    write!(out, "cql_{hist}_bucket{{scope=\"{scope}\",le=\"{hi}\"}} {cumulative}");
+                if let Some(ex) = h.exemplar(idx) {
+                    let _ = write!(
+                        out,
+                        " # {{span_id=\"{}\",scope=\"{}\"}} {}",
+                        ex.span_id,
+                        escape_label(&ex.scope),
+                        ex.value
+                    );
+                }
+                out.push('\n');
             }
             let _ =
                 writeln!(out, "cql_{hist}_bucket{{scope=\"{scope}\",le=\"+Inf\"}} {}", h.count());
@@ -154,61 +196,99 @@ pub fn to_prometheus(snap: &TelemetrySnapshot) -> String {
     out
 }
 
-/// One parsed exposition sample.
+/// One parsed exposition sample, including an OpenMetrics `# {…}`
+/// exemplar when the line carries one.
 struct Sample {
     name: String,
     labels: Vec<(String, String)>,
     value: f64,
+    exemplar: Option<(Vec<(String, String)>, f64)>,
+}
+
+/// A parsed label set plus the remainder of the line after its `}`.
+type LabelSet<'a> = (Vec<(String, String)>, &'a str);
+
+/// Parse a `key="value",…}` label set (the text *after* the opening
+/// `{`), quote- and escape-aware. Returns the labels and the remainder
+/// after the closing `}`.
+fn parse_label_set<'a>(
+    rest: &'a str,
+    err: &dyn Fn(&str) -> String,
+) -> Result<LabelSet<'a>, String> {
+    let mut labels = Vec::new();
+    let mut remaining = rest;
+    loop {
+        if let Some(after) = remaining.strip_prefix('}') {
+            return Ok((labels, after));
+        }
+        let (key, after_eq) = remaining.split_once("=\"").ok_or_else(|| err("bad label"))?;
+        if key.is_empty() || key.contains(['}', '"', ',', ' ']) {
+            return Err(err("bad label name"));
+        }
+        // Find the closing unescaped quote.
+        let mut end = None;
+        let bytes = after_eq.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'"' => {
+                    end = Some(i);
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        let end = end.ok_or_else(|| err("unterminated label value"))?;
+        let unescaped = unescape_label(&after_eq[..end]).map_err(|e| err(&e))?;
+        labels.push((key.to_string(), unescaped));
+        remaining = &after_eq[end + 1..];
+        if let Some(after_comma) = remaining.strip_prefix(',') {
+            remaining = after_comma;
+        } else if !remaining.starts_with('}') {
+            return Err(err("expected ',' or '}' after label value"));
+        }
+    }
 }
 
 fn parse_sample(line: &str, lineno: usize) -> Result<Sample, String> {
     let err = |what: &str| format!("line {lineno}: {what}: {line}");
-    let (head, value) = line.rsplit_once(' ').ok_or_else(|| err("missing value"))?;
-    let value: f64 = value.parse().map_err(|_| err("value not a number"))?;
-    let (name, labels) = match head.split_once('{') {
-        None => (head.to_string(), Vec::new()),
-        Some((name, rest)) => {
-            let rest = rest.strip_suffix('}').ok_or_else(|| err("unterminated labels"))?;
-            let mut labels = Vec::new();
-            let mut remaining = rest;
-            while !remaining.is_empty() {
-                let (key, after_eq) =
-                    remaining.split_once("=\"").ok_or_else(|| err("bad label"))?;
-                // Find the closing unescaped quote.
-                let mut end = None;
-                let bytes = after_eq.as_bytes();
-                let mut i = 0;
-                while i < bytes.len() {
-                    match bytes[i] {
-                        b'\\' => i += 2,
-                        b'"' => {
-                            end = Some(i);
-                            break;
-                        }
-                        _ => i += 1,
-                    }
-                }
-                let end = end.ok_or_else(|| err("unterminated label value"))?;
-                let raw = &after_eq[..end];
-                let unescaped =
-                    raw.replace("\\n", "\n").replace("\\\"", "\"").replace("\\\\", "\\");
-                labels.push((key.to_string(), unescaped));
-                remaining = after_eq[end + 1..].trim_start_matches(',');
-            }
-            (name.to_string(), labels)
-        }
-    };
+    let name_end = line.find(['{', ' ']).ok_or_else(|| err("missing value"))?;
+    let name = &line[..name_end];
     if name.is_empty() {
         return Err(err("empty metric name"));
     }
-    Ok(Sample { name, labels, value })
+    let (labels, rest) = if line[name_end..].starts_with('{') {
+        parse_label_set(&line[name_end + 1..], &err)?
+    } else {
+        (Vec::new(), &line[name_end..])
+    };
+    let rest = rest.strip_prefix(' ').ok_or_else(|| err("missing value"))?;
+    let (value_text, rest) = match rest.split_once(' ') {
+        Some((v, more)) => (v, more),
+        None => (rest, ""),
+    };
+    let value: f64 = value_text.parse().map_err(|_| err("value not a number"))?;
+    let exemplar = if rest.is_empty() {
+        None
+    } else {
+        let ex = rest.strip_prefix("# {").ok_or_else(|| err("trailing garbage after value"))?;
+        let (ex_labels, after) = parse_label_set(ex, &err)?;
+        let ex_value = after.strip_prefix(' ').ok_or_else(|| err("exemplar missing value"))?;
+        let ex_value: f64 = ex_value.parse().map_err(|_| err("exemplar value not a number"))?;
+        Some((ex_labels, ex_value))
+    };
+    Ok(Sample { name: name.to_string(), labels, value, exemplar })
 }
 
 /// Validate a Prometheus-style exposition produced by [`to_prometheus`]:
-/// every line parses, no (family, label set) sample repeats, every
-/// cumulative `_bucket` series is monotone nondecreasing with ascending
-/// `le` and ends at `le="+Inf"`, and the `+Inf` count equals the
-/// family's `_count` sample. Returns the number of samples.
+/// every line parses (label values reject invalid escapes), no (family,
+/// label set) sample repeats, every cumulative `_bucket` series is
+/// monotone nondecreasing with ascending `le` and ends at `le="+Inf"`,
+/// the `+Inf` count equals the family's `_count` sample, and exemplars
+/// appear only on `_bucket` samples, carry a numeric `span_id`, and have
+/// a value within their bucket's `le` bound. Returns the number of
+/// samples.
 ///
 /// # Errors
 /// A message naming the offending line or series.
@@ -233,6 +313,25 @@ pub fn validate_prometheus(text: &str) -> Result<usize, String> {
                 sample.name
             ));
         }
+        if let Some((ex_labels, ex_value)) = &sample.exemplar {
+            if !sample.name.ends_with("_bucket") {
+                return Err(format!(
+                    "line {lineno}: exemplar on non-bucket sample {}",
+                    sample.name
+                ));
+            }
+            let span_id = ex_labels
+                .iter()
+                .find(|(k, _)| k == "span_id")
+                .ok_or_else(|| format!("line {lineno}: exemplar without span_id label"))?;
+            span_id
+                .1
+                .parse::<u64>()
+                .map_err(|_| format!("line {lineno}: exemplar span_id not a u64"))?;
+            if !ex_value.is_finite() || *ex_value < 0.0 {
+                return Err(format!("line {lineno}: exemplar value {ex_value} out of range"));
+            }
+        }
         if let Some(family) = sample.name.strip_suffix("_bucket") {
             let le = sample
                 .labels
@@ -245,6 +344,13 @@ pub fn validate_prometheus(text: &str) -> Result<usize, String> {
             } else {
                 le.parse::<f64>().map_err(|_| format!("line {lineno}: unparsable le \"{le}\""))?
             };
+            if let Some((_, ex_value)) = &sample.exemplar {
+                if *ex_value > le {
+                    return Err(format!(
+                        "line {lineno}: exemplar value {ex_value} above bucket le {le}"
+                    ));
+                }
+            }
             let others: Vec<_> = sample.labels.iter().filter(|(k, _)| k != "le").cloned().collect();
             series
                 .entry(format!("{family}|{others:?}"))
@@ -423,6 +529,63 @@ mod tests {
     fn escaped_label_values_round_trip_the_validator() {
         let tricky = "cql_x{scope=\"a\\\"b\\\\c\"} 1\n";
         assert_eq!(validate_prometheus(tricky).unwrap(), 1);
+    }
+
+    #[test]
+    fn unescaping_is_exact_for_backslash_then_n() {
+        // The value `a\nb` — a literal backslash followed by the letter
+        // n — escapes to `a\\nb`. A replace-chain unescape corrupts it
+        // into backslash-newline; the char-wise scanner must not.
+        for value in ["a\\nb", "a\nb", "\\", "\"", "a\\\"b\\\\c\n"] {
+            let line = format!("cql_x{{scope=\"{}\"}} 1", escape_label(value));
+            let sample = parse_sample(&line, 1).expect("escaped line parses");
+            assert_eq!(sample.labels, vec![("scope".to_string(), value.to_string())], "{line}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_invalid_escapes() {
+        for bad in [
+            "cql_x{scope=\"a\\qb\"} 1\n",   // unknown escape
+            "cql_x{scope=\"a\\\\\\\"} 1\n", // dangling backslash inside value
+            "cql_x{scope=\"ab\" 1\n",       // unterminated label set
+        ] {
+            assert!(validate_prometheus(bad).is_err(), "'{}' must be rejected", bad.trim_end());
+        }
+    }
+
+    #[test]
+    fn exemplars_render_and_validate() {
+        let registry = TelemetryRegistry::new();
+        let handle = registry.register("exq");
+        {
+            let _g = handle.install();
+            record_hist(crate::scope::hist::QE_CALL_NS, 700);
+        }
+        // Stamp an exemplar by hand (the recorder does this end to end;
+        // here we exercise just the exposition).
+        let mut snap = registry.snapshot();
+        let h = snap.scopes[0].metrics.hists.get_mut(crate::scope::hist::QE_CALL_NS).unwrap();
+        h.record_exemplar(1900, 42, "exq \"tricky\\name\"");
+        let text = to_prometheus(&snap);
+        assert!(text.contains("# {span_id=\"42\""), "exemplar missing:\n{text}");
+        validate_prometheus(&text).expect("exemplar-bearing exposition validates");
+        let json = to_json(&snap);
+        validate_json(&json).expect("exemplar-bearing json validates");
+        assert_eq!(json::parse(&json.pretty()).unwrap(), json);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_exemplars() {
+        let on_counter = "cql_x{scope=\"a\"} 1 # {span_id=\"1\"} 1\n";
+        assert!(validate_prometheus(on_counter).unwrap_err().contains("non-bucket"));
+        let no_span = "cql_h_bucket{scope=\"a\",le=\"+Inf\"} 1 # {trace=\"x\"} 1\n";
+        assert!(validate_prometheus(no_span).unwrap_err().contains("span_id"));
+        let above_le = "cql_h_bucket{scope=\"a\",le=\"10\"} 1 # {span_id=\"1\"} 11\n\
+                        cql_h_bucket{scope=\"a\",le=\"+Inf\"} 1\n";
+        assert!(validate_prometheus(above_le).unwrap_err().contains("above bucket le"));
+        let garbage = "cql_x{scope=\"a\"} 1 trailing\n";
+        assert!(validate_prometheus(garbage).unwrap_err().contains("trailing garbage"));
     }
 
     #[test]

@@ -21,7 +21,16 @@
 //! Quantiles are answered by a cumulative scan over the (sorted, sparse)
 //! bucket table; [`Histogram::quantile`] is monotone in `q` by
 //! construction and clamps to the exactly-tracked `min`/`max`.
+//!
+//! Each bucket can additionally carry an [`Exemplar`] — the most recent
+//! `(span id, scope, value)` triple recorded into it via
+//! [`Histogram::record_exemplar`] — linking the bucket to a concrete
+//! flight-recorder span (see [`crate::exemplar`]). Exemplars are
+//! diagnostic annotations: they ride [`Histogram::merge`] (incoming side
+//! wins, being newer) but are **excluded from equality**, so the exact
+//! cross-thread merge invariants are stated over the measurements alone.
 
+use crate::exemplar::Exemplar;
 use crate::json::Json;
 use std::collections::BTreeMap;
 
@@ -62,7 +71,7 @@ pub fn bucket_bounds(idx: u32) -> (u64, u64) {
 
 /// A streaming log-bucketed histogram. See the module docs for the
 /// bucketing scheme and the exact-merge guarantee.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default)]
 pub struct Histogram {
     count: u64,
     sum: u64,
@@ -72,7 +81,23 @@ pub struct Histogram {
     /// deterministic) by construction, which keeps merge, equality and
     /// the quantile scan order-independent.
     buckets: BTreeMap<u32, u64>,
+    /// Most recent exemplar per bucket. Excluded from equality: which
+    /// span a bucket cites depends on timing and thread interleaving,
+    /// while the measurements above are exact and order-independent.
+    exemplars: BTreeMap<u32, Exemplar>,
 }
+
+impl PartialEq for Histogram {
+    fn eq(&self, other: &Histogram) -> bool {
+        self.count == other.count
+            && self.sum == other.sum
+            && self.min == other.min
+            && self.max == other.max
+            && self.buckets == other.buckets
+    }
+}
+
+impl Eq for Histogram {}
 
 impl Histogram {
     /// An empty histogram.
@@ -103,6 +128,26 @@ impl Histogram {
         *self.buckets.entry(bucket_index(v)).or_insert(0) += n;
     }
 
+    /// Record one sample and stamp its bucket's exemplar with the
+    /// recorded span that produced it (most recent wins).
+    pub fn record_exemplar(&mut self, v: u64, span_id: u64, scope: &str) {
+        self.record(v);
+        self.exemplars
+            .insert(bucket_index(v), Exemplar { span_id, scope: scope.to_string(), value: v });
+    }
+
+    /// The exemplar currently retained for bucket `idx`, if any.
+    #[must_use]
+    pub fn exemplar(&self, idx: u32) -> Option<&Exemplar> {
+        self.exemplars.get(&idx)
+    }
+
+    /// All retained exemplars as `(bucket index, exemplar)` pairs in
+    /// ascending index order.
+    pub fn exemplars(&self) -> impl Iterator<Item = (u32, &Exemplar)> + '_ {
+        self.exemplars.iter().map(|(&idx, ex)| (idx, ex))
+    }
+
     /// Fold `other` into `self`: bucket-wise addition, exact (the result
     /// equals recording both sample streams into one histogram).
     pub fn merge(&mut self, other: &Histogram) {
@@ -120,6 +165,11 @@ impl Histogram {
         self.sum = self.sum.saturating_add(other.sum);
         for (&idx, &n) in &other.buckets {
             *self.buckets.entry(idx).or_insert(0) += n;
+        }
+        // The incoming side's exemplars are newer (a child scope folding
+        // into its parent at drop): most recent wins.
+        for (&idx, ex) in &other.exemplars {
+            self.exemplars.insert(idx, ex.clone());
         }
     }
 
@@ -215,17 +265,26 @@ impl Histogram {
         }
         let lowest = *buckets.keys().next().expect("non-empty");
         let highest = *buckets.keys().next_back().expect("non-empty");
+        let exemplars = self
+            .exemplars
+            .iter()
+            .filter(|(idx, _)| buckets.contains_key(idx))
+            .map(|(&idx, ex)| (idx, ex.clone()))
+            .collect();
         Histogram {
             count,
             sum: self.sum.saturating_sub(earlier.sum),
             min: bucket_bounds(lowest).0.max(self.min),
             max: bucket_bounds(highest).1.min(self.max),
             buckets,
+            exemplars,
         }
     }
 
-    /// Render as a JSON object: `count`, `sum`, `min`, `max`, and the
-    /// sparse bucket table as an array of `[index, count]` pairs.
+    /// Render as a JSON object: `count`, `sum`, `min`, `max`, the sparse
+    /// bucket table as an array of `[index, count]` pairs, and (when any
+    /// are retained) the exemplar table as `[index, [span_id, value,
+    /// scope]]` pairs.
     #[must_use]
     pub fn to_json(&self) -> Json {
         let buckets = self
@@ -233,12 +292,21 @@ impl Histogram {
             .iter()
             .map(|(&idx, &n)| Json::Arr(vec![Json::from(u64::from(idx)), Json::from(n)]))
             .collect();
-        Json::obj()
+        let doc = Json::obj()
             .field("count", self.count)
             .field("sum", self.sum)
             .field("min", self.min)
             .field("max", self.max)
-            .field("buckets", Json::Arr(buckets))
+            .field("buckets", Json::Arr(buckets));
+        if self.exemplars.is_empty() {
+            return doc;
+        }
+        let exemplars = self
+            .exemplars
+            .iter()
+            .map(|(&idx, ex)| Json::Arr(vec![Json::from(u64::from(idx)), ex.to_json()]))
+            .collect();
+        doc.field("exemplars", Json::Arr(exemplars))
     }
 
     /// Parse the [`Histogram::to_json`] form back.
@@ -265,12 +333,28 @@ impl Histogram {
                 return Err(format!("duplicate histogram bucket {idx}"));
             }
         }
+        let mut exemplars = BTreeMap::new();
+        if let Some(rows) = v.get("exemplars") {
+            for pair in rows.as_arr().ok_or("histogram exemplars not an array")? {
+                let pair = pair.as_arr().ok_or("histogram exemplar not a pair")?;
+                let [idx, ex] = pair else { return Err("histogram exemplar not a pair".into()) };
+                let idx = idx.as_u64().ok_or("histogram exemplar index not a number")?;
+                let idx = u32::try_from(idx).map_err(|_| "histogram exemplar index overflows")?;
+                if !buckets.contains_key(&idx) {
+                    return Err(format!("exemplar for absent bucket {idx}"));
+                }
+                if exemplars.insert(idx, Exemplar::from_json(ex)?).is_some() {
+                    return Err(format!("duplicate histogram exemplar {idx}"));
+                }
+            }
+        }
         Ok(Histogram {
             count: get("count")?,
             sum: get("sum")?,
             min: get("min")?,
             max: get("max")?,
             buckets,
+            exemplars,
         })
     }
 }
@@ -375,6 +459,58 @@ mod tests {
         let text = h.to_json().pretty();
         let back = Histogram::from_json(&crate::json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, h);
+    }
+
+    #[test]
+    fn exemplars_retain_most_recent_per_bucket() {
+        let mut h = Histogram::new();
+        h.record_exemplar(1000, 7, "a");
+        h.record_exemplar(1001, 8, "b"); // same bucket as 1000: overwrites
+        h.record_exemplar(5, 9, "c");
+        let idx = bucket_index(1000);
+        assert_eq!(bucket_index(1001), idx, "test premise: shared bucket");
+        assert_eq!(h.exemplar(idx).map(|e| e.span_id), Some(8));
+        assert_eq!(h.exemplar(bucket_index(5)).map(|e| e.span_id), Some(9));
+        assert_eq!(h.exemplars().count(), 2);
+    }
+
+    #[test]
+    fn merge_prefers_incoming_exemplars() {
+        let mut parent = Histogram::new();
+        parent.record_exemplar(100, 1, "parent");
+        let mut child = Histogram::new();
+        child.record_exemplar(100, 2, "child");
+        parent.merge(&child);
+        let ex = parent.exemplar(bucket_index(100)).expect("exemplar survives merge");
+        assert_eq!((ex.span_id, ex.scope.as_str()), (2, "child"));
+        assert_eq!(parent.count(), 2);
+    }
+
+    #[test]
+    fn equality_ignores_exemplars() {
+        let mut a = Histogram::new();
+        a.record_exemplar(100, 1, "a");
+        let mut b = Histogram::new();
+        b.record(100);
+        assert_eq!(a, b, "exemplars are annotations, not measurements");
+    }
+
+    #[test]
+    fn exemplars_round_trip_through_json() {
+        let mut h = Histogram::new();
+        h.record_exemplar(1000, 42, "view/main");
+        h.record(7);
+        let back = Histogram::from_json(&crate::json::parse(&h.to_json().pretty()).unwrap())
+            .expect("round trip");
+        assert_eq!(back, h);
+        let idx = bucket_index(1000);
+        assert_eq!(back.exemplar(idx), h.exemplar(idx));
+        // An exemplar citing a bucket with no samples is corrupt.
+        let orphan = crate::json::parse(
+            r#"{"count":1,"sum":5,"min":5,"max":5,"buckets":[[5,1]],"exemplars":[[9,[1,9,"s"]]]}"#,
+        )
+        .unwrap();
+        assert!(Histogram::from_json(&orphan).is_err());
     }
 
     #[test]

@@ -13,9 +13,23 @@
 //!   the core crate's old `metrics` module used to be.
 //! * [`span()`]/[`SpanGuard`]/[`TraceSession`] — span-based tracing of
 //!   calculus disjuncts, algebra operators, fixpoint rounds, QE calls,
-//!   executor batches and interner epochs. Behind the `trace` cargo
-//!   feature: **zero cost when disabled** (entry points compile to empty
-//!   inline functions).
+//!   executor batches and interner epochs. The *full* (unsampled,
+//!   unbounded) session tracer is behind the `trace` cargo feature and
+//!   compiles away when disabled.
+//! * [`recorder`] — the always-on flight recorder: the same span sites
+//!   captured into per-thread fixed-capacity rings of compact events,
+//!   **compiled in unconditionally** and switched at runtime by a
+//!   [`RecorderConfig`] (off / sampled 1-in-N / always; off costs one
+//!   relaxed atomic load per site). Rings ride the scope merge-on-drop
+//!   fold, so capture is exact-attribution at any executor width.
+//! * [`exemplar`] — histogram exemplars: each log-bucket retains the
+//!   most recent `(span id, scope, value)` triple, exposed through the
+//!   Prometheus (`# {…}` OpenMetrics syntax) and JSON expositions, so a
+//!   p99 bucket links to the recorded span that landed there.
+//! * [`watchdog`] — declarative SLO rules (`view_update_ns p99 < 2ms`)
+//!   checked at scope drop; a breach freezes the scope's recorder rings
+//!   and dumps them as a chrome trace, plus an [`EvalReport`] anomaly
+//!   row.
 //! * [`EvalReport`] — the EXPLAIN artifact: per-round fixpoint telemetry
 //!   (delta size, tuples produced/subsumed, entailment checks, QE and
 //!   wall time), per-operator inclusive timings, counter totals.
@@ -43,20 +57,26 @@
 #![forbid(unsafe_code)]
 
 pub mod chrome;
+pub mod exemplar;
 pub mod expose;
 pub mod histogram;
 pub mod json;
+pub mod recorder;
 pub mod registry;
 pub mod report;
 pub mod scope;
 pub mod span;
+pub mod watchdog;
 
+pub use exemplar::Exemplar;
 pub use histogram::Histogram;
 pub use json::Json;
+pub use recorder::{RecorderConfig, RingStats, SpanEvent};
 pub use registry::{ScopeReading, TelemetryRegistry, TelemetrySnapshot};
-pub use report::{EvalReport, OperatorStats, PlanStats, RoundStats, UpdateStats};
+pub use report::{AnomalyStats, EvalReport, OperatorStats, PlanStats, RoundStats, UpdateStats};
 pub use scope::{
     count, current_handle, hist, op_timed, qe_timed, record_hist, root_reset, root_snapshot,
     Counter, MetricsScope, MetricsSnapshot, OpAgg, ScopeHandle, COUNTERS,
 };
 pub use span::{span, SpanGuard, SpanRecord, TraceSession};
+pub use watchdog::{SloBreach, SloRule};

@@ -16,8 +16,20 @@
 //! [`TelemetryRegistry::snapshot`] produces a [`TelemetrySnapshot`] that
 //! the [`crate::expose`] module renders as Prometheus-style text or
 //! JSON.
+//!
+//! The registry is also the operator's control point for the runtime
+//! diagnostics: [`TelemetryRegistry::set_recorder`] switches the flight
+//! recorder's capture mode, [`TelemetryRegistry::set_slo_rules`] arms
+//! the SLO watchdog, and — since registered scopes are long-lived and
+//! never drop — [`TelemetryRegistry::check_slos`] runs the same
+//! breach-and-dump check a [`MetricsScope`](crate::MetricsScope) gets
+//! automatically at drop. Recorder mode, rules and breach history are
+//! process-global (shared with every other registry and scope), matching
+//! the process-global scope root.
 
+use crate::recorder::{self, RecorderConfig};
 use crate::scope::{MetricsSnapshot, ScopeHandle};
+use crate::watchdog::{self, SloBreach, SloRule};
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
@@ -99,6 +111,52 @@ impl TelemetryRegistry {
                 })
                 .collect(),
         }
+    }
+
+    /// Switch the (process-global) flight recorder's capture mode.
+    pub fn set_recorder(&self, config: RecorderConfig) {
+        recorder::set_config(config);
+    }
+
+    /// The flight recorder's current capture mode.
+    #[must_use]
+    pub fn recorder_config(&self) -> RecorderConfig {
+        recorder::config()
+    }
+
+    /// Arm the (process-global) SLO watchdog with `rules`; an empty set
+    /// disarms it. Rules are checked automatically when any
+    /// [`MetricsScope`](crate::MetricsScope) drops, and on demand for
+    /// this registry's long-lived scopes via
+    /// [`TelemetryRegistry::check_slos`].
+    pub fn set_slo_rules(&self, rules: Vec<SloRule>) {
+        watchdog::set_rules(rules);
+    }
+
+    /// Check every registered scope against the armed SLO rules now
+    /// (long-lived scopes never drop, so they never hit the automatic
+    /// at-drop check). A breach freezes and dumps the offending scope's
+    /// recorder rings exactly as a scope drop would. Returns the
+    /// breaches found in this pass.
+    pub fn check_slos(&self) -> Vec<SloBreach> {
+        if !watchdog::armed() {
+            return Vec::new();
+        }
+        let entries = self.entries.lock().expect("registry poisoned");
+        let mut found = Vec::new();
+        for (name, entry) in entries.iter() {
+            let snap = entry.handle.snapshot();
+            let handle = &entry.handle;
+            found.extend(watchdog::check(name, &snap, || handle.take_events()));
+        }
+        found
+    }
+
+    /// Drain the process-wide SLO breach history (scope-drop breaches
+    /// included).
+    #[must_use]
+    pub fn take_breaches(&self) -> Vec<SloBreach> {
+        watchdog::take_breaches()
     }
 }
 

@@ -213,6 +213,68 @@ impl UpdateStats {
     }
 }
 
+/// One SLO watchdog anomaly: a declared latency objective the evaluation
+/// breached (see [`crate::watchdog`]). The breach froze the scope's
+/// flight-recorder rings; `dump_path` names the chrome-trace file they
+/// were dumped to (empty when no dump directory was configured).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AnomalyStats {
+    /// Scope whose histogram breached the objective.
+    pub scope: String,
+    /// Histogram the rule watches (e.g. `"view_update_ns"`).
+    pub hist: String,
+    /// Watched quantile in `(0, 1]` (0.99 for p99).
+    pub quantile: f64,
+    /// Observed quantile value, nanoseconds.
+    pub observed_ns: u64,
+    /// Declared bound, nanoseconds.
+    pub threshold_ns: u64,
+    /// Chrome-trace dump of the frozen rings; empty when none was written.
+    pub dump_path: String,
+}
+
+impl AnomalyStats {
+    /// Render as a JSON object (one entry of the report's `anomalies`
+    /// array).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("scope", self.scope.as_str())
+            .field("hist", self.hist.as_str())
+            .field("quantile", self.quantile)
+            .field("observed_ns", self.observed_ns)
+            .field("threshold_ns", self.threshold_ns)
+            .field("dump_path", self.dump_path.as_str())
+    }
+
+    /// Parse one `anomalies` entry.
+    ///
+    /// # Errors
+    /// Describes the missing or mistyped field.
+    pub fn from_json(v: &Json) -> Result<AnomalyStats, String> {
+        let get = |key: &str| {
+            v.get(key).and_then(Json::as_u64).ok_or_else(|| format!("anomaly missing \"{key}\""))
+        };
+        let text = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("anomaly missing \"{key}\""))
+        };
+        Ok(AnomalyStats {
+            scope: text("scope")?,
+            hist: text("hist")?,
+            quantile: v
+                .get("quantile")
+                .and_then(Json::as_num)
+                .ok_or("anomaly missing \"quantile\"")?,
+            observed_ns: get("observed_ns")?,
+            threshold_ns: get("threshold_ns")?,
+            dump_path: text("dump_path")?,
+        })
+    }
+}
+
 /// One operator row of the report (from the scope's operator table).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct OperatorStats {
@@ -241,6 +303,9 @@ pub struct EvalReport {
     /// Per-update incremental maintenance telemetry (empty for batch
     /// evaluations).
     pub updates: Vec<UpdateStats>,
+    /// SLO watchdog breaches observed during the evaluation (empty when
+    /// no rule was armed or none tripped).
+    pub anomalies: Vec<AnomalyStats>,
     /// Per-operator inclusive timings.
     pub operators: Vec<OperatorStats>,
     /// Latency/fanout distributions recorded under the evaluation's
@@ -290,6 +355,7 @@ impl EvalReport {
             rounds,
             plans: Vec::new(),
             updates: Vec::new(),
+            anomalies: Vec::new(),
             operators,
             hists,
             gauges: Vec::new(),
@@ -310,6 +376,14 @@ impl EvalReport {
     #[must_use]
     pub fn with_updates(mut self, updates: Vec<UpdateStats>) -> EvalReport {
         self.updates = updates;
+        self
+    }
+
+    /// This report with SLO watchdog breaches attached (typically built
+    /// from drained [`crate::watchdog::take_breaches`] rows).
+    #[must_use]
+    pub fn with_anomalies(mut self, anomalies: Vec<AnomalyStats>) -> EvalReport {
+        self.anomalies = anomalies;
         self
     }
 
@@ -369,6 +443,10 @@ impl EvalReport {
             .field("plans", Json::Arr(self.plans.iter().map(PlanStats::to_json).collect()))
             .field("updates", Json::Arr(self.updates.iter().map(UpdateStats::to_json).collect()))
             .field(
+                "anomalies",
+                Json::Arr(self.anomalies.iter().map(AnomalyStats::to_json).collect()),
+            )
+            .field(
                 "operators",
                 Json::Arr(
                     self.operators
@@ -419,6 +497,11 @@ impl EvalReport {
         // Reports written before incremental maintenance have no "updates".
         let updates = match v.get("updates").and_then(Json::as_arr) {
             Some(arr) => arr.iter().map(UpdateStats::from_json).collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+        };
+        // Reports written before the SLO watchdog have no "anomalies".
+        let anomalies = match v.get("anomalies").and_then(Json::as_arr) {
+            Some(arr) => arr.iter().map(AnomalyStats::from_json).collect::<Result<Vec<_>, _>>()?,
             None => Vec::new(),
         };
         let operators = v
@@ -482,6 +565,7 @@ impl EvalReport {
             rounds,
             plans,
             updates,
+            anomalies,
             operators,
             hists,
             gauges,
@@ -571,6 +655,25 @@ impl EvalReport {
                     u.qe_calls,
                     u.entailment_checks,
                     ms(u.wall_ns)
+                ));
+            }
+        }
+        if !self.anomalies.is_empty() {
+            out.push_str("SLO anomalies:\n");
+            for a in &self.anomalies {
+                let dump = if a.dump_path.is_empty() {
+                    String::new()
+                } else {
+                    format!(" dump={}", a.dump_path)
+                };
+                out.push_str(&format!(
+                    "  {} {} p{} = {} > {}{}\n",
+                    a.scope,
+                    a.hist,
+                    a.quantile * 100.0,
+                    ms(a.observed_ns),
+                    ms(a.threshold_ns),
+                    dump
                 ));
             }
         }
@@ -683,6 +786,14 @@ mod tests {
                 entailment_checks: 21,
                 wall_ns: 150_000,
             }],
+            anomalies: vec![AnomalyStats {
+                scope: "view-maint".into(),
+                hist: "view_update_ns".into(),
+                quantile: 0.99,
+                observed_ns: 4_100_000,
+                threshold_ns: 2_000_000,
+                dump_path: "target/slo-view-maint-view_update_ns-0.json".into(),
+            }],
             operators: vec![OperatorStats { name: "qe.dense".into(), calls: 63, nanos: 400_000 }],
             hists: vec![("qe_call_ns".into(), {
                 let mut h = Histogram::new();
@@ -762,6 +873,28 @@ mod tests {
         let mut json = report.to_json();
         if let Json::Obj(fields) = &mut json {
             fields.retain(|(name, _)| name != "updates");
+        }
+        let text = json.pretty();
+        let back = EvalReport::from_json(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn text_render_shows_anomalies() {
+        let text = sample().render_text();
+        assert!(text.contains("SLO anomalies:"));
+        assert!(text.contains("view_update_ns p99"));
+        assert!(text.contains("dump=target/slo-view-maint-view_update_ns-0.json"));
+    }
+
+    #[test]
+    fn anomaly_free_json_still_parses() {
+        // Reports written before the SLO watchdog: no "anomalies" key.
+        let mut report = sample();
+        report.anomalies.clear();
+        let mut json = report.to_json();
+        if let Json::Obj(fields) = &mut json {
+            fields.retain(|(name, _)| name != "anomalies");
         }
         let text = json.pretty();
         let back = EvalReport::from_json(&json::parse(&text).unwrap()).unwrap();

@@ -23,7 +23,9 @@
 //! scope is installed and no trace session is active).
 
 use crate::histogram::Histogram;
+use crate::recorder::{self, EventBuffer, RingStats, SpanEvent};
 use crate::span;
+use crate::watchdog;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -106,9 +108,12 @@ pub enum Counter {
     SupportAdjust,
     /// QE memo-cache shards cleared on overflow (an "epoch" boundary).
     QeCacheEpochs,
+    /// Flight-recorder events evicted from a full ring (at capture or
+    /// during the merge-on-drop fold) — nonzero means dumps are partial.
+    RecorderDropped,
 }
 
-const N_COUNTERS: usize = 22;
+const N_COUNTERS: usize = 23;
 
 /// All [`Counter`] variants, in order (for generic reporting loops).
 pub const COUNTERS: [Counter; N_COUNTERS] = [
@@ -134,6 +139,7 @@ pub const COUNTERS: [Counter; N_COUNTERS] = [
     Counter::Rederivations,
     Counter::SupportAdjust,
     Counter::QeCacheEpochs,
+    Counter::RecorderDropped,
 ];
 
 impl Counter {
@@ -163,6 +169,7 @@ impl Counter {
             Counter::Rederivations => "rederivations",
             Counter::SupportAdjust => "support_adjust",
             Counter::QeCacheEpochs => "qe_cache_epochs",
+            Counter::RecorderDropped => "recorder_dropped",
         }
     }
 }
@@ -263,6 +270,10 @@ struct ScopeInner {
     counters: CounterSet,
     ops: Mutex<BTreeMap<&'static str, OpAgg>>,
     hists: Mutex<BTreeMap<&'static str, Histogram>>,
+    /// Flight-recorder rings (one per recording thread) holding the
+    /// scope's most recent span events; always present, usually empty
+    /// (the recorder defaults to off).
+    events: Mutex<EventBuffer>,
 }
 
 impl ScopeInner {
@@ -272,6 +283,7 @@ impl ScopeInner {
             counters: CounterSet::default(),
             ops: Mutex::new(BTreeMap::new()),
             hists: Mutex::new(BTreeMap::new()),
+            events: Mutex::new(EventBuffer::default()),
         }
     }
 
@@ -294,9 +306,40 @@ impl ScopeInner {
         agg.nanos += u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX);
     }
 
-    fn add_hist(&self, name: &'static str, value: u64) {
+    /// Record one histogram sample, stamping the sample's bucket with a
+    /// flight-recorder exemplar when a recorded span is on hand.
+    fn add_hist_exemplar(&self, name: &'static str, value: u64, span_id: Option<u64>) {
         let mut hists = self.hists.lock().expect("scope hists poisoned");
-        hists.entry(name).or_default().record(value);
+        let hist = hists.entry(name).or_default();
+        match span_id {
+            Some(span_id) => hist.record_exemplar(value, span_id, &self.name),
+            None => hist.record(value),
+        }
+    }
+
+    /// Push one flight-recorder event into the scope's rings, counting
+    /// any eviction. Returns the number of evicted events.
+    fn push_event(&self, event: SpanEvent) -> u64 {
+        let evicted = self.events.lock().expect("scope events poisoned").push(event);
+        recorder::note_recorded(evicted);
+        if evicted > 0 {
+            self.counters.add(Counter::RecorderDropped, evicted);
+        }
+        evicted
+    }
+}
+
+/// Deliver one flight-recorder event to the calling thread's innermost
+/// scope, or to the process-root buffer when no scope is installed.
+pub(crate) fn sink_event(event: SpanEvent) {
+    if let Some(handle) = current_handle() {
+        handle.inner.push_event(event);
+    } else {
+        let evicted = recorder::root_buffer().lock().expect("recorder root poisoned").push(event);
+        recorder::note_recorded(evicted);
+        if evicted > 0 {
+            ROOT.add(Counter::RecorderDropped, evicted);
+        }
     }
 }
 
@@ -337,6 +380,28 @@ impl ScopeHandle {
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
         self.inner.snapshot()
+    }
+
+    /// The flight-recorder events currently held by this scope's rings
+    /// (its own captures plus every child scope that already folded),
+    /// in timestamp order.
+    #[must_use]
+    pub fn recorded_events(&self) -> Vec<SpanEvent> {
+        self.inner.events.lock().expect("scope events poisoned").events()
+    }
+
+    /// Drain this scope's flight-recorder rings, returning the events in
+    /// timestamp order (eviction counts are kept).
+    #[must_use]
+    pub fn take_events(&self) -> Vec<SpanEvent> {
+        self.inner.events.lock().expect("scope events poisoned").take_events()
+    }
+
+    /// Occupancy of this scope's per-thread rings (fill, capacity and
+    /// eviction count per recording thread).
+    #[must_use]
+    pub fn ring_stats(&self) -> Vec<RingStats> {
+        self.inner.events.lock().expect("scope events poisoned").ring_stats()
     }
 }
 
@@ -402,6 +467,14 @@ impl Drop for MetricsScope {
         // process root when the stack is empty — so ancestors (and the
         // legacy process-wide view) see the sum over completed children.
         let snap = self.handle.snapshot();
+        // SLO watchdog first: a breach freezes this scope's recorder
+        // rings (draining them into the dump instead of the fold below).
+        if watchdog::armed() {
+            let handle = &self.handle;
+            watchdog::check(&self.handle.inner.name, &snap, || handle.take_events());
+        }
+        let mut events =
+            std::mem::take(&mut *self.handle.inner.events.lock().expect("scope events poisoned"));
         match &self.parent {
             Some(parent) => {
                 for &c in &COUNTERS {
@@ -418,6 +491,11 @@ impl Drop for MetricsScope {
                 for (name, hist) in &snap.hists {
                     hists.entry(name).or_default().merge(hist);
                 }
+                drop(hists);
+                let evicted =
+                    parent.inner.events.lock().expect("scope events poisoned").merge(&mut events);
+                recorder::note_merge_dropped(evicted);
+                parent.inner.counters.add(Counter::RecorderDropped, evicted);
             }
             None => {
                 for &c in &COUNTERS {
@@ -434,6 +512,13 @@ impl Drop for MetricsScope {
                 for (name, hist) in &snap.hists {
                     hists.entry(name).or_default().merge(hist);
                 }
+                drop(hists);
+                let evicted = recorder::root_buffer()
+                    .lock()
+                    .expect("recorder root poisoned")
+                    .merge(&mut events);
+                recorder::note_merge_dropped(evicted);
+                ROOT.add(Counter::RecorderDropped, evicted);
             }
         }
     }
@@ -474,21 +559,27 @@ pub fn count(counter: Counter, n: u64) {
 /// inside the E15 overhead budget; scoped samples reach ancestors and
 /// [`root_snapshot`] through the merge-on-drop path, which keeps merged
 /// distributions bucket-exact at any executor width.
+///
+/// When the flight recorder is capturing and a recorded span is open on
+/// this thread, the sample's bucket is stamped with that span as its
+/// exemplar (see [`crate::exemplar`]).
 pub fn record_hist(name: &'static str, value: u64) {
     STACK.with(|stack| {
         if let Some(handle) = stack.borrow().last() {
-            handle.inner.add_hist(name, value);
+            let span_id = recorder::current_span_id();
+            handle.inner.add_hist_exemplar(name, value, span_id);
         }
     });
 }
 
 /// Time `f` under an operator label: its inclusive wall time aggregates
-/// into the innermost scope's operator table, and (with the `trace`
-/// feature and an active session) emits a span. When neither a scope nor
-/// a session is active, `f` runs untimed — no clock reads at all.
+/// into the innermost scope's operator table, the flight recorder
+/// captures the interval when it is on, and (with the `trace` feature
+/// and an active session) emits a span. When no scope, session, or
+/// recorder is active, `f` runs untimed — no clock reads at all.
 pub fn op_timed<R>(op: &'static str, f: impl FnOnce() -> R) -> R {
     let scope = current_handle();
-    if scope.is_none() && !span::session_active() {
+    if scope.is_none() && !span::session_active() && !recorder::enabled() {
         return f();
     }
     let start = Instant::now();
@@ -496,6 +587,9 @@ pub fn op_timed<R>(op: &'static str, f: impl FnOnce() -> R) -> R {
     let elapsed = start.elapsed();
     if let Some(handle) = scope {
         handle.inner.add_op(op, elapsed);
+    }
+    if let Some((_, event)) = recorder::complete(op, "op", start, elapsed) {
+        sink_event(event);
     }
     span::record_complete(op, "op", start, elapsed, Vec::new());
     result
@@ -504,22 +598,30 @@ pub fn op_timed<R>(op: &'static str, f: impl FnOnce() -> R) -> R {
 /// [`op_timed`] that also bumps [`Counter::QeCalls`] and records the
 /// call's latency into the [`hist::QE_CALL_NS`] histogram — the hook the
 /// four theory crates wrap their `Theory::eliminate` implementations
-/// with. Like [`op_timed`], the clock is skipped entirely when neither a
-/// scope nor a trace session is active.
+/// with. Like [`op_timed`], the clock is skipped entirely when no scope,
+/// trace session, or recorder is active. When the recorder captures the
+/// call, the histogram sample cites the captured span as its exemplar.
 pub fn qe_timed<R>(op: &'static str, f: impl FnOnce() -> R) -> R {
     count(Counter::QeCalls, 1);
     let scope = current_handle();
-    if scope.is_none() && !span::session_active() {
+    if scope.is_none() && !span::session_active() && !recorder::enabled() {
         return f();
     }
     let start = Instant::now();
     let result = f();
     let elapsed = start.elapsed();
+    let mut span_id = None;
+    if let Some((id, event)) = recorder::complete(op, "op", start, elapsed) {
+        sink_event(event);
+        span_id = Some(id);
+    }
     if let Some(handle) = scope {
         handle.inner.add_op(op, elapsed);
-        handle
-            .inner
-            .add_hist(hist::QE_CALL_NS, u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+        handle.inner.add_hist_exemplar(
+            hist::QE_CALL_NS,
+            u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+            span_id,
+        );
     }
     span::record_complete(op, "op", start, elapsed, Vec::new());
     result
@@ -542,11 +644,13 @@ pub fn root_snapshot() -> MetricsSnapshot {
     }
 }
 
-/// Reset the process root (benchmark-harness boundaries only).
+/// Reset the process root, including the flight recorder's root rings
+/// (benchmark-harness boundaries only).
 pub fn root_reset() {
     ROOT.reset();
     ROOT_OPS.lock().expect("root ops poisoned").clear();
     ROOT_HISTS.lock().expect("root hists poisoned").clear();
+    let _ = recorder::take_root_events();
 }
 
 #[cfg(test)]

@@ -1,9 +1,13 @@
-//! Span-based tracing, zero-cost when disabled.
+//! Span-based tracing: the *full* tracer behind the `trace` feature.
 //!
-//! With the `trace` cargo feature **off** (the default), every entry
-//! point here is an empty `#[inline]` function and [`SpanGuard`] is a
-//! zero-sized type: instrumented engine code compiles to exactly what it
-//! was before instrumentation.
+//! The `trace` cargo feature gates only the unsampled, unbounded
+//! session tracer below. The same span sites also feed the always-compiled
+//! runtime flight recorder ([`crate::recorder`]) when it is switched on —
+//! see that module for the bounded, sampled capture path.
+//!
+//! With the `trace` cargo feature **off** (the default), the session
+//! tracer compiles away entirely and a span site costs one relaxed
+//! atomic load (the recorder's off check).
 //!
 //! With the feature **on**, spans are still only recorded while a
 //! [`TraceSession`] is active (a global flag), so a traced build pays
@@ -83,7 +87,9 @@ pub fn session_active() -> bool {
 }
 
 /// Record a completed interval directly (used by [`crate::op_timed`],
-/// which already measured the duration for the metrics side).
+/// which already measured the duration for the metrics side; that caller
+/// feeds the flight recorder itself, so this function is feature-gated
+/// session capture only).
 #[inline]
 pub fn record_complete(
     name: &'static str,
@@ -113,9 +119,16 @@ pub fn record_complete(
     }
 }
 
-/// Record an instant event (e.g. an interner epoch flush).
+/// Record an instant event (e.g. an interner epoch flush). Captured by
+/// the flight recorder when it is on, and by the `trace`-feature session
+/// when one is active.
 #[inline]
 pub fn instant(name: &'static str, cat: &'static str) {
+    if crate::recorder::enabled() {
+        if let Some(event) = crate::recorder::instant_event(name, cat) {
+            crate::scope::sink_event(event);
+        }
+    }
     #[cfg(feature = "trace")]
     {
         if !session_active() {
@@ -137,11 +150,15 @@ pub fn instant(name: &'static str, cat: &'static str) {
     }
 }
 
-/// RAII span: measures from construction to drop. Zero-sized and inert
-/// without the `trace` feature.
+/// RAII span: measures from construction to drop. Inert (one relaxed
+/// atomic load at open) when both the flight recorder and the
+/// `trace`-feature session are off.
 pub struct SpanGuard {
     #[cfg(feature = "trace")]
     open: Option<OpenSpan>,
+    /// Flight-recorder capture of the same interval — always compiled,
+    /// `None` unless the runtime [`crate::recorder`] sampled this span.
+    rec: Option<crate::recorder::OpenEvent>,
 }
 
 #[cfg(feature = "trace")]
@@ -154,21 +171,27 @@ struct OpenSpan {
 
 /// Open a span. Spans on one thread must close in LIFO order (RAII makes
 /// this automatic), which is what gives the chrome trace its strict
-/// nesting.
+/// nesting. Independently of the `trace` feature, the runtime flight
+/// recorder ([`crate::recorder`]) may capture the span into the
+/// innermost scope's rings.
 #[inline]
 #[must_use]
 pub fn span(name: &'static str, cat: &'static str) -> SpanGuard {
+    let rec = if crate::recorder::enabled() { crate::recorder::begin(name, cat) } else { None };
     #[cfg(feature = "trace")]
     {
         if !session_active() {
-            return SpanGuard { open: None };
+            return SpanGuard { open: None, rec };
         }
-        SpanGuard { open: Some(OpenSpan { name, cat, start: Instant::now(), args: Vec::new() }) }
+        SpanGuard {
+            open: Some(OpenSpan { name, cat, start: Instant::now(), args: Vec::new() }),
+            rec,
+        }
     }
     #[cfg(not(feature = "trace"))]
     {
         let _ = (name, cat);
-        SpanGuard {}
+        SpanGuard { rec }
     }
 }
 
@@ -192,6 +215,9 @@ impl SpanGuard {
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
+        if let Some(rec) = self.rec.take() {
+            crate::scope::sink_event(crate::recorder::finish(rec));
+        }
         #[cfg(feature = "trace")]
         {
             if let Some(open) = self.open.take() {
