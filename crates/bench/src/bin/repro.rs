@@ -9,8 +9,8 @@
 //! ```
 //!
 //! Sections are addressed by experiment id (`f1`, `t1`, `f2`, `f3`,
-//! `e4`–`e20`, `a1`–`a3`) or their legacy names (`fig1`, `table1`,
-//! `containment`, `engine`, `recorder`, …). Flags:
+//! `e4`–`e21`, `a1`–`a3`) or their legacy names (`fig1`, `table1`,
+//! `containment`, `engine`, `recorder`, `server`, …). Flags:
 //!
 //! * `--json` — emit one machine-readable JSON document instead of text;
 //! * `--trace` — collect spans for the whole run and write a chrome
@@ -34,10 +34,13 @@ use cql_bench::{
     interval_relation, is_live_section, loglog_slope, path_join_program_dense, rat,
     tc_program_dense, tc_program_equality, timed,
 };
-use cql_core::{CalculusQuery, Formula};
-use cql_dense::Dense;
+use cql_core::{CalculusQuery, Database, Formula, GenRelation, GenTuple};
+use cql_dense::{Dense, DenseConstraint};
 use cql_engine::datalog::{self, FixpointOptions};
-use cql_engine::{calculus, cells, Executor, MaterializedView};
+use cql_engine::{
+    algebra, calculus, cells, Engine, Executor, MaterializedView, QueryServer, Runtime,
+    ServerConfig,
+};
 use cql_index::{Backend, GeneralizedIndex};
 use cql_trace::{
     chrome, expose, hist, histogram, json, recorder, span, watchdog, AnomalyStats, Counter,
@@ -45,6 +48,7 @@ use cql_trace::{
     TelemetrySnapshot, TraceSession,
 };
 use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Milliseconds as a JSON-friendly number (3 decimal places).
@@ -1322,6 +1326,478 @@ fn record_hist_injected(wall_ns: u64) {
     cql_trace::record_hist(hist::VIEW_UPDATE_NS, wall_ns);
 }
 
+/// What E21 hands the selfcheck: the isolation and throughput facts of
+/// the server run. Everything but the throughput ratio is deterministic
+/// by construction; the ratio's ≥4x bar has an order of magnitude of
+/// headroom in practice (pinning an epoch vs deep-copying the database).
+struct ServerOutcome {
+    sessions: u64,
+    isolation_ok: bool,
+    results_identical: bool,
+    throughput_reduction: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    shed: u64,
+    prometheus_valid: bool,
+}
+
+/// One E21 client request: a point query against the maintained closure,
+/// or a single-edge EDB update through the writer path.
+enum ServeReq {
+    Point { a: i64, b: i64 },
+    Insert { a: i64, b: i64 },
+    Retract { a: i64, b: i64 },
+}
+
+/// One E21 response: the epoch the request observed (or published), the
+/// per-read snapshot-isolation verdict, the result cardinality and an
+/// order-independent checksum of the rendered result tuples.
+struct ServeResp {
+    epoch: u64,
+    consistent: bool,
+    hits: u64,
+    checksum: u64,
+}
+
+/// The E21 chain length: `E` is the 48-edge chain, `T` its 1176-pair
+/// transitive closure — big enough that deep-copying it per query is
+/// visibly expensive, small enough that a single point query stays in
+/// the microseconds.
+const E21_CHAIN: i64 = 48;
+
+fn e21_xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// A pseudo-random closure pair `(a, b)` with `0 ≤ a < b ≤ E21_CHAIN`:
+/// always exactly one matching tuple in the chain's closure.
+fn e21_chain_pair(rng: &mut u64) -> (i64, i64) {
+    let a = (e21_xorshift(rng) % E21_CHAIN as u64) as i64;
+    let b = a + 1 + (e21_xorshift(rng) % (E21_CHAIN - a) as u64) as i64;
+    (a, b)
+}
+
+fn e21_edge(a: i64, b: i64) -> GenTuple<Dense> {
+    GenTuple::new(vec![DenseConstraint::eq_const(0, a), DenseConstraint::eq_const(1, b)]).unwrap()
+}
+
+/// Order-independent checksum of a result relation: XOR of per-tuple
+/// rendering hashes, so snapshot-mode and baseline-mode answers compare
+/// byte-for-byte without fixing an iteration order.
+fn e21_checksum(rel: &GenRelation<Dense>) -> u64 {
+    use std::hash::{Hash, Hasher};
+    rel.tuples()
+        .iter()
+        .map(|t| {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            t.to_string().hash(&mut h);
+            h.finish()
+        })
+        .fold(0, |acc, h| acc ^ h)
+}
+
+/// Submit one request and block for the response (the closed-loop
+/// client discipline: at most one outstanding request per driver, so
+/// the admission queue never overflows). Returns the response and the
+/// observed round-trip latency in nanoseconds.
+fn e21_serve_one(
+    server: &QueryServer<ServeReq, ServeResp>,
+    tenant: &str,
+    req: ServeReq,
+) -> (ServeResp, u64) {
+    let started = Instant::now();
+    let resp = server
+        .submit(tenant, req)
+        .ticket()
+        .expect("closed-loop drivers stay under the admission-queue capacity")
+        .wait();
+    (resp, u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX))
+}
+
+/// Run the fixed comparison query sequence through a server with
+/// `drivers` closed-loop clients, returning the per-query checksums (in
+/// sequence order) and the wall time for the whole batch.
+fn e21_drive_comparison(
+    server: &QueryServer<ServeReq, ServeResp>,
+    queries: &[(i64, i64)],
+    drivers: usize,
+) -> (Vec<u64>, Duration) {
+    let started = Instant::now();
+    let chunk = queries.len().div_ceil(drivers);
+    let per_driver: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = queries
+            .chunks(chunk)
+            .enumerate()
+            .map(|(d, part)| {
+                scope.spawn(move || {
+                    let tenant = format!("tenant-{}", d % 4);
+                    part.iter()
+                        .map(|&(a, b)| {
+                            e21_serve_one(server, &tenant, ServeReq::Point { a, b }).0.checksum
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("comparison driver")).collect()
+    });
+    (per_driver.into_iter().flatten().collect(), started.elapsed())
+}
+
+/// E21 — the epoch-versioned snapshot runtime behind a thread-per-core
+/// multi-tenant query server, against the clone-per-query baseline it
+/// replaces.
+///
+/// Phase 1 (mixed workload): 10,000 simulated client sessions multiplex
+/// onto 16 closed-loop driver threads and four tenants; every session
+/// issues point queries against the maintained closure, and a slice of
+/// sessions also commits single-edge insert/retract pairs through the
+/// writer path while the reads are in flight. Every point query pins an
+/// epoch and checks the snapshot-isolation invariant (each commit moves
+/// `E` and `T` in lockstep, so a torn read breaks the equation), and
+/// every driver checks epoch monotonicity across its responses.
+///
+/// Phase 2 (A/B): the same fixed point-query sequence is served twice —
+/// snapshot mode pins an epoch per query; baseline mode reproduces the
+/// pre-COW serving discipline (deep-copy the shared database under a
+/// lock, rebuild per-call engine state) — and the answers must be
+/// identical with snapshot mode at ≥4x the baseline throughput.
+#[allow(clippy::too_many_lines)]
+fn server_runtime(em: &mut Emitter) -> ServerOutcome {
+    em.section("e21", "snapshot runtime + thread-per-core multi-tenant query server");
+    em.note("10,000 client sessions over 16 closed-loop drivers and 4 tenants;");
+    em.note("point queries pin COW snapshots of the 48-chain closure while a");
+    em.note("slice of sessions commits insert/retract pairs through the");
+    em.note("incremental writer path. Every read checks the isolation invariant");
+    em.note("and epoch monotonicity; the A/B serves one fixed query sequence in");
+    em.note("snapshot mode vs the clone-per-query baseline it replaces.\n");
+
+    let threads = Executor::from_env().threads();
+    let opts = FixpointOptions { threads, ..Default::default() };
+    // The served database: the chain and its closure, plus a bulky
+    // pass-through relation no rule (or query) touches — the realistic
+    // multi-relation shape where clone-per-query pays for everything in
+    // the database while pinning pays O(1) regardless.
+    let mut edb = chain_edb_dense(E21_CHAIN);
+    let mut payload = GenRelation::with_policy(
+        1,
+        cql_engine::EnginePolicy::with_subsumption(cql_engine::SubsumptionMode::DedupOnly),
+    );
+    for i in 0..32_768 {
+        payload.insert(GenTuple::new(vec![DenseConstraint::eq_const(0, i)]).unwrap());
+    }
+    edb.insert("Payload", payload);
+    let runtime = Arc::new(Runtime::new(tc_program_dense(), &edb, opts).unwrap());
+    let (base_e, base_t) = {
+        let base = runtime.pin();
+        (base.relation("E").unwrap().len() as u64, base.relation("T").unwrap().len() as u64)
+    };
+
+    let registry = Arc::new(TelemetryRegistry::new());
+    let server = {
+        let runtime = Arc::clone(&runtime);
+        QueryServer::start(
+            ServerConfig::default(),
+            Arc::clone(&registry),
+            move |_tenant, req: ServeReq| match req {
+                ServeReq::Point { a, b } => {
+                    let snap = runtime.pin();
+                    let e_len = snap.relation("E").map_or(0, GenRelation::len) as u64;
+                    let t_len = snap.relation("T").map_or(0, GenRelation::len) as u64;
+                    // Snapshot isolation, checked per read: every commit
+                    // adds or removes one disconnected edge together with
+                    // its single closure tuple, so `E` and `T` move in
+                    // lockstep at every published epoch. A torn read (one
+                    // updated, the other not) breaks the equation.
+                    let consistent = t_len + base_e == e_len + base_t;
+                    let hits = runtime
+                        .query(
+                            &snap,
+                            "T",
+                            &[DenseConstraint::eq_const(0, a), DenseConstraint::eq_const(1, b)],
+                        )
+                        .unwrap();
+                    ServeResp {
+                        epoch: snap.epoch(),
+                        consistent,
+                        hits: hits.len() as u64,
+                        checksum: e21_checksum(&hits),
+                    }
+                }
+                ServeReq::Insert { a, b } => {
+                    runtime.insert("E", e21_edge(a, b)).unwrap();
+                    ServeResp {
+                        epoch: runtime.store().epoch(),
+                        consistent: true,
+                        hits: 0,
+                        checksum: 0,
+                    }
+                }
+                ServeReq::Retract { a, b } => {
+                    runtime.retract("E", &e21_edge(a, b)).unwrap();
+                    ServeResp {
+                        epoch: runtime.store().epoch(),
+                        consistent: true,
+                        hits: 0,
+                        checksum: 0,
+                    }
+                }
+            },
+        )
+    };
+
+    // Phase 1: the mixed workload. Sessions are split evenly across the
+    // drivers; session ids decide the tenant (id mod 4) and which
+    // sessions commit updates ((id / 4) mod 16 == 0 — every tenant gets
+    // updater sessions).
+    const SESSIONS: u64 = 10_000;
+    const DRIVERS: u64 = 16;
+    const POINTS_PER_SESSION: u64 = 3;
+    let mixed_started = Instant::now();
+    let driver_results: Vec<(Vec<u64>, bool, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..DRIVERS)
+            .map(|d| {
+                let server = &server;
+                scope.spawn(move || {
+                    let per = SESSIONS / DRIVERS;
+                    let mut latencies = Vec::with_capacity((per * POINTS_PER_SESSION) as usize);
+                    let mut ok = true;
+                    let mut last_epoch = 0u64;
+                    let mut commits = 0u64;
+                    for s in 0..per {
+                        let session = d * per + s;
+                        let tenant = format!("tenant-{}", session % 4);
+                        let updater = (session / 4) % 16 == 0;
+                        let extra = 200_000 + 2 * session as i64;
+                        if updater {
+                            let (resp, _) = e21_serve_one(
+                                server,
+                                &tenant,
+                                ServeReq::Insert { a: extra, b: extra + 1 },
+                            );
+                            ok &= resp.consistent && resp.epoch >= last_epoch;
+                            last_epoch = resp.epoch;
+                            commits += 1;
+                        }
+                        let mut rng = (session + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                        for _ in 0..POINTS_PER_SESSION {
+                            let (a, b) = e21_chain_pair(&mut rng);
+                            let (resp, ns) =
+                                e21_serve_one(server, &tenant, ServeReq::Point { a, b });
+                            latencies.push(ns);
+                            ok &= resp.consistent && resp.hits == 1 && resp.epoch >= last_epoch;
+                            last_epoch = resp.epoch;
+                        }
+                        if updater {
+                            let (resp, _) = e21_serve_one(
+                                server,
+                                &tenant,
+                                ServeReq::Retract { a: extra, b: extra + 1 },
+                            );
+                            ok &= resp.consistent && resp.epoch >= last_epoch;
+                            last_epoch = resp.epoch;
+                            commits += 1;
+                        }
+                    }
+                    (latencies, ok, commits)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("mixed-workload driver")).collect()
+    });
+    let mixed_wall = mixed_started.elapsed();
+
+    let mut isolation_ok = driver_results.iter().all(|(_, ok, _)| *ok);
+    let update_commits: u64 = driver_results.iter().map(|(_, _, c)| c).sum();
+    let mut latencies: Vec<u64> = driver_results.into_iter().flat_map(|(lat, _, _)| lat).collect();
+    latencies.sort_unstable();
+    let quantile_ms = |q: f64| {
+        let idx = ((latencies.len() as f64 - 1.0) * q).round() as usize;
+        latencies[idx] as f64 / 1e6
+    };
+    let (p50_ms, p99_ms) = (quantile_ms(0.50), quantile_ms(0.99));
+
+    // After the race, the inserts and retracts cancelled out: the final
+    // epoch must hold exactly the seed chain and its closure, and the
+    // store must have applied exactly the issued commits.
+    {
+        let end = runtime.pin();
+        isolation_ok &= end.relation("E").unwrap().len() as u64 == base_e;
+        isolation_ok &= end.relation("T").unwrap().len() as u64 == base_t;
+        isolation_ok &= runtime.store().commits() == update_commits;
+    }
+
+    // Phase 2: the A/B. One fixed query sequence; the baseline serves
+    // it the way the per-call engine did before COW snapshots existed —
+    // deep-copy the shared database under its lock, fresh engine state
+    // per query.
+    const CMP_QUERIES: usize = 1024;
+    let mut rng = 0xABCD_EF01_2345_6789u64;
+    let queries: Vec<(i64, i64)> = (0..CMP_QUERIES).map(|_| e21_chain_pair(&mut rng)).collect();
+
+    let baseline_db = Arc::new(Mutex::new(runtime.pin().db().clone()));
+    let baseline_registry = Arc::new(TelemetryRegistry::new());
+    let baseline_server = {
+        let shared = Arc::clone(&baseline_db);
+        QueryServer::start(
+            ServerConfig::default(),
+            Arc::clone(&baseline_registry),
+            move |_tenant, req: ServeReq| {
+                let ServeReq::Point { a, b } = req else {
+                    return ServeResp { epoch: 0, consistent: false, hits: 0, checksum: 0 };
+                };
+                let copy = {
+                    let db = shared.lock().expect("baseline database poisoned");
+                    let mut copy = Database::new();
+                    for (name, rel) in db.iter() {
+                        // Dedup-only rebuild: the cost of the pre-COW deep
+                        // clone (copy every tuple, rehash, rebuild the
+                        // duplicate set) without re-running subsumption,
+                        // which the original clone did not re-run either.
+                        let mut fresh = GenRelation::with_policy(
+                            rel.arity(),
+                            cql_engine::EnginePolicy::with_subsumption(
+                                cql_engine::SubsumptionMode::DedupOnly,
+                            ),
+                        );
+                        for t in rel.tuples() {
+                            fresh.insert(t.clone());
+                        }
+                        copy.insert(name, fresh);
+                    }
+                    copy
+                };
+                let engine: Engine<Dense> = Engine::serial();
+                let hits = algebra::select_with(
+                    &engine,
+                    copy.require("T").unwrap(),
+                    &[DenseConstraint::eq_const(0, a), DenseConstraint::eq_const(1, b)],
+                );
+                ServeResp {
+                    epoch: 0,
+                    consistent: true,
+                    hits: hits.len() as u64,
+                    checksum: e21_checksum(&hits),
+                }
+            },
+        )
+    };
+
+    let (snap_sums, snap_wall) = e21_drive_comparison(&server, &queries, DRIVERS as usize);
+    let (base_sums, base_wall) = e21_drive_comparison(&baseline_server, &queries, DRIVERS as usize);
+    baseline_server.shutdown();
+    let results_identical =
+        snap_sums == base_sums && snap_sums.len() == CMP_QUERIES && !snap_sums.contains(&0);
+    let snapshot_qps = CMP_QUERIES as f64 / snap_wall.as_secs_f64().max(1e-9);
+    let baseline_qps = CMP_QUERIES as f64 / base_wall.as_secs_f64().max(1e-9);
+    let throughput_reduction = snapshot_qps / baseline_qps.max(1e-9);
+
+    em.table(
+        "modes",
+        &["mode", "queries", "wall_ms", "queries_per_sec"],
+        &[
+            vec![
+                Json::from("snapshot (pin per query)"),
+                Json::from(CMP_QUERIES as u64),
+                Json::from(ms_f(snap_wall)),
+                Json::from(snapshot_qps.round()),
+            ],
+            vec![
+                Json::from("baseline (clone per query)"),
+                Json::from(CMP_QUERIES as u64),
+                Json::from(ms_f(base_wall)),
+                Json::from(baseline_qps.round()),
+            ],
+        ],
+    );
+    em.note("");
+
+    // Satellite surface: the runtime + server gauges feed the registry
+    // for Prometheus/JSON exposition next to the per-tenant scopes the
+    // served queries folded into.
+    let _server_scope = registry.register("server");
+    for (name, value) in runtime.gauges().into_iter().chain(server.gauges()) {
+        registry.set_gauge("server", &name, value);
+    }
+    let telemetry = registry.snapshot();
+    let tenant_rows: Vec<Vec<Json>> = telemetry
+        .scopes
+        .iter()
+        .filter(|s| s.name.starts_with("tenant-"))
+        .map(|s| {
+            let updates = s.metrics.hists.get(hist::VIEW_UPDATE_NS).map_or(0, Histogram::count);
+            vec![
+                Json::from(s.name.as_str()),
+                Json::from(s.metrics.get(Counter::QeCalls)),
+                Json::from(updates),
+                Json::from(s.gauges.get("active_queries").copied().unwrap_or(0)),
+            ]
+        })
+        .collect();
+    em.table("tenants", &["tenant", "qe_calls", "view_updates", "active_queries"], &tenant_rows);
+    em.note("");
+    let gauge_rows: Vec<Vec<Json>> = server
+        .gauges()
+        .into_iter()
+        .chain(runtime.gauges())
+        .filter(|(name, _)| name.starts_with("server_") || name.starts_with("snapshot_"))
+        .map(|(name, value)| vec![Json::from(name.as_str()), Json::from(value)])
+        .collect();
+    em.table("gauges", &["gauge", "value"], &gauge_rows);
+    let shed =
+        server.gauges().into_iter().find(|(name, _)| name == "server_shed").map_or(0, |(_, v)| v);
+    let workers = server.workers() as u64;
+    server.shutdown();
+
+    let prometheus = expose::to_prometheus(&telemetry);
+    let prom_samples = match expose::validate_prometheus(&prometheus) {
+        Ok(n) => n as u64,
+        Err(e) => {
+            em.note(&format!("prometheus exposition INVALID: {e}"));
+            0
+        }
+    };
+    let prometheus_valid = prom_samples > 0;
+    em.note(&format!(
+        "\n{SESSIONS} sessions ({} point queries, {update_commits} commits) on {workers} \
+         worker(s): p50 {p50_ms:.3} ms, p99 {p99_ms:.3} ms per point query; snapshot mode \
+         served the A/B at {throughput_reduction:.1}x the clone-per-query throughput \
+         ({prom_samples} exposition samples)",
+        latencies.len(),
+    ));
+
+    em.datum("sessions", SESSIONS);
+    em.datum("drivers", DRIVERS);
+    em.datum("server_workers", workers);
+    em.datum("mixed_point_queries", latencies.len() as u64);
+    em.datum("update_commits", update_commits);
+    em.datum("mixed_wall_ms", ms_f(mixed_wall));
+    em.datum("point_query_p50_ms", (p50_ms * 1e3).round() / 1e3);
+    em.datum("point_query_p99_ms", (p99_ms * 1e3).round() / 1e3);
+    em.datum("snapshot_queries_per_sec", snapshot_qps.round());
+    em.datum("baseline_queries_per_sec", baseline_qps.round());
+    em.datum("throughput_reduction", (throughput_reduction * 100.0).round() / 100.0);
+    em.datum("isolation_ok", isolation_ok);
+    em.datum("results_identical", results_identical);
+    em.datum("requests_shed", shed);
+    em.datum("prometheus_samples", prom_samples);
+    ServerOutcome {
+        sessions: SESSIONS,
+        isolation_ok,
+        results_identical,
+        throughput_reduction,
+        p50_ms,
+        p99_ms,
+        shed,
+        prometheus_valid,
+    }
+}
+
 /// A1/A2 — evaluation ablations.
 fn ablation(em: &mut Emitter) {
     em.section("a1", "ablation: symbolic QE vs cell-based EVAL_φ (dense order)");
@@ -1390,9 +1866,9 @@ fn representation(em: &mut Emitter) {
 const TRACE_PATH: &str = "target/repro-trace.json";
 
 const USAGE: &str = "usage: repro [--json] [--trace] [--selfcheck] [--compare] [ids...|all]
-ids: f1 t1 f2 f3 e4..e20 a1 a2 a3 (or legacy names: fig1 table1 fig2 fig3
+ids: f1 t1 f2 f3 e4..e21 a1 a2 a3 (or legacy names: fig1 table1 fig2 fig3
 containment hull voronoi datalog equality boolean qbf index engine
-overhead filtering multiway incremental telemetry recorder ablation);
+overhead filtering multiway incremental telemetry recorder server ablation);
 e1/e2/e3 alias f1/t1/f2. --compare diffs the run against the committed BENCH_*.json
 baselines (perf-regression gate) and exits non-zero on a regression.";
 
@@ -1440,6 +1916,7 @@ fn main() {
     let mut e18_stats = None;
     let mut e19_outcome = None;
     let mut e20_outcome = None;
+    let mut e21_outcome = None;
 
     if want(&["f1", "fig1", "e1"]) {
         fig1(&mut em);
@@ -1501,6 +1978,9 @@ fn main() {
     if want(&["e20", "recorder"]) {
         e20_outcome = Some(recorder_flight(&mut em));
     }
+    if want(&["e21", "server"]) {
+        e21_outcome = Some(server_runtime(&mut em));
+    }
     if want(&["a1", "a2", "ablation"]) {
         ablation(&mut em);
     }
@@ -1533,7 +2013,7 @@ fn main() {
     // Snapshots that may feed the regression gate carry the machine's
     // calibration reading, so wall times can be rescaled when compared
     // on different hardware.
-    if compare || e19_outcome.is_some() || e20_outcome.is_some() {
+    if compare || e19_outcome.is_some() || e20_outcome.is_some() || e21_outcome.is_some() {
         em.toplevel("calibration_ns", gate::calibration_ns());
     }
 
@@ -1550,6 +2030,7 @@ fn main() {
             e18_stats,
             e19_outcome.as_ref(),
             e20_outcome.as_ref(),
+            e21_outcome.as_ref(),
             trace_written,
         ) {
             Ok(summary) => eprintln!("selfcheck: ok ({summary})"),
@@ -1626,8 +2107,10 @@ fn run_compare(doc: &Json) -> Result<String, String> {
 /// monotone quantiles and valid, round-trippable expositions (and an
 /// injected 2x wall slowdown trips the regression gate), the E20 flight
 /// recorder proved exemplar coverage, drop-free capture, and a tripped,
-/// parseable SLO dump, and the chrome-trace file parses with strictly
-/// nested spans per thread.
+/// parseable SLO dump, the E21 server run preserved snapshot isolation
+/// under concurrent commits and served identical results at ≥4x the
+/// clone-per-query throughput with no shed closed-loop request, and the
+/// chrome-trace file parses with strictly nested spans per thread.
 #[allow(clippy::too_many_arguments, clippy::too_many_lines)]
 fn run_selfcheck(
     doc: &Json,
@@ -1638,6 +2121,7 @@ fn run_selfcheck(
     e18: Option<(bool, f64, f64)>,
     e19: Option<&TelemetryOutcome>,
     e20: Option<&RecorderOutcome>,
+    e21: Option<&ServerOutcome>,
     trace_written: bool,
 ) -> Result<String, String> {
     let mut checks = Vec::new();
@@ -1834,6 +2318,52 @@ fn run_selfcheck(
         checks.push(format!(
             "e20 recorder ({} exemplar'd buckets, breach dumped+parsed)",
             outcome.nonzero_buckets
+        ));
+    }
+
+    if let Some(outcome) = e21 {
+        if outcome.sessions < 10_000 {
+            return Err(format!(
+                "E21: only {} simulated client sessions (the bar is 10,000+)",
+                outcome.sessions
+            ));
+        }
+        if !outcome.isolation_ok {
+            return Err(
+                "E21: a reader observed a torn snapshot, a non-monotone epoch, or the final \
+                 state diverged from the serial commit sequence"
+                    .into(),
+            );
+        }
+        if !outcome.results_identical {
+            return Err(
+                "E21: snapshot-mode answers diverged from the clone-per-query baseline".into()
+            );
+        }
+        if outcome.throughput_reduction < 4.0 {
+            return Err(format!(
+                "E21: snapshot serving at {:.2}x the clone-per-query throughput (bar: ≥4x)",
+                outcome.throughput_reduction
+            ));
+        }
+        if outcome.shed != 0 {
+            return Err(format!(
+                "E21: {} closed-loop requests shed — admission accounting is wrong",
+                outcome.shed
+            ));
+        }
+        if !(outcome.p50_ms > 0.0 && outcome.p99_ms >= outcome.p50_ms) {
+            return Err(format!(
+                "E21: latency quantiles missing or non-monotone (p50 {} ms, p99 {} ms)",
+                outcome.p50_ms, outcome.p99_ms
+            ));
+        }
+        if !outcome.prometheus_valid {
+            return Err("E21: the gauge/tenant exposition failed Prometheus validation".into());
+        }
+        checks.push(format!(
+            "e21 server ({:.2}x qps, p99 {:.3} ms)",
+            outcome.throughput_reduction, outcome.p99_ms
         ));
     }
 

@@ -37,6 +37,7 @@ pub const SECTIONS: &[(&str, &[&str])] = &[
     ("e18", &["incremental"]),
     ("e19", &["telemetry"]),
     ("e20", &["recorder"]),
+    ("e21", &["server"]),
     ("a1", &["ablation"]),
     ("a2", &["ablation"]),
     ("a3", &["ablation"]),

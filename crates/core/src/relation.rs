@@ -140,6 +140,41 @@ impl<T: Theory> Clone for TupleMeta<T> {
     }
 }
 
+/// The `Arc`-shared interior of a [`GenRelation`]: tuple storage plus the
+/// dedup/subsumption bookkeeping that is derived from it. Kept behind one
+/// pointer so cloning a relation is a reference-count bump (persistent,
+/// copy-on-write segments à la functional data structures); the first
+/// mutation of a shared relation copies the segment via [`Arc::make_mut`].
+struct RelStore<T: Theory> {
+    tuples: Vec<GenTuple<T>>,
+    /// Hashes of canonical tuples, for O(1) duplicate detection.
+    seen: HashSet<u64>,
+    /// Signature + cached sample per tuple (parallel to `tuples`).
+    meta: Vec<TupleMeta<T>>,
+    /// Signature value → indices into `tuples`.
+    buckets: HashMap<u64, Vec<usize>>,
+}
+
+impl<T: Theory> Clone for RelStore<T> {
+    fn clone(&self) -> Self {
+        RelStore {
+            tuples: self.tuples.clone(),
+            seen: self.seen.clone(),
+            meta: self.meta.clone(),
+            buckets: self.buckets.clone(),
+        }
+    }
+}
+
+impl<T: Theory> RelStore<T> {
+    fn rebuild_buckets(&mut self) {
+        self.buckets.clear();
+        for (i, m) in self.meta.iter().enumerate() {
+            self.buckets.entry(m.signature).or_default().push(i);
+        }
+    }
+}
+
 /// A generalized relation of some arity: a finite set of generalized
 /// tuples, i.e. a quantifier-free DNF formula over `arity` variables.
 ///
@@ -147,20 +182,20 @@ impl<T: Theory> Clone for TupleMeta<T> {
 /// [`EnginePolicy`] (see [`SubsumptionMode`]); the default indexed mode
 /// maintains signature buckets and cached sample points so subsumption
 /// stays affordable without the seed's silent size cutoff.
+///
+/// Tuple storage lives behind an [`Arc`]: `clone` is O(1) (the snapshot
+/// runtime and the incremental maintenance paths clone relations freely),
+/// and the first mutation after a clone copies the shared store
+/// (copy-on-write). [`GenRelation::shares_store`] observes the sharing.
 pub struct GenRelation<T: Theory> {
     arity: usize,
-    tuples: Vec<GenTuple<T>>,
-    /// Hashes of canonical tuples, for O(1) duplicate detection.
-    seen: HashSet<u64>,
     policy: EnginePolicy,
-    /// Signature + cached sample per tuple (parallel to `tuples`).
-    meta: Vec<TupleMeta<T>>,
-    /// Signature value → indices into `tuples`.
-    buckets: HashMap<u64, Vec<usize>>,
+    store: Arc<RelStore<T>>,
     /// Content version: drawn from a process-global counter, refreshed on
     /// every mutation, preserved by `clone`. Two relations with the same
     /// version provably hold the same tuples, so derived structures
-    /// (summary indexes, join-plan levels) can be cached against it.
+    /// (summary indexes, join-plan levels, snapshot epochs) can be cached
+    /// against it.
     version: u64,
 }
 
@@ -183,11 +218,8 @@ impl<T: Theory> Clone for GenRelation<T> {
     fn clone(&self) -> Self {
         GenRelation {
             arity: self.arity,
-            tuples: self.tuples.clone(),
-            seen: self.seen.clone(),
             policy: self.policy,
-            meta: self.meta.clone(),
-            buckets: self.buckets.clone(),
+            store: Arc::clone(&self.store),
             version: self.version,
         }
     }
@@ -195,7 +227,8 @@ impl<T: Theory> Clone for GenRelation<T> {
 
 impl<T: Theory> PartialEq for GenRelation<T> {
     fn eq(&self, other: &Self) -> bool {
-        self.arity == other.arity && self.tuples == other.tuples
+        self.arity == other.arity
+            && (Arc::ptr_eq(&self.store, &other.store) || self.store.tuples == other.store.tuples)
     }
 }
 
@@ -215,11 +248,13 @@ impl<T: Theory> GenRelation<T> {
     pub fn with_policy(arity: usize, policy: EnginePolicy) -> GenRelation<T> {
         GenRelation {
             arity,
-            tuples: Vec::new(),
-            seen: HashSet::new(),
             policy,
-            meta: Vec::new(),
-            buckets: HashMap::new(),
+            store: Arc::new(RelStore {
+                tuples: Vec::new(),
+                seen: HashSet::new(),
+                meta: Vec::new(),
+                buckets: HashMap::new(),
+            }),
             version: fresh_version(),
         }
     }
@@ -273,19 +308,28 @@ impl<T: Theory> GenRelation<T> {
     /// The tuples (canonical conjunctions).
     #[must_use]
     pub fn tuples(&self) -> &[GenTuple<T>] {
-        &self.tuples
+        &self.store.tuples
     }
 
     /// Number of generalized tuples in the representation.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.store.tuples.len()
     }
 
     /// True iff the representation has no tuples (represents ∅).
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.store.tuples.is_empty()
+    }
+
+    /// Do the two relations share one copy-on-write tuple store?
+    /// (Reference identity of the `Arc`-shared segment — true right after
+    /// a clone, false once either side has mutated. Used to verify O(1)
+    /// snapshot sharing, not for semantic comparison.)
+    #[must_use]
+    pub fn shares_store(&self, other: &GenRelation<T>) -> bool {
+        Arc::ptr_eq(&self.store, &other.store)
     }
 
     /// Estimated heap bytes held by the relation: constraint storage of
@@ -294,14 +338,15 @@ impl<T: Theory> GenRelation<T> {
     /// measurement.
     #[must_use]
     pub fn bytes_estimate(&self) -> usize {
+        let store = &*self.store;
         let constraint = std::mem::size_of::<T::Constraint>();
-        let constraints: usize = self.tuples.iter().map(|t| t.constraints().len()).sum();
-        let bucket_ids: usize = self.buckets.values().map(Vec::len).sum();
+        let constraints: usize = store.tuples.iter().map(|t| t.constraints().len()).sum();
+        let bucket_ids: usize = store.buckets.values().map(Vec::len).sum();
         constraints * constraint
-            + self.tuples.len() * std::mem::size_of::<GenTuple<T>>()
-            + self.seen.len() * (std::mem::size_of::<u64>() + 16)
-            + self.meta.len() * std::mem::size_of::<TupleMeta<T>>()
-            + self.buckets.len() * (std::mem::size_of::<(u64, Vec<usize>)>() + 16)
+            + store.tuples.len() * std::mem::size_of::<GenTuple<T>>()
+            + store.seen.len() * (std::mem::size_of::<u64>() + 16)
+            + store.meta.len() * std::mem::size_of::<TupleMeta<T>>()
+            + store.buckets.len() * (std::mem::size_of::<(u64, Vec<usize>)>() + 16)
             + bucket_ids * std::mem::size_of::<usize>()
     }
 
@@ -311,7 +356,7 @@ impl<T: Theory> GenRelation<T> {
     pub fn insert(&mut self, tuple: GenTuple<T>) -> bool {
         debug_assert!(tuple.max_var_bound() <= self.arity);
         let h = tuple_hash(&tuple);
-        if self.seen.contains(&h) && self.tuples.contains(&tuple) {
+        if self.store.seen.contains(&h) && self.store.tuples.contains(&tuple) {
             count(Counter::TuplesSubsumed, 1);
             return false;
         }
@@ -320,7 +365,7 @@ impl<T: Theory> GenRelation<T> {
             SubsumptionMode::Quadratic => SubsumptionMode::Quadratic,
             SubsumptionMode::Indexed => SubsumptionMode::Indexed,
             SubsumptionMode::IndexedUpTo(n) => {
-                if self.tuples.len() <= n {
+                if self.store.tuples.len() <= n {
                     SubsumptionMode::Indexed
                 } else {
                     SubsumptionMode::DedupOnly
@@ -350,14 +395,14 @@ impl<T: Theory> GenRelation<T> {
     /// Quadratic baseline: scan every stored tuple in both directions.
     /// Returns `false` if the new tuple is subsumed (caller must not push).
     fn quadratic_subsume(&mut self, tuple: &GenTuple<T>) -> bool {
-        for t in &self.tuples {
+        for t in &self.store.tuples {
             count(Counter::EntailmentChecks, 1);
             if T::entails(tuple.constraints(), t.constraints()) {
                 return false;
             }
         }
         let mut evict = Vec::new();
-        for (i, t) in self.tuples.iter().enumerate() {
+        for (i, t) in self.store.tuples.iter().enumerate() {
             count(Counter::EntailmentChecks, 1);
             if T::entails(t.constraints(), tuple.constraints()) {
                 evict.push(i);
@@ -380,7 +425,7 @@ impl<T: Theory> GenRelation<T> {
         // `new ⊨ e` needs signature(e) ⊆ signature(new); and if we have a
         // point of `new`, that point must lie in e.
         let mut drop_candidates: Vec<usize> = Vec::new();
-        for (&key, idxs) in &self.buckets {
+        for (&key, idxs) in &self.store.buckets {
             if key & !sig_new != 0 {
                 count(Counter::SignatureSkips, idxs.len() as u64);
             } else {
@@ -389,13 +434,13 @@ impl<T: Theory> GenRelation<T> {
         }
         for i in drop_candidates {
             if let Some(p) = &sample_new {
-                if !self.tuples[i].satisfied_by(p) {
+                if !self.store.tuples[i].satisfied_by(p) {
                     count(Counter::SampleSkips, 1);
                     continue;
                 }
             }
             count(Counter::EntailmentChecks, 1);
-            if T::entails(tuple.constraints(), self.tuples[i].constraints()) {
+            if T::entails(tuple.constraints(), self.store.tuples[i].constraints()) {
                 return false;
             }
         }
@@ -404,7 +449,7 @@ impl<T: Theory> GenRelation<T> {
         // `e ⊨ new` needs signature(new) ⊆ signature(e); and e's cached
         // sample point (a point of e) must lie in `new`.
         let mut evict_candidates: Vec<usize> = Vec::new();
-        for (&key, idxs) in &self.buckets {
+        for (&key, idxs) in &self.store.buckets {
             if sig_new & !key != 0 {
                 count(Counter::SignatureSkips, idxs.len() as u64);
             } else {
@@ -420,7 +465,7 @@ impl<T: Theory> GenRelation<T> {
                 }
             }
             count(Counter::EntailmentChecks, 1);
-            if T::entails(self.tuples[i].constraints(), tuple.constraints()) {
+            if T::entails(self.store.tuples[i].constraints(), tuple.constraints()) {
                 evict.push(i);
             }
         }
@@ -430,11 +475,13 @@ impl<T: Theory> GenRelation<T> {
     }
 
     /// The cached sample point of `tuples[i]`, computing it on first use.
+    /// Only copies a shared store when it actually has to fill the cache.
     fn cached_sample(&mut self, i: usize) -> Option<&[T::Value]> {
-        if self.meta[i].sample.is_none() {
-            self.meta[i].sample = Some(T::sample(self.tuples[i].constraints(), self.arity));
+        if self.store.meta[i].sample.is_none() {
+            let sample = T::sample(self.store.tuples[i].constraints(), self.arity);
+            Arc::make_mut(&mut self.store).meta[i].sample = Some(sample);
         }
-        self.meta[i].sample.as_ref().and_then(|s| s.as_deref())
+        self.store.meta[i].sample.as_ref().and_then(|s| s.as_deref())
     }
 
     /// Remove the tuples at the given (sorted, distinct) indices,
@@ -445,43 +492,38 @@ impl<T: Theory> GenRelation<T> {
         }
         self.version = fresh_version();
         count(Counter::TuplesEvicted, indices.len() as u64);
+        let store = Arc::make_mut(&mut self.store);
         let mut k = 0;
-        let seen = &mut self.seen;
-        let tuples = std::mem::take(&mut self.tuples);
-        let meta = std::mem::take(&mut self.meta);
+        let seen = &mut store.seen;
+        let tuples = std::mem::take(&mut store.tuples);
+        let meta = std::mem::take(&mut store.meta);
         for (i, (t, m)) in tuples.into_iter().zip(meta).enumerate() {
             if k < indices.len() && indices[k] == i {
                 k += 1;
                 seen.remove(&tuple_hash(&t));
             } else {
-                self.tuples.push(t);
-                self.meta.push(m);
+                store.tuples.push(t);
+                store.meta.push(m);
             }
         }
-        self.rebuild_buckets();
-    }
-
-    fn rebuild_buckets(&mut self) {
-        self.buckets.clear();
-        for (i, m) in self.meta.iter().enumerate() {
-            self.buckets.entry(m.signature).or_default().push(i);
-        }
+        store.rebuild_buckets();
     }
 
     fn push_tuple(&mut self, tuple: GenTuple<T>, hash: u64) {
         self.version = fresh_version();
         let signature = T::signature(tuple.constraints());
-        self.seen.insert(hash);
-        self.buckets.entry(signature).or_default().push(self.tuples.len());
-        self.meta.push(TupleMeta { signature, sample: None });
-        self.tuples.push(tuple);
+        let store = Arc::make_mut(&mut self.store);
+        store.seen.insert(hash);
+        store.buckets.entry(signature).or_default().push(store.tuples.len());
+        store.meta.push(TupleMeta { signature, sample: None });
+        store.tuples.push(tuple);
     }
 
     /// Is this exact canonical tuple stored in the representation?
     /// (Syntactic membership, not point-set containment.)
     #[must_use]
     pub fn contains(&self, tuple: &GenTuple<T>) -> bool {
-        self.seen.contains(&tuple_hash(tuple)) && self.tuples.contains(tuple)
+        self.store.seen.contains(&tuple_hash(tuple)) && self.store.tuples.contains(tuple)
     }
 
     /// Remove one exact stored tuple. Returns `true` if it was present
@@ -491,10 +533,10 @@ impl<T: Theory> GenRelation<T> {
     /// at insert time do **not** reappear (callers that need exact
     /// retraction semantics must rebuild from their own ledger).
     pub fn remove(&mut self, tuple: &GenTuple<T>) -> bool {
-        if !self.seen.contains(&tuple_hash(tuple)) {
+        if !self.store.seen.contains(&tuple_hash(tuple)) {
             return false;
         }
-        match self.tuples.iter().position(|t| t == tuple) {
+        match self.store.tuples.iter().position(|t| t == tuple) {
             Some(i) => {
                 self.remove_indices(&[i]);
                 true
@@ -506,7 +548,7 @@ impl<T: Theory> GenRelation<T> {
     /// Does the point belong to the represented unrestricted relation?
     #[must_use]
     pub fn satisfied_by(&self, point: &[T::Value]) -> bool {
-        self.tuples.iter().any(|t| t.satisfied_by(point))
+        self.store.tuples.iter().any(|t| t.satisfied_by(point))
     }
 
     /// Set-union of two representations (same arity).
@@ -517,7 +559,7 @@ impl<T: Theory> GenRelation<T> {
     pub fn union(&self, other: &GenRelation<T>) -> GenRelation<T> {
         assert_eq!(self.arity, other.arity, "union arity mismatch");
         let mut out = self.clone();
-        for t in &other.tuples {
+        for t in &other.store.tuples {
             out.insert(t.clone());
         }
         out
@@ -531,8 +573,8 @@ impl<T: Theory> GenRelation<T> {
     pub fn intersect(&self, other: &GenRelation<T>) -> GenRelation<T> {
         assert_eq!(self.arity, other.arity, "intersect arity mismatch");
         let mut out = GenRelation::with_policy(self.arity, self.policy);
-        for a in &self.tuples {
-            for b in &other.tuples {
+        for a in &self.store.tuples {
+            for b in &other.store.tuples {
                 if let Some(t) = a.conjoin(b.constraints()) {
                     out.insert(t);
                 }
@@ -551,7 +593,7 @@ impl<T: Theory> GenRelation<T> {
     #[must_use]
     pub fn complement(&self) -> GenRelation<T> {
         let mut acc: Vec<GenTuple<T>> = vec![GenTuple::top()];
-        for tuple in &self.tuples {
+        for tuple in &self.store.tuples {
             let mut next: Vec<GenTuple<T>> = Vec::new();
             for partial in &acc {
                 for c in tuple.constraints() {
@@ -588,7 +630,7 @@ impl<T: Theory> GenRelation<T> {
     /// Propagates `CqlError::Unsupported` from the theory.
     pub fn eliminate(&self, var: Var) -> Result<GenRelation<T>> {
         let mut out = GenRelation::with_policy(self.arity, self.policy);
-        for t in &self.tuples {
+        for t in &self.store.tuples {
             for conj in T::eliminate(t.constraints(), var)? {
                 if let Some(t2) = GenTuple::new(conj) {
                     out.insert(t2);
@@ -601,7 +643,7 @@ impl<T: Theory> GenRelation<T> {
     /// All constants mentioned across all tuples.
     #[must_use]
     pub fn constants(&self) -> Vec<T::Value> {
-        self.tuples.iter().flat_map(GenTuple::constants).collect()
+        self.store.tuples.iter().flat_map(GenTuple::constants).collect()
     }
 
     /// Rebuild with a new arity and variable renaming (used to splice a
@@ -609,7 +651,7 @@ impl<T: Theory> GenRelation<T> {
     #[must_use]
     pub fn rename_into(&self, new_arity: usize, map: &dyn Fn(Var) -> Var) -> GenRelation<T> {
         let mut out = GenRelation::with_policy(new_arity, self.policy);
-        for t in &self.tuples {
+        for t in &self.store.tuples {
             if let Some(t2) = GenTuple::new(t.rename(map)) {
                 out.insert(t2);
             }
@@ -621,7 +663,7 @@ impl<T: Theory> GenRelation<T> {
 impl<T: Theory> fmt::Debug for GenRelation<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "GenRelation(arity={}) {{", self.arity)?;
-        for t in &self.tuples {
+        for t in &self.store.tuples {
             writeln!(f, "  {t}")?;
         }
         write!(f, "}}")

@@ -191,6 +191,39 @@ fn clone_preserves_version_and_diverges_on_mutation() {
 }
 
 #[test]
+fn clone_shares_storage_until_either_side_mutates() {
+    // The copy-on-write contract behind O(1) snapshots: a clone is an
+    // `Arc` bump sharing the tuple store, and the *first* mutation on
+    // either side copies the segment, leaving the other side untouched.
+    let mut rel: GenRelation<PointEq> = GenRelation::empty(2);
+    rel.insert(tuple(&[(0, 1), (1, 2)]));
+    let snapshot = rel.clone();
+    assert!(rel.shares_store(&snapshot), "clone must share the COW segment");
+    rel.insert(tuple(&[(0, 3), (1, 4)]));
+    assert!(!rel.shares_store(&snapshot), "mutation must copy the shared segment");
+    assert_eq!(snapshot.len(), 1, "the snapshot never observes the writer's insert");
+    assert_eq!(rel.len(), 2);
+    // A second clone of the mutated side shares again.
+    let again = rel.clone();
+    assert!(rel.shares_store(&again));
+}
+
+#[test]
+fn chained_clones_all_share_one_segment() {
+    let mut rel: GenRelation<PointEq> = GenRelation::empty(1);
+    rel.insert(tuple(&[(0, 5)]));
+    let a = rel.clone();
+    let b = a.clone();
+    let c = b.clone();
+    assert!(a.shares_store(&c) && rel.shares_store(&b));
+    drop(rel);
+    drop(a);
+    // Survivors still read the shared segment after the others drop.
+    assert_eq!(c.len(), 1);
+    assert!(b.shares_store(&c));
+}
+
+#[test]
 fn equal_contents_built_separately_have_distinct_versions() {
     // Versions are globally unique per mutation: equal versions must
     // imply equal contents, but equal contents never force equal

@@ -88,7 +88,11 @@ pub mod prelude {
     pub use cql_engine::datalog::{
         Atom, FixpointOptions, Literal, MaterializedView, Program, Rule,
     };
-    pub use cql_engine::{algebra, calculus, cells, datalog, Engine, Executor};
+    pub use cql_engine::trace::TelemetryRegistry;
+    pub use cql_engine::{
+        algebra, calculus, cells, datalog, Admission, Engine, Executor, QueryServer, Runtime,
+        ServerConfig, Snapshot, SnapshotStore,
+    };
     pub use cql_equality::{EConfig, EqConstraint, Equality};
     pub use cql_poly::{PolyConstraint, RealPoly};
 }

@@ -1,0 +1,58 @@
+//! The README's `Runtime` + `QueryServer` quick-start, verbatim — if
+//! this test stops compiling or passing, the README is lying.
+
+use cql::prelude::*;
+use std::sync::Arc;
+
+#[test]
+fn readme_query_server_quickstart() {
+    // program, db, edge as in the MaterializedView quick-start.
+    let program: Program<Dense> = Program::new(vec![
+        Rule::new(Atom::new("T", vec![0, 1]), vec![Literal::Pos(Atom::new("E", vec![0, 1]))]),
+        Rule::new(
+            Atom::new("T", vec![0, 2]),
+            vec![
+                Literal::Pos(Atom::new("T", vec![0, 1])),
+                Literal::Pos(Atom::new("E", vec![1, 2])),
+            ],
+        ),
+    ]);
+    let edge = |a: i64, b: i64| {
+        GenTuple::new(vec![DenseConstraint::eq_const(0, a), DenseConstraint::eq_const(1, b)])
+            .unwrap()
+    };
+    let mut db: Database<Dense> = Database::new();
+    db.insert("E", GenRelation::from_conjunctions(2, vec![]));
+
+    let runtime = Arc::new(Runtime::new(program, &db, FixpointOptions::default()).unwrap());
+    runtime.insert("E", edge(0, 1)).unwrap(); // epoch 1
+    runtime.insert("E", edge(1, 2)).unwrap(); // epoch 2
+
+    let handler = {
+        let runtime = Arc::clone(&runtime);
+        move |_tenant: &str, (a, b): (i64, i64)| {
+            let snap = runtime.pin(); // O(1), never blocks writers
+            let hits = runtime
+                .query(
+                    &snap,
+                    "T",
+                    &[DenseConstraint::eq_const(0, a), DenseConstraint::eq_const(1, b)],
+                )
+                .unwrap();
+            (snap.epoch(), !hits.is_empty())
+        }
+    };
+    let server = QueryServer::start(
+        ServerConfig::default(),            // workers = available cores
+        Arc::new(TelemetryRegistry::new()), // per-tenant metrics
+        handler,
+    );
+    match server.submit("tenant-a", (0, 2)) {
+        Admission::Accepted(ticket) => {
+            let (epoch, reachable) = ticket.wait();
+            assert!(reachable && epoch >= 2);
+        }
+        Admission::Overloaded => unreachable!("bounded queue was empty"),
+    }
+    server.shutdown();
+}

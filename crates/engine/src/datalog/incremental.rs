@@ -88,6 +88,16 @@ pub struct MaterializedView<T: Theory> {
     /// Lazily rebuilt antichain view of the IDB stores.
     view: Database<T>,
     dirty: BTreeSet<String>,
+    /// Per dirty IDB predicate: the exact store mutations (`true` =
+    /// inserted, `false` = removed) since the last [`current`] call, in
+    /// order. When the store is an antichain (no derived tuple subsumes
+    /// another — the common case for point-style workloads), `current`
+    /// replays this journal onto the exposed view in place instead of
+    /// rebuilding the predicate from scratch; shadowing is detected by
+    /// cardinality checks and falls back to the rebuild.
+    ///
+    /// [`current`]: MaterializedView::current
+    journal: BTreeMap<String, Vec<(bool, GenTuple<T>)>>,
     log: Vec<UpdateStats>,
 }
 
@@ -129,6 +139,7 @@ impl<T: Theory> MaterializedView<T> {
             counts,
             cache,
             view: Database::new(),
+            journal: BTreeMap::new(),
             log: Vec::new(),
         };
         let mut init: Delta<T> = BTreeMap::new();
@@ -217,15 +228,46 @@ impl<T: Theory> MaterializedView<T> {
     }
 
     /// The maintained IDB, as subsumption-compressed relations (the
-    /// same representation the batch engines produce). Rebuilds only
-    /// the predicates whose stores changed since the last call.
+    /// same representation the batch engines produce). Touches only the
+    /// predicates whose stores changed since the last call, and for
+    /// those replays the exact store delta onto the exposed relation in
+    /// place when that is provably equivalent to a rebuild — which it
+    /// is exactly when nothing is shadowed by subsumption, i.e. the
+    /// exposed relation and the dedup store hold the same tuple set.
+    /// Each replayed event verifies that equality is preserved (an
+    /// insert must add exactly one tuple, a removal must find its
+    /// tuple, and the final cardinalities must agree); any violation
+    /// falls back to the full rebuild. So per-publish cost is
+    /// O(|delta|) subsumption inserts on antichain workloads instead of
+    /// O(|store|), and byte-identical either way.
     pub fn current(&mut self) -> &Database<T> {
         let dirty: Vec<String> = std::mem::take(&mut self.dirty).into_iter().collect();
         for name in dirty {
-            let mut rel = self.engine.relation(self.arities[&name]);
-            for t in self.stores[&name].tuples() {
-                rel.insert(t.clone());
-            }
+            let events = self.journal.remove(&name).unwrap_or_default();
+            let store = &self.stores[&name];
+            let patched = self.view.get(&name).cloned().and_then(|mut rel| {
+                for (added, t) in &events {
+                    if *added {
+                        let before = rel.len();
+                        // A rejected or evicting insert means the store
+                        // is not an antichain: stop patching.
+                        if !rel.insert(t.clone()) || rel.len() != before + 1 {
+                            return None;
+                        }
+                    } else if !rel.remove(t) {
+                        // Removed tuple was shadowed out of the view.
+                        return None;
+                    }
+                }
+                (rel.len() == store.len()).then_some(rel)
+            });
+            let rel = patched.unwrap_or_else(|| {
+                let mut rel = self.engine.relation(self.arities[&name]);
+                for t in store.tuples() {
+                    rel.insert(t.clone());
+                }
+                rel
+            });
             self.view.insert(name, rel);
         }
         &self.view
@@ -236,6 +278,17 @@ impl<T: Theory> MaterializedView<T> {
     #[must_use]
     pub fn support_count(&self, relation: &str, tuple: &GenTuple<T>) -> u64 {
         self.counts.get(relation).and_then(|m| m.get(tuple)).copied().unwrap_or(0)
+    }
+
+    /// The asserted EDB relations (the derivation stores of every
+    /// non-IDB predicate), in name order. Together with
+    /// [`current`](MaterializedView::current) this is the full database
+    /// at the view's present state — the snapshot store publishes both.
+    pub fn edb(&self) -> impl Iterator<Item = (&str, &GenRelation<T>)> {
+        self.stores
+            .iter()
+            .filter(|(name, _)| !self.idb_preds.contains(name.as_str()))
+            .map(|(name, rel)| (name.as_str(), rel))
     }
 
     /// The maintained program.
@@ -307,7 +360,17 @@ impl<T: Theory> MaterializedView<T> {
     fn propagate_insertions(&mut self, mut delta: Delta<T>) -> Result<()> {
         let store_policy = store_policy(&self.opts);
         let MaterializedView {
-            program, opts, engine, arities, stores, counts, cache, dirty, ..
+            program,
+            opts,
+            engine,
+            arities,
+            idb_preds,
+            stores,
+            counts,
+            cache,
+            dirty,
+            journal,
+            ..
         } = self;
         let mut rounds = 0usize;
         while !delta.is_empty() {
@@ -325,6 +388,9 @@ impl<T: Theory> MaterializedView<T> {
                 for t in tuples {
                     let added = store.insert(t.clone());
                     debug_assert!(added, "insertion delta tuples are new by construction");
+                    if idb_preds.contains(name) {
+                        journal.entry(name.clone()).or_default().push((true, t.clone()));
+                    }
                     drel.insert(t.clone());
                 }
                 drels.insert(name.clone(), drel);
@@ -372,10 +438,12 @@ impl<T: Theory> MaterializedView<T> {
                 opts,
                 engine,
                 arities,
+                idb_preds,
                 stores,
                 counts,
                 cache,
                 dirty,
+                journal,
                 ..
             } = self;
             // Over-deleted IDB tuples, in discovery order (sets for the
@@ -401,6 +469,9 @@ impl<T: Theory> MaterializedView<T> {
                     for t in tuples {
                         let removed = store.remove(t);
                         debug_assert!(removed, "deletion delta tuples are stored");
+                        if idb_preds.contains(name) {
+                            journal.entry(name.clone()).or_default().push((false, t.clone()));
+                        }
                         drel.insert(t.clone());
                     }
                     drels.insert(name.clone(), drel);

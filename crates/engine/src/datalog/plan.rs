@@ -163,7 +163,9 @@ struct RuleTelemetry {
 }
 
 /// Backstop against unbounded growth: IDB and delta relations get a new
-/// content version every round, so their stale entries accumulate.
+/// content version every round, so their stale entries accumulate. The
+/// cap bounds *each* generation of the segmented cache, so at most
+/// `2 × ATOM_CACHE_MAX` entries are retained.
 const ATOM_CACHE_MAX: usize = 512;
 
 /// Per-fixpoint-run cache of join plans and per-atom join structures.
@@ -173,10 +175,19 @@ const ATOM_CACHE_MAX: usize = 512;
 /// plus the atom's variable map — a [`GenRelation::version`] is renewed
 /// on every mutation, so version equality proves the cached renamed
 /// tuples and levels are still exact.
+///
+/// Atom entries are held in two generations (`hot` / `cold`) with
+/// segmented eviction: overflow rotates hot into cold (dropping the old
+/// cold generation) instead of clearing everything, and a cold hit
+/// promotes the entry back to hot. A steadily re-probed working set
+/// therefore survives unbounded churn from one-shot versions — under
+/// the previous clear-on-overflow policy a long-lived runtime dropped
+/// every hot plan each time the cap was reached.
 pub(crate) struct PlanCache<T: Theory> {
     plans: Vec<Option<Arc<JoinPlan>>>,
     telemetry: Vec<RuleTelemetry>,
-    atoms: HashMap<(u64, Vec<Var>), Arc<AtomData<T>>>,
+    hot: HashMap<(u64, Vec<Var>), Arc<AtomData<T>>>,
+    cold: HashMap<(u64, Vec<Var>), Arc<AtomData<T>>>,
 }
 
 impl<T: Theory> PlanCache<T> {
@@ -184,7 +195,8 @@ impl<T: Theory> PlanCache<T> {
         PlanCache {
             plans: vec![None; rules],
             telemetry: vec![RuleTelemetry::default(); rules],
-            atoms: HashMap::new(),
+            hot: HashMap::new(),
+            cold: HashMap::new(),
         }
     }
 
@@ -205,7 +217,7 @@ impl<T: Theory> PlanCache<T> {
     /// [`Counter::SummaryIndexReuses`].
     pub fn atom_data(&mut self, rel: &GenRelation<T>, atom_vars: &[Var]) -> Arc<AtomData<T>> {
         let key = (rel.version(), atom_vars.to_vec());
-        if let Some(data) = self.atoms.get(&key) {
+        if let Some(data) = self.hot.get(&key) {
             // Version equality must prove content equality: a mutation
             // path that forgot to bump the version would serve a stale
             // trie here. Tuple count is a cheap necessary condition.
@@ -217,11 +229,21 @@ impl<T: Theory> PlanCache<T> {
             count(Counter::SummaryIndexReuses, 1);
             return Arc::clone(data);
         }
-        if self.atoms.len() >= ATOM_CACHE_MAX {
-            self.atoms.clear();
+        let data = match self.cold.remove(&key) {
+            Some(data) => {
+                debug_assert_eq!(rel.len(), data.renamed.len());
+                count(Counter::SummaryIndexReuses, 1);
+                data
+            }
+            None => Arc::new(AtomData::build(rel, atom_vars)),
+        };
+        if self.hot.len() >= ATOM_CACHE_MAX {
+            // Segmented eviction: the hot generation becomes cold (the old
+            // cold generation is dropped); live entries are promoted back
+            // out of cold on their next hit.
+            self.cold = std::mem::take(&mut self.hot);
         }
-        let data = Arc::new(AtomData::build(rel, atom_vars));
-        self.atoms.insert(key, Arc::clone(&data));
+        self.hot.insert(key, Arc::clone(&data));
         data
     }
 
@@ -486,5 +508,51 @@ mod tests {
         // An unchanged relation reuses the cached entry (same Arc).
         let fourth = cache.atom_data(&rel, &vars);
         assert!(Arc::ptr_eq(&third, &fourth));
+    }
+
+    #[test]
+    fn hot_working_set_survives_cache_churn() {
+        use cql_core::relation::{GenRelation, GenTuple};
+        use cql_dense::DenseConstraint;
+        let tup = |a: i64, b: i64| {
+            GenTuple::<Dense>::new(vec![
+                DenseConstraint::eq_const(0, a),
+                DenseConstraint::eq_const(1, b),
+            ])
+            .unwrap()
+        };
+        let vars = vec![0, 1];
+        let mut cache: PlanCache<Dense> = PlanCache::new(0);
+        // A stable working set of relations, re-probed every round — the
+        // EDB atoms of a long-lived runtime.
+        let stable: Vec<GenRelation<Dense>> = (0..4)
+            .map(|i| {
+                let mut r = GenRelation::empty(2);
+                r.insert(tup(i, i + 1));
+                r
+            })
+            .collect();
+        let first: Vec<_> = stable.iter().map(|r| cache.atom_data(r, &vars)).collect();
+        // A churning relation whose version changes every round — the
+        // delta/IDB atoms that flood the cache with one-shot keys. Run
+        // well past the cap so several generation rotations happen.
+        let mut churner: GenRelation<Dense> = GenRelation::empty(2);
+        let mut hits = 0usize;
+        let mut probes = 0usize;
+        for round in 0..(3 * ATOM_CACHE_MAX as i64) {
+            churner.insert(tup(round + 100, round + 101));
+            cache.atom_data(&churner, &vars);
+            for (r, old) in stable.iter().zip(&first) {
+                probes += 1;
+                if Arc::ptr_eq(&cache.atom_data(r, &vars), old) {
+                    hits += 1;
+                }
+            }
+        }
+        // Segmented eviction pins a 100% hit rate for the working set:
+        // rotation demotes it to the cold generation at worst, and the
+        // next probe promotes it back. (The previous clear-on-overflow
+        // policy rebuilt every entry each time the cap was reached.)
+        assert_eq!(hits, probes, "working set must survive churn without rebuilds");
     }
 }

@@ -51,6 +51,9 @@ pub mod datalog;
 pub mod executor;
 pub mod interner;
 pub mod qe_cache;
+pub mod runtime;
+pub mod server;
+pub mod snapshot;
 pub mod summary_index;
 
 pub use cql_core::{EnginePolicy, SubsumptionMode};
@@ -59,6 +62,9 @@ pub use datalog::incremental::MaterializedView;
 pub use executor::Executor;
 pub use interner::Interner;
 pub use qe_cache::QeCache;
+pub use runtime::Runtime;
+pub use server::{Admission, QueryServer, ServerConfig};
+pub use snapshot::{Snapshot, SnapshotStore};
 pub use summary_index::SummaryIndex;
 
 use cql_core::error::Result;
